@@ -1,0 +1,29 @@
+//! # iotsan-apps
+//!
+//! The smart-app corpus used by IotSan-rs's evaluation (the Rust reproduction
+//! of *IotSan: Fortifying the Safety of IoT Systems*, CoNEXT 2018, §10).
+//!
+//! * [`market`] — the 150-app market corpus: faithful re-implementations of
+//!   every app the paper names (Virtual Thermostat, Unlock Door, Good Night,
+//!   Make It So, ...) plus deterministic market-style generated apps, split
+//!   into the six 25-app experimental groups;
+//! * [`malicious`] — the nine ContexIoT-style malicious apps used for the
+//!   attribution evaluation (§10.3);
+//! * [`ifttt`] — the 10-rule IFTTT applet corpus and the IFTTT→IR translator
+//!   (§11, Table 9);
+//! * [`samples`] — the canonical app groups behind Figure 4, Figure 8,
+//!   Table 7b and Table 8.
+//!
+//! All market and malicious apps are plain Groovy sources, exercised through
+//! the real frontend (`iotsan-groovy`) and translator (`iotsan-ir`).
+
+#![warn(missing_docs)]
+
+pub mod ifttt;
+pub mod malicious;
+pub mod market;
+pub mod samples;
+
+pub use ifttt::{ifttt_rules, parse_applets, translate_applet, translate_rules, IftttApplet};
+pub use malicious::{malicious_apps, MaliciousApp};
+pub use market::{market_apps, named_apps, six_groups, MarketApp};

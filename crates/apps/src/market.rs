@@ -1,0 +1,848 @@
+//! The market-app corpus.
+//!
+//! The paper evaluates IotSan on 150 smart apps from the SmartThings market
+//! place (§10.1).  Those apps are closed-source snapshots of a 2018 app store;
+//! this module provides (a) faithful re-implementations of every app the paper
+//! names — the apps driving the reported violations — and (b) a deterministic
+//! generator of market-style apps (simple trigger → action automations over
+//! varied capabilities) that fills the corpus out to 150 apps, matching the
+//! six-group / 25-apps-per-group experimental setup.
+
+/// A market app: its display name and Groovy source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketApp {
+    /// Display name (matches the `definition(name: ...)` inside the source).
+    pub name: String,
+    /// Groovy source code.
+    pub source: String,
+}
+
+impl MarketApp {
+    fn new(name: &str, source: &str) -> Self {
+        MarketApp { name: name.to_string(), source: source.to_string() }
+    }
+}
+
+/// Hand-written versions of the apps the paper names explicitly.
+pub fn named_apps() -> Vec<MarketApp> {
+    vec![
+        MarketApp::new("Virtual Thermostat", VIRTUAL_THERMOSTAT),
+        MarketApp::new("Brighten Dark Places", BRIGHTEN_DARK_PLACES),
+        MarketApp::new("Let There Be Dark!", LET_THERE_BE_DARK),
+        MarketApp::new("Auto Mode Change", AUTO_MODE_CHANGE),
+        MarketApp::new("Unlock Door", UNLOCK_DOOR),
+        MarketApp::new("Big Turn On", BIG_TURN_ON),
+        MarketApp::new("Good Night", GOOD_NIGHT),
+        MarketApp::new("Light Follows Me", LIGHT_FOLLOWS_ME),
+        MarketApp::new("Light Off When Close", LIGHT_OFF_WHEN_CLOSE),
+        MarketApp::new("Make It So", MAKE_IT_SO),
+        MarketApp::new("Darken Behind Me", DARKEN_BEHIND_ME),
+        MarketApp::new("Energy Saver", ENERGY_SAVER),
+        MarketApp::new("Automated Light", AUTOMATED_LIGHT),
+        MarketApp::new("Brighten My Path", BRIGHTEN_MY_PATH),
+        MarketApp::new("It's Too Cold", ITS_TOO_COLD),
+        MarketApp::new("Smoke Alarm Siren", SMOKE_ALARM_SIREN),
+        MarketApp::new("Lock It When I Leave", LOCK_IT_WHEN_I_LEAVE),
+        MarketApp::new("Flood Alert", FLOOD_ALERT),
+        MarketApp::new("CO Alert", CO_ALERT),
+        MarketApp::new("Sprinkler When Dry", SPRINKLER_WHEN_DRY),
+        MarketApp::new("Good Morning Coffee", GOOD_MORNING_COFFEE),
+        MarketApp::new("Camera On Intrusion", CAMERA_ON_INTRUSION),
+        MarketApp::new("Curling Iron", CURLING_IRON),
+        MarketApp::new("Undead Early Warning", UNDEAD_EARLY_WARNING),
+        MarketApp::new("Big Turn Off", BIG_TURN_OFF),
+    ]
+}
+
+/// The full 150-app market corpus: the named apps plus generated
+/// market-style automations.
+pub fn market_apps() -> Vec<MarketApp> {
+    let mut apps = named_apps();
+    let mut index = 0usize;
+    while apps.len() < 150 {
+        apps.push(generated_app(index));
+        index += 1;
+    }
+    apps
+}
+
+/// The six experimental groups of 25 apps each (Table 5 / Table 7a setup).
+/// The split is deterministic: apps are dealt round-robin so every group mixes
+/// named and generated apps.
+pub fn six_groups() -> Vec<Vec<MarketApp>> {
+    let apps = market_apps();
+    let mut groups: Vec<Vec<MarketApp>> = vec![Vec::new(); 6];
+    for (i, app) in apps.into_iter().enumerate() {
+        groups[i % 6].push(app);
+    }
+    groups
+}
+
+/// A deterministic market-style generated app.  The templates rotate over
+/// common trigger → action automations so generated apps interact with the
+/// same device families the named apps use.
+pub fn generated_app(index: usize) -> MarketApp {
+    let template = index % 10;
+    let variant = index / 10;
+    let name = format!("{} #{variant}", TEMPLATE_NAMES[template]);
+    let source = match template {
+        0 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Turn on a switch when motion is detected.")
+preferences {{
+    section("When motion...") {{ input "motionSensor", "capability.motionSensor" }}
+    section("Turn on...") {{ input "targetSwitch", "capability.switch" }}
+}}
+def installed() {{ subscribe(motionSensor, "motion.active", motionHandler) }}
+def motionHandler(evt) {{ targetSwitch.on() }}
+"#
+        ),
+        1 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Turn off a switch when motion stops.")
+preferences {{
+    section("When motion stops...") {{ input "motionSensor", "capability.motionSensor" }}
+    section("Turn off...") {{ input "targetSwitch", "capability.switch" }}
+}}
+def installed() {{ subscribe(motionSensor, "motion.inactive", motionStopHandler) }}
+def motionStopHandler(evt) {{ targetSwitch.off() }}
+"#
+        ),
+        2 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Turn on lights when a door opens.")
+preferences {{
+    section("When the door opens...") {{ input "contact1", "capability.contactSensor" }}
+    section("Turn on...") {{ input "lights", "capability.switch", multiple: true }}
+}}
+def installed() {{ subscribe(contact1, "contact.open", openHandler) }}
+def openHandler(evt) {{ lights.on() }}
+"#
+        ),
+        3 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Notify when a door is left open.")
+preferences {{
+    section("Watch this door") {{ input "contact1", "capability.contactSensor" }}
+    section("Phone") {{ input "phone", "phone", required: false }}
+}}
+def installed() {{ subscribe(contact1, "contact.open", openHandler) }}
+def openHandler(evt) {{
+    sendPush("The door is open")
+    if (phone) {{
+        sendSms(phone, "The door is open")
+    }}
+}}
+"#
+        ),
+        4 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Lock the door when everyone leaves.")
+preferences {{
+    section("Presence") {{ input "people", "capability.presenceSensor", multiple: true }}
+    section("Lock") {{ input "lock1", "capability.lock" }}
+}}
+def installed() {{ subscribe(people, "presence.not present", leftHandler) }}
+def leftHandler(evt) {{
+    if (people.every {{ it.currentPresence == "not present" }}) {{
+        lock1.lock()
+    }}
+}}
+"#
+        ),
+        5 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Turn the heater on when it is cold.")
+preferences {{
+    section("Sensor") {{ input "sensor", "capability.temperatureMeasurement" }}
+    section("Heater outlet") {{ input "heaterOutlet", "capability.switch" }}
+    section("Threshold") {{ input "threshold", "decimal" }}
+}}
+def installed() {{ subscribe(sensor, "temperature", tempHandler) }}
+def tempHandler(evt) {{
+    if (evt.doubleValue < threshold) {{
+        heaterOutlet.on()
+    }} else {{
+        heaterOutlet.off()
+    }}
+}}
+"#
+        ),
+        6 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Close the valve when a leak is detected.")
+preferences {{
+    section("Leak sensor") {{ input "leakSensor", "capability.waterSensor" }}
+    section("Valve") {{ input "valve1", "capability.valve" }}
+}}
+def installed() {{ subscribe(leakSensor, "water.wet", leakHandler) }}
+def leakHandler(evt) {{
+    valve1.close()
+    sendPush("Leak detected, water valve closed")
+}}
+"#
+        ),
+        7 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Sound the alarm when smoke is detected.")
+preferences {{
+    section("Smoke detector") {{ input "smokeSensor", "capability.smokeDetector" }}
+    section("Alarm") {{ input "alarm1", "capability.alarm" }}
+}}
+def installed() {{ subscribe(smokeSensor, "smoke.detected", smokeHandler) }}
+def smokeHandler(evt) {{ alarm1.both() }}
+"#
+        ),
+        8 => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Change mode when everyone is asleep.")
+preferences {{
+    section("Sleep sensors") {{ input "sleepers", "capability.sleepSensor", multiple: true }}
+}}
+def installed() {{ subscribe(sleepers, "sleeping.sleeping", sleepHandler) }}
+def sleepHandler(evt) {{ setLocationMode("Night") }}
+"#
+        ),
+        _ => format!(
+            r#"
+definition(name: "{name}", namespace: "gen", author: "gen", description: "Dim the lights when the sun rises.")
+preferences {{
+    section("Dimmer") {{ input "dimmer1", "capability.switchLevel" }}
+}}
+def installed() {{ subscribe(location, "sunrise", sunriseHandler) }}
+def sunriseHandler(evt) {{ dimmer1.setLevel(10) }}
+"#
+        ),
+    };
+    MarketApp { name, source }
+}
+
+const TEMPLATE_NAMES: [&str; 10] = [
+    "Motion Light",
+    "Motion Off",
+    "Door Light",
+    "Door Alert",
+    "Auto Lock",
+    "Simple Heater",
+    "Leak Shutoff",
+    "Smoke Siren",
+    "Sleep Mode",
+    "Sunrise Dimmer",
+];
+
+// ---------------------------------------------------------------------------
+// Hand-written named apps (Groovy).
+// ---------------------------------------------------------------------------
+
+/// Figure 1 of the paper: Virtual Thermostat.
+pub const VIRTUAL_THERMOSTAT: &str = r#"
+definition(
+    name: "Virtual Thermostat",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Control a space heater or window air conditioner in conjunction with any temperature sensor, like a SmartSense Multi."
+)
+preferences {
+    section("Choose a temperature sensor ... ") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Select the heater or air conditioner outlet(s)... ") {
+        input "outlets", "capability.switch", title: "Outlets", multiple: true
+    }
+    section("Set the desired temperature ...") {
+        input "setpoint", "decimal", title: "Set Temp"
+    }
+    section("When there's been movement from (optional)") {
+        input "motion", "capability.motionSensor", title: "Motion", required: false
+    }
+    section("Within this number of minutes ...") {
+        input "minutes", "number", title: "Minutes", required: false
+    }
+    section("But never go below (or above if A/C) this value with or without motion ...") {
+        input "emergencySetpoint", "decimal", title: "Emer Temp", required: false
+    }
+    section("Select 'heat' for a heater and 'cool' for an air conditioner ...") {
+        input "mode", "enum", title: "Heating or cooling?", options: ["heat", "cool"]
+    }
+}
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+    if (motion) {
+        subscribe(motion, "motion", motionHandler)
+    }
+}
+def updated() {
+    unsubscribe()
+    installed()
+}
+def temperatureHandler(evt) {
+    def currentTemp = evt.doubleValue
+    if (mode == "cool") {
+        if (currentTemp > setpoint) {
+            outlets.on()
+        } else {
+            outlets.off()
+        }
+    } else {
+        if (currentTemp < setpoint) {
+            outlets.on()
+        } else {
+            outlets.off()
+        }
+    }
+}
+def motionHandler(evt) {
+    if (evt.value == "inactive") {
+        runIn((minutes ?: 10) * 60, turnOffAfterIdle)
+    }
+}
+def turnOffAfterIdle() {
+    outlets.off()
+}
+"#;
+
+/// Table 2 vertex 0: turn on lights when a door opens and it is dark.
+pub const BRIGHTEN_DARK_PLACES: &str = r#"
+definition(name: "Brighten Dark Places", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights on when an open/close sensor opens and the space is dark.")
+preferences {
+    section("When the door opens...") { input "contact1", "capability.contactSensor", title: "Where?" }
+    section("And it's dark...") { input "luminance1", "capability.illuminanceMeasurement", title: "Where?" }
+    section("Turn on a light...") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(contact1, "contact.open", contactOpenHandler)
+}
+def contactOpenHandler(evt) {
+    if (luminance1.currentIlluminance < 30) {
+        switches.on()
+    }
+}
+"#;
+
+/// Table 2 vertex 1: mirror a contact sensor onto switches — opening the
+/// door "lets the dark in" (lights off), closing it turns them back on.
+/// Paired with Brighten Dark Places this produces the conflicting `on`/`off`
+/// commands of Table 5.
+pub const LET_THERE_BE_DARK: &str = r#"
+definition(name: "Let There Be Dark!", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights off when an open/close sensor opens and on when it closes.")
+preferences {
+    section("Monitor this door or window") { input "contact1", "capability.contactSensor" }
+    section("Turn off/on light(s)") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(contact1, "contact", contactHandler)
+}
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        switches.off()
+    } else {
+        switches.on()
+    }
+}
+"#;
+
+/// Table 2 vertex 2: change the location mode based on presence.
+pub const AUTO_MODE_CHANGE: &str = r#"
+definition(name: "Auto Mode Change", namespace: "smartthings", author: "SmartThings",
+    description: "Change the location mode when people arrive or leave.")
+preferences {
+    section("Presence sensors") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() {
+    subscribe(people, "presence", presenceHandler)
+}
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        if (people.every { it.currentPresence == "not present" }) {
+            setLocationMode("Away")
+        }
+    } else {
+        setLocationMode("Home")
+    }
+}
+"#;
+
+/// Table 2 vertices 3 and 4: unlock the door on app touch or mode change.
+/// The description only mentions user input, but the implementation also
+/// reacts to mode changes — the inconsistency §8's example highlights.
+pub const UNLOCK_DOOR: &str = r#"
+definition(name: "Unlock Door", namespace: "smartthings", author: "SmartThings",
+    description: "Unlock the door when you tap the app.")
+preferences {
+    section("Lock") { input "lock1", "capability.lock" }
+}
+def installed() {
+    subscribe(app, "touch", appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def appTouch(evt) {
+    lock1.unlock()
+}
+def changedLocationMode(evt) {
+    lock1.unlock()
+}
+"#;
+
+/// Table 2 vertices 5 and 6: turn everything on, on touch or mode change.
+pub const BIG_TURN_ON: &str = r#"
+definition(name: "Big Turn On", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights on when the SmartApp is tapped or activated by mode change.")
+preferences {
+    section("Turn on...") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(app, "touch", appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def appTouch(evt) {
+    switches.on()
+}
+def changedLocationMode(evt) {
+    switches.on()
+}
+"#;
+
+/// Figure 8a: switch to Night mode when the lights go off at night.
+pub const GOOD_NIGHT: &str = r#"
+definition(name: "Good Night", namespace: "smartthings", author: "SmartThings",
+    description: "Change the mode to Night when lights are switched off and there has been no motion.")
+preferences {
+    section("Lights to watch") { input "switches", "capability.switch", multiple: true }
+    section("Motion sensor (optional)") { input "motionSensor", "capability.motionSensor", required: false }
+}
+def installed() {
+    subscribe(switches, "switch.off", switchOffHandler)
+}
+def switchOffHandler(evt) {
+    if (switches.every { it.currentSwitch == "off" }) {
+        setLocationMode("Night")
+    }
+}
+"#;
+
+/// Figure 8a: turn lights on with motion and off when motion stops.
+pub const LIGHT_FOLLOWS_ME: &str = r#"
+definition(name: "Light Follows Me", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights on when motion is detected and off when motion stops.")
+preferences {
+    section("Turn on when there's movement..") { input "motionSensor", "capability.motionSensor" }
+    section("And off when there's been no movement for..") { input "minutes1", "number", title: "Minutes?" }
+    section("Turn on/off light(s)..") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(motionSensor, "motion", motionHandler)
+}
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        switches.on()
+    } else {
+        switches.off()
+    }
+}
+"#;
+
+/// Figure 8a: turn a light off when a door closes.
+pub const LIGHT_OFF_WHEN_CLOSE: &str = r#"
+definition(name: "Light Off When Close", namespace: "smartthings", author: "SmartThings",
+    description: "Turn lights off when a contact sensor closes.")
+preferences {
+    section("When the door closes") { input "contact1", "capability.contactSensor" }
+    section("Turn off") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(contact1, "contact.closed", contactClosedHandler)
+}
+def contactClosedHandler(evt) {
+    switches.off()
+}
+"#;
+
+/// Figure 8b: lock up and arm the house when everyone has left.
+pub const MAKE_IT_SO: &str = r#"
+definition(name: "Make It So", namespace: "smartthings", author: "SmartThings",
+    description: "Lock the doors and change the mode when motion stops and nobody is home.")
+preferences {
+    section("Motion sensor") { input "motionSensor", "capability.motionSensor" }
+    section("Locks") { input "locks", "capability.lock", multiple: true }
+    section("Alarm") { input "alarm1", "capability.alarm", required: false }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() {
+    subscribe(motionSensor, "motion.inactive", motionStoppedHandler)
+    subscribe(motionSensor, "motion.active", intrusionHandler)
+}
+def motionStoppedHandler(evt) {
+    locks.lock()
+    setLocationMode("Away")
+}
+def intrusionHandler(evt) {
+    if (location.mode == "Away") {
+        if (alarm1) {
+            alarm1.both()
+        }
+        if (phone) {
+            sendSms(phone, "Intruder detected at home")
+        }
+        sendPush("Intruder detected at home")
+    }
+}
+"#;
+
+/// Figure 8b: turn lights off behind you when motion stops.
+pub const DARKEN_BEHIND_ME: &str = r#"
+definition(name: "Darken Behind Me", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights off after motion stops.")
+preferences {
+    section("Turn off when there's no movement..") { input "motionSensor", "capability.motionSensor" }
+    section("Turn off light(s)..") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(motionSensor, "motion.inactive", motionStoppedHandler)
+}
+def motionStoppedHandler(evt) {
+    switches.off()
+}
+"#;
+
+/// Table 5: turns the heater off at night to save energy (violating the
+/// "heater on when cold" property).
+pub const ENERGY_SAVER: &str = r#"
+definition(name: "Energy Saver", namespace: "smartthings", author: "SmartThings",
+    description: "Turn things off at night to save energy.")
+preferences {
+    section("Turn off these devices") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    if (evt.value == "Night") {
+        switches.off()
+    }
+}
+"#;
+
+/// Table 5: turns a light on with motion (paired with Brighten My Path it
+/// produces repeated "on" commands).
+pub const AUTOMATED_LIGHT: &str = r#"
+definition(name: "Automated Light", namespace: "smartthings", author: "SmartThings",
+    description: "Turn a light on when motion is detected.")
+preferences {
+    section("Motion") { input "motionSensor", "capability.motionSensor" }
+    section("Light") { input "lights", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(motionSensor, "motion.active", motionActiveHandler)
+}
+def motionActiveHandler(evt) {
+    lights.on()
+}
+"#;
+
+/// Table 5: brighten the path when motion is detected.
+pub const BRIGHTEN_MY_PATH: &str = r#"
+definition(name: "Brighten My Path", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights on when motion is detected.")
+preferences {
+    section("When there's movement...") { input "motionSensor", "capability.motionSensor" }
+    section("Turn on...") { input "lights", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(motionSensor, "motion.active", motionActiveHandler)
+}
+def motionActiveHandler(evt) {
+    lights.on()
+}
+"#;
+
+/// §10.1's good group: turn the heater on when it is too cold.
+pub const ITS_TOO_COLD: &str = r#"
+definition(name: "It's Too Cold", namespace: "smartthings", author: "SmartThings",
+    description: "Monitor the temperature and turn on a heater when it drops below a threshold.")
+preferences {
+    section("Monitor the temperature...") { input "temperatureSensor", "capability.temperatureMeasurement" }
+    section("When the temperature drops below...") { input "temperature1", "number", title: "Temperature?" }
+    section("Turn on a heater...") { input "heaterOutlet", "capability.switch", required: false }
+    section("Send this message (optional)") { input "phone", "phone", required: false }
+}
+def installed() {
+    subscribe(temperatureSensor, "temperature", temperatureHandler)
+}
+def temperatureHandler(evt) {
+    def tooCold = temperature1
+    if (evt.doubleValue <= tooCold) {
+        sendPush("Temperature dropped below ${temperature1}")
+        if (phone) {
+            sendSms(phone, "Temperature dropped below ${temperature1}")
+        }
+        if (heaterOutlet) {
+            heaterOutlet.on()
+        }
+    }
+}
+"#;
+
+/// Sounds the siren and notifies when smoke is detected.
+pub const SMOKE_ALARM_SIREN: &str = r#"
+definition(name: "Smoke Alarm Siren", namespace: "smartthings", author: "SmartThings",
+    description: "Sound the siren and notify when smoke is detected.")
+preferences {
+    section("Smoke detector") { input "smokeSensor", "capability.smokeDetector" }
+    section("Alarm") { input "alarm1", "capability.alarm" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() {
+    subscribe(smokeSensor, "smoke.detected", smokeHandler)
+    subscribe(smokeSensor, "smoke.clear", clearHandler)
+}
+def smokeHandler(evt) {
+    alarm1.both()
+    sendPush("Smoke detected!")
+    if (phone) {
+        sendSms(phone, "Smoke detected!")
+    }
+}
+def clearHandler(evt) {
+    alarm1.off()
+}
+"#;
+
+/// Locks the door when the user's presence sensor leaves.
+pub const LOCK_IT_WHEN_I_LEAVE: &str = r#"
+definition(name: "Lock It When I Leave", namespace: "smartthings", author: "SmartThings",
+    description: "Lock the door when you leave and unlock it when you arrive.")
+preferences {
+    section("Presence") { input "presence1", "capability.presenceSensor" }
+    section("Lock") { input "lock1", "capability.lock" }
+}
+def installed() {
+    subscribe(presence1, "presence", presenceHandler)
+}
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        lock1.lock()
+    } else {
+        lock1.unlock()
+    }
+}
+"#;
+
+/// Closes the water valve and alerts when a leak is detected.
+pub const FLOOD_ALERT: &str = r#"
+definition(name: "Flood Alert", namespace: "smartthings", author: "SmartThings",
+    description: "Close the water valve and alert when water is detected.")
+preferences {
+    section("Leak sensor") { input "leakSensor", "capability.waterSensor" }
+    section("Water valve") { input "valve1", "capability.valve" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() {
+    subscribe(leakSensor, "water.wet", waterHandler)
+}
+def waterHandler(evt) {
+    valve1.close()
+    sendPush("Water detected: the main valve has been closed")
+    if (phone) {
+        sendSms(phone, "Water detected at home")
+    }
+}
+"#;
+
+/// Sounds the alarm when carbon monoxide is detected.
+pub const CO_ALERT: &str = r#"
+definition(name: "CO Alert", namespace: "smartthings", author: "SmartThings",
+    description: "Sound the alarm and unlock the door when carbon monoxide is detected.")
+preferences {
+    section("CO detector") { input "coSensor", "capability.carbonMonoxideDetector" }
+    section("Alarm") { input "alarm1", "capability.alarm" }
+    section("Front door lock") { input "lock1", "capability.lock", required: false }
+}
+def installed() {
+    subscribe(coSensor, "carbonMonoxide.detected", coHandler)
+}
+def coHandler(evt) {
+    alarm1.siren()
+    if (lock1) {
+        lock1.unlock()
+    }
+    sendPush("Carbon monoxide detected!")
+}
+"#;
+
+/// Turns the sprinkler on when the soil is dry.
+pub const SPRINKLER_WHEN_DRY: &str = r#"
+definition(name: "Sprinkler When Dry", namespace: "smartthings", author: "SmartThings",
+    description: "Run the sprinkler when the soil is dry.")
+preferences {
+    section("Soil moisture sensor") { input "moistureSensor", "capability.soilMoisture" }
+    section("Sprinkler") { input "sprinkler1", "capability.sprinkler" }
+    section("Dry threshold") { input "dryThreshold", "number" }
+}
+def installed() {
+    subscribe(moistureSensor, "moisture", moistureHandler)
+}
+def moistureHandler(evt) {
+    if (evt.doubleValue < dryThreshold) {
+        sprinkler1.on()
+    } else {
+        sprinkler1.off()
+    }
+}
+"#;
+
+/// Turns on the coffee maker when the user wakes up (mode changes to Home).
+pub const GOOD_MORNING_COFFEE: &str = r#"
+definition(name: "Good Morning Coffee", namespace: "smartthings", author: "SmartThings",
+    description: "Turn on the coffee maker when the house wakes up.")
+preferences {
+    section("Coffee maker outlet") { input "coffeeOutlet", "capability.switch" }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    if (evt.value == "Home") {
+        coffeeOutlet.on()
+    }
+    if (evt.value == "Night") {
+        coffeeOutlet.off()
+    }
+}
+"#;
+
+/// Takes a photo when motion is detected while nobody is home.
+pub const CAMERA_ON_INTRUSION: &str = r#"
+definition(name: "Camera On Intrusion", namespace: "smartthings", author: "SmartThings",
+    description: "Take a photo when motion is detected while you are away.")
+preferences {
+    section("Motion sensor") { input "motionSensor", "capability.motionSensor" }
+    section("Camera") { input "camera1", "capability.imageCapture" }
+}
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+def motionHandler(evt) {
+    if (location.mode == "Away") {
+        camera1.take()
+        sendPush("Intruder photo captured")
+    }
+}
+"#;
+
+/// Turns an outlet off after a period (e.g. a curling iron left on).
+pub const CURLING_IRON: &str = r#"
+definition(name: "Curling Iron", namespace: "smartthings", author: "SmartThings",
+    description: "Turn an outlet on with motion and off automatically after some minutes.")
+preferences {
+    section("Motion sensor") { input "motionSensor", "capability.motionSensor" }
+    section("Outlet") { input "outlet1", "capability.switch" }
+    section("Off after minutes") { input "minutes1", "number" }
+}
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+def motionHandler(evt) {
+    outlet1.on()
+    runIn(minutes1 * 60, turnOff)
+}
+def turnOff() {
+    outlet1.off()
+}
+"#;
+
+/// Alerts on sustained motion at night ("undead early warning").
+pub const UNDEAD_EARLY_WARNING: &str = r#"
+definition(name: "Undead Early Warning", namespace: "smartthings", author: "SmartThings",
+    description: "Flash lights and alert when motion is detected at night.")
+preferences {
+    section("Motion sensor") { input "motionSensor", "capability.motionSensor" }
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(motionSensor, "motion.active", motionHandler)
+}
+def motionHandler(evt) {
+    if (location.mode == "Night") {
+        lights.on()
+        sendPush("Motion detected downstairs at night")
+    }
+}
+"#;
+
+/// Turns everything off on touch or mode change.
+pub const BIG_TURN_OFF: &str = r#"
+definition(name: "Big Turn Off", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights off when the SmartApp is tapped or activated by mode change.")
+preferences {
+    section("Turn off...") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(app, "touch", appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def appTouch(evt) {
+    switches.off()
+}
+def changedLocationMode(evt) {
+    switches.off()
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_groovy::SmartApp;
+    use iotsan_ir::lower_app;
+
+    #[test]
+    fn corpus_has_150_apps_with_unique_names() {
+        let apps = market_apps();
+        assert_eq!(apps.len(), 150);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 150, "duplicate app names in corpus");
+    }
+
+    #[test]
+    fn every_market_app_parses_and_lowers() {
+        for app in market_apps() {
+            let parsed = SmartApp::parse(&app.source)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.name));
+            assert_eq!(parsed.name(), app.name, "definition name mismatch for {}", app.name);
+            let ir = lower_app(&parsed).unwrap_or_else(|e| panic!("{} failed to lower: {e}", app.name));
+            assert!(!ir.handlers.is_empty(), "{} has no handlers", app.name);
+        }
+    }
+
+    #[test]
+    fn named_apps_have_expected_structure() {
+        let parsed = SmartApp::parse(VIRTUAL_THERMOSTAT).unwrap();
+        assert_eq!(parsed.inputs.len(), 7);
+        let ir = lower_app(&parsed).unwrap();
+        assert!(ir.handlers.iter().any(|h| h.name == "temperatureHandler"));
+
+        let unlock = lower_app(&SmartApp::parse(UNLOCK_DOOR).unwrap()).unwrap();
+        assert_eq!(unlock.handlers.len(), 2);
+
+        let make_it_so = lower_app(&SmartApp::parse(MAKE_IT_SO).unwrap()).unwrap();
+        assert!(make_it_so.handlers.iter().any(|h| h.name == "intrusionHandler"));
+    }
+
+    #[test]
+    fn six_groups_of_twenty_five() {
+        let groups = six_groups();
+        assert_eq!(groups.len(), 6);
+        for group in &groups {
+            assert_eq!(group.len(), 25);
+        }
+    }
+
+    #[test]
+    fn generated_apps_are_deterministic() {
+        assert_eq!(generated_app(3), generated_app(3));
+        assert_ne!(generated_app(3).name, generated_app(13).name);
+    }
+}

@@ -1,0 +1,106 @@
+//! Canonical sample groups used throughout the evaluation.
+//!
+//! These are the specific app combinations the paper exercises: the Figure 4 /
+//! Tables 2–3 dependency-graph example, the bad groups and the good group of
+//! the performance comparison (§10.1, "Performance"), and the Figure 8
+//! violation scenarios.
+
+use crate::market::{self, MarketApp};
+
+/// The five apps of the Figure 4 / Table 2 dependency-graph example
+/// (Brighten Dark Places, Let There Be Dark!, Auto Mode Change, Unlock Door,
+/// Big Turn On — six event handlers, vertices 0–6).
+pub fn figure4_group() -> Vec<MarketApp> {
+    named(&["Brighten Dark Places", "Let There Be Dark!", "Auto Mode Change", "Unlock Door", "Big Turn On"])
+}
+
+/// The first "bad group" of the performance experiment:
+/// (Auto Mode Change, Unlock Door).
+pub fn bad_group_mode_unlock() -> Vec<MarketApp> {
+    named(&["Auto Mode Change", "Unlock Door"])
+}
+
+/// The second "bad group": (Brighten Dark Places, Let There Be Dark!).
+pub fn bad_group_lights() -> Vec<MarketApp> {
+    named(&["Brighten Dark Places", "Let There Be Dark!"])
+}
+
+/// The "good group" used for Table 7b: (Good Night, It's Too Cold) over
+/// 3 switches, 3 motion sensors and a temperature sensor.
+pub fn good_group() -> Vec<MarketApp> {
+    named(&["Good Night", "It's Too Cold"])
+}
+
+/// The Figure 8a chain: Light Follows Me, Light Off When Close, Good Night and
+/// Unlock Door — four apps whose interaction unlocks the main door when people
+/// go to sleep.
+pub fn figure8a_group() -> Vec<MarketApp> {
+    named(&["Light Follows Me", "Light Off When Close", "Good Night", "Unlock Door"])
+}
+
+/// The Figure 8b scenario: Darken Behind Me + Make It So (+ the failing motion
+/// sensor injected by the model's failure policy).
+pub fn figure8b_group() -> Vec<MarketApp> {
+    named(&["Darken Behind Me", "Make It So"])
+}
+
+/// The larger 5-app related group used for the Table 8 scaling experiment.
+pub fn table8_group() -> Vec<MarketApp> {
+    named(&["Auto Mode Change", "Unlock Door", "Big Turn On", "Good Night", "Energy Saver"])
+}
+
+fn named(names: &[&str]) -> Vec<MarketApp> {
+    let catalog = market::named_apps();
+    names
+        .iter()
+        .map(|name| {
+            catalog
+                .iter()
+                .find(|a| a.name == *name)
+                .unwrap_or_else(|| panic!("sample app {name} missing from the named corpus"))
+                .clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_groovy::SmartApp;
+    use iotsan_ir::lower_app;
+
+    #[test]
+    fn sample_groups_resolve_and_translate() {
+        for (label, group) in [
+            ("figure4", figure4_group()),
+            ("bad mode/unlock", bad_group_mode_unlock()),
+            ("bad lights", bad_group_lights()),
+            ("good", good_group()),
+            ("figure8a", figure8a_group()),
+            ("figure8b", figure8b_group()),
+            ("table8", table8_group()),
+        ] {
+            assert!(!group.is_empty(), "{label} group is empty");
+            for app in group {
+                let ir = lower_app(&SmartApp::parse(&app.source).unwrap()).unwrap();
+                assert!(!ir.handlers.is_empty(), "{label}: {} has no handlers", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_group_has_six_handlers() {
+        let handlers: usize = figure4_group()
+            .iter()
+            .map(|a| lower_app(&SmartApp::parse(&a.source).unwrap()).unwrap().handlers.len())
+            .sum();
+        // Table 2 lists six handlers across the five apps... plus the optional
+        // motion handler some implementations add; at least six must exist.
+        assert!(handlers >= 6);
+    }
+
+    #[test]
+    fn figure8a_group_has_four_apps() {
+        assert_eq!(figure8a_group().len(), 4);
+    }
+}

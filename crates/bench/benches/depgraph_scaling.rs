@@ -1,0 +1,27 @@
+//! Criterion benchmark behind Table 7a: cost of the App Dependency Analyzer
+//! and the size reduction it produces on the six 25-app market groups.
+//!
+//! Table 7a is primarily about the scale ratio (problem-size reduction, mean
+//! ≈ 3.4×), which the `repro table7a` command prints; this benchmark measures
+//! that the analysis itself is cheap (the paper notes the conflicting-output
+//! check "is very fast" despite its O(E²) worst case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotsan::depgraph::analyze;
+use iotsan_apps::market;
+use iotsan_bench::translate_group;
+
+fn bench_dependency_analysis(c: &mut Criterion) {
+    let groups: Vec<_> = market::six_groups().iter().map(|g| translate_group(g)).collect();
+
+    let mut bench_group = c.benchmark_group("table7a_dependency_analysis");
+    for (i, apps) in groups.iter().enumerate() {
+        bench_group.bench_with_input(BenchmarkId::from_parameter(i + 1), apps, |b, apps| {
+            b.iter(|| analyze(apps))
+        });
+    }
+    bench_group.finish();
+}
+
+criterion_group!(benches, bench_dependency_analysis);
+criterion_main!(benches);

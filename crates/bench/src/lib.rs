@@ -1,0 +1,117 @@
+//! # iotsan-bench
+//!
+//! Shared helpers for the reproduction harness (`repro` binary) and the
+//! Criterion benchmarks.  Each table and figure of the paper's evaluation has
+//! a corresponding experiment here; see `EXPERIMENTS.md` at the repository
+//! root for the paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+use iotsan::checker::{Checker, SearchConfig, SearchReport};
+use iotsan::config::{expert_configure, misconfigure, standard_household, SystemConfig};
+use iotsan::ir::IrApp;
+use iotsan::model::{ConcurrentModel, ModelOptions, SequentialModel};
+use iotsan::properties::PropertySet;
+use iotsan::system::InstalledSystem;
+use iotsan::{translate_sources, Pipeline};
+use iotsan_apps::market::MarketApp;
+use std::time::{Duration, Instant};
+
+/// Translates a group of market apps into IR (panicking on corpus bugs, which
+/// the corpus tests rule out).
+pub fn translate_group(group: &[MarketApp]) -> Vec<IrApp> {
+    let sources: Vec<&str> = group.iter().map(|a| a.source.as_str()).collect();
+    translate_sources(&sources).expect("corpus apps translate")
+}
+
+/// The expert configuration of a group over the standard household.
+pub fn expert_config(apps: &[IrApp]) -> SystemConfig {
+    expert_configure(apps, &standard_household())
+}
+
+/// A volunteer-style (misconfigured) configuration of a group.
+pub fn volunteer_config(apps: &[IrApp], seed: u64) -> SystemConfig {
+    misconfigure(apps, &standard_household(), seed)
+}
+
+/// Builds a pipeline with the given external-event bound.
+pub fn pipeline(max_events: usize) -> Pipeline {
+    Pipeline::with_events(max_events)
+}
+
+/// Result of timing a single verification run.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// The checker report.
+    pub report: SearchReport,
+    /// True when the run hit a resource cap instead of finishing.
+    pub truncated: bool,
+}
+
+/// Verifies a group with the sequential design and `events` external events.
+pub fn run_sequential(apps: &[IrApp], config: &SystemConfig, events: usize, budget: Duration) -> TimedRun {
+    let p = Pipeline::with_events(events);
+    let restricted = p.restrict_config(apps, config);
+    let system = InstalledSystem::new(apps.to_vec(), restricted);
+    let model = SequentialModel::new(system, PropertySet::all(), ModelOptions::with_events(events));
+    let mut search = SearchConfig::with_depth(events);
+    search.time_limit = Some(budget);
+    let start = Instant::now();
+    let report = Checker::new(search).verify(&model);
+    TimedRun { elapsed: start.elapsed(), truncated: report.stats.truncated, report }
+}
+
+/// Verifies a group with the strict-concurrency design.
+pub fn run_concurrent(apps: &[IrApp], config: &SystemConfig, events: usize, budget: Duration) -> TimedRun {
+    let p = Pipeline::with_events(events);
+    let restricted = p.restrict_config(apps, config);
+    let system = InstalledSystem::new(apps.to_vec(), restricted);
+    let model = ConcurrentModel::new(system, PropertySet::all(), ModelOptions::with_events(events));
+    let depth = model.suggested_depth();
+    let mut search = SearchConfig::with_depth(depth);
+    search.time_limit = Some(budget);
+    let start = Instant::now();
+    let report = Checker::new(search).verify(&model);
+    TimedRun { elapsed: start.elapsed(), truncated: report.stats.truncated, report }
+}
+
+/// Formats a duration the way the paper's tables do (seconds / minutes /
+/// hours, or "forever" when the run was truncated by its budget).
+pub fn format_runtime(run: &TimedRun) -> String {
+    if run.truncated {
+        return "forever (budget exceeded)".to_string();
+    }
+    let secs = run.elapsed.as_secs_f64();
+    if secs < 60.0 {
+        format!("{secs:.2}s")
+    } else if secs < 3600.0 {
+        format!("{:.1}m", secs / 60.0)
+    } else {
+        format!("{:.2}h", secs / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_apps::samples;
+
+    #[test]
+    fn helpers_round_trip_a_small_group() {
+        let apps = translate_group(&samples::bad_group_mode_unlock());
+        let config = expert_config(&apps);
+        let run = run_sequential(&apps, &config, 1, Duration::from_secs(10));
+        assert!(run.report.has_violations());
+        assert!(!format_runtime(&run).is_empty());
+    }
+
+    #[test]
+    fn volunteer_config_differs_from_expert() {
+        let apps = translate_group(&samples::good_group());
+        let expert = expert_config(&apps);
+        let volunteer = volunteer_config(&apps, 3);
+        assert_ne!(expert, volunteer);
+    }
+}

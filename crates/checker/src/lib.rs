@@ -1,0 +1,34 @@
+//! # iotsan-checker
+//!
+//! A from-scratch explicit-state model checker, the Spin substitute used by
+//! IotSan-rs (the Rust reproduction of *IotSan: Fortifying the Safety of IoT
+//! Systems*, CoNEXT 2018, §2.3 and §8).
+//!
+//! The paper uses Spin in verification mode with BITSTATE hashing as a
+//! falsifier: explore the bounded state space of the generated IoT-system
+//! model, check safety properties, and produce counterexamples.  This crate
+//! provides the same capabilities without shelling out to Spin:
+//!
+//! * [`transition`] — the [`TransitionSystem`] abstraction the model generator
+//!   implements (sequential and strict-concurrent designs);
+//! * [`store`] — exhaustive, hash-compact and BITSTATE (Bloom filter) visited
+//!   state storage;
+//! * [`search`] — bounded DFS/BFS with per-property counterexamples and search
+//!   statistics;
+//! * [`trace`] — Spin-style violation logs (Figure 7).
+//!
+//! The checker is completely independent of IoT semantics, which keeps it
+//! reusable and testable in isolation (its unit tests run it over a toy
+//! counter model).
+
+#![warn(missing_docs)]
+
+pub mod search;
+pub mod store;
+pub mod trace;
+pub mod transition;
+
+pub use search::{Checker, FoundViolation, SearchConfig, SearchMode, SearchReport, SearchStats};
+pub use store::{BitstateStore, ExactStore, HashCompactStore, StateStore, StoreKind};
+pub use trace::{Trace, TraceStep};
+pub use transition::{StepOutcome, TransitionSystem, Violation};

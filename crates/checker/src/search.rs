@@ -1,0 +1,385 @@
+//! The explicit-state search engine.
+//!
+//! This is the Spin substitute (see DESIGN.md §4): a bounded, explicit-state
+//! safety checker.  The model checker "enumerates all possible permutations of
+//! the input physical events up to a maximum number of events per user's
+//! configuration to exhaustively verify the system" (Algorithm 1) — here that
+//! bound is [`SearchConfig::max_depth`], the maximum number of external events
+//! along any path.  Visited states are stored exactly, hash-compacted or in a
+//! BITSTATE bit array ([`crate::store`]).
+
+use crate::store::StoreKind;
+use crate::trace::Trace;
+use crate::transition::{StepOutcome, TransitionSystem, Violation};
+use std::collections::{BTreeSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Search order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Depth-first search (Spin's default); finds deep counterexamples fast.
+    #[default]
+    Dfs,
+    /// Breadth-first search; finds shortest counterexamples.
+    Bfs,
+}
+
+/// Configuration of one verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Maximum number of external events along a path (the paper's
+    /// "maximum number of events", Tables 7b and 8 sweep this).
+    pub max_depth: usize,
+    /// Hard cap on stored states (safety net against state explosion).
+    pub max_states: usize,
+    /// Hard cap on applied transitions.
+    pub max_transitions: usize,
+    /// DFS or BFS.
+    pub mode: SearchMode,
+    /// Visited-state storage strategy.
+    pub store: StoreKind,
+    /// Stop at the first violation instead of collecting one counterexample
+    /// per violated property.
+    pub stop_at_first: bool,
+    /// Wall-clock budget; the search stops (reporting partial results) when
+    /// exceeded.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_depth: 3,
+            max_states: 2_000_000,
+            max_transitions: 20_000_000,
+            mode: SearchMode::Dfs,
+            store: StoreKind::Exact,
+            stop_at_first: false,
+            time_limit: None,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A configuration exploring up to `max_depth` external events.
+    pub fn with_depth(max_depth: usize) -> Self {
+        SearchConfig { max_depth, ..Default::default() }
+    }
+
+    /// Switches to BITSTATE storage with default sizing.
+    pub fn bitstate(mut self) -> Self {
+        self.store = StoreKind::Bitstate { log2_bits: 24, hash_functions: 3 };
+        self
+    }
+}
+
+/// Statistics reported after a search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Number of distinct states stored.
+    pub states_stored: usize,
+    /// Number of transitions applied.
+    pub transitions: usize,
+    /// Deepest path (in external events) reached.
+    pub max_depth_reached: usize,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// Approximate memory used by the state store.
+    pub store_memory_bytes: usize,
+    /// True when the search stopped because of a resource cap rather than
+    /// exhausting the bounded state space.
+    pub truncated: bool,
+}
+
+/// One reported violation with its counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoundViolation {
+    /// The violated property.
+    pub violation: Violation,
+    /// A counterexample trace from the initial state.
+    pub trace: Trace,
+    /// Number of external events in the counterexample.
+    pub depth: usize,
+}
+
+/// The result of a verification run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchReport {
+    /// One entry per violated property (first counterexample found).
+    pub violations: Vec<FoundViolation>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl SearchReport {
+    /// True when at least one property was violated.
+    pub fn has_violations(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// The set of violated property identifiers.
+    pub fn violated_properties(&self) -> BTreeSet<u32> {
+        self.violations.iter().map(|v| v.violation.property).collect()
+    }
+
+    /// The violation for a specific property, if found.
+    pub fn violation_for(&self, property: u32) -> Option<&FoundViolation> {
+        self.violations.iter().find(|v| v.violation.property == property)
+    }
+}
+
+/// The explicit-state model checker.
+#[derive(Debug, Clone, Default)]
+pub struct Checker {
+    config: SearchConfig,
+}
+
+impl Checker {
+    /// Creates a checker with the given configuration.
+    pub fn new(config: SearchConfig) -> Self {
+        Checker { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the search over `model` and reports violations and statistics.
+    pub fn verify<T: TransitionSystem>(&self, model: &T) -> SearchReport {
+        match self.config.mode {
+            SearchMode::Dfs => self.run_dfs(model),
+            SearchMode::Bfs => self.run_bfs(model),
+        }
+    }
+
+    fn run_dfs<T: TransitionSystem>(&self, model: &T) -> SearchReport {
+        let start = Instant::now();
+        let mut store = self.config.store.build();
+        let mut report = SearchReport::default();
+        let mut seen_properties: BTreeSet<u32> = BTreeSet::new();
+        let mut encode_buf = Vec::new();
+
+        let initial = model.initial_state();
+        encode_buf.clear();
+        model.encode(&initial, &mut encode_buf);
+        store.insert(&encode_buf);
+
+        // Explicit DFS stack: (state, depth, trace-so-far).
+        // The trace is cloned per frame; depths are small (≤ ~12 events) so
+        // this stays cheap relative to handler interpretation.
+        let mut stack: Vec<(T::State, usize, Trace)> = vec![(initial, 0, Trace::new())];
+
+        while let Some((state, depth, trace)) = stack.pop() {
+            if self.out_of_budget(&report.stats, start) {
+                report.stats.truncated = true;
+                break;
+            }
+            if depth >= self.config.max_depth {
+                continue;
+            }
+            for action in model.actions(&state) {
+                if self.out_of_budget(&report.stats, start) {
+                    report.stats.truncated = true;
+                    break;
+                }
+                let outcome = model.apply(&state, &action);
+                report.stats.transitions += 1;
+                let mut next_trace = trace.clone();
+                next_trace.push(action.to_string(), outcome.log.clone());
+                let next_depth = depth + 1;
+                report.stats.max_depth_reached = report.stats.max_depth_reached.max(next_depth);
+
+                self.record_violations(&outcome, &next_trace, next_depth, &mut seen_properties, &mut report);
+                if self.config.stop_at_first && report.has_violations() {
+                    report.stats.states_stored = store.len();
+                    report.stats.store_memory_bytes = store.memory_bytes();
+                    report.stats.elapsed = start.elapsed();
+                    return report;
+                }
+
+                encode_buf.clear();
+                model.encode(&outcome.state, &mut encode_buf);
+                // Depth is part of the state identity: the same physical state
+                // reached with fewer events still has more exploration budget
+                // left, so it must be revisited.
+                encode_buf.push(next_depth as u8);
+                if store.insert(&encode_buf) {
+                    stack.push((outcome.state, next_depth, next_trace));
+                }
+            }
+        }
+
+        report.stats.states_stored = store.len();
+        report.stats.store_memory_bytes = store.memory_bytes();
+        report.stats.elapsed = start.elapsed();
+        report
+    }
+
+    fn run_bfs<T: TransitionSystem>(&self, model: &T) -> SearchReport {
+        let start = Instant::now();
+        let mut store = self.config.store.build();
+        let mut report = SearchReport::default();
+        let mut seen_properties: BTreeSet<u32> = BTreeSet::new();
+        let mut encode_buf = Vec::new();
+
+        let initial = model.initial_state();
+        encode_buf.clear();
+        model.encode(&initial, &mut encode_buf);
+        store.insert(&encode_buf);
+
+        let mut queue: VecDeque<(T::State, usize, Trace)> = VecDeque::new();
+        queue.push_back((initial, 0, Trace::new()));
+
+        while let Some((state, depth, trace)) = queue.pop_front() {
+            if self.out_of_budget(&report.stats, start) {
+                report.stats.truncated = true;
+                break;
+            }
+            if depth >= self.config.max_depth {
+                continue;
+            }
+            for action in model.actions(&state) {
+                let outcome = model.apply(&state, &action);
+                report.stats.transitions += 1;
+                let mut next_trace = trace.clone();
+                next_trace.push(action.to_string(), outcome.log.clone());
+                let next_depth = depth + 1;
+                report.stats.max_depth_reached = report.stats.max_depth_reached.max(next_depth);
+
+                self.record_violations(&outcome, &next_trace, next_depth, &mut seen_properties, &mut report);
+                if self.config.stop_at_first && report.has_violations() {
+                    report.stats.states_stored = store.len();
+                    report.stats.store_memory_bytes = store.memory_bytes();
+                    report.stats.elapsed = start.elapsed();
+                    return report;
+                }
+
+                encode_buf.clear();
+                model.encode(&outcome.state, &mut encode_buf);
+                encode_buf.push(next_depth as u8);
+                if store.insert(&encode_buf) {
+                    queue.push_back((outcome.state, next_depth, next_trace));
+                }
+            }
+        }
+
+        report.stats.states_stored = store.len();
+        report.stats.store_memory_bytes = store.memory_bytes();
+        report.stats.elapsed = start.elapsed();
+        report
+    }
+
+    fn record_violations<S>(
+        &self,
+        outcome: &StepOutcome<S>,
+        trace: &Trace,
+        depth: usize,
+        seen: &mut BTreeSet<u32>,
+        report: &mut SearchReport,
+    ) {
+        for violation in &outcome.violations {
+            if seen.insert(violation.property) {
+                report.violations.push(FoundViolation {
+                    violation: violation.clone(),
+                    trace: trace.clone(),
+                    depth,
+                });
+            }
+        }
+    }
+
+    fn out_of_budget(&self, stats: &SearchStats, start: Instant) -> bool {
+        if stats.transitions >= self.config.max_transitions {
+            return true;
+        }
+        if let Some(limit) = self.config.time_limit {
+            if start.elapsed() > limit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::testing::CounterModel;
+
+    fn model() -> CounterModel {
+        CounterModel { bad_value: 6, max_value: 32 }
+    }
+
+    #[test]
+    fn dfs_finds_the_violation() {
+        let checker = Checker::new(SearchConfig::with_depth(5));
+        let report = checker.verify(&model());
+        assert!(report.has_violations());
+        assert_eq!(report.violated_properties().len(), 1);
+        let found = report.violation_for(1).unwrap();
+        // The counter starts at 1; reaching 6 needs at least 3 steps
+        // (1→2→3→6 or 1→2→4→5→6 ...), so the trace is non-trivial.
+        assert!(found.depth >= 3);
+        assert!(!found.trace.is_empty());
+    }
+
+    #[test]
+    fn bfs_finds_shortest_counterexample() {
+        let mut config = SearchConfig::with_depth(6);
+        config.mode = SearchMode::Bfs;
+        let report = Checker::new(config).verify(&model());
+        let found = report.violation_for(1).unwrap();
+        // Shortest path to 6: 1→2→3→6 (double, increment, double) = 3 steps.
+        assert_eq!(found.depth, 3);
+    }
+
+    #[test]
+    fn depth_bound_limits_reachability() {
+        // With a depth bound of 2 the counter can reach at most 4, so the bad
+        // value 6 is unreachable.
+        let checker = Checker::new(SearchConfig::with_depth(2));
+        let report = checker.verify(&model());
+        assert!(!report.has_violations());
+        assert!(report.stats.max_depth_reached <= 2);
+        assert!(report.stats.states_stored > 0);
+    }
+
+    #[test]
+    fn stop_at_first_terminates_early() {
+        let mut config = SearchConfig::with_depth(8);
+        config.stop_at_first = true;
+        let report = Checker::new(config).verify(&model());
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn bitstate_explores_comparable_state_count() {
+        let exact = Checker::new(SearchConfig::with_depth(6)).verify(&model());
+        let bitstate = Checker::new(SearchConfig::with_depth(6).bitstate()).verify(&model());
+        // Bitstate hashing may lose a few states to false positives but must
+        // never explore more than exact storage.
+        assert!(bitstate.stats.states_stored <= exact.stats.states_stored);
+        assert!(bitstate.stats.states_stored as f64 >= exact.stats.states_stored as f64 * 0.9);
+        // And it still finds the violation.
+        assert!(bitstate.has_violations());
+    }
+
+    #[test]
+    fn transition_cap_truncates_search() {
+        let mut config = SearchConfig::with_depth(10);
+        config.max_transitions = 5;
+        let report = Checker::new(config).verify(&model());
+        assert!(report.stats.truncated);
+        assert!(report.stats.transitions <= 6);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let report = Checker::new(SearchConfig::with_depth(4)).verify(&model());
+        assert!(report.stats.transitions > 0);
+        assert!(report.stats.states_stored > 0);
+        assert!(report.stats.store_memory_bytes > 0);
+        assert!(report.stats.max_depth_reached <= 4);
+    }
+}

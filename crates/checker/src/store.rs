@@ -1,0 +1,315 @@
+//! Visited-state storage.
+//!
+//! Spin offers two main storage strategies: exhaustive (every state vector is
+//! stored) and BITSTATE hashing, an approximate scheme that stores only a few
+//! hash bits per state in a large bit array (§2.3 of the paper uses Spin's
+//! verification mode with BITSTATE hashing because an IoT system "may be
+//! composed of a large number of apps and smart devices").
+//!
+//! [`StateStore`] abstracts over three strategies:
+//!
+//! * [`ExactStore`] — stores the full encoded state vector (no false sharing,
+//!   highest memory use);
+//! * [`HashCompactStore`] — stores a 64-bit hash per state (Spin's hash-compact
+//!   mode); collisions are astronomically unlikely for our state counts;
+//! * [`BitstateStore`] — a Bloom-filter bit array with `k` independent hash
+//!   functions (Spin's `-DBITSTATE`); may report a new state as already
+//!   visited (losing coverage) but never the reverse.
+
+use std::collections::HashSet;
+
+/// How visited states are remembered during the search.
+pub trait StateStore {
+    /// Inserts the encoded state, returning `true` when it was *not* seen
+    /// before (i.e. the state is new and should be explored).
+    fn insert(&mut self, encoded: &[u8]) -> bool;
+
+    /// Number of states recorded (for bitstate this is the number of
+    /// successful inserts, not the array population).
+    fn len(&self) -> usize;
+
+    /// True when no state has been recorded yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory used by the store, in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// FNV-1a 64-bit hash (the checker avoids external hashing crates).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A second, independent 64-bit hash (xorshift-mixed multiplication), used by
+/// the bitstate store to derive `k` probe positions.
+pub fn mix_hash(bytes: &[u8], seed: u64) -> u64 {
+    // Diffuse the seed over all 64 bits before absorbing input bytes;
+    // otherwise the seed and the first input byte would simply XOR into the
+    // same position and (seed=1, byte=0) would alias (seed=0, byte=1),
+    // making the k Bloom probes structurally collide across states.
+    let mut hash = 0x9e37_79b9_7f4a_7c15u64 ^ seed.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 29;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        hash ^= hash >> 27;
+    }
+    hash ^= hash >> 33;
+    hash
+}
+
+/// Exhaustive storage of full state vectors.
+#[derive(Debug, Default)]
+pub struct ExactStore {
+    states: HashSet<Vec<u8>>,
+    bytes: usize,
+}
+
+impl ExactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateStore for ExactStore {
+    fn insert(&mut self, encoded: &[u8]) -> bool {
+        let fresh = self.states.insert(encoded.to_vec());
+        if fresh {
+            self.bytes += encoded.len();
+        }
+        fresh
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Hash-compact storage: one 64-bit hash per state.
+#[derive(Debug, Default)]
+pub struct HashCompactStore {
+    hashes: HashSet<u64>,
+}
+
+impl HashCompactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateStore for HashCompactStore {
+    fn insert(&mut self, encoded: &[u8]) -> bool {
+        self.hashes.insert(fnv1a(encoded))
+    }
+
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.hashes.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Approximate BITSTATE (Bloom filter) storage.
+#[derive(Debug)]
+pub struct BitstateStore {
+    bits: Vec<u64>,
+    mask: u64,
+    hash_functions: usize,
+    inserted: usize,
+}
+
+impl BitstateStore {
+    /// Creates a bitstate store with `2^log2_bits` bits and `hash_functions`
+    /// probes per state (Spin's default uses 2–3 hash functions).
+    pub fn new(log2_bits: u32, hash_functions: usize) -> Self {
+        let bits = 1usize << log2_bits;
+        BitstateStore {
+            bits: vec![0; bits / 64],
+            mask: (bits as u64) - 1,
+            hash_functions: hash_functions.max(1),
+            inserted: 0,
+        }
+    }
+
+    /// The default configuration: 2^24 bits (2 MiB) and 3 hash functions.
+    pub fn with_defaults() -> Self {
+        Self::new(24, 3)
+    }
+
+    fn probe(&self, bit: u64) -> (usize, u64) {
+        let idx = (bit & self.mask) as usize;
+        (idx / 64, 1u64 << (idx % 64))
+    }
+}
+
+impl StateStore for BitstateStore {
+    fn insert(&mut self, encoded: &[u8]) -> bool {
+        let mut all_set = true;
+        let mut positions = Vec::with_capacity(self.hash_functions);
+        for k in 0..self.hash_functions {
+            let h = mix_hash(encoded, k as u64);
+            let (word, bit) = self.probe(h);
+            if self.bits[word] & bit == 0 {
+                all_set = false;
+            }
+            positions.push((word, bit));
+        }
+        if all_set {
+            // Considered already visited (possibly a false positive).
+            return false;
+        }
+        for (word, bit) in positions {
+            self.bits[word] |= bit;
+        }
+        self.inserted += 1;
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.inserted
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// The storage strategy requested by the search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Full state vectors ([`ExactStore`]).
+    Exact,
+    /// 64-bit hashes ([`HashCompactStore`]).
+    HashCompact,
+    /// Bloom-filter bitstate with the given log2 size and probe count
+    /// ([`BitstateStore`]).
+    Bitstate {
+        /// log2 of the number of bits in the array.
+        log2_bits: u32,
+        /// Number of hash probes per state.
+        hash_functions: usize,
+    },
+}
+
+impl Default for StoreKind {
+    fn default() -> Self {
+        StoreKind::Exact
+    }
+}
+
+impl StoreKind {
+    /// Instantiates the store.
+    pub fn build(&self) -> Box<dyn StateStore> {
+        match self {
+            StoreKind::Exact => Box::new(ExactStore::new()),
+            StoreKind::HashCompact => Box::new(HashCompactStore::new()),
+            StoreKind::Bitstate { log2_bits, hash_functions } => {
+                Box::new(BitstateStore::new(*log2_bits, *hash_functions))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states(n: u64) -> Vec<Vec<u8>> {
+        (0..n).map(|i| i.to_le_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn exact_store_deduplicates() {
+        let mut store = ExactStore::new();
+        assert!(store.insert(b"state-a"));
+        assert!(!store.insert(b"state-a"));
+        assert!(store.insert(b"state-b"));
+        assert_eq!(store.len(), 2);
+        assert!(store.memory_bytes() >= 14);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn hash_compact_store_deduplicates() {
+        let mut store = HashCompactStore::new();
+        for s in states(100) {
+            assert!(store.insert(&s));
+        }
+        for s in states(100) {
+            assert!(!store.insert(&s));
+        }
+        assert_eq!(store.len(), 100);
+    }
+
+    #[test]
+    fn bitstate_never_forgets_an_inserted_state() {
+        let mut store = BitstateStore::with_defaults();
+        let all = states(5_000);
+        for s in &all {
+            store.insert(s);
+        }
+        // A state that was inserted must never be reported as new again
+        // (bitstate errs only on the side of false "already visited").
+        for s in &all {
+            assert!(!store.insert(s));
+        }
+    }
+
+    #[test]
+    fn bitstate_false_positive_rate_is_small_when_sized_well() {
+        let mut store = BitstateStore::new(20, 3); // 1M bits for 10k states
+        let mut fresh = 0usize;
+        for s in states(10_000) {
+            if store.insert(&s) {
+                fresh += 1;
+            }
+        }
+        // Allow a handful of false positives but not a meaningful loss.
+        assert!(fresh >= 9_950, "only {fresh} of 10000 states were admitted");
+        assert_eq!(store.len(), fresh);
+    }
+
+    #[test]
+    fn bitstate_memory_is_fixed() {
+        let store = BitstateStore::new(24, 3);
+        assert_eq!(store.memory_bytes(), (1 << 24) / 8);
+    }
+
+    #[test]
+    fn hashes_differ_between_functions() {
+        let h1 = mix_hash(b"hello", 0);
+        let h2 = mix_hash(b"hello", 1);
+        assert_ne!(h1, h2);
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+    }
+
+    #[test]
+    fn store_kind_builds_all_variants() {
+        for kind in [
+            StoreKind::Exact,
+            StoreKind::HashCompact,
+            StoreKind::Bitstate { log2_bits: 16, hash_functions: 2 },
+        ] {
+            let mut store = kind.build();
+            assert!(store.insert(b"x"));
+            assert!(!store.insert(b"x"));
+        }
+        assert_eq!(StoreKind::default(), StoreKind::Exact);
+    }
+}

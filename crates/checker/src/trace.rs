@@ -1,0 +1,153 @@
+//! Counterexample traces.
+//!
+//! When the checker finds a violation it reconstructs the sequence of external
+//! events (and the handler activity each of them triggered) from the initial
+//! state to the unsafe state — the counter-example that §2.3 lists as one of
+//! the main reasons for adopting model checking.  [`Trace::render`] prints the
+//! trace in a format modelled on Spin's violation logs (Figure 7).
+
+use crate::transition::Violation;
+use std::fmt;
+
+/// One step of a counterexample: the external action taken plus the log of
+/// everything the model did while dispatching it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// Rendered action (e.g. `alicePresence/presence=not present [ok]`).
+    pub action: String,
+    /// Model log lines for this step (handler invocations, commands, state
+    /// updates), in execution order.
+    pub log: Vec<String>,
+}
+
+/// A full counterexample from the initial state to the violation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Steps in execution order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, action: String, log: Vec<String>) {
+        self.steps.push(TraceStep { action, log });
+    }
+
+    /// Number of external events in the trace.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The external events only (one line per step).
+    pub fn events(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.action.as_str()).collect()
+    }
+
+    /// Renders the trace in a Spin-like violation-log format: every model log
+    /// line is prefixed with a pseudo file name, line number and state number,
+    /// mirroring Figure 7 of the paper, and the final line states the failed
+    /// assertion.
+    pub fn render(&self, violation: &Violation) -> String {
+        let mut out = String::new();
+        let mut state_number = 1usize;
+        for (i, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "SmartThings0.prom:{line} (state {state}) [generatedEvent = {action}]\n",
+                line = 2600 + i,
+                state = state_number,
+                action = step.action
+            ));
+            state_number += 1;
+            for entry in &step.log {
+                out.push_str(&format!(
+                    "SmartThings0.prom:{line} (state {state}) [{entry}]\n",
+                    line = 2600 + i,
+                    state = state_number,
+                    entry = entry
+                ));
+                state_number += 1;
+            }
+        }
+        out.push_str("spin: _spin_nvr.tmp:3, Error: assertion violated\n");
+        out.push_str(&format!(
+            "spin: text of failed assertion: assert(!({}))\n",
+            violation.description
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "{:>3}. {}", i + 1, step.action)?;
+            for line in &step.log {
+                writeln!(f, "       {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(
+            "alicePresence/presence=not present [ok]".into(),
+            vec![
+                "Auto Mode Change.presenceHandler: setLocationMode(\"Away\")".into(),
+                "location.mode = Away".into(),
+            ],
+        );
+        t.push(
+            "location/mode=Away".into(),
+            vec!["Unlock Door.changedLocationMode: doorLock.unlock()".into(), "doorLock.lock = unlocked".into()],
+        );
+        t
+    }
+
+    #[test]
+    fn push_and_events() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.events()[0], "alicePresence/presence=not present [ok]");
+    }
+
+    #[test]
+    fn render_is_spin_like() {
+        let t = sample();
+        let v = Violation {
+            property: 6,
+            description: "!anyone_home && main_door == unlocked".into(),
+        };
+        let log = t.render(&v);
+        assert!(log.contains("SmartThings0.prom:"));
+        assert!(log.contains("(state 1)"));
+        assert!(log.contains("assertion violated"));
+        assert!(log.contains("assert(!(!anyone_home && main_door == unlocked))"));
+        // Every step and log line appears.
+        assert!(log.contains("generatedEvent = alicePresence/presence=not present [ok]"));
+        assert!(log.contains("doorLock.lock = unlocked"));
+    }
+
+    #[test]
+    fn display_numbers_steps() {
+        let rendered = sample().to_string();
+        assert!(rendered.contains("  1. alicePresence"));
+        assert!(rendered.contains("  2. location/mode=Away"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The transition-system abstraction the checker explores.
+//!
+//! The model generator (in `iotsan-core`) builds concrete transition systems
+//! — a sequential-design model and a strict-concurrent model (§8, "Concurrency
+//! Model") — and the checker explores them without knowing anything about IoT
+//! semantics.  This mirrors how Spin explores a Promela model: the model
+//! defines the next-state relation, the checker owns search, state storage and
+//! counterexample reconstruction.
+
+use std::fmt;
+
+/// A safety violation reported by the model while applying an action.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Violation {
+    /// Identifier of the violated property (the catalog's `PropertyId.0`).
+    pub property: u32,
+    /// Human-readable description of the violated property.
+    pub description: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:02}: {}", self.property, self.description)
+    }
+}
+
+/// The result of applying one action to a state.
+#[derive(Debug, Clone)]
+pub struct StepOutcome<S> {
+    /// The successor state.
+    pub state: S,
+    /// Properties violated while taking this step (step-based properties) or
+    /// in the resulting state (physical-state invariants).
+    pub violations: Vec<Violation>,
+    /// Spin-style log lines describing what happened in this step; used to
+    /// build Figure-7-style counterexample traces.
+    pub log: Vec<String>,
+}
+
+/// A transition system the checker can explore.
+pub trait TransitionSystem {
+    /// The state type (must be cheap to clone; encoded via [`TransitionSystem::encode`]).
+    type State: Clone;
+    /// The action (external-event choice) type.
+    type Action: Clone + fmt::Display;
+
+    /// The initial state.
+    fn initial_state(&self) -> Self::State;
+
+    /// The actions enabled in `state`.  For the sequential design this is the
+    /// set of `(sensor, physical event, failure mode)` choices; for the
+    /// concurrent design it also includes pending internal event dispatches.
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Applies `action` to `state`, returning the successor, any violations
+    /// and the log of what happened.
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> StepOutcome<Self::State>;
+
+    /// Serializes the parts of the state relevant for equivalence into `out`.
+    /// Two states with identical encodings are considered the same by the
+    /// state store.
+    fn encode(&self, state: &Self::State, out: &mut Vec<u8>);
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! A tiny counter model used by the checker's own unit tests: states are
+    //! integers, actions increment or double, and a violation fires when the
+    //! counter reaches a configurable bad value.
+
+    use super::*;
+
+    /// Toy model over `u32` counters.
+    pub struct CounterModel {
+        /// Value that triggers a violation.
+        pub bad_value: u32,
+        /// Upper bound for the counter (keeps the state space finite).
+        pub max_value: u32,
+    }
+
+    /// The toy model's action.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum CounterAction {
+        /// Add one.
+        Increment,
+        /// Multiply by two.
+        Double,
+    }
+
+    impl fmt::Display for CounterAction {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                CounterAction::Increment => write!(f, "inc"),
+                CounterAction::Double => write!(f, "dbl"),
+            }
+        }
+    }
+
+    impl TransitionSystem for CounterModel {
+        type State = u32;
+        type Action = CounterAction;
+
+        fn initial_state(&self) -> u32 {
+            1
+        }
+
+        fn actions(&self, state: &u32) -> Vec<CounterAction> {
+            if *state >= self.max_value {
+                Vec::new()
+            } else {
+                vec![CounterAction::Increment, CounterAction::Double]
+            }
+        }
+
+        fn apply(&self, state: &u32, action: &CounterAction) -> StepOutcome<u32> {
+            let next = match action {
+                CounterAction::Increment => state + 1,
+                CounterAction::Double => state * 2,
+            }
+            .min(self.max_value);
+            let mut violations = Vec::new();
+            if next == self.bad_value {
+                violations.push(Violation { property: 1, description: format!("counter reached {next}") });
+            }
+            StepOutcome { state: next, violations, log: vec![format!("counter = {next}")] }
+        }
+
+        fn encode(&self, state: &u32, out: &mut Vec<u8>) {
+            out.extend_from_slice(&state.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::{CounterAction, CounterModel};
+    use super::*;
+
+    #[test]
+    fn violation_display() {
+        let v = Violation { property: 3, description: "door unlocked".into() };
+        assert_eq!(v.to_string(), "P03: door unlocked");
+    }
+
+    #[test]
+    fn counter_model_behaves() {
+        let m = CounterModel { bad_value: 4, max_value: 8 };
+        assert_eq!(m.initial_state(), 1);
+        assert_eq!(m.actions(&1).len(), 2);
+        assert!(m.actions(&8).is_empty());
+        let out = m.apply(&2, &CounterAction::Double);
+        assert_eq!(out.state, 4);
+        assert_eq!(out.violations.len(), 1);
+        let mut buf = Vec::new();
+        m.encode(&4, &mut buf);
+        assert_eq!(buf, 4u32.to_le_bytes().to_vec());
+    }
+}

@@ -1,0 +1,36 @@
+//! # iotsan-config
+//!
+//! The Configuration Extractor of IotSan-rs (the Rust reproduction of
+//! *IotSan: Fortifying the Safety of IoT Systems*, CoNEXT 2018, §7).
+//!
+//! The paper crawls the SmartThings management web app to obtain installed
+//! devices, installed apps, per-app input bindings and the user-supplied
+//! *device association* info ("this outlet controls the AC").  This crate
+//! models that information as a serde-serializable [`SystemConfig`] and, since
+//! no SmartThings cloud account is available offline, generates it
+//! synthetically through the [`portal`] module:
+//!
+//! * [`portal::standard_household`] — the evaluation deployment (§10.1);
+//! * [`portal::expert_configure`] — the authors' common-sense configurations;
+//! * [`portal::misconfigure`] — seeded volunteer-style misconfigurations
+//!   reproducing the §2.2 error modes;
+//! * [`portal::enumerate_app_configs`] — per-app configuration enumeration
+//!   for the Output Analyzer's attribution phases (§9).
+//!
+//! ```
+//! use iotsan_config::{SystemConfig, DeviceConfig, AppConfig, Binding};
+//!
+//! let cfg = SystemConfig::new()
+//!     .with_device(DeviceConfig::new("frontDoorLock", "lock", "main door lock"))
+//!     .with_app(AppConfig::new("Unlock Door").with("lock1", Binding::Devices(vec!["frontDoorLock".into()])));
+//! let json = cfg.to_json();
+//! assert_eq!(SystemConfig::from_json(&json).unwrap(), cfg);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod portal;
+
+pub use model::{AppConfig, Binding, DeviceConfig, SystemConfig};
+pub use portal::{enumerate_app_configs, expert_configure, misconfigure, standard_household};

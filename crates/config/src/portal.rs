@@ -1,0 +1,421 @@
+//! Synthetic "management portal": the stand-in for the paper's Jsoup crawler.
+//!
+//! The original Configuration Extractor logs into the SmartThings management
+//! web app and scrapes installed devices, apps and configurations (§7).  No
+//! SmartThings account exists in an offline reproduction, so this module
+//! generates the same information synthetically:
+//!
+//! * [`standard_household`] — the device deployment used by the paper's
+//!   expert-configuration experiments (§10.1 lists the eight devices used for
+//!   Virtual Thermostat) extended with the devices the rest of the market
+//!   corpus needs;
+//! * [`expert_configure`] — deterministic, common-sense bindings (the
+//!   "market apps with expert configurations" experiment);
+//! * [`misconfigure`] — seeded volunteer-style misconfigurations reproducing
+//!   the §2.2 error modes (e.g. binding *both* the heater and the AC outlet to
+//!   Virtual Thermostat's `outlets` input);
+//! * [`enumerate_app_configs`] — exhaustive configuration enumeration used by
+//!   the Output Analyzer's attribution phases (§9).
+
+use crate::model::{AppConfig, Binding, DeviceConfig, SystemConfig};
+use iotsan_ir::{IrApp, SettingKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The standard household deployment used across the evaluation: the eight
+/// devices enumerated in §10.1 plus the sensors/actuators the wider market
+/// corpus requires (locks, presence, smoke/CO, alarm, valve, ...).
+pub fn standard_household() -> Vec<DeviceConfig> {
+    vec![
+        // §10.1's Virtual Thermostat deployment.
+        DeviceConfig::new("myTempMeas", "temperatureMeasurement", ""),
+        DeviceConfig::new("myHeaterOutlet", "switch", "heater"),
+        DeviceConfig::new("myACOutlet", "switch", "AC"),
+        DeviceConfig::new("livRoomBulbOutlet", "switch", "light"),
+        DeviceConfig::new("bedRoomBulbOutlet", "switch", "light"),
+        DeviceConfig::new("batRoomBulbOutlet", "switch", "light"),
+        DeviceConfig::new("livRoomMotion", "motionSensor", ""),
+        DeviceConfig::new("batRoomMotion", "motionSensor", ""),
+        // The rest of the home.
+        DeviceConfig::new("frontDoorLock", "lock", "main door lock"),
+        DeviceConfig::new("backDoorLock", "lock", ""),
+        DeviceConfig::new("frontDoorContact", "contactSensor", ""),
+        DeviceConfig::new("windowContact", "contactSensor", ""),
+        DeviceConfig::new("garageDoor", "garageDoorControl", "entrance door"),
+        DeviceConfig::new("alicePresence", "presenceSensor", ""),
+        DeviceConfig::new("bobPresence", "presenceSensor", ""),
+        DeviceConfig::new("kitchenSmoke", "smokeDetector", ""),
+        DeviceConfig::new("hallwayCo", "carbonMonoxideDetector", ""),
+        DeviceConfig::new("basementLeak", "waterSensor", ""),
+        DeviceConfig::new("mainWaterValve", "valve", "water valve"),
+        DeviceConfig::new("sirenAlarm", "alarm", "alarm"),
+        DeviceConfig::new("hallwayLux", "illuminanceMeasurement", ""),
+        DeviceConfig::new("atticHumidity", "relativeHumidityMeasurement", ""),
+        DeviceConfig::new("nestThermostat", "thermostat", ""),
+        DeviceConfig::new("lawnSprinkler", "sprinkler", "sprinkler"),
+        DeviceConfig::new("gardenMoisture", "soilMoisture", ""),
+        DeviceConfig::new("porchCamera", "imageCapture", "camera"),
+        DeviceConfig::new("livingRoomSpeaker", "musicPlayer", ""),
+        DeviceConfig::new("coffeeMakerOutlet", "switch", "appliance"),
+        DeviceConfig::new("ceilingFan", "fanControl", ""),
+        DeviceConfig::new("bedroomDimmer", "switchLevel", "light"),
+        DeviceConfig::new("frontWindowShade", "windowShade", ""),
+        DeviceConfig::new("frontDoorButton", "button", ""),
+    ]
+}
+
+/// Devices matching a capability, with simple role-aware preferences for the
+/// common input names (a `heater...` input prefers the heater outlet, a
+/// `light`/`bulb` input prefers light outlets, and so on).
+fn matching_devices<'a>(
+    devices: &'a [DeviceConfig],
+    capability: &str,
+    input_name: &str,
+) -> Vec<&'a DeviceConfig> {
+    let mut candidates: Vec<&DeviceConfig> =
+        devices.iter().filter(|d| d.capability == capability).collect();
+    if candidates.is_empty() {
+        return candidates;
+    }
+    let name = input_name.to_ascii_lowercase();
+    if capability == "switch" {
+        if name.contains("heater") {
+            if let Some(p) = filter_role(&candidates, "heater") {
+                candidates = p;
+            }
+        } else if name.contains("ac") || name.contains("cool") {
+            if let Some(p) = filter_role(&candidates, "ac") {
+                candidates = p;
+            }
+        } else if name.contains("light") || name.contains("bulb") || name.contains("lamp") || name.contains("switch") {
+            if let Some(p) = filter_role(&candidates, "light") {
+                candidates = p;
+            }
+        }
+    }
+    if capability == "lock" && (name.contains("front") || name.contains("main") || name.contains("door")) {
+        if let Some(p) = filter_role(&candidates, "main") {
+            candidates = p;
+        }
+    }
+    candidates
+}
+
+/// Keeps only the candidates whose role mentions `role`, or `None` when no
+/// candidate does.
+fn filter_role<'a>(candidates: &[&'a DeviceConfig], role: &str) -> Option<Vec<&'a DeviceConfig>> {
+    let preferred: Vec<&DeviceConfig> = candidates
+        .iter()
+        .copied()
+        .filter(|d| d.role.to_ascii_lowercase().contains(role))
+        .collect();
+    (!preferred.is_empty()).then_some(preferred)
+}
+
+/// Default value for a non-device setting, mirroring the expert choices in
+/// §10.1 (75 °F setpoint, 10 minutes, "cool" mode, a configured phone number).
+fn default_setting(kind: &SettingKind, input_name: &str) -> Binding {
+    match kind {
+        SettingKind::Number => {
+            if input_name.to_ascii_lowercase().contains("minute") {
+                Binding::Number(10.0)
+            } else {
+                Binding::Number(30.0)
+            }
+        }
+        SettingKind::Decimal => {
+            let lname = input_name.to_ascii_lowercase();
+            if lname.contains("emergency") {
+                Binding::Number(85.0)
+            } else if lname.contains("threshold") || lname.contains("setpoint") || lname.contains("temp") {
+                Binding::Number(75.0)
+            } else {
+                Binding::Number(50.0)
+            }
+        }
+        SettingKind::Bool => Binding::Bool(true),
+        SettingKind::Enum(options) => Binding::Text(options.first().cloned().unwrap_or_default()),
+        SettingKind::Time => Binding::Text("22:00".into()),
+        SettingKind::Phone => Binding::Text("5551234567".into()),
+        SettingKind::Contact => Binding::Text("owner".into()),
+        SettingKind::Mode => Binding::Text("Away".into()),
+        SettingKind::Text | SettingKind::Other(_) => Binding::Text("value".into()),
+        SettingKind::Device { .. } => Binding::Unset,
+    }
+}
+
+/// Produces the expert ("common sense") configuration of `apps` over
+/// `devices`: single-device inputs get the most role-appropriate device,
+/// multi-device inputs get one device unless the input name clearly asks for a
+/// group of lights, and settings get the §10.1 defaults.
+pub fn expert_configure(apps: &[IrApp], devices: &[DeviceConfig]) -> SystemConfig {
+    let mut config = SystemConfig::new();
+    config.devices = devices.to_vec();
+    config.phone_numbers = vec!["5551234567".into()];
+    for app in apps {
+        let mut app_cfg = AppConfig::new(app.name.clone());
+        for input in &app.inputs {
+            let binding = match &input.kind {
+                SettingKind::Device { capability, multiple } => {
+                    let candidates = matching_devices(devices, capability, &input.name);
+                    if candidates.is_empty() {
+                        if input.required {
+                            Binding::Devices(vec![])
+                        } else {
+                            Binding::Unset
+                        }
+                    } else if *multiple
+                        && (input.name.to_ascii_lowercase().contains("light")
+                            || input.name.to_ascii_lowercase().contains("bulb")
+                            || input.name.to_ascii_lowercase().contains("switches"))
+                        && capability == "switch"
+                    {
+                        // "turn on these lights" style inputs get every light.
+                        Binding::Devices(
+                            candidates
+                                .iter()
+                                .filter(|d| d.role.to_ascii_lowercase().contains("light"))
+                                .map(|d| d.label.clone())
+                                .collect::<Vec<_>>(),
+                        )
+                    } else {
+                        Binding::Devices(vec![candidates[0].label.clone()])
+                    }
+                }
+                other => default_setting(other, &input.name),
+            };
+            // Skip unset optional inputs entirely, as a careful user would.
+            if matches!(binding, Binding::Unset) && !input.required {
+                continue;
+            }
+            app_cfg.bindings.insert(input.name.clone(), binding);
+        }
+        config.apps.push(app_cfg);
+    }
+    config
+}
+
+/// Produces a volunteer-style (non-expert) configuration using a seeded RNG.
+///
+/// The dominant §2.2 error modes are reproduced:
+/// * multi-device inputs are bound to *all* devices of the capability
+///   (e.g. both the heater and the AC outlet for Virtual Thermostat),
+/// * role preferences are ignored (a random matching device is picked),
+/// * optional inputs are sometimes left unset, sometimes bound arbitrarily,
+/// * enum settings pick a random option.
+pub fn misconfigure(apps: &[IrApp], devices: &[DeviceConfig], seed: u64) -> SystemConfig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = SystemConfig::new();
+    config.devices = devices.to_vec();
+    config.phone_numbers = vec!["5551234567".into()];
+    for app in apps {
+        let mut app_cfg = AppConfig::new(app.name.clone());
+        for input in &app.inputs {
+            let binding = match &input.kind {
+                SettingKind::Device { capability, multiple } => {
+                    let candidates: Vec<&DeviceConfig> =
+                        devices.iter().filter(|d| d.capability == *capability).collect();
+                    if candidates.is_empty() {
+                        Binding::Devices(vec![])
+                    } else if *multiple {
+                        // The classic mistake: select everything that shows up
+                        // in the picker.
+                        Binding::Devices(candidates.iter().map(|d| d.label.clone()).collect())
+                    } else {
+                        let pick = candidates.choose(&mut rng).expect("non-empty");
+                        Binding::Devices(vec![pick.label.clone()])
+                    }
+                }
+                SettingKind::Enum(options) if !options.is_empty() => {
+                    Binding::Text(options.choose(&mut rng).cloned().unwrap_or_default())
+                }
+                SettingKind::Number => Binding::Number(rng.gen_range(1..60) as f64),
+                SettingKind::Decimal => Binding::Number(rng.gen_range(55..95) as f64),
+                other => default_setting(other, &input.name),
+            };
+            if !input.required && rng.gen_bool(0.3) {
+                // A volunteer skipping an optional section.
+                continue;
+            }
+            app_cfg.bindings.insert(input.name.clone(), binding);
+        }
+        config.apps.push(app_cfg);
+    }
+    config
+}
+
+/// Enumerates possible configurations of a single app over the installed
+/// devices (used by the Output Analyzer, which verifies each configuration
+/// independently).  The enumeration covers every choice of device for
+/// single-device inputs and both "one device" and "all devices" for
+/// multi-device inputs, capped at `limit` configurations.
+pub fn enumerate_app_configs(app: &IrApp, devices: &[DeviceConfig], limit: usize) -> Vec<AppConfig> {
+    // Per-input candidate bindings.
+    let mut choices: Vec<(String, Vec<Binding>)> = Vec::new();
+    for input in &app.inputs {
+        let options: Vec<Binding> = match &input.kind {
+            SettingKind::Device { capability, multiple } => {
+                let labels: Vec<String> = devices
+                    .iter()
+                    .filter(|d| d.capability == *capability)
+                    .map(|d| d.label.clone())
+                    .collect();
+                if labels.is_empty() {
+                    vec![Binding::Devices(vec![])]
+                } else {
+                    let mut opts: Vec<Binding> =
+                        labels.iter().map(|l| Binding::Devices(vec![l.clone()])).collect();
+                    if *multiple && labels.len() > 1 {
+                        opts.push(Binding::Devices(labels.clone()));
+                    }
+                    opts
+                }
+            }
+            SettingKind::Enum(options) if !options.is_empty() => {
+                options.iter().map(|o| Binding::Text(o.clone())).collect()
+            }
+            other => vec![default_setting(other, &input.name)],
+        };
+        choices.push((input.name.clone(), options));
+    }
+
+    // Cartesian product, bounded by `limit`.
+    let mut configs: Vec<AppConfig> = vec![AppConfig::new(app.name.clone())];
+    for (input, options) in &choices {
+        let mut next = Vec::new();
+        for existing in &configs {
+            for option in options {
+                let mut cfg = existing.clone();
+                cfg.bindings.insert(input.clone(), option.clone());
+                next.push(cfg);
+                if next.len() >= limit {
+                    break;
+                }
+            }
+            if next.len() >= limit {
+                break;
+            }
+        }
+        configs = next;
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_ir::AppInput;
+
+    fn thermostat_app() -> IrApp {
+        IrApp {
+            name: "Virtual Thermostat".into(),
+            description: String::new(),
+            inputs: vec![
+                AppInput::device("sensor", "temperatureMeasurement"),
+                AppInput {
+                    name: "outlets".into(),
+                    kind: SettingKind::Device { capability: "switch".into(), multiple: true },
+                    title: String::new(),
+                    required: true,
+                },
+                AppInput {
+                    name: "setpoint".into(),
+                    kind: SettingKind::Decimal,
+                    title: String::new(),
+                    required: true,
+                },
+                AppInput {
+                    name: "mode".into(),
+                    kind: SettingKind::Enum(vec!["heat".into(), "cool".into()]),
+                    title: String::new(),
+                    required: true,
+                },
+                AppInput {
+                    name: "minutes".into(),
+                    kind: SettingKind::Number,
+                    title: String::new(),
+                    required: false,
+                },
+            ],
+            handlers: vec![],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        }
+    }
+
+    #[test]
+    fn household_has_all_core_capabilities() {
+        let devices = standard_household();
+        assert!(devices.len() >= 30);
+        for cap in ["switch", "lock", "motionSensor", "presenceSensor", "smokeDetector", "alarm", "valve"] {
+            assert!(devices.iter().any(|d| d.capability == cap), "missing {cap}");
+        }
+        // Labels are unique.
+        let mut labels: Vec<&str> = devices.iter().map(|d| d.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), devices.len());
+    }
+
+    #[test]
+    fn expert_config_binds_one_ac_outlet_only() {
+        let devices = standard_household();
+        let config = expert_configure(&[thermostat_app()], &devices);
+        let app_cfg = config.app("Virtual Thermostat").unwrap();
+        // The expert selects a single outlet for the thermostat (§10.1 binds
+        // myACOutlet only), never both heater and AC.
+        let outlets = app_cfg.devices_for("outlets");
+        assert_eq!(outlets.len(), 1, "expert bound {outlets:?}");
+        assert_eq!(app_cfg.devices_for("sensor"), vec!["myTempMeas".to_string()]);
+        // Settings get sensible defaults.
+        assert_eq!(app_cfg.binding("setpoint"), Some(&Binding::Number(75.0)));
+        let problems = config.validate(&[thermostat_app()]);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn misconfiguration_selects_both_outlets() {
+        let devices = standard_household();
+        let config = misconfigure(&[thermostat_app()], &devices, 42);
+        let app_cfg = config.app("Virtual Thermostat").unwrap();
+        let outlets = app_cfg.devices_for("outlets");
+        // The volunteer mistake: every switch outlet (including the heater AND
+        // the AC) ends up bound.
+        assert!(outlets.contains(&"myHeaterOutlet".to_string()));
+        assert!(outlets.contains(&"myACOutlet".to_string()));
+    }
+
+    #[test]
+    fn misconfiguration_is_deterministic_per_seed() {
+        let devices = standard_household();
+        let a = misconfigure(&[thermostat_app()], &devices, 7);
+        let b = misconfigure(&[thermostat_app()], &devices, 7);
+        let c = misconfigure(&[thermostat_app()], &devices, 8);
+        assert_eq!(a, b);
+        assert!(a != c || a.app("Virtual Thermostat") == c.app("Virtual Thermostat"));
+    }
+
+    #[test]
+    fn enumeration_covers_devices_and_enums() {
+        let devices = vec![
+            DeviceConfig::new("tempA", "temperatureMeasurement", ""),
+            DeviceConfig::new("outlet1", "switch", "heater"),
+            DeviceConfig::new("outlet2", "switch", "AC"),
+        ];
+        let configs = enumerate_app_configs(&thermostat_app(), &devices, 100);
+        // sensor: 1 choice; outlets: 2 singles + 1 all = 3; setpoint: 1;
+        // mode: 2; minutes: 1 → 6 configurations.
+        assert_eq!(configs.len(), 6);
+        assert!(configs.iter().any(|c| c.devices_for("outlets").len() == 2));
+        assert!(configs.iter().any(|c| c.binding("mode") == Some(&Binding::Text("heat".into()))));
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let devices = standard_household();
+        let configs = enumerate_app_configs(&thermostat_app(), &devices, 10);
+        assert!(configs.len() <= 10);
+        assert!(!configs.is_empty());
+    }
+}

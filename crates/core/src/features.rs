@@ -1,0 +1,98 @@
+//! The feature comparison of Table 1.
+//!
+//! The paper compares IotSan against SIFT, DeLorean and Soteria along seven
+//! feature dimensions.  This module encodes that matrix so the reproduction
+//! harness can regenerate the table.
+
+/// The feature dimensions of Table 1, in row order.
+pub const FEATURES: [&str; 7] = [
+    "Detects physical safety violations",
+    "Detects information leakage",
+    "Detects violations due to communication/device failures",
+    "Detects violations due to misconfiguration problems",
+    "Handles complex code beyond IFTTT rules",
+    "Performs violation attribution",
+    "Accounts for app interactions",
+];
+
+/// One system column of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemFeatures {
+    /// System name.
+    pub name: &'static str,
+    /// Support flag per feature, aligned with [`FEATURES`].
+    pub supported: [bool; 7],
+}
+
+/// The comparison matrix of Table 1.
+pub fn comparison_matrix() -> Vec<SystemFeatures> {
+    vec![
+        SystemFeatures {
+            name: "SIFT",
+            supported: [true, false, false, false, false, false, false],
+        },
+        SystemFeatures {
+            name: "DeLorean",
+            supported: [true, false, false, false, false, false, true],
+        },
+        SystemFeatures {
+            name: "Soteria",
+            supported: [true, false, false, false, true, false, true],
+        },
+        SystemFeatures {
+            name: "IotSan",
+            supported: [true, true, true, true, true, true, true],
+        },
+    ]
+}
+
+/// Renders Table 1 as fixed-width text.
+pub fn render_table1() -> String {
+    let systems = comparison_matrix();
+    let mut out = String::new();
+    out.push_str(&format!("{:<58}", "Feature"));
+    for system in &systems {
+        out.push_str(&format!("{:>10}", system.name));
+    }
+    out.push('\n');
+    for (i, feature) in FEATURES.iter().enumerate() {
+        out.push_str(&format!("{feature:<58}"));
+        for system in &systems {
+            out.push_str(&format!("{:>10}", if system.supported[i] { "yes" } else { "-" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iotsan_supports_every_feature() {
+        let matrix = comparison_matrix();
+        let iotsan = matrix.iter().find(|s| s.name == "IotSan").unwrap();
+        assert!(iotsan.supported.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn other_systems_lack_at_least_one_feature() {
+        for system in comparison_matrix() {
+            if system.name != "IotSan" {
+                assert!(system.supported.iter().any(|s| !*s), "{} claims everything", system.name);
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_table_lists_all_rows_and_columns() {
+        let text = render_table1();
+        for feature in FEATURES {
+            assert!(text.contains(feature));
+        }
+        for name in ["SIFT", "DeLorean", "Soteria", "IotSan"] {
+            assert!(text.contains(name));
+        }
+    }
+}

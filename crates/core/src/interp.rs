@@ -1,0 +1,673 @@
+//! The IR interpreter — Algorithm 1's `app_event_handler`.
+//!
+//! When the model checker dispatches an event to a subscribed handler, this
+//! interpreter executes the handler's IR body against the current
+//! [`SystemState`]: it evaluates guards over device attributes, settings and
+//! the event payload, sends commands to the actuators bound by the
+//! configuration, records messages/network calls/fake events for the
+//! step-based properties, and emits the internal events that cascade to other
+//! apps (actuator state changes and location-mode changes).
+
+use crate::system::{InstalledSystem, InternalEvent, SystemState};
+use iotsan_devices::{CommandOutcome, DeviceId, LocationMode};
+use iotsan_ir::{EventField, IrBinOp, IrExpr, IrHandler, IrStmt, Quantifier, Value};
+use iotsan_properties::{
+    CommandRecord, FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord, StepObservation,
+};
+use std::collections::BTreeMap;
+
+/// Upper bound on `while` loop iterations (keeps handler execution finite).
+const MAX_LOOP_ITERATIONS: usize = 16;
+
+/// The event being dispatched to a handler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchedEvent {
+    /// Source device, if any.
+    pub device: Option<DeviceId>,
+    /// Attribute name.
+    pub attribute: String,
+    /// Event value.
+    pub value: Value,
+}
+
+impl DispatchedEvent {
+    /// Builds a dispatched event from an internal event.
+    pub fn from_internal(event: &InternalEvent) -> Self {
+        DispatchedEvent { device: event.device, attribute: event.attribute.clone(), value: event.value.clone() }
+    }
+}
+
+/// Everything a single handler execution produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HandlerEffects {
+    /// New cyber events to dispatch (actuator changes, mode changes, fakes).
+    pub new_events: Vec<InternalEvent>,
+    /// Log lines for the counterexample trace.
+    pub log: Vec<String>,
+}
+
+/// Executes `handler` of `app_index` against `state`, recording observations
+/// into `observation` and returning the generated events and log.
+///
+/// `inject_command_failure` models an actuator/communication failure for every
+/// command sent during this execution (§8's actuator-offline enumeration).
+pub fn run_handler(
+    system: &InstalledSystem,
+    app_index: usize,
+    handler: &IrHandler,
+    event: &DispatchedEvent,
+    state: &mut SystemState,
+    observation: &mut StepObservation,
+    inject_command_failure: bool,
+) -> HandlerEffects {
+    let mut interp = Interpreter {
+        system,
+        app_index,
+        handler,
+        event,
+        state,
+        observation,
+        inject_command_failure,
+        locals: BTreeMap::new(),
+        iteration_overrides: Vec::new(),
+        effects: HandlerEffects::default(),
+    };
+    interp
+        .effects
+        .log
+        .push(format!("{}.{}: handling {}={}", handler.app, handler.name, event.attribute, event.value));
+    interp.exec_block(&handler.body);
+    interp.effects
+}
+
+/// Control flow result of executing a statement list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Return,
+}
+
+struct Interpreter<'a> {
+    system: &'a InstalledSystem,
+    app_index: usize,
+    handler: &'a IrHandler,
+    event: &'a DispatchedEvent,
+    state: &'a mut SystemState,
+    observation: &'a mut StepObservation,
+    inject_command_failure: bool,
+    locals: BTreeMap<String, Value>,
+    /// While executing `devices.each { ... }`, `(input, device)` pairs that
+    /// narrow the binding of `input` to the current iteration device.
+    iteration_overrides: Vec<(String, DeviceId)>,
+    effects: HandlerEffects,
+}
+
+impl<'a> Interpreter<'a> {
+    fn app_name(&self) -> &str {
+        &self.system.apps[self.app_index].name
+    }
+
+    fn bound_devices(&self, input: &str) -> Vec<DeviceId> {
+        if let Some((_, device)) = self.iteration_overrides.iter().rev().find(|(i, _)| i == input) {
+            return vec![*device];
+        }
+        self.system.bound_devices(self.app_name(), input)
+    }
+
+    // ---- execution -------------------------------------------------------
+
+    fn exec_block(&mut self, stmts: &[IrStmt]) -> Flow {
+        for stmt in stmts {
+            if self.exec_stmt(stmt) == Flow::Return {
+                return Flow::Return;
+            }
+        }
+        Flow::Continue
+    }
+
+    fn exec_stmt(&mut self, stmt: &IrStmt) -> Flow {
+        match stmt {
+            IrStmt::DeviceCommand { input, command, args } => {
+                let args: Vec<Value> = args.iter().map(|a| self.eval(a)).collect();
+                for device in self.bound_devices(input) {
+                    self.send_command(device, command, &args);
+                }
+                Flow::Continue
+            }
+            IrStmt::SetLocationMode(expr) => {
+                let value = self.eval(expr);
+                let mode = LocationMode::parse(&value.as_string()).unwrap_or(self.state.mode);
+                if mode != self.state.mode {
+                    self.state.mode = mode;
+                    self.effects.log.push(format!("location.mode = {}", mode.name()));
+                    self.effects.new_events.push(InternalEvent {
+                        device: None,
+                        attribute: "mode".into(),
+                        value: Value::Str(mode.name().to_string()),
+                        physical: false,
+                    });
+                }
+                Flow::Continue
+            }
+            IrStmt::SendSms { recipient, message } => {
+                let recipient = self.eval(recipient).as_string();
+                let body = self.eval(message).as_string();
+                self.effects.log.push(format!("sendSms({recipient})"));
+                self.observation.messages.push(MessageRecord {
+                    app: self.app_name().to_string(),
+                    channel: MessageChannel::Sms,
+                    recipient,
+                    body,
+                });
+                Flow::Continue
+            }
+            IrStmt::SendPush { message } => {
+                let body = self.eval(message).as_string();
+                self.effects.log.push("sendPush".to_string());
+                self.observation.messages.push(MessageRecord {
+                    app: self.app_name().to_string(),
+                    channel: MessageChannel::Push,
+                    recipient: String::new(),
+                    body,
+                });
+                Flow::Continue
+            }
+            IrStmt::HttpRequest { url, .. } => {
+                let url = self.eval(url).as_string();
+                let allowed = self.system.config.network_allowed_apps.iter().any(|a| a == self.app_name());
+                self.effects.log.push(format!("httpPost({url})"));
+                self.observation.network.push(NetworkRecord { app: self.app_name().to_string(), url, allowed });
+                Flow::Continue
+            }
+            IrStmt::SendEvent { attribute, value } => {
+                let value = self.eval(value);
+                self.effects.log.push(format!("sendEvent({attribute}={value})"));
+                self.observation.fake_events.push(FakeEventRecord {
+                    app: self.app_name().to_string(),
+                    attribute: attribute.clone(),
+                    value: value.as_string(),
+                });
+                self.effects.new_events.push(InternalEvent {
+                    device: None,
+                    attribute: attribute.clone(),
+                    value,
+                    physical: false,
+                });
+                Flow::Continue
+            }
+            IrStmt::Unsubscribe => {
+                self.effects.log.push("unsubscribe()".to_string());
+                self.observation.unsubscribes.push(self.app_name().to_string());
+                Flow::Continue
+            }
+            IrStmt::Unschedule => Flow::Continue,
+            IrStmt::Schedule { handler, .. } => {
+                self.effects.log.push(format!("schedule({handler})"));
+                Flow::Continue
+            }
+            IrStmt::AssignState { name, value } => {
+                let value = self.eval(value);
+                let app = self.app_name().to_string();
+                self.state.set_app_var(&app, name, &value);
+                Flow::Continue
+            }
+            IrStmt::AssignLocal { name, value } => {
+                let value = self.eval(value);
+                self.locals.insert(name.clone(), value);
+                Flow::Continue
+            }
+            IrStmt::If { cond, then, els } => {
+                if self.eval(cond).truthy() {
+                    self.exec_block(then)
+                } else {
+                    self.exec_block(els)
+                }
+            }
+            IrStmt::While { cond, body } => {
+                let mut iterations = 0;
+                while self.eval(cond).truthy() && iterations < MAX_LOOP_ITERATIONS {
+                    if self.exec_block(body) == Flow::Return {
+                        return Flow::Return;
+                    }
+                    iterations += 1;
+                }
+                Flow::Continue
+            }
+            IrStmt::ForEachDevice { input, body } => {
+                for device in self.bound_devices(input) {
+                    self.iteration_overrides.push((input.clone(), device));
+                    let flow = self.exec_block(body);
+                    self.iteration_overrides.pop();
+                    if flow == Flow::Return {
+                        return Flow::Return;
+                    }
+                }
+                Flow::Continue
+            }
+            IrStmt::Return(_) => Flow::Return,
+            IrStmt::Log(expr) => {
+                let message = self.eval(expr).as_string();
+                self.effects.log.push(format!("log: {message}"));
+                Flow::Continue
+            }
+            IrStmt::OpaqueCall { .. } => Flow::Continue,
+        }
+    }
+
+    fn send_command(&mut self, device_id: DeviceId, command: &str, args: &[Value]) {
+        let device = self.system.device(device_id);
+        let spec = device.spec();
+        if self.inject_command_failure {
+            self.observation.command_failures += 1;
+            self.observation.commands.push(CommandRecord {
+                app: self.app_name().to_string(),
+                handler: self.handler.name.clone(),
+                device: device_id,
+                device_label: device.label.clone(),
+                command: command.to_string(),
+                delivered: false,
+                changed_state: false,
+            });
+            self.effects.log.push(format!("{}.{command}() LOST (failure)", device.label));
+            return;
+        }
+        let outcome = self.state.devices[device_id.0 as usize].apply_command(spec, command, args);
+        let (delivered, changed_state) = match &outcome {
+            CommandOutcome::Changed(_) => (true, true),
+            CommandOutcome::NoChange => (true, false),
+            CommandOutcome::Unsupported => (true, false),
+            CommandOutcome::Offline => (false, false),
+        };
+        if matches!(outcome, CommandOutcome::Offline) {
+            self.observation.command_failures += 1;
+        }
+        self.observation.commands.push(CommandRecord {
+            app: self.app_name().to_string(),
+            handler: self.handler.name.clone(),
+            device: device_id,
+            device_label: device.label.clone(),
+            command: command.to_string(),
+            delivered,
+            changed_state,
+        });
+        self.effects.log.push(format!("{}.{command}()", device.label));
+        if let CommandOutcome::Changed(changes) = outcome {
+            for (attribute, value) in changes {
+                self.effects.log.push(format!("{}.{} = {}", device.label, attribute, value));
+                self.effects.new_events.push(InternalEvent {
+                    device: Some(device_id),
+                    attribute,
+                    value,
+                    physical: false,
+                });
+            }
+        }
+    }
+
+    // ---- evaluation ------------------------------------------------------
+
+    fn eval(&mut self, expr: &IrExpr) -> Value {
+        match expr {
+            IrExpr::Const(v) => v.clone(),
+            IrExpr::Setting(name) => {
+                let devices = self.bound_devices(name);
+                if !devices.is_empty() {
+                    Value::List(
+                        devices.iter().map(|d| Value::Str(self.system.device(*d).label.clone())).collect(),
+                    )
+                } else {
+                    self.system.setting_value(self.app_name(), name)
+                }
+            }
+            IrExpr::DeviceAttr { input, attribute } => {
+                let devices = self.bound_devices(input);
+                match devices.first() {
+                    Some(id) => {
+                        let device = self.system.device(*id);
+                        self.state.devices[id.0 as usize].get(device.spec(), attribute)
+                    }
+                    None => Value::Null,
+                }
+            }
+            IrExpr::DeviceQuery { input, attribute, value, quantifier } => {
+                let expected = self.eval(value);
+                let devices = self.bound_devices(input);
+                let matches = devices
+                    .iter()
+                    .filter(|id| {
+                        let device = self.system.device(**id);
+                        self.state.devices[id.0 as usize]
+                            .get(device.spec(), attribute)
+                            .loosely_equals(&expected)
+                    })
+                    .count();
+                match quantifier {
+                    Quantifier::Any => Value::Bool(matches > 0),
+                    Quantifier::All => Value::Bool(!devices.is_empty() && matches == devices.len()),
+                    Quantifier::Count => Value::Int(matches as i64),
+                }
+            }
+            IrExpr::EventField(field) => match field {
+                EventField::Value => self.event.value.clone(),
+                EventField::NumericValue => {
+                    self.event.value.as_number().map(Value::Decimal).unwrap_or(Value::Null)
+                }
+                EventField::Name => Value::Str(self.event.attribute.clone()),
+                EventField::DeviceId => self
+                    .event
+                    .device
+                    .map(|d| Value::Str(self.system.device(d).label.clone()))
+                    .unwrap_or(Value::Null),
+                EventField::DisplayName => self
+                    .event
+                    .device
+                    .map(|d| Value::Str(self.system.device(d).label.clone()))
+                    .unwrap_or(Value::Null),
+                EventField::IsPhysical => Value::Bool(true),
+                EventField::Date => Value::Int(self.state.time.seconds() as i64),
+            },
+            IrExpr::LocationMode => Value::Str(self.state.mode.name().to_string()),
+            IrExpr::Time => Value::Int(self.state.time.seconds() as i64),
+            IrExpr::StateVar(name) => {
+                let app = self.app_name().to_string();
+                self.state.app_var(&app, name)
+            }
+            IrExpr::Local(name) => self.locals.get(name).cloned().unwrap_or(Value::Null),
+            IrExpr::Not(inner) => Value::Bool(!self.eval(inner).truthy()),
+            IrExpr::Neg(inner) => match self.eval(inner).as_number() {
+                Some(n) => Value::Decimal(-n),
+                None => Value::Null,
+            },
+            IrExpr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
+            IrExpr::Ternary { cond, then, els } => {
+                if self.eval(cond).truthy() {
+                    self.eval(then)
+                } else {
+                    self.eval(els)
+                }
+            }
+            IrExpr::ListOf(items) => Value::List(items.iter().map(|e| self.eval(e)).collect()),
+            IrExpr::Concat(parts) => {
+                Value::Str(parts.iter().map(|p| self.eval(p).as_string()).collect::<Vec<_>>().join(""))
+            }
+            IrExpr::Opaque { .. } => Value::Null,
+        }
+    }
+
+    fn eval_binary(&mut self, op: IrBinOp, lhs: &IrExpr, rhs: &IrExpr) -> Value {
+        // Short-circuit logical operators.
+        match op {
+            IrBinOp::And => {
+                let l = self.eval(lhs);
+                return if !l.truthy() { Value::Bool(false) } else { Value::Bool(self.eval(rhs).truthy()) };
+            }
+            IrBinOp::Or => {
+                let l = self.eval(lhs);
+                return if l.truthy() { Value::Bool(true) } else { Value::Bool(self.eval(rhs).truthy()) };
+            }
+            _ => {}
+        }
+        let l = self.eval(lhs);
+        let r = self.eval(rhs);
+        match op {
+            IrBinOp::Eq => Value::Bool(l.loosely_equals(&r)),
+            IrBinOp::NotEq => Value::Bool(!l.loosely_equals(&r)),
+            IrBinOp::Lt | IrBinOp::Le | IrBinOp::Gt | IrBinOp::Ge => {
+                use std::cmp::Ordering::*;
+                let Some(ordering) = l.compare(&r) else { return Value::Bool(false) };
+                Value::Bool(match op {
+                    IrBinOp::Lt => ordering == Less,
+                    IrBinOp::Le => ordering != Greater,
+                    IrBinOp::Gt => ordering == Greater,
+                    IrBinOp::Ge => ordering != Less,
+                    _ => unreachable!(),
+                })
+            }
+            IrBinOp::In => match r {
+                Value::List(items) => Value::Bool(items.iter().any(|i| i.loosely_equals(&l))),
+                Value::Str(s) => Value::Bool(s.contains(&l.as_string())),
+                _ => Value::Bool(false),
+            },
+            IrBinOp::Add => match (l.as_number(), r.as_number()) {
+                (Some(a), Some(b)) => number(a + b),
+                _ => Value::Str(format!("{}{}", l.as_string(), r.as_string())),
+            },
+            IrBinOp::Sub => numeric_op(&l, &r, |a, b| a - b),
+            IrBinOp::Mul => numeric_op(&l, &r, |a, b| a * b),
+            IrBinOp::Div => {
+                match (l.as_number(), r.as_number()) {
+                    (Some(a), Some(b)) if b != 0.0 => number(a / b),
+                    _ => Value::Null,
+                }
+            }
+            IrBinOp::Mod => match (l.as_number(), r.as_number()) {
+                (Some(a), Some(b)) if b != 0.0 => number(a % b),
+                _ => Value::Null,
+            },
+            IrBinOp::And | IrBinOp::Or => unreachable!("handled above"),
+        }
+    }
+}
+
+fn numeric_op(l: &Value, r: &Value, f: impl Fn(f64, f64) -> f64) -> Value {
+    match (l.as_number(), r.as_number()) {
+        (Some(a), Some(b)) => number(f(a, b)),
+        _ => Value::Null,
+    }
+}
+
+fn number(n: f64) -> Value {
+    if n.fract() == 0.0 {
+        Value::Int(n as i64)
+    } else {
+        Value::Decimal(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_config::{AppConfig, Binding, DeviceConfig, SystemConfig};
+    use iotsan_ir::{AppInput, SettingKind, Trigger};
+
+    fn build_system(handler_body: Vec<IrStmt>) -> (InstalledSystem, IrHandler) {
+        let handler = IrHandler {
+            app: "Test App".into(),
+            name: "handler".into(),
+            trigger: Trigger::Device { input: "sensor".into(), attribute: "temperature".into(), value: None },
+            body: handler_body,
+        };
+        let app = iotsan_ir::IrApp {
+            name: "Test App".into(),
+            description: String::new(),
+            inputs: vec![
+                AppInput::device("sensor", "temperatureMeasurement"),
+                AppInput {
+                    name: "outlets".into(),
+                    kind: SettingKind::Device { capability: "switch".into(), multiple: true },
+                    title: String::new(),
+                    required: true,
+                },
+                AppInput { name: "setpoint".into(), kind: SettingKind::Decimal, title: String::new(), required: true },
+                AppInput { name: "phone".into(), kind: SettingKind::Phone, title: String::new(), required: false },
+            ],
+            handlers: vec![handler.clone()],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        };
+        let config = SystemConfig::new()
+            .with_device(DeviceConfig::new("tempSensor", "temperatureMeasurement", ""))
+            .with_device(DeviceConfig::new("heaterOutlet", "switch", "heater"))
+            .with_device(DeviceConfig::new("acOutlet", "switch", "AC"))
+            .with_app(
+                AppConfig::new("Test App")
+                    .with("sensor", Binding::Devices(vec!["tempSensor".into()]))
+                    .with("outlets", Binding::Devices(vec!["heaterOutlet".into(), "acOutlet".into()]))
+                    .with("setpoint", Binding::Number(75.0))
+                    .with("phone", Binding::Text("5551234567".into())),
+            );
+        (InstalledSystem::new(vec![app], config), handler)
+    }
+
+    fn temp_event(value: i64) -> DispatchedEvent {
+        DispatchedEvent { device: Some(DeviceId(0)), attribute: "temperature".into(), value: Value::Int(value) }
+    }
+
+    #[test]
+    fn guarded_command_fires_when_condition_holds() {
+        let body = vec![IrStmt::If {
+            cond: IrExpr::binary(
+                IrBinOp::Gt,
+                IrExpr::EventField(EventField::NumericValue),
+                IrExpr::Setting("setpoint".into()),
+            ),
+            then: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }],
+            els: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "off".into(), args: vec![] }],
+        }];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+
+        // 85 > 75 → both outlets turned on, two state-change events generated.
+        let effects = run_handler(&system, 0, &handler, &temp_event(85), &mut state, &mut obs, false);
+        assert_eq!(obs.commands.len(), 2);
+        assert!(obs.commands.iter().all(|c| c.command == "on" && c.delivered));
+        assert_eq!(effects.new_events.len(), 2);
+        let snap = system.snapshot(&state);
+        assert!(snap.role_attr_is(iotsan_properties::DeviceRole::Heater, "switch", "on"));
+        assert!(snap.role_attr_is(iotsan_properties::DeviceRole::AirConditioner, "switch", "on"));
+    }
+
+    #[test]
+    fn else_branch_and_no_change_commands() {
+        let body = vec![IrStmt::If {
+            cond: IrExpr::binary(
+                IrBinOp::Gt,
+                IrExpr::EventField(EventField::NumericValue),
+                IrExpr::Setting("setpoint".into()),
+            ),
+            then: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }],
+            els: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "off".into(), args: vec![] }],
+        }];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+        // 60 < 75 → off commands; devices already off so no state change events.
+        let effects = run_handler(&system, 0, &handler, &temp_event(60), &mut state, &mut obs, false);
+        assert_eq!(obs.commands.len(), 2);
+        assert!(obs.commands.iter().all(|c| !c.changed_state));
+        assert!(effects.new_events.is_empty());
+    }
+
+    #[test]
+    fn messaging_network_and_fake_events_are_observed() {
+        let body = vec![
+            IrStmt::SendSms { recipient: IrExpr::Setting("phone".into()), message: IrExpr::str("alert") },
+            IrStmt::SendPush { message: IrExpr::str("alert") },
+            IrStmt::HttpRequest {
+                method: iotsan_ir::HttpMethod::Post,
+                url: IrExpr::str("http://collector.example.com"),
+                payload: None,
+            },
+            IrStmt::SendEvent { attribute: "smoke".into(), value: IrExpr::str("detected") },
+            IrStmt::Unsubscribe,
+        ];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+        let effects = run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        assert_eq!(obs.messages.len(), 2);
+        assert_eq!(obs.messages[0].recipient, "5551234567");
+        assert_eq!(obs.network.len(), 1);
+        assert!(!obs.network[0].allowed);
+        assert_eq!(obs.fake_events.len(), 1);
+        assert_eq!(obs.unsubscribes, vec!["Test App".to_string()]);
+        // The fake smoke event is also queued for dispatch.
+        assert!(effects.new_events.iter().any(|e| e.attribute == "smoke"));
+    }
+
+    #[test]
+    fn command_failure_injection_marks_undelivered() {
+        let body = vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+        run_handler(&system, 0, &handler, &temp_event(90), &mut state, &mut obs, true);
+        assert_eq!(obs.command_failures, 2);
+        assert!(obs.commands.iter().all(|c| !c.delivered));
+        // Device state unchanged.
+        let snap = system.snapshot(&state);
+        assert!(!snap.role_attr_is(iotsan_properties::DeviceRole::Heater, "switch", "on"));
+    }
+
+    #[test]
+    fn state_vars_for_each_and_queries() {
+        let body = vec![
+            IrStmt::AssignState { name: "count".into(), value: IrExpr::int(1) },
+            IrStmt::ForEachDevice {
+                input: "outlets".into(),
+                body: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }],
+            },
+            IrStmt::If {
+                cond: IrExpr::DeviceQuery {
+                    input: "outlets".into(),
+                    attribute: "switch".into(),
+                    value: Box::new(IrExpr::str("on")),
+                    quantifier: Quantifier::All,
+                },
+                then: vec![IrStmt::SendPush { message: IrExpr::str("all on") }],
+                els: vec![],
+            },
+        ];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+        run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        assert_eq!(state.app_var("Test App", "count"), Value::Str("1".into()));
+        // ForEachDevice issued one command per outlet, and the All-query then
+        // saw both outlets on.
+        assert_eq!(obs.commands.len(), 2);
+        assert_eq!(obs.messages.len(), 1);
+    }
+
+    #[test]
+    fn while_loops_terminate() {
+        let body = vec![
+            IrStmt::AssignLocal { name: "i".into(), value: IrExpr::int(0) },
+            IrStmt::While {
+                cond: IrExpr::bool(true),
+                body: vec![IrStmt::AssignLocal {
+                    name: "i".into(),
+                    value: IrExpr::binary(IrBinOp::Add, IrExpr::Local("i".into()), IrExpr::int(1)),
+                }],
+            },
+            IrStmt::SendPush { message: IrExpr::str("done") },
+        ];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+        let effects = run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        // The loop is bounded and execution continues past it.
+        assert_eq!(obs.messages.len(), 1);
+        assert!(!effects.log.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_and_concat_evaluation() {
+        let body = vec![
+            IrStmt::AssignLocal {
+                name: "x".into(),
+                value: IrExpr::binary(IrBinOp::Mul, IrExpr::int(6), IrExpr::int(7)),
+            },
+            IrStmt::AssignState {
+                name: "msg".into(),
+                value: IrExpr::Concat(vec![IrExpr::str("x="), IrExpr::Local("x".into())]),
+            },
+        ];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+        run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        assert_eq!(state.app_var("Test App", "msg"), Value::Str("x=42".into()));
+    }
+}

@@ -1,0 +1,698 @@
+//! The Model Generator (§8): builds transition systems the checker explores.
+//!
+//! [`SequentialModel`] implements Algorithm 1's sequential design: each
+//! transition is one external physical event (plus an optional injected
+//! failure), and the entire cascade of handler executions and internal events
+//! it triggers is dispatched atomically within that transition.  This is the
+//! "weak concurrency" the paper adopts because it discovered all violations
+//! the strict model found at a fraction of the cost (Table 7b).
+//!
+//! [`ConcurrentModel`] implements the strict-concurrency design used for the
+//! comparison: external events only *enqueue* cyber events, and the order in
+//! which pending events are dispatched is itself a non-deterministic choice,
+//! so the checker explores all interleavings of internal and external events.
+
+use crate::interp::{run_handler, DispatchedEvent};
+use crate::system::{InstalledSystem, InternalEvent, SystemState};
+use iotsan_checker::{StepOutcome, TransitionSystem, Violation};
+use iotsan_devices::{DeviceId, FailureMode, FailurePolicy};
+use iotsan_ir::{Trigger, Value};
+use iotsan_properties::{PropertyId, PropertySet, StepObservation};
+use std::fmt;
+
+/// Options controlling model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOptions {
+    /// Maximum number of external events (the verification depth bound).
+    pub max_events: usize,
+    /// Which device/communication failures to inject.
+    pub failure_policy: FailurePolicy,
+    /// Upper bound on the number of internal events dispatched per external
+    /// event (guards against event cycles between apps).
+    pub max_cascade: usize,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions { max_events: 3, failure_policy: FailurePolicy::None, max_cascade: 32 }
+    }
+}
+
+impl ModelOptions {
+    /// A model exploring up to `max_events` external events.
+    pub fn with_events(max_events: usize) -> Self {
+        ModelOptions { max_events, ..Default::default() }
+    }
+
+    /// Enables exhaustive failure injection.
+    pub fn with_failures(mut self) -> Self {
+        self.failure_policy = FailurePolicy::Exhaustive;
+        self
+    }
+}
+
+/// One external event choice (the checker's action alphabet).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExternalAction {
+    /// The physical environment changes a sensor attribute.
+    SensorEvent {
+        /// The sensor device.
+        device: DeviceId,
+        /// Its label (for display).
+        label: String,
+        /// The attribute that changes.
+        attribute: String,
+        /// The index of the new value in the attribute's domain.
+        value_index: usize,
+        /// Rendered new value (for display and dispatch).
+        value: String,
+        /// The injected failure mode for this step.
+        failure: FailureMode,
+    },
+    /// The user taps an app in the companion app.
+    AppTouch {
+        /// Index of the app.
+        app: usize,
+        /// App name (for display).
+        name: String,
+    },
+    /// A scheduled timer fires for a specific handler.
+    TimerFire {
+        /// Index of the app.
+        app: usize,
+        /// Handler name.
+        handler: String,
+    },
+    /// A location environment event (sunrise / sunset).
+    LocationEvent {
+        /// Event name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ExternalAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExternalAction::SensorEvent { label, attribute, value, failure, .. } => {
+                write!(f, "{label}/{attribute}={value} [{failure}]")
+            }
+            ExternalAction::AppTouch { name, .. } => write!(f, "app/touch -> {name}"),
+            ExternalAction::TimerFire { handler, .. } => write!(f, "timer -> {handler}"),
+            ExternalAction::LocationEvent { name } => write!(f, "location/{name}"),
+        }
+    }
+}
+
+/// Shared model core used by both designs.
+#[derive(Debug, Clone)]
+struct ModelCore {
+    system: InstalledSystem,
+    properties: PropertySet,
+    options: ModelOptions,
+}
+
+impl ModelCore {
+    /// External actions available when fewer than `max_events` have happened.
+    fn external_actions(&self, state: &SystemState) -> Vec<ExternalAction> {
+        if state.external_events >= self.options.max_events {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        for device in &self.system.devices {
+            if !device.is_sensor() {
+                continue;
+            }
+            let spec = device.spec();
+            for (attribute, value_index) in spec.environment_events() {
+                let attr_index = spec.attribute_index(attribute).expect("attribute exists");
+                // Skip events that would not change the sensor state
+                // (Algorithm 1 only acts when evt != current state).
+                if state.devices[device.id.0 as usize].raw(attr_index) == Some(value_index as u8) {
+                    continue;
+                }
+                let value = spec
+                    .attribute(attribute)
+                    .and_then(|a| a.domain.value_at(value_index))
+                    .unwrap_or_default();
+                for failure in self.options.failure_policy.modes_for(device.id) {
+                    actions.push(ExternalAction::SensorEvent {
+                        device: device.id,
+                        label: device.label.clone(),
+                        attribute: attribute.to_string(),
+                        value_index,
+                        value: value.clone(),
+                        failure,
+                    });
+                }
+            }
+        }
+        for (app_index, app) in self.system.apps.iter().enumerate() {
+            if app.handlers.iter().any(|h| matches!(h.trigger, Trigger::AppTouch)) {
+                actions.push(ExternalAction::AppTouch { app: app_index, name: app.name.clone() });
+            }
+            for handler in &app.handlers {
+                if matches!(handler.trigger, Trigger::Timer { .. }) {
+                    actions.push(ExternalAction::TimerFire { app: app_index, handler: handler.name.clone() });
+                }
+            }
+            for handler in &app.handlers {
+                if let Trigger::LocationEvent { name } = &handler.trigger {
+                    let action = ExternalAction::LocationEvent { name: name.clone() };
+                    if !actions.contains(&action) {
+                        actions.push(action);
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// Applies the external action to `state`, returning the initial internal
+    /// events to dispatch plus log lines, and updating the observation.
+    fn apply_external(
+        &self,
+        state: &mut SystemState,
+        action: &ExternalAction,
+        observation: &mut StepObservation,
+        log: &mut Vec<String>,
+    ) -> Vec<InternalEvent> {
+        state.external_events += 1;
+        state.time.tick();
+        let mut events = Vec::new();
+        match action {
+            ExternalAction::SensorEvent { device, label, attribute, value_index, value, failure } => {
+                let spec = self.system.device(*device).spec();
+                match failure {
+                    FailureMode::DeviceOffline => {
+                        state.devices[device.0 as usize].set_online(false);
+                        log.push(format!("{label} is OFFLINE; event {attribute}={value} missed"));
+                    }
+                    FailureMode::CommunicationLost => {
+                        // Communication between the hub/cloud and the devices
+                        // is down (e.g. jamming): the sensor reading is still
+                        // observed, but commands sent to actuators during this
+                        // step are lost — see `inject_command_failure` below.
+                        let changed = state.devices[device.0 as usize].set_index(spec, attribute, *value_index);
+                        log.push(format!("{label}.{attribute} = {value} (actuator communication DOWN)"));
+                        if changed {
+                            events.push(InternalEvent {
+                                device: Some(*device),
+                                attribute: attribute.clone(),
+                                value: parse_value(value),
+                                physical: true,
+                            });
+                        }
+                    }
+                    FailureMode::None => {
+                        let changed = state.devices[device.0 as usize].set_index(spec, attribute, *value_index);
+                        log.push(format!("generatedEvent.evtType = {}", value.replace(' ', "")));
+                        if changed {
+                            events.push(InternalEvent {
+                                device: Some(*device),
+                                attribute: attribute.clone(),
+                                value: parse_value(value),
+                                physical: true,
+                            });
+                        }
+                    }
+                }
+            }
+            ExternalAction::AppTouch { app, name } => {
+                log.push(format!("app touch: {name}"));
+                let touch = DispatchedEvent {
+                    device: None,
+                    attribute: "touch".into(),
+                    value: Value::Str("touched".into()),
+                };
+                let handlers: Vec<_> = self.system.apps[*app]
+                    .handlers
+                    .iter()
+                    .filter(|h| matches!(h.trigger, Trigger::AppTouch))
+                    .cloned()
+                    .collect();
+                for handler in handlers {
+                    let effects =
+                        run_handler(&self.system, *app, &handler, &touch, state, observation, false);
+                    log.extend(effects.log);
+                    events.extend(effects.new_events);
+                }
+            }
+            ExternalAction::TimerFire { app, handler } => {
+                log.push(format!("timer fired: {handler}"));
+                let tick = DispatchedEvent {
+                    device: None,
+                    attribute: "time".into(),
+                    value: Value::Int(state.time.seconds() as i64),
+                };
+                let handlers: Vec<_> = self.system.apps[*app]
+                    .handlers
+                    .iter()
+                    .filter(|h| h.name == *handler && matches!(h.trigger, Trigger::Timer { .. }))
+                    .cloned()
+                    .collect();
+                for handler in handlers {
+                    let effects = run_handler(&self.system, *app, &handler, &tick, state, observation, false);
+                    log.extend(effects.log);
+                    events.extend(effects.new_events);
+                }
+            }
+            ExternalAction::LocationEvent { name } => {
+                log.push(format!("location event: {name}"));
+                events.push(InternalEvent {
+                    device: None,
+                    attribute: name.clone(),
+                    value: Value::Str(name.clone()),
+                    physical: true,
+                });
+            }
+        }
+        events
+    }
+
+    /// True when `handler` of `app_index` subscribes to `event`.
+    fn subscribes(&self, app_index: usize, handler: &iotsan_ir::IrHandler, event: &InternalEvent) -> bool {
+        match &handler.trigger {
+            Trigger::Device { input, attribute, value } => {
+                if *attribute != event.attribute {
+                    return false;
+                }
+                if let Some(expected) = value {
+                    if !event.value.loosely_equals(&Value::Str(expected.clone())) {
+                        return false;
+                    }
+                }
+                match event.device {
+                    Some(device) => self
+                        .system
+                        .bound_devices(&self.system.apps[app_index].name, input)
+                        .contains(&device),
+                    // A device-less event (e.g. a fake `sendEvent`) reaches any
+                    // subscriber of that attribute.
+                    None => true,
+                }
+            }
+            Trigger::LocationMode { value } => {
+                event.attribute == "mode"
+                    && value
+                        .as_ref()
+                        .map(|v| event.value.loosely_equals(&Value::Str(v.clone())))
+                        .unwrap_or(true)
+            }
+            Trigger::LocationEvent { name } => event.attribute == *name,
+            Trigger::AppTouch | Trigger::Timer { .. } => false,
+        }
+    }
+
+    /// Dispatches one event to every subscribed handler (Algorithm 1's
+    /// `dispatch_event`), returning the newly generated events.
+    fn dispatch_one(
+        &self,
+        state: &mut SystemState,
+        event: &InternalEvent,
+        observation: &mut StepObservation,
+        log: &mut Vec<String>,
+        commands_fail: bool,
+    ) -> Vec<InternalEvent> {
+        let mut new_events = Vec::new();
+        let dispatched = DispatchedEvent::from_internal(event);
+        for app_index in 0..self.system.apps.len() {
+            let handlers: Vec<_> = self.system.apps[app_index]
+                .handlers
+                .iter()
+                .filter(|h| self.subscribes(app_index, h, event))
+                .cloned()
+                .collect();
+            for handler in handlers {
+                let effects = run_handler(
+                    &self.system,
+                    app_index,
+                    &handler,
+                    &dispatched,
+                    state,
+                    observation,
+                    commands_fail,
+                );
+                log.extend(effects.log);
+                new_events.extend(effects.new_events);
+            }
+        }
+        new_events
+    }
+
+    /// Dispatches a whole cascade to quiescence (sequential design).
+    fn dispatch_cascade(
+        &self,
+        state: &mut SystemState,
+        initial: Vec<InternalEvent>,
+        observation: &mut StepObservation,
+        log: &mut Vec<String>,
+        commands_fail: bool,
+    ) {
+        let mut queue = initial;
+        let mut dispatched = 0usize;
+        while let Some(event) = if queue.is_empty() { None } else { Some(queue.remove(0)) } {
+            if dispatched >= self.options.max_cascade {
+                log.push("cascade bound reached; remaining events dropped".into());
+                break;
+            }
+            dispatched += 1;
+            let new_events = self.dispatch_one(state, &event, observation, log, commands_fail);
+            queue.extend(new_events);
+        }
+    }
+
+    /// True when the action models a hub ↔ actuator communication failure, in
+    /// which case every command sent while handling it is lost.
+    fn commands_fail(action: &ExternalAction) -> bool {
+        matches!(action, ExternalAction::SensorEvent { failure: FailureMode::CommunicationLost, .. })
+    }
+
+    /// Evaluates all properties after a step.
+    fn check(&self, state: &SystemState, observation: &StepObservation) -> Vec<Violation> {
+        let snapshot = self.system.snapshot(state);
+        let mut violated: Vec<PropertyId> = self.properties.check_snapshot(&snapshot);
+        violated.extend(self.properties.check_step(observation));
+        violated.sort();
+        violated.dedup();
+        violated
+            .into_iter()
+            .filter_map(|id| {
+                self.properties.get(id).map(|p| Violation { property: id.0, description: p.name.clone() })
+            })
+            .collect()
+    }
+
+    fn new_observation(&self) -> StepObservation {
+        StepObservation {
+            configured_recipients: self.system.config.phone_numbers.clone(),
+            ..Default::default()
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Value {
+    if let Ok(i) = text.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(d) = text.parse::<f64>() {
+        Value::Decimal(d)
+    } else {
+        Value::Str(text.to_string())
+    }
+}
+
+/// The sequential-design transition system (the paper's preferred model).
+#[derive(Debug, Clone)]
+pub struct SequentialModel {
+    core: ModelCore,
+}
+
+impl SequentialModel {
+    /// Builds a sequential model.
+    pub fn new(system: InstalledSystem, properties: PropertySet, options: ModelOptions) -> Self {
+        SequentialModel { core: ModelCore { system, properties, options } }
+    }
+
+    /// The installed system under verification.
+    pub fn system(&self) -> &InstalledSystem {
+        &self.core.system
+    }
+
+    /// The options the model was built with.
+    pub fn options(&self) -> &ModelOptions {
+        &self.core.options
+    }
+}
+
+impl TransitionSystem for SequentialModel {
+    type State = SystemState;
+    type Action = ExternalAction;
+
+    fn initial_state(&self) -> SystemState {
+        self.core.system.initial_state()
+    }
+
+    fn actions(&self, state: &SystemState) -> Vec<ExternalAction> {
+        self.core.external_actions(state)
+    }
+
+    fn apply(&self, state: &SystemState, action: &ExternalAction) -> StepOutcome<SystemState> {
+        let mut next = state.clone();
+        let mut observation = self.core.new_observation();
+        let mut log = Vec::new();
+        let commands_fail = ModelCore::commands_fail(action);
+        let initial = self.core.apply_external(&mut next, action, &mut observation, &mut log);
+        self.core.dispatch_cascade(&mut next, initial, &mut observation, &mut log, commands_fail);
+        let violations = self.core.check(&next, &observation);
+        StepOutcome { state: next, violations, log }
+    }
+
+    fn encode(&self, state: &SystemState, out: &mut Vec<u8>) {
+        state.encode_into(out);
+    }
+}
+
+/// One step of the strict-concurrency design: either generate an external
+/// event (which only enqueues its cyber event) or dispatch one pending event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConcurrentAction {
+    /// Generate an external event.
+    External(ExternalAction),
+    /// Dispatch the pending event at the given queue index.
+    Dispatch {
+        /// Index into the pending-event queue.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ConcurrentAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcurrentAction::External(a) => write!(f, "{a}"),
+            ConcurrentAction::Dispatch { index } => write!(f, "dispatch pending[{index}]"),
+        }
+    }
+}
+
+/// The strict-concurrency transition system (used for the Table 7b
+/// comparison; interleavings of internal and external events are explored).
+#[derive(Debug, Clone)]
+pub struct ConcurrentModel {
+    core: ModelCore,
+}
+
+impl ConcurrentModel {
+    /// Builds a concurrent model.
+    pub fn new(system: InstalledSystem, properties: PropertySet, options: ModelOptions) -> Self {
+        ConcurrentModel { core: ModelCore { system, properties, options } }
+    }
+
+    /// A search depth sufficient to drain every cascade the model can create.
+    pub fn suggested_depth(&self) -> usize {
+        self.core.options.max_events * (self.core.options.max_cascade + 1)
+    }
+}
+
+impl TransitionSystem for ConcurrentModel {
+    type State = SystemState;
+    type Action = ConcurrentAction;
+
+    fn initial_state(&self) -> SystemState {
+        self.core.system.initial_state()
+    }
+
+    fn actions(&self, state: &SystemState) -> Vec<ConcurrentAction> {
+        let mut actions: Vec<ConcurrentAction> =
+            self.core.external_actions(state).into_iter().map(ConcurrentAction::External).collect();
+        for index in 0..state.pending.len() {
+            actions.push(ConcurrentAction::Dispatch { index });
+        }
+        actions
+    }
+
+    fn apply(&self, state: &SystemState, action: &ConcurrentAction) -> StepOutcome<SystemState> {
+        let mut next = state.clone();
+        let mut observation = self.core.new_observation();
+        let mut log = Vec::new();
+        match action {
+            ConcurrentAction::External(external) => {
+                let events = self.core.apply_external(&mut next, external, &mut observation, &mut log);
+                next.pending.extend(events);
+            }
+            ConcurrentAction::Dispatch { index } => {
+                if *index < next.pending.len() {
+                    let event = next.pending.remove(*index);
+                    log.push(format!("dispatch {event}"));
+                    if next.pending.len() < self.core.options.max_cascade {
+                        let new_events =
+                            self.core.dispatch_one(&mut next, &event, &mut observation, &mut log, false);
+                        next.pending.extend(new_events);
+                    }
+                }
+            }
+        }
+        // Physical-state invariants are evaluated at quiescent points (no
+        // events pending), so the strict-concurrent design checks the same
+        // observable states as the sequential one; step-level observations
+        // (conflicting commands, leakage) are checked on every action.
+        let violations = if next.pending.is_empty() {
+            self.core.check(&next, &observation)
+        } else {
+            let mut violated = self.core.properties.check_step(&observation);
+            violated.sort();
+            violated.dedup();
+            violated
+                .into_iter()
+                .filter_map(|id| {
+                    self.core
+                        .properties
+                        .get(id)
+                        .map(|p| Violation { property: id.0, description: p.name.clone() })
+                })
+                .collect()
+        };
+        StepOutcome { state: next, violations, log }
+    }
+
+    fn encode(&self, state: &SystemState, out: &mut Vec<u8>) {
+        state.encode_into(out);
+        out.push(state.external_events as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_checker::{Checker, SearchConfig};
+    use iotsan_config::{AppConfig, Binding, DeviceConfig, SystemConfig};
+    use iotsan_groovy::SmartApp;
+    use iotsan_ir::lower_app;
+
+    /// Auto Mode Change + Unlock Door — the running example of the paper
+    /// (Figure 7): leaving home switches the mode to Away, which unlocks the
+    /// front door, violating "the main door should be locked when no one is
+    /// at home".
+    fn unlock_door_system() -> InstalledSystem {
+        let auto_mode = r#"
+definition(name: "Auto Mode Change", namespace: "st", author: "a", description: "Change mode on presence")
+preferences { section("s") { input "people", "capability.presenceSensor", multiple: true } }
+def installed() { subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        setLocationMode("Away")
+    } else {
+        setLocationMode("Home")
+    }
+}
+"#;
+        let unlock_door = r#"
+definition(name: "Unlock Door", namespace: "st", author: "a", description: "Unlock on mode change or touch")
+preferences { section("s") { input "lock1", "capability.lock" } }
+def installed() {
+    subscribe(app, "touch", appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def appTouch(evt) { lock1.unlock() }
+def changedLocationMode(evt) { lock1.unlock() }
+"#;
+        let apps = vec![
+            lower_app(&SmartApp::parse(auto_mode).unwrap()).unwrap(),
+            lower_app(&SmartApp::parse(unlock_door).unwrap()).unwrap(),
+        ];
+        let config = SystemConfig::new()
+            .with_device(DeviceConfig::new("alicePresence", "presenceSensor", ""))
+            .with_device(DeviceConfig::new("doorLock", "lock", "main door lock"))
+            .with_app(AppConfig::new("Auto Mode Change").with("people", Binding::Devices(vec!["alicePresence".into()])))
+            .with_app(AppConfig::new("Unlock Door").with("lock1", Binding::Devices(vec!["doorLock".into()])));
+        InstalledSystem::new(apps, config)
+    }
+
+    #[test]
+    fn sequential_model_finds_unlock_door_violation() {
+        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(2));
+        let report = Checker::new(SearchConfig::with_depth(2)).verify(&model);
+        assert!(report.has_violations());
+        // "The main door should be locked when no one is at home" must be
+        // among the violated properties, with a counterexample that starts
+        // from the presence sensor reporting "not present".
+        let found = report
+            .violations
+            .iter()
+            .find(|v| v.violation.description.contains("main door should be locked when no one is at home"))
+            .expect("expected the unlock-door violation");
+        assert!(found.trace.events().iter().any(|e| e.contains("not present")));
+        let rendered = found.trace.render(&found.violation);
+        assert!(rendered.contains("assertion violated"));
+        assert!(rendered.contains("doorLock.unlock"));
+    }
+
+    #[test]
+    fn single_event_suffices_for_the_mode_chain() {
+        // The cascade presence → mode change → unlock happens within one
+        // external event in the sequential design.
+        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(1));
+        let report = Checker::new(SearchConfig::with_depth(1)).verify(&model);
+        assert!(report.has_violations());
+        let violation = &report.violations[0];
+        assert_eq!(violation.depth, 1);
+    }
+
+    #[test]
+    fn concurrent_model_finds_the_same_violation() {
+        let system = unlock_door_system();
+        let model = ConcurrentModel::new(system, PropertySet::all(), ModelOptions::with_events(1));
+        let depth = model.suggested_depth();
+        let report = Checker::new(SearchConfig::with_depth(depth)).verify(&model);
+        assert!(report.has_violations());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.violation.description.contains("main door should be locked")));
+    }
+
+    #[test]
+    fn concurrent_model_explores_more_states_than_sequential() {
+        let system = unlock_door_system();
+        let seq = SequentialModel::new(system.clone(), PropertySet::all(), ModelOptions::with_events(2));
+        let seq_report = Checker::new(SearchConfig::with_depth(2)).verify(&seq);
+        let conc = ConcurrentModel::new(system, PropertySet::all(), ModelOptions::with_events(2));
+        let conc_report = Checker::new(SearchConfig::with_depth(conc.suggested_depth())).verify(&conc);
+        assert!(
+            conc_report.stats.states_stored > seq_report.stats.states_stored,
+            "concurrent {} <= sequential {}",
+            conc_report.stats.states_stored,
+            seq_report.stats.states_stored
+        );
+    }
+
+    #[test]
+    fn failure_policy_enumerates_more_actions() {
+        let system = unlock_door_system();
+        let no_failures =
+            SequentialModel::new(system.clone(), PropertySet::all(), ModelOptions::with_events(1));
+        let with_failures =
+            SequentialModel::new(system, PropertySet::all(), ModelOptions::with_events(1).with_failures());
+        let state = no_failures.initial_state();
+        assert!(with_failures.actions(&state).len() > no_failures.actions(&state).len());
+    }
+
+    #[test]
+    fn actions_stop_at_event_bound() {
+        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(1));
+        let mut state = model.initial_state();
+        state.external_events = 1;
+        assert!(model.actions(&state).is_empty());
+    }
+
+    #[test]
+    fn no_op_sensor_events_are_not_offered() {
+        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(1));
+        let state = model.initial_state();
+        // The presence sensor starts "present"; only "not present" (plus the
+        // app-touch action) should be offered, never a redundant "present".
+        let actions = model.actions(&state);
+        assert!(actions.iter().all(|a| match a {
+            ExternalAction::SensorEvent { value, .. } => value != "present",
+            _ => true,
+        }));
+    }
+}

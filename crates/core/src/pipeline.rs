@@ -1,0 +1,474 @@
+//! The end-to-end IotSan pipeline (Figure 3).
+//!
+//! Apps' Groovy code → Translator → App Dependency Analyzer → Model Generator
+//! → model checker → Output Analyzer.  The [`Pipeline`] ties the crates
+//! together: it translates sources, computes related sets so only interacting
+//! apps are verified jointly, verifies each group with the sequential model,
+//! aggregates violations, and drives the attribution algorithm for newly
+//! installed apps.
+
+use crate::model::{ModelOptions, SequentialModel};
+use crate::system::InstalledSystem;
+use iotsan_attribution::{attribute_app, AttributionReport, AttributionThresholds};
+use iotsan_checker::{Checker, SearchConfig, SearchReport};
+use iotsan_config::{enumerate_app_configs, expert_configure, AppConfig, DeviceConfig, SystemConfig};
+use iotsan_depgraph::{analyze, DependencyGraph, RelatedSets};
+use iotsan_groovy::SmartApp;
+use iotsan_ir::{lower_app, IrApp};
+use iotsan_properties::{PropertyClass, PropertyId, PropertySet};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An error produced while translating app source code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslateError {
+    /// Which app failed (index or name when known).
+    pub app: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to translate {}: {}", self.app, self.message)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates a batch of Groovy sources into IR apps.  Apps that use dynamic
+/// device discovery are still translated but flagged; the paper excludes them
+/// from verification (§10.1) and the pipeline reports them separately.
+pub fn translate_sources(sources: &[&str]) -> Result<Vec<IrApp>, TranslateError> {
+    let mut apps = Vec::new();
+    for (index, source) in sources.iter().enumerate() {
+        let parsed = SmartApp::parse(source)
+            .map_err(|e| TranslateError { app: format!("app #{index}"), message: e.to_string() })?;
+        let app = lower_app(&parsed)
+            .map_err(|e| TranslateError { app: parsed.name().to_string(), message: e.to_string() })?;
+        apps.push(app);
+    }
+    Ok(apps)
+}
+
+/// The verification result for one related group of apps.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// The apps verified together.
+    pub apps: Vec<String>,
+    /// The checker's report (violations + statistics).
+    pub report: SearchReport,
+}
+
+impl GroupResult {
+    /// The ids of properties violated in this group.
+    pub fn violated_properties(&self) -> BTreeSet<u32> {
+        self.report.violated_properties()
+    }
+}
+
+/// The aggregated result of verifying a whole system.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationResult {
+    /// Per-group results.
+    pub groups: Vec<GroupResult>,
+    /// Total number of event handlers before dependency analysis.
+    pub original_handlers: usize,
+    /// Number of handlers in the largest related set.
+    pub reduced_handlers: usize,
+    /// Apps that were excluded because they discover devices dynamically.
+    pub excluded_apps: Vec<String>,
+}
+
+impl VerificationResult {
+    /// Every `(property, group apps)` violation pair found.
+    pub fn violations(&self) -> Vec<(u32, Vec<String>)> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.violated_properties().into_iter().map(move |p| (p, g.apps.clone())))
+            .collect()
+    }
+
+    /// Total number of `(property, group)` violations.
+    pub fn violation_count(&self) -> usize {
+        self.violations().len()
+    }
+
+    /// Number of distinct violated properties across all groups.
+    pub fn violated_property_count(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|g| g.violated_properties())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// True when any group violated any property.
+    pub fn has_violations(&self) -> bool {
+        self.groups.iter().any(|g| g.report.has_violations())
+    }
+
+    /// Violation counts per property class (the row structure of Tables 5/6).
+    pub fn violations_by_class(&self, properties: &PropertySet) -> BTreeMap<&'static str, usize> {
+        let mut out: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (property, _) in self.violations() {
+            if let Some(p) = properties.get(PropertyId(property)) {
+                let label = match p.class {
+                    PropertyClass::ConflictingCommands => "Conflicting commands",
+                    PropertyClass::RepeatedCommands => "Repeated commands",
+                    PropertyClass::PhysicalState => "Unsafe physical states",
+                    PropertyClass::Security => "Security",
+                    PropertyClass::Robustness => "Robustness",
+                };
+                *out.entry(label).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// The dependency-analysis scale ratio (Table 7a).
+    pub fn scale_ratio(&self) -> f64 {
+        if self.reduced_handlers == 0 {
+            1.0
+        } else {
+            self.original_handlers as f64 / self.reduced_handlers as f64
+        }
+    }
+}
+
+/// The IotSan verification pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// The safety properties to verify.
+    pub properties: PropertySet,
+    /// Model-generation options (event bound, failure policy).
+    pub model_options: ModelOptions,
+    /// Checker search configuration.
+    pub search: SearchConfig,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            properties: PropertySet::all(),
+            model_options: ModelOptions::default(),
+            search: SearchConfig::with_depth(ModelOptions::default().max_events),
+        }
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given number of external events.
+    pub fn with_events(max_events: usize) -> Self {
+        Pipeline {
+            properties: PropertySet::all(),
+            model_options: ModelOptions::with_events(max_events),
+            search: SearchConfig::with_depth(max_events),
+        }
+    }
+
+    /// Enables exhaustive device/communication failure injection.
+    pub fn with_failures(mut self) -> Self {
+        self.model_options = self.model_options.clone().with_failures();
+        self
+    }
+
+    /// Runs dependency analysis over the apps (exposed for Table 7a and for
+    /// inspection with [`iotsan_depgraph::render_summary`]).
+    pub fn analyze_dependencies(&self, apps: &[IrApp]) -> (DependencyGraph, RelatedSets) {
+        analyze(apps)
+    }
+
+    /// Restricts a configuration to the devices actually bound to the given
+    /// apps' inputs.  The model checker then only enumerates physical events
+    /// from sensors the verified apps can observe, mirroring how the paper
+    /// verifies each related set against its own configuration rather than
+    /// the entire household.
+    pub fn restrict_config(&self, apps: &[IrApp], config: &SystemConfig) -> SystemConfig {
+        let mut used_labels: BTreeSet<String> = BTreeSet::new();
+        for app in apps {
+            if let Some(app_cfg) = config.app(&app.name) {
+                for input in &app.inputs {
+                    for label in app_cfg.devices_for(&input.name) {
+                        used_labels.insert(label);
+                    }
+                }
+            }
+        }
+        let mut restricted = config.clone();
+        restricted.devices.retain(|d| used_labels.contains(&d.label));
+        restricted.apps.retain(|a| apps.iter().any(|app| app.name == a.app));
+        restricted
+    }
+
+    /// Verifies one explicit group of apps (no dependency analysis).
+    pub fn verify_group(&self, apps: &[IrApp], config: &SystemConfig) -> GroupResult {
+        let config = self.restrict_config(apps, config);
+        let system = InstalledSystem::new(apps.to_vec(), config.clone());
+        let model = SequentialModel::new(system, self.properties.clone(), self.model_options.clone());
+        let report = Checker::new(self.search.clone()).verify(&model);
+        GroupResult { apps: apps.iter().map(|a| a.name.clone()).collect(), report }
+    }
+
+    /// The full pipeline: dependency analysis, then per-related-group
+    /// verification with the sequential model.
+    pub fn verify(&self, apps: &[IrApp], config: &SystemConfig) -> VerificationResult {
+        let excluded_apps: Vec<String> =
+            apps.iter().filter(|a| a.dynamic_discovery).map(|a| a.name.clone()).collect();
+        let verifiable: Vec<IrApp> = apps.iter().filter(|a| !a.dynamic_discovery).cloned().collect();
+
+        let (graph, sets) = analyze(&verifiable);
+        let mut result = VerificationResult {
+            groups: Vec::new(),
+            original_handlers: graph.handler_count(),
+            reduced_handlers: sets.largest_handler_count(&graph),
+            excluded_apps,
+        };
+
+        let groups = if sets.is_empty() {
+            // No handlers at all: nothing to verify.
+            Vec::new()
+        } else {
+            sets.app_groups(&graph)
+        };
+        for group in groups {
+            let group_apps: Vec<IrApp> =
+                verifiable.iter().filter(|a| group.contains(&a.name)).cloned().collect();
+            if group_apps.is_empty() {
+                continue;
+            }
+            result.groups.push(self.verify_group(&group_apps, config));
+        }
+        result
+    }
+
+    /// Emits the Promela model for a group of apps (for inspection / external
+    /// Spin runs).
+    pub fn emit_promela(&self, apps: &[IrApp], config: &SystemConfig) -> String {
+        iotsan_promela::emit_sequential(apps, config, &self.properties)
+    }
+
+    /// Returns `true` when verifying `apps` under `config` violates at least
+    /// one property — the oracle used by the attribution phases.
+    pub fn violates(&self, apps: &[IrApp], config: &SystemConfig) -> bool {
+        self.verify_group(apps, config).report.has_violations()
+    }
+
+    /// Runs the two-phase attribution of §9 for a newly installed app.
+    ///
+    /// Phase 1 verifies `new_app` alone under every enumerated configuration
+    /// over `devices`; phase 2 verifies it together with `installed` apps
+    /// (which keep their expert configuration).
+    pub fn attribute_new_app(
+        &self,
+        new_app: &IrApp,
+        installed: &[IrApp],
+        devices: &[DeviceConfig],
+        thresholds: &AttributionThresholds,
+    ) -> AttributionReport {
+        let config_limit = 24;
+        let standalone_configs: Vec<AppConfig> = enumerate_app_configs(new_app, devices, config_limit);
+        let joint_configs = standalone_configs.clone();
+
+        let base_standalone = {
+            let mut cfg = expert_configure(&[new_app.clone()], devices);
+            cfg.apps.clear();
+            cfg
+        };
+        let mut base_joint = expert_configure(installed, devices);
+
+        let verify_standalone = |app_cfg: &AppConfig| {
+            let mut config = base_standalone.clone();
+            config.apps.push(app_cfg.clone());
+            self.violates(std::slice::from_ref(new_app), &config)
+        };
+        let installed_and_new: Vec<IrApp> =
+            installed.iter().cloned().chain(std::iter::once(new_app.clone())).collect();
+        let verify_joint = |app_cfg: &AppConfig| {
+            let mut config = base_joint.clone();
+            config.apps.retain(|a| a.app != app_cfg.app);
+            config.apps.push(app_cfg.clone());
+            self.violates(&installed_and_new, &config)
+        };
+        let report = attribute_app(
+            &new_app.name,
+            &standalone_configs,
+            verify_standalone,
+            &joint_configs,
+            verify_joint,
+            thresholds,
+        );
+        // Keep the joint base config borrow-checker friendly (it is only read).
+        base_joint.apps.truncate(base_joint.apps.len());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_config::{standard_household, Binding};
+
+    const AUTO_MODE: &str = r#"
+definition(name: "Auto Mode Change", namespace: "st", author: "a", description: "d")
+preferences { section("s") { input "people", "capability.presenceSensor", multiple: true } }
+def installed() { subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    if (evt.value == "not present") { setLocationMode("Away") } else { setLocationMode("Home") }
+}
+"#;
+
+    const UNLOCK_DOOR: &str = r#"
+definition(name: "Unlock Door", namespace: "st", author: "a", description: "d")
+preferences { section("s") { input "lock1", "capability.lock" } }
+def installed() {
+    subscribe(app, "touch", appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def appTouch(evt) { lock1.unlock() }
+def changedLocationMode(evt) { lock1.unlock() }
+"#;
+
+    const GOOD_NIGHT_LIGHT: &str = r#"
+definition(name: "Brighten My Path", namespace: "st", author: "a", description: "d")
+preferences {
+    section("s") { input "motionSensor", "capability.motionSensor" }
+    section("s") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(motionSensor, "motion.active", motionActiveHandler) }
+def motionActiveHandler(evt) { lights.on() }
+"#;
+
+    fn household_config(apps: &[IrApp]) -> SystemConfig {
+        expert_configure(apps, &standard_household())
+    }
+
+    #[test]
+    fn translate_sources_reports_names() {
+        let apps = translate_sources(&[AUTO_MODE, UNLOCK_DOOR]).unwrap();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[0].name, "Auto Mode Change");
+        let err = translate_sources(&["def broken( {"]).unwrap_err();
+        assert!(err.to_string().contains("app #0"));
+    }
+
+    #[test]
+    fn pipeline_finds_interaction_violation() {
+        let apps = translate_sources(&[AUTO_MODE, UNLOCK_DOOR]).unwrap();
+        let config = household_config(&apps);
+        let pipeline = Pipeline::with_events(2);
+        let result = pipeline.verify(&apps, &config);
+        assert!(result.has_violations());
+        // The lock-related physical-state property must be among the violations.
+        let by_class = result.violations_by_class(&pipeline.properties);
+        assert!(by_class.get("Unsafe physical states").copied().unwrap_or(0) >= 1);
+        // Both apps are needed, so they end up in the same group.
+        let violating_group =
+            result.groups.iter().find(|g| g.report.has_violations()).expect("a violating group");
+        assert!(violating_group.apps.contains(&"Auto Mode Change".to_string()));
+        assert!(violating_group.apps.contains(&"Unlock Door".to_string()));
+    }
+
+    #[test]
+    fn dependency_analysis_reduces_problem_size() {
+        let apps = translate_sources(&[AUTO_MODE, UNLOCK_DOOR, GOOD_NIGHT_LIGHT]).unwrap();
+        let config = household_config(&apps);
+        let pipeline = Pipeline::with_events(1);
+        let result = pipeline.verify(&apps, &config);
+        assert!(result.original_handlers >= result.reduced_handlers);
+        assert!(result.scale_ratio() >= 1.0);
+        // Brighten My Path does not interact with the mode/lock chain, so at
+        // least two groups exist.
+        assert!(result.groups.len() >= 2);
+    }
+
+    #[test]
+    fn safe_group_has_no_violations() {
+        let apps = translate_sources(&[GOOD_NIGHT_LIGHT]).unwrap();
+        // Bind the lights to a light outlet (no lock, no mode involvement).
+        let config = household_config(&apps);
+        let pipeline = Pipeline::with_events(2);
+        let result = pipeline.verify(&apps, &config);
+        assert!(!result.has_violations(), "violations: {:?}", result.violations());
+    }
+
+    #[test]
+    fn excluded_dynamic_apps_are_reported() {
+        let spy = r#"
+definition(name: "Spy", namespace: "st", author: "a", description: "d")
+preferences { section("s") { input "trigger", "capability.motionSensor" } }
+def installed() { subscribe(trigger, "motion.active", handler) }
+def handler(evt) { getChildDevices() }
+"#;
+        let apps = translate_sources(&[spy, GOOD_NIGHT_LIGHT]).unwrap();
+        let config = household_config(&apps);
+        let result = Pipeline::with_events(1).verify(&apps, &config);
+        assert_eq!(result.excluded_apps, vec!["Spy".to_string()]);
+    }
+
+    #[test]
+    fn attribution_flags_malicious_fake_event_app() {
+        // A ContexIoT-style malicious app: whenever motion is detected it
+        // fakes a smoke event and silences the alarm — every configuration
+        // violates a property, so phase 1 flags it.
+        let malicious = r#"
+definition(name: "Fake Smoke", namespace: "st", author: "evil", description: "d")
+preferences {
+    section("s") { input "motion1", "capability.motionSensor" }
+    section("s") { input "alarm1", "capability.alarm" }
+}
+def installed() { subscribe(motion1, "motion.active", handler) }
+def handler(evt) {
+    sendEvent(name: "smoke", value: "detected")
+    alarm1.off()
+}
+"#;
+        let apps = translate_sources(&[malicious]).unwrap();
+        let devices = standard_household();
+        let pipeline = Pipeline::with_events(2);
+        let report = pipeline.attribute_new_app(&apps[0], &[], &devices, &AttributionThresholds::default());
+        assert!(report.verdict.flags_app(), "verdict was {:?}", report.verdict);
+    }
+
+    #[test]
+    fn attribution_reports_clean_for_benign_app() {
+        let apps = translate_sources(&[GOOD_NIGHT_LIGHT]).unwrap();
+        let devices = standard_household();
+        let pipeline = Pipeline::with_events(1);
+        let report = pipeline.attribute_new_app(&apps[0], &[], &devices, &AttributionThresholds::default());
+        assert!(!report.verdict.flags_app(), "verdict was {:?}", report.verdict);
+    }
+
+    #[test]
+    fn promela_emission_via_pipeline() {
+        let apps = translate_sources(&[UNLOCK_DOOR]).unwrap();
+        let config = household_config(&apps);
+        let text = Pipeline::default().emit_promela(&apps, &config);
+        assert!(text.contains("inline Unlock_Door_changedLocationMode"));
+    }
+
+    #[test]
+    fn verify_group_respects_explicit_binding() {
+        let apps = translate_sources(&[UNLOCK_DOOR]).unwrap();
+        let mut config = household_config(&apps);
+        // Rebind the lock input to the back door (not the main door): the
+        // main-door property can then no longer be violated by this app alone.
+        if let Some(app_cfg) = config.apps.iter_mut().find(|a| a.app == "Unlock Door") {
+            app_cfg.bindings.insert("lock1".into(), Binding::Devices(vec!["backDoorLock".into()]));
+        }
+        let pipeline = Pipeline::with_events(1);
+        let result = pipeline.verify_group(&apps, &config);
+        let violated = result.violated_properties();
+        let main_door_violations: Vec<_> = violated
+            .iter()
+            .filter(|p| {
+                pipeline
+                    .properties
+                    .get(PropertyId(**p))
+                    .map(|prop| prop.name.contains("main door"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert!(main_door_violations.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! The installed system and its runtime state.
+//!
+//! An [`InstalledSystem`] binds translated apps ([`IrApp`]) to a concrete
+//! [`SystemConfig`]: which devices exist, which devices each app input refers
+//! to, which phone numbers are legitimate SMS recipients.  A [`SystemState`]
+//! is the model checker's state vector: every device's attribute valuation,
+//! the location mode, the modelled time, each app's persistent `state.*`
+//! variables and (for the concurrent design) the queue of pending events.
+
+use iotsan_config::SystemConfig;
+use iotsan_devices::{Device, DeviceId, DeviceState, LocationMode, SystemTime};
+use iotsan_ir::{IrApp, Value};
+use iotsan_properties::{DeviceSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A cyber event flowing through the system during verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternalEvent {
+    /// The device that generated the event, if any (`None` for location-mode
+    /// changes and app-generated fake events with no device).
+    pub device: Option<DeviceId>,
+    /// Attribute name (`motion`, `contact`, `mode`, ...).
+    pub attribute: String,
+    /// New value.
+    pub value: Value,
+    /// True when the event came from the physical environment.
+    pub physical: bool,
+}
+
+impl fmt::Display for InternalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.device {
+            Some(id) => write!(f, "{id}/{}={}", self.attribute, self.value),
+            None => write!(f, "{}={}", self.attribute, self.value),
+        }
+    }
+}
+
+/// The apps and configuration under verification, with binding resolution.
+#[derive(Debug, Clone)]
+pub struct InstalledSystem {
+    /// Translated apps (only those selected for this verification group).
+    pub apps: Vec<IrApp>,
+    /// The system configuration.
+    pub config: SystemConfig,
+    /// Installed devices (ids are positions in this table).
+    pub devices: Vec<Device>,
+}
+
+impl InstalledSystem {
+    /// Builds an installed system from apps and a configuration.
+    pub fn new(apps: Vec<IrApp>, config: SystemConfig) -> Self {
+        let devices = config.device_table();
+        InstalledSystem { apps, config, devices }
+    }
+
+    /// The devices bound to `input` of `app`.
+    pub fn bound_devices(&self, app: &str, input: &str) -> Vec<DeviceId> {
+        self.config
+            .app(app)
+            .map(|cfg| {
+                cfg.devices_for(input)
+                    .iter()
+                    .filter_map(|label| self.config.device_id(label))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The non-device setting value bound to `input` of `app`.
+    pub fn setting_value(&self, app: &str, input: &str) -> Value {
+        self.config
+            .app(app)
+            .and_then(|cfg| cfg.binding(input))
+            .map(|b| b.to_value())
+            .unwrap_or(Value::Null)
+    }
+
+    /// The device table entry for `id`.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// The initial state of the whole system.
+    pub fn initial_state(&self) -> SystemState {
+        SystemState {
+            devices: self.devices.iter().map(|d| d.initial_state()).collect(),
+            mode: LocationMode::parse(&self.config.initial_mode).unwrap_or_default(),
+            time: SystemTime::zero(),
+            app_state: BTreeMap::new(),
+            pending: Vec::new(),
+            external_events: 0,
+        }
+    }
+
+    /// Builds the physical-state [`Snapshot`] the property checker consumes.
+    pub fn snapshot(&self, state: &SystemState) -> Snapshot {
+        let devices = self
+            .devices
+            .iter()
+            .zip(&state.devices)
+            .map(|(device, dstate)| {
+                let spec = device.spec();
+                DeviceSnapshot {
+                    id: device.id,
+                    label: device.label.clone(),
+                    capability: spec.capability.to_string(),
+                    role: self.config.role_of(&device.label),
+                    attributes: spec
+                        .attributes
+                        .iter()
+                        .map(|attr| (attr.name.to_string(), dstate.get(spec, attr.name)))
+                        .collect(),
+                    online: dstate.is_online(),
+                }
+            })
+            .collect();
+        Snapshot { mode: state.mode.name().to_string(), devices, time_seconds: state.time.seconds() }
+    }
+}
+
+/// The model checker's state vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemState {
+    /// Per-device attribute valuations (indexed by [`DeviceId`]).
+    pub devices: Vec<DeviceState>,
+    /// Current location mode.
+    pub mode: LocationMode,
+    /// Modelled system time (not part of the state identity).
+    pub time: SystemTime,
+    /// Persistent app state variables, keyed `"app::var"`, stored in rendered
+    /// form so the state stays hashable.
+    pub app_state: BTreeMap<String, String>,
+    /// Pending (not yet dispatched) events; only the concurrent design keeps
+    /// events pending across transitions.
+    pub pending: Vec<InternalEvent>,
+    /// Number of external events generated so far.
+    pub external_events: usize,
+}
+
+impl SystemState {
+    /// Reads an app state variable.
+    pub fn app_var(&self, app: &str, var: &str) -> Value {
+        match self.app_state.get(&format!("{app}::{var}")) {
+            Some(text) => Value::Str(text.clone()),
+            None => Value::Null,
+        }
+    }
+
+    /// Writes an app state variable.
+    pub fn set_app_var(&mut self, app: &str, var: &str, value: &Value) {
+        self.app_state.insert(format!("{app}::{var}"), value.as_string());
+    }
+
+    /// Serializes the state-identity-relevant parts into `out` (device states,
+    /// mode, app variables and the pending-event queue; modelled time and the
+    /// external-event count are excluded so equivalent physical states merge).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for device in &self.devices {
+            device.encode_into(out);
+        }
+        out.push(self.mode.index());
+        for (key, value) in &self.app_state {
+            out.extend_from_slice(key.as_bytes());
+            out.push(0xfe);
+            out.extend_from_slice(value.as_bytes());
+            out.push(0xff);
+        }
+        for event in &self.pending {
+            out.extend_from_slice(event.attribute.as_bytes());
+            out.push(0xfd);
+            out.extend_from_slice(event.value.as_string().as_bytes());
+            out.push(match event.device {
+                Some(id) => id.0 as u8,
+                None => 0xfc,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_config::{AppConfig, Binding, DeviceConfig};
+    use iotsan_ir::AppInput;
+
+    fn system() -> InstalledSystem {
+        let app = IrApp {
+            name: "Unlock Door".into(),
+            description: String::new(),
+            inputs: vec![AppInput::device("lock1", "lock")],
+            handlers: vec![],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        };
+        let config = SystemConfig::new()
+            .with_device(DeviceConfig::new("doorLock", "lock", "main door lock"))
+            .with_device(DeviceConfig::new("alicePresence", "presenceSensor", ""))
+            .with_app(
+                AppConfig::new("Unlock Door")
+                    .with("lock1", Binding::Devices(vec!["doorLock".into()]))
+                    .with("minutes", Binding::Number(10.0)),
+            );
+        InstalledSystem::new(vec![app], config)
+    }
+
+    #[test]
+    fn binding_resolution() {
+        let sys = system();
+        assert_eq!(sys.bound_devices("Unlock Door", "lock1"), vec![DeviceId(0)]);
+        assert!(sys.bound_devices("Unlock Door", "missing").is_empty());
+        assert!(sys.bound_devices("Ghost", "lock1").is_empty());
+        assert_eq!(sys.setting_value("Unlock Door", "minutes"), Value::Int(10));
+        assert_eq!(sys.setting_value("Unlock Door", "unset"), Value::Null);
+    }
+
+    #[test]
+    fn initial_state_and_snapshot() {
+        let sys = system();
+        let state = sys.initial_state();
+        assert_eq!(state.devices.len(), 2);
+        assert_eq!(state.mode, LocationMode::Home);
+        let snap = sys.snapshot(&state);
+        assert_eq!(snap.devices.len(), 2);
+        assert_eq!(snap.mode, "Home");
+        let lock = snap.devices.iter().find(|d| d.capability == "lock").unwrap();
+        assert!(lock.attr_is("lock", "locked"));
+        assert_eq!(lock.role, iotsan_properties::DeviceRole::MainDoorLock);
+    }
+
+    #[test]
+    fn app_vars_round_trip() {
+        let sys = system();
+        let mut state = sys.initial_state();
+        assert_eq!(state.app_var("Unlock Door", "count"), Value::Null);
+        state.set_app_var("Unlock Door", "count", &Value::Int(3));
+        assert_eq!(state.app_var("Unlock Door", "count"), Value::Str("3".into()));
+    }
+
+    #[test]
+    fn encoding_changes_with_state() {
+        let sys = system();
+        let mut a = sys.initial_state();
+        let mut buf_a = Vec::new();
+        a.encode_into(&mut buf_a);
+
+        // Changing the mode changes the encoding; changing the time does not.
+        let mut b = a.clone();
+        b.mode = LocationMode::Away;
+        let mut buf_b = Vec::new();
+        b.encode_into(&mut buf_b);
+        assert_ne!(buf_a, buf_b);
+
+        a.time.tick();
+        let mut buf_t = Vec::new();
+        a.encode_into(&mut buf_t);
+        assert_eq!(buf_a, buf_t);
+
+        // App variables and pending events contribute.
+        let mut c = sys.initial_state();
+        c.set_app_var("Unlock Door", "x", &Value::Int(1));
+        let mut buf_c = Vec::new();
+        c.encode_into(&mut buf_c);
+        assert_ne!(buf_a, buf_c);
+    }
+
+    #[test]
+    fn internal_event_display() {
+        let e = InternalEvent {
+            device: Some(DeviceId(1)),
+            attribute: "presence".into(),
+            value: Value::Str("not present".into()),
+            physical: true,
+        };
+        assert_eq!(e.to_string(), "dev1/presence=not present");
+        let e = InternalEvent { device: None, attribute: "mode".into(), value: Value::Str("Away".into()), physical: false };
+        assert_eq!(e.to_string(), "mode=Away");
+    }
+}

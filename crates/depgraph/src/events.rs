@@ -1,0 +1,276 @@
+//! Input/output event extraction (§5, "Extracting input/output events").
+//!
+//! Each event handler takes one or more *input events* and can induce zero or
+//! more *output events*.  Input events come from its subscription trigger and
+//! from APIs that read device state; output events come from APIs that change
+//! device state (actuator commands) and from location-mode changes.  Events
+//! are described in the paper's `attribute/value` format, where an empty value
+//! means "any".
+
+use iotsan_devices::registry;
+use iotsan_ir::{IrApp, IrHandler, IrStmt, SettingKind, Trigger};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An event description in the paper's `attribute/value` format.
+///
+/// `value == None` means "any value of this attribute" and overlaps every
+/// concrete value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventDesc {
+    /// Attribute (e.g. `contact`, `switch`, `mode`, `touch`).
+    pub attribute: String,
+    /// Specific value (e.g. `open`, `on`, `Away`), or `None` for any.
+    pub value: Option<String>,
+}
+
+impl EventDesc {
+    /// Creates an event description with a concrete value.
+    pub fn new(attribute: impl Into<String>, value: impl Into<String>) -> Self {
+        EventDesc { attribute: attribute.into(), value: Some(value.into()) }
+    }
+
+    /// Creates an "any value" event description.
+    pub fn any(attribute: impl Into<String>) -> Self {
+        EventDesc { attribute: attribute.into(), value: None }
+    }
+
+    /// True when two descriptions can describe the same concrete event.
+    pub fn overlaps(&self, other: &EventDesc) -> bool {
+        if self.attribute != other.attribute {
+            return false;
+        }
+        match (&self.value, &other.value) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
+    }
+
+    /// True when two descriptions target the same attribute but *different*
+    /// concrete values — the "conflicting outputs" condition that forces two
+    /// related sets to be merged (§5).
+    pub fn conflicts_with(&self, other: &EventDesc) -> bool {
+        self.attribute == other.attribute
+            && matches!((&self.value, &other.value), (Some(a), Some(b)) if a != b)
+    }
+}
+
+impl fmt::Display for EventDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            Some(v) => write!(f, "{}/{}", self.attribute, v),
+            None => write!(f, "{}/\"...\"", self.attribute),
+        }
+    }
+}
+
+/// The extracted event profile of one handler.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventProfile {
+    /// Events that can trigger or are read by the handler.
+    pub inputs: BTreeSet<EventDesc>,
+    /// Events the handler can produce.
+    pub outputs: BTreeSet<EventDesc>,
+}
+
+/// Extracts the input events of a handler: its subscription trigger plus all
+/// device-attribute reads.
+pub fn input_events(app: &IrApp, handler: &IrHandler) -> BTreeSet<EventDesc> {
+    let mut inputs = BTreeSet::new();
+    match &handler.trigger {
+        Trigger::Device { attribute, value, .. } => {
+            inputs.insert(EventDesc { attribute: attribute.clone(), value: value.clone() });
+        }
+        Trigger::LocationMode { value } => {
+            inputs.insert(EventDesc { attribute: "mode".into(), value: value.clone() });
+        }
+        Trigger::LocationEvent { name } => {
+            inputs.insert(EventDesc::any(name.clone()));
+        }
+        Trigger::AppTouch => {
+            inputs.insert(EventDesc::any("touch"));
+        }
+        Trigger::Timer { .. } => {
+            inputs.insert(EventDesc::any("time"));
+        }
+    }
+    // Device-state reads also count as inputs (§5: "identified via APIs that
+    // read states of smart devices").
+    for (_, attribute) in handler.device_reads() {
+        inputs.insert(EventDesc::any(attribute));
+    }
+    let _ = app;
+    inputs
+}
+
+/// Extracts the output events of a handler: every device command (mapped to
+/// the attribute change it causes via the capability registry), location-mode
+/// changes and synthetic `sendEvent` events.
+pub fn output_events(app: &IrApp, handler: &IrHandler) -> BTreeSet<EventDesc> {
+    let mut outputs = BTreeSet::new();
+    for stmt in &handler.body {
+        stmt.walk(&mut |s| match s {
+            IrStmt::DeviceCommand { input, command, .. } => {
+                let capability = app
+                    .input(input)
+                    .and_then(|i| i.kind.capability().map(str::to_string))
+                    .unwrap_or_else(|| "switch".to_string());
+                let spec = registry().spec_or_switch(&capability);
+                if let Some(cmd) = spec.command(command) {
+                    for effect in &cmd.effects {
+                        match effect {
+                            iotsan_devices::CommandEffect::Set { attribute, value } => {
+                                outputs.insert(EventDesc::new(*attribute, *value));
+                            }
+                            iotsan_devices::CommandEffect::SetFromArg { attribute } => {
+                                outputs.insert(EventDesc::any(*attribute));
+                            }
+                        }
+                    }
+                } else {
+                    // Unknown command: assume it changes the primary attribute.
+                    outputs.insert(EventDesc::any(spec.primary_attribute().name));
+                }
+            }
+            IrStmt::SetLocationMode(value) => {
+                let mode = match value {
+                    iotsan_ir::IrExpr::Const(v) => Some(v.as_string()),
+                    _ => None,
+                };
+                outputs.insert(EventDesc { attribute: "mode".into(), value: mode });
+            }
+            IrStmt::SendEvent { attribute, value } => {
+                let v = match value {
+                    iotsan_ir::IrExpr::Const(v) => Some(v.as_string()),
+                    _ => None,
+                };
+                outputs.insert(EventDesc { attribute: attribute.clone(), value: v });
+            }
+            _ => {}
+        });
+    }
+    outputs
+}
+
+/// Extracts the full event profile of a handler.
+pub fn event_profile(app: &IrApp, handler: &IrHandler) -> EventProfile {
+    EventProfile { inputs: input_events(app, handler), outputs: output_events(app, handler) }
+}
+
+/// Returns true when `input` is a device-typed setting of `app`
+/// (used by callers that need to distinguish device loops from plain reads).
+pub fn is_device_setting(app: &IrApp, input: &str) -> bool {
+    app.input(input).map(|i| matches!(i.kind, SettingKind::Device { .. })).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_ir::{AppInput, IrExpr, Value};
+
+    fn switch_app(name: &str, handler: IrHandler) -> IrApp {
+        IrApp {
+            name: name.into(),
+            description: String::new(),
+            inputs: vec![
+                AppInput::device("contact1", "contactSensor"),
+                AppInput::device("switches", "switch"),
+                AppInput::device("lock1", "lock"),
+            ],
+            handlers: vec![handler],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        }
+    }
+
+    fn handler(trigger: Trigger, body: Vec<IrStmt>) -> IrHandler {
+        IrHandler { app: "A".into(), name: "h".into(), trigger, body }
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let open = EventDesc::new("contact", "open");
+        let any_contact = EventDesc::any("contact");
+        let closed = EventDesc::new("contact", "closed");
+        let on = EventDesc::new("switch", "on");
+        assert!(open.overlaps(&any_contact));
+        assert!(any_contact.overlaps(&closed));
+        assert!(!open.overlaps(&closed));
+        assert!(!open.overlaps(&on));
+    }
+
+    #[test]
+    fn conflict_semantics() {
+        let on = EventDesc::new("switch", "on");
+        let off = EventDesc::new("switch", "off");
+        let any = EventDesc::any("switch");
+        assert!(on.conflicts_with(&off));
+        assert!(!on.conflicts_with(&on));
+        assert!(!on.conflicts_with(&any));
+        assert!(!on.conflicts_with(&EventDesc::new("lock", "locked")));
+    }
+
+    #[test]
+    fn display_format_matches_paper() {
+        assert_eq!(EventDesc::new("contact", "open").to_string(), "contact/open");
+        assert_eq!(EventDesc::any("contact").to_string(), "contact/\"...\"");
+    }
+
+    #[test]
+    fn inputs_from_trigger_and_reads() {
+        let h = handler(
+            Trigger::Device { input: "contact1".into(), attribute: "contact".into(), value: Some("open".into()) },
+            vec![IrStmt::If {
+                cond: IrExpr::attr_eq("lock1", "lock", "locked"),
+                then: vec![],
+                els: vec![],
+            }],
+        );
+        let app = switch_app("A", h.clone());
+        let inputs = input_events(&app, &h);
+        assert!(inputs.contains(&EventDesc::new("contact", "open")));
+        assert!(inputs.contains(&EventDesc::any("lock")));
+    }
+
+    #[test]
+    fn outputs_map_commands_to_attribute_events() {
+        let h = handler(
+            Trigger::AppTouch,
+            vec![
+                IrStmt::DeviceCommand { input: "switches".into(), command: "on".into(), args: vec![] },
+                IrStmt::DeviceCommand { input: "lock1".into(), command: "unlock".into(), args: vec![] },
+                IrStmt::SetLocationMode(IrExpr::Const(Value::Str("Away".into()))),
+            ],
+        );
+        let app = switch_app("A", h.clone());
+        let outputs = output_events(&app, &h);
+        assert!(outputs.contains(&EventDesc::new("switch", "on")));
+        assert!(outputs.contains(&EventDesc::new("lock", "unlocked")));
+        assert!(outputs.contains(&EventDesc::new("mode", "Away")));
+    }
+
+    #[test]
+    fn fake_events_count_as_outputs() {
+        let h = handler(
+            Trigger::AppTouch,
+            vec![IrStmt::SendEvent { attribute: "smoke".into(), value: IrExpr::str("detected") }],
+        );
+        let app = switch_app("A", h.clone());
+        let outputs = output_events(&app, &h);
+        assert!(outputs.contains(&EventDesc::new("smoke", "detected")));
+    }
+
+    #[test]
+    fn profile_combines_both() {
+        let h = handler(
+            Trigger::Device { input: "contact1".into(), attribute: "contact".into(), value: None },
+            vec![IrStmt::DeviceCommand { input: "switches".into(), command: "off".into(), args: vec![] }],
+        );
+        let app = switch_app("A", h.clone());
+        let profile = event_profile(&app, &h);
+        assert_eq!(profile.inputs.len(), 1);
+        assert_eq!(profile.outputs.len(), 1);
+        assert!(is_device_setting(&app, "switches"));
+        assert!(!is_device_setting(&app, "unknown"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Device instances and their runtime state.
+//!
+//! A [`Device`] is one concrete, installed device (e.g. "the motion sensor in
+//! the living room") of a given capability; a [`DeviceState`] is its current
+//! attribute valuation, stored compactly as domain indices so the model
+//! checker can hash entire system states cheaply.
+
+use crate::capability::{registry, AttrDomain, CommandEffect, DeviceKind, DeviceSpec};
+use iotsan_ir::Value;
+use std::fmt;
+
+/// Identifier of an installed device (index into the system's device table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// An installed device: a label chosen by the user plus its capability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// System-wide identifier.
+    pub id: DeviceId,
+    /// User-facing label, e.g. `livRoomMotion`, `myHeaterOutlet`.
+    pub label: String,
+    /// Capability name; resolves to a [`DeviceSpec`] through the registry.
+    pub capability: String,
+}
+
+impl Device {
+    /// Creates a device.
+    pub fn new(id: DeviceId, label: impl Into<String>, capability: impl Into<String>) -> Self {
+        Device { id, label: label.into(), capability: capability.into() }
+    }
+
+    /// The specification for this device's capability (falls back to `switch`
+    /// for unknown capabilities so that translation never wedges).
+    pub fn spec(&self) -> &'static DeviceSpec {
+        registry().spec_or_switch(&self.capability)
+    }
+
+    /// True when the device can generate physical events.
+    pub fn is_sensor(&self) -> bool {
+        matches!(self.spec().kind, DeviceKind::Sensor | DeviceKind::Hybrid)
+    }
+
+    /// True when the device accepts commands.
+    pub fn is_actuator(&self) -> bool {
+        matches!(self.spec().kind, DeviceKind::Actuator | DeviceKind::Hybrid)
+    }
+
+    /// The initial state for this device.
+    pub fn initial_state(&self) -> DeviceState {
+        DeviceState::initial(self.spec())
+    }
+}
+
+/// The result of applying a command to a device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandOutcome {
+    /// The command changed at least one attribute; the new values are the
+    /// `(attribute, value)` pairs listed.
+    Changed(Vec<(String, Value)>),
+    /// The command was valid but left the state unchanged (e.g. `on()` when
+    /// already on) — relevant for the *repeated commands* property.
+    NoChange,
+    /// The device's capability does not support this command.
+    Unsupported,
+    /// The device is offline (failure injection); the command was lost.
+    Offline,
+}
+
+/// Current attribute valuation of one device.
+///
+/// Values are stored as indices into each attribute's finite domain, plus an
+/// `online` flag used for device/communication failure injection (§8).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeviceState {
+    values: Vec<u8>,
+    online: bool,
+}
+
+impl DeviceState {
+    /// The initial state per the specification defaults.
+    pub fn initial(spec: &DeviceSpec) -> Self {
+        DeviceState {
+            values: spec.attributes.iter().map(|a| a.default_index as u8).collect(),
+            online: true,
+        }
+    }
+
+    /// Whether the device is currently online.
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Marks the device online or offline.
+    pub fn set_online(&mut self, online: bool) {
+        self.online = online;
+    }
+
+    /// Raw domain index of an attribute (by position).
+    pub fn raw(&self, index: usize) -> Option<u8> {
+        self.values.get(index).copied()
+    }
+
+    /// The current value of `attribute` as an [`Value`].
+    pub fn get(&self, spec: &DeviceSpec, attribute: &str) -> Value {
+        let Some(idx) = spec.attribute_index(attribute) else { return Value::Null };
+        let attr = &spec.attributes[idx];
+        let value_index = self.values[idx] as usize;
+        match &attr.domain {
+            AttrDomain::Enum(names) => {
+                names.get(value_index).map(|s| Value::Str(s.to_string())).unwrap_or(Value::Null)
+            }
+            AttrDomain::Numeric(values) => {
+                values.get(value_index).map(|v| Value::Int(*v)).unwrap_or(Value::Null)
+            }
+        }
+    }
+
+    /// Sets `attribute` to the domain value at `value_index`; returns `true`
+    /// when the state actually changed.
+    pub fn set_index(&mut self, spec: &DeviceSpec, attribute: &str, value_index: usize) -> bool {
+        let Some(idx) = spec.attribute_index(attribute) else { return false };
+        if value_index >= spec.attributes[idx].domain.len() {
+            return false;
+        }
+        let changed = self.values[idx] != value_index as u8;
+        self.values[idx] = value_index as u8;
+        changed
+    }
+
+    /// Sets `attribute` to the given value (string or numeric), snapping
+    /// numeric values to the nearest domain level.  Returns `true` when the
+    /// state changed, `false` when it was already equal or the value/attribute
+    /// is unknown.
+    pub fn set(&mut self, spec: &DeviceSpec, attribute: &str, value: &Value) -> bool {
+        let Some(idx) = spec.attribute_index(attribute) else { return false };
+        let attr = &spec.attributes[idx];
+        let target = match &attr.domain {
+            AttrDomain::Enum(_) => attr.domain.index_of(&value.as_string()),
+            AttrDomain::Numeric(levels) => match value.as_number() {
+                Some(n) => Some(nearest_index(levels, n)),
+                None => None,
+            },
+        };
+        match target {
+            Some(value_index) => {
+                let changed = self.values[idx] != value_index as u8;
+                self.values[idx] = value_index as u8;
+                changed
+            }
+            None => false,
+        }
+    }
+
+    /// Applies an actuator command (with already-evaluated arguments).
+    pub fn apply_command(&mut self, spec: &DeviceSpec, command: &str, args: &[Value]) -> CommandOutcome {
+        if !self.online {
+            return CommandOutcome::Offline;
+        }
+        let Some(cmd) = spec.command(command) else { return CommandOutcome::Unsupported };
+        let mut changes = Vec::new();
+        for effect in &cmd.effects {
+            match effect {
+                CommandEffect::Set { attribute, value } => {
+                    if self.set(spec, attribute, &Value::Str(value.to_string())) {
+                        changes.push((attribute.to_string(), self.get(spec, attribute)));
+                    }
+                }
+                CommandEffect::SetFromArg { attribute } => {
+                    if let Some(arg) = args.first() {
+                        if self.set(spec, attribute, arg) {
+                            changes.push((attribute.to_string(), self.get(spec, attribute)));
+                        }
+                    }
+                }
+            }
+        }
+        if changes.is_empty() {
+            CommandOutcome::NoChange
+        } else {
+            CommandOutcome::Changed(changes)
+        }
+    }
+
+    /// Serializes the state into bytes for hashing by the model checker: the
+    /// attribute indices followed by the online flag.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.values);
+        out.push(self.online as u8);
+    }
+}
+
+/// The index of the domain level nearest to `value`.
+fn nearest_index(levels: &[i64], value: f64) -> usize {
+    let mut best = 0;
+    let mut best_dist = f64::INFINITY;
+    for (i, level) in levels.iter().enumerate() {
+        let dist = (*level as f64 - value).abs();
+        if dist < best_dist {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock_device() -> Device {
+        Device::new(DeviceId(0), "frontDoorLock", "lock")
+    }
+
+    #[test]
+    fn device_classification() {
+        let lock = lock_device();
+        assert!(lock.is_actuator());
+        assert!(!lock.is_sensor());
+        let motion = Device::new(DeviceId(1), "hallMotion", "motionSensor");
+        assert!(motion.is_sensor());
+        assert!(!motion.is_actuator());
+        let thermostat = Device::new(DeviceId(2), "nest", "thermostat");
+        assert!(thermostat.is_sensor() && thermostat.is_actuator());
+    }
+
+    #[test]
+    fn initial_state_uses_defaults() {
+        let lock = lock_device();
+        let state = lock.initial_state();
+        assert_eq!(state.get(lock.spec(), "lock"), Value::Str("locked".into()));
+        assert!(state.is_online());
+    }
+
+    #[test]
+    fn apply_command_changes_state_once() {
+        let lock = lock_device();
+        let spec = lock.spec();
+        let mut state = lock.initial_state();
+        let outcome = state.apply_command(spec, "unlock", &[]);
+        assert!(matches!(outcome, CommandOutcome::Changed(ref c) if c[0].0 == "lock"));
+        assert_eq!(state.get(spec, "lock"), Value::Str("unlocked".into()));
+        // Re-issuing the same command is a no-op (repeated command).
+        assert_eq!(state.apply_command(spec, "unlock", &[]), CommandOutcome::NoChange);
+    }
+
+    #[test]
+    fn unsupported_and_offline_commands() {
+        let lock = lock_device();
+        let spec = lock.spec();
+        let mut state = lock.initial_state();
+        assert_eq!(state.apply_command(spec, "explode", &[]), CommandOutcome::Unsupported);
+        state.set_online(false);
+        assert_eq!(state.apply_command(spec, "unlock", &[]), CommandOutcome::Offline);
+        // State unchanged while offline.
+        assert_eq!(state.get(spec, "lock"), Value::Str("locked".into()));
+    }
+
+    #[test]
+    fn numeric_set_snaps_to_domain() {
+        let dimmer = Device::new(DeviceId(3), "bedroom", "switchLevel");
+        let spec = dimmer.spec();
+        let mut state = dimmer.initial_state();
+        let outcome = state.apply_command(spec, "setLevel", &[Value::Int(47)]);
+        assert!(matches!(outcome, CommandOutcome::Changed(_)));
+        // 47 snaps to the nearest discretized level, 50.
+        assert_eq!(state.get(spec, "level"), Value::Int(50));
+        // setLevel also turns the switch on.
+        assert_eq!(state.get(spec, "switch"), Value::Str("on".into()));
+    }
+
+    #[test]
+    fn set_rejects_unknown_values() {
+        let lock = lock_device();
+        let spec = lock.spec();
+        let mut state = lock.initial_state();
+        assert!(!state.set(spec, "lock", &Value::Str("ajar".into())));
+        assert!(!state.set(spec, "nonexistent", &Value::Str("x".into())));
+    }
+
+    #[test]
+    fn encode_includes_online_flag() {
+        let lock = lock_device();
+        let mut state = lock.initial_state();
+        let mut a = Vec::new();
+        state.encode_into(&mut a);
+        state.set_online(false);
+        let mut b = Vec::new();
+        state.encode_into(&mut b);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn unknown_capability_falls_back_to_switch() {
+        let exotic = Device::new(DeviceId(9), "weird", "quantumFluxCapacitor");
+        assert_eq!(exotic.spec().capability, "switch");
+    }
+}

@@ -1,0 +1,198 @@
+//! Events and event queues.
+//!
+//! Figure 2 of the paper shows the chain of events in an IoT system: sensors
+//! convert physical events into cyber events; apps subscribed to those events
+//! command actuators; actuator state changes generate further cyber events.
+//! [`Event`] is one cyber event; [`EventQueue`] is the per-system pending
+//! queue drained by Algorithm 1's `dispatch_event` loop.
+
+use crate::device::DeviceId;
+use iotsan_ir::Value;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Where an event originated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EventSource {
+    /// A device (sensor reading or actuator state-change notification).
+    Device(DeviceId),
+    /// The location object (mode change, sunrise, sunset).
+    Location,
+    /// The companion app (app-touch events).
+    App,
+    /// The scheduler (timer fired).
+    Timer,
+}
+
+impl fmt::Display for EventSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventSource::Device(id) => write!(f, "{id}"),
+            EventSource::Location => write!(f, "location"),
+            EventSource::App => write!(f, "app"),
+            EventSource::Timer => write!(f, "timer"),
+        }
+    }
+}
+
+/// A cyber event delivered to subscribed apps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Who generated it.
+    pub source: EventSource,
+    /// Attribute name (`motion`, `contact`, `mode`, `touch`, `time`).
+    pub attribute: String,
+    /// The new value.
+    pub value: Value,
+    /// Whether this event was produced by the physical environment (a real
+    /// sensor reading) as opposed to synthesized by an app via `sendEvent`.
+    pub physical: bool,
+}
+
+impl Event {
+    /// A physical event from a device.
+    pub fn device(id: DeviceId, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        Event { source: EventSource::Device(id), attribute: attribute.into(), value: value.into(), physical: true }
+    }
+
+    /// A state-change notification from an actuator (cyber, not physical).
+    pub fn actuator(id: DeviceId, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        Event { source: EventSource::Device(id), attribute: attribute.into(), value: value.into(), physical: false }
+    }
+
+    /// A location-mode change event.
+    pub fn mode_change(mode: impl Into<String>) -> Self {
+        Event {
+            source: EventSource::Location,
+            attribute: "mode".into(),
+            value: Value::Str(mode.into()),
+            physical: false,
+        }
+    }
+
+    /// A location environment event such as sunrise or sunset.
+    pub fn location(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Event { source: EventSource::Location, attribute: name.clone(), value: Value::Str(name), physical: true }
+    }
+
+    /// An app-touch event.
+    pub fn app_touch() -> Self {
+        Event { source: EventSource::App, attribute: "touch".into(), value: Value::Str("touched".into()), physical: false }
+    }
+
+    /// A timer-fired event for the handler scheduled by the named app.
+    pub fn timer(handler: impl Into<String>) -> Self {
+        Event {
+            source: EventSource::Timer,
+            attribute: "time".into(),
+            value: Value::Str(handler.into()),
+            physical: false,
+        }
+    }
+
+    /// Numeric view of the value (`evt.doubleValue`).
+    pub fn numeric_value(&self) -> Option<f64> {
+        self.value.as_number()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}={}", self.source, self.attribute, self.value)
+    }
+}
+
+/// A FIFO of pending events (Algorithm 1 keeps dispatching until it drains).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventQueue {
+    queue: VecDeque<Event>,
+    /// Total number of events ever enqueued (used to bound cascades).
+    pushed: usize,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event to the back of the queue.
+    pub fn push(&mut self, event: Event) {
+        self.pushed += 1;
+        self.queue.push_back(event);
+    }
+
+    /// Removes and returns the oldest pending event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.queue.pop_front()
+    }
+
+    /// Number of currently pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total number of events enqueued over the queue's lifetime.
+    pub fn total_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Iterates over pending events without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_sources() {
+        let e = Event::device(DeviceId(1), "motion", "active");
+        assert_eq!(e.source, EventSource::Device(DeviceId(1)));
+        assert!(e.physical);
+
+        let e = Event::actuator(DeviceId(2), "lock", "unlocked");
+        assert!(!e.physical);
+
+        assert_eq!(Event::mode_change("Away").attribute, "mode");
+        assert_eq!(Event::app_touch().source, EventSource::App);
+        assert_eq!(Event::timer("checkMotion").source, EventSource::Timer);
+        assert_eq!(Event::location("sunset").attribute, "sunset");
+    }
+
+    #[test]
+    fn numeric_value_parses_numbers() {
+        let e = Event::device(DeviceId(0), "temperature", Value::Int(75));
+        assert_eq!(e.numeric_value(), Some(75.0));
+        let e = Event::device(DeviceId(0), "motion", "active");
+        assert_eq!(e.numeric_value(), None);
+    }
+
+    #[test]
+    fn queue_is_fifo_and_counts_pushes() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Event::app_touch());
+        q.push(Event::mode_change("Home"));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.pop().unwrap().attribute, "touch");
+        assert_eq!(q.pop().unwrap().attribute, "mode");
+        assert!(q.pop().is_none());
+        assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Event::device(DeviceId(3), "contact", "open");
+        assert_eq!(e.to_string(), "dev3/contact=open");
+    }
+}

@@ -1,0 +1,511 @@
+//! Hand-written lexer for the Groovy subset used by SmartThings smart apps.
+//!
+//! Groovy is newline-sensitive: a statement normally ends at a newline unless
+//! the line cannot be complete yet (e.g. it ends with a binary operator or an
+//! opening bracket).  The lexer therefore emits explicit [`TokenKind::Newline`]
+//! tokens, but suppresses them inside parentheses/brackets and after tokens
+//! that syntactically continue the line.  This keeps the parser simple while
+//! still accepting real-world smart-app layouts such as multi-line
+//! `preferences { ... }` blocks and chained method calls.
+
+use crate::error::{ParseError, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Converts smart-app source text into a token stream.
+pub struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    line: u32,
+    /// Nesting depth of `(` and `[`; newlines are suppressed when > 0.
+    bracket_depth: usize,
+    /// The last significant (non-newline) token kind emitted.
+    last_significant: Option<TokenKind>,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            bracket_depth: 0,
+            last_significant: None,
+        }
+    }
+
+    /// Tokenizes the entire input, appending a final [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            // Collapse runs of newlines and drop leading newlines.
+            if tok.kind == TokenKind::Newline {
+                if matches!(out.last().map(|t: &Token| &t.kind), None | Some(TokenKind::Newline)) {
+                    continue;
+                }
+            }
+            out.push(tok);
+            if is_eof {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn span_from(&self, start: usize, line: u32) -> Span {
+        Span::new(start, self.pos, line)
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<Option<Token>> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.pos += 1;
+                }
+                Some(b'\\') if self.peek_at(1) == Some(b'\n') => {
+                    // Explicit line continuation.
+                    self.pos += 2;
+                    self.line += 1;
+                }
+                Some(b'\n') => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.pos += 1;
+                    self.line += 1;
+                    if self.should_emit_newline() {
+                        return Ok(Some(Token::new(TokenKind::Newline, Span::new(start, start + 1, line))));
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(b'\n') => {
+                                self.line += 1;
+                                self.pos += 1;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos, line),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    fn should_emit_newline(&self) -> bool {
+        if self.bracket_depth > 0 {
+            return false;
+        }
+        match &self.last_significant {
+            None => false,
+            Some(kind) => !kind.continues_line(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        if let Some(newline) = self.skip_ws_and_comments()? {
+            return Ok(newline);
+        }
+        let start = self.pos;
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, Span::new(start, start, line)));
+        };
+
+        let kind = match c {
+            b'0'..=b'9' => self.lex_number()?,
+            b'"' | b'\'' => self.lex_string(c)?,
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'$' => self.lex_ident(),
+            _ => self.lex_symbol()?,
+        };
+
+        // Track bracket depth and the last significant token for the
+        // newline-suppression heuristic.
+        match kind {
+            TokenKind::LParen | TokenKind::LBracket => self.bracket_depth += 1,
+            TokenKind::RParen | TokenKind::RBracket => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1)
+            }
+            _ => {}
+        }
+        self.last_significant = Some(kind.clone());
+        Ok(Token::new(kind, self.span_from(start, line)))
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        let line = self.line;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_decimal = false;
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(b'0'..=b'9')) {
+            is_decimal = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // Groovy numeric suffixes (L, G, d, f) are accepted and ignored.
+        if matches!(self.peek(), Some(b'L') | Some(b'G') | Some(b'd') | Some(b'f')) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos].trim_end_matches(['L', 'G', 'd', 'f']);
+        if is_decimal {
+            text.parse::<f64>()
+                .map(TokenKind::Decimal)
+                .map_err(|_| ParseError::new("invalid decimal literal", Span::new(start, self.pos, line)))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| ParseError::new("invalid integer literal", Span::new(start, self.pos, line)))
+        }
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<TokenKind> {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1; // opening quote
+        // Triple-quoted strings ("""...""" or '''...''').
+        let triple = self.peek() == Some(quote) && self.peek_at(1) == Some(quote);
+        if triple {
+            self.pos += 2;
+        }
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos, line),
+                    ))
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bump() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'\'') => out.push('\''),
+                        Some(b'"') => out.push('"'),
+                        Some(b'$') => out.push('$'),
+                        Some(other) => out.push(other as char),
+                        None => {
+                            return Err(ParseError::new(
+                                "unterminated escape sequence",
+                                Span::new(start, self.pos, line),
+                            ))
+                        }
+                    }
+                }
+                Some(b) if b == quote => {
+                    if triple {
+                        if self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote) {
+                            self.pos += 3;
+                            break;
+                        }
+                        out.push(quote as char);
+                        self.pos += 1;
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                Some(b'\n') => {
+                    if !triple {
+                        return Err(ParseError::new(
+                            "newline in string literal",
+                            Span::new(start, self.pos, line),
+                        ));
+                    }
+                    out.push('\n');
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(TokenKind::Str(out))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'_') | Some(b'$') | Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        TokenKind::keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()))
+    }
+
+    fn lex_symbol(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        let line = self.line;
+        let c = self.bump().expect("caller checked non-empty");
+        let two = self.peek();
+        let kind = match (c, two) {
+            (b'?', Some(b'.')) => {
+                self.pos += 1;
+                TokenKind::SafeDot
+            }
+            (b'?', Some(b':')) => {
+                self.pos += 1;
+                TokenKind::Elvis
+            }
+            (b'*', Some(b'.')) => {
+                self.pos += 1;
+                TokenKind::SpreadDot
+            }
+            (b'*', Some(b'*')) => {
+                self.pos += 1;
+                TokenKind::Power
+            }
+            (b'<', Some(b'=')) => {
+                self.pos += 1;
+                if self.peek() == Some(b'>') {
+                    self.pos += 1;
+                    TokenKind::Compare
+                } else {
+                    TokenKind::Le
+                }
+            }
+            (b'>', Some(b'=')) => {
+                self.pos += 1;
+                TokenKind::Ge
+            }
+            (b'=', Some(b'=')) => {
+                self.pos += 1;
+                TokenKind::EqEq
+            }
+            (b'!', Some(b'=')) => {
+                self.pos += 1;
+                TokenKind::NotEq
+            }
+            (b'&', Some(b'&')) => {
+                self.pos += 1;
+                TokenKind::AndAnd
+            }
+            (b'|', Some(b'|')) => {
+                self.pos += 1;
+                TokenKind::OrOr
+            }
+            (b'+', Some(b'=')) => {
+                self.pos += 1;
+                TokenKind::PlusAssign
+            }
+            (b'-', Some(b'=')) => {
+                self.pos += 1;
+                TokenKind::MinusAssign
+            }
+            (b'*', Some(b'=')) => {
+                self.pos += 1;
+                TokenKind::StarAssign
+            }
+            (b'/', Some(b'=')) => {
+                self.pos += 1;
+                TokenKind::SlashAssign
+            }
+            (b'+', Some(b'+')) => {
+                self.pos += 1;
+                TokenKind::PlusPlus
+            }
+            (b'-', Some(b'-')) => {
+                self.pos += 1;
+                TokenKind::MinusMinus
+            }
+            (b'-', Some(b'>')) => {
+                self.pos += 1;
+                TokenKind::Arrow
+            }
+            (b'.', Some(b'.')) => {
+                self.pos += 1;
+                TokenKind::Range
+            }
+            (b'(', _) => TokenKind::LParen,
+            (b')', _) => TokenKind::RParen,
+            (b'{', _) => TokenKind::LBrace,
+            (b'}', _) => TokenKind::RBrace,
+            (b'[', _) => TokenKind::LBracket,
+            (b']', _) => TokenKind::RBracket,
+            (b',', _) => TokenKind::Comma,
+            (b'.', _) => TokenKind::Dot,
+            (b':', _) => TokenKind::Colon,
+            (b';', _) => TokenKind::Semicolon,
+            (b'?', _) => TokenKind::Question,
+            (b'=', _) => TokenKind::Assign,
+            (b'+', _) => TokenKind::Plus,
+            (b'-', _) => TokenKind::Minus,
+            (b'*', _) => TokenKind::Star,
+            (b'/', _) => TokenKind::Slash,
+            (b'%', _) => TokenKind::Percent,
+            (b'!', _) => TokenKind::Not,
+            (b'<', _) => TokenKind::Lt,
+            (b'>', _) => TokenKind::Gt,
+            (b'&', _) => TokenKind::BitAnd,
+            (b'|', _) => TokenKind::BitOr,
+            (b'@', _) => TokenKind::At,
+            _ => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{}'", c as char),
+                    Span::new(start, self.pos, line),
+                ))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+/// Tokenizes `src`, returning the token stream or the first lexical error.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        let k = kinds("def x = 5");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Def,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_decimal_and_suffix() {
+        assert_eq!(kinds("75.5")[0], TokenKind::Decimal(75.5));
+        assert_eq!(kinds("10L")[0], TokenKind::Int(10));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds(r#""hello\nworld""#)[0], TokenKind::Str("hello\nworld".into()));
+        assert_eq!(kinds("'single'")[0], TokenKind::Str("single".into()));
+    }
+
+    #[test]
+    fn gstring_dollar_is_preserved() {
+        assert_eq!(
+            kinds(r#""temp is ${evt.value}""#)[0],
+            TokenKind::Str("temp is ${evt.value}".into())
+        );
+    }
+
+    #[test]
+    fn newline_ends_statement_but_not_inside_parens() {
+        let k = kinds("subscribe(contact,\n \"contact.open\", handler)\nfoo()");
+        assert!(k.contains(&TokenKind::Newline));
+        // Only one newline: the one between ')' and 'foo'.
+        assert_eq!(k.iter().filter(|k| **k == TokenKind::Newline).count(), 1);
+    }
+
+    #[test]
+    fn newline_after_operator_is_suppressed() {
+        let k = kinds("def x = a &&\n b");
+        assert_eq!(k.iter().filter(|k| **k == TokenKind::Newline).count(), 0);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("// line comment\ndef x = 1 /* block\ncomment */ + 2");
+        assert!(k.contains(&TokenKind::Plus));
+        assert!(!k.iter().any(|k| matches!(k, TokenKind::Str(_))));
+    }
+
+    #[test]
+    fn operators_two_char() {
+        let k = kinds("a == b != c <= d >= e ?: f ?. g .. h");
+        assert!(k.contains(&TokenKind::EqEq));
+        assert!(k.contains(&TokenKind::NotEq));
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::Elvis));
+        assert!(k.contains(&TokenKind::SafeDot));
+        assert!(k.contains(&TokenKind::Range));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("\"oops").is_err());
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(tokenize("def x = `bad`").is_err());
+    }
+
+    #[test]
+    fn triple_quoted_string() {
+        let k = kinds("\"\"\"multi\nline\"\"\"");
+        assert_eq!(k[0], TokenKind::Str("multi\nline".into()));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = tokenize("a\nb\nc").unwrap();
+        let lines: Vec<u32> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Ident(_)))
+            .map(|t| t.span.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

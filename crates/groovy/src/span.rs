@@ -1,0 +1,96 @@
+//! Source locations and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics (and the
+//! violation logs produced downstream) can point back at the smart-app source,
+//! mirroring how Bandera renders Spin error trails at the source level.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a single source file, together
+/// with the 1-based line on which the range starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// A zero-width span at the origin, used for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Span { start: 0, end: 0, line: 0 }
+    }
+
+    /// Returns a span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: if self.line == 0 { other.line } else { self.line.min(other.line.max(1)) },
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Returns true when the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extracts the spanned text from `source`, or an empty string when the
+    /// span is out of range (e.g. synthetic spans).
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_widest_range() {
+        let a = Span::new(3, 7, 2);
+        let b = Span::new(5, 12, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 3);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 2);
+    }
+
+    #[test]
+    fn slice_returns_text() {
+        let src = "input \"sensor\"";
+        let s = Span::new(0, 5, 1);
+        assert_eq!(s.slice(src), "input");
+    }
+
+    #[test]
+    fn slice_out_of_range_is_empty() {
+        let s = Span::new(100, 120, 1);
+        assert_eq!(s.slice("short"), "");
+        assert!(Span::synthetic().is_empty());
+    }
+
+    #[test]
+    fn display_shows_line() {
+        assert_eq!(Span::new(0, 1, 42).to_string(), "line 42");
+    }
+}

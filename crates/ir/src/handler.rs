@@ -1,0 +1,360 @@
+//! Translated apps and event handlers.
+//!
+//! An [`IrApp`] is the unit the rest of IotSan works with: the app's declared
+//! inputs, its event handlers lowered to IR, and flags for behaviours the
+//! paper calls out (dynamic device discovery, which IotSan cannot verify).
+
+use crate::expr::IrExpr;
+use crate::stmt::IrStmt;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What kind of value an app input holds once configured.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SettingKind {
+    /// One or more devices exposing the given capability.
+    Device {
+        /// Capability name (SmartThings style, e.g. `motionSensor`, `switch`).
+        capability: String,
+        /// True when the user may bind several devices.
+        multiple: bool,
+    },
+    /// Integer number.
+    Number,
+    /// Decimal number.
+    Decimal,
+    /// Boolean.
+    Bool,
+    /// Free text.
+    Text,
+    /// One of a fixed set of options.
+    Enum(Vec<String>),
+    /// A time of day.
+    Time,
+    /// A phone number (SMS recipient).
+    Phone,
+    /// Contact-book recipients.
+    Contact,
+    /// A location mode name.
+    Mode,
+    /// Anything else.
+    Other(String),
+}
+
+impl SettingKind {
+    /// The capability name when this is a device input.
+    pub fn capability(&self) -> Option<&str> {
+        match self {
+            SettingKind::Device { capability, .. } => Some(capability),
+            _ => None,
+        }
+    }
+
+    /// True when this input selects devices.
+    pub fn is_device(&self) -> bool {
+        matches!(self, SettingKind::Device { .. })
+    }
+}
+
+/// A configurable input of an app (from the `preferences` block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppInput {
+    /// Settings variable name.
+    pub name: String,
+    /// What the input holds.
+    pub kind: SettingKind,
+    /// Title shown to the user.
+    pub title: String,
+    /// Whether the user must configure it.
+    pub required: bool,
+}
+
+impl AppInput {
+    /// Creates a required single-device input.
+    pub fn device(name: impl Into<String>, capability: impl Into<String>) -> Self {
+        AppInput {
+            name: name.into(),
+            kind: SettingKind::Device { capability: capability.into(), multiple: false },
+            title: String::new(),
+            required: true,
+        }
+    }
+}
+
+/// What causes a handler to run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// An event from the device(s) bound to `input`.
+    Device {
+        /// Input name the subscription was made on.
+        input: String,
+        /// Attribute of interest (`motion`, `contact`, `temperature`, ...).
+        attribute: String,
+        /// Specific value (`active`, `open`), or `None` for any value.
+        value: Option<String>,
+    },
+    /// A location-mode change event.
+    LocationMode {
+        /// Specific mode, or `None` for any mode change.
+        value: Option<String>,
+    },
+    /// A location position event such as sunrise or sunset.
+    LocationEvent {
+        /// Event name (`sunrise`, `sunset`).
+        name: String,
+    },
+    /// The user tapped the app in the companion app (`subscribe(app, "touch", ...)`).
+    AppTouch,
+    /// A scheduled timer (`schedule`, `runIn`, `runEveryNMinutes`).
+    Timer {
+        /// Delay in seconds when known.
+        delay_seconds: Option<i64>,
+    },
+}
+
+impl Trigger {
+    /// The event attribute this trigger listens on, in the `attribute` form
+    /// used by the dependency analyzer (`location/mode`, `app/touch`, `time/tick`).
+    pub fn attribute(&self) -> String {
+        match self {
+            Trigger::Device { attribute, .. } => attribute.clone(),
+            Trigger::LocationMode { .. } => "mode".to_string(),
+            Trigger::LocationEvent { name } => name.clone(),
+            Trigger::AppTouch => "touch".to_string(),
+            Trigger::Timer { .. } => "time".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Device { input, attribute, value } => match value {
+                Some(v) => write!(f, "{input}:{attribute}.{v}"),
+                None => write!(f, "{input}:{attribute}"),
+            },
+            Trigger::LocationMode { value } => match value {
+                Some(v) => write!(f, "location/mode.{v}"),
+                None => write!(f, "location/mode"),
+            },
+            Trigger::LocationEvent { name } => write!(f, "location/{name}"),
+            Trigger::AppTouch => write!(f, "app/touch"),
+            Trigger::Timer { delay_seconds } => match delay_seconds {
+                Some(d) => write!(f, "timer/{d}s"),
+                None => write!(f, "timer"),
+            },
+        }
+    }
+}
+
+/// A single translated event handler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrHandler {
+    /// Name of the app this handler belongs to.
+    pub app: String,
+    /// The handler method's name (e.g. `motionActiveHandler`).
+    pub name: String,
+    /// What triggers it.
+    pub trigger: Trigger,
+    /// Lowered body.
+    pub body: Vec<IrStmt>,
+}
+
+impl IrHandler {
+    /// Every `(input, command)` pair the handler may send.
+    pub fn device_commands(&self) -> Vec<(String, String)> {
+        self.body.iter().flat_map(|s| s.device_commands()).collect()
+    }
+
+    /// Every `(input, attribute)` pair the handler may read.
+    pub fn device_reads(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for stmt in &self.body {
+            stmt.walk(&mut |s| collect_stmt_reads(s, &mut out));
+        }
+        out
+    }
+
+    /// True when the handler changes the location mode.
+    pub fn sets_location_mode(&self) -> bool {
+        self.body.iter().any(|s| s.sets_location_mode())
+    }
+
+    /// True when the handler uses a network interface (potential leak).
+    pub fn uses_network(&self) -> bool {
+        let mut found = false;
+        for stmt in &self.body {
+            stmt.walk(&mut |s| {
+                if matches!(s, IrStmt::HttpRequest { .. }) {
+                    found = true;
+                }
+            });
+        }
+        found
+    }
+
+    /// True when the handler executes a security-sensitive command
+    /// (`unsubscribe` or a synthetic `sendEvent`).
+    pub fn uses_sensitive_command(&self) -> bool {
+        let mut found = false;
+        for stmt in &self.body {
+            stmt.walk(&mut |s| {
+                if matches!(s, IrStmt::Unsubscribe | IrStmt::SendEvent { .. }) {
+                    found = true;
+                }
+            });
+        }
+        found
+    }
+}
+
+fn collect_stmt_reads(stmt: &IrStmt, out: &mut Vec<(String, String)>) {
+    let mut visit_expr = |e: &IrExpr| out.extend(e.device_reads());
+    match stmt {
+        IrStmt::DeviceCommand { args, .. } => args.iter().for_each(&mut visit_expr),
+        IrStmt::SetLocationMode(e) | IrStmt::Log(e) | IrStmt::Return(Some(e)) => visit_expr(e),
+        IrStmt::SendSms { recipient, message } => {
+            visit_expr(recipient);
+            visit_expr(message);
+        }
+        IrStmt::SendPush { message } => visit_expr(message),
+        IrStmt::HttpRequest { url, payload, .. } => {
+            visit_expr(url);
+            if let Some(p) = payload {
+                visit_expr(p);
+            }
+        }
+        IrStmt::SendEvent { value, .. } => visit_expr(value),
+        IrStmt::AssignState { value, .. } | IrStmt::AssignLocal { value, .. } => visit_expr(value),
+        IrStmt::If { cond, .. } => visit_expr(cond),
+        IrStmt::While { cond, .. } => visit_expr(cond),
+        IrStmt::Schedule { delay_seconds: Some(d), .. } => visit_expr(d),
+        IrStmt::OpaqueCall { args, .. } => args.iter().for_each(&mut visit_expr),
+        _ => {}
+    }
+}
+
+/// A fully translated smart app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrApp {
+    /// App display name.
+    pub name: String,
+    /// App description (from `definition`).
+    pub description: String,
+    /// Declared inputs.
+    pub inputs: Vec<AppInput>,
+    /// Translated event handlers.
+    pub handlers: Vec<IrHandler>,
+    /// Names of persistent `state.*` variables the app writes.
+    pub state_vars: Vec<String>,
+    /// True when the app discovers devices dynamically (e.g. via
+    /// `getChildDevices()` or `location.devices`); the paper excludes such
+    /// apps (§10.1) because they can control any device without permission.
+    pub dynamic_discovery: bool,
+}
+
+impl IrApp {
+    /// Finds an input by name.
+    pub fn input(&self, name: &str) -> Option<&AppInput> {
+        self.inputs.iter().find(|i| i.name == name)
+    }
+
+    /// All device-typed input names.
+    pub fn device_input_names(&self) -> Vec<&str> {
+        self.inputs.iter().filter(|i| i.kind.is_device()).map(|i| i.name.as_str()).collect()
+    }
+
+    /// A handler by name.
+    pub fn handler(&self, name: &str) -> Option<&IrHandler> {
+        self.handlers.iter().find(|h| h.name == name)
+    }
+
+    /// The set of capabilities this app requires to be configured.
+    pub fn required_capabilities(&self) -> BTreeSet<String> {
+        self.inputs
+            .iter()
+            .filter(|i| i.required)
+            .filter_map(|i| i.kind.capability().map(str::to_string))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::IrExpr;
+
+    fn handler_with(body: Vec<IrStmt>) -> IrHandler {
+        IrHandler {
+            app: "Test".into(),
+            name: "h".into(),
+            trigger: Trigger::Device { input: "motion".into(), attribute: "motion".into(), value: Some("active".into()) },
+            body,
+        }
+    }
+
+    #[test]
+    fn trigger_attribute_and_display() {
+        assert_eq!(Trigger::AppTouch.attribute(), "touch");
+        assert_eq!(Trigger::LocationMode { value: None }.attribute(), "mode");
+        assert_eq!(
+            Trigger::Device { input: "d".into(), attribute: "contact".into(), value: Some("open".into()) }
+                .to_string(),
+            "d:contact.open"
+        );
+        assert_eq!(Trigger::Timer { delay_seconds: Some(60) }.to_string(), "timer/60s");
+    }
+
+    #[test]
+    fn handler_classification_helpers() {
+        let h = handler_with(vec![
+            IrStmt::If {
+                cond: IrExpr::attr_eq("door", "contact", "open"),
+                then: vec![IrStmt::DeviceCommand { input: "lights".into(), command: "on".into(), args: vec![] }],
+                els: vec![IrStmt::HttpRequest {
+                    method: crate::stmt::HttpMethod::Post,
+                    url: IrExpr::str("http://collector.example"),
+                    payload: None,
+                }],
+            },
+            IrStmt::SetLocationMode(IrExpr::str("Away")),
+        ]);
+        assert_eq!(h.device_commands(), vec![("lights".to_string(), "on".to_string())]);
+        assert_eq!(h.device_reads(), vec![("door".to_string(), "contact".to_string())]);
+        assert!(h.sets_location_mode());
+        assert!(h.uses_network());
+        assert!(!h.uses_sensitive_command());
+    }
+
+    #[test]
+    fn sensitive_command_detection() {
+        let h = handler_with(vec![IrStmt::SendEvent { attribute: "smoke".into(), value: IrExpr::str("detected") }]);
+        assert!(h.uses_sensitive_command());
+        let h = handler_with(vec![IrStmt::Unsubscribe]);
+        assert!(h.uses_sensitive_command());
+    }
+
+    #[test]
+    fn app_accessors() {
+        let app = IrApp {
+            name: "A".into(),
+            description: String::new(),
+            inputs: vec![
+                AppInput::device("motion", "motionSensor"),
+                AppInput {
+                    name: "minutes".into(),
+                    kind: SettingKind::Number,
+                    title: String::new(),
+                    required: false,
+                },
+            ],
+            handlers: vec![handler_with(vec![])],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        };
+        assert_eq!(app.device_input_names(), vec!["motion"]);
+        assert!(app.input("minutes").is_some());
+        assert!(app.handler("h").is_some());
+        assert_eq!(app.required_capabilities().len(), 1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Anchor-point type inference for SmartThings Groovy (§6 of the paper).
+//!
+//! Groovy is dynamically typed, but lowering to a statically typed model
+//! requires knowing whether a comparison is numeric or textual and what a
+//! helper method returns.  Following the paper, types are seeded at *anchor
+//! points* — explicit declarations, constant assignments, known API return
+//! values, and `preferences` input kinds — and propagated iteratively until a
+//! fixpoint is reached.
+
+use crate::types::Type;
+use iotsan_groovy::ast::{walk_stmt_exprs, BinOp, Expr, MethodDecl, Stmt};
+use iotsan_groovy::smartapp::{InputKind, SmartApp};
+use std::collections::BTreeMap;
+
+/// The result of inference: types for settings, method returns and locals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeEnv {
+    /// Types of `preferences` settings (device inputs get device types).
+    pub settings: BTreeMap<String, Type>,
+    /// Inferred return type of every method in the app.
+    pub method_returns: BTreeMap<String, Type>,
+    /// Inferred types of local variables, keyed by `"method::var"`.
+    pub locals: BTreeMap<String, Type>,
+}
+
+impl TypeEnv {
+    /// The type of a setting, defaulting to [`Type::Unknown`].
+    pub fn setting(&self, name: &str) -> Type {
+        self.settings.get(name).cloned().unwrap_or(Type::Unknown)
+    }
+
+    /// The return type of a method, defaulting to [`Type::Unknown`].
+    pub fn method_return(&self, name: &str) -> Type {
+        self.method_returns.get(name).cloned().unwrap_or(Type::Unknown)
+    }
+
+    /// The type of a local in a method, defaulting to [`Type::Unknown`].
+    pub fn local(&self, method: &str, var: &str) -> Type {
+        self.locals.get(&format!("{method}::{var}")).cloned().unwrap_or(Type::Unknown)
+    }
+}
+
+/// Runs inference over a whole app.
+pub fn infer_app(app: &SmartApp) -> TypeEnv {
+    let mut env = TypeEnv::default();
+
+    // Anchor 1: preferences inputs.
+    for input in &app.inputs {
+        let ty = match &input.kind {
+            InputKind::Capability(cap) => {
+                if input.multiple {
+                    Type::DeviceList(cap.clone())
+                } else {
+                    Type::Device(cap.clone())
+                }
+            }
+            InputKind::Number => Type::Int,
+            InputKind::Decimal => Type::Decimal,
+            InputKind::Bool => Type::Bool,
+            InputKind::Enum(_) | InputKind::Text | InputKind::Phone | InputKind::Contact | InputKind::Time
+            | InputKind::Mode => Type::Str,
+            InputKind::Other(_) => Type::Unknown,
+        };
+        env.settings.insert(input.name.clone(), ty);
+    }
+
+    // Iterate to a fixpoint: method return types feed call-site types which
+    // feed other methods' locals and returns.
+    let methods: Vec<&MethodDecl> = app.script.methods().collect();
+    for _round in 0..4 {
+        let mut changed = false;
+        for method in &methods {
+            changed |= infer_method(method, &mut env);
+        }
+        if !changed {
+            break;
+        }
+    }
+    env
+}
+
+/// Infers locals and the return type of a single method; returns true when
+/// anything changed (for the fixpoint loop).
+fn infer_method(method: &MethodDecl, env: &mut TypeEnv) -> bool {
+    let mut changed = false;
+    let mut locals: BTreeMap<String, Type> = BTreeMap::new();
+
+    // Declared parameter types and the conventional `evt` parameter.
+    for param in &method.params {
+        let ty = match &param.ty {
+            Some(t) => from_declared(&t.name, t.array_dims),
+            None if param.name == "evt" || param.name == "event" => Type::Map,
+            None => Type::Unknown,
+        };
+        locals.insert(param.name.clone(), ty);
+    }
+
+    // Walk statements, seeding anchors and propagating.
+    let mut return_ty = method
+        .return_type
+        .as_ref()
+        .map(|t| from_declared(&t.name, t.array_dims))
+        .unwrap_or(Type::Unknown);
+
+    let mut visit = |stmt: &Stmt| match stmt {
+        Stmt::VarDecl { ty, name, init, .. } => {
+            let declared = ty.as_ref().map(|t| from_declared(&t.name, t.array_dims));
+            let inferred = init.as_ref().map(|e| infer_expr(e, &locals, env)).unwrap_or(Type::Unknown);
+            let ty = declared.unwrap_or(Type::Unknown).unify(&inferred);
+            let entry = locals.entry(name.clone()).or_insert(Type::Unknown);
+            *entry = entry.unify(&ty);
+        }
+        Stmt::Assign { target, value, .. } => {
+            if let Some(name) = target.as_var() {
+                let ty = infer_expr(value, &locals, env);
+                let entry = locals.entry(name.to_string()).or_insert(Type::Unknown);
+                *entry = entry.unify(&ty);
+            }
+        }
+        Stmt::Return(Some(e), _) => {
+            let ty = infer_expr(e, &locals, env);
+            return_ty = return_ty.unify(&ty);
+        }
+        _ => {}
+    };
+    iotsan_groovy::ast::walk_block(&method.body, &mut visit);
+
+    // A method whose body is a single expression returns that expression
+    // (Groovy's implicit return), e.g. `private onSwitches() { switches + onSwitches }`.
+    if return_ty == Type::Unknown {
+        if let Some(Stmt::Expr(e)) = method.body.stmts.last() {
+            return_ty = infer_expr(e, &locals, env);
+        }
+    }
+    if return_ty == Type::Unknown {
+        return_ty = Type::Void;
+    }
+
+    for (var, ty) in locals {
+        let key = format!("{}::{var}", method.name);
+        let prev = env.locals.get(&key);
+        if prev != Some(&ty) {
+            env.locals.insert(key, ty);
+            changed = true;
+        }
+    }
+    let prev = env.method_returns.get(&method.name);
+    if prev != Some(&return_ty) {
+        env.method_returns.insert(method.name.clone(), return_ty);
+        changed = true;
+    }
+    changed
+}
+
+/// Maps a declared Groovy/Java type name to an inferred [`Type`].
+fn from_declared(name: &str, array_dims: usize) -> Type {
+    let base = match name {
+        "int" | "Integer" | "long" | "Long" | "short" | "byte" => Type::Int,
+        "double" | "Double" | "float" | "Float" | "BigDecimal" | "Number" => Type::Decimal,
+        "boolean" | "Boolean" => Type::Bool,
+        "String" | "GString" | "CharSequence" => Type::Str,
+        "List" | "ArrayList" | "Collection" | "Set" | "HashSet" => Type::List(Box::new(Type::Unknown)),
+        "Map" | "HashMap" | "LinkedHashMap" => Type::Map,
+        "void" => Type::Void,
+        _ => Type::Unknown,
+    };
+    (0..array_dims).fold(base, |t, _| Type::List(Box::new(t)))
+}
+
+/// Infers the type of an expression given the current local/settings context.
+fn infer_expr(expr: &Expr, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Type {
+    match expr {
+        Expr::Int(..) => Type::Int,
+        Expr::Decimal(..) => Type::Decimal,
+        Expr::Str(..) | Expr::GString(..) => Type::Str,
+        Expr::Bool(..) => Type::Bool,
+        Expr::Null(_) => Type::Unknown,
+        Expr::Var(name, _) => locals
+            .get(name)
+            .cloned()
+            .filter(|t| *t != Type::Unknown)
+            .unwrap_or_else(|| env.setting(name)),
+        Expr::ListLit(items, _) => {
+            let inner = items
+                .iter()
+                .map(|e| infer_expr(e, locals, env))
+                .fold(Type::Unknown, |acc, t| acc.unify(&t));
+            Type::List(Box::new(inner))
+        }
+        Expr::MapLit(..) => Type::Map,
+        Expr::Range { .. } => Type::List(Box::new(Type::Int)),
+        Expr::Property { object, name, .. } => infer_property(object, name, locals, env),
+        Expr::MethodCall { object, name, .. } => infer_call(object.as_deref(), name, locals, env),
+        Expr::Binary { op, lhs, rhs, .. } => match op {
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            | BinOp::In => Type::Bool,
+            BinOp::Compare => Type::Int,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let l = infer_expr(lhs, locals, env);
+                let r = infer_expr(rhs, locals, env);
+                match (&l, &r) {
+                    // `+` on device lists stays a device list (Figure 6 in the
+                    // paper: `switches + onSwitches`).
+                    (Type::DeviceList(c), _) | (_, Type::DeviceList(c)) => Type::DeviceList(c.clone()),
+                    (Type::List(i), _) | (_, Type::List(i)) => Type::List(i.clone()),
+                    (Type::Str, _) | (_, Type::Str) if *op == BinOp::Add => Type::Str,
+                    _ if l.is_numeric() && r.is_numeric() => l.unify(&r),
+                    _ if l.is_numeric() || r.is_numeric() => Type::Decimal,
+                    _ => l.unify(&r),
+                }
+            }
+        },
+        Expr::Unary { op, operand, .. } => match op {
+            iotsan_groovy::ast::UnOp::Not => Type::Bool,
+            iotsan_groovy::ast::UnOp::Neg => infer_expr(operand, locals, env),
+        },
+        Expr::Ternary { then, els, .. } => infer_expr(then, locals, env).unify(&infer_expr(els, locals, env)),
+        Expr::Elvis { value, fallback, .. } => {
+            infer_expr(value, locals, env).unify(&infer_expr(fallback, locals, env))
+        }
+        Expr::Index { object, .. } => match infer_expr(object, locals, env) {
+            Type::List(inner) => *inner,
+            Type::DeviceList(cap) => Type::Device(cap),
+            other => other,
+        },
+        Expr::Closure { .. } => Type::Unknown,
+        Expr::Cast { ty, .. } => from_declared(&ty.name, ty.array_dims),
+        Expr::New { ty, .. } => from_declared(&ty.name, ty.array_dims),
+    }
+}
+
+/// Numeric device attributes (everything else reads as a string state).
+const NUMERIC_ATTRIBUTES: &[&str] = &[
+    "temperature",
+    "illuminance",
+    "humidity",
+    "level",
+    "battery",
+    "power",
+    "energy",
+    "heatingSetpoint",
+    "coolingSetpoint",
+    "thermostatSetpoint",
+    "soundPressureLevel",
+];
+
+fn infer_property(object: &Expr, name: &str, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Type {
+    // evt.<field>
+    if object.as_var() == Some("evt") || object.as_var() == Some("event") {
+        return match name {
+            "doubleValue" | "floatValue" | "integerValue" | "longValue" | "numericValue" | "numberValue" => {
+                Type::Decimal
+            }
+            "date" => Type::Str,
+            _ => Type::Str,
+        };
+    }
+    if object.as_var() == Some("location") {
+        return Type::Str;
+    }
+    if object.as_var() == Some("state") || object.as_var() == Some("atomicState") {
+        return Type::Unknown;
+    }
+    // Device attribute reads: `sensor.currentTemperature`.
+    let receiver_ty = infer_expr(object, locals, env);
+    if matches!(receiver_ty, Type::Device(_) | Type::DeviceList(_)) {
+        let attr = name
+            .strip_prefix("current")
+            .or_else(|| name.strip_prefix("latest"))
+            .map(|s| {
+                let mut c = s.chars();
+                match c.next() {
+                    Some(first) => first.to_lowercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            })
+            .unwrap_or_else(|| name.to_string());
+        return if NUMERIC_ATTRIBUTES.contains(&attr.as_str()) { Type::Decimal } else { Type::Str };
+    }
+    Type::Unknown
+}
+
+fn infer_call(object: Option<&Expr>, name: &str, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Type {
+    if let Some(obj) = object {
+        let receiver_ty = infer_expr(obj, locals, env);
+        return match name {
+            "toInteger" | "toLong" => Type::Int,
+            "toDouble" | "toFloat" | "toBigDecimal" => Type::Decimal,
+            "toString" | "trim" | "toLowerCase" | "toUpperCase" => Type::Str,
+            "size" | "count" => Type::Int,
+            "contains" | "any" | "every" | "isEmpty" => Type::Bool,
+            "currentValue" | "latestValue" => Type::Str,
+            "find" | "first" | "last" => match receiver_ty {
+                Type::DeviceList(cap) => Type::Device(cap),
+                Type::List(inner) => *inner,
+                other => other,
+            },
+            "findAll" | "collect" | "sort" | "unique" | "plus" => receiver_ty,
+            _ => Type::Unknown,
+        };
+    }
+    match name {
+        "now" => Type::Int,
+        _ => env.method_return(name),
+    }
+}
+
+/// Collects the set of expressions in a method whose inferred type remained
+/// [`Type::Unknown`]; useful for diagnosing translator coverage.
+pub fn unknown_typed_exprs(method: &MethodDecl, env: &TypeEnv) -> usize {
+    let mut count = 0;
+    // Seed with the locals already inferred for this method.
+    let prefix = format!("{}::", method.name);
+    let mut locals: BTreeMap<String, Type> = env
+        .locals
+        .iter()
+        .filter_map(|(k, v)| k.strip_prefix(&prefix).map(|var| (var.to_string(), v.clone())))
+        .collect();
+    for p in &method.params {
+        locals.entry(p.name.clone()).or_insert(Type::Unknown);
+    }
+    for stmt in &method.body.stmts {
+        walk_stmt_exprs(stmt, &mut |e| {
+            if infer_expr(e, &locals, env) == Type::Unknown {
+                count += 1;
+            }
+        });
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_groovy::SmartApp;
+
+    const APP: &str = r#"
+definition(name: "Virtual Thermostat", namespace: "st", author: "a", description: "d")
+preferences {
+    section("s") { input "sensor", "capability.temperatureMeasurement" }
+    section("s") { input "outlets", "capability.switch", multiple: true }
+    section("s") { input "setpoint", "decimal" }
+    section("s") { input "minutes", "number", required: false }
+    section("s") { input "mode", "enum", options: ["heat", "cool"] }
+}
+def installed() { subscribe(sensor, "temperature", temperatureHandler) }
+def temperatureHandler(evt) {
+    def currentTemp = evt.doubleValue
+    def threshold = setpoint - 1.0
+    def label = "temp is ${currentTemp}"
+    def isCooling = mode == "cool"
+    if (currentTemp > threshold) {
+        outlets.on()
+    }
+}
+private onOutlets() {
+    outlets + outlets
+}
+def delaySeconds() {
+    return (minutes ?: 10) * 60
+}
+def wrapper() {
+    def d = delaySeconds()
+    return d
+}
+"#;
+
+    fn env() -> TypeEnv {
+        infer_app(&SmartApp::parse(APP).unwrap())
+    }
+
+    #[test]
+    fn settings_typed_from_input_kinds() {
+        let env = env();
+        assert_eq!(env.setting("sensor"), Type::Device("temperatureMeasurement".into()));
+        assert_eq!(env.setting("outlets"), Type::DeviceList("switch".into()));
+        assert_eq!(env.setting("setpoint"), Type::Decimal);
+        assert_eq!(env.setting("minutes"), Type::Int);
+        assert_eq!(env.setting("mode"), Type::Str);
+    }
+
+    #[test]
+    fn locals_inferred_from_anchors() {
+        let env = env();
+        assert_eq!(env.local("temperatureHandler", "currentTemp"), Type::Decimal);
+        assert_eq!(env.local("temperatureHandler", "threshold"), Type::Decimal);
+        assert_eq!(env.local("temperatureHandler", "label"), Type::Str);
+        assert_eq!(env.local("temperatureHandler", "isCooling"), Type::Bool);
+    }
+
+    #[test]
+    fn list_plus_keeps_device_list_type() {
+        // Mirrors Figure 6 of the paper: the return type of a helper that
+        // concatenates two device lists is the device-array type.
+        let env = env();
+        assert_eq!(env.method_return("onOutlets"), Type::DeviceList("switch".into()));
+    }
+
+    #[test]
+    fn method_returns_propagate_through_callers() {
+        let env = env();
+        assert!(env.method_return("delaySeconds").is_numeric());
+        assert!(env.method_return("wrapper").is_numeric());
+        assert_eq!(env.method_return("installed"), Type::Void);
+    }
+
+    #[test]
+    fn declared_types_respected() {
+        let src = r#"
+definition(name: "Typed", namespace: "st", author: "a", description: "d")
+def compute() {
+    Integer idx = 0
+    String label = null
+    return idx
+}
+"#;
+        let app = SmartApp::parse(src).unwrap();
+        let env = infer_app(&app);
+        assert_eq!(env.local("compute", "idx"), Type::Int);
+        assert_eq!(env.local("compute", "label"), Type::Str);
+        assert_eq!(env.method_return("compute"), Type::Int);
+    }
+
+    #[test]
+    fn unknown_counter_is_finite() {
+        let app = SmartApp::parse(APP).unwrap();
+        let env = infer_app(&app);
+        let m = app.script.method("temperatureHandler").unwrap();
+        // Most expressions in the handler should be typed.
+        assert!(unknown_typed_exprs(m, &env) <= 3);
+    }
+}

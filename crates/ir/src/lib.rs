@@ -1,0 +1,55 @@
+//! # iotsan-ir
+//!
+//! The typed intermediate representation at the heart of IotSan-rs
+//! (the Rust reproduction of *IotSan: Fortifying the Safety of IoT Systems*,
+//! CoNEXT 2018).
+//!
+//! The paper's Translator (§6) converts SmartThings Groovy into Java ASTs for
+//! Bandera and finally Promela for Spin.  Here the Groovy AST produced by
+//! [`iotsan_groovy`] is lowered directly into a compact IR:
+//!
+//! * [`types`] — the dynamic [`Value`] domain and inferred static [`Type`]s;
+//! * [`infer`] — anchor-point type inference (explicit declarations, constant
+//!   assignments, known API returns, `preferences` kinds);
+//! * [`expr`] / [`stmt`] — side-effect-free expressions and handler actions
+//!   (device commands, messaging, scheduling, control flow);
+//! * [`handler`] — translated apps ([`IrApp`]) and handlers ([`IrHandler`])
+//!   with their [`Trigger`]s;
+//! * [`lower`] — the Groovy → IR translation, including desugaring of
+//!   Groovy's collection utilities and inlining of helper methods.
+//!
+//! ```
+//! use iotsan_groovy::SmartApp;
+//! use iotsan_ir::{lower_app, Trigger};
+//!
+//! let src = r#"
+//! definition(name: "Let There Be Dark!", namespace: "st", author: "x", description: "d")
+//! preferences {
+//!     section("contact") { input "contact1", "capability.contactSensor" }
+//!     section("switches") { input "switches", "capability.switch", multiple: true }
+//! }
+//! def installed() { subscribe(contact1, "contact", contactHandler) }
+//! def contactHandler(evt) {
+//!     if (evt.value == "open") { switches.on() } else { switches.off() }
+//! }
+//! "#;
+//! let app = lower_app(&SmartApp::parse(src).unwrap()).unwrap();
+//! assert_eq!(app.handlers.len(), 1);
+//! assert!(matches!(app.handlers[0].trigger, Trigger::Device { .. }));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod handler;
+pub mod infer;
+pub mod lower;
+pub mod stmt;
+pub mod types;
+
+pub use expr::{EventField, IrBinOp, IrExpr, Quantifier};
+pub use handler::{AppInput, IrApp, IrHandler, SettingKind, Trigger};
+pub use infer::{infer_app, TypeEnv};
+pub use lower::{lower_app, LowerError};
+pub use stmt::{format_stmts, HttpMethod, IrStmt};
+pub use types::{Type, Value};

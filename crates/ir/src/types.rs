@@ -1,0 +1,274 @@
+//! Runtime values and inferred types for the IotSan intermediate
+//! representation.
+//!
+//! Groovy is dynamically typed; the paper's translator (§6) performs *anchor
+//! point* type inference so that handlers can be lowered into a statically
+//! typed form (originally Java for Bandera, here the IotSan IR). [`Type`] is
+//! the inferred static type; [`Value`] is the dynamic value domain the model
+//! checker interprets over.
+
+use std::fmt;
+
+/// A dynamic value manipulated by an event handler at verification time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Decimal value (temperatures, setpoints).
+    Decimal(f64),
+    /// String value (attribute states such as `"on"`, `"open"`, `"away"`).
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Null / unset.
+    Null,
+    /// A list of values (e.g. a multi-device setting).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Interprets the value as a boolean using Groovy truthiness rules:
+    /// `null`, `false`, `0`, `""` and `[]` are false, everything else is true.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Decimal(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(items) => !items.is_empty(),
+        }
+    }
+
+    /// Numeric view of the value, if it has one (`"75"` parses as 75.0).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Decimal(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// String view of the value (numbers render like Groovy's `toString`).
+    pub fn as_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(v) => v.to_string(),
+            Value::Decimal(v) => format!("{v}"),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => "null".to_string(),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(|v| v.as_string()).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+
+    /// Groovy `==` semantics: numeric comparison when both sides are numeric,
+    /// otherwise string comparison, with `null` equal only to `null`.
+    pub fn loosely_equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.loosely_equals(y))
+            }
+            _ => match (self.as_number(), other.as_number()) {
+                (Some(a), Some(b)) => (a - b).abs() < f64::EPSILON,
+                _ => self.as_string() == other.as_string(),
+            },
+        }
+    }
+
+    /// Numeric ordering used by `<`, `<=`, `>`, `>=`; strings fall back to
+    /// lexicographic comparison.
+    pub fn compare(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self.as_number(), other.as_number()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            _ => Some(self.as_string().cmp(&other.as_string())),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Decimal(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// An inferred static type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Integer.
+    Int,
+    /// Decimal / floating point.
+    Decimal,
+    /// Boolean.
+    Bool,
+    /// String.
+    Str,
+    /// A single device exposing the given capability, e.g. `switch`.
+    Device(String),
+    /// A list of devices exposing the given capability.
+    DeviceList(String),
+    /// A homogeneous list of the given element type.
+    List(Box<Type>),
+    /// A map (only used for `sendEvent` payloads and similar).
+    Map,
+    /// No value (void methods).
+    Void,
+    /// Not yet known.
+    Unknown,
+}
+
+impl Type {
+    /// True when the type is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Decimal)
+    }
+
+    /// The least upper bound of two inferred types; `Unknown` acts as bottom.
+    pub fn unify(&self, other: &Type) -> Type {
+        match (self, other) {
+            (Type::Unknown, t) | (t, Type::Unknown) => t.clone(),
+            (a, b) if a == b => a.clone(),
+            (Type::Int, Type::Decimal) | (Type::Decimal, Type::Int) => Type::Decimal,
+            (Type::Device(c), Type::DeviceList(d)) | (Type::DeviceList(c), Type::Device(d)) if c == d => {
+                Type::DeviceList(c.clone())
+            }
+            (Type::List(a), Type::List(b)) => Type::List(Box::new(a.unify(b))),
+            // Conflicting anchors degrade to Str, the safest dynamic carrier.
+            _ => Type::Str,
+        }
+    }
+
+    /// The Java-like rendering the paper's G2J translator would produce; used
+    /// by the Promela emitter's comments and by diagnostics.
+    pub fn java_name(&self) -> String {
+        match self {
+            Type::Int => "int".to_string(),
+            Type::Decimal => "double".to_string(),
+            Type::Bool => "boolean".to_string(),
+            Type::Str => "String".to_string(),
+            Type::Device(cap) => format!("ST{}", camel(cap)),
+            Type::DeviceList(cap) => format!("ST{}[]", camel(cap)),
+            Type::List(inner) => format!("{}[]", inner.java_name()),
+            Type::Map => "Map".to_string(),
+            Type::Void => "void".to_string(),
+            Type::Unknown => "Object".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.java_name())
+    }
+}
+
+/// Upper-cases the first character (capability → Java class name fragment).
+fn camel(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn truthiness_follows_groovy() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::Str("on".into()).truthy());
+        assert!(Value::Int(3).truthy());
+    }
+
+    #[test]
+    fn loose_equality_compares_numbers_and_strings() {
+        assert!(Value::Int(75).loosely_equals(&Value::Decimal(75.0)));
+        assert!(Value::Str("75".into()).loosely_equals(&Value::Int(75)));
+        assert!(Value::Str("on".into()).loosely_equals(&Value::Str("on".into())));
+        assert!(!Value::Str("on".into()).loosely_equals(&Value::Str("off".into())));
+        assert!(Value::Null.loosely_equals(&Value::Null));
+        assert!(!Value::Null.loosely_equals(&Value::Int(0)));
+    }
+
+    #[test]
+    fn comparison_is_numeric_when_possible() {
+        assert_eq!(Value::Int(70).compare(&Value::Decimal(75.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("80".into()).compare(&Value::Int(75)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Str("away".into()).compare(&Value::Str("home".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn value_display_and_from() {
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::from("open").to_string(), "open");
+        assert_eq!(Value::List(vec![Value::Int(1), Value::Str("a".into())]).to_string(), "[1, a]");
+    }
+
+    #[test]
+    fn unify_promotes_and_degrades() {
+        assert_eq!(Type::Int.unify(&Type::Decimal), Type::Decimal);
+        assert_eq!(Type::Unknown.unify(&Type::Bool), Type::Bool);
+        assert_eq!(Type::Str.unify(&Type::Int), Type::Str);
+        assert_eq!(
+            Type::Device("switch".into()).unify(&Type::DeviceList("switch".into())),
+            Type::DeviceList("switch".into())
+        );
+    }
+
+    #[test]
+    fn java_names_match_bandera_style() {
+        assert_eq!(Type::Device("switch".into()).java_name(), "STSwitch");
+        assert_eq!(Type::DeviceList("switch".into()).java_name(), "STSwitch[]");
+        assert_eq!(Type::Decimal.java_name(), "double");
+        assert_eq!(Type::List(Box::new(Type::Int)).java_name(), "int[]");
+    }
+}

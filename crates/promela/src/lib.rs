@@ -1,0 +1,18 @@
+//! # iotsan-promela
+//!
+//! The Promela backend of IotSan-rs (the Rust reproduction of *IotSan:
+//! Fortifying the Safety of IoT Systems*, CoNEXT 2018, §6 and §8).
+//!
+//! The original pipeline reaches Spin through Bandera's SPIN translator; the
+//! verification in IotSan-rs is performed by `iotsan-checker` directly on the
+//! interpreted IR, and this crate emits the equivalent Promela model text —
+//! the sequential single-process design the paper prefers, or the concurrent
+//! one-proctype-per-device/app design used for the Table 7b comparison — so
+//! that generated models remain inspectable and portable to an external Spin
+//! installation.
+
+#![warn(missing_docs)]
+
+pub mod emit;
+
+pub use emit::{emit_concurrent, emit_sequential, DesignStyle, EmitOptions, PromelaEmitter};

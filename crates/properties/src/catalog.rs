@@ -1,0 +1,457 @@
+//! The property catalog: all 45 safety properties verified by IotSan (§8).
+//!
+//! * 1 free-of-conflicting-commands property,
+//! * 1 free-of-repeated-commands property,
+//! * 38 safe-physical-state invariants ([`PhysicalInvariant`], Table 4),
+//! * 4 security properties (network leakage, SMS recipient mismatch,
+//!   security-sensitive `unsubscribe`, fake events),
+//! * 1 robustness-to-device/communication-failure property.
+
+use crate::invariant::PhysicalInvariant;
+use crate::snapshot::{Snapshot, StepObservation};
+use std::fmt;
+
+/// Stable identifier of a property within the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropertyId(pub u32);
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:02}", self.0)
+    }
+}
+
+/// The property classes of §8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyClass {
+    /// When a single external event happens, an actuator should not receive
+    /// two conflicting commands.
+    ConflictingCommands,
+    /// When a single event happens, an actuator should not receive multiple
+    /// repeated commands of the same type.
+    RepeatedCommands,
+    /// A safe-physical-state invariant (Table 4).
+    PhysicalState,
+    /// Security: information leakage and security-sensitive commands.
+    Security,
+    /// Robustness to device/communication failure.
+    Robustness,
+}
+
+impl PropertyClass {
+    /// Human-readable label used in evaluation tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PropertyClass::ConflictingCommands => "Conflicting commands",
+            PropertyClass::RepeatedCommands => "Repeated commands",
+            PropertyClass::PhysicalState => "Unsafe physical states",
+            PropertyClass::Security => "Security (leakage / sensitive commands)",
+            PropertyClass::Robustness => "Robustness to failures",
+        }
+    }
+}
+
+/// The specific check a property performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyKind {
+    /// A physical-state invariant checked on every snapshot.
+    Invariant(PhysicalInvariant),
+    /// Two conflicting commands reached one actuator during one step.
+    ConflictingCommands,
+    /// The same command reached one actuator multiple times during one step.
+    RepeatedCommands,
+    /// Private information may only leave through message interfaces; any
+    /// network call not explicitly allowed by the user is flagged.
+    NetworkLeakage,
+    /// The recipient of an SMS must match the configured phone number.
+    SmsRecipientMismatch,
+    /// The security-sensitive `unsubscribe` command was executed.
+    UnsubscribeExecuted,
+    /// A fake (synthetic) device event was raised by an app.
+    FakeEventRaised,
+    /// An app must verify that a command was carried out and notify the user
+    /// when a device/communication failure is detected.
+    RobustToFailure,
+}
+
+/// One entry in the property catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Property {
+    /// Stable identifier.
+    pub id: PropertyId,
+    /// Human-readable name of the *safe* property.
+    pub name: String,
+    /// Table 4 category (for physical-state properties) or the class label.
+    pub category: String,
+    /// Property class.
+    pub class: PropertyClass,
+    /// The underlying check.
+    pub kind: PropertyKind,
+}
+
+impl Property {
+    /// An LTL rendering of the property (physical-state properties use the
+    /// invariant's proposition; step-based properties use a box over the
+    /// step-level proposition).
+    pub fn to_ltl(&self) -> String {
+        match &self.kind {
+            PropertyKind::Invariant(inv) => inv.to_ltl(),
+            PropertyKind::ConflictingCommands => "[] !(conflicting_commands)".into(),
+            PropertyKind::RepeatedCommands => "[] !(repeated_commands)".into(),
+            PropertyKind::NetworkLeakage => "[] !(http_request && !user_allowed)".into(),
+            PropertyKind::SmsRecipientMismatch => "[] (send_sms -> recipient == configured_phone)".into(),
+            PropertyKind::UnsubscribeExecuted => "[] !(unsubscribe_executed)".into(),
+            PropertyKind::FakeEventRaised => "[] !(fake_event_raised)".into(),
+            PropertyKind::RobustToFailure => "[] (command_failed -> <> user_notified)".into(),
+        }
+    }
+}
+
+/// The full default catalog of 45 properties.
+pub fn default_properties() -> Vec<Property> {
+    let mut out = Vec::new();
+    let mut next = 1u32;
+    let mut push = |name: String, category: String, class: PropertyClass, kind: PropertyKind, out: &mut Vec<Property>| {
+        out.push(Property { id: PropertyId(next), name, category, class, kind });
+        next += 1;
+    };
+
+    push(
+        "An actuator should not receive conflicting commands from a single event".into(),
+        "Conflicting commands".into(),
+        PropertyClass::ConflictingCommands,
+        PropertyKind::ConflictingCommands,
+        &mut out,
+    );
+    push(
+        "An actuator should not receive repeated commands from a single event".into(),
+        "Repeated commands".into(),
+        PropertyClass::RepeatedCommands,
+        PropertyKind::RepeatedCommands,
+        &mut out,
+    );
+    for inv in PhysicalInvariant::defaults() {
+        push(
+            inv.description(),
+            inv.category().to_string(),
+            PropertyClass::PhysicalState,
+            PropertyKind::Invariant(inv),
+            &mut out,
+        );
+    }
+    push(
+        "Private information is sent out only via message interfaces, not network interfaces".into(),
+        "Security".into(),
+        PropertyClass::Security,
+        PropertyKind::NetworkLeakage,
+        &mut out,
+    );
+    push(
+        "SMS recipients match the configured phone numbers".into(),
+        "Security".into(),
+        PropertyClass::Security,
+        PropertyKind::SmsRecipientMismatch,
+        &mut out,
+    );
+    push(
+        "No app executes the security-sensitive unsubscribe command".into(),
+        "Security".into(),
+        PropertyClass::Security,
+        PropertyKind::UnsubscribeExecuted,
+        &mut out,
+    );
+    push(
+        "No app creates fake device events".into(),
+        "Security".into(),
+        PropertyClass::Security,
+        PropertyKind::FakeEventRaised,
+        &mut out,
+    );
+    push(
+        "Apps check command delivery and notify the user upon device/communication failure".into(),
+        "Robustness".into(),
+        PropertyClass::Robustness,
+        PropertyKind::RobustToFailure,
+        &mut out,
+    );
+    out
+}
+
+/// A set of properties selected for verification (users may enable a subset,
+/// §8: "we provide users with an interface to select the list of safety
+/// properties they want to verify").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertySet {
+    properties: Vec<Property>,
+}
+
+impl Default for PropertySet {
+    fn default() -> Self {
+        PropertySet { properties: default_properties() }
+    }
+}
+
+impl PropertySet {
+    /// The full default set (all 45 properties).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// A set containing only the listed property ids.
+    pub fn selection(ids: &[PropertyId]) -> Self {
+        let properties = default_properties().into_iter().filter(|p| ids.contains(&p.id)).collect();
+        PropertySet { properties }
+    }
+
+    /// Builds a set from explicit properties.
+    pub fn from_properties(properties: Vec<Property>) -> Self {
+        PropertySet { properties }
+    }
+
+    /// The properties in the set.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.properties.is_empty()
+    }
+
+    /// Looks up a property by id.
+    pub fn get(&self, id: PropertyId) -> Option<&Property> {
+        self.properties.iter().find(|p| p.id == id)
+    }
+
+    /// Evaluates the physical-state invariants against a snapshot, returning
+    /// the ids of violated properties.
+    pub fn check_snapshot(&self, snapshot: &Snapshot) -> Vec<PropertyId> {
+        self.properties
+            .iter()
+            .filter_map(|p| match &p.kind {
+                PropertyKind::Invariant(inv) if inv.is_violated(snapshot) => Some(p.id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evaluates the step-based properties (commands, security, robustness)
+    /// against what happened during one external-event step.
+    pub fn check_step(&self, step: &StepObservation) -> Vec<PropertyId> {
+        self.properties
+            .iter()
+            .filter_map(|p| {
+                let violated = match &p.kind {
+                    PropertyKind::Invariant(_) => false,
+                    PropertyKind::ConflictingCommands => has_conflicting_commands(step),
+                    PropertyKind::RepeatedCommands => has_repeated_commands(step),
+                    PropertyKind::NetworkLeakage => step.network.iter().any(|n| !n.allowed),
+                    PropertyKind::SmsRecipientMismatch => step.sms_recipient_mismatch(),
+                    PropertyKind::UnsubscribeExecuted => !step.unsubscribes.is_empty(),
+                    PropertyKind::FakeEventRaised => !step.fake_events.is_empty(),
+                    PropertyKind::RobustToFailure => {
+                        step.command_failures > 0 && step.messages.is_empty()
+                    }
+                };
+                violated.then_some(p.id)
+            })
+            .collect()
+    }
+}
+
+/// Commands that cancel each other when sent to the same actuator.
+const CONFLICTING_PAIRS: &[(&str, &str)] = &[
+    ("on", "off"),
+    ("lock", "unlock"),
+    ("open", "close"),
+    ("siren", "off"),
+    ("strobe", "off"),
+    ("both", "off"),
+    ("heat", "cool"),
+    ("play", "stop"),
+    ("mute", "unmute"),
+];
+
+/// True when one actuator received two conflicting commands in the step.
+pub fn has_conflicting_commands(step: &StepObservation) -> bool {
+    for (_, cmds) in step.commands_by_device() {
+        for i in 0..cmds.len() {
+            for j in (i + 1)..cmds.len() {
+                let a = cmds[i].command.as_str();
+                let b = cmds[j].command.as_str();
+                if CONFLICTING_PAIRS.iter().any(|(x, y)| (a == *x && b == *y) || (a == *y && b == *x)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// True when one actuator received the same command more than once in the step.
+pub fn has_repeated_commands(step: &StepObservation) -> bool {
+    for (_, cmds) in step.commands_by_device() {
+        for i in 0..cmds.len() {
+            for j in (i + 1)..cmds.len() {
+                if cmds[i].command == cmds[j].command {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{CommandRecord, FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord};
+    use iotsan_devices::DeviceId;
+
+    fn cmd(device: u32, command: &str) -> CommandRecord {
+        CommandRecord {
+            app: "A".into(),
+            handler: "h".into(),
+            device: DeviceId(device),
+            device_label: format!("dev{device}"),
+            command: command.into(),
+            delivered: true,
+            changed_state: true,
+        }
+    }
+
+    #[test]
+    fn catalog_has_forty_five_properties() {
+        let props = default_properties();
+        assert_eq!(props.len(), 45);
+        // 1 conflicting + 1 repeated + 38 physical + 4 security + 1 robustness.
+        let count = |class: PropertyClass| props.iter().filter(|p| p.class == class).count();
+        assert_eq!(count(PropertyClass::ConflictingCommands), 1);
+        assert_eq!(count(PropertyClass::RepeatedCommands), 1);
+        assert_eq!(count(PropertyClass::PhysicalState), 38);
+        assert_eq!(count(PropertyClass::Security), 4);
+        assert_eq!(count(PropertyClass::Robustness), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let props = default_properties();
+        let mut ids: Vec<u32> = props.iter().map(|p| p.id.0).collect();
+        let sorted = ids.clone();
+        ids.dedup();
+        assert_eq!(ids.len(), props.len());
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn conflicting_commands_detected() {
+        let step = StepObservation { commands: vec![cmd(0, "on"), cmd(0, "off")], ..Default::default() };
+        assert!(has_conflicting_commands(&step));
+        // Different devices do not conflict.
+        let step = StepObservation { commands: vec![cmd(0, "on"), cmd(1, "off")], ..Default::default() };
+        assert!(!has_conflicting_commands(&step));
+        // Same direction commands do not conflict (they repeat).
+        let step = StepObservation { commands: vec![cmd(0, "on"), cmd(0, "on")], ..Default::default() };
+        assert!(!has_conflicting_commands(&step));
+        assert!(has_repeated_commands(&step));
+    }
+
+    #[test]
+    fn lock_unlock_conflicts() {
+        let step = StepObservation { commands: vec![cmd(3, "unlock"), cmd(3, "lock")], ..Default::default() };
+        assert!(has_conflicting_commands(&step));
+    }
+
+    #[test]
+    fn property_set_checks_step_properties() {
+        let set = PropertySet::all();
+        let step = StepObservation {
+            commands: vec![cmd(0, "on"), cmd(0, "off"), cmd(1, "lock"), cmd(1, "lock")],
+            network: vec![NetworkRecord { app: "A".into(), url: "http://evil".into(), allowed: false }],
+            fake_events: vec![FakeEventRecord { app: "A".into(), attribute: "smoke".into(), value: "detected".into() }],
+            unsubscribes: vec!["A".into()],
+            messages: vec![MessageRecord {
+                app: "A".into(),
+                channel: MessageChannel::Sms,
+                recipient: "999".into(),
+                body: "b".into(),
+            }],
+            configured_recipients: vec!["555".into()],
+            command_failures: 0,
+        };
+        let violated = set.check_step(&step);
+        // Conflicting, repeated, network leakage, sms mismatch, unsubscribe, fake event.
+        assert_eq!(violated.len(), 6);
+    }
+
+    #[test]
+    fn robustness_violation_requires_failure_without_notification() {
+        let set = PropertySet::all();
+        let step = StepObservation { command_failures: 1, ..Default::default() };
+        let violated = set.check_step(&step);
+        assert_eq!(violated.len(), 1);
+        // With a notification the property holds.
+        let step = StepObservation {
+            command_failures: 1,
+            messages: vec![MessageRecord {
+                app: "A".into(),
+                channel: MessageChannel::Push,
+                recipient: String::new(),
+                body: "device offline".into(),
+            }],
+            ..Default::default()
+        };
+        assert!(set.check_step(&step).is_empty());
+    }
+
+    #[test]
+    fn snapshot_checking_reports_physical_ids() {
+        use crate::snapshot::{DeviceRole, DeviceSnapshot};
+        use iotsan_ir::Value;
+        let set = PropertySet::all();
+        let snap = Snapshot {
+            mode: "Away".into(),
+            devices: vec![DeviceSnapshot {
+                id: DeviceId(0),
+                label: "frontDoor".into(),
+                capability: "lock".into(),
+                role: DeviceRole::MainDoorLock,
+                attributes: vec![("lock".into(), Value::Str("unlocked".into()))],
+                online: true,
+            }],
+            time_seconds: 0,
+        };
+        let violated = set.check_snapshot(&snap);
+        assert!(!violated.is_empty());
+        for id in &violated {
+            assert_eq!(set.get(*id).unwrap().class, PropertyClass::PhysicalState);
+        }
+    }
+
+    #[test]
+    fn selection_filters_by_id() {
+        let set = PropertySet::selection(&[PropertyId(1), PropertyId(2)]);
+        assert_eq!(set.len(), 2);
+        assert!(set.get(PropertyId(1)).is_some());
+        assert!(set.get(PropertyId(10)).is_none());
+    }
+
+    #[test]
+    fn every_property_has_an_ltl_form() {
+        for p in default_properties() {
+            let ltl = p.to_ltl();
+            assert!(ltl.contains("[]"), "{}: {ltl}", p.name);
+        }
+    }
+
+    #[test]
+    fn property_id_display() {
+        assert_eq!(PropertyId(7).to_string(), "P07");
+        assert_eq!(PropertyClass::PhysicalState.label(), "Unsafe physical states");
+    }
+}

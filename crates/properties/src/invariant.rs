@@ -1,0 +1,648 @@
+//! The 38 safe-physical-state invariants (Table 4 of the paper).
+//!
+//! Each [`PhysicalInvariant`] is a predicate over a [`Snapshot`] describing a
+//! state the system should *never* be in (its negation is the safe state the
+//! user desires).  Thresholds are parameters so users can adapt them to their
+//! homes; the defaults follow the paper's examples (e.g. a 75 °F setpoint and
+//! an 85 °F emergency setpoint for Virtual Thermostat).
+
+use crate::snapshot::{DeviceRole, Snapshot};
+
+/// A parameterized safe-physical-state invariant.
+///
+/// `is_violated` returns `true` when the snapshot is in the *unsafe* state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalInvariant {
+    // -- Thermostat, AC and heater (5) --------------------------------------
+    /// Temperature should be within `[min, max]` when people are at home.
+    TemperatureInRangeWhenHome {
+        /// Lower bound (°F).
+        min: f64,
+        /// Upper bound (°F).
+        max: f64,
+    },
+    /// A heater should not be off when the temperature is below `threshold`
+    /// and people are at home.
+    HeaterOnWhenCold {
+        /// Threshold (°F).
+        threshold: f64,
+    },
+    /// A heater should not be on when the temperature is above `threshold`.
+    HeaterOffWhenHot {
+        /// Threshold (°F).
+        threshold: f64,
+    },
+    /// An AC and a heater should never both be on.
+    AcAndHeaterNotBothOn,
+    /// An AC should not be on when the temperature is below `threshold`.
+    AcOffWhenCold {
+        /// Threshold (°F).
+        threshold: f64,
+    },
+
+    // -- Lock and door control (8) -------------------------------------------
+    /// The main door should be locked when no one is at home.
+    MainDoorLockedWhenNooneHome,
+    /// The main door should be locked when people are sleeping at night.
+    MainDoorLockedWhenSleeping,
+    /// Entrance/garage doors should be closed when no one is at home.
+    EntranceDoorClosedWhenNooneHome,
+    /// Entrance/garage doors should be closed when people are sleeping.
+    EntranceDoorClosedWhenSleeping,
+    /// No lock should be unlocked while the location mode is `Away`.
+    NoLockUnlockedInAwayMode,
+    /// The garage door should be closed at night.
+    GarageDoorClosedAtNight,
+    /// No lock should be unlocked when nobody is at home.
+    AnyLockLockedWhenNooneHome,
+    /// The main door should not be unlocked while motion is detected in
+    /// `Away` mode (a possible intruder).
+    MainDoorLockedDuringIntrusion,
+
+    // -- Location mode (3) ----------------------------------------------------
+    /// The location mode should be changed to `Away` when no one is at home.
+    ModeAwayWhenNooneHome,
+    /// The location mode should not be `Away` when someone is at home.
+    ModeNotAwayWhenSomeoneHome,
+    /// The location mode should not be `Night` when no one is at home.
+    ModeNotNightWhenNooneHome,
+
+    // -- Security and alarming (14) -------------------------------------------
+    /// An alarm should strobe/siren when smoke is detected.
+    AlarmActiveWhenSmoke,
+    /// An alarm should strobe/siren when carbon monoxide is detected.
+    AlarmActiveWhenCo,
+    /// An alarm should sound when motion is detected while no one is home.
+    AlarmActiveWhenIntruder,
+    /// The alarm should be silent when there is no danger.
+    AlarmSilentWhenNoDanger,
+    /// The alarm should be silent while people sleep, unless there is danger.
+    AlarmSilentWhenSleepingNoDanger,
+    /// The main door should be unlocked during a fire while people are home
+    /// (escape route).
+    MainDoorUnlockedDuringFire,
+    /// Doors should not be locked when carbon monoxide is detected and people
+    /// are at home.
+    DoorsOpenableDuringCoAlarm,
+    /// The water valve should not be closed when smoke is detected (fire
+    /// sprinklers need water) — the unsafe state one of the ContexIoT
+    /// malicious apps drives the system into.
+    WaterValveOpenDuringFire,
+    /// Lights should be on during a fire at night (evacuation lighting).
+    LightsOnDuringFireAtNight,
+    /// Smoke and CO detectors should be online.
+    SafetySensorsOnline,
+    /// A camera should capture when motion is detected while no one is home.
+    CameraCapturesIntruder,
+    /// Heat-producing appliances should be off when smoke is detected.
+    AppliancesOffWhenSmoke,
+    /// Fans should be off when smoke is detected (avoid spreading smoke).
+    FansOffWhenSmoke,
+    /// Heaters should be off when smoke is detected.
+    HeaterOffWhenSmoke,
+
+    // -- Water and sprinkler (3) ----------------------------------------------
+    /// Soil moisture should be within `[min, max]`.
+    SoilMoistureInRange {
+        /// Lower bound (%).
+        min: f64,
+        /// Upper bound (%).
+        max: f64,
+    },
+    /// The sprinkler should be off when a water/rain sensor is wet.
+    SprinklerOffWhenWet,
+    /// The main water valve should be closed when a leak is detected.
+    WaterValveClosedWhenLeak,
+
+    // -- Others (5) ------------------------------------------------------------
+    /// Lights should not be on when no one is at home.
+    LightsOffWhenNooneHome,
+    /// Appliances (ovens, coffee makers) should not be on when no one is home.
+    AppliancesOffWhenNooneHome,
+    /// Appliances should not be on while people are sleeping.
+    AppliancesOffWhenSleeping,
+    /// Lights should be off while people are sleeping.
+    LightsOffWhenSleeping,
+    /// Speakers should not be playing while people are sleeping.
+    SpeakersQuietWhenSleeping,
+}
+
+impl PhysicalInvariant {
+    /// The default parameterization of all 38 invariants, grouped per Table 4.
+    pub fn defaults() -> Vec<PhysicalInvariant> {
+        use PhysicalInvariant::*;
+        vec![
+            // Thermostat, AC, and heater (5)
+            TemperatureInRangeWhenHome { min: 50.0, max: 90.0 },
+            HeaterOnWhenCold { threshold: 50.0 },
+            HeaterOffWhenHot { threshold: 85.0 },
+            AcAndHeaterNotBothOn,
+            AcOffWhenCold { threshold: 50.0 },
+            // Lock and door control (8)
+            MainDoorLockedWhenNooneHome,
+            MainDoorLockedWhenSleeping,
+            EntranceDoorClosedWhenNooneHome,
+            EntranceDoorClosedWhenSleeping,
+            NoLockUnlockedInAwayMode,
+            GarageDoorClosedAtNight,
+            AnyLockLockedWhenNooneHome,
+            MainDoorLockedDuringIntrusion,
+            // Location mode (3)
+            ModeAwayWhenNooneHome,
+            ModeNotAwayWhenSomeoneHome,
+            ModeNotNightWhenNooneHome,
+            // Security and alarming (14)
+            AlarmActiveWhenSmoke,
+            AlarmActiveWhenCo,
+            AlarmActiveWhenIntruder,
+            AlarmSilentWhenNoDanger,
+            AlarmSilentWhenSleepingNoDanger,
+            MainDoorUnlockedDuringFire,
+            DoorsOpenableDuringCoAlarm,
+            WaterValveOpenDuringFire,
+            LightsOnDuringFireAtNight,
+            SafetySensorsOnline,
+            CameraCapturesIntruder,
+            AppliancesOffWhenSmoke,
+            FansOffWhenSmoke,
+            HeaterOffWhenSmoke,
+            // Water and sprinkler (3)
+            SoilMoistureInRange { min: 20.0, max: 80.0 },
+            SprinklerOffWhenWet,
+            WaterValveClosedWhenLeak,
+            // Others (5)
+            LightsOffWhenNooneHome,
+            AppliancesOffWhenNooneHome,
+            AppliancesOffWhenSleeping,
+            LightsOffWhenSleeping,
+            SpeakersQuietWhenSleeping,
+        ]
+    }
+
+    /// Short, human-readable statement of the *safe* property.
+    pub fn description(&self) -> String {
+        use PhysicalInvariant::*;
+        match self {
+            TemperatureInRangeWhenHome { min, max } => {
+                format!("Temperature should be within [{min}, {max}] when people are at home")
+            }
+            HeaterOnWhenCold { threshold } => {
+                format!("A heater should not be off when temperature is below {threshold}")
+            }
+            HeaterOffWhenHot { threshold } => {
+                format!("A heater should not be on when temperature is above {threshold}")
+            }
+            AcAndHeaterNotBothOn => "An AC and a heater should not both be turned on".into(),
+            AcOffWhenCold { threshold } => {
+                format!("An AC should not be on when temperature is below {threshold}")
+            }
+            MainDoorLockedWhenNooneHome => "The main door should be locked when no one is at home".into(),
+            MainDoorLockedWhenSleeping => "The main door should be locked when people are sleeping at night".into(),
+            EntranceDoorClosedWhenNooneHome => "Entrance doors should be closed when no one is at home".into(),
+            EntranceDoorClosedWhenSleeping => "Entrance doors should be closed when people are sleeping".into(),
+            NoLockUnlockedInAwayMode => "No lock should be unlocked in Away mode".into(),
+            GarageDoorClosedAtNight => "The garage door should be closed at night".into(),
+            AnyLockLockedWhenNooneHome => "All locks should be locked when no one is at home".into(),
+            MainDoorLockedDuringIntrusion => {
+                "The main door should not be unlocked when motion is detected and no one is home".into()
+            }
+            ModeAwayWhenNooneHome => "Location mode should be changed to Away when no one is at home".into(),
+            ModeNotAwayWhenSomeoneHome => "Location mode should not be Away when someone is at home".into(),
+            ModeNotNightWhenNooneHome => "Location mode should not be Night when no one is at home".into(),
+            AlarmActiveWhenSmoke => "An alarm should strobe/siren when detecting smoke".into(),
+            AlarmActiveWhenCo => "An alarm should strobe/siren when detecting carbon monoxide".into(),
+            AlarmActiveWhenIntruder => "An alarm should sound when an intruder is detected".into(),
+            AlarmSilentWhenNoDanger => "The alarm should not sound when there is no danger".into(),
+            AlarmSilentWhenSleepingNoDanger => "The alarm should be silent at night unless there is danger".into(),
+            MainDoorUnlockedDuringFire => "The main door should be unlocked during a fire when people are home".into(),
+            DoorsOpenableDuringCoAlarm => "Doors should be openable when carbon monoxide is detected".into(),
+            WaterValveOpenDuringFire => "The water valve should not be closed when smoke is detected".into(),
+            LightsOnDuringFireAtNight => "Lights should turn on during a fire at night".into(),
+            SafetySensorsOnline => "Smoke and CO detectors should be online".into(),
+            CameraCapturesIntruder => "A camera should capture when an intruder is detected".into(),
+            AppliancesOffWhenSmoke => "Appliances should be off when smoke is detected".into(),
+            FansOffWhenSmoke => "Fans should be off when smoke is detected".into(),
+            HeaterOffWhenSmoke => "Heaters should be off when smoke is detected".into(),
+            SoilMoistureInRange { min, max } => {
+                format!("Soil moisture should be within [{min}, {max}]")
+            }
+            SprinklerOffWhenWet => "The sprinkler should be off when rain/moisture is detected".into(),
+            WaterValveClosedWhenLeak => "The water valve should be closed when a leak is detected".into(),
+            LightsOffWhenNooneHome => "Lights should not be on when no one is at home".into(),
+            AppliancesOffWhenNooneHome => "Appliances should not be on when no one is at home".into(),
+            AppliancesOffWhenSleeping => "Appliances should not be on while people are sleeping".into(),
+            LightsOffWhenSleeping => "Lights should be off while people are sleeping".into(),
+            SpeakersQuietWhenSleeping => "Speakers should not be playing while people are sleeping".into(),
+        }
+    }
+
+    /// Table 4 category of this invariant.
+    pub fn category(&self) -> &'static str {
+        use PhysicalInvariant::*;
+        match self {
+            TemperatureInRangeWhenHome { .. }
+            | HeaterOnWhenCold { .. }
+            | HeaterOffWhenHot { .. }
+            | AcAndHeaterNotBothOn
+            | AcOffWhenCold { .. } => "Thermostat, AC, and Heater",
+            MainDoorLockedWhenNooneHome
+            | MainDoorLockedWhenSleeping
+            | EntranceDoorClosedWhenNooneHome
+            | EntranceDoorClosedWhenSleeping
+            | NoLockUnlockedInAwayMode
+            | GarageDoorClosedAtNight
+            | AnyLockLockedWhenNooneHome
+            | MainDoorLockedDuringIntrusion => "Lock and door control",
+            ModeAwayWhenNooneHome | ModeNotAwayWhenSomeoneHome | ModeNotNightWhenNooneHome => "Location mode",
+            AlarmActiveWhenSmoke
+            | AlarmActiveWhenCo
+            | AlarmActiveWhenIntruder
+            | AlarmSilentWhenNoDanger
+            | AlarmSilentWhenSleepingNoDanger
+            | MainDoorUnlockedDuringFire
+            | DoorsOpenableDuringCoAlarm
+            | WaterValveOpenDuringFire
+            | LightsOnDuringFireAtNight
+            | SafetySensorsOnline
+            | CameraCapturesIntruder
+            | AppliancesOffWhenSmoke
+            | FansOffWhenSmoke
+            | HeaterOffWhenSmoke => "Security and alarming",
+            SoilMoistureInRange { .. } | SprinklerOffWhenWet | WaterValveClosedWhenLeak => "Water and sprinkler",
+            LightsOffWhenNooneHome
+            | AppliancesOffWhenNooneHome
+            | AppliancesOffWhenSleeping
+            | LightsOffWhenSleeping
+            | SpeakersQuietWhenSleeping => "Others",
+        }
+    }
+
+    /// Whether `snapshot` violates this invariant.
+    pub fn is_violated(&self, snap: &Snapshot) -> bool {
+        use PhysicalInvariant::*;
+        // Helpers over roles and capabilities.
+        let heater_on = snap.role_attr_is(DeviceRole::Heater, "switch", "on");
+        let ac_on = snap.role_attr_is(DeviceRole::AirConditioner, "switch", "on");
+        let any_light_on = snap.by_role(DeviceRole::Light).any(|d| d.attr_is("switch", "on"));
+        let alarm_active = snap.by_capability("alarm").any(|d| {
+            d.attr_is("alarm", "siren") || d.attr_is("alarm", "strobe") || d.attr_is("alarm", "both")
+        });
+        let has_alarm = snap.by_capability("alarm").count() > 0;
+        let main_lock_unlocked = snap
+            .by_role(DeviceRole::MainDoorLock)
+            .any(|d| d.attr_is("lock", "unlocked"));
+        let has_main_lock = snap.by_role(DeviceRole::MainDoorLock).count() > 0;
+        let any_lock_unlocked = snap.by_capability("lock").any(|d| d.attr_is("lock", "unlocked"));
+        let entrance_open = snap
+            .by_capability("doorControl")
+            .chain(snap.by_capability("garageDoorControl"))
+            .any(|d| d.attr_is("door", "open"));
+        let intruder = !snap.anyone_home() && snap.motion_detected();
+        let danger = snap.smoke_detected() || snap.co_detected() || intruder || snap.leak_detected();
+
+        match self {
+            TemperatureInRangeWhenHome { min, max } => {
+                snap.anyone_home()
+                    && (snap.min_temperature().map(|t| t < *min).unwrap_or(false)
+                        || snap.max_temperature().map(|t| t > *max).unwrap_or(false))
+            }
+            HeaterOnWhenCold { threshold } => {
+                snap.anyone_home()
+                    && snap.by_role(DeviceRole::Heater).count() > 0
+                    && snap.min_temperature().map(|t| t < *threshold).unwrap_or(false)
+                    && !heater_on
+            }
+            HeaterOffWhenHot { threshold } => {
+                heater_on && snap.max_temperature().map(|t| t > *threshold).unwrap_or(false)
+            }
+            AcAndHeaterNotBothOn => heater_on && ac_on,
+            AcOffWhenCold { threshold } => {
+                ac_on && snap.min_temperature().map(|t| t < *threshold).unwrap_or(false)
+            }
+            MainDoorLockedWhenNooneHome => !snap.anyone_home() && main_lock_unlocked,
+            MainDoorLockedWhenSleeping => snap.sleeping() && main_lock_unlocked,
+            EntranceDoorClosedWhenNooneHome => !snap.anyone_home() && entrance_open,
+            EntranceDoorClosedWhenSleeping => snap.sleeping() && entrance_open,
+            NoLockUnlockedInAwayMode => snap.mode.eq_ignore_ascii_case("away") && any_lock_unlocked,
+            GarageDoorClosedAtNight => {
+                snap.sleeping() && snap.by_capability("garageDoorControl").any(|d| d.attr_is("door", "open"))
+            }
+            AnyLockLockedWhenNooneHome => !snap.anyone_home() && any_lock_unlocked,
+            MainDoorLockedDuringIntrusion => intruder && main_lock_unlocked,
+            ModeAwayWhenNooneHome => {
+                let sensors: Vec<_> = snap.by_capability("presenceSensor").collect();
+                !sensors.is_empty()
+                    && sensors.iter().all(|d| d.attr_is("presence", "not present"))
+                    && !snap.mode.eq_ignore_ascii_case("away")
+            }
+            ModeNotAwayWhenSomeoneHome => {
+                snap.by_capability("presenceSensor").any(|d| d.attr_is("presence", "present"))
+                    && snap.mode.eq_ignore_ascii_case("away")
+            }
+            ModeNotNightWhenNooneHome => {
+                let sensors: Vec<_> = snap.by_capability("presenceSensor").collect();
+                !sensors.is_empty()
+                    && sensors.iter().all(|d| d.attr_is("presence", "not present"))
+                    && snap.mode.eq_ignore_ascii_case("night")
+            }
+            AlarmActiveWhenSmoke => snap.smoke_detected() && has_alarm && !alarm_active,
+            AlarmActiveWhenCo => snap.co_detected() && has_alarm && !alarm_active,
+            AlarmActiveWhenIntruder => intruder && has_alarm && !alarm_active,
+            AlarmSilentWhenNoDanger => alarm_active && !danger,
+            AlarmSilentWhenSleepingNoDanger => snap.sleeping() && alarm_active && !danger,
+            MainDoorUnlockedDuringFire => {
+                snap.smoke_detected() && snap.anyone_home() && has_main_lock && !main_lock_unlocked
+            }
+            DoorsOpenableDuringCoAlarm => {
+                snap.co_detected() && snap.anyone_home() && has_main_lock && !main_lock_unlocked
+            }
+            WaterValveOpenDuringFire => {
+                snap.smoke_detected()
+                    && snap.by_capability("valve").any(|d| d.attr_is("valve", "closed"))
+            }
+            LightsOnDuringFireAtNight => {
+                snap.smoke_detected()
+                    && snap.sleeping()
+                    && snap.by_role(DeviceRole::Light).count() > 0
+                    && !any_light_on
+            }
+            SafetySensorsOnline => snap
+                .by_capability("smokeDetector")
+                .chain(snap.by_capability("carbonMonoxideDetector"))
+                .any(|d| !d.online),
+            CameraCapturesIntruder => {
+                intruder
+                    && snap.by_capability("imageCapture").count() > 0
+                    && !snap.by_capability("imageCapture").any(|d| d.attr_is("image", "captured"))
+            }
+            AppliancesOffWhenSmoke => {
+                snap.smoke_detected() && snap.role_attr_is(DeviceRole::Appliance, "switch", "on")
+            }
+            FansOffWhenSmoke => {
+                snap.smoke_detected() && snap.by_capability("fanControl").any(|d| d.attr_is("switch", "on"))
+            }
+            HeaterOffWhenSmoke => snap.smoke_detected() && heater_on,
+            SoilMoistureInRange { min, max } => snap.by_capability("soilMoisture").any(|d| {
+                d.attr_number("moisture").map(|m| m < *min || m > *max).unwrap_or(false)
+            }),
+            SprinklerOffWhenWet => {
+                snap.leak_detected() && snap.by_capability("sprinkler").any(|d| d.attr_is("sprinkler", "on"))
+            }
+            WaterValveClosedWhenLeak => {
+                snap.leak_detected() && snap.by_capability("valve").any(|d| d.attr_is("valve", "open"))
+            }
+            LightsOffWhenNooneHome => !snap.anyone_home() && any_light_on,
+            AppliancesOffWhenNooneHome => {
+                !snap.anyone_home() && snap.role_attr_is(DeviceRole::Appliance, "switch", "on")
+            }
+            AppliancesOffWhenSleeping => {
+                snap.sleeping() && snap.role_attr_is(DeviceRole::Appliance, "switch", "on")
+            }
+            LightsOffWhenSleeping => snap.sleeping() && any_light_on,
+            SpeakersQuietWhenSleeping => {
+                snap.sleeping() && snap.by_capability("musicPlayer").any(|d| d.attr_is("status", "playing"))
+            }
+        }
+    }
+
+    /// A linear-temporal-logic rendering of the safe property, in the `[]`
+    /// (always) form Spin accepts.  The propositions are named after the
+    /// snapshot helpers they correspond to.
+    pub fn to_ltl(&self) -> String {
+        format!("[] !( {} )", self.violation_proposition())
+    }
+
+    /// The propositional rendering of the unsafe state.
+    pub fn violation_proposition(&self) -> String {
+        use PhysicalInvariant::*;
+        match self {
+            TemperatureInRangeWhenHome { min, max } => {
+                format!("anyone_home && (temperature < {min} || temperature > {max})")
+            }
+            HeaterOnWhenCold { threshold } => format!("anyone_home && temperature < {threshold} && heater == off"),
+            HeaterOffWhenHot { threshold } => format!("temperature > {threshold} && heater == on"),
+            AcAndHeaterNotBothOn => "heater == on && ac == on".into(),
+            AcOffWhenCold { threshold } => format!("temperature < {threshold} && ac == on"),
+            MainDoorLockedWhenNooneHome => "!anyone_home && main_door == unlocked".into(),
+            MainDoorLockedWhenSleeping => "mode == Night && main_door == unlocked".into(),
+            EntranceDoorClosedWhenNooneHome => "!anyone_home && entrance_door == open".into(),
+            EntranceDoorClosedWhenSleeping => "mode == Night && entrance_door == open".into(),
+            NoLockUnlockedInAwayMode => "mode == Away && any_lock == unlocked".into(),
+            GarageDoorClosedAtNight => "mode == Night && garage_door == open".into(),
+            AnyLockLockedWhenNooneHome => "!anyone_home && any_lock == unlocked".into(),
+            MainDoorLockedDuringIntrusion => "!anyone_home && motion == active && main_door == unlocked".into(),
+            ModeAwayWhenNooneHome => "all_not_present && mode != Away".into(),
+            ModeNotAwayWhenSomeoneHome => "any_present && mode == Away".into(),
+            ModeNotNightWhenNooneHome => "all_not_present && mode == Night".into(),
+            AlarmActiveWhenSmoke => "smoke == detected && alarm == off".into(),
+            AlarmActiveWhenCo => "co == detected && alarm == off".into(),
+            AlarmActiveWhenIntruder => "!anyone_home && motion == active && alarm == off".into(),
+            AlarmSilentWhenNoDanger => "alarm != off && !danger".into(),
+            AlarmSilentWhenSleepingNoDanger => "mode == Night && alarm != off && !danger".into(),
+            MainDoorUnlockedDuringFire => "smoke == detected && anyone_home && main_door == locked".into(),
+            DoorsOpenableDuringCoAlarm => "co == detected && anyone_home && main_door == locked".into(),
+            WaterValveOpenDuringFire => "smoke == detected && valve == closed".into(),
+            LightsOnDuringFireAtNight => "smoke == detected && mode == Night && lights == off".into(),
+            SafetySensorsOnline => "smoke_detector_offline || co_detector_offline".into(),
+            CameraCapturesIntruder => "!anyone_home && motion == active && camera == idle".into(),
+            AppliancesOffWhenSmoke => "smoke == detected && appliance == on".into(),
+            FansOffWhenSmoke => "smoke == detected && fan == on".into(),
+            HeaterOffWhenSmoke => "smoke == detected && heater == on".into(),
+            SoilMoistureInRange { min, max } => format!("moisture < {min} || moisture > {max}"),
+            SprinklerOffWhenWet => "water == wet && sprinkler == on".into(),
+            WaterValveClosedWhenLeak => "water == wet && valve == open".into(),
+            LightsOffWhenNooneHome => "!anyone_home && lights == on".into(),
+            AppliancesOffWhenNooneHome => "!anyone_home && appliance == on".into(),
+            AppliancesOffWhenSleeping => "mode == Night && appliance == on".into(),
+            LightsOffWhenSleeping => "mode == Night && lights == on".into(),
+            SpeakersQuietWhenSleeping => "mode == Night && speaker == playing".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::DeviceSnapshot;
+    use iotsan_devices::DeviceId;
+    use iotsan_ir::Value;
+
+    fn dev(id: u32, cap: &str, role: DeviceRole, attrs: &[(&str, Value)]) -> DeviceSnapshot {
+        DeviceSnapshot {
+            id: DeviceId(id),
+            label: format!("d{id}"),
+            capability: cap.into(),
+            role,
+            attributes: attrs.iter().map(|(n, v)| (n.to_string(), v.clone())).collect(),
+            online: true,
+        }
+    }
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.into())
+    }
+
+    #[test]
+    fn there_are_thirty_eight_default_invariants() {
+        assert_eq!(PhysicalInvariant::defaults().len(), 38);
+    }
+
+    #[test]
+    fn table4_category_counts_match_paper() {
+        let mut counts = std::collections::BTreeMap::new();
+        for inv in PhysicalInvariant::defaults() {
+            *counts.entry(inv.category()).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts["Thermostat, AC, and Heater"], 5);
+        assert_eq!(counts["Lock and door control"], 8);
+        assert_eq!(counts["Location mode"], 3);
+        assert_eq!(counts["Security and alarming"], 14);
+        assert_eq!(counts["Water and sprinkler"], 3);
+        assert_eq!(counts["Others"], 5);
+    }
+
+    #[test]
+    fn ac_and_heater_both_on_is_violation() {
+        let snap = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "switch", DeviceRole::Heater, &[("switch", s("on"))]),
+                dev(1, "switch", DeviceRole::AirConditioner, &[("switch", s("on"))]),
+            ],
+            time_seconds: 0,
+        };
+        assert!(PhysicalInvariant::AcAndHeaterNotBothOn.is_violated(&snap));
+        let snap_ok = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "switch", DeviceRole::Heater, &[("switch", s("on"))]),
+                dev(1, "switch", DeviceRole::AirConditioner, &[("switch", s("off"))]),
+            ],
+            time_seconds: 0,
+        };
+        assert!(!PhysicalInvariant::AcAndHeaterNotBothOn.is_violated(&snap_ok));
+    }
+
+    #[test]
+    fn main_door_unlocked_when_away_is_violation() {
+        let snap = Snapshot {
+            mode: "Away".into(),
+            devices: vec![
+                dev(0, "lock", DeviceRole::MainDoorLock, &[("lock", s("unlocked"))]),
+                dev(1, "presenceSensor", DeviceRole::Generic, &[("presence", s("not present"))]),
+            ],
+            time_seconds: 0,
+        };
+        assert!(PhysicalInvariant::MainDoorLockedWhenNooneHome.is_violated(&snap));
+        assert!(PhysicalInvariant::NoLockUnlockedInAwayMode.is_violated(&snap));
+        assert!(PhysicalInvariant::AnyLockLockedWhenNooneHome.is_violated(&snap));
+    }
+
+    #[test]
+    fn door_unlocked_while_sleeping_is_violation() {
+        let snap = Snapshot {
+            mode: "Night".into(),
+            devices: vec![dev(0, "lock", DeviceRole::MainDoorLock, &[("lock", s("unlocked"))])],
+            time_seconds: 0,
+        };
+        assert!(PhysicalInvariant::MainDoorLockedWhenSleeping.is_violated(&snap));
+    }
+
+    #[test]
+    fn alarm_must_sound_on_smoke() {
+        let snap = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "smokeDetector", DeviceRole::Generic, &[("smoke", s("detected"))]),
+                dev(1, "alarm", DeviceRole::Alarm, &[("alarm", s("off"))]),
+            ],
+            time_seconds: 0,
+        };
+        assert!(PhysicalInvariant::AlarmActiveWhenSmoke.is_violated(&snap));
+        let snap_ok = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "smokeDetector", DeviceRole::Generic, &[("smoke", s("detected"))]),
+                dev(1, "alarm", DeviceRole::Alarm, &[("alarm", s("siren"))]),
+            ],
+            time_seconds: 0,
+        };
+        assert!(!PhysicalInvariant::AlarmActiveWhenSmoke.is_violated(&snap_ok));
+    }
+
+    #[test]
+    fn water_valve_closed_during_fire_is_violation() {
+        let snap = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "smokeDetector", DeviceRole::Generic, &[("smoke", s("detected"))]),
+                dev(1, "valve", DeviceRole::WaterValve, &[("valve", s("closed"))]),
+            ],
+            time_seconds: 0,
+        };
+        assert!(PhysicalInvariant::WaterValveOpenDuringFire.is_violated(&snap));
+    }
+
+    #[test]
+    fn temperature_range_checks_presence() {
+        let make = |mode: &str, temp: i64| Snapshot {
+            mode: mode.into(),
+            devices: vec![dev(
+                0,
+                "temperatureMeasurement",
+                DeviceRole::Generic,
+                &[("temperature", Value::Int(temp))],
+            )],
+            time_seconds: 0,
+        };
+        let inv = PhysicalInvariant::TemperatureInRangeWhenHome { min: 50.0, max: 90.0 };
+        assert!(inv.is_violated(&make("Home", 30)));
+        assert!(inv.is_violated(&make("Home", 95)));
+        assert!(!inv.is_violated(&make("Home", 75)));
+        // Away → nobody home → not a violation even if cold.
+        assert!(!inv.is_violated(&make("Away", 30)));
+    }
+
+    #[test]
+    fn offline_safety_sensor_is_violation() {
+        let mut d = dev(0, "smokeDetector", DeviceRole::Generic, &[("smoke", s("clear"))]);
+        d.online = false;
+        let snap = Snapshot { mode: "Home".into(), devices: vec![d], time_seconds: 0 };
+        assert!(PhysicalInvariant::SafetySensorsOnline.is_violated(&snap));
+    }
+
+    #[test]
+    fn heater_must_run_when_cold() {
+        let snap = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "switch", DeviceRole::Heater, &[("switch", s("off"))]),
+                dev(
+                    1,
+                    "temperatureMeasurement",
+                    DeviceRole::Generic,
+                    &[("temperature", Value::Int(30))],
+                ),
+            ],
+            time_seconds: 0,
+        };
+        assert!(PhysicalInvariant::HeaterOnWhenCold { threshold: 50.0 }.is_violated(&snap));
+    }
+
+    #[test]
+    fn ltl_rendering_is_always_form() {
+        for inv in PhysicalInvariant::defaults() {
+            let ltl = inv.to_ltl();
+            assert!(ltl.starts_with("[] !("), "{ltl}");
+            assert!(!inv.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_violates_nothing() {
+        let snap = Snapshot { mode: "Home".into(), devices: vec![], time_seconds: 0 };
+        for inv in PhysicalInvariant::defaults() {
+            assert!(!inv.is_violated(&snap), "{:?} violated on empty snapshot", inv);
+        }
+    }
+}

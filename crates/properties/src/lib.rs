@@ -1,0 +1,40 @@
+//! # iotsan-properties
+//!
+//! The safety-property corpus of IotSan-rs (the Rust reproduction of *IotSan:
+//! Fortifying the Safety of IoT Systems*, CoNEXT 2018, §8 and Table 4).
+//!
+//! IotSan verifies 45 properties: one free-of-conflicting-commands property,
+//! one free-of-repeated-commands property, 38 safe-physical-state invariants
+//! across six categories, four security properties (information leakage and
+//! security-sensitive commands) and one robustness-to-failure property.
+//!
+//! * [`snapshot`] — the [`Snapshot`] of the physical state and the per-step
+//!   [`StepObservation`] the model generator hands to the checker;
+//! * [`invariant`] — the 38 parameterized [`PhysicalInvariant`]s;
+//! * [`catalog`] — the full [`PropertySet`] with LTL renderings and the
+//!   conflicting/repeated-command detectors.
+//!
+//! ```
+//! use iotsan_properties::{PropertySet, Snapshot};
+//!
+//! let set = PropertySet::all();
+//! assert_eq!(set.len(), 45);
+//! // An empty home violates nothing.
+//! assert!(set.check_snapshot(&Snapshot::default()).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod invariant;
+pub mod snapshot;
+
+pub use catalog::{
+    default_properties, has_conflicting_commands, has_repeated_commands, Property, PropertyClass, PropertyId,
+    PropertyKind, PropertySet,
+};
+pub use invariant::PhysicalInvariant;
+pub use snapshot::{
+    CommandRecord, DeviceRole, DeviceSnapshot, FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord,
+    Snapshot, StepObservation,
+};

@@ -1,0 +1,408 @@
+//! Snapshots of the physical system state and per-step observations.
+//!
+//! Safety properties are evaluated against two views produced by the model
+//! generator after each external event is fully dispatched (Algorithm 1):
+//!
+//! * a [`Snapshot`] of the *physical* state — every device's attributes, the
+//!   location mode and the modelled time — used by the 38 safe-physical-state
+//!   invariants (Table 4);
+//! * a [`StepObservation`] of what *happened* during the step — the commands
+//!   each actuator received, messages sent, network calls, fake events and
+//!   `unsubscribe` calls, plus failure bookkeeping — used by the conflicting/
+//!   repeated-command, information-leakage and robustness properties.
+
+use iotsan_devices::DeviceId;
+use iotsan_ir::Value;
+
+/// The user-supplied *device association* (§7): what a generic device such as
+/// a smart outlet actually controls in the home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeviceRole {
+    /// No special association.
+    #[default]
+    Generic,
+    /// The outlet/switch powers a space heater.
+    Heater,
+    /// The outlet/switch powers an air conditioner.
+    AirConditioner,
+    /// A light fixture.
+    Light,
+    /// The lock on the main entrance door.
+    MainDoorLock,
+    /// A garage or entrance door controller.
+    EntranceDoor,
+    /// A siren/strobe alarm.
+    Alarm,
+    /// The main water shut-off valve.
+    WaterValve,
+    /// Lawn/garden sprinkler.
+    Sprinkler,
+    /// A coffee maker, oven or other heat-producing appliance.
+    Appliance,
+    /// A security camera.
+    Camera,
+}
+
+impl DeviceRole {
+    /// Parses the role names used in configuration files.
+    pub fn parse(name: &str) -> DeviceRole {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "heater" => DeviceRole::Heater,
+            "ac" | "airconditioner" | "air_conditioner" | "air conditioner" => DeviceRole::AirConditioner,
+            "light" | "bulb" | "lamp" => DeviceRole::Light,
+            "maindoorlock" | "main_door_lock" | "main door lock" | "frontdoorlock" => DeviceRole::MainDoorLock,
+            "entrancedoor" | "entrance_door" | "entrance door" | "garagedoor" => DeviceRole::EntranceDoor,
+            "alarm" | "siren" => DeviceRole::Alarm,
+            "watervalve" | "water_valve" | "water valve" => DeviceRole::WaterValve,
+            "sprinkler" => DeviceRole::Sprinkler,
+            "appliance" | "coffeemaker" | "oven" => DeviceRole::Appliance,
+            "camera" => DeviceRole::Camera,
+            _ => DeviceRole::Generic,
+        }
+    }
+}
+
+/// The state of one device inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSnapshot {
+    /// System identifier.
+    pub id: DeviceId,
+    /// User label (e.g. `myHeaterOutlet`).
+    pub label: String,
+    /// Capability name (e.g. `switch`, `lock`, `smokeDetector`).
+    pub capability: String,
+    /// User-supplied association.
+    pub role: DeviceRole,
+    /// Attribute values.
+    pub attributes: Vec<(String, Value)>,
+    /// Whether the device is online.
+    pub online: bool,
+}
+
+impl DeviceSnapshot {
+    /// The value of an attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<&Value> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// True when `attribute == value` (loose comparison).
+    pub fn attr_is(&self, attribute: &str, value: &str) -> bool {
+        self.attr(attribute).map(|v| v.loosely_equals(&Value::Str(value.to_string()))).unwrap_or(false)
+    }
+
+    /// Numeric value of an attribute, if it has one.
+    pub fn attr_number(&self, attribute: &str) -> Option<f64> {
+        self.attr(attribute).and_then(|v| v.as_number())
+    }
+}
+
+/// A complete physical-state snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Current location mode (`Home`, `Away`, `Night`).
+    pub mode: String,
+    /// Every installed device.
+    pub devices: Vec<DeviceSnapshot>,
+    /// Modelled time in seconds.
+    pub time_seconds: u64,
+}
+
+impl Snapshot {
+    /// Devices with the given capability.
+    pub fn by_capability<'a>(&'a self, capability: &'a str) -> impl Iterator<Item = &'a DeviceSnapshot> {
+        self.devices.iter().filter(move |d| d.capability == capability)
+    }
+
+    /// Devices with the given role.
+    pub fn by_role(&self, role: DeviceRole) -> impl Iterator<Item = &DeviceSnapshot> {
+        self.devices.iter().filter(move |d| d.role == role)
+    }
+
+    /// True when any presence sensor reports `present`.  When the system has
+    /// no presence sensor, the location mode is used as a proxy (the paper's
+    /// properties treat mode `Away` as "no one at home").
+    pub fn anyone_home(&self) -> bool {
+        let sensors: Vec<_> = self.by_capability("presenceSensor").collect();
+        if sensors.is_empty() {
+            return !self.mode.eq_ignore_ascii_case("away");
+        }
+        sensors.iter().any(|d| d.attr_is("presence", "present"))
+    }
+
+    /// True when the home is in sleeping mode.
+    pub fn sleeping(&self) -> bool {
+        self.mode.eq_ignore_ascii_case("night")
+    }
+
+    /// True when any smoke detector reports smoke.
+    pub fn smoke_detected(&self) -> bool {
+        self.by_capability("smokeDetector").any(|d| d.attr_is("smoke", "detected"))
+    }
+
+    /// True when any CO detector reports carbon monoxide.
+    pub fn co_detected(&self) -> bool {
+        self.by_capability("carbonMonoxideDetector").any(|d| d.attr_is("carbonMonoxide", "detected"))
+    }
+
+    /// True when any motion sensor reports motion (used as the intruder proxy
+    /// by the security properties when the system is in `Away` mode).
+    pub fn motion_detected(&self) -> bool {
+        self.by_capability("motionSensor").any(|d| d.attr_is("motion", "active"))
+    }
+
+    /// True when any water-leak sensor is wet.
+    pub fn leak_detected(&self) -> bool {
+        self.by_capability("waterSensor").any(|d| d.attr_is("water", "wet"))
+    }
+
+    /// The minimum temperature reported by any temperature sensor/thermostat.
+    pub fn min_temperature(&self) -> Option<f64> {
+        self.devices
+            .iter()
+            .filter_map(|d| d.attr_number("temperature"))
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The maximum temperature reported by any temperature sensor/thermostat.
+    pub fn max_temperature(&self) -> Option<f64> {
+        self.devices
+            .iter()
+            .filter_map(|d| d.attr_number("temperature"))
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// True when any device playing the given role has `attribute == value`.
+    pub fn role_attr_is(&self, role: DeviceRole, attribute: &str, value: &str) -> bool {
+        self.by_role(role).any(|d| d.attr_is(attribute, value))
+    }
+}
+
+/// One actuator command observed during a step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandRecord {
+    /// The app that issued the command.
+    pub app: String,
+    /// The handler that issued it.
+    pub handler: String,
+    /// Target device.
+    pub device: DeviceId,
+    /// Target device label.
+    pub device_label: String,
+    /// Command name (`on`, `off`, `lock`, ...).
+    pub command: String,
+    /// Whether the command was actually delivered (false under failure).
+    pub delivered: bool,
+    /// Whether the command changed the device state (false = repeated/no-op).
+    pub changed_state: bool,
+}
+
+/// A user-facing message sent during a step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageRecord {
+    /// The app that sent it.
+    pub app: String,
+    /// `sms` or `push`.
+    pub channel: MessageChannel,
+    /// SMS recipient (empty for push messages).
+    pub recipient: String,
+    /// Message body.
+    pub body: String,
+}
+
+/// Message channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageChannel {
+    /// `sendSms` / `sendSmsMessage`.
+    Sms,
+    /// `sendPush` / notifications.
+    Push,
+}
+
+/// A network request observed during a step (information can leak here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkRecord {
+    /// The app that made the call.
+    pub app: String,
+    /// Destination URL.
+    pub url: String,
+    /// Whether the user allowed this app to use network interfaces.
+    pub allowed: bool,
+}
+
+/// A synthetic event raised by an app via `sendEvent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FakeEventRecord {
+    /// The app that raised it.
+    pub app: String,
+    /// The claimed attribute (e.g. `smoke`).
+    pub attribute: String,
+    /// The claimed value (e.g. `detected`).
+    pub value: String,
+}
+
+/// Everything observed while dispatching one external event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepObservation {
+    /// Actuator commands issued by handlers during the step.
+    pub commands: Vec<CommandRecord>,
+    /// Messages sent to the user.
+    pub messages: Vec<MessageRecord>,
+    /// Network requests.
+    pub network: Vec<NetworkRecord>,
+    /// Synthetic events raised by apps.
+    pub fake_events: Vec<FakeEventRecord>,
+    /// Apps that called `unsubscribe` during the step.
+    pub unsubscribes: Vec<String>,
+    /// The phone number(s) the user configured as legitimate SMS recipients.
+    pub configured_recipients: Vec<String>,
+    /// Whether any command in this step was lost to a device/communication
+    /// failure.
+    pub command_failures: usize,
+}
+
+impl StepObservation {
+    /// Commands grouped by device: returns `(device, commands)` pairs.
+    pub fn commands_by_device(&self) -> Vec<(DeviceId, Vec<&CommandRecord>)> {
+        let mut out: Vec<(DeviceId, Vec<&CommandRecord>)> = Vec::new();
+        for cmd in &self.commands {
+            match out.iter_mut().find(|(d, _)| *d == cmd.device) {
+                Some((_, list)) => list.push(cmd),
+                None => out.push((cmd.device, vec![cmd])),
+            }
+        }
+        out
+    }
+
+    /// True when the step sent an SMS to a recipient that is not one of the
+    /// configured phone numbers (potential leakage, §3).
+    pub fn sms_recipient_mismatch(&self) -> bool {
+        self.messages.iter().any(|m| {
+            m.channel == MessageChannel::Sms
+                && !m.recipient.is_empty()
+                && !self.configured_recipients.iter().any(|r| r == &m.recipient)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(id: u32, label: &str, capability: &str, role: DeviceRole, attrs: &[(&str, &str)]) -> DeviceSnapshot {
+        DeviceSnapshot {
+            id: DeviceId(id),
+            label: label.into(),
+            capability: capability.into(),
+            role,
+            attributes: attrs.iter().map(|(n, v)| (n.to_string(), Value::Str(v.to_string()))).collect(),
+            online: true,
+        }
+    }
+
+    #[test]
+    fn role_parsing() {
+        assert_eq!(DeviceRole::parse("AC"), DeviceRole::AirConditioner);
+        assert_eq!(DeviceRole::parse("main door lock"), DeviceRole::MainDoorLock);
+        assert_eq!(DeviceRole::parse("whatever"), DeviceRole::Generic);
+    }
+
+    #[test]
+    fn anyone_home_uses_presence_then_mode() {
+        let mut snap = Snapshot {
+            mode: "Away".into(),
+            devices: vec![dev(0, "alice", "presenceSensor", DeviceRole::Generic, &[("presence", "present")])],
+            time_seconds: 0,
+        };
+        assert!(snap.anyone_home());
+        snap.devices[0].attributes[0].1 = Value::Str("not present".into());
+        assert!(!snap.anyone_home());
+        // Without presence sensors, the mode decides.
+        snap.devices.clear();
+        assert!(!snap.anyone_home());
+        snap.mode = "Home".into();
+        assert!(snap.anyone_home());
+    }
+
+    #[test]
+    fn detectors_and_temperature_helpers() {
+        let snap = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "smoke", "smokeDetector", DeviceRole::Generic, &[("smoke", "detected")]),
+                DeviceSnapshot {
+                    id: DeviceId(1),
+                    label: "temp".into(),
+                    capability: "temperatureMeasurement".into(),
+                    role: DeviceRole::Generic,
+                    attributes: vec![("temperature".into(), Value::Int(50))],
+                    online: true,
+                },
+                DeviceSnapshot {
+                    id: DeviceId(2),
+                    label: "thermostat".into(),
+                    capability: "thermostat".into(),
+                    role: DeviceRole::Generic,
+                    attributes: vec![("temperature".into(), Value::Int(85))],
+                    online: true,
+                },
+            ],
+            time_seconds: 0,
+        };
+        assert!(snap.smoke_detected());
+        assert!(!snap.co_detected());
+        assert_eq!(snap.min_temperature(), Some(50.0));
+        assert_eq!(snap.max_temperature(), Some(85.0));
+    }
+
+    #[test]
+    fn role_attr_lookup() {
+        let snap = Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "heaterOutlet", "switch", DeviceRole::Heater, &[("switch", "on")]),
+                dev(1, "acOutlet", "switch", DeviceRole::AirConditioner, &[("switch", "off")]),
+            ],
+            time_seconds: 0,
+        };
+        assert!(snap.role_attr_is(DeviceRole::Heater, "switch", "on"));
+        assert!(!snap.role_attr_is(DeviceRole::AirConditioner, "switch", "on"));
+    }
+
+    #[test]
+    fn commands_by_device_groups() {
+        let mk = |device: u32, command: &str| CommandRecord {
+            app: "A".into(),
+            handler: "h".into(),
+            device: DeviceId(device),
+            device_label: format!("dev{device}"),
+            command: command.into(),
+            delivered: true,
+            changed_state: true,
+        };
+        let obs = StepObservation {
+            commands: vec![mk(0, "on"), mk(1, "off"), mk(0, "off")],
+            ..Default::default()
+        };
+        let grouped = obs.commands_by_device();
+        assert_eq!(grouped.len(), 2);
+        let dev0 = grouped.iter().find(|(d, _)| *d == DeviceId(0)).unwrap();
+        assert_eq!(dev0.1.len(), 2);
+    }
+
+    #[test]
+    fn sms_recipient_mismatch_detection() {
+        let mut obs = StepObservation {
+            messages: vec![MessageRecord {
+                app: "A".into(),
+                channel: MessageChannel::Sms,
+                recipient: "5551234".into(),
+                body: "hello".into(),
+            }],
+            configured_recipients: vec!["5551234".into()],
+            ..Default::default()
+        };
+        assert!(!obs.sms_recipient_mismatch());
+        obs.messages[0].recipient = "6669999".into();
+        assert!(obs.sms_recipient_mismatch());
+    }
+}

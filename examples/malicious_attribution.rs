@@ -1,0 +1,53 @@
+//! Violation attribution: flagging malicious apps vs misconfigurations.
+//!
+//! The Output Analyzer (§9) verifies a newly installed app under every
+//! possible configuration.  Apps that violate safety properties in (almost)
+//! every configuration are flagged as potentially malicious; apps that only
+//! violate under some configurations are attributed to misconfiguration and
+//! safe configurations are suggested.
+//!
+//! This example runs the two-phase attribution over the nine ContexIoT-style
+//! malicious apps and a few benign market apps (§10.3 reports 9/9 malicious
+//! apps attributed with 100 % violation ratios).
+//!
+//! Run with: `cargo run --release --example malicious_attribution`
+
+use iotsan::attribution::AttributionThresholds;
+use iotsan::config::standard_household;
+use iotsan::{translate_sources, Pipeline};
+use iotsan_apps::{malicious, market};
+
+fn main() {
+    let devices = standard_household();
+    let pipeline = Pipeline::with_events(3);
+    let thresholds = AttributionThresholds::default();
+
+    // The paper evaluates the malicious apps "installed together with other
+    // apps"; these two benign apps provide the mode changes and lock commands
+    // some of the malicious behaviours react to.
+    let installed = translate_sources(&[market::AUTO_MODE_CHANGE, market::LOCK_IT_WHEN_I_LEAVE])
+        .expect("installed apps translate");
+
+    println!("== ContexIoT-style malicious apps ==");
+    let mut flagged = 0usize;
+    let corpus = malicious::malicious_apps();
+    for entry in &corpus {
+        let apps = translate_sources(&[entry.app.source.as_str()]).expect("malicious app translates");
+        let report = pipeline.attribute_new_app(&apps[0], &installed, &devices, &thresholds);
+        if report.verdict.flags_app() {
+            flagged += 1;
+        }
+        println!(
+            "{:<24} expected: {:<55} verdict: {}",
+            entry.app.name, entry.expected_violation, report.verdict
+        );
+    }
+    println!("\nflagged {flagged}/{} malicious apps", corpus.len());
+
+    println!("\n== benign market apps (controls) ==");
+    for app in market::named_apps().iter().take(6) {
+        let apps = translate_sources(&[app.source.as_str()]).expect("market app translates");
+        let report = pipeline.attribute_new_app(&apps[0], &installed, &devices, &thresholds);
+        println!("{:<24} verdict: {}", app.name, report.verdict);
+    }
+}
