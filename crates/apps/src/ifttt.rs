@@ -101,7 +101,10 @@ pub fn translate_applet(applet: &IftttApplet) -> IrApp {
     let action_input = "actionDevice".to_string();
     let mut inputs = vec![AppInput {
         name: trigger_input.clone(),
-        kind: SettingKind::Device { capability: applet.trigger.capability.clone(), multiple: false },
+        kind: SettingKind::Device {
+            capability: applet.trigger.capability.clone(),
+            multiple: false,
+        },
         title: applet.trigger.service.clone(),
         required: true,
     }];
@@ -110,7 +113,10 @@ pub fn translate_applet(applet: &IftttApplet) -> IrApp {
     } else {
         inputs.push(AppInput {
             name: action_input.clone(),
-            kind: SettingKind::Device { capability: applet.action.capability.clone(), multiple: false },
+            kind: SettingKind::Device {
+                capability: applet.action.capability.clone(),
+                multiple: false,
+            },
             title: applet.action.service.clone(),
             required: true,
         });
@@ -130,7 +136,11 @@ pub fn translate_applet(applet: &IftttApplet) -> IrApp {
             trigger: Trigger::Device {
                 input: trigger_input,
                 attribute: applet.trigger.attribute.clone(),
-                value: if applet.trigger.value.is_empty() { None } else { Some(applet.trigger.value.clone()) },
+                value: if applet.trigger.value.is_empty() {
+                    None
+                } else {
+                    Some(applet.trigger.value.clone())
+                },
             },
             body,
         }],
@@ -178,7 +188,10 @@ mod tests {
         }
         // Rule #5 unlocks a lock on presence.
         let rule5 = apps.iter().find(|a| a.name == "IFTTT rule #5").unwrap();
-        assert_eq!(rule5.handlers[0].device_commands(), vec![("actionDevice".to_string(), "unlock".to_string())]);
+        assert_eq!(
+            rule5.handlers[0].device_commands(),
+            vec![("actionDevice".to_string(), "unlock".to_string())]
+        );
         // Rule #7 is a notification action with no actuator input.
         let rule7 = apps.iter().find(|a| a.name == "IFTTT rule #7").unwrap();
         assert_eq!(rule7.inputs.len(), 1);

@@ -24,14 +24,14 @@ pub struct MaliciousApp {
 pub fn malicious_apps() -> Vec<MaliciousApp> {
     vec![
         MaliciousApp {
-            app: MarketApp {
-                name: "Backdoor Pin Code".into(),
-                source: BACKDOOR_PIN_CODE.into(),
-            },
+            app: MarketApp { name: "Backdoor Pin Code".into(), source: BACKDOOR_PIN_CODE.into() },
             expected_violation: "unsafe physical state (door unlocked when no one is at home)",
         },
         MaliciousApp {
-            app: MarketApp { name: "Fake Smoke Detector".into(), source: FAKE_SMOKE_DETECTOR.into() },
+            app: MarketApp {
+                name: "Fake Smoke Detector".into(),
+                source: FAKE_SMOKE_DETECTOR.into(),
+            },
             expected_violation: "security-sensitive command (fake event)",
         },
         MaliciousApp {
@@ -47,7 +47,10 @@ pub fn malicious_apps() -> Vec<MaliciousApp> {
             expected_violation: "information leakage (httpPost)",
         },
         MaliciousApp {
-            app: MarketApp { name: "Water Valve Saboteur".into(), source: WATER_VALVE_SABOTEUR.into() },
+            app: MarketApp {
+                name: "Water Valve Saboteur".into(),
+                source: WATER_VALVE_SABOTEUR.into(),
+            },
             expected_violation: "unsafe physical state (water valve closed when smoke is detected)",
         },
         MaliciousApp {

@@ -812,7 +812,8 @@ mod tests {
             let parsed = SmartApp::parse(&app.source)
                 .unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.name));
             assert_eq!(parsed.name(), app.name, "definition name mismatch for {}", app.name);
-            let ir = lower_app(&parsed).unwrap_or_else(|e| panic!("{} failed to lower: {e}", app.name));
+            let ir =
+                lower_app(&parsed).unwrap_or_else(|e| panic!("{} failed to lower: {e}", app.name));
             assert!(!ir.handlers.is_empty(), "{} has no handlers", app.name);
         }
     }

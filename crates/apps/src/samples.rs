@@ -11,7 +11,13 @@ use crate::market::{self, MarketApp};
 /// (Brighten Dark Places, Let There Be Dark!, Auto Mode Change, Unlock Door,
 /// Big Turn On — six event handlers, vertices 0–6).
 pub fn figure4_group() -> Vec<MarketApp> {
-    named(&["Brighten Dark Places", "Let There Be Dark!", "Auto Mode Change", "Unlock Door", "Big Turn On"])
+    named(&[
+        "Brighten Dark Places",
+        "Let There Be Dark!",
+        "Auto Mode Change",
+        "Unlock Door",
+        "Big Turn On",
+    ])
 }
 
 /// The first "bad group" of the performance experiment:

@@ -191,7 +191,10 @@ pub fn attribute_app<C, D>(
     let (joint_ratio, safe_configurations) = violation_ratio(joint_configs, verify_joint);
     let verdict = if joint_configs.is_empty() {
         if standalone_ratio > 0.0 {
-            Verdict::Misconfiguration { violation_ratio: standalone_ratio, safe_configurations: Vec::new() }
+            Verdict::Misconfiguration {
+                violation_ratio: standalone_ratio,
+                safe_configurations: Vec::new(),
+            }
         } else {
             Verdict::Clean
         }
@@ -260,7 +263,9 @@ mod tests {
             |_| false,
             &AttributionThresholds::default(),
         );
-        assert!(matches!(report.verdict, Verdict::Malicious { violation_ratio } if violation_ratio == 1.0));
+        assert!(
+            matches!(report.verdict, Verdict::Malicious { violation_ratio } if violation_ratio == 1.0)
+        );
         assert!(report.verdict.flags_app());
         assert_eq!(report.joint_ratio, None);
         assert_eq!(report.standalone_configs, 20);
@@ -278,7 +283,9 @@ mod tests {
             |_| true,
             &AttributionThresholds::default(),
         );
-        assert!(matches!(report.verdict, Verdict::BadApp { violation_ratio } if violation_ratio == 1.0));
+        assert!(
+            matches!(report.verdict, Verdict::BadApp { violation_ratio } if violation_ratio == 1.0)
+        );
         assert_eq!(report.standalone_ratio, 0.2);
     }
 
@@ -292,7 +299,8 @@ mod tests {
             |c| *c >= 7, // 30% of configurations violate
             &AttributionThresholds::default(),
         );
-        let Verdict::Misconfiguration { violation_ratio, safe_configurations } = &report.verdict else {
+        let Verdict::Misconfiguration { violation_ratio, safe_configurations } = &report.verdict
+        else {
             panic!("expected misconfiguration, got {:?}", report.verdict);
         };
         assert!((violation_ratio - 0.3).abs() < 1e-9);
@@ -319,13 +327,25 @@ mod tests {
         // 85% standalone violations with a 90% threshold is NOT malicious...
         let thresholds = AttributionThresholds::default();
         let standalone: Vec<u32> = (0..20).collect();
-        let report =
-            attribute_app("Borderline", &standalone, |c| *c < 17, &standalone.clone(), |_| false, &thresholds);
+        let report = attribute_app(
+            "Borderline",
+            &standalone,
+            |c| *c < 17,
+            &standalone.clone(),
+            |_| false,
+            &thresholds,
+        );
         assert!(!matches!(report.verdict, Verdict::Malicious { .. }));
         // ...but with a 80% threshold it is.
         let relaxed = AttributionThresholds { malicious_ratio: 0.8, bad_app_ratio: 0.9 };
-        let report =
-            attribute_app("Borderline", &standalone, |c| *c < 17, &standalone.clone(), |_| false, &relaxed);
+        let report = attribute_app(
+            "Borderline",
+            &standalone,
+            |c| *c < 17,
+            &standalone.clone(),
+            |_| false,
+            &relaxed,
+        );
         assert!(matches!(report.verdict, Verdict::Malicious { .. }));
     }
 

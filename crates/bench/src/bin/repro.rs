@@ -23,12 +23,39 @@ use iotsan::model::ModelOptions;
 use iotsan::properties::{PropertyClass, PropertySet};
 use iotsan::{render_table1, Pipeline};
 use iotsan_apps::{ifttt, malicious, market, samples};
-use iotsan_bench::{expert_config, format_runtime, run_concurrent, run_sequential, translate_group, volunteer_config};
+use iotsan_bench::{
+    expert_config, format_runtime, run_concurrent, run_sequential, translate_group,
+    volunteer_config,
+};
 use std::collections::BTreeMap;
-use std::time::Duration;
+
+/// Every experiment name `main` dispatches on, in presentation order.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7a",
+    "table7b",
+    "table8",
+    "table9",
+    "attribution",
+    "fig4",
+    "fig7",
+    "fig8a",
+    "fig8b",
+];
 
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(unknown) = which.iter().find(|a| *a != "all" && !EXPERIMENTS.contains(&a.as_str()))
+    {
+        eprintln!("error: unknown experiment `{unknown}`");
+        eprintln!("available: all {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
     let all = which.is_empty() || which.iter().any(|a| a == "all");
     let want = |name: &str| all || which.iter().any(|a| a == name);
 
@@ -177,7 +204,8 @@ fn table6() {
     heading("Table 6: verification results with volunteer configurations");
     // 10 groups of ~5 related apps, 7 volunteer configurations each.
     let corpus = market::market_apps();
-    let groups: Vec<Vec<market::MarketApp>> = corpus.chunks(5).take(10).map(|c| c.to_vec()).collect();
+    let groups: Vec<Vec<market::MarketApp>> =
+        corpus.chunks(5).take(10).map(|c| c.to_vec()).collect();
     let mut totals: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut violated_props = std::collections::BTreeSet::new();
     let mut configurations = 0usize;
@@ -197,7 +225,10 @@ fn table6() {
             }
         }
     }
-    println!("{} groups x 7 volunteer configurations = {configurations} configurations", groups.len());
+    println!(
+        "{} groups x 7 volunteer configurations = {configurations} configurations",
+        groups.len()
+    );
     println!("{:<28} {:>10}", "Violation type", "violations");
     for (class, count) in &totals {
         println!("{class:<28} {count:>10}");
@@ -230,9 +261,9 @@ fn table7b() {
     heading("Table 7b: runtimes with concurrent and sequential design (good group)");
     let apps = translate_group(&samples::good_group());
     let config = expert_config(&apps);
-    let budget = Duration::from_secs(30);
+    let budget = iotsan_bench::experiment_budget(10, 30);
     println!("{:<8} {:>22} {:>22}", "Events", "Concurrent", "Sequential");
-    for events in 1..=7usize {
+    for events in 1..=iotsan_bench::experiment_events(5, 7) {
         let sequential = run_sequential(&apps, &config, events, budget);
         let concurrent = if events <= 4 {
             format_runtime(&run_concurrent(&apps, &config, events, budget))
@@ -250,9 +281,9 @@ fn table8() {
     heading("Table 8: verification time vs number of events (5 related apps)");
     let apps = translate_group(&samples::table8_group());
     let config = expert_config(&apps);
-    let budget = Duration::from_secs(120);
+    let budget = iotsan_bench::experiment_budget(20, 120);
     println!("{:<8} {:>16} {:>16} {:>16}", "Events", "Time", "States", "Transitions");
-    for events in 1..=6usize {
+    for events in 1..=iotsan_bench::experiment_events(4, 6) {
         let run = run_sequential(&apps, &config, events, budget);
         println!(
             "{events:<8} {:>16} {:>16} {:>16}",
@@ -300,7 +331,8 @@ fn attribution() {
     // The malicious apps are evaluated installed alongside benign apps, as in
     // §10.1; these two provide mode changes and lock commands.
     let installed_sources = [market::AUTO_MODE_CHANGE, market::LOCK_IT_WHEN_I_LEAVE];
-    let installed = iotsan::translate_sources(&installed_sources).expect("installed apps translate");
+    let installed =
+        iotsan::translate_sources(&installed_sources).expect("installed apps translate");
 
     println!("-- ContexIoT-style malicious apps --");
     let mut flagged = 0usize;
@@ -318,7 +350,10 @@ fn attribution() {
             report.standalone_ratio * 100.0
         );
     }
-    println!("flagged {flagged}/{} malicious apps (paper: 9/9 at 100% violation ratio)", malicious.len());
+    println!(
+        "flagged {flagged}/{} malicious apps (paper: 9/9 at 100% violation ratio)",
+        malicious.len()
+    );
 
     println!("\n-- benign market apps (controls) --");
     for app in market::named_apps().iter().take(5) {
@@ -336,13 +371,10 @@ fn fig7() {
     heading("Figure 7: example violation log (Auto Mode Change + Unlock Door)");
     let apps = translate_group(&samples::bad_group_mode_unlock());
     let config = expert_config(&apps);
-    let run = run_sequential(&apps, &config, 2, Duration::from_secs(30));
-    let Some(found) = run
-        .report
-        .violations
-        .iter()
-        .find(|v| v.violation.description.contains("main door should be locked when no one is at home"))
-    else {
+    let run = run_sequential(&apps, &config, 2, iotsan_bench::experiment_budget(10, 30));
+    let Some(found) = run.report.violations.iter().find(|v| {
+        v.violation.description.contains("main door should be locked when no one is at home")
+    }) else {
         println!("no violation found (unexpected)");
         return;
     };
@@ -358,7 +390,9 @@ fn fig8a() {
     let result = pipeline.verify(&apps, &config);
     for group in &result.groups {
         for found in &group.report.violations {
-            if found.violation.description.contains("sleeping") || found.violation.description.contains("main door") {
+            if found.violation.description.contains("sleeping")
+                || found.violation.description.contains("main door")
+            {
                 println!("violated: {}", found.violation);
                 println!("apps involved: {}", group.apps.join(", "));
                 println!("counterexample ({} events):", found.trace.len());
@@ -389,7 +423,8 @@ fn fig8b() {
     options.failure_policy = FailurePolicy::OnlyDevices(motion);
     let system = iotsan::system::InstalledSystem::new(apps.clone(), restricted);
     let model = iotsan::model::SequentialModel::new(system, PropertySet::all(), options);
-    let report = iotsan::checker::Checker::new(iotsan::checker::SearchConfig::with_depth(3)).verify(&model);
+    let report =
+        iotsan::checker::Checker::new(iotsan::checker::SearchConfig::with_depth(3)).verify(&model);
     for found in &report.violations {
         println!("violated: {}", found.violation);
         println!("counterexample ({} events):", found.trace.len());
@@ -399,5 +434,7 @@ fn fig8b() {
     if report.violations.is_empty() {
         println!("no violations found (unexpected)");
     }
-    println!("paper: the failed motion sensor leaves the door unlocked and no notification is sent");
+    println!(
+        "paper: the failed motion sensor leaves the door unlocked and no notification is sent"
+    );
 }

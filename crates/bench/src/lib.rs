@@ -34,6 +34,27 @@ pub fn volunteer_config(apps: &[IrApp], seed: u64) -> SystemConfig {
     misconfigure(apps, &standard_household(), seed)
 }
 
+/// True when the crate was built with the `bench` feature, which restores the
+/// paper-scale experiment budgets (hours of model checking at the largest
+/// event bounds) instead of the laptop-quick defaults.
+pub const PAPER_SCALE: bool = cfg!(feature = "bench");
+
+/// The per-run wall-clock budget for a `repro` experiment: `quick` seconds by
+/// default, `full` seconds under `--features bench`.
+pub fn experiment_budget(quick: u64, full: u64) -> Duration {
+    Duration::from_secs(if PAPER_SCALE { full } else { quick })
+}
+
+/// The largest external-event bound a `repro` experiment sweeps to: `quick`
+/// by default, `full` under `--features bench`.
+pub fn experiment_events(quick: usize, full: usize) -> usize {
+    if PAPER_SCALE {
+        full
+    } else {
+        quick
+    }
+}
+
 /// Builds a pipeline with the given external-event bound.
 pub fn pipeline(max_events: usize) -> Pipeline {
     Pipeline::with_events(max_events)
@@ -51,7 +72,12 @@ pub struct TimedRun {
 }
 
 /// Verifies a group with the sequential design and `events` external events.
-pub fn run_sequential(apps: &[IrApp], config: &SystemConfig, events: usize, budget: Duration) -> TimedRun {
+pub fn run_sequential(
+    apps: &[IrApp],
+    config: &SystemConfig,
+    events: usize,
+    budget: Duration,
+) -> TimedRun {
     let p = Pipeline::with_events(events);
     let restricted = p.restrict_config(apps, config);
     let system = InstalledSystem::new(apps.to_vec(), restricted);
@@ -64,7 +90,12 @@ pub fn run_sequential(apps: &[IrApp], config: &SystemConfig, events: usize, budg
 }
 
 /// Verifies a group with the strict-concurrency design.
-pub fn run_concurrent(apps: &[IrApp], config: &SystemConfig, events: usize, budget: Duration) -> TimedRun {
+pub fn run_concurrent(
+    apps: &[IrApp],
+    config: &SystemConfig,
+    events: usize,
+    budget: Duration,
+) -> TimedRun {
     let p = Pipeline::with_events(events);
     let restricted = p.restrict_config(apps, config);
     let system = InstalledSystem::new(apps.to_vec(), restricted);

@@ -190,7 +190,13 @@ impl Checker {
                 let next_depth = depth + 1;
                 report.stats.max_depth_reached = report.stats.max_depth_reached.max(next_depth);
 
-                self.record_violations(&outcome, &next_trace, next_depth, &mut seen_properties, &mut report);
+                self.record_violations(
+                    &outcome,
+                    &next_trace,
+                    next_depth,
+                    &mut seen_properties,
+                    &mut report,
+                );
                 if self.config.stop_at_first && report.has_violations() {
                     report.stats.states_stored = store.len();
                     report.stats.store_memory_bytes = store.memory_bytes();
@@ -247,7 +253,13 @@ impl Checker {
                 let next_depth = depth + 1;
                 report.stats.max_depth_reached = report.stats.max_depth_reached.max(next_depth);
 
-                self.record_violations(&outcome, &next_trace, next_depth, &mut seen_properties, &mut report);
+                self.record_violations(
+                    &outcome,
+                    &next_trace,
+                    next_depth,
+                    &mut seen_properties,
+                    &mut report,
+                );
                 if self.config.stop_at_first && report.has_violations() {
                     report.stats.states_stored = store.len();
                     report.stats.store_memory_bytes = store.memory_bytes();

@@ -191,9 +191,10 @@ impl StateStore for BitstateStore {
 }
 
 /// The storage strategy requested by the search configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StoreKind {
     /// Full state vectors ([`ExactStore`]).
+    #[default]
     Exact,
     /// 64-bit hashes ([`HashCompactStore`]).
     HashCompact,
@@ -205,12 +206,6 @@ pub enum StoreKind {
         /// Number of hash probes per state.
         hash_functions: usize,
     },
-}
-
-impl Default for StoreKind {
-    fn default() -> Self {
-        StoreKind::Exact
-    }
 }
 
 impl StoreKind {

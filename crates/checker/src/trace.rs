@@ -114,7 +114,10 @@ mod tests {
         );
         t.push(
             "location/mode=Away".into(),
-            vec!["Unlock Door.changedLocationMode: doorLock.unlock()".into(), "doorLock.lock = unlocked".into()],
+            vec![
+                "Unlock Door.changedLocationMode: doorLock.unlock()".into(),
+                "doorLock.lock = unlocked".into(),
+            ],
         );
         t
     }
@@ -130,10 +133,8 @@ mod tests {
     #[test]
     fn render_is_spin_like() {
         let t = sample();
-        let v = Violation {
-            property: 6,
-            description: "!anyone_home && main_door == unlocked".into(),
-        };
+        let v =
+            Violation { property: 6, description: "!anyone_home && main_door == unlocked".into() };
         let log = t.render(&v);
         assert!(log.contains("SmartThings0.prom:"));
         assert!(log.contains("(state 1)"));

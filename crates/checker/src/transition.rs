@@ -120,7 +120,10 @@ pub(crate) mod testing {
             .min(self.max_value);
             let mut violations = Vec::new();
             if next == self.bad_value {
-                violations.push(Violation { property: 1, description: format!("counter reached {next}") });
+                violations.push(Violation {
+                    property: 1,
+                    description: format!("counter reached {next}"),
+                });
             }
             StepOutcome { state: next, violations, log: vec![format!("counter = {next}")] }
         }

@@ -8,7 +8,7 @@
 //! same information as a serde-serializable [`SystemConfig`], loaded from a
 //! JSON file or generated synthetically (see [`crate::portal`]).
 
-use iotsan_devices::{Device, DeviceId};
+use iotsan_devices::{registry, Device, DeviceId};
 use iotsan_ir::{IrApp, SettingKind, Value};
 use iotsan_properties::DeviceRole;
 use serde::{Deserialize, Serialize};
@@ -29,7 +29,11 @@ pub struct DeviceConfig {
 
 impl DeviceConfig {
     /// Creates a device configuration.
-    pub fn new(label: impl Into<String>, capability: impl Into<String>, role: impl Into<String>) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        capability: impl Into<String>,
+        role: impl Into<String>,
+    ) -> Self {
         DeviceConfig { label: label.into(), capability: capability.into(), role: role.into() }
     }
 
@@ -212,9 +216,15 @@ impl SystemConfig {
             for input in &app.inputs {
                 let binding = app_cfg.binding(&input.name);
                 match (&input.kind, binding) {
-                    (SettingKind::Device { capability, multiple }, Some(Binding::Devices(labels))) => {
+                    (
+                        SettingKind::Device { capability, multiple },
+                        Some(Binding::Devices(labels)),
+                    ) => {
                         if labels.is_empty() && input.required {
-                            problems.push(format!("{}: required device input '{}' is empty", app.name, input.name));
+                            problems.push(format!(
+                                "{}: required device input '{}' is empty",
+                                app.name, input.name
+                            ));
                         }
                         if !*multiple && labels.len() > 1 {
                             problems.push(format!(
@@ -231,11 +241,14 @@ impl SystemConfig {
                                     app.name, input.name, label
                                 )),
                                 Some(device) => {
-                                    // Outlets (switches) may stand in for any switch-like
-                                    // capability; otherwise capabilities must match.
-                                    if device.capability != *capability
-                                        && !(device.capability == "switch" && capability == "switch")
-                                    {
+                                    // Capabilities are compared through the device registry:
+                                    // unknown switch-like capabilities (outlets, plugs, ...)
+                                    // resolve to the `switch` spec, so an outlet may stand in
+                                    // for any of them; otherwise specs must match.
+                                    let wanted = registry().spec_or_switch(capability).capability;
+                                    let actual =
+                                        registry().spec_or_switch(&device.capability).capability;
+                                    if wanted != actual {
                                         problems.push(format!(
                                             "{}: input '{}' wants capability '{}' but '{}' is a '{}'",
                                             app.name, input.name, capability, label, device.capability
@@ -246,10 +259,16 @@ impl SystemConfig {
                         }
                     }
                     (SettingKind::Device { .. }, None) if input.required => {
-                        problems.push(format!("{}: required device input '{}' is unbound", app.name, input.name));
+                        problems.push(format!(
+                            "{}: required device input '{}' is unbound",
+                            app.name, input.name
+                        ));
                     }
                     (_, None) if input.required => {
-                        problems.push(format!("{}: required input '{}' is unbound", app.name, input.name));
+                        problems.push(format!(
+                            "{}: required input '{}' is unbound",
+                            app.name, input.name
+                        ));
                     }
                     _ => {}
                 }
@@ -290,7 +309,12 @@ mod tests {
                     title: String::new(),
                     required: true,
                 },
-                AppInput { name: "setpoint".into(), kind: SettingKind::Decimal, title: String::new(), required: true },
+                AppInput {
+                    name: "setpoint".into(),
+                    kind: SettingKind::Decimal,
+                    title: String::new(),
+                    required: true,
+                },
                 AppInput {
                     name: "mode".into(),
                     kind: SettingKind::Enum(vec!["heat".into(), "cool".into()]),
@@ -328,7 +352,10 @@ mod tests {
         assert_eq!(table.len(), 3);
         assert_eq!(cfg.device_id("myACOutlet"), Some(DeviceId(2)));
         assert_eq!(cfg.device_id("nope"), None);
-        assert_eq!(cfg.app("Virtual Thermostat").unwrap().devices_for("outlets"), vec!["myACOutlet".to_string()]);
+        assert_eq!(
+            cfg.app("Virtual Thermostat").unwrap().devices_for("outlets"),
+            vec!["myACOutlet".to_string()]
+        );
     }
 
     #[test]
@@ -353,8 +380,11 @@ mod tests {
         // Missing required input.
         let cfg = SystemConfig::new()
             .with_device(DeviceConfig::new("myTempMeas", "temperatureMeasurement", ""))
-            .with_app(AppConfig::new("Virtual Thermostat").with("sensor", Binding::Devices(vec!["myTempMeas".into()])));
-        let problems = cfg.validate(&[app.clone()]);
+            .with_app(
+                AppConfig::new("Virtual Thermostat")
+                    .with("sensor", Binding::Devices(vec!["myTempMeas".into()])),
+            );
+        let problems = cfg.validate(std::slice::from_ref(&app));
         assert!(problems.iter().any(|p| p.contains("outlets")));
 
         // Wrong capability.
@@ -365,7 +395,7 @@ mod tests {
                 .with("setpoint", Binding::Number(75.0))
                 .with("mode", Binding::Text("cool".into())),
         );
-        let problems = cfg.validate(&[app.clone()]);
+        let problems = cfg.validate(std::slice::from_ref(&app));
         assert!(problems.iter().any(|p| p.contains("wants capability")));
 
         // Unknown device.
@@ -377,6 +407,36 @@ mod tests {
                 .with("mode", Binding::Text("cool".into())),
         );
         assert!(cfg.validate(&[app]).iter().any(|p| p.contains("unknown device")));
+    }
+
+    #[test]
+    fn switch_device_stands_in_for_switch_like_capabilities() {
+        // "outlet" is not a registered capability; it resolves to the switch
+        // spec, so a switch device satisfies it (and vice versa).
+        let app = IrApp {
+            name: "Outlet App".into(),
+            description: String::new(),
+            inputs: vec![AppInput::device("outlet1", "outlet")],
+            handlers: vec![],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        };
+        let cfg =
+            SystemConfig::new().with_device(DeviceConfig::new("myOutlet", "switch", "")).with_app(
+                AppConfig::new("Outlet App")
+                    .with("outlet1", Binding::Devices(vec!["myOutlet".into()])),
+            );
+        let problems = cfg.validate(std::slice::from_ref(&app));
+        assert!(problems.is_empty(), "{problems:?}");
+
+        // A genuinely different capability is still rejected.
+        let cfg =
+            SystemConfig::new().with_device(DeviceConfig::new("myLock", "lock", "")).with_app(
+                AppConfig::new("Outlet App")
+                    .with("outlet1", Binding::Devices(vec!["myLock".into()])),
+            );
+        let problems = cfg.validate(std::slice::from_ref(&app));
+        assert!(problems.iter().any(|p| p.contains("wants capability")), "{problems:?}");
     }
 
     #[test]
@@ -400,7 +460,10 @@ mod tests {
         let cfg = SystemConfig::new()
             .with_device(DeviceConfig::new("a", "lock", ""))
             .with_device(DeviceConfig::new("b", "lock", ""))
-            .with_app(AppConfig::new("Single").with("lock1", Binding::Devices(vec!["a".into(), "b".into()])));
+            .with_app(
+                AppConfig::new("Single")
+                    .with("lock1", Binding::Devices(vec!["a".into(), "b".into()])),
+            );
         let problems = cfg.validate(&[app]);
         assert!(problems.iter().any(|p| p.contains("single device")));
     }

@@ -88,13 +88,19 @@ fn matching_devices<'a>(
             if let Some(p) = filter_role(&candidates, "ac") {
                 candidates = p;
             }
-        } else if name.contains("light") || name.contains("bulb") || name.contains("lamp") || name.contains("switch") {
+        } else if name.contains("light")
+            || name.contains("bulb")
+            || name.contains("lamp")
+            || name.contains("switch")
+        {
             if let Some(p) = filter_role(&candidates, "light") {
                 candidates = p;
             }
         }
     }
-    if capability == "lock" && (name.contains("front") || name.contains("main") || name.contains("door")) {
+    if capability == "lock"
+        && (name.contains("front") || name.contains("main") || name.contains("door"))
+    {
         if let Some(p) = filter_role(&candidates, "main") {
             candidates = p;
         }
@@ -105,11 +111,8 @@ fn matching_devices<'a>(
 /// Keeps only the candidates whose role mentions `role`, or `None` when no
 /// candidate does.
 fn filter_role<'a>(candidates: &[&'a DeviceConfig], role: &str) -> Option<Vec<&'a DeviceConfig>> {
-    let preferred: Vec<&DeviceConfig> = candidates
-        .iter()
-        .copied()
-        .filter(|d| d.role.to_ascii_lowercase().contains(role))
-        .collect();
+    let preferred: Vec<&DeviceConfig> =
+        candidates.iter().copied().filter(|d| d.role.to_ascii_lowercase().contains(role)).collect();
     (!preferred.is_empty()).then_some(preferred)
 }
 
@@ -128,7 +131,10 @@ fn default_setting(kind: &SettingKind, input_name: &str) -> Binding {
             let lname = input_name.to_ascii_lowercase();
             if lname.contains("emergency") {
                 Binding::Number(85.0)
-            } else if lname.contains("threshold") || lname.contains("setpoint") || lname.contains("temp") {
+            } else if lname.contains("threshold")
+                || lname.contains("setpoint")
+                || lname.contains("temp")
+            {
                 Binding::Number(75.0)
             } else {
                 Binding::Number(50.0)
@@ -250,7 +256,11 @@ pub fn misconfigure(apps: &[IrApp], devices: &[DeviceConfig], seed: u64) -> Syst
 /// independently).  The enumeration covers every choice of device for
 /// single-device inputs and both "one device" and "all devices" for
 /// multi-device inputs, capped at `limit` configurations.
-pub fn enumerate_app_configs(app: &IrApp, devices: &[DeviceConfig], limit: usize) -> Vec<AppConfig> {
+pub fn enumerate_app_configs(
+    app: &IrApp,
+    devices: &[DeviceConfig],
+    limit: usize,
+) -> Vec<AppConfig> {
     // Per-input candidate bindings.
     let mut choices: Vec<(String, Vec<Binding>)> = Vec::new();
     for input in &app.inputs {
@@ -348,7 +358,9 @@ mod tests {
     fn household_has_all_core_capabilities() {
         let devices = standard_household();
         assert!(devices.len() >= 30);
-        for cap in ["switch", "lock", "motionSensor", "presenceSensor", "smokeDetector", "alarm", "valve"] {
+        for cap in
+            ["switch", "lock", "motionSensor", "presenceSensor", "smokeDetector", "alarm", "valve"]
+        {
             assert!(devices.iter().any(|d| d.capability == cap), "missing {cap}");
         }
         // Labels are unique.

@@ -39,10 +39,7 @@ pub fn comparison_matrix() -> Vec<SystemFeatures> {
             name: "Soteria",
             supported: [true, false, false, false, true, false, true],
         },
-        SystemFeatures {
-            name: "IotSan",
-            supported: [true, true, true, true, true, true, true],
-        },
+        SystemFeatures { name: "IotSan", supported: [true, true, true, true, true, true, true] },
     ]
 }
 

@@ -33,7 +33,11 @@ pub struct DispatchedEvent {
 impl DispatchedEvent {
     /// Builds a dispatched event from an internal event.
     pub fn from_internal(event: &InternalEvent) -> Self {
-        DispatchedEvent { device: event.device, attribute: event.attribute.clone(), value: event.value.clone() }
+        DispatchedEvent {
+            device: event.device,
+            attribute: event.attribute.clone(),
+            value: event.value.clone(),
+        }
     }
 }
 
@@ -72,10 +76,10 @@ pub fn run_handler(
         iteration_overrides: Vec::new(),
         effects: HandlerEffects::default(),
     };
-    interp
-        .effects
-        .log
-        .push(format!("{}.{}: handling {}={}", handler.app, handler.name, event.attribute, event.value));
+    interp.effects.log.push(format!(
+        "{}.{}: handling {}={}",
+        handler.app, handler.name, event.attribute, event.value
+    ));
     interp.exec_block(&handler.body);
     interp.effects
 }
@@ -174,9 +178,14 @@ impl<'a> Interpreter<'a> {
             }
             IrStmt::HttpRequest { url, .. } => {
                 let url = self.eval(url).as_string();
-                let allowed = self.system.config.network_allowed_apps.iter().any(|a| a == self.app_name());
+                let allowed =
+                    self.system.config.network_allowed_apps.iter().any(|a| a == self.app_name());
                 self.effects.log.push(format!("httpPost({url})"));
-                self.observation.network.push(NetworkRecord { app: self.app_name().to_string(), url, allowed });
+                self.observation.network.push(NetworkRecord {
+                    app: self.app_name().to_string(),
+                    url,
+                    allowed,
+                });
                 Flow::Continue
             }
             IrStmt::SendEvent { attribute, value } => {
@@ -313,7 +322,10 @@ impl<'a> Interpreter<'a> {
                 let devices = self.bound_devices(name);
                 if !devices.is_empty() {
                     Value::List(
-                        devices.iter().map(|d| Value::Str(self.system.device(*d).label.clone())).collect(),
+                        devices
+                            .iter()
+                            .map(|d| Value::Str(self.system.device(*d).label.clone()))
+                            .collect(),
                     )
                 } else {
                     self.system.setting_value(self.app_name(), name)
@@ -387,9 +399,9 @@ impl<'a> Interpreter<'a> {
                 }
             }
             IrExpr::ListOf(items) => Value::List(items.iter().map(|e| self.eval(e)).collect()),
-            IrExpr::Concat(parts) => {
-                Value::Str(parts.iter().map(|p| self.eval(p).as_string()).collect::<Vec<_>>().join(""))
-            }
+            IrExpr::Concat(parts) => Value::Str(
+                parts.iter().map(|p| self.eval(p).as_string()).collect::<Vec<_>>().join(""),
+            ),
             IrExpr::Opaque { .. } => Value::Null,
         }
     }
@@ -399,11 +411,19 @@ impl<'a> Interpreter<'a> {
         match op {
             IrBinOp::And => {
                 let l = self.eval(lhs);
-                return if !l.truthy() { Value::Bool(false) } else { Value::Bool(self.eval(rhs).truthy()) };
+                return if !l.truthy() {
+                    Value::Bool(false)
+                } else {
+                    Value::Bool(self.eval(rhs).truthy())
+                };
             }
             IrBinOp::Or => {
                 let l = self.eval(lhs);
-                return if l.truthy() { Value::Bool(true) } else { Value::Bool(self.eval(rhs).truthy()) };
+                return if l.truthy() {
+                    Value::Bool(true)
+                } else {
+                    Value::Bool(self.eval(rhs).truthy())
+                };
             }
             _ => {}
         }
@@ -434,12 +454,10 @@ impl<'a> Interpreter<'a> {
             },
             IrBinOp::Sub => numeric_op(&l, &r, |a, b| a - b),
             IrBinOp::Mul => numeric_op(&l, &r, |a, b| a * b),
-            IrBinOp::Div => {
-                match (l.as_number(), r.as_number()) {
-                    (Some(a), Some(b)) if b != 0.0 => number(a / b),
-                    _ => Value::Null,
-                }
-            }
+            IrBinOp::Div => match (l.as_number(), r.as_number()) {
+                (Some(a), Some(b)) if b != 0.0 => number(a / b),
+                _ => Value::Null,
+            },
             IrBinOp::Mod => match (l.as_number(), r.as_number()) {
                 (Some(a), Some(b)) if b != 0.0 => number(a % b),
                 _ => Value::Null,
@@ -474,7 +492,11 @@ mod tests {
         let handler = IrHandler {
             app: "Test App".into(),
             name: "handler".into(),
-            trigger: Trigger::Device { input: "sensor".into(), attribute: "temperature".into(), value: None },
+            trigger: Trigger::Device {
+                input: "sensor".into(),
+                attribute: "temperature".into(),
+                value: None,
+            },
             body: handler_body,
         };
         let app = iotsan_ir::IrApp {
@@ -488,8 +510,18 @@ mod tests {
                     title: String::new(),
                     required: true,
                 },
-                AppInput { name: "setpoint".into(), kind: SettingKind::Decimal, title: String::new(), required: true },
-                AppInput { name: "phone".into(), kind: SettingKind::Phone, title: String::new(), required: false },
+                AppInput {
+                    name: "setpoint".into(),
+                    kind: SettingKind::Decimal,
+                    title: String::new(),
+                    required: true,
+                },
+                AppInput {
+                    name: "phone".into(),
+                    kind: SettingKind::Phone,
+                    title: String::new(),
+                    required: false,
+                },
             ],
             handlers: vec![handler.clone()],
             state_vars: vec![],
@@ -502,7 +534,10 @@ mod tests {
             .with_app(
                 AppConfig::new("Test App")
                     .with("sensor", Binding::Devices(vec!["tempSensor".into()]))
-                    .with("outlets", Binding::Devices(vec!["heaterOutlet".into(), "acOutlet".into()]))
+                    .with(
+                        "outlets",
+                        Binding::Devices(vec!["heaterOutlet".into(), "acOutlet".into()]),
+                    )
                     .with("setpoint", Binding::Number(75.0))
                     .with("phone", Binding::Text("5551234567".into())),
             );
@@ -510,7 +545,11 @@ mod tests {
     }
 
     fn temp_event(value: i64) -> DispatchedEvent {
-        DispatchedEvent { device: Some(DeviceId(0)), attribute: "temperature".into(), value: Value::Int(value) }
+        DispatchedEvent {
+            device: Some(DeviceId(0)),
+            attribute: "temperature".into(),
+            value: Value::Int(value),
+        }
     }
 
     #[test]
@@ -521,15 +560,24 @@ mod tests {
                 IrExpr::EventField(EventField::NumericValue),
                 IrExpr::Setting("setpoint".into()),
             ),
-            then: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }],
-            els: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "off".into(), args: vec![] }],
+            then: vec![IrStmt::DeviceCommand {
+                input: "outlets".into(),
+                command: "on".into(),
+                args: vec![],
+            }],
+            els: vec![IrStmt::DeviceCommand {
+                input: "outlets".into(),
+                command: "off".into(),
+                args: vec![],
+            }],
         }];
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
 
         // 85 > 75 → both outlets turned on, two state-change events generated.
-        let effects = run_handler(&system, 0, &handler, &temp_event(85), &mut state, &mut obs, false);
+        let effects =
+            run_handler(&system, 0, &handler, &temp_event(85), &mut state, &mut obs, false);
         assert_eq!(obs.commands.len(), 2);
         assert!(obs.commands.iter().all(|c| c.command == "on" && c.delivered));
         assert_eq!(effects.new_events.len(), 2);
@@ -546,14 +594,23 @@ mod tests {
                 IrExpr::EventField(EventField::NumericValue),
                 IrExpr::Setting("setpoint".into()),
             ),
-            then: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }],
-            els: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "off".into(), args: vec![] }],
+            then: vec![IrStmt::DeviceCommand {
+                input: "outlets".into(),
+                command: "on".into(),
+                args: vec![],
+            }],
+            els: vec![IrStmt::DeviceCommand {
+                input: "outlets".into(),
+                command: "off".into(),
+                args: vec![],
+            }],
         }];
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
         // 60 < 75 → off commands; devices already off so no state change events.
-        let effects = run_handler(&system, 0, &handler, &temp_event(60), &mut state, &mut obs, false);
+        let effects =
+            run_handler(&system, 0, &handler, &temp_event(60), &mut state, &mut obs, false);
         assert_eq!(obs.commands.len(), 2);
         assert!(obs.commands.iter().all(|c| !c.changed_state));
         assert!(effects.new_events.is_empty());
@@ -562,7 +619,10 @@ mod tests {
     #[test]
     fn messaging_network_and_fake_events_are_observed() {
         let body = vec![
-            IrStmt::SendSms { recipient: IrExpr::Setting("phone".into()), message: IrExpr::str("alert") },
+            IrStmt::SendSms {
+                recipient: IrExpr::Setting("phone".into()),
+                message: IrExpr::str("alert"),
+            },
             IrStmt::SendPush { message: IrExpr::str("alert") },
             IrStmt::HttpRequest {
                 method: iotsan_ir::HttpMethod::Post,
@@ -575,7 +635,8 @@ mod tests {
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
-        let effects = run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        let effects =
+            run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
         assert_eq!(obs.messages.len(), 2);
         assert_eq!(obs.messages[0].recipient, "5551234567");
         assert_eq!(obs.network.len(), 1);
@@ -588,7 +649,11 @@ mod tests {
 
     #[test]
     fn command_failure_injection_marks_undelivered() {
-        let body = vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }];
+        let body = vec![IrStmt::DeviceCommand {
+            input: "outlets".into(),
+            command: "on".into(),
+            args: vec![],
+        }];
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
@@ -606,7 +671,11 @@ mod tests {
             IrStmt::AssignState { name: "count".into(), value: IrExpr::int(1) },
             IrStmt::ForEachDevice {
                 input: "outlets".into(),
-                body: vec![IrStmt::DeviceCommand { input: "outlets".into(), command: "on".into(), args: vec![] }],
+                body: vec![IrStmt::DeviceCommand {
+                    input: "outlets".into(),
+                    command: "on".into(),
+                    args: vec![],
+                }],
             },
             IrStmt::If {
                 cond: IrExpr::DeviceQuery {
@@ -646,7 +715,8 @@ mod tests {
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
-        let effects = run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        let effects =
+            run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
         // The loop is bounded and execution continues past it.
         assert_eq!(obs.messages.len(), 1);
         assert!(!effects.log.is_empty());

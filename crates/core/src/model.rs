@@ -152,7 +152,10 @@ impl ModelCore {
             }
             for handler in &app.handlers {
                 if matches!(handler.trigger, Trigger::Timer { .. }) {
-                    actions.push(ExternalAction::TimerFire { app: app_index, handler: handler.name.clone() });
+                    actions.push(ExternalAction::TimerFire {
+                        app: app_index,
+                        handler: handler.name.clone(),
+                    });
                 }
             }
             for handler in &app.handlers {
@@ -180,7 +183,14 @@ impl ModelCore {
         state.time.tick();
         let mut events = Vec::new();
         match action {
-            ExternalAction::SensorEvent { device, label, attribute, value_index, value, failure } => {
+            ExternalAction::SensorEvent {
+                device,
+                label,
+                attribute,
+                value_index,
+                value,
+                failure,
+            } => {
                 let spec = self.system.device(*device).spec();
                 match failure {
                     FailureMode::DeviceOffline => {
@@ -192,8 +202,14 @@ impl ModelCore {
                         // is down (e.g. jamming): the sensor reading is still
                         // observed, but commands sent to actuators during this
                         // step are lost — see `inject_command_failure` below.
-                        let changed = state.devices[device.0 as usize].set_index(spec, attribute, *value_index);
-                        log.push(format!("{label}.{attribute} = {value} (actuator communication DOWN)"));
+                        let changed = state.devices[device.0 as usize].set_index(
+                            spec,
+                            attribute,
+                            *value_index,
+                        );
+                        log.push(format!(
+                            "{label}.{attribute} = {value} (actuator communication DOWN)"
+                        ));
                         if changed {
                             events.push(InternalEvent {
                                 device: Some(*device),
@@ -204,7 +220,11 @@ impl ModelCore {
                         }
                     }
                     FailureMode::None => {
-                        let changed = state.devices[device.0 as usize].set_index(spec, attribute, *value_index);
+                        let changed = state.devices[device.0 as usize].set_index(
+                            spec,
+                            attribute,
+                            *value_index,
+                        );
                         log.push(format!("generatedEvent.evtType = {}", value.replace(' ', "")));
                         if changed {
                             events.push(InternalEvent {
@@ -231,8 +251,15 @@ impl ModelCore {
                     .cloned()
                     .collect();
                 for handler in handlers {
-                    let effects =
-                        run_handler(&self.system, *app, &handler, &touch, state, observation, false);
+                    let effects = run_handler(
+                        &self.system,
+                        *app,
+                        &handler,
+                        &touch,
+                        state,
+                        observation,
+                        false,
+                    );
                     log.extend(effects.log);
                     events.extend(effects.new_events);
                 }
@@ -251,7 +278,8 @@ impl ModelCore {
                     .cloned()
                     .collect();
                 for handler in handlers {
-                    let effects = run_handler(&self.system, *app, &handler, &tick, state, observation, false);
+                    let effects =
+                        run_handler(&self.system, *app, &handler, &tick, state, observation, false);
                     log.extend(effects.log);
                     events.extend(effects.new_events);
                 }
@@ -270,7 +298,12 @@ impl ModelCore {
     }
 
     /// True when `handler` of `app_index` subscribes to `event`.
-    fn subscribes(&self, app_index: usize, handler: &iotsan_ir::IrHandler, event: &InternalEvent) -> bool {
+    fn subscribes(
+        &self,
+        app_index: usize,
+        handler: &iotsan_ir::IrHandler,
+        event: &InternalEvent,
+    ) -> bool {
         match &handler.trigger {
             Trigger::Device { input, attribute, value } => {
                 if *attribute != event.attribute {
@@ -364,7 +397,10 @@ impl ModelCore {
     /// True when the action models a hub ↔ actuator communication failure, in
     /// which case every command sent while handling it is lost.
     fn commands_fail(action: &ExternalAction) -> bool {
-        matches!(action, ExternalAction::SensorEvent { failure: FailureMode::CommunicationLost, .. })
+        matches!(
+            action,
+            ExternalAction::SensorEvent { failure: FailureMode::CommunicationLost, .. }
+        )
     }
 
     /// Evaluates all properties after a step.
@@ -377,7 +413,9 @@ impl ModelCore {
         violated
             .into_iter()
             .filter_map(|id| {
-                self.properties.get(id).map(|p| Violation { property: id.0, description: p.name.clone() })
+                self.properties
+                    .get(id)
+                    .map(|p| Violation { property: id.0, description: p.name.clone() })
             })
             .collect()
     }
@@ -515,7 +553,8 @@ impl TransitionSystem for ConcurrentModel {
         let mut log = Vec::new();
         match action {
             ConcurrentAction::External(external) => {
-                let events = self.core.apply_external(&mut next, external, &mut observation, &mut log);
+                let events =
+                    self.core.apply_external(&mut next, external, &mut observation, &mut log);
                 next.pending.extend(events);
             }
             ConcurrentAction::Dispatch { index } => {
@@ -523,8 +562,13 @@ impl TransitionSystem for ConcurrentModel {
                     let event = next.pending.remove(*index);
                     log.push(format!("dispatch {event}"));
                     if next.pending.len() < self.core.options.max_cascade {
-                        let new_events =
-                            self.core.dispatch_one(&mut next, &event, &mut observation, &mut log, false);
+                        let new_events = self.core.dispatch_one(
+                            &mut next,
+                            &event,
+                            &mut observation,
+                            &mut log,
+                            false,
+                        );
                         next.pending.extend(new_events);
                     }
                 }
@@ -601,14 +645,24 @@ def changedLocationMode(evt) { lock1.unlock() }
         let config = SystemConfig::new()
             .with_device(DeviceConfig::new("alicePresence", "presenceSensor", ""))
             .with_device(DeviceConfig::new("doorLock", "lock", "main door lock"))
-            .with_app(AppConfig::new("Auto Mode Change").with("people", Binding::Devices(vec!["alicePresence".into()])))
-            .with_app(AppConfig::new("Unlock Door").with("lock1", Binding::Devices(vec!["doorLock".into()])));
+            .with_app(
+                AppConfig::new("Auto Mode Change")
+                    .with("people", Binding::Devices(vec!["alicePresence".into()])),
+            )
+            .with_app(
+                AppConfig::new("Unlock Door")
+                    .with("lock1", Binding::Devices(vec!["doorLock".into()])),
+            );
         InstalledSystem::new(apps, config)
     }
 
     #[test]
     fn sequential_model_finds_unlock_door_violation() {
-        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(2));
+        let model = SequentialModel::new(
+            unlock_door_system(),
+            PropertySet::all(),
+            ModelOptions::with_events(2),
+        );
         let report = Checker::new(SearchConfig::with_depth(2)).verify(&model);
         assert!(report.has_violations());
         // "The main door should be locked when no one is at home" must be
@@ -617,7 +671,11 @@ def changedLocationMode(evt) { lock1.unlock() }
         let found = report
             .violations
             .iter()
-            .find(|v| v.violation.description.contains("main door should be locked when no one is at home"))
+            .find(|v| {
+                v.violation
+                    .description
+                    .contains("main door should be locked when no one is at home")
+            })
             .expect("expected the unlock-door violation");
         assert!(found.trace.events().iter().any(|e| e.contains("not present")));
         let rendered = found.trace.render(&found.violation);
@@ -629,7 +687,11 @@ def changedLocationMode(evt) { lock1.unlock() }
     fn single_event_suffices_for_the_mode_chain() {
         // The cascade presence → mode change → unlock happens within one
         // external event in the sequential design.
-        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(1));
+        let model = SequentialModel::new(
+            unlock_door_system(),
+            PropertySet::all(),
+            ModelOptions::with_events(1),
+        );
         let report = Checker::new(SearchConfig::with_depth(1)).verify(&model);
         assert!(report.has_violations());
         let violation = &report.violations[0];
@@ -652,10 +714,12 @@ def changedLocationMode(evt) { lock1.unlock() }
     #[test]
     fn concurrent_model_explores_more_states_than_sequential() {
         let system = unlock_door_system();
-        let seq = SequentialModel::new(system.clone(), PropertySet::all(), ModelOptions::with_events(2));
+        let seq =
+            SequentialModel::new(system.clone(), PropertySet::all(), ModelOptions::with_events(2));
         let seq_report = Checker::new(SearchConfig::with_depth(2)).verify(&seq);
         let conc = ConcurrentModel::new(system, PropertySet::all(), ModelOptions::with_events(2));
-        let conc_report = Checker::new(SearchConfig::with_depth(conc.suggested_depth())).verify(&conc);
+        let conc_report =
+            Checker::new(SearchConfig::with_depth(conc.suggested_depth())).verify(&conc);
         assert!(
             conc_report.stats.states_stored > seq_report.stats.states_stored,
             "concurrent {} <= sequential {}",
@@ -669,15 +733,22 @@ def changedLocationMode(evt) { lock1.unlock() }
         let system = unlock_door_system();
         let no_failures =
             SequentialModel::new(system.clone(), PropertySet::all(), ModelOptions::with_events(1));
-        let with_failures =
-            SequentialModel::new(system, PropertySet::all(), ModelOptions::with_events(1).with_failures());
+        let with_failures = SequentialModel::new(
+            system,
+            PropertySet::all(),
+            ModelOptions::with_events(1).with_failures(),
+        );
         let state = no_failures.initial_state();
         assert!(with_failures.actions(&state).len() > no_failures.actions(&state).len());
     }
 
     #[test]
     fn actions_stop_at_event_bound() {
-        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(1));
+        let model = SequentialModel::new(
+            unlock_door_system(),
+            PropertySet::all(),
+            ModelOptions::with_events(1),
+        );
         let mut state = model.initial_state();
         state.external_events = 1;
         assert!(model.actions(&state).is_empty());
@@ -685,7 +756,11 @@ def changedLocationMode(evt) { lock1.unlock() }
 
     #[test]
     fn no_op_sensor_events_are_not_offered() {
-        let model = SequentialModel::new(unlock_door_system(), PropertySet::all(), ModelOptions::with_events(1));
+        let model = SequentialModel::new(
+            unlock_door_system(),
+            PropertySet::all(),
+            ModelOptions::with_events(1),
+        );
         let state = model.initial_state();
         // The presence sensor starts "present"; only "not present" (plus the
         // app-touch action) should be offered, never a redundant "present".

@@ -11,7 +11,9 @@ use crate::model::{ModelOptions, SequentialModel};
 use crate::system::InstalledSystem;
 use iotsan_attribution::{attribute_app, AttributionReport, AttributionThresholds};
 use iotsan_checker::{Checker, SearchConfig, SearchReport};
-use iotsan_config::{enumerate_app_configs, expert_configure, AppConfig, DeviceConfig, SystemConfig};
+use iotsan_config::{
+    enumerate_app_configs, expert_configure, AppConfig, DeviceConfig, SystemConfig,
+};
 use iotsan_depgraph::{analyze, DependencyGraph, RelatedSets};
 use iotsan_groovy::SmartApp;
 use iotsan_ir::{lower_app, IrApp};
@@ -44,8 +46,10 @@ pub fn translate_sources(sources: &[&str]) -> Result<Vec<IrApp>, TranslateError>
     for (index, source) in sources.iter().enumerate() {
         let parsed = SmartApp::parse(source)
             .map_err(|e| TranslateError { app: format!("app #{index}"), message: e.to_string() })?;
-        let app = lower_app(&parsed)
-            .map_err(|e| TranslateError { app: parsed.name().to_string(), message: e.to_string() })?;
+        let app = lower_app(&parsed).map_err(|e| TranslateError {
+            app: parsed.name().to_string(),
+            message: e.to_string(),
+        })?;
         apps.push(app);
     }
     Ok(apps)
@@ -96,11 +100,7 @@ impl VerificationResult {
 
     /// Number of distinct violated properties across all groups.
     pub fn violated_property_count(&self) -> usize {
-        self.groups
-            .iter()
-            .flat_map(|g| g.violated_properties())
-            .collect::<BTreeSet<_>>()
-            .len()
+        self.groups.iter().flat_map(|g| g.violated_properties()).collect::<BTreeSet<_>>().len()
     }
 
     /// True when any group violated any property.
@@ -205,7 +205,8 @@ impl Pipeline {
     pub fn verify_group(&self, apps: &[IrApp], config: &SystemConfig) -> GroupResult {
         let config = self.restrict_config(apps, config);
         let system = InstalledSystem::new(apps.to_vec(), config.clone());
-        let model = SequentialModel::new(system, self.properties.clone(), self.model_options.clone());
+        let model =
+            SequentialModel::new(system, self.properties.clone(), self.model_options.clone());
         let report = Checker::new(self.search.clone()).verify(&model);
         GroupResult { apps: apps.iter().map(|a| a.name.clone()).collect(), report }
     }
@@ -215,7 +216,8 @@ impl Pipeline {
     pub fn verify(&self, apps: &[IrApp], config: &SystemConfig) -> VerificationResult {
         let excluded_apps: Vec<String> =
             apps.iter().filter(|a| a.dynamic_discovery).map(|a| a.name.clone()).collect();
-        let verifiable: Vec<IrApp> = apps.iter().filter(|a| !a.dynamic_discovery).cloned().collect();
+        let verifiable: Vec<IrApp> =
+            apps.iter().filter(|a| !a.dynamic_discovery).cloned().collect();
 
         let (graph, sets) = analyze(&verifiable);
         let mut result = VerificationResult {
@@ -267,11 +269,12 @@ impl Pipeline {
         thresholds: &AttributionThresholds,
     ) -> AttributionReport {
         let config_limit = 24;
-        let standalone_configs: Vec<AppConfig> = enumerate_app_configs(new_app, devices, config_limit);
+        let standalone_configs: Vec<AppConfig> =
+            enumerate_app_configs(new_app, devices, config_limit);
         let joint_configs = standalone_configs.clone();
 
         let base_standalone = {
-            let mut cfg = expert_configure(&[new_app.clone()], devices);
+            let mut cfg = expert_configure(std::slice::from_ref(new_app), devices);
             cfg.apps.clear();
             cfg
         };
@@ -426,7 +429,8 @@ def handler(evt) {
         let apps = translate_sources(&[malicious]).unwrap();
         let devices = standard_household();
         let pipeline = Pipeline::with_events(2);
-        let report = pipeline.attribute_new_app(&apps[0], &[], &devices, &AttributionThresholds::default());
+        let report =
+            pipeline.attribute_new_app(&apps[0], &[], &devices, &AttributionThresholds::default());
         assert!(report.verdict.flags_app(), "verdict was {:?}", report.verdict);
     }
 
@@ -435,7 +439,8 @@ def handler(evt) {
         let apps = translate_sources(&[GOOD_NIGHT_LIGHT]).unwrap();
         let devices = standard_household();
         let pipeline = Pipeline::with_events(1);
-        let report = pipeline.attribute_new_app(&apps[0], &[], &devices, &AttributionThresholds::default());
+        let report =
+            pipeline.attribute_new_app(&apps[0], &[], &devices, &AttributionThresholds::default());
         assert!(!report.verdict.flags_app(), "verdict was {:?}", report.verdict);
     }
 

@@ -116,7 +116,11 @@ impl InstalledSystem {
                 }
             })
             .collect();
-        Snapshot { mode: state.mode.name().to_string(), devices, time_seconds: state.time.seconds() }
+        Snapshot {
+            mode: state.mode.name().to_string(),
+            devices,
+            time_seconds: state.time.seconds(),
+        }
     }
 }
 
@@ -274,7 +278,12 @@ mod tests {
             physical: true,
         };
         assert_eq!(e.to_string(), "dev1/presence=not present");
-        let e = InternalEvent { device: None, attribute: "mode".into(), value: Value::Str("Away".into()), physical: false };
+        let e = InternalEvent {
+            device: None,
+            attribute: "mode".into(),
+            value: Value::Str("Away".into()),
+            physical: false,
+        };
         assert_eq!(e.to_string(), "mode=Away");
     }
 }

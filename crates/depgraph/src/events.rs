@@ -219,7 +219,11 @@ mod tests {
     #[test]
     fn inputs_from_trigger_and_reads() {
         let h = handler(
-            Trigger::Device { input: "contact1".into(), attribute: "contact".into(), value: Some("open".into()) },
+            Trigger::Device {
+                input: "contact1".into(),
+                attribute: "contact".into(),
+                value: Some("open".into()),
+            },
             vec![IrStmt::If {
                 cond: IrExpr::attr_eq("lock1", "lock", "locked"),
                 then: vec![],
@@ -237,8 +241,16 @@ mod tests {
         let h = handler(
             Trigger::AppTouch,
             vec![
-                IrStmt::DeviceCommand { input: "switches".into(), command: "on".into(), args: vec![] },
-                IrStmt::DeviceCommand { input: "lock1".into(), command: "unlock".into(), args: vec![] },
+                IrStmt::DeviceCommand {
+                    input: "switches".into(),
+                    command: "on".into(),
+                    args: vec![],
+                },
+                IrStmt::DeviceCommand {
+                    input: "lock1".into(),
+                    command: "unlock".into(),
+                    args: vec![],
+                },
                 IrStmt::SetLocationMode(IrExpr::Const(Value::Str("Away".into()))),
             ],
         );
@@ -264,7 +276,11 @@ mod tests {
     fn profile_combines_both() {
         let h = handler(
             Trigger::Device { input: "contact1".into(), attribute: "contact".into(), value: None },
-            vec![IrStmt::DeviceCommand { input: "switches".into(), command: "off".into(), args: vec![] }],
+            vec![IrStmt::DeviceCommand {
+                input: "switches".into(),
+                command: "off".into(),
+                args: vec![],
+            }],
         );
         let app = switch_app("A", h.clone());
         let profile = event_profile(&app, &h);

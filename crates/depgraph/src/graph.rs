@@ -194,11 +194,10 @@ impl DependencyGraph {
         // conflicting output events, the union of their ancestor closures.
         for u in 0..self.vertices.len() {
             for v in (u + 1)..self.vertices.len() {
-                let conflict = self.vertices[u]
-                    .profile
-                    .outputs
-                    .iter()
-                    .any(|a| self.vertices[v].profile.outputs.iter().any(|b| a.conflicts_with(b)));
+                let conflict =
+                    self.vertices[u].profile.outputs.iter().any(|a| {
+                        self.vertices[v].profile.outputs.iter().any(|b| a.conflicts_with(b))
+                    });
                 if conflict {
                     let mut set = self.ancestors(VertexId(u));
                     set.insert(VertexId(u));
@@ -460,11 +459,18 @@ mod tests {
                 vec![h(
                     "Brighten Dark Places",
                     "contactOpenHandler",
-                    Trigger::Device { input: "contact1".into(), attribute: "contact".into(), value: Some("open".into()) },
+                    Trigger::Device {
+                        input: "contact1".into(),
+                        attribute: "contact".into(),
+                        value: Some("open".into()),
+                    },
                     vec![IrStmt::If {
                         cond: iotsan_ir::IrExpr::binary(
                             iotsan_ir::IrBinOp::Lt,
-                            iotsan_ir::IrExpr::DeviceAttr { input: "lightSensor".into(), attribute: "illuminance".into() },
+                            iotsan_ir::IrExpr::DeviceAttr {
+                                input: "lightSensor".into(),
+                                attribute: "illuminance".into(),
+                            },
                             iotsan_ir::IrExpr::int(30),
                         ),
                         then: vec![cmd("switches", "on")],
@@ -475,11 +481,18 @@ mod tests {
             // Vertex 1: Let There Be Dark! — contact/any → switch/on, switch/off
             app(
                 "Let There Be Dark!",
-                vec![AppInput::device("contact1", "contactSensor"), AppInput::device("switches", "switch")],
+                vec![
+                    AppInput::device("contact1", "contactSensor"),
+                    AppInput::device("switches", "switch"),
+                ],
                 vec![h(
                     "Let There Be Dark!",
                     "contactHandler",
-                    Trigger::Device { input: "contact1".into(), attribute: "contact".into(), value: None },
+                    Trigger::Device {
+                        input: "contact1".into(),
+                        attribute: "contact".into(),
+                        value: None,
+                    },
                     vec![IrStmt::If {
                         cond: iotsan_ir::IrExpr::bool(true),
                         then: vec![cmd("switches", "on")],
@@ -494,7 +507,11 @@ mod tests {
                 vec![h(
                     "Auto Mode Change",
                     "presenceHandler",
-                    Trigger::Device { input: "people".into(), attribute: "presence".into(), value: None },
+                    Trigger::Device {
+                        input: "people".into(),
+                        attribute: "presence".into(),
+                        value: None,
+                    },
                     vec![IrStmt::SetLocationMode(iotsan_ir::IrExpr::str("Away"))],
                 )],
             ),
@@ -542,16 +559,10 @@ mod tests {
         let apps = paper_example();
         let graph = DependencyGraph::build(&apps);
         // Find the Auto Mode Change vertex (vertex "2" in the paper).
-        let amc = graph
-            .vertices()
-            .iter()
-            .find(|v| v.members[0].0 == "Auto Mode Change")
-            .unwrap()
-            .id;
-        let children: BTreeSet<String> = graph
-            .children(amc)
-            .map(|c| graph.vertices()[c.0].label())
-            .collect();
+        let amc =
+            graph.vertices().iter().find(|v| v.members[0].0 == "Auto Mode Change").unwrap().id;
+        let children: BTreeSet<String> =
+            graph.children(amc).map(|c| graph.vertices()[c.0].label()).collect();
         // Its children are Unlock Door::changedLocationMode (4) and
         // Big Turn On::changedLocationMode (6).
         assert!(children.iter().any(|l| l.contains("Unlock Door::changedLocationMode")));
@@ -621,8 +632,16 @@ mod tests {
             handlers: vec![IrHandler {
                 app: "A".into(),
                 name: "onContact".into(),
-                trigger: Trigger::Device { input: "c".into(), attribute: "contact".into(), value: None },
-                body: vec![IrStmt::DeviceCommand { input: "s".into(), command: "on".into(), args: vec![] }],
+                trigger: Trigger::Device {
+                    input: "c".into(),
+                    attribute: "contact".into(),
+                    value: None,
+                },
+                body: vec![IrStmt::DeviceCommand {
+                    input: "s".into(),
+                    command: "on".into(),
+                    args: vec![],
+                }],
             }],
             state_vars: vec![],
             dynamic_discovery: false,
@@ -634,8 +653,15 @@ mod tests {
             handlers: vec![IrHandler {
                 app: "B".into(),
                 name: "onSwitch".into(),
-                trigger: Trigger::Device { input: "s".into(), attribute: "switch".into(), value: Some("on".into()) },
-                body: vec![IrStmt::SendEvent { attribute: "contact".into(), value: iotsan_ir::IrExpr::str("open") }],
+                trigger: Trigger::Device {
+                    input: "s".into(),
+                    attribute: "switch".into(),
+                    value: Some("on".into()),
+                },
+                body: vec![IrStmt::SendEvent {
+                    attribute: "contact".into(),
+                    value: iotsan_ir::IrExpr::str("open"),
+                }],
             }],
             state_vars: vec![],
             dynamic_discovery: false,

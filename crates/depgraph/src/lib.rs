@@ -38,4 +38,6 @@ pub mod events;
 pub mod graph;
 
 pub use events::{event_profile, input_events, output_events, EventDesc, EventProfile};
-pub use graph::{analyze, app_membership, render_summary, DependencyGraph, RelatedSets, Vertex, VertexId};
+pub use graph::{
+    analyze, app_membership, render_summary, DependencyGraph, RelatedSets, Vertex, VertexId,
+};

@@ -172,7 +172,12 @@ impl DeviceSpec {
     }
 }
 
-fn attr(name: &'static str, domain: AttrDomain, default_index: usize, environment_driven: bool) -> AttributeSpec {
+fn attr(
+    name: &'static str,
+    domain: AttrDomain,
+    default_index: usize,
+    environment_driven: bool,
+) -> AttributeSpec {
     AttributeSpec { name, domain, default_index, environment_driven }
 }
 
@@ -200,7 +205,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             display: "Smart Switch / Outlet",
             kind: Actuator,
             attributes: vec![attr("switch", onoff(), 0, false)],
-            commands: vec![cmd("on", vec![set("switch", "on")]), cmd("off", vec![set("switch", "off")])],
+            commands: vec![
+                cmd("on", vec![set("switch", "on")]),
+                cmd("off", vec![set("switch", "off")]),
+            ],
         },
         // 2. Dimmable light.
         DeviceSpec {
@@ -214,7 +222,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             commands: vec![
                 cmd("on", vec![set("switch", "on")]),
                 cmd("off", vec![set("switch", "off")]),
-                cmd("setLevel", vec![CommandEffect::SetFromArg { attribute: "level" }, set("switch", "on")]),
+                cmd(
+                    "setLevel",
+                    vec![CommandEffect::SetFromArg { attribute: "level" }, set("switch", "on")],
+                ),
             ],
         },
         // 3. Door lock.
@@ -223,7 +234,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             display: "Door Lock",
             kind: Actuator,
             attributes: vec![attr("lock", Enum(vec!["locked", "unlocked"]), 0, false)],
-            commands: vec![cmd("lock", vec![set("lock", "locked")]), cmd("unlock", vec![set("lock", "unlocked")])],
+            commands: vec![
+                cmd("lock", vec![set("lock", "locked")]),
+                cmd("unlock", vec![set("lock", "unlocked")]),
+            ],
         },
         // 4. Door control (garage door opener).
         DeviceSpec {
@@ -231,7 +245,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             display: "Door Control",
             kind: Actuator,
             attributes: vec![attr("door", Enum(vec!["closed", "open"]), 0, false)],
-            commands: vec![cmd("open", vec![set("door", "open")]), cmd("close", vec![set("door", "closed")])],
+            commands: vec![
+                cmd("open", vec![set("door", "open")]),
+                cmd("close", vec![set("door", "closed")]),
+            ],
         },
         // 5. Garage door control (alias capability used by some apps).
         DeviceSpec {
@@ -239,7 +256,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             display: "Garage Door",
             kind: Actuator,
             attributes: vec![attr("door", Enum(vec!["closed", "open"]), 0, false)],
-            commands: vec![cmd("open", vec![set("door", "open")]), cmd("close", vec![set("door", "closed")])],
+            commands: vec![
+                cmd("open", vec![set("door", "open")]),
+                cmd("close", vec![set("door", "closed")]),
+            ],
         },
         // 6. Contact sensor.
         DeviceSpec {
@@ -285,8 +305,14 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
                 attr("coolingSetpoint", Numeric(vec![60, 68, 72, 78, 85]), 3, false),
             ],
             commands: vec![
-                cmd("setHeatingSetpoint", vec![CommandEffect::SetFromArg { attribute: "heatingSetpoint" }]),
-                cmd("setCoolingSetpoint", vec![CommandEffect::SetFromArg { attribute: "coolingSetpoint" }]),
+                cmd(
+                    "setHeatingSetpoint",
+                    vec![CommandEffect::SetFromArg { attribute: "heatingSetpoint" }],
+                ),
+                cmd(
+                    "setCoolingSetpoint",
+                    vec![CommandEffect::SetFromArg { attribute: "coolingSetpoint" }],
+                ),
                 cmd("heat", vec![set("thermostatMode", "heat")]),
                 cmd("cool", vec![set("thermostatMode", "cool")]),
                 cmd("auto", vec![set("thermostatMode", "auto")]),
@@ -306,7 +332,12 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             capability: "carbonMonoxideDetector",
             display: "CO Detector",
             kind: Sensor,
-            attributes: vec![attr("carbonMonoxide", Enum(vec!["clear", "detected", "tested"]), 0, true)],
+            attributes: vec![attr(
+                "carbonMonoxide",
+                Enum(vec!["clear", "detected", "tested"]),
+                0,
+                true,
+            )],
             commands: vec![],
         },
         // 13. Water / leak sensor.
@@ -323,7 +354,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             display: "Water Valve",
             kind: Actuator,
             attributes: vec![attr("valve", Enum(vec!["open", "closed"]), 0, false)],
-            commands: vec![cmd("open", vec![set("valve", "open")]), cmd("close", vec![set("valve", "closed")])],
+            commands: vec![
+                cmd("open", vec![set("valve", "open")]),
+                cmd("close", vec![set("valve", "closed")]),
+            ],
         },
         // 15. Alarm (siren / strobe).
         DeviceSpec {
@@ -343,7 +377,12 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             capability: "illuminanceMeasurement",
             display: "Illuminance Sensor",
             kind: Sensor,
-            attributes: vec![attr("illuminance", Numeric(vec![0, 10, 30, 100, 500, 1000]), 3, true)],
+            attributes: vec![attr(
+                "illuminance",
+                Numeric(vec![0, 10, 30, 100, 500, 1000]),
+                3,
+                true,
+            )],
             commands: vec![],
         },
         // 17. Relative humidity measurement.
@@ -416,14 +455,22 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             display: "Sprinkler",
             kind: Actuator,
             attributes: vec![attr("sprinkler", onoff(), 0, false)],
-            commands: vec![cmd("on", vec![set("sprinkler", "on")]), cmd("off", vec![set("sprinkler", "off")])],
+            commands: vec![
+                cmd("on", vec![set("sprinkler", "on")]),
+                cmd("off", vec![set("sprinkler", "off")]),
+            ],
         },
         // 26. Window shade.
         DeviceSpec {
             capability: "windowShade",
             display: "Window Shade",
             kind: Actuator,
-            attributes: vec![attr("windowShade", Enum(vec!["closed", "open", "partially open"]), 0, false)],
+            attributes: vec![attr(
+                "windowShade",
+                Enum(vec!["closed", "open", "partially open"]),
+                0,
+                false,
+            )],
             commands: vec![
                 cmd("open", vec![set("windowShade", "open")]),
                 cmd("close", vec![set("windowShade", "closed")]),
@@ -442,7 +489,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             commands: vec![
                 cmd("on", vec![set("switch", "on")]),
                 cmd("off", vec![set("switch", "off")]),
-                cmd("setFanSpeed", vec![CommandEffect::SetFromArg { attribute: "fanSpeed" }, set("switch", "on")]),
+                cmd(
+                    "setFanSpeed",
+                    vec![CommandEffect::SetFromArg { attribute: "fanSpeed" }, set("switch", "on")],
+                ),
             ],
         },
         // 28. Camera (image capture).
@@ -494,7 +544,10 @@ pub fn builtin_specs() -> Vec<DeviceSpec> {
             display: "Momentary Switch",
             kind: Actuator,
             attributes: vec![attr("switch", onoff(), 0, false)],
-            commands: vec![cmd("push", vec![set("switch", "on")]), cmd("off", vec![set("switch", "off")])],
+            commands: vec![
+                cmd("push", vec![set("switch", "on")]),
+                cmd("off", vec![set("switch", "off")]),
+            ],
         },
         // 32. Lock-only keypad (reports codes; modelled as a sensor).
         DeviceSpec {
@@ -552,7 +605,8 @@ impl CapabilityRegistry {
 
     /// Like [`CapabilityRegistry::spec`] but falls back to the `switch` spec.
     pub fn spec_or_switch(&self, capability: &str) -> &DeviceSpec {
-        self.spec(capability).unwrap_or_else(|| self.spec("switch").expect("switch spec is built in"))
+        self.spec(capability)
+            .unwrap_or_else(|| self.spec("switch").expect("switch spec is built in"))
     }
 }
 
@@ -581,9 +635,12 @@ mod tests {
                 for effect in &command.effects {
                     match effect {
                         CommandEffect::Set { attribute, value } => {
-                            let attr = spec
-                                .attribute(attribute)
-                                .unwrap_or_else(|| panic!("{}.{} targets unknown attribute", spec.capability, command.name));
+                            let attr = spec.attribute(attribute).unwrap_or_else(|| {
+                                panic!(
+                                    "{}.{} targets unknown attribute",
+                                    spec.capability, command.name
+                                )
+                            });
                             assert!(
                                 attr.domain.index_of(value).is_some(),
                                 "{}.{}: value {value} not in domain of {attribute}",
@@ -604,7 +661,12 @@ mod tests {
     fn defaults_are_in_domain() {
         for spec in registry().specs() {
             for attr in &spec.attributes {
-                assert!(attr.default_index < attr.domain.len(), "{}.{}", spec.capability, attr.name);
+                assert!(
+                    attr.default_index < attr.domain.len(),
+                    "{}.{}",
+                    spec.capability,
+                    attr.name
+                );
             }
         }
     }
@@ -614,7 +676,11 @@ mod tests {
         for spec in registry().specs() {
             match spec.kind {
                 DeviceKind::Sensor => {
-                    assert!(!spec.environment_events().is_empty(), "{} has no events", spec.capability)
+                    assert!(
+                        !spec.environment_events().is_empty(),
+                        "{} has no events",
+                        spec.capability
+                    )
                 }
                 DeviceKind::Actuator => {
                     assert!(!spec.commands.is_empty(), "{} has no commands", spec.capability)

@@ -143,10 +143,7 @@ impl DeviceState {
         let attr = &spec.attributes[idx];
         let target = match &attr.domain {
             AttrDomain::Enum(_) => attr.domain.index_of(&value.as_string()),
-            AttrDomain::Numeric(levels) => match value.as_number() {
-                Some(n) => Some(nearest_index(levels, n)),
-                None => None,
-            },
+            AttrDomain::Numeric(levels) => value.as_number().map(|n| nearest_index(levels, n)),
         };
         match target {
             Some(value_index) => {
@@ -159,7 +156,12 @@ impl DeviceState {
     }
 
     /// Applies an actuator command (with already-evaluated arguments).
-    pub fn apply_command(&mut self, spec: &DeviceSpec, command: &str, args: &[Value]) -> CommandOutcome {
+    pub fn apply_command(
+        &mut self,
+        spec: &DeviceSpec,
+        command: &str,
+        args: &[Value],
+    ) -> CommandOutcome {
         if !self.online {
             return CommandOutcome::Offline;
         }

@@ -52,12 +52,22 @@ pub struct Event {
 impl Event {
     /// A physical event from a device.
     pub fn device(id: DeviceId, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        Event { source: EventSource::Device(id), attribute: attribute.into(), value: value.into(), physical: true }
+        Event {
+            source: EventSource::Device(id),
+            attribute: attribute.into(),
+            value: value.into(),
+            physical: true,
+        }
     }
 
     /// A state-change notification from an actuator (cyber, not physical).
     pub fn actuator(id: DeviceId, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        Event { source: EventSource::Device(id), attribute: attribute.into(), value: value.into(), physical: false }
+        Event {
+            source: EventSource::Device(id),
+            attribute: attribute.into(),
+            value: value.into(),
+            physical: false,
+        }
     }
 
     /// A location-mode change event.
@@ -73,12 +83,22 @@ impl Event {
     /// A location environment event such as sunrise or sunset.
     pub fn location(name: impl Into<String>) -> Self {
         let name = name.into();
-        Event { source: EventSource::Location, attribute: name.clone(), value: Value::Str(name), physical: true }
+        Event {
+            source: EventSource::Location,
+            attribute: name.clone(),
+            value: Value::Str(name),
+            physical: true,
+        }
     }
 
     /// An app-touch event.
     pub fn app_touch() -> Self {
-        Event { source: EventSource::App, attribute: "touch".into(), value: Value::Str("touched".into()), physical: false }
+        Event {
+            source: EventSource::App,
+            attribute: "touch".into(),
+            value: Value::Str("touched".into()),
+            physical: false,
+        }
     }
 
     /// A timer-fired event for the handler scheduled by the named app.

@@ -36,7 +36,10 @@ pub mod environment;
 pub mod event;
 pub mod failure;
 
-pub use capability::{registry, AttrDomain, AttributeSpec, CapabilityRegistry, CommandEffect, CommandSpec, DeviceKind, DeviceSpec};
+pub use capability::{
+    registry, AttrDomain, AttributeSpec, CapabilityRegistry, CommandEffect, CommandSpec,
+    DeviceKind, DeviceSpec,
+};
 pub use device::{CommandOutcome, Device, DeviceId, DeviceState};
 pub use environment::{EnvironmentEvent, LocationMode, SystemTime};
 pub use event::{Event, EventQueue, EventSource};

@@ -625,11 +625,7 @@ pub fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
 pub fn walk_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
     match stmt {
         Stmt::Expr(e) => walk_expr(e, f),
-        Stmt::VarDecl { init, .. } => {
-            if let Some(e) = init {
-                walk_expr(e, f);
-            }
-        }
+        Stmt::VarDecl { init: Some(e), .. } => walk_expr(e, f),
         Stmt::Assign { target, value, .. } => {
             walk_expr(target, f);
             walk_expr(value, f);
@@ -731,14 +727,8 @@ mod tests {
     fn walk_stmt_recurses_into_branches() {
         let stmt = Stmt::If {
             cond: var("c"),
-            then_block: Block {
-                stmts: vec![Stmt::Expr(var("t"))],
-                span: Span::synthetic(),
-            },
-            else_block: Some(Block {
-                stmts: vec![Stmt::Expr(var("e"))],
-                span: Span::synthetic(),
-            }),
+            then_block: Block { stmts: vec![Stmt::Expr(var("t"))], span: Span::synthetic() },
+            else_block: Some(Block { stmts: vec![Stmt::Expr(var("e"))], span: Span::synthetic() }),
             span: Span::synthetic(),
         };
         let mut count = 0;

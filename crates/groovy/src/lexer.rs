@@ -44,10 +44,10 @@ impl<'src> Lexer<'src> {
             let tok = self.next_token()?;
             let is_eof = tok.kind == TokenKind::Eof;
             // Collapse runs of newlines and drop leading newlines.
-            if tok.kind == TokenKind::Newline {
-                if matches!(out.last().map(|t: &Token| &t.kind), None | Some(TokenKind::Newline)) {
-                    continue;
-                }
+            if tok.kind == TokenKind::Newline
+                && matches!(out.last().map(|t: &Token| &t.kind), None | Some(TokenKind::Newline))
+            {
+                continue;
             }
             out.push(tok);
             if is_eof {
@@ -94,7 +94,10 @@ impl<'src> Lexer<'src> {
                     self.pos += 1;
                     self.line += 1;
                     if self.should_emit_newline() {
-                        return Ok(Some(Token::new(TokenKind::Newline, Span::new(start, start + 1, line))));
+                        return Ok(Some(Token::new(
+                            TokenKind::Newline,
+                            Span::new(start, start + 1, line),
+                        )));
                     }
                 }
                 Some(b'/') if self.peek_at(1) == Some(b'/') => {
@@ -194,13 +197,13 @@ impl<'src> Lexer<'src> {
         }
         let text = &self.src[start..self.pos].trim_end_matches(['L', 'G', 'd', 'f']);
         if is_decimal {
-            text.parse::<f64>()
-                .map(TokenKind::Decimal)
-                .map_err(|_| ParseError::new("invalid decimal literal", Span::new(start, self.pos, line)))
+            text.parse::<f64>().map(TokenKind::Decimal).map_err(|_| {
+                ParseError::new("invalid decimal literal", Span::new(start, self.pos, line))
+            })
         } else {
-            text.parse::<i64>()
-                .map(TokenKind::Int)
-                .map_err(|_| ParseError::new("invalid integer literal", Span::new(start, self.pos, line)))
+            text.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+                ParseError::new("invalid integer literal", Span::new(start, self.pos, line))
+            })
         }
     }
 
@@ -208,7 +211,7 @@ impl<'src> Lexer<'src> {
         let start = self.pos;
         let line = self.line;
         self.pos += 1; // opening quote
-        // Triple-quoted strings ("""...""" or '''...''').
+                       // Triple-quoted strings ("""...""" or '''...''').
         let triple = self.peek() == Some(quote) && self.peek_at(1) == Some(quote);
         if triple {
             self.pos += 2;
@@ -276,7 +279,10 @@ impl<'src> Lexer<'src> {
 
     fn lex_ident(&mut self) -> TokenKind {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'_') | Some(b'$') | Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')) {
+        while matches!(
+            self.peek(),
+            Some(b'_') | Some(b'$') | Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')
+        ) {
             self.pos += 1;
         }
         let word = &self.src[start..self.pos];

@@ -50,6 +50,8 @@ pub mod token;
 pub use ast::{Block, Expr, Item, MethodDecl, Script, Stmt};
 pub use error::{ParseError, Result};
 pub use parser::{parse, parse_expression};
-pub use smartapp::{AppMetadata, InputDecl, InputKind, ScheduleDecl, SmartApp, Subscription, SubscriptionSource};
+pub use smartapp::{
+    AppMetadata, InputDecl, InputKind, ScheduleDecl, SmartApp, Subscription, SubscriptionSource,
+};
 pub use span::Span;
 pub use token::{Token, TokenKind};

@@ -142,7 +142,10 @@ impl Parser {
         while !self.at(&TokenKind::Eof) {
             // Skip `import a.b.c` lines entirely.
             if self.at(&TokenKind::Import) {
-                while !matches!(self.peek(), TokenKind::Newline | TokenKind::Semicolon | TokenKind::Eof) {
+                while !matches!(
+                    self.peek(),
+                    TokenKind::Newline | TokenKind::Semicolon | TokenKind::Eof
+                ) {
                     self.bump();
                 }
                 self.skip_separators();
@@ -170,7 +173,11 @@ impl Parser {
         // modifiers
         while matches!(
             self.peek_at(i),
-            TokenKind::Private | TokenKind::Public | TokenKind::Protected | TokenKind::Static | TokenKind::Final
+            TokenKind::Private
+                | TokenKind::Public
+                | TokenKind::Protected
+                | TokenKind::Static
+                | TokenKind::Final
         ) {
             i += 1;
         }
@@ -186,7 +193,9 @@ impl Parser {
                     return self.scan_params_then_brace(i + 1);
                 }
                 i += 1;
-                while *self.peek_at(i) == TokenKind::LBracket && *self.peek_at(i + 1) == TokenKind::RBracket {
+                while *self.peek_at(i) == TokenKind::LBracket
+                    && *self.peek_at(i + 1) == TokenKind::RBracket
+                {
                     i += 2;
                 }
             }
@@ -295,7 +304,9 @@ impl Parser {
         let return_type = if self.at(&TokenKind::Def) {
             self.bump();
             None
-        } else if matches!(self.peek(), TokenKind::Ident(_)) && *self.peek_at(1) == TokenKind::LParen {
+        } else if matches!(self.peek(), TokenKind::Ident(_))
+            && *self.peek_at(1) == TokenKind::LParen
+        {
             // `private name(...)` — the return type was omitted.
             None
         } else {
@@ -333,11 +344,7 @@ impl Parser {
             ty = Some(self.parse_type_name()?);
         }
         let (name, _) = self.expect_ident()?;
-        let default = if self.eat(&TokenKind::Assign) {
-            Some(self.parse_expr()?)
-        } else {
-            None
-        };
+        let default = if self.eat(&TokenKind::Assign) { Some(self.parse_expr()?) } else { None };
         Ok(Param { name, ty, default })
     }
 
@@ -391,7 +398,11 @@ impl Parser {
                 Ok(Stmt::Continue(span))
             }
             TokenKind::Def => self.parse_var_decl(None),
-            TokenKind::Private | TokenKind::Public | TokenKind::Protected | TokenKind::Static | TokenKind::Final => {
+            TokenKind::Private
+            | TokenKind::Public
+            | TokenKind::Protected
+            | TokenKind::Static
+            | TokenKind::Final => {
                 // Field declaration with modifiers, e.g. `private def foo = 1`.
                 self.parse_modifiers();
                 if self.at(&TokenKind::Def) {
@@ -412,15 +423,35 @@ impl Parser {
     /// Lookahead for `Type name =` / `Type name` declarations (e.g. `Integer idx = 0`).
     fn looks_like_typed_decl(&self) -> bool {
         let known_types = [
-            "Integer", "int", "Long", "long", "Double", "double", "Float", "float", "BigDecimal",
-            "String", "Boolean", "boolean", "Number", "Object", "List", "Map", "ArrayList", "HashMap", "Date",
+            "Integer",
+            "int",
+            "Long",
+            "long",
+            "Double",
+            "double",
+            "Float",
+            "float",
+            "BigDecimal",
+            "String",
+            "Boolean",
+            "boolean",
+            "Number",
+            "Object",
+            "List",
+            "Map",
+            "ArrayList",
+            "HashMap",
+            "Date",
         ];
         let TokenKind::Ident(name) = self.peek() else { return false };
         if !known_types.contains(&name.as_str()) {
             return false;
         }
         matches!(self.peek_at(1), TokenKind::Ident(_))
-            && matches!(self.peek_at(2), TokenKind::Assign | TokenKind::Newline | TokenKind::Semicolon)
+            && matches!(
+                self.peek_at(2),
+                TokenKind::Assign | TokenKind::Newline | TokenKind::Semicolon
+            )
     }
 
     fn parse_var_decl(&mut self, ty: Option<TypeName>) -> Result<Stmt> {
@@ -541,7 +572,10 @@ impl Parser {
         let start = self.peek_span();
         let mut stmts = Vec::new();
         self.skip_separators();
-        while !matches!(self.peek(), TokenKind::Case | TokenKind::Default | TokenKind::RBrace | TokenKind::Eof) {
+        while !matches!(
+            self.peek(),
+            TokenKind::Case | TokenKind::Default | TokenKind::RBrace | TokenKind::Eof
+        ) {
             if self.at(&TokenKind::Break) {
                 self.bump();
                 self.skip_separators();
@@ -621,15 +655,14 @@ impl Parser {
         }
         // Postfix `x++` / `x--` as statements become `x += 1` / `x -= 1`.
         if matches!(self.peek(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
-            let op = if self.at(&TokenKind::PlusPlus) { AssignOp::AddAssign } else { AssignOp::SubAssign };
+            let op = if self.at(&TokenKind::PlusPlus) {
+                AssignOp::AddAssign
+            } else {
+                AssignOp::SubAssign
+            };
             let span = expr.span().merge(self.peek_span());
             self.bump();
-            return Ok(Stmt::Assign {
-                target: expr,
-                op,
-                value: Expr::Int(1, span),
-                span,
-            });
+            return Ok(Stmt::Assign { target: expr, op, value: Expr::Int(1, span), span });
         }
         Ok(Stmt::Expr(expr))
     }
@@ -641,7 +674,9 @@ impl Parser {
         }
         match self.peek_at(1) {
             // `ident "literal"` , `ident 42`, `ident ident, ...`, `ident [..]`
-            TokenKind::Str(_) | TokenKind::Int(_) | TokenKind::Decimal(_) | TokenKind::Bool(_) => true,
+            TokenKind::Str(_) | TokenKind::Int(_) | TokenKind::Decimal(_) | TokenKind::Bool(_) => {
+                true
+            }
             TokenKind::Ident(_) => {
                 // `foo bar` is only a command call when followed by a comma or
                 // colon (named arg) or end of statement: `unschedule handler`.
@@ -923,7 +958,14 @@ impl Parser {
                         } else {
                             None
                         };
-                        expr = Expr::MethodCall { object: None, name, args, closure, safe: false, span };
+                        expr = Expr::MethodCall {
+                            object: None,
+                            name,
+                            args,
+                            closure,
+                            safe: false,
+                            span,
+                        };
                     } else {
                         break;
                     }
@@ -982,7 +1024,9 @@ impl Parser {
                     self.bump();
                 }
                 // Optionally typed parameter.
-                if matches!(self.peek(), TokenKind::Ident(_)) && matches!(self.peek_at(1), TokenKind::Ident(_)) {
+                if matches!(self.peek(), TokenKind::Ident(_))
+                    && matches!(self.peek_at(1), TokenKind::Ident(_))
+                {
                     let _ty = self.parse_type_name();
                 }
                 match self.peek().clone() {
@@ -1049,7 +1093,8 @@ impl Parser {
             TokenKind::New => {
                 self.bump();
                 let ty = self.parse_type_name()?;
-                let args = if self.at(&TokenKind::LParen) { self.parse_paren_args()? } else { Vec::new() };
+                let args =
+                    if self.at(&TokenKind::LParen) { self.parse_paren_args()? } else { Vec::new() };
                 Ok(Expr::New { ty, args, span })
             }
             TokenKind::LParen => {
@@ -1080,10 +1125,10 @@ impl Parser {
             return Ok(Expr::ListLit(Vec::new(), open.span.merge(close.span)));
         }
         // Map literal when the first entry is `key: value`.
-        let is_map = match (self.peek(), self.peek_at(1)) {
-            (TokenKind::Ident(_), TokenKind::Colon) | (TokenKind::Str(_), TokenKind::Colon) => true,
-            _ => false,
-        };
+        let is_map = matches!(
+            (self.peek(), self.peek_at(1)),
+            (TokenKind::Ident(_), TokenKind::Colon) | (TokenKind::Str(_), TokenKind::Colon)
+        );
         if is_map {
             let mut entries = Vec::new();
             loop {
@@ -1097,7 +1142,10 @@ impl Parser {
                         k
                     }
                     other => {
-                        return Err(ParseError::new(format!("expected map key, found {other}"), self.peek_span()))
+                        return Err(ParseError::new(
+                            format!("expected map key, found {other}"),
+                            self.peek_span(),
+                        ))
                     }
                 };
                 self.expect(&TokenKind::Colon)?;
@@ -1158,8 +1206,9 @@ fn parse_string_literal(raw: &str, span: Span) -> Result<Expr> {
                 return Err(ParseError::new("unterminated ${...} interpolation", span));
             }
             let inner = &raw[i + 2..j - 1];
-            let expr = parse_expression(inner)
-                .map_err(|e| ParseError::new(format!("in string interpolation: {}", e.message), span))?;
+            let expr = parse_expression(inner).map_err(|e| {
+                ParseError::new(format!("in string interpolation: {}", e.message), span)
+            })?;
             parts.push(GStringPart::Interp(expr));
             i = j;
         } else if bytes[i] == b'$'
@@ -1171,12 +1220,15 @@ fn parse_string_literal(raw: &str, span: Span) -> Result<Expr> {
             }
             let mut j = i + 1;
             // `$a.b.c` shorthand: identifiers joined by dots.
-            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.') {
+            while j < bytes.len()
+                && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+            {
                 j += 1;
             }
             let path = raw[i + 1..j].trim_end_matches('.');
-            let expr = parse_expression(path)
-                .map_err(|e| ParseError::new(format!("in string interpolation: {}", e.message), span))?;
+            let expr = parse_expression(path).map_err(|e| {
+                ParseError::new(format!("in string interpolation: {}", e.message), span)
+            })?;
             parts.push(GStringPart::Interp(expr));
             i = i + 1 + path.len();
         } else {
@@ -1234,7 +1286,8 @@ preferences {
 }
 "#;
         let script = parse(src).unwrap();
-        let Item::Stmt(Stmt::Expr(Expr::MethodCall { name, closure, .. })) = &script.items[0] else {
+        let Item::Stmt(Stmt::Expr(Expr::MethodCall { name, closure, .. })) = &script.items[0]
+        else {
             panic!("expected preferences call");
         };
         assert_eq!(name, "preferences");
@@ -1287,10 +1340,7 @@ private onSwitches() {
         let script = parse(src).unwrap();
         let m = script.method("onSwitches").unwrap();
         assert!(m.modifiers.private);
-        assert!(matches!(
-            m.body.stmts[0],
-            Stmt::Expr(Expr::Binary { op: BinOp::Add, .. })
-        ));
+        assert!(matches!(m.body.stmts[0], Stmt::Expr(Expr::Binary { op: BinOp::Add, .. })));
     }
 
     #[test]
@@ -1323,7 +1373,8 @@ def allOff() {
 
     #[test]
     fn parses_map_and_list_literals() {
-        let e = parse_expression(r#"[name: "smoke", value: "detected", isStateChange: true]"#).unwrap();
+        let e =
+            parse_expression(r#"[name: "smoke", value: "detected", isStateChange: true]"#).unwrap();
         let Expr::MapLit(entries, _) = e else { panic!("expected map") };
         assert_eq!(entries.len(), 3);
 
@@ -1473,10 +1524,7 @@ def risky() {
 }
 "#;
         let script = parse(src).unwrap();
-        assert!(matches!(
-            script.method("risky").unwrap().body.stmts[0],
-            Stmt::TryCatch { .. }
-        ));
+        assert!(matches!(script.method("risky").unwrap().body.stmts[0], Stmt::TryCatch { .. }));
     }
 
     #[test]

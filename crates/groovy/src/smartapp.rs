@@ -328,7 +328,11 @@ fn parse_input_decl(args: &[Arg], span: Span) -> Result<InputDecl> {
 
 /// Collects `subscribe`/`schedule`/`runIn`/`runEvery*` calls reachable from a
 /// statement, including calls nested in conditionals and closures.
-fn collect_registrations(stmt: &Stmt, subs: &mut Vec<Subscription>, scheds: &mut Vec<ScheduleDecl>) {
+fn collect_registrations(
+    stmt: &Stmt,
+    subs: &mut Vec<Subscription>,
+    scheds: &mut Vec<ScheduleDecl>,
+) {
     walk_stmt_exprs(stmt, &mut |expr| {
         let Expr::MethodCall { object, name, args, span, .. } = expr else { return };
         if object.is_some() {
@@ -352,12 +356,22 @@ fn collect_registrations(stmt: &Stmt, subs: &mut Vec<Subscription>, scheds: &mut
                     _ => None,
                 };
                 if let Some(handler) = handler_name(args.get(1)) {
-                    scheds.push(ScheduleDecl { handler, delay_seconds: delay, cron: None, span: *span });
+                    scheds.push(ScheduleDecl {
+                        handler,
+                        delay_seconds: delay,
+                        cron: None,
+                        span: *span,
+                    });
                 }
             }
             "runOnce" => {
                 if let Some(handler) = handler_name(args.get(1)) {
-                    scheds.push(ScheduleDecl { handler, delay_seconds: None, cron: None, span: *span });
+                    scheds.push(ScheduleDecl {
+                        handler,
+                        delay_seconds: None,
+                        cron: None,
+                        span: *span,
+                    });
                 }
             }
             n if n.starts_with("runEvery") => {
@@ -662,9 +676,6 @@ def initialize() {
 def doorHandler(evt) { }
 "#;
         let app = SmartApp::parse(src).unwrap();
-        assert_eq!(
-            app.subscriptions[0].source,
-            SubscriptionSource::DeviceInput("door".into())
-        );
+        assert_eq!(app.subscriptions[0].source, SubscriptionSource::DeviceInput("door".into()));
     }
 }

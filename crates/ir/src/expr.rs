@@ -204,7 +204,11 @@ impl IrExpr {
 
     /// Builds an equality test between a device attribute and a string value,
     /// the most common guard in smart apps.
-    pub fn attr_eq(input: impl Into<String>, attribute: impl Into<String>, value: impl Into<String>) -> IrExpr {
+    pub fn attr_eq(
+        input: impl Into<String>,
+        attribute: impl Into<String>,
+        value: impl Into<String>,
+    ) -> IrExpr {
         IrExpr::binary(
             IrBinOp::Eq,
             IrExpr::DeviceAttr { input: input.into(), attribute: attribute.into() },
@@ -274,7 +278,9 @@ impl fmt::Display for IrExpr {
                 other => write!(f, "{other}"),
             },
             IrExpr::Setting(name) => write!(f, "settings.{name}"),
-            IrExpr::DeviceAttr { input, attribute } => write!(f, "{input}.current{}", upper_first(attribute)),
+            IrExpr::DeviceAttr { input, attribute } => {
+                write!(f, "{input}.current{}", upper_first(attribute))
+            }
             IrExpr::DeviceQuery { input, attribute, value, quantifier } => {
                 let q = match quantifier {
                     Quantifier::Any => "any",
@@ -365,13 +371,21 @@ mod tests {
 
     #[test]
     fn reads_event_detection() {
-        assert!(IrExpr::binary(IrBinOp::Eq, IrExpr::EventField(EventField::Value), IrExpr::str("active")).reads_event());
+        assert!(IrExpr::binary(
+            IrBinOp::Eq,
+            IrExpr::EventField(EventField::Value),
+            IrExpr::str("active")
+        )
+        .reads_event());
         assert!(!IrExpr::attr_eq("x", "switch", "on").reads_event());
     }
 
     #[test]
     fn display_round_trips_common_shapes() {
-        assert_eq!(IrExpr::attr_eq("lock1", "lock", "locked").to_string(), "(lock1.currentLock == \"locked\")");
+        assert_eq!(
+            IrExpr::attr_eq("lock1", "lock", "locked").to_string(),
+            "(lock1.currentLock == \"locked\")"
+        );
         assert_eq!(IrExpr::EventField(EventField::NumericValue).to_string(), "evt.doubleValue");
         assert_eq!(IrExpr::LocationMode.to_string(), "location.mode");
         assert_eq!(

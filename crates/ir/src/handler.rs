@@ -288,7 +288,11 @@ mod tests {
         IrHandler {
             app: "Test".into(),
             name: "h".into(),
-            trigger: Trigger::Device { input: "motion".into(), attribute: "motion".into(), value: Some("active".into()) },
+            trigger: Trigger::Device {
+                input: "motion".into(),
+                attribute: "motion".into(),
+                value: Some("active".into()),
+            },
             body,
         }
     }
@@ -298,8 +302,12 @@ mod tests {
         assert_eq!(Trigger::AppTouch.attribute(), "touch");
         assert_eq!(Trigger::LocationMode { value: None }.attribute(), "mode");
         assert_eq!(
-            Trigger::Device { input: "d".into(), attribute: "contact".into(), value: Some("open".into()) }
-                .to_string(),
+            Trigger::Device {
+                input: "d".into(),
+                attribute: "contact".into(),
+                value: Some("open".into())
+            }
+            .to_string(),
             "d:contact.open"
         );
         assert_eq!(Trigger::Timer { delay_seconds: Some(60) }.to_string(), "timer/60s");
@@ -310,7 +318,11 @@ mod tests {
         let h = handler_with(vec![
             IrStmt::If {
                 cond: IrExpr::attr_eq("door", "contact", "open"),
-                then: vec![IrStmt::DeviceCommand { input: "lights".into(), command: "on".into(), args: vec![] }],
+                then: vec![IrStmt::DeviceCommand {
+                    input: "lights".into(),
+                    command: "on".into(),
+                    args: vec![],
+                }],
                 els: vec![IrStmt::HttpRequest {
                     method: crate::stmt::HttpMethod::Post,
                     url: IrExpr::str("http://collector.example"),
@@ -328,7 +340,10 @@ mod tests {
 
     #[test]
     fn sensitive_command_detection() {
-        let h = handler_with(vec![IrStmt::SendEvent { attribute: "smoke".into(), value: IrExpr::str("detected") }]);
+        let h = handler_with(vec![IrStmt::SendEvent {
+            attribute: "smoke".into(),
+            value: IrExpr::str("detected"),
+        }]);
         assert!(h.uses_sensitive_command());
         let h = handler_with(vec![IrStmt::Unsubscribe]);
         assert!(h.uses_sensitive_command());

@@ -57,7 +57,11 @@ pub fn infer_app(app: &SmartApp) -> TypeEnv {
             InputKind::Number => Type::Int,
             InputKind::Decimal => Type::Decimal,
             InputKind::Bool => Type::Bool,
-            InputKind::Enum(_) | InputKind::Text | InputKind::Phone | InputKind::Contact | InputKind::Time
+            InputKind::Enum(_)
+            | InputKind::Text
+            | InputKind::Phone
+            | InputKind::Contact
+            | InputKind::Time
             | InputKind::Mode => Type::Str,
             InputKind::Other(_) => Type::Unknown,
         };
@@ -105,7 +109,8 @@ fn infer_method(method: &MethodDecl, env: &mut TypeEnv) -> bool {
     let mut visit = |stmt: &Stmt| match stmt {
         Stmt::VarDecl { ty, name, init, .. } => {
             let declared = ty.as_ref().map(|t| from_declared(&t.name, t.array_dims));
-            let inferred = init.as_ref().map(|e| infer_expr(e, &locals, env)).unwrap_or(Type::Unknown);
+            let inferred =
+                init.as_ref().map(|e| infer_expr(e, &locals, env)).unwrap_or(Type::Unknown);
             let ty = declared.unwrap_or(Type::Unknown).unify(&inferred);
             let entry = locals.entry(name.clone()).or_insert(Type::Unknown);
             *entry = entry.unify(&ty);
@@ -159,7 +164,9 @@ fn from_declared(name: &str, array_dims: usize) -> Type {
         "double" | "Double" | "float" | "Float" | "BigDecimal" | "Number" => Type::Decimal,
         "boolean" | "Boolean" => Type::Bool,
         "String" | "GString" | "CharSequence" => Type::Str,
-        "List" | "ArrayList" | "Collection" | "Set" | "HashSet" => Type::List(Box::new(Type::Unknown)),
+        "List" | "ArrayList" | "Collection" | "Set" | "HashSet" => {
+            Type::List(Box::new(Type::Unknown))
+        }
         "Map" | "HashMap" | "LinkedHashMap" => Type::Map,
         "void" => Type::Void,
         _ => Type::Unknown,
@@ -192,7 +199,14 @@ fn infer_expr(expr: &Expr, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Ty
         Expr::Property { object, name, .. } => infer_property(object, name, locals, env),
         Expr::MethodCall { object, name, .. } => infer_call(object.as_deref(), name, locals, env),
         Expr::Binary { op, lhs, rhs, .. } => match op {
-            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+            | BinOp::NotEq
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or
             | BinOp::In => Type::Bool,
             BinOp::Compare => Type::Int,
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
@@ -201,7 +215,9 @@ fn infer_expr(expr: &Expr, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Ty
                 match (&l, &r) {
                     // `+` on device lists stays a device list (Figure 6 in the
                     // paper: `switches + onSwitches`).
-                    (Type::DeviceList(c), _) | (_, Type::DeviceList(c)) => Type::DeviceList(c.clone()),
+                    (Type::DeviceList(c), _) | (_, Type::DeviceList(c)) => {
+                        Type::DeviceList(c.clone())
+                    }
                     (Type::List(i), _) | (_, Type::List(i)) => Type::List(i.clone()),
                     (Type::Str, _) | (_, Type::Str) if *op == BinOp::Add => Type::Str,
                     _ if l.is_numeric() && r.is_numeric() => l.unify(&r),
@@ -214,7 +230,9 @@ fn infer_expr(expr: &Expr, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Ty
             iotsan_groovy::ast::UnOp::Not => Type::Bool,
             iotsan_groovy::ast::UnOp::Neg => infer_expr(operand, locals, env),
         },
-        Expr::Ternary { then, els, .. } => infer_expr(then, locals, env).unify(&infer_expr(els, locals, env)),
+        Expr::Ternary { then, els, .. } => {
+            infer_expr(then, locals, env).unify(&infer_expr(els, locals, env))
+        }
         Expr::Elvis { value, fallback, .. } => {
             infer_expr(value, locals, env).unify(&infer_expr(fallback, locals, env))
         }
@@ -244,13 +262,17 @@ const NUMERIC_ATTRIBUTES: &[&str] = &[
     "soundPressureLevel",
 ];
 
-fn infer_property(object: &Expr, name: &str, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Type {
+fn infer_property(
+    object: &Expr,
+    name: &str,
+    locals: &BTreeMap<String, Type>,
+    env: &TypeEnv,
+) -> Type {
     // evt.<field>
     if object.as_var() == Some("evt") || object.as_var() == Some("event") {
         return match name {
-            "doubleValue" | "floatValue" | "integerValue" | "longValue" | "numericValue" | "numberValue" => {
-                Type::Decimal
-            }
+            "doubleValue" | "floatValue" | "integerValue" | "longValue" | "numericValue"
+            | "numberValue" => Type::Decimal,
             "date" => Type::Str,
             _ => Type::Str,
         };
@@ -280,7 +302,12 @@ fn infer_property(object: &Expr, name: &str, locals: &BTreeMap<String, Type>, en
     Type::Unknown
 }
 
-fn infer_call(object: Option<&Expr>, name: &str, locals: &BTreeMap<String, Type>, env: &TypeEnv) -> Type {
+fn infer_call(
+    object: Option<&Expr>,
+    name: &str,
+    locals: &BTreeMap<String, Type>,
+    env: &TypeEnv,
+) -> Type {
     if let Some(obj) = object {
         let receiver_ty = infer_expr(obj, locals, env);
         return match name {

@@ -118,7 +118,8 @@ fn convert_kind(kind: &InputKind, multiple: bool) -> SettingKind {
 }
 
 /// Methods that indicate dynamic device discovery (§10.1 of the paper).
-const DISCOVERY_APIS: &[&str] = &["getChildDevices", "getAllChildDevices", "addChildDevice", "findAllDevices"];
+const DISCOVERY_APIS: &[&str] =
+    &["getChildDevices", "getAllChildDevices", "addChildDevice", "findAllDevices"];
 
 struct Lowerer<'a> {
     app: &'a SmartApp,
@@ -188,14 +189,16 @@ impl<'a> Lowerer<'a> {
         match stmt {
             Stmt::Expr(expr) => self.lower_expr_stmt(expr, depth),
             Stmt::VarDecl { name, init, .. } => {
-                let value = init.as_ref().map(|e| self.lower_expr(e)).unwrap_or(IrExpr::Const(Value::Null));
+                let value =
+                    init.as_ref().map(|e| self.lower_expr(e)).unwrap_or(IrExpr::Const(Value::Null));
                 vec![IrStmt::AssignLocal { name: name.clone(), value }]
             }
             Stmt::Assign { target, op, value, .. } => self.lower_assign(target, *op, value),
             Stmt::If { cond, then_block, else_block, .. } => {
                 let cond = self.lower_expr(cond);
                 let then = self.lower_block(then_block, depth);
-                let els = else_block.as_ref().map(|b| self.lower_block(b, depth)).unwrap_or_default();
+                let els =
+                    else_block.as_ref().map(|b| self.lower_block(b, depth)).unwrap_or_default();
                 vec![IrStmt::If { cond, then, els }]
             }
             Stmt::While { cond, body, .. } => {
@@ -207,13 +210,18 @@ impl<'a> Lowerer<'a> {
                 // Iterating over a device input becomes a device loop; other
                 // iterables are approximated by a single pass with the loop
                 // variable bound to the iterable's value.
-                if let Some(input) = iterable.as_var().filter(|v| self.is_device_input(v)).map(str::to_string) {
+                if let Some(input) =
+                    iterable.as_var().filter(|v| self.is_device_input(v)).map(str::to_string)
+                {
                     self.iteration_bindings.push((var.clone(), input.clone()));
                     let body = self.lower_block(body, depth);
                     self.iteration_bindings.pop();
                     vec![IrStmt::ForEachDevice { input, body }]
                 } else {
-                    let mut out = vec![IrStmt::AssignLocal { name: var.clone(), value: self.lower_expr(iterable) }];
+                    let mut out = vec![IrStmt::AssignLocal {
+                        name: var.clone(),
+                        value: self.lower_expr(iterable),
+                    }];
                     out.extend(self.lower_block(body, depth));
                     out
                 }
@@ -223,7 +231,11 @@ impl<'a> Lowerer<'a> {
                 let mut chain: Vec<IrStmt> =
                     default.as_ref().map(|b| self.lower_block(b, depth)).unwrap_or_default();
                 for case in cases.iter().rev() {
-                    let cond = IrExpr::binary(IrBinOp::Eq, subject_ir.clone(), self.lower_expr(&case.value));
+                    let cond = IrExpr::binary(
+                        IrBinOp::Eq,
+                        subject_ir.clone(),
+                        self.lower_expr(&case.value),
+                    );
                     let then = self.lower_block(&case.body, depth);
                     chain = vec![IrStmt::If { cond, then, els: chain }];
                 }
@@ -251,7 +263,10 @@ impl<'a> Lowerer<'a> {
         match target {
             Expr::Property { object, name, .. } if object.as_var() == Some("state") => {
                 self.state_vars.insert(name.clone());
-                vec![IrStmt::AssignState { name: name.clone(), value: combined(IrExpr::StateVar(name.clone())) }]
+                vec![IrStmt::AssignState {
+                    name: name.clone(),
+                    value: combined(IrExpr::StateVar(name.clone())),
+                }]
             }
             Expr::Property { object, name, .. }
                 if object.as_var() == Some("location") && name == "mode" =>
@@ -259,7 +274,10 @@ impl<'a> Lowerer<'a> {
                 vec![IrStmt::SetLocationMode(rhs)]
             }
             Expr::Var(name, _) => {
-                vec![IrStmt::AssignLocal { name: name.clone(), value: combined(IrExpr::Local(name.clone())) }]
+                vec![IrStmt::AssignLocal {
+                    name: name.clone(),
+                    value: combined(IrExpr::Local(name.clone())),
+                }]
             }
             // Anything else (indexed writes, settings writes) is preserved as
             // an opaque call so diagnostics can surface it.
@@ -290,22 +308,24 @@ impl<'a> Lowerer<'a> {
     ) -> Vec<IrStmt> {
         if DISCOVERY_APIS.contains(&name) {
             self.dynamic_discovery = true;
-            return vec![IrStmt::OpaqueCall { name: name.to_string(), args: self.lower_args(args) }];
+            return vec![IrStmt::OpaqueCall {
+                name: name.to_string(),
+                args: self.lower_args(args),
+            }];
         }
 
         // Calls with an explicit receiver.
         if let Some(obj) = object {
             // log.debug / log.info / log.warn / log.error
             if obj.as_var() == Some("log") {
-                let msg = args
-                    .first()
-                    .map(|a| self.lower_expr(a.expr()))
-                    .unwrap_or(IrExpr::str(""));
+                let msg =
+                    args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
                 return vec![IrStmt::Log(msg)];
             }
             // location.setMode("Away")
             if obj.as_var() == Some("location") && (name == "setMode" || name == "mode") {
-                let mode = args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
+                let mode =
+                    args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
                 return vec![IrStmt::SetLocationMode(mode)];
             }
             // Device receiver: `lights.on()`, `outlets.each { ... }`, `lock1.lock()`.
@@ -326,19 +346,28 @@ impl<'a> Lowerer<'a> {
                 }
             }
             // Unknown receiver — keep it opaque.
-            return vec![IrStmt::OpaqueCall { name: format!("{}.{name}", describe(obj)), args: self.lower_args(args) }];
+            return vec![IrStmt::OpaqueCall {
+                name: format!("{}.{name}", describe(obj)),
+                args: self.lower_args(args),
+            }];
         }
 
         // Implicit-this calls: SmartThings APIs and app helper methods.
         match name {
             "sendSms" | "sendSmsMessage" => {
-                let recipient = args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
-                let message = args.get(1).map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
+                let recipient =
+                    args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
+                let message =
+                    args.get(1).map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
                 vec![IrStmt::SendSms { recipient, message }]
             }
-            "sendPush" | "sendPushMessage" | "sendNotification" | "sendNotificationToContacts"
+            "sendPush"
+            | "sendPushMessage"
+            | "sendNotification"
+            | "sendNotificationToContacts"
             | "sendNotificationEvent" => {
-                let message = args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
+                let message =
+                    args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
                 vec![IrStmt::SendPush { message }]
             }
             "httpPost" | "httpPostJson" | "httpPutJson" | "httpPut" | "asynchttp_v1" => {
@@ -355,7 +384,8 @@ impl<'a> Lowerer<'a> {
                 vec![IrStmt::SendEvent { attribute, value }]
             }
             "setLocationMode" => {
-                let mode = args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
+                let mode =
+                    args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::str(""));
                 vec![IrStmt::SetLocationMode(mode)]
             }
             "unsubscribe" => vec![IrStmt::Unsubscribe],
@@ -418,7 +448,8 @@ impl<'a> Lowerer<'a> {
         match name {
             "each" | "eachWithIndex" => {
                 if let Some(Expr::Closure { params, body, .. }) = closure {
-                    let var = params.first().map(|p| p.name.clone()).unwrap_or_else(|| "it".to_string());
+                    let var =
+                        params.first().map(|p| p.name.clone()).unwrap_or_else(|| "it".to_string());
                     self.iteration_bindings.push((var, input.to_string()));
                     let lowered = self.lower_block(body, depth);
                     self.iteration_bindings.pop();
@@ -447,7 +478,9 @@ impl<'a> Lowerer<'a> {
         // `httpPost(uri, body)` or `httpPost(uri: "...", body: ...)`.
         for arg in args {
             match arg {
-                Arg::Named(key, value) if key == "uri" || key == "url" => return self.lower_expr(value),
+                Arg::Named(key, value) if key == "uri" || key == "url" => {
+                    return self.lower_expr(value)
+                }
                 Arg::Positional(Expr::MapLit(entries, _)) => {
                     for (k, v) in entries {
                         if k == "uri" || k == "url" {
@@ -540,7 +573,9 @@ impl<'a> Lowerer<'a> {
                     els: Box::new(self.lower_expr(fallback)),
                 }
             }
-            Expr::ListLit(items, _) => IrExpr::ListOf(items.iter().map(|e| self.lower_expr(e)).collect()),
+            Expr::ListLit(items, _) => {
+                IrExpr::ListOf(items.iter().map(|e| self.lower_expr(e)).collect())
+            }
             Expr::MapLit(entries, _) => {
                 IrExpr::ListOf(entries.iter().map(|(_, e)| self.lower_expr(e)).collect())
             }
@@ -638,13 +673,11 @@ impl<'a> Lowerer<'a> {
             return IrExpr::Opaque { name: name.to_string(), args: self.lower_args(args) };
         }
         if let Some(obj) = object {
-            let receiver_input = obj
-                .as_var()
-                .and_then(|v| {
-                    self.iteration_input(v)
-                        .map(str::to_string)
-                        .or_else(|| self.is_device_input(v).then(|| v.to_string()))
-                });
+            let receiver_input = obj.as_var().and_then(|v| {
+                self.iteration_input(v)
+                    .map(str::to_string)
+                    .or_else(|| self.is_device_input(v).then(|| v.to_string()))
+            });
             if let Some(input) = receiver_input {
                 match name {
                     "currentValue" | "latestValue" | "currentState" | "latestState" => {
@@ -662,7 +695,10 @@ impl<'a> Lowerer<'a> {
                     }
                     _ => {}
                 }
-                return IrExpr::Opaque { name: format!("{input}.{name}"), args: self.lower_args(args) };
+                return IrExpr::Opaque {
+                    name: format!("{input}.{name}"),
+                    args: self.lower_args(args),
+                };
             }
             // evt.isPhysical(), evt.integerValue(), value coercions.
             if obj.as_var() == Some("evt") {
@@ -671,16 +707,29 @@ impl<'a> Lowerer<'a> {
             // String/number coercions are identity in the IR value domain.
             if matches!(
                 name,
-                "toInteger" | "toDouble" | "toFloat" | "toString" | "toBigDecimal" | "trim" | "toLowerCase" | "toUpperCase"
+                "toInteger"
+                    | "toDouble"
+                    | "toFloat"
+                    | "toString"
+                    | "toBigDecimal"
+                    | "trim"
+                    | "toLowerCase"
+                    | "toUpperCase"
             ) {
                 return self.lower_expr(obj);
             }
             // `list.contains(x)` becomes `x in list`.
             if name == "contains" {
-                let needle = args.first().map(|a| self.lower_expr(a.expr())).unwrap_or(IrExpr::Const(Value::Null));
+                let needle = args
+                    .first()
+                    .map(|a| self.lower_expr(a.expr()))
+                    .unwrap_or(IrExpr::Const(Value::Null));
                 return IrExpr::binary(IrBinOp::In, needle, self.lower_expr(obj));
             }
-            return IrExpr::Opaque { name: format!("{}.{name}", describe(obj)), args: self.lower_args(args) };
+            return IrExpr::Opaque {
+                name: format!("{}.{name}", describe(obj)),
+                args: self.lower_args(args),
+            };
         }
         match name {
             "now" => IrExpr::Time,
@@ -704,7 +753,12 @@ impl<'a> Lowerer<'a> {
 
     /// Lowers `devices.any { it.currentX == v }` and friends into a
     /// [`IrExpr::DeviceQuery`].
-    fn quantified_query(&mut self, input: &str, name: &str, closure: Option<&Expr>) -> Option<IrExpr> {
+    fn quantified_query(
+        &mut self,
+        input: &str,
+        name: &str,
+        closure: Option<&Expr>,
+    ) -> Option<IrExpr> {
         let Expr::Closure { params, body, .. } = closure? else { return None };
         let var = params.first().map(|p| p.name.clone()).unwrap_or_else(|| "it".to_string());
         // The closure must be a single comparison of `it.currentX` to a value.
@@ -716,15 +770,20 @@ impl<'a> Lowerer<'a> {
         };
         let Expr::Binary { op, lhs, rhs, .. } = cmp else { return None };
         let (attr_side, value_side) = match (&**lhs, &**rhs) {
-            (Expr::Property { object, name: attr, .. }, other) if object.as_var() == Some(var.as_str()) => {
+            (Expr::Property { object, name: attr, .. }, other)
+                if object.as_var() == Some(var.as_str()) =>
+            {
                 (attr.clone(), other)
             }
-            (other, Expr::Property { object, name: attr, .. }) if object.as_var() == Some(var.as_str()) => {
+            (other, Expr::Property { object, name: attr, .. })
+                if object.as_var() == Some(var.as_str()) =>
+            {
                 (attr.clone(), other)
             }
             _ => return None,
         };
-        let attribute = attr_side.strip_prefix("current").map(lower_first).unwrap_or(attr_side.clone());
+        let attribute =
+            attr_side.strip_prefix("current").map(lower_first).unwrap_or(attr_side.clone());
         let value = Box::new(self.lower_expr(value_side));
         let quantifier = match name {
             "any" | "find" | "findAll" => Quantifier::Any,
@@ -765,9 +824,8 @@ fn bin_op(op: BinOp) -> Option<IrBinOp> {
 fn event_field(name: &str) -> EventField {
     match name {
         "value" | "stringValue" => EventField::Value,
-        "doubleValue" | "floatValue" | "integerValue" | "longValue" | "numberValue" | "numericValue" => {
-            EventField::NumericValue
-        }
+        "doubleValue" | "floatValue" | "integerValue" | "longValue" | "numberValue"
+        | "numericValue" => EventField::NumericValue,
         "name" => EventField::Name,
         "deviceId" | "device" => EventField::DeviceId,
         "displayName" => EventField::DisplayName,
@@ -828,7 +886,11 @@ def contactOpenHandler(evt) {
         let h = &app.handlers[0];
         assert_eq!(
             h.trigger,
-            Trigger::Device { input: "contact1".into(), attribute: "contact".into(), value: Some("open".into()) }
+            Trigger::Device {
+                input: "contact1".into(),
+                attribute: "contact".into(),
+                value: Some("open".into())
+            }
         );
         assert_eq!(h.device_commands(), vec![("switches".to_string(), "on".to_string())]);
         assert_eq!(h.device_reads(), vec![("lightSensor".to_string(), "illuminance".to_string())]);
@@ -931,7 +993,9 @@ def smokeHandler(evt) {
 "#;
         let app = lower(src);
         let h = &app.handlers[0];
-        assert!(matches!(h.body[0], IrStmt::SendEvent { ref attribute, .. } if attribute == "smoke"));
+        assert!(
+            matches!(h.body[0], IrStmt::SendEvent { ref attribute, .. } if attribute == "smoke")
+        );
         assert!(matches!(h.body[1], IrStmt::Unsubscribe));
         assert!(h.uses_sensitive_command());
     }

@@ -229,7 +229,9 @@ pub fn format_stmts(stmts: &[IrStmt], indent: usize) -> String {
                 out.push_str(&format!("{pad}sendSms({recipient}, {message})\n"))
             }
             IrStmt::SendPush { message } => out.push_str(&format!("{pad}sendPush({message})\n")),
-            IrStmt::HttpRequest { method, url, .. } => out.push_str(&format!("{pad}{method}({url})\n")),
+            IrStmt::HttpRequest { method, url, .. } => {
+                out.push_str(&format!("{pad}{method}({url})\n"))
+            }
             IrStmt::SendEvent { attribute, value } => {
                 out.push_str(&format!("{pad}sendEvent(name: \"{attribute}\", value: {value})\n"))
             }
@@ -239,8 +241,12 @@ pub fn format_stmts(stmts: &[IrStmt], indent: usize) -> String {
                 Some(d) => out.push_str(&format!("{pad}runIn({d}, {handler})\n")),
                 None => out.push_str(&format!("{pad}schedule({handler})\n")),
             },
-            IrStmt::AssignState { name, value } => out.push_str(&format!("{pad}state.{name} = {value}\n")),
-            IrStmt::AssignLocal { name, value } => out.push_str(&format!("{pad}{name} = {value}\n")),
+            IrStmt::AssignState { name, value } => {
+                out.push_str(&format!("{pad}state.{name} = {value}\n"))
+            }
+            IrStmt::AssignLocal { name, value } => {
+                out.push_str(&format!("{pad}{name} = {value}\n"))
+            }
             IrStmt::Return(Some(e)) => out.push_str(&format!("{pad}return {e}\n")),
             IrStmt::Return(None) => out.push_str(&format!("{pad}return\n")),
             IrStmt::Log(e) => out.push_str(&format!("{pad}log.debug {e}\n")),

@@ -165,7 +165,9 @@ impl Type {
             (Type::Unknown, t) | (t, Type::Unknown) => t.clone(),
             (a, b) if a == b => a.clone(),
             (Type::Int, Type::Decimal) | (Type::Decimal, Type::Int) => Type::Decimal,
-            (Type::Device(c), Type::DeviceList(d)) | (Type::DeviceList(c), Type::Device(d)) if c == d => {
+            (Type::Device(c), Type::DeviceList(d)) | (Type::DeviceList(c), Type::Device(d))
+                if c == d =>
+            {
                 Type::DeviceList(c.clone())
             }
             (Type::List(a), Type::List(b)) => Type::List(Box::new(a.unify(b))),
@@ -236,10 +238,7 @@ mod tests {
     #[test]
     fn comparison_is_numeric_when_possible() {
         assert_eq!(Value::Int(70).compare(&Value::Decimal(75.5)), Some(Ordering::Less));
-        assert_eq!(
-            Value::Str("80".into()).compare(&Value::Int(75)),
-            Some(Ordering::Greater)
-        );
+        assert_eq!(Value::Str("80".into()).compare(&Value::Int(75)), Some(Ordering::Greater));
         assert_eq!(
             Value::Str("away".into()).compare(&Value::Str("home".into())),
             Some(Ordering::Less)

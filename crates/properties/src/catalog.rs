@@ -99,7 +99,9 @@ impl Property {
             PropertyKind::ConflictingCommands => "[] !(conflicting_commands)".into(),
             PropertyKind::RepeatedCommands => "[] !(repeated_commands)".into(),
             PropertyKind::NetworkLeakage => "[] !(http_request && !user_allowed)".into(),
-            PropertyKind::SmsRecipientMismatch => "[] (send_sms -> recipient == configured_phone)".into(),
+            PropertyKind::SmsRecipientMismatch => {
+                "[] (send_sms -> recipient == configured_phone)".into()
+            }
             PropertyKind::UnsubscribeExecuted => "[] !(unsubscribe_executed)".into(),
             PropertyKind::FakeEventRaised => "[] !(fake_event_raised)".into(),
             PropertyKind::RobustToFailure => "[] (command_failed -> <> user_notified)".into(),
@@ -111,7 +113,11 @@ impl Property {
 pub fn default_properties() -> Vec<Property> {
     let mut out = Vec::new();
     let mut next = 1u32;
-    let mut push = |name: String, category: String, class: PropertyClass, kind: PropertyKind, out: &mut Vec<Property>| {
+    let mut push = |name: String,
+                    category: String,
+                    class: PropertyClass,
+                    kind: PropertyKind,
+                    out: &mut Vec<Property>| {
         out.push(Property { id: PropertyId(next), name, category, class, kind });
         next += 1;
     };
@@ -140,7 +146,8 @@ pub fn default_properties() -> Vec<Property> {
         );
     }
     push(
-        "Private information is sent out only via message interfaces, not network interfaces".into(),
+        "Private information is sent out only via message interfaces, not network interfaces"
+            .into(),
         "Security".into(),
         PropertyClass::Security,
         PropertyKind::NetworkLeakage,
@@ -284,7 +291,10 @@ pub fn has_conflicting_commands(step: &StepObservation) -> bool {
             for j in (i + 1)..cmds.len() {
                 let a = cmds[i].command.as_str();
                 let b = cmds[j].command.as_str();
-                if CONFLICTING_PAIRS.iter().any(|(x, y)| (a == *x && b == *y) || (a == *y && b == *x)) {
+                if CONFLICTING_PAIRS
+                    .iter()
+                    .any(|(x, y)| (a == *x && b == *y) || (a == *y && b == *x))
+                {
                     return true;
                 }
             }
@@ -310,7 +320,9 @@ pub fn has_repeated_commands(step: &StepObservation) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::snapshot::{CommandRecord, FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord};
+    use crate::snapshot::{
+        CommandRecord, FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord,
+    };
     use iotsan_devices::DeviceId;
 
     fn cmd(device: u32, command: &str) -> CommandRecord {
@@ -350,20 +362,26 @@ mod tests {
 
     #[test]
     fn conflicting_commands_detected() {
-        let step = StepObservation { commands: vec![cmd(0, "on"), cmd(0, "off")], ..Default::default() };
+        let step =
+            StepObservation { commands: vec![cmd(0, "on"), cmd(0, "off")], ..Default::default() };
         assert!(has_conflicting_commands(&step));
         // Different devices do not conflict.
-        let step = StepObservation { commands: vec![cmd(0, "on"), cmd(1, "off")], ..Default::default() };
+        let step =
+            StepObservation { commands: vec![cmd(0, "on"), cmd(1, "off")], ..Default::default() };
         assert!(!has_conflicting_commands(&step));
         // Same direction commands do not conflict (they repeat).
-        let step = StepObservation { commands: vec![cmd(0, "on"), cmd(0, "on")], ..Default::default() };
+        let step =
+            StepObservation { commands: vec![cmd(0, "on"), cmd(0, "on")], ..Default::default() };
         assert!(!has_conflicting_commands(&step));
         assert!(has_repeated_commands(&step));
     }
 
     #[test]
     fn lock_unlock_conflicts() {
-        let step = StepObservation { commands: vec![cmd(3, "unlock"), cmd(3, "lock")], ..Default::default() };
+        let step = StepObservation {
+            commands: vec![cmd(3, "unlock"), cmd(3, "lock")],
+            ..Default::default()
+        };
         assert!(has_conflicting_commands(&step));
     }
 
@@ -372,8 +390,16 @@ mod tests {
         let set = PropertySet::all();
         let step = StepObservation {
             commands: vec![cmd(0, "on"), cmd(0, "off"), cmd(1, "lock"), cmd(1, "lock")],
-            network: vec![NetworkRecord { app: "A".into(), url: "http://evil".into(), allowed: false }],
-            fake_events: vec![FakeEventRecord { app: "A".into(), attribute: "smoke".into(), value: "detected".into() }],
+            network: vec![NetworkRecord {
+                app: "A".into(),
+                url: "http://evil".into(),
+                allowed: false,
+            }],
+            fake_events: vec![FakeEventRecord {
+                app: "A".into(),
+                attribute: "smoke".into(),
+                value: "detected".into(),
+            }],
             unsubscribes: vec!["A".into()],
             messages: vec![MessageRecord {
                 app: "A".into(),

@@ -196,27 +196,54 @@ impl PhysicalInvariant {
             AcOffWhenCold { threshold } => {
                 format!("An AC should not be on when temperature is below {threshold}")
             }
-            MainDoorLockedWhenNooneHome => "The main door should be locked when no one is at home".into(),
-            MainDoorLockedWhenSleeping => "The main door should be locked when people are sleeping at night".into(),
-            EntranceDoorClosedWhenNooneHome => "Entrance doors should be closed when no one is at home".into(),
-            EntranceDoorClosedWhenSleeping => "Entrance doors should be closed when people are sleeping".into(),
+            MainDoorLockedWhenNooneHome => {
+                "The main door should be locked when no one is at home".into()
+            }
+            MainDoorLockedWhenSleeping => {
+                "The main door should be locked when people are sleeping at night".into()
+            }
+            EntranceDoorClosedWhenNooneHome => {
+                "Entrance doors should be closed when no one is at home".into()
+            }
+            EntranceDoorClosedWhenSleeping => {
+                "Entrance doors should be closed when people are sleeping".into()
+            }
             NoLockUnlockedInAwayMode => "No lock should be unlocked in Away mode".into(),
             GarageDoorClosedAtNight => "The garage door should be closed at night".into(),
-            AnyLockLockedWhenNooneHome => "All locks should be locked when no one is at home".into(),
-            MainDoorLockedDuringIntrusion => {
-                "The main door should not be unlocked when motion is detected and no one is home".into()
+            AnyLockLockedWhenNooneHome => {
+                "All locks should be locked when no one is at home".into()
             }
-            ModeAwayWhenNooneHome => "Location mode should be changed to Away when no one is at home".into(),
-            ModeNotAwayWhenSomeoneHome => "Location mode should not be Away when someone is at home".into(),
-            ModeNotNightWhenNooneHome => "Location mode should not be Night when no one is at home".into(),
+            MainDoorLockedDuringIntrusion => {
+                "The main door should not be unlocked when motion is detected and no one is home"
+                    .into()
+            }
+            ModeAwayWhenNooneHome => {
+                "Location mode should be changed to Away when no one is at home".into()
+            }
+            ModeNotAwayWhenSomeoneHome => {
+                "Location mode should not be Away when someone is at home".into()
+            }
+            ModeNotNightWhenNooneHome => {
+                "Location mode should not be Night when no one is at home".into()
+            }
             AlarmActiveWhenSmoke => "An alarm should strobe/siren when detecting smoke".into(),
-            AlarmActiveWhenCo => "An alarm should strobe/siren when detecting carbon monoxide".into(),
+            AlarmActiveWhenCo => {
+                "An alarm should strobe/siren when detecting carbon monoxide".into()
+            }
             AlarmActiveWhenIntruder => "An alarm should sound when an intruder is detected".into(),
             AlarmSilentWhenNoDanger => "The alarm should not sound when there is no danger".into(),
-            AlarmSilentWhenSleepingNoDanger => "The alarm should be silent at night unless there is danger".into(),
-            MainDoorUnlockedDuringFire => "The main door should be unlocked during a fire when people are home".into(),
-            DoorsOpenableDuringCoAlarm => "Doors should be openable when carbon monoxide is detected".into(),
-            WaterValveOpenDuringFire => "The water valve should not be closed when smoke is detected".into(),
+            AlarmSilentWhenSleepingNoDanger => {
+                "The alarm should be silent at night unless there is danger".into()
+            }
+            MainDoorUnlockedDuringFire => {
+                "The main door should be unlocked during a fire when people are home".into()
+            }
+            DoorsOpenableDuringCoAlarm => {
+                "Doors should be openable when carbon monoxide is detected".into()
+            }
+            WaterValveOpenDuringFire => {
+                "The water valve should not be closed when smoke is detected".into()
+            }
             LightsOnDuringFireAtNight => "Lights should turn on during a fire at night".into(),
             SafetySensorsOnline => "Smoke and CO detectors should be online".into(),
             CameraCapturesIntruder => "A camera should capture when an intruder is detected".into(),
@@ -226,13 +253,23 @@ impl PhysicalInvariant {
             SoilMoistureInRange { min, max } => {
                 format!("Soil moisture should be within [{min}, {max}]")
             }
-            SprinklerOffWhenWet => "The sprinkler should be off when rain/moisture is detected".into(),
-            WaterValveClosedWhenLeak => "The water valve should be closed when a leak is detected".into(),
+            SprinklerOffWhenWet => {
+                "The sprinkler should be off when rain/moisture is detected".into()
+            }
+            WaterValveClosedWhenLeak => {
+                "The water valve should be closed when a leak is detected".into()
+            }
             LightsOffWhenNooneHome => "Lights should not be on when no one is at home".into(),
-            AppliancesOffWhenNooneHome => "Appliances should not be on when no one is at home".into(),
-            AppliancesOffWhenSleeping => "Appliances should not be on while people are sleeping".into(),
+            AppliancesOffWhenNooneHome => {
+                "Appliances should not be on when no one is at home".into()
+            }
+            AppliancesOffWhenSleeping => {
+                "Appliances should not be on while people are sleeping".into()
+            }
             LightsOffWhenSleeping => "Lights should be off while people are sleeping".into(),
-            SpeakersQuietWhenSleeping => "Speakers should not be playing while people are sleeping".into(),
+            SpeakersQuietWhenSleeping => {
+                "Speakers should not be playing while people are sleeping".into()
+            }
         }
     }
 
@@ -253,7 +290,9 @@ impl PhysicalInvariant {
             | GarageDoorClosedAtNight
             | AnyLockLockedWhenNooneHome
             | MainDoorLockedDuringIntrusion => "Lock and door control",
-            ModeAwayWhenNooneHome | ModeNotAwayWhenSomeoneHome | ModeNotNightWhenNooneHome => "Location mode",
+            ModeAwayWhenNooneHome | ModeNotAwayWhenSomeoneHome | ModeNotNightWhenNooneHome => {
+                "Location mode"
+            }
             AlarmActiveWhenSmoke
             | AlarmActiveWhenCo
             | AlarmActiveWhenIntruder
@@ -268,7 +307,9 @@ impl PhysicalInvariant {
             | AppliancesOffWhenSmoke
             | FansOffWhenSmoke
             | HeaterOffWhenSmoke => "Security and alarming",
-            SoilMoistureInRange { .. } | SprinklerOffWhenWet | WaterValveClosedWhenLeak => "Water and sprinkler",
+            SoilMoistureInRange { .. } | SprinklerOffWhenWet | WaterValveClosedWhenLeak => {
+                "Water and sprinkler"
+            }
             LightsOffWhenNooneHome
             | AppliancesOffWhenNooneHome
             | AppliancesOffWhenSleeping
@@ -285,12 +326,13 @@ impl PhysicalInvariant {
         let ac_on = snap.role_attr_is(DeviceRole::AirConditioner, "switch", "on");
         let any_light_on = snap.by_role(DeviceRole::Light).any(|d| d.attr_is("switch", "on"));
         let alarm_active = snap.by_capability("alarm").any(|d| {
-            d.attr_is("alarm", "siren") || d.attr_is("alarm", "strobe") || d.attr_is("alarm", "both")
+            d.attr_is("alarm", "siren")
+                || d.attr_is("alarm", "strobe")
+                || d.attr_is("alarm", "both")
         });
         let has_alarm = snap.by_capability("alarm").count() > 0;
-        let main_lock_unlocked = snap
-            .by_role(DeviceRole::MainDoorLock)
-            .any(|d| d.attr_is("lock", "unlocked"));
+        let main_lock_unlocked =
+            snap.by_role(DeviceRole::MainDoorLock).any(|d| d.attr_is("lock", "unlocked"));
         let has_main_lock = snap.by_role(DeviceRole::MainDoorLock).count() > 0;
         let any_lock_unlocked = snap.by_capability("lock").any(|d| d.attr_is("lock", "unlocked"));
         let entrance_open = snap
@@ -298,7 +340,8 @@ impl PhysicalInvariant {
             .chain(snap.by_capability("garageDoorControl"))
             .any(|d| d.attr_is("door", "open"));
         let intruder = !snap.anyone_home() && snap.motion_detected();
-        let danger = snap.smoke_detected() || snap.co_detected() || intruder || snap.leak_detected();
+        let danger =
+            snap.smoke_detected() || snap.co_detected() || intruder || snap.leak_detected();
 
         match self {
             TemperatureInRangeWhenHome { min, max } => {
@@ -325,7 +368,8 @@ impl PhysicalInvariant {
             EntranceDoorClosedWhenSleeping => snap.sleeping() && entrance_open,
             NoLockUnlockedInAwayMode => snap.mode.eq_ignore_ascii_case("away") && any_lock_unlocked,
             GarageDoorClosedAtNight => {
-                snap.sleeping() && snap.by_capability("garageDoorControl").any(|d| d.attr_is("door", "open"))
+                snap.sleeping()
+                    && snap.by_capability("garageDoorControl").any(|d| d.attr_is("door", "open"))
             }
             AnyLockLockedWhenNooneHome => !snap.anyone_home() && any_lock_unlocked,
             MainDoorLockedDuringIntrusion => intruder && main_lock_unlocked,
@@ -379,17 +423,20 @@ impl PhysicalInvariant {
                 snap.smoke_detected() && snap.role_attr_is(DeviceRole::Appliance, "switch", "on")
             }
             FansOffWhenSmoke => {
-                snap.smoke_detected() && snap.by_capability("fanControl").any(|d| d.attr_is("switch", "on"))
+                snap.smoke_detected()
+                    && snap.by_capability("fanControl").any(|d| d.attr_is("switch", "on"))
             }
             HeaterOffWhenSmoke => snap.smoke_detected() && heater_on,
-            SoilMoistureInRange { min, max } => snap.by_capability("soilMoisture").any(|d| {
-                d.attr_number("moisture").map(|m| m < *min || m > *max).unwrap_or(false)
-            }),
+            SoilMoistureInRange { min, max } => snap
+                .by_capability("soilMoisture")
+                .any(|d| d.attr_number("moisture").map(|m| m < *min || m > *max).unwrap_or(false)),
             SprinklerOffWhenWet => {
-                snap.leak_detected() && snap.by_capability("sprinkler").any(|d| d.attr_is("sprinkler", "on"))
+                snap.leak_detected()
+                    && snap.by_capability("sprinkler").any(|d| d.attr_is("sprinkler", "on"))
             }
             WaterValveClosedWhenLeak => {
-                snap.leak_detected() && snap.by_capability("valve").any(|d| d.attr_is("valve", "open"))
+                snap.leak_detected()
+                    && snap.by_capability("valve").any(|d| d.attr_is("valve", "open"))
             }
             LightsOffWhenNooneHome => !snap.anyone_home() && any_light_on,
             AppliancesOffWhenNooneHome => {
@@ -400,7 +447,8 @@ impl PhysicalInvariant {
             }
             LightsOffWhenSleeping => snap.sleeping() && any_light_on,
             SpeakersQuietWhenSleeping => {
-                snap.sleeping() && snap.by_capability("musicPlayer").any(|d| d.attr_is("status", "playing"))
+                snap.sleeping()
+                    && snap.by_capability("musicPlayer").any(|d| d.attr_is("status", "playing"))
             }
         }
     }
@@ -419,7 +467,9 @@ impl PhysicalInvariant {
             TemperatureInRangeWhenHome { min, max } => {
                 format!("anyone_home && (temperature < {min} || temperature > {max})")
             }
-            HeaterOnWhenCold { threshold } => format!("anyone_home && temperature < {threshold} && heater == off"),
+            HeaterOnWhenCold { threshold } => {
+                format!("anyone_home && temperature < {threshold} && heater == off")
+            }
             HeaterOffWhenHot { threshold } => format!("temperature > {threshold} && heater == on"),
             AcAndHeaterNotBothOn => "heater == on && ac == on".into(),
             AcOffWhenCold { threshold } => format!("temperature < {threshold} && ac == on"),
@@ -430,7 +480,9 @@ impl PhysicalInvariant {
             NoLockUnlockedInAwayMode => "mode == Away && any_lock == unlocked".into(),
             GarageDoorClosedAtNight => "mode == Night && garage_door == open".into(),
             AnyLockLockedWhenNooneHome => "!anyone_home && any_lock == unlocked".into(),
-            MainDoorLockedDuringIntrusion => "!anyone_home && motion == active && main_door == unlocked".into(),
+            MainDoorLockedDuringIntrusion => {
+                "!anyone_home && motion == active && main_door == unlocked".into()
+            }
             ModeAwayWhenNooneHome => "all_not_present && mode != Away".into(),
             ModeNotAwayWhenSomeoneHome => "any_present && mode == Away".into(),
             ModeNotNightWhenNooneHome => "all_not_present && mode == Night".into(),
@@ -439,10 +491,16 @@ impl PhysicalInvariant {
             AlarmActiveWhenIntruder => "!anyone_home && motion == active && alarm == off".into(),
             AlarmSilentWhenNoDanger => "alarm != off && !danger".into(),
             AlarmSilentWhenSleepingNoDanger => "mode == Night && alarm != off && !danger".into(),
-            MainDoorUnlockedDuringFire => "smoke == detected && anyone_home && main_door == locked".into(),
-            DoorsOpenableDuringCoAlarm => "co == detected && anyone_home && main_door == locked".into(),
+            MainDoorUnlockedDuringFire => {
+                "smoke == detected && anyone_home && main_door == locked".into()
+            }
+            DoorsOpenableDuringCoAlarm => {
+                "co == detected && anyone_home && main_door == locked".into()
+            }
             WaterValveOpenDuringFire => "smoke == detected && valve == closed".into(),
-            LightsOnDuringFireAtNight => "smoke == detected && mode == Night && lights == off".into(),
+            LightsOnDuringFireAtNight => {
+                "smoke == detected && mode == Night && lights == off".into()
+            }
             SafetySensorsOnline => "smoke_detector_offline || co_detector_offline".into(),
             CameraCapturesIntruder => "!anyone_home && motion == active && camera == idle".into(),
             AppliancesOffWhenSmoke => "smoke == detected && appliance == on".into(),

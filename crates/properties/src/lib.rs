@@ -30,11 +30,11 @@ pub mod invariant;
 pub mod snapshot;
 
 pub use catalog::{
-    default_properties, has_conflicting_commands, has_repeated_commands, Property, PropertyClass, PropertyId,
-    PropertyKind, PropertySet,
+    default_properties, has_conflicting_commands, has_repeated_commands, Property, PropertyClass,
+    PropertyId, PropertyKind, PropertySet,
 };
 pub use invariant::PhysicalInvariant;
 pub use snapshot::{
-    CommandRecord, DeviceRole, DeviceSnapshot, FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord,
-    Snapshot, StepObservation,
+    CommandRecord, DeviceRole, DeviceSnapshot, FakeEventRecord, MessageChannel, MessageRecord,
+    NetworkRecord, Snapshot, StepObservation,
 };

@@ -48,10 +48,16 @@ impl DeviceRole {
     pub fn parse(name: &str) -> DeviceRole {
         match name.trim().to_ascii_lowercase().as_str() {
             "heater" => DeviceRole::Heater,
-            "ac" | "airconditioner" | "air_conditioner" | "air conditioner" => DeviceRole::AirConditioner,
+            "ac" | "airconditioner" | "air_conditioner" | "air conditioner" => {
+                DeviceRole::AirConditioner
+            }
             "light" | "bulb" | "lamp" => DeviceRole::Light,
-            "maindoorlock" | "main_door_lock" | "main door lock" | "frontdoorlock" => DeviceRole::MainDoorLock,
-            "entrancedoor" | "entrance_door" | "entrance door" | "garagedoor" => DeviceRole::EntranceDoor,
+            "maindoorlock" | "main_door_lock" | "main door lock" | "frontdoorlock" => {
+                DeviceRole::MainDoorLock
+            }
+            "entrancedoor" | "entrance_door" | "entrance door" | "garagedoor" => {
+                DeviceRole::EntranceDoor
+            }
             "alarm" | "siren" => DeviceRole::Alarm,
             "watervalve" | "water_valve" | "water valve" => DeviceRole::WaterValve,
             "sprinkler" => DeviceRole::Sprinkler,
@@ -87,7 +93,9 @@ impl DeviceSnapshot {
 
     /// True when `attribute == value` (loose comparison).
     pub fn attr_is(&self, attribute: &str, value: &str) -> bool {
-        self.attr(attribute).map(|v| v.loosely_equals(&Value::Str(value.to_string()))).unwrap_or(false)
+        self.attr(attribute)
+            .map(|v| v.loosely_equals(&Value::Str(value.to_string())))
+            .unwrap_or(false)
     }
 
     /// Numeric value of an attribute, if it has one.
@@ -109,7 +117,10 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Devices with the given capability.
-    pub fn by_capability<'a>(&'a self, capability: &'a str) -> impl Iterator<Item = &'a DeviceSnapshot> {
+    pub fn by_capability<'a>(
+        &'a self,
+        capability: &'a str,
+    ) -> impl Iterator<Item = &'a DeviceSnapshot> {
         self.devices.iter().filter(move |d| d.capability == capability)
     }
 
@@ -141,7 +152,8 @@ impl Snapshot {
 
     /// True when any CO detector reports carbon monoxide.
     pub fn co_detected(&self) -> bool {
-        self.by_capability("carbonMonoxideDetector").any(|d| d.attr_is("carbonMonoxide", "detected"))
+        self.by_capability("carbonMonoxideDetector")
+            .any(|d| d.attr_is("carbonMonoxide", "detected"))
     }
 
     /// True when any motion sensor reports motion (used as the intruder proxy
@@ -288,13 +300,22 @@ impl StepObservation {
 mod tests {
     use super::*;
 
-    fn dev(id: u32, label: &str, capability: &str, role: DeviceRole, attrs: &[(&str, &str)]) -> DeviceSnapshot {
+    fn dev(
+        id: u32,
+        label: &str,
+        capability: &str,
+        role: DeviceRole,
+        attrs: &[(&str, &str)],
+    ) -> DeviceSnapshot {
         DeviceSnapshot {
             id: DeviceId(id),
             label: label.into(),
             capability: capability.into(),
             role,
-            attributes: attrs.iter().map(|(n, v)| (n.to_string(), Value::Str(v.to_string()))).collect(),
+            attributes: attrs
+                .iter()
+                .map(|(n, v)| (n.to_string(), Value::Str(v.to_string())))
+                .collect(),
             online: true,
         }
     }
@@ -310,7 +331,13 @@ mod tests {
     fn anyone_home_uses_presence_then_mode() {
         let mut snap = Snapshot {
             mode: "Away".into(),
-            devices: vec![dev(0, "alice", "presenceSensor", DeviceRole::Generic, &[("presence", "present")])],
+            devices: vec![dev(
+                0,
+                "alice",
+                "presenceSensor",
+                DeviceRole::Generic,
+                &[("presence", "present")],
+            )],
             time_seconds: 0,
         };
         assert!(snap.anyone_home());

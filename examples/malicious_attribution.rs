@@ -32,7 +32,8 @@ fn main() {
     let mut flagged = 0usize;
     let corpus = malicious::malicious_apps();
     for entry in &corpus {
-        let apps = translate_sources(&[entry.app.source.as_str()]).expect("malicious app translates");
+        let apps =
+            translate_sources(&[entry.app.source.as_str()]).expect("malicious app translates");
         let report = pipeline.attribute_new_app(&apps[0], &installed, &devices, &thresholds);
         if report.verdict.flags_app() {
             flagged += 1;

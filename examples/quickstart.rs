@@ -51,8 +51,14 @@ fn main() {
     let config = SystemConfig::new()
         .with_device(DeviceConfig::new("alicePresence", "presenceSensor", ""))
         .with_device(DeviceConfig::new("frontDoorLock", "lock", "main door lock"))
-        .with_app(AppConfig::new("Auto Mode Change").with("people", Binding::Devices(vec!["alicePresence".into()])))
-        .with_app(AppConfig::new("Unlock Door").with("lock1", Binding::Devices(vec!["frontDoorLock".into()])));
+        .with_app(
+            AppConfig::new("Auto Mode Change")
+                .with("people", Binding::Devices(vec!["alicePresence".into()])),
+        )
+        .with_app(
+            AppConfig::new("Unlock Door")
+                .with("lock1", Binding::Devices(vec!["frontDoorLock".into()])),
+        );
 
     // 3. Verify: up to 2 external physical events, all 45 safety properties.
     let pipeline = Pipeline::with_events(2);

@@ -38,7 +38,8 @@ fn figure_8a() {
     println!("groups: {}, violations: {}", result.groups.len(), result.violation_count());
     for group in &result.groups {
         for found in &group.report.violations {
-            if found.violation.description.contains("main door") || found.violation.description.contains("sleeping")
+            if found.violation.description.contains("main door")
+                || found.violation.description.contains("sleeping")
             {
                 println!("\nviolated : {}", found.violation);
                 println!("apps     : {}", group.apps.join(", "));

@@ -31,7 +31,9 @@ fn virtual_thermostat_misconfiguration_turns_on_heater_and_ac() {
     let bad_names: Vec<String> = bad_result
         .violations()
         .iter()
-        .filter_map(|(p, _)| pipeline.properties.get(iotsan::properties::PropertyId(*p)).map(|p| p.name.clone()))
+        .filter_map(|(p, _)| {
+            pipeline.properties.get(iotsan::properties::PropertyId(*p)).map(|p| p.name.clone())
+        })
         .collect();
     assert!(
         bad_names.iter().any(|n| n.contains("AC and a heater")),
@@ -44,7 +46,9 @@ fn virtual_thermostat_misconfiguration_turns_on_heater_and_ac() {
     let good_names: Vec<String> = good_result
         .violations()
         .iter()
-        .filter_map(|(p, _)| pipeline.properties.get(iotsan::properties::PropertyId(*p)).map(|p| p.name.clone()))
+        .filter_map(|(p, _)| {
+            pipeline.properties.get(iotsan::properties::PropertyId(*p)).map(|p| p.name.clone())
+        })
         .collect();
     assert!(
         !good_names.iter().any(|n| n.contains("AC and a heater")),
@@ -74,11 +78,13 @@ fn sequential_design_is_cheaper_and_equally_effective() {
     let config = pipeline.restrict_config(&apps, &expert_configure(&apps, &standard_household()));
     let system = InstalledSystem::new(apps.clone(), config);
 
-    let sequential = SequentialModel::new(system.clone(), PropertySet::all(), ModelOptions::with_events(2));
+    let sequential =
+        SequentialModel::new(system.clone(), PropertySet::all(), ModelOptions::with_events(2));
     let seq_report = Checker::new(SearchConfig::with_depth(2)).verify(&sequential);
 
     let concurrent = ConcurrentModel::new(system, PropertySet::all(), ModelOptions::with_events(2));
-    let conc_report = Checker::new(SearchConfig::with_depth(concurrent.suggested_depth())).verify(&concurrent);
+    let conc_report =
+        Checker::new(SearchConfig::with_depth(concurrent.suggested_depth())).verify(&concurrent);
 
     assert_eq!(
         seq_report.violated_properties(),
@@ -103,7 +109,8 @@ fn verification_cost_grows_with_event_bound() {
     let mut transitions = Vec::new();
     for events in 1..=3usize {
         let system = InstalledSystem::new(apps.clone(), config.clone());
-        let model = SequentialModel::new(system, PropertySet::all(), ModelOptions::with_events(events));
+        let model =
+            SequentialModel::new(system, PropertySet::all(), ModelOptions::with_events(events));
         let report = Checker::new(SearchConfig::with_depth(events)).verify(&model);
         transitions.push(report.stats.transitions);
     }
@@ -160,7 +167,9 @@ fn figure7_counterexample_contains_the_full_chain() {
     let found = report
         .violations
         .iter()
-        .find(|v| v.violation.description.contains("main door should be locked when no one is at home"))
+        .find(|v| {
+            v.violation.description.contains("main door should be locked when no one is at home")
+        })
         .expect("unlock-door violation");
     let rendered = found.trace.render(&found.violation);
     assert!(rendered.contains("not present"), "missing presence event:\n{rendered}");

@@ -35,7 +35,9 @@ fn unlock_door_group_violates_lock_property() {
     let names: Vec<String> = result
         .violations()
         .iter()
-        .filter_map(|(p, _)| Pipeline::default().properties.get(PropertyId(*p)).map(|p| p.name.clone()))
+        .filter_map(|(p, _)| {
+            Pipeline::default().properties.get(PropertyId(*p)).map(|p| p.name.clone())
+        })
         .collect();
     assert!(
         names.iter().any(|n| n.contains("main door should be locked when no one is at home")),
@@ -123,7 +125,10 @@ fn dependency_analysis_reduces_group_sizes_on_market_groups() {
         ratios.push(sets.scale_ratio(&graph));
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(mean > 1.5, "mean scale ratio {mean:.2} — dependency analysis is not reducing the problem");
+    assert!(
+        mean > 1.5,
+        "mean scale ratio {mean:.2} — dependency analysis is not reducing the problem"
+    );
 }
 
 #[test]
@@ -197,10 +202,8 @@ fn promela_emission_covers_every_group_app() {
 
 #[test]
 fn security_properties_fire_for_leaky_apps() {
-    let leaky = malicious::malicious_apps()
-        .into_iter()
-        .find(|a| a.app.name == "Leaky Presence")
-        .unwrap();
+    let leaky =
+        malicious::malicious_apps().into_iter().find(|a| a.app.name == "Leaky Presence").unwrap();
     let apps = translate_sources(&[leaky.app.source.as_str()]).unwrap();
     let config = expert_configure(&apps, &standard_household());
     let pipeline = Pipeline::with_events(1);

@@ -1,0 +1,117 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (built by `prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Creates a union over `options` (must be non-empty).
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+/// A loose interpretation of proptest's regex string strategies.
+///
+/// Only the shape actually used by the workspace is honoured: `.{m,n}` yields
+/// strings of `m..=n` characters drawn from a fuzzing-friendly pool (ASCII
+/// printables, structural punctuation, whitespace, and a few multibyte code
+/// points).  Any other pattern falls back to 0–64 characters from that pool.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    min_len: usize,
+    max_len: usize,
+}
+
+impl StringPattern {
+    /// Parses `pattern` into a length range (see type docs).
+    pub fn parse(pattern: &str) -> Self {
+        if let Some(rest) = pattern.strip_prefix(".{") {
+            if let Some(body) = rest.strip_suffix('}') {
+                if let Some((lo, hi)) = body.split_once(',') {
+                    if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                        return StringPattern { min_len: lo, max_len: hi };
+                    }
+                }
+            }
+        }
+        StringPattern { min_len: 0, max_len: 64 }
+    }
+}
+
+/// The character pool for [`StringPattern`] — biased toward tokens that
+/// stress lexers: quotes, braces, escapes, newlines, digits and identifiers.
+const CHAR_POOL: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '_', '0', '1', '9', ' ', '\t', '\n', '"', '\'', '\\', '{', '}', '(',
+    ')', '[', ']', '.', ',', ';', ':', '=', '+', '-', '*', '/', '<', '>', '!', '&', '|', '$', '#',
+    '@', '~', '^', '%', '?', '\u{0}', '\u{7f}', 'é', '日', '🦀',
+];
+
+impl Strategy for StringPattern {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.gen_range(self.min_len..self.max_len + 1);
+        (0..len).map(|_| CHAR_POOL[rng.gen_range(0..CHAR_POOL.len())]).collect()
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringPattern::parse(self).generate(rng)
+    }
+}

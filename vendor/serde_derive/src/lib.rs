@@ -1,0 +1,402 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` implementation.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; the derive input is parsed directly from the `proc_macro` token
+//! stream.  Supported shapes — exactly what this workspace uses:
+//!
+//! * non-generic structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]` on fields;
+//! * non-generic enums with unit or 1-tuple variants, externally tagged by
+//!   default or adjacently tagged via `#[serde(tag = "...", content = "...")]`.
+//!
+//! Anything else produces a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled in during deserialization.
+enum FieldDefault {
+    /// Missing field is an error.
+    Required,
+    /// `#[serde(default)]` — use `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+    /// `#[serde(tag = "...")]` on the container.
+    tag: Option<String>,
+    /// `#[serde(content = "...")]` on the container.
+    content: Option<String>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Extracts `(tag, content, default)` information from one `#[serde(...)]`
+/// attribute body.
+fn parse_serde_attr(
+    group: &proc_macro::Group,
+    input_meta: &mut (Option<String>, Option<String>),
+    default: &mut Option<FieldDefault>,
+) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(ident) => {
+                let key = ident.to_string();
+                let value = if i + 2 < tokens.len() && is_punct(&tokens[i + 1], '=') {
+                    let lit = literal_string(&tokens[i + 2]);
+                    i += 3;
+                    lit
+                } else {
+                    i += 1;
+                    None
+                };
+                match key.as_str() {
+                    "tag" => input_meta.0 = value,
+                    "content" => input_meta.1 = value,
+                    "default" => {
+                        *default = Some(match value {
+                            Some(path) => FieldDefault::Path(path),
+                            None => FieldDefault::DefaultTrait,
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tree: &TokenTree, name: &str) -> bool {
+    matches!(tree, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Unquotes a string literal token (`"foo"` → `foo`).
+fn literal_string(tree: &TokenTree) -> Option<String> {
+    if let TokenTree::Literal(lit) = tree {
+        let s = lit.to_string();
+        if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+            return Some(s[1..s.len() - 1].to_string());
+        }
+    }
+    None
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut container_meta: (Option<String>, Option<String>) = (None, None);
+    let mut i = 0;
+
+    // Container attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(TokenTree::Ident(name)) = g.stream().into_iter().next() {
+                        if name.to_string() == "serde" {
+                            if let Some(TokenTree::Group(inner)) = g.stream().into_iter().nth(1) {
+                                let mut ignored = None;
+                                parse_serde_attr(&inner, &mut container_meta, &mut ignored);
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            TokenTree::Ident(ident)
+                if ident.to_string() == "struct" || ident.to_string() == "enum" =>
+            {
+                break
+            }
+            _ => return Err(format!("serde derive stub: unexpected token `{}`", tokens[i])),
+        }
+    }
+
+    let is_struct = is_ident(&tokens[i], "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("serde derive stub: expected type name, got {:?}", other)),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        return Err(format!("serde derive stub: generic type `{}` is not supported", name));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "serde derive stub: `{}` must have a braced body (got {:?})",
+                name, other
+            ))
+        }
+    };
+
+    let shape = if is_struct {
+        Shape::Struct(parse_fields(body)?)
+    } else {
+        Shape::Enum(parse_variants(body)?)
+    };
+    Ok(Input { name, shape, tag: container_meta.0, content: container_meta.1 })
+}
+
+/// Splits a brace body into chunks at commas that sit outside any `<...>`.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tree);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Skips leading attributes in a field/variant chunk, extracting any
+/// `#[serde(default...)]` along the way.
+fn skip_attrs(chunk: &[TokenTree], default: &mut Option<FieldDefault>) -> usize {
+    let mut i = 0;
+    while i + 1 < chunk.len() && is_punct(&chunk[i], '#') {
+        if let TokenTree::Group(g) = &chunk[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(t) if is_ident(t, "serde")) {
+                if let Some(TokenTree::Group(body)) = inner.get(1) {
+                    let mut ignored = (None, None);
+                    parse_serde_attr(body, &mut ignored, default);
+                }
+            }
+        }
+        i += 2;
+    }
+    i
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut default = None;
+        let mut i = skip_attrs(&chunk, &mut default);
+        if matches!(chunk.get(i), Some(t) if is_ident(t, "pub")) {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => {
+                return Err(format!("serde derive stub: expected field name, got {:?}", other))
+            }
+        };
+        if !matches!(chunk.get(i + 1), Some(t) if is_punct(t, ':')) {
+            return Err(format!("serde derive stub: field `{}` must be a named field", name));
+        }
+        fields.push(Field { name, default: default.unwrap_or(FieldDefault::Required) });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut ignored = None;
+        let i = skip_attrs(&chunk, &mut ignored);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => {
+                return Err(format!("serde derive stub: expected variant name, got {:?}", other))
+            }
+        };
+        let has_payload = match chunk.get(i + 1) {
+            None => false,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if split_top_level(g.stream()).len() != 1 {
+                    return Err(format!(
+                        "serde derive stub: variant `{}` must carry exactly one field",
+                        name
+                    ));
+                }
+                true
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde derive stub: unsupported variant shape at `{}` ({})",
+                    name, other
+                ))
+            }
+        };
+        variants.push(Variant { name, has_payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut out = String::new();
+    out.push_str(&format!("impl ::serde::Serialize for {name} {{\n"));
+    out.push_str("    fn to_value(&self) -> ::serde::Value {\n");
+    match &input.shape {
+        Shape::Struct(fields) => {
+            out.push_str(
+                "        let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "        __fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            out.push_str("        ::serde::Value::Object(__fields)\n");
+        }
+        Shape::Enum(variants) => {
+            let tag = input.tag.as_deref().unwrap_or("type");
+            let content = input.content.as_deref().unwrap_or("value");
+            out.push_str("        match self {\n");
+            for v in variants {
+                if v.has_payload {
+                    out.push_str(&format!(
+                        "            {name}::{0}(__payload) => ::serde::Value::Object(vec![\n                (\"{tag}\".to_string(), ::serde::Value::String(\"{0}\".to_string())),\n                (\"{content}\".to_string(), ::serde::Serialize::to_value(__payload)),\n            ]),\n",
+                        v.name
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "            {name}::{0} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::String(\"{0}\".to_string()))]),\n",
+                        v.name
+                    ));
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut out = String::new();
+    out.push_str(&format!("impl ::serde::Deserialize for {name} {{\n"));
+    out.push_str(
+        "    fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {\n",
+    );
+    out.push_str(&format!(
+        "        let __obj = __value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected a JSON object for `{name}`\"))?;\n",
+    ));
+    match &input.shape {
+        Shape::Struct(fields) => {
+            out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                let fallback = match &f.default {
+                    FieldDefault::Required => format!(
+                        "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{}` in `{name}`\"))",
+                        f.name
+                    ),
+                    FieldDefault::DefaultTrait => "::std::default::Default::default()".to_string(),
+                    FieldDefault::Path(path) => format!("{path}()"),
+                };
+                out.push_str(&format!(
+                    "            {0}: match __obj.iter().find(|(__k, _)| __k.as_str() == \"{0}\") {{\n                ::std::option::Option::Some((_, __v)) => ::serde::Deserialize::from_value(__v)?,\n                ::std::option::Option::None => {1},\n            }},\n",
+                    f.name, fallback
+                ));
+            }
+            out.push_str("        })\n");
+        }
+        Shape::Enum(variants) => {
+            let tag = input.tag.as_deref().unwrap_or("type");
+            let content = input.content.as_deref().unwrap_or("value");
+            out.push_str(&format!(
+                "        let __tag = __obj.iter().find(|(__k, _)| __k.as_str() == \"{tag}\").and_then(|(_, __v)| __v.as_str()).ok_or_else(|| ::serde::Error::custom(\"missing `{tag}` tag for `{name}`\"))?;\n",
+            ));
+            out.push_str("        match __tag {\n");
+            for v in variants {
+                if v.has_payload {
+                    out.push_str(&format!(
+                        "            \"{0}\" => {{\n                let __payload = __obj.iter().find(|(__k, _)| __k.as_str() == \"{content}\").map(|(_, __v)| __v).ok_or_else(|| ::serde::Error::custom(\"missing `{content}` for `{name}::{0}`\"))?;\n                ::std::result::Result::Ok({name}::{0}(::serde::Deserialize::from_value(__payload)?))\n            }}\n",
+                        v.name
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "            \"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "            __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown `{name}` variant `{{}}`\", __other))),\n",
+            ));
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
