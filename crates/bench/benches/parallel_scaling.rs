@@ -1,0 +1,36 @@
+//! Criterion benchmark for the parallel search engine: the bench-profile
+//! scaling workload (8 market apps with failure injection, ~2.3k states and
+//! ~15k transitions at 3 events) verified with the sequential checker and
+//! with the `ParallelChecker` at 2, 4 and 8 workers.
+//!
+//! The paper has no multi-core numbers (Spin ran single-core on the authors'
+//! laptop); this benchmark tracks the reproduction's own scaling.  Speedup is
+//! bounded by the host's core count — on a single-vCPU container the
+//! interesting signal is that parallel overhead stays near zero, while on
+//! multi-core hosts the 4-worker row should sit well below the sequential
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotsan_bench::{run_search, scaling_workload};
+use std::time::Duration;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let (apps, config) = scaling_workload();
+    let events = 3;
+    let budget = Duration::from_secs(60);
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::new("sequential", 1), &1usize, |b, _| {
+        b.iter(|| run_search(&apps, &config, events, 1, true, budget))
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", workers), &workers, |b, &workers| {
+            b.iter(|| run_search(&apps, &config, events, workers, true, budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 #![warn(missing_docs)]
 
-use iotsan::checker::{Checker, SearchConfig, SearchReport};
+use iotsan::checker::{Checker, ParallelChecker, SearchConfig, SearchReport};
 use iotsan::config::{expert_configure, misconfigure, standard_household, SystemConfig};
 use iotsan::ir::IrApp;
 use iotsan::model::{ConcurrentModel, ModelOptions, SequentialModel};
@@ -71,6 +71,35 @@ pub struct TimedRun {
     pub truncated: bool,
 }
 
+/// Fully-parameterized verification run over the sequential design:
+/// `workers <= 1` uses the sequential engine, larger counts the parallel one,
+/// and `failures` enables exhaustive device/communication failure injection
+/// (which multiplies the enabled actions per state and is what makes the
+/// scaling workload heavy).
+pub fn run_search(
+    apps: &[IrApp],
+    config: &SystemConfig,
+    events: usize,
+    workers: usize,
+    failures: bool,
+    budget: Duration,
+) -> TimedRun {
+    let p = Pipeline::with_events(events);
+    let restricted = p.restrict_config(apps, config);
+    let system = InstalledSystem::new(apps.to_vec(), restricted);
+    let mut options = ModelOptions::with_events(events);
+    if failures {
+        options = options.with_failures();
+    }
+    let model = SequentialModel::new(system, PropertySet::all(), options);
+    let mut search = SearchConfig::with_depth(events).parallel(workers);
+    search.time_limit = Some(budget);
+    let start = Instant::now();
+    // ParallelChecker delegates to the sequential engine for workers <= 1.
+    let report = ParallelChecker::new(search).verify(&model);
+    TimedRun { elapsed: start.elapsed(), truncated: report.stats.truncated, report }
+}
+
 /// Verifies a group with the sequential design and `events` external events.
 pub fn run_sequential(
     apps: &[IrApp],
@@ -78,15 +107,33 @@ pub fn run_sequential(
     events: usize,
     budget: Duration,
 ) -> TimedRun {
-    let p = Pipeline::with_events(events);
-    let restricted = p.restrict_config(apps, config);
-    let system = InstalledSystem::new(apps.to_vec(), restricted);
-    let model = SequentialModel::new(system, PropertySet::all(), ModelOptions::with_events(events));
-    let mut search = SearchConfig::with_depth(events);
-    search.time_limit = Some(budget);
-    let start = Instant::now();
-    let report = Checker::new(search).verify(&model);
-    TimedRun { elapsed: start.elapsed(), truncated: report.stats.truncated, report }
+    run_search(apps, config, events, 1, false, budget)
+}
+
+/// Verifies a group with the sequential design and `workers` parallel search
+/// workers over the sharded visited-state store (`workers <= 1` runs the
+/// sequential engine, making it the natural baseline for a worker sweep).
+pub fn run_parallel(
+    apps: &[IrApp],
+    config: &SystemConfig,
+    events: usize,
+    workers: usize,
+    budget: Duration,
+) -> TimedRun {
+    run_search(apps, config, events, workers, false, budget)
+}
+
+/// The bench-profile workload for the worker-count sweep: the first 8 market
+/// apps under their expert configuration, verified *with* failure injection.
+/// At 3 events this explores a few thousand states / ~15k transitions —
+/// enough work per state for the parallel engine to amortize its queue and
+/// shard traffic, while staying CI-quick at one run per worker count.
+pub fn scaling_workload() -> (Vec<IrApp>, SystemConfig) {
+    let corpus = iotsan_apps::market::market_apps();
+    let group: Vec<MarketApp> = corpus.into_iter().take(8).collect();
+    let apps = translate_group(&group);
+    let config = expert_config(&apps);
+    (apps, config)
 }
 
 /// Verifies a group with the strict-concurrency design.
@@ -136,6 +183,16 @@ mod tests {
         let run = run_sequential(&apps, &config, 1, Duration::from_secs(10));
         assert!(run.report.has_violations());
         assert!(!format_runtime(&run).is_empty());
+    }
+
+    #[test]
+    fn run_parallel_matches_run_sequential() {
+        let apps = translate_group(&samples::bad_group_mode_unlock());
+        let config = expert_config(&apps);
+        let sequential = run_sequential(&apps, &config, 2, Duration::from_secs(30));
+        let parallel = run_parallel(&apps, &config, 2, 4, Duration::from_secs(30));
+        assert_eq!(sequential.report.violated_properties(), parallel.report.violated_properties());
+        assert_eq!(sequential.report.stats.states_stored, parallel.report.stats.states_stored);
     }
 
     #[test]

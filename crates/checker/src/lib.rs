@@ -12,9 +12,12 @@
 //! * [`transition`] — the [`TransitionSystem`] abstraction the model generator
 //!   implements (sequential and strict-concurrent designs);
 //! * [`store`] — exhaustive, hash-compact and BITSTATE (Bloom filter) visited
-//!   state storage;
+//!   state storage, plus a sharded concurrent store for multi-core search;
 //! * [`search`] — bounded DFS/BFS with per-property counterexamples and search
 //!   statistics;
+//! * [`parallel`] — the multi-core engine: a `std::thread` worker pool over a
+//!   shared chunked work queue, deterministically merged (Spin's multi-core /
+//!   swarm verification in spirit);
 //! * [`trace`] — Spin-style violation logs (Figure 7).
 //!
 //! The checker is completely independent of IoT semantics, which keeps it
@@ -23,12 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod search;
 pub mod store;
 pub mod trace;
 pub mod transition;
 
+pub use parallel::ParallelChecker;
 pub use search::{Checker, FoundViolation, SearchConfig, SearchMode, SearchReport, SearchStats};
-pub use store::{BitstateStore, ExactStore, HashCompactStore, StateStore, StoreKind};
+pub use store::{BitstateStore, ExactStore, HashCompactStore, ShardedStore, StateStore, StoreKind};
 pub use trace::{Trace, TraceStep};
 pub use transition::{StepOutcome, TransitionSystem, Violation};

@@ -1,0 +1,710 @@
+//! Multi-core explicit-state search.
+//!
+//! [`ParallelChecker`] is the parallel counterpart of [`Checker`]: a pool of
+//! `std::thread` workers explores the same bounded state space over a shared,
+//! chunked work queue and a [`ShardedStore`] of visited states (in the spirit
+//! of Spin's multi-core and swarm verification).  No external runtime is
+//! involved — the engine is plain `std` threads, mutexes and atomics.
+//!
+//! # How work is shared
+//!
+//! Each worker expands frames from a private stack (depth-first, like the
+//! sequential engine) and periodically moves the *shallowest* half of its
+//! stack to the global queue whenever the queue is running dry, so idle
+//! workers always find wide, coarse-grained frames to steal.  Termination
+//! uses an idle-counter protocol: a worker that finds both its stack and the
+//! global queue empty parks on a condvar; when every worker is parked the
+//! frontier is exhausted and the search is over.
+//!
+//! # Determinism
+//!
+//! With exact (or hash-compact) storage, depth is part of state identity and
+//! every `(state, depth)` pair is admitted by the store exactly once no
+//! matter which worker gets there first, so for an *exhaustive* search (no
+//! `stop_at_first`, no cap or time budget firing) the *set of expanded
+//! frames* — and therefore the set of violated properties, the number of
+//! stored states and the number of applied transitions — is identical to the
+//! sequential checker's for the same bounded model.  An early-stopped search
+//! is inherently order-dependent in either engine: under `stop_at_first` the
+//! parallel merge reports the co-violated properties of one best-ranked
+//! triggering step, which may be a different step than sequential DFS order
+//! happens to reach first.  Worker results are merged by
+//! keeping, per property, the lexicographically least `(depth, trace)`
+//! candidate, so the *depth* of every reported counterexample is also
+//! schedule-independent.  The trace itself is best-effort: when two
+//! equal-depth paths race to admit the same state, the winner's trace seeds
+//! that state's whole subtree, so the specific event sequence reported for a
+//! property may differ between runs (its length never does).  (Bitstate
+//! storage stays approximate: admission of colliding states depends on
+//! insertion order, exactly as Spin's multi-core BITSTATE mode trades
+//! determinism for memory.)
+
+use crate::search::{depth_tag, Checker, FoundViolation, SearchConfig, SearchReport, SearchStats};
+use crate::store::ShardedStore;
+use crate::trace::Trace;
+use crate::transition::TransitionSystem;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// How many frames a worker pulls from the global queue in one pop.
+const CHUNK: usize = 16;
+
+/// A frontier entry: a state to expand, its event depth and the trace that
+/// reached it.
+struct Frame<S> {
+    state: S,
+    depth: usize,
+    trace: Trace,
+}
+
+/// The shared frontier plus the termination-detection bookkeeping it guards.
+struct Frontier<S> {
+    items: VecDeque<Frame<S>>,
+    /// Workers currently parked waiting for work.
+    idle: usize,
+    /// Set once: either every worker went idle or a stop condition fired.
+    done: bool,
+}
+
+/// Everything the workers share.
+struct Shared<'m, T: TransitionSystem> {
+    model: &'m T,
+    config: &'m SearchConfig,
+    workers: usize,
+    store: ShardedStore,
+    frontier: Mutex<Frontier<T::State>>,
+    /// Approximate mirror of `frontier.items.len()`, readable without the
+    /// lock so workers can decide cheaply whether the queue is hungry.
+    frontier_len: AtomicUsize,
+    available: Condvar,
+    transitions: AtomicUsize,
+    stored: AtomicUsize,
+    max_depth_reached: AtomicUsize,
+    /// Hard-stop flag (budget exhausted or stop-at-first fired).
+    stop: AtomicBool,
+    transitions_capped: AtomicBool,
+    states_capped: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl<T: TransitionSystem> Shared<'_, T> {
+    /// Raises the stop flag and wakes every parked worker.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut frontier = self.lock_frontier();
+        frontier.done = true;
+        self.available.notify_all();
+    }
+
+    fn lock_frontier(&self) -> std::sync::MutexGuard<'_, Frontier<T::State>> {
+        match self.frontier.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Checks the wall-clock budget; called once per expansion, like the
+    /// sequential engine's per-expansion cap check.
+    fn check_deadline(&self) {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                self.request_stop();
+            }
+        }
+    }
+}
+
+/// The multi-core explicit-state model checker.
+///
+/// Constructed from the same [`SearchConfig`] as [`Checker`];
+/// [`SearchConfig::workers`] sets the pool size (a value of `0` or `1` simply
+/// delegates to the sequential engine) and [`SearchConfig::shards`] sizes the
+/// [`ShardedStore`] (0 = proportional to the worker count).
+///
+/// [`SearchConfig::mode`] is ignored when more than one worker runs: the
+/// exploration order is work-stealing depth-first, neither DFS nor BFS, so
+/// BFS's shortest-counterexample guarantee does not carry over (the merge
+/// still reports the minimum-depth candidate *encountered*, which repeated
+/// parallel runs agree on).  Use the sequential engine when strict BFS order
+/// matters.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelChecker {
+    config: SearchConfig,
+}
+
+impl ParallelChecker {
+    /// Creates a parallel checker with the given configuration.
+    pub fn new(config: SearchConfig) -> Self {
+        ParallelChecker { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The number of store shards the engine will use.
+    fn shard_count(&self) -> usize {
+        if self.config.shards > 0 {
+            self.config.shards
+        } else {
+            // Enough shards that workers rarely collide on a lock, with a
+            // floor so small pools still spread hot states.
+            (self.config.effective_workers() * 8).max(16)
+        }
+    }
+
+    /// Runs the search over `model` and reports violations and statistics.
+    ///
+    /// The model must be shareable across worker threads (`Sync`, with
+    /// sendable states); every model in `iotsan-core` satisfies this.
+    pub fn verify<T>(&self, model: &T) -> SearchReport
+    where
+        T: TransitionSystem + Sync,
+        T::State: Send,
+    {
+        let workers = self.config.effective_workers();
+        if workers == 1 {
+            return Checker::new(self.config.clone()).verify(model);
+        }
+
+        let start = Instant::now();
+        let store = ShardedStore::new(self.config.store, self.shard_count());
+        let initial = model.initial_state();
+        let mut encode_buf = Vec::new();
+        model.encode(&initial, &mut encode_buf);
+        store.insert(&encode_buf);
+
+        let mut items = VecDeque::new();
+        items.push_back(Frame { state: initial, depth: 0, trace: Trace::new() });
+        let shared = Shared {
+            model,
+            config: &self.config,
+            workers,
+            store,
+            frontier: Mutex::new(Frontier { items, idle: 0, done: false }),
+            frontier_len: AtomicUsize::new(1),
+            available: Condvar::new(),
+            transitions: AtomicUsize::new(0),
+            stored: AtomicUsize::new(1),
+            max_depth_reached: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            transitions_capped: AtomicBool::new(false),
+            states_capped: AtomicBool::new(false),
+            // checked_add: a caller spelling "unlimited" as Duration::MAX
+            // must behave like no deadline, as it does sequentially.
+            deadline: self.config.time_limit.and_then(|limit| start.checked_add(limit)),
+        };
+
+        let per_worker: Vec<BTreeMap<u32, FoundViolation>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(|| worker(&shared))).collect();
+            handles.into_iter().map(|h| h.join().expect("search worker panicked")).collect()
+        });
+
+        let violations = merge_violations(per_worker, self.config.stop_at_first);
+        let stopped_early = shared.stop.load(Ordering::Relaxed);
+        let states_capped = shared.states_capped.load(Ordering::Relaxed);
+        let transitions_capped = shared.transitions_capped.load(Ordering::Relaxed);
+        // Stop-at-first ending on a found violation is a normal exit, not a
+        // truncation — unless a resource cap also fired (a cap racing with
+        // the violation still means the space was not exhausted), keeping the
+        // invariant that any `*_capped` flag implies `truncated`.
+        let stop_at_first_exit = self.config.stop_at_first && !violations.is_empty();
+        let stats = SearchStats {
+            states_stored: shared.store.len(),
+            transitions: shared.transitions.load(Ordering::Relaxed),
+            max_depth_reached: shared.max_depth_reached.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            store_memory_bytes: shared.store.memory_bytes(),
+            truncated: (stopped_early && !stop_at_first_exit)
+                || states_capped
+                || transitions_capped,
+            states_capped,
+            transitions_capped,
+            workers,
+        };
+        SearchReport { violations, stats }
+    }
+}
+
+/// Reduces the per-worker violation maps to one counterexample per property,
+/// deterministically: per property the lexicographically least
+/// `(depth, trace)` candidate wins, and the result is ordered by property id.
+/// Under `stop_at_first` only the best-ranked triggering transition's
+/// violations survive — like the sequential engine, which records *every*
+/// property the first violating step breaks before stopping (a single step
+/// can violate several properties at once).
+fn merge_violations(
+    per_worker: Vec<BTreeMap<u32, FoundViolation>>,
+    stop_at_first: bool,
+) -> Vec<FoundViolation> {
+    let mut best: BTreeMap<u32, FoundViolation> = BTreeMap::new();
+    for map in per_worker {
+        for candidate in map.into_values() {
+            record_violation(&mut best, candidate);
+        }
+    }
+    let mut merged: Vec<FoundViolation> = best.into_values().collect();
+    if stop_at_first && merged.len() > 1 {
+        // Keep the co-violated properties of a single triggering step:
+        // violations from the same step share the full trace (actions and
+        // logs), so trace identity — not just rank — keys the retain.
+        let best_index =
+            (0..merged.len()).min_by_key(|&i| owned_rank(&merged[i])).expect("merged is non-empty");
+        let best_depth = merged[best_index].depth;
+        let best_trace = merged[best_index].trace.clone();
+        merged.retain(|v| v.depth == best_depth && v.trace == best_trace);
+    }
+    merged
+}
+
+/// The total order used to pick one counterexample per property.
+fn violation_rank(v: &FoundViolation) -> (usize, Vec<&str>) {
+    (v.depth, v.trace.events())
+}
+
+/// [`violation_rank`] with owned event strings, for comparisons that outlive
+/// a borrow of the candidate list.
+fn owned_rank(v: &FoundViolation) -> (usize, Vec<String>) {
+    (v.depth, v.trace.events().iter().map(|e| e.to_string()).collect())
+}
+
+/// Records a violation candidate, keeping the least-ranked one per property.
+fn record_violation(best: &mut BTreeMap<u32, FoundViolation>, candidate: FoundViolation) {
+    match best.get_mut(&candidate.violation.property) {
+        Some(current) => {
+            if violation_rank(&candidate) < violation_rank(current) {
+                *current = candidate;
+            }
+        }
+        None => {
+            best.insert(candidate.violation.property, candidate);
+        }
+    }
+}
+
+/// Unwind guard: a worker that panics (in `model.actions`/`apply`/`encode`)
+/// dies without ever joining the idle-counter protocol, which would leave
+/// the surviving workers parked forever (`idle` can no longer reach
+/// `workers`).  Raising the stop flag on unwind wakes everyone, the pool
+/// drains, and `thread::scope`'s join propagates the panic instead of
+/// hanging.
+struct StopOnPanic<'a, 'm, T: TransitionSystem> {
+    shared: &'a Shared<'m, T>,
+}
+
+impl<T: TransitionSystem> Drop for StopOnPanic<'_, '_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.request_stop();
+        }
+    }
+}
+
+/// One worker of the pool: expand local frames depth-first, share surplus
+/// when the global queue runs dry, park when there is nothing left anywhere.
+fn worker<T>(shared: &Shared<'_, T>) -> BTreeMap<u32, FoundViolation>
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let _guard = StopOnPanic { shared };
+    let mut local: Vec<Frame<T::State>> = Vec::new();
+    let mut best: BTreeMap<u32, FoundViolation> = BTreeMap::new();
+    let mut encode_buf = Vec::new();
+
+    while let Some(frame) = next_frame(shared, &mut local) {
+        expand(shared, frame, &mut local, &mut best, &mut encode_buf);
+        share_surplus(shared, &mut local);
+    }
+    best
+}
+
+/// Pops the next frame, pulling a chunk from the global queue when the local
+/// stack is empty and running the idle/termination protocol when the global
+/// queue is empty too.
+fn next_frame<T>(
+    shared: &Shared<'_, T>,
+    local: &mut Vec<Frame<T::State>>,
+) -> Option<Frame<T::State>>
+where
+    T: TransitionSystem,
+{
+    if shared.stop.load(Ordering::Relaxed) {
+        local.clear();
+    } else if let Some(frame) = local.pop() {
+        return Some(frame);
+    }
+
+    let mut frontier = shared.lock_frontier();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) || frontier.done {
+            frontier.done = true;
+            shared.available.notify_all();
+            return None;
+        }
+        if !frontier.items.is_empty() {
+            // Take a fair share of the queue, at most a chunk: under-taking
+            // costs a re-lock, over-taking starves the other workers.
+            let fair = frontier.items.len().div_ceil(shared.workers);
+            let take = fair.clamp(1, CHUNK);
+            local.extend(frontier.items.drain(..take));
+            shared.frontier_len.store(frontier.items.len(), Ordering::Relaxed);
+            return local.pop();
+        }
+        frontier.idle += 1;
+        if frontier.idle == shared.workers {
+            // Everyone is idle and the queue is empty: the bounded state
+            // space is exhausted.
+            frontier.done = true;
+            shared.available.notify_all();
+            return None;
+        }
+        frontier = match shared.available.wait(frontier) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        frontier.idle -= 1;
+    }
+}
+
+/// Moves the shallowest half of an oversized local stack to the global queue
+/// when the queue is hungry, waking parked workers.
+fn share_surplus<T>(shared: &Shared<'_, T>, local: &mut Vec<Frame<T::State>>)
+where
+    T: TransitionSystem,
+{
+    if local.len() < 2 {
+        return;
+    }
+    if shared.frontier_len.load(Ordering::Relaxed) >= shared.workers {
+        return;
+    }
+    let keep = local.len() - local.len() / 2;
+    let mut frontier = shared.lock_frontier();
+    // Donate the *bottom* of the stack: those frames are the shallowest, so a
+    // stealing worker receives a large subtree instead of a near-leaf.
+    frontier.items.extend(local.drain(..local.len() - keep));
+    shared.frontier_len.store(frontier.items.len(), Ordering::Relaxed);
+    shared.available.notify_all();
+}
+
+/// Expands one frame exactly like the sequential DFS body: apply every
+/// enabled action, record violations, admit unseen `(state, depth)` pairs to
+/// the shared store and push them for further expansion.
+fn expand<T>(
+    shared: &Shared<'_, T>,
+    frame: Frame<T::State>,
+    local: &mut Vec<Frame<T::State>>,
+    best: &mut BTreeMap<u32, FoundViolation>,
+    encode_buf: &mut Vec<u8>,
+) where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    shared.check_deadline();
+    if shared.stop.load(Ordering::Relaxed) || frame.depth >= shared.config.max_depth {
+        return;
+    }
+    for action in shared.model.actions(&frame.state) {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let transitions = shared.transitions.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        if transitions >= shared.config.max_transitions {
+            shared.transitions_capped.store(true, Ordering::Relaxed);
+            shared.request_stop();
+        }
+        let outcome = shared.model.apply(&frame.state, &action);
+        let mut next_trace = frame.trace.clone();
+        next_trace.push(action.to_string(), outcome.log.clone());
+        let next_depth = frame.depth + 1;
+        shared.max_depth_reached.fetch_max(next_depth, Ordering::Relaxed);
+
+        if !outcome.violations.is_empty() {
+            for violation in &outcome.violations {
+                record_violation(
+                    best,
+                    FoundViolation {
+                        violation: violation.clone(),
+                        trace: next_trace.clone(),
+                        depth: next_depth,
+                    },
+                );
+            }
+            if shared.config.stop_at_first {
+                shared.request_stop();
+                return;
+            }
+        }
+
+        encode_buf.clear();
+        shared.model.encode(&outcome.state, encode_buf);
+        // Depth is part of state identity, exactly as in the sequential
+        // engine (see `Checker::run_dfs`).
+        encode_buf.push(depth_tag(next_depth));
+        if shared.store.insert(encode_buf) {
+            let stored = shared.stored.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+            if stored >= shared.config.max_states {
+                shared.states_capped.store(true, Ordering::Relaxed);
+                shared.request_stop();
+            }
+            local.push(Frame { state: outcome.state, depth: next_depth, trace: next_trace });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchMode;
+    use crate::store::StoreKind;
+    use crate::transition::testing::CounterModel;
+    use std::time::Duration;
+
+    fn model() -> CounterModel {
+        CounterModel { bad_value: 6, max_value: 32 }
+    }
+
+    fn sequential(config: &SearchConfig) -> SearchReport {
+        let mut sequential = config.clone();
+        sequential.workers = 1;
+        Checker::new(sequential).verify(&model())
+    }
+
+    #[test]
+    fn parallel_matches_sequential_violations_and_state_counts() {
+        for workers in [2usize, 3, 4, 8] {
+            let config = SearchConfig::with_depth(6).parallel(workers);
+            let par = ParallelChecker::new(config.clone()).verify(&model());
+            let seq = sequential(&config);
+            assert_eq!(par.violated_properties(), seq.violated_properties(), "{workers} workers");
+            // With exact storage the explored (state, depth) set is
+            // schedule-independent, so the counters agree exactly.
+            assert_eq!(par.stats.states_stored, seq.stats.states_stored, "{workers} workers");
+            assert_eq!(par.stats.transitions, seq.stats.transitions, "{workers} workers");
+            assert_eq!(par.stats.max_depth_reached, seq.stats.max_depth_reached);
+            assert_eq!(par.stats.workers, workers);
+            assert!(!par.stats.truncated);
+        }
+    }
+
+    #[test]
+    fn counterexample_depths_are_deterministic_across_runs() {
+        // The violated-property set and each counterexample's depth are
+        // schedule-independent; the specific trace is best-effort (see the
+        // module docs) and deliberately not compared here.
+        let config = SearchConfig::with_depth(6).parallel(4);
+        let signature = |report: &SearchReport| {
+            report.violations.iter().map(|v| (v.violation.property, v.depth)).collect::<Vec<_>>()
+        };
+        let first = ParallelChecker::new(config.clone()).verify(&model());
+        for _ in 0..5 {
+            let again = ParallelChecker::new(config.clone()).verify(&model());
+            assert_eq!(signature(&first), signature(&again));
+        }
+    }
+
+    #[test]
+    fn one_worker_delegates_to_the_sequential_engine() {
+        let config = SearchConfig::with_depth(5);
+        let par = ParallelChecker::new(config.clone()).verify(&model());
+        let seq = Checker::new(config).verify(&model());
+        assert_eq!(par.violated_properties(), seq.violated_properties());
+        assert_eq!(par.stats.workers, 1);
+    }
+
+    #[test]
+    fn stop_at_first_reports_exactly_one_violation() {
+        // CounterModel steps violate at most one property, so stop-at-first
+        // yields a single counterexample, like the sequential engine.
+        let mut config = SearchConfig::with_depth(8).parallel(4);
+        config.stop_at_first = true;
+        let report = ParallelChecker::new(config).verify(&model());
+        assert_eq!(report.violations.len(), 1);
+        assert!(!report.stats.truncated);
+    }
+
+    #[test]
+    fn stop_at_first_keeps_all_properties_of_the_triggering_step() {
+        use crate::transition::testing::CounterAction;
+        use crate::transition::{StepOutcome, Violation};
+
+        /// Like `CounterModel`, but reaching the bad value violates two
+        /// properties in the same step.
+        struct DoubleViolationModel;
+        impl TransitionSystem for DoubleViolationModel {
+            type State = u32;
+            type Action = CounterAction;
+
+            fn initial_state(&self) -> u32 {
+                1
+            }
+
+            fn actions(&self, state: &u32) -> Vec<CounterAction> {
+                if *state >= 32 {
+                    Vec::new()
+                } else {
+                    vec![CounterAction::Increment, CounterAction::Double]
+                }
+            }
+
+            fn apply(&self, state: &u32, action: &CounterAction) -> StepOutcome<u32> {
+                let next = match action {
+                    CounterAction::Increment => state + 1,
+                    CounterAction::Double => state * 2,
+                }
+                .min(32);
+                let violations = if next == 6 {
+                    vec![
+                        Violation { property: 1, description: "reached 6".into() },
+                        Violation { property: 2, description: "also reached 6".into() },
+                    ]
+                } else {
+                    Vec::new()
+                };
+                StepOutcome { state: next, violations, log: Vec::new() }
+            }
+
+            fn encode(&self, state: &u32, out: &mut Vec<u8>) {
+                out.extend_from_slice(&state.to_le_bytes());
+            }
+        }
+
+        // The sequential engine records every property the triggering step
+        // breaks before stopping; the parallel merge must preserve that.
+        let mut config = SearchConfig::with_depth(8);
+        config.stop_at_first = true;
+        let seq = Checker::new(config.clone()).verify(&DoubleViolationModel);
+        let par = ParallelChecker::new(config.parallel(4)).verify(&DoubleViolationModel);
+        assert_eq!(seq.violated_properties().len(), 2);
+        assert_eq!(par.violated_properties(), seq.violated_properties());
+    }
+
+    #[test]
+    fn transition_cap_stops_all_workers() {
+        let mut config = SearchConfig::with_depth(10).parallel(4);
+        config.max_transitions = 5;
+        let report = ParallelChecker::new(config).verify(&model());
+        assert!(report.stats.truncated);
+        assert!(report.stats.transitions_capped);
+        // The cap may overshoot by a couple of in-flight transitions per
+        // worker before the stop flag becomes visible.
+        assert!(report.stats.transitions <= 5 + 2 * 4);
+    }
+
+    #[test]
+    fn state_cap_stops_all_workers() {
+        let mut config = SearchConfig::with_depth(10).parallel(4);
+        config.max_states = 4;
+        let report = ParallelChecker::new(config).verify(&model());
+        assert!(report.stats.truncated);
+        assert!(report.stats.states_capped);
+    }
+
+    #[test]
+    fn zero_time_budget_truncates_without_panicking() {
+        let mut config = SearchConfig::with_depth(12).parallel(4);
+        config.time_limit = Some(Duration::ZERO);
+        let report = ParallelChecker::new(config).verify(&model());
+        assert!(report.stats.truncated);
+    }
+
+    #[test]
+    fn maximal_time_budget_behaves_like_no_deadline() {
+        // `Some(Duration::MAX)` as "effectively unlimited" must not overflow
+        // the deadline computation (Instant + Duration panics unchecked).
+        let mut config = SearchConfig::with_depth(6).parallel(4);
+        config.time_limit = Some(Duration::MAX);
+        let report = ParallelChecker::new(config).verify(&model());
+        assert!(report.has_violations());
+        assert!(!report.stats.truncated);
+    }
+
+    #[test]
+    fn hash_compact_store_agrees_with_exact() {
+        let mut config = SearchConfig::with_depth(6).parallel(4);
+        config.store = StoreKind::HashCompact;
+        let compact = ParallelChecker::new(config.clone()).verify(&model());
+        config.store = StoreKind::Exact;
+        let exact = ParallelChecker::new(config).verify(&model());
+        assert_eq!(compact.violated_properties(), exact.violated_properties());
+        assert_eq!(compact.stats.states_stored, exact.stats.states_stored);
+    }
+
+    #[test]
+    fn bitstate_store_still_finds_the_violation() {
+        let config = SearchConfig::with_depth(6).parallel(4).bitstate();
+        let report = ParallelChecker::new(config).verify(&model());
+        assert!(report.has_violations());
+    }
+
+    #[test]
+    fn explicit_shard_count_is_honored() {
+        let mut config = SearchConfig::with_depth(4).parallel(2);
+        config.shards = 4;
+        let checker = ParallelChecker::new(config);
+        assert_eq!(checker.shard_count(), 4);
+        // The counter reaches the bad value 6 within 4 steps (1→2→3→6).
+        assert!(checker.verify(&model()).has_violations());
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        use crate::transition::testing::CounterAction;
+        use crate::transition::StepOutcome;
+
+        /// A model whose `apply` panics on one reachable state.
+        struct ExplodingModel;
+        impl TransitionSystem for ExplodingModel {
+            type State = u32;
+            type Action = CounterAction;
+
+            fn initial_state(&self) -> u32 {
+                1
+            }
+
+            fn actions(&self, state: &u32) -> Vec<CounterAction> {
+                if *state >= 32 {
+                    Vec::new()
+                } else {
+                    vec![CounterAction::Increment, CounterAction::Double]
+                }
+            }
+
+            fn apply(&self, state: &u32, action: &CounterAction) -> StepOutcome<u32> {
+                assert!(*state != 5, "model exploded at 5");
+                let next = match action {
+                    CounterAction::Increment => state + 1,
+                    CounterAction::Double => state * 2,
+                }
+                .min(32);
+                StepOutcome { state: next, violations: Vec::new(), log: Vec::new() }
+            }
+
+            fn encode(&self, state: &u32, out: &mut Vec<u8>) {
+                out.extend_from_slice(&state.to_le_bytes());
+            }
+        }
+
+        // Without the StopOnPanic guard this would deadlock (the surviving
+        // workers park forever); with it, the panic propagates promptly.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ParallelChecker::new(SearchConfig::with_depth(8).parallel(4)).verify(&ExplodingModel)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bfs_mode_config_is_accepted() {
+        // The parallel engine's order is neither DFS nor BFS; a BFS-mode
+        // config must still explore the full bounded space.
+        let mut config = SearchConfig::with_depth(6).parallel(3);
+        config.mode = SearchMode::Bfs;
+        let par = ParallelChecker::new(config.clone()).verify(&model());
+        let seq = sequential(&config);
+        assert_eq!(par.violated_properties(), seq.violated_properties());
+    }
+}

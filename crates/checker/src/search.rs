@@ -34,7 +34,9 @@ pub struct SearchConfig {
     pub max_states: usize,
     /// Hard cap on applied transitions.
     pub max_transitions: usize,
-    /// DFS or BFS.
+    /// DFS or BFS.  Only honored by the sequential engine; the parallel
+    /// engine always explores in work-stealing depth-first order (see
+    /// [`crate::parallel::ParallelChecker`]).
     pub mode: SearchMode,
     /// Visited-state storage strategy.
     pub store: StoreKind,
@@ -44,6 +46,14 @@ pub struct SearchConfig {
     /// Wall-clock budget; the search stops (reporting partial results) when
     /// exceeded.
     pub time_limit: Option<Duration>,
+    /// Number of search workers.  `0` or `1` selects the sequential engine;
+    /// larger values select [`crate::parallel::ParallelChecker`]'s shared
+    /// work-queue engine over a sharded visited-state store.
+    pub workers: usize,
+    /// Number of shards of the concurrent visited-state store (rounded up to
+    /// a power of two).  `0` picks a default proportional to `workers`.
+    /// Ignored by the sequential engine.
+    pub shards: usize,
 }
 
 impl Default for SearchConfig {
@@ -56,6 +66,8 @@ impl Default for SearchConfig {
             store: StoreKind::Exact,
             stop_at_first: false,
             time_limit: None,
+            workers: 1,
+            shards: 0,
         }
     }
 }
@@ -71,9 +83,24 @@ impl SearchConfig {
         self.store = StoreKind::Bitstate { log2_bits: 24, hash_functions: 3 };
         self
     }
+
+    /// Requests a parallel search with the given number of workers.
+    pub fn parallel(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The effective worker count (at least one).
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
 }
 
 /// Statistics reported after a search.
+///
+/// Time accounting is monotonic (a single [`Instant`] anchor is sampled once
+/// when the search finishes, including when a cap fires mid-expansion) and
+/// all counters saturate instead of wrapping.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Number of distinct states stored.
@@ -89,6 +116,34 @@ pub struct SearchStats {
     /// True when the search stopped because of a resource cap rather than
     /// exhausting the bounded state space.
     pub truncated: bool,
+    /// True when [`SearchConfig::max_states`] fired (the state space was not
+    /// exhausted; results are a lower bound).
+    pub states_capped: bool,
+    /// True when [`SearchConfig::max_transitions`] fired.
+    pub transitions_capped: bool,
+    /// Number of workers that actually explored the state space (1 for the
+    /// sequential engine).
+    pub workers: usize,
+}
+
+/// The resource cap that ended a search early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CapHit {
+    States,
+    Transitions,
+    Time,
+}
+
+impl SearchStats {
+    /// Records that `cap` ended the search early.
+    fn record_cap(&mut self, cap: CapHit) {
+        self.truncated = true;
+        match cap {
+            CapHit::States => self.states_capped = true,
+            CapHit::Transitions => self.transitions_capped = true,
+            CapHit::Time => {}
+        }
+    }
 }
 
 /// One reported violation with its counterexample.
@@ -146,6 +201,13 @@ impl Checker {
     }
 
     /// Runs the search over `model` and reports violations and statistics.
+    ///
+    /// This is the sequential engine; [`SearchConfig::workers`] is ignored
+    /// here (use [`crate::parallel::ParallelChecker`] for multi-core search —
+    /// for an *exhaustive* run, i.e. no [`SearchConfig::stop_at_first`] and
+    /// no cap or time budget firing, the two report the same set of violated
+    /// properties for the same bounded model; an early-stopped search is
+    /// order-dependent in either engine).
     pub fn verify<T: TransitionSystem>(&self, model: &T) -> SearchReport {
         match self.config.mode {
             SearchMode::Dfs => self.run_dfs(model),
@@ -170,21 +232,21 @@ impl Checker {
         // this stays cheap relative to handler interpretation.
         let mut stack: Vec<(T::State, usize, Trace)> = vec![(initial, 0, Trace::new())];
 
-        while let Some((state, depth, trace)) = stack.pop() {
-            if self.out_of_budget(&report.stats, start) {
-                report.stats.truncated = true;
+        'search: while let Some((state, depth, trace)) = stack.pop() {
+            if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
+                report.stats.record_cap(cap);
                 break;
             }
             if depth >= self.config.max_depth {
                 continue;
             }
             for action in model.actions(&state) {
-                if self.out_of_budget(&report.stats, start) {
-                    report.stats.truncated = true;
-                    break;
+                if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
+                    report.stats.record_cap(cap);
+                    break 'search;
                 }
                 let outcome = model.apply(&state, &action);
-                report.stats.transitions += 1;
+                report.stats.transitions = report.stats.transitions.saturating_add(1);
                 let mut next_trace = trace.clone();
                 next_trace.push(action.to_string(), outcome.log.clone());
                 let next_depth = depth + 1;
@@ -198,10 +260,7 @@ impl Checker {
                     &mut report,
                 );
                 if self.config.stop_at_first && report.has_violations() {
-                    report.stats.states_stored = store.len();
-                    report.stats.store_memory_bytes = store.memory_bytes();
-                    report.stats.elapsed = start.elapsed();
-                    return report;
+                    break 'search;
                 }
 
                 encode_buf.clear();
@@ -209,16 +268,14 @@ impl Checker {
                 // Depth is part of the state identity: the same physical state
                 // reached with fewer events still has more exploration budget
                 // left, so it must be revisited.
-                encode_buf.push(next_depth as u8);
+                encode_buf.push(depth_tag(next_depth));
                 if store.insert(&encode_buf) {
                     stack.push((outcome.state, next_depth, next_trace));
                 }
             }
         }
 
-        report.stats.states_stored = store.len();
-        report.stats.store_memory_bytes = store.memory_bytes();
-        report.stats.elapsed = start.elapsed();
+        self.finish(&mut report, store.as_ref(), start);
         report
     }
 
@@ -237,17 +294,21 @@ impl Checker {
         let mut queue: VecDeque<(T::State, usize, Trace)> = VecDeque::new();
         queue.push_back((initial, 0, Trace::new()));
 
-        while let Some((state, depth, trace)) = queue.pop_front() {
-            if self.out_of_budget(&report.stats, start) {
-                report.stats.truncated = true;
+        'search: while let Some((state, depth, trace)) = queue.pop_front() {
+            if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
+                report.stats.record_cap(cap);
                 break;
             }
             if depth >= self.config.max_depth {
                 continue;
             }
             for action in model.actions(&state) {
+                if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
+                    report.stats.record_cap(cap);
+                    break 'search;
+                }
                 let outcome = model.apply(&state, &action);
-                report.stats.transitions += 1;
+                report.stats.transitions = report.stats.transitions.saturating_add(1);
                 let mut next_trace = trace.clone();
                 next_trace.push(action.to_string(), outcome.log.clone());
                 let next_depth = depth + 1;
@@ -261,24 +322,19 @@ impl Checker {
                     &mut report,
                 );
                 if self.config.stop_at_first && report.has_violations() {
-                    report.stats.states_stored = store.len();
-                    report.stats.store_memory_bytes = store.memory_bytes();
-                    report.stats.elapsed = start.elapsed();
-                    return report;
+                    break 'search;
                 }
 
                 encode_buf.clear();
                 model.encode(&outcome.state, &mut encode_buf);
-                encode_buf.push(next_depth as u8);
+                encode_buf.push(depth_tag(next_depth));
                 if store.insert(&encode_buf) {
                     queue.push_back((outcome.state, next_depth, next_trace));
                 }
             }
         }
 
-        report.stats.states_stored = store.len();
-        report.stats.store_memory_bytes = store.memory_bytes();
-        report.stats.elapsed = start.elapsed();
+        self.finish(&mut report, store.as_ref(), start);
         report
     }
 
@@ -301,17 +357,42 @@ impl Checker {
         }
     }
 
-    fn out_of_budget(&self, stats: &SearchStats, start: Instant) -> bool {
+    fn cap_hit(&self, stats: &SearchStats, start: Instant, stored: usize) -> Option<CapHit> {
         if stats.transitions >= self.config.max_transitions {
-            return true;
+            return Some(CapHit::Transitions);
+        }
+        if stored >= self.config.max_states {
+            return Some(CapHit::States);
         }
         if let Some(limit) = self.config.time_limit {
             if start.elapsed() > limit {
-                return true;
+                return Some(CapHit::Time);
             }
         }
-        false
+        None
     }
+
+    /// Samples the monotonic clock exactly once and fills in the store-derived
+    /// statistics — every exit path (exhaustion, caps firing mid-expansion,
+    /// stop-at-first) reports time the same way.
+    fn finish(
+        &self,
+        report: &mut SearchReport,
+        store: &dyn crate::store::StateStore,
+        start: Instant,
+    ) {
+        report.stats.states_stored = store.len();
+        report.stats.store_memory_bytes = store.memory_bytes();
+        report.stats.elapsed = start.elapsed();
+        report.stats.workers = 1;
+    }
+}
+
+/// The depth byte appended to encoded states (saturating: the checker's event
+/// bounds are far below 255, but a pathological configuration must not wrap
+/// and alias distinct depths).
+pub(crate) fn depth_tag(depth: usize) -> u8 {
+    depth.min(u8::MAX as usize) as u8
 }
 
 #[cfg(test)]
@@ -383,7 +464,50 @@ mod tests {
         config.max_transitions = 5;
         let report = Checker::new(config).verify(&model());
         assert!(report.stats.truncated);
+        assert!(report.stats.transitions_capped);
+        assert!(!report.stats.states_capped);
         assert!(report.stats.transitions <= 6);
+    }
+
+    #[test]
+    fn state_cap_truncates_search_and_is_flagged() {
+        let mut config = SearchConfig::with_depth(10);
+        config.max_states = 3;
+        let report = Checker::new(config).verify(&model());
+        assert!(report.stats.truncated);
+        assert!(report.stats.states_capped);
+        // The cap is checked between expansions, so the store may exceed it by
+        // at most one expansion's successors (branching factor 2 here).
+        assert!(report.stats.states_stored >= 3);
+        assert!(report.stats.states_stored <= 5);
+    }
+
+    #[test]
+    fn uncapped_search_reports_no_cap_flags() {
+        let report = Checker::new(SearchConfig::with_depth(4)).verify(&model());
+        assert!(!report.stats.truncated);
+        assert!(!report.stats.states_capped);
+        assert!(!report.stats.transitions_capped);
+        assert_eq!(report.stats.workers, 1);
+    }
+
+    #[test]
+    fn time_cap_reports_monotonic_elapsed() {
+        let mut config = SearchConfig::with_depth(12);
+        config.time_limit = Some(Duration::ZERO);
+        let report = Checker::new(config).verify(&model());
+        assert!(report.stats.truncated);
+        // Neither count cap fired; the elapsed time is recorded and usable.
+        assert!(!report.stats.states_capped);
+        assert!(!report.stats.transitions_capped);
+        assert!(report.stats.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn depth_tag_saturates() {
+        assert_eq!(depth_tag(3), 3);
+        assert_eq!(depth_tag(255), 255);
+        assert_eq!(depth_tag(1000), 255);
     }
 
     #[test]

@@ -17,12 +17,18 @@
 //!   visited (losing coverage) but never the reverse.
 
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 /// How visited states are remembered during the search.
 pub trait StateStore {
     /// Inserts the encoded state, returning `true` when it was *not* seen
     /// before (i.e. the state is new and should be explored).
     fn insert(&mut self, encoded: &[u8]) -> bool;
+
+    /// True when the encoded state has already been recorded.  For bitstate
+    /// storage this may report false positives (like [`StateStore::insert`]),
+    /// never false negatives.
+    fn contains(&self, encoded: &[u8]) -> bool;
 
     /// Number of states recorded (for bitstate this is the number of
     /// successful inserts, not the array population).
@@ -89,6 +95,10 @@ impl StateStore for ExactStore {
         fresh
     }
 
+    fn contains(&self, encoded: &[u8]) -> bool {
+        self.states.contains(encoded)
+    }
+
     fn len(&self) -> usize {
         self.states.len()
     }
@@ -114,6 +124,10 @@ impl HashCompactStore {
 impl StateStore for HashCompactStore {
     fn insert(&mut self, encoded: &[u8]) -> bool {
         self.hashes.insert(fnv1a(encoded))
+    }
+
+    fn contains(&self, encoded: &[u8]) -> bool {
+        self.hashes.contains(&fnv1a(encoded))
     }
 
     fn len(&self) -> usize {
@@ -181,6 +195,13 @@ impl StateStore for BitstateStore {
         true
     }
 
+    fn contains(&self, encoded: &[u8]) -> bool {
+        (0..self.hash_functions).all(|k| {
+            let (word, bit) = self.probe(mix_hash(encoded, k as u64));
+            self.bits[word] & bit != 0
+        })
+    }
+
     fn len(&self) -> usize {
         self.inserted
     }
@@ -210,7 +231,7 @@ pub enum StoreKind {
 
 impl StoreKind {
     /// Instantiates the store.
-    pub fn build(&self) -> Box<dyn StateStore> {
+    pub fn build(&self) -> Box<dyn StateStore + Send> {
         match self {
             StoreKind::Exact => Box::new(ExactStore::new()),
             StoreKind::HashCompact => Box::new(HashCompactStore::new()),
@@ -218,6 +239,139 @@ impl StoreKind {
                 Box::new(BitstateStore::new(*log2_bits, *hash_functions))
             }
         }
+    }
+
+    /// The per-shard variant of this kind when the state space is split over
+    /// `2^shard_bits` shards: bitstate arrays shrink so the *total* bit budget
+    /// stays roughly what one unsharded store would use (with a small floor so
+    /// tiny shards remain usable); exact and hash-compact storage grows with
+    /// content and needs no resizing.
+    fn for_shard(&self, shard_bits: u32) -> StoreKind {
+        match *self {
+            StoreKind::Bitstate { log2_bits, hash_functions } => StoreKind::Bitstate {
+                log2_bits: log2_bits.saturating_sub(shard_bits).max(10),
+                hash_functions,
+            },
+            kind => kind,
+        }
+    }
+}
+
+/// Seed for the shard-selection hash.  Distinct from the bitstate probe seeds
+/// (`0..k`) so shard choice and in-shard Bloom probes stay independent.
+const SHARD_SEED: u64 = 0x5AAD_ED57_0EC0_DE01;
+
+/// A concurrent visited-state store: `N` mutex-guarded shards selected by a
+/// state hash, each shard backed by any [`StoreKind`] ([`ExactStore`],
+/// [`HashCompactStore`] or [`BitstateStore`]).
+///
+/// Workers of the parallel search engine call [`ShardedStore::insert`]
+/// through a shared reference; two workers only contend when their states
+/// hash to the same shard, so lock traffic stays low once the shard count
+/// comfortably exceeds the worker count.  Duplicate concurrent inserts of the
+/// same state are serialized by the shard lock: exactly one caller observes
+/// `true`.
+pub struct ShardedStore {
+    shards: Vec<Mutex<Box<dyn StateStore + Send>>>,
+    shard_mask: u64,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ShardedStore {
+    /// Creates a store with `shards` shards (rounded up to a power of two, at
+    /// least one) of the given backend kind.
+    pub fn new(kind: StoreKind, shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let per_shard = kind.for_shard(count.trailing_zeros());
+        ShardedStore {
+            shards: (0..count).map(|_| Mutex::new(per_shard.build())).collect(),
+            shard_mask: (count as u64) - 1,
+        }
+    }
+
+    fn shard_of(&self, encoded: &[u8]) -> usize {
+        (mix_hash(encoded, SHARD_SEED) & self.shard_mask) as usize
+    }
+
+    fn shard(&self, encoded: &[u8]) -> std::sync::MutexGuard<'_, Box<dyn StateStore + Send>> {
+        // Lock poisoning cannot leave the set inconsistent (each insert is a
+        // single shard operation), so a poisoned shard is simply reclaimed.
+        match self.shards[self.shard_of(encoded)].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Concurrent insert through a shared reference; returns `true` when the
+    /// state was not seen before.
+    pub fn insert(&self, encoded: &[u8]) -> bool {
+        self.shard(encoded).insert(encoded)
+    }
+
+    /// Concurrent membership test through a shared reference.
+    pub fn contains(&self, encoded: &[u8]) -> bool {
+        self.shard(encoded).contains(encoded)
+    }
+
+    /// Total number of states recorded across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(guard) => guard.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            })
+            .sum()
+    }
+
+    /// True when no shard has recorded a state.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory used across all shards, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(guard) => guard.memory_bytes(),
+                Err(poisoned) => poisoned.into_inner().memory_bytes(),
+            })
+            .sum()
+    }
+}
+
+// The sharded store is also a drop-in sequential `StateStore`, so single-
+// threaded code paths (and tests) can exercise the exact same dedup logic the
+// parallel engine uses.
+impl StateStore for ShardedStore {
+    fn insert(&mut self, encoded: &[u8]) -> bool {
+        ShardedStore::insert(self, encoded)
+    }
+
+    fn contains(&self, encoded: &[u8]) -> bool {
+        ShardedStore::contains(self, encoded)
+    }
+
+    fn len(&self) -> usize {
+        ShardedStore::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        ShardedStore::memory_bytes(self)
     }
 }
 
@@ -306,5 +460,88 @@ mod tests {
             assert!(!store.insert(b"x"));
         }
         assert_eq!(StoreKind::default(), StoreKind::Exact);
+    }
+
+    #[test]
+    fn contains_matches_insert_semantics() {
+        for kind in [
+            StoreKind::Exact,
+            StoreKind::HashCompact,
+            StoreKind::Bitstate { log2_bits: 16, hash_functions: 2 },
+        ] {
+            let mut store = kind.build();
+            assert!(!store.contains(b"state-a"));
+            store.insert(b"state-a");
+            assert!(store.contains(b"state-a"), "{kind:?} lost an inserted state");
+        }
+    }
+
+    #[test]
+    fn sharded_store_rounds_shard_count_and_deduplicates() {
+        let store = ShardedStore::new(StoreKind::Exact, 3);
+        assert_eq!(store.shard_count(), 4);
+        assert!(store.is_empty());
+        for s in states(500) {
+            assert!(store.insert(&s));
+            assert!(store.contains(&s));
+        }
+        for s in states(500) {
+            assert!(!store.insert(&s));
+        }
+        assert_eq!(store.len(), 500);
+        assert!(store.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn sharded_store_distributes_states_over_shards() {
+        let store = ShardedStore::new(StoreKind::Exact, 8);
+        for s in states(4_000) {
+            store.insert(&s);
+        }
+        // Every shard should hold a meaningful fraction of the states (a
+        // uniform split would be 500 each).
+        for shard in &store.shards {
+            let len = shard.lock().unwrap().len();
+            assert!(len > 250, "shard holds only {len} of 4000 states");
+        }
+    }
+
+    #[test]
+    fn sharded_bitstate_keeps_total_memory_budget() {
+        let unsharded =
+            ShardedStore::new(StoreKind::Bitstate { log2_bits: 20, hash_functions: 3 }, 1);
+        let sharded =
+            ShardedStore::new(StoreKind::Bitstate { log2_bits: 20, hash_functions: 3 }, 8);
+        assert_eq!(unsharded.memory_bytes(), sharded.memory_bytes());
+    }
+
+    #[test]
+    fn sharded_store_admits_concurrent_duplicates_exactly_once() {
+        // 8 threads race to insert the same 512 states; each distinct state
+        // must be admitted (insert -> true) exactly once across all threads,
+        // and every state must be present afterwards.
+        for kind in [StoreKind::Exact, StoreKind::HashCompact] {
+            let store = ShardedStore::new(kind, 8);
+            let all = states(512);
+            let admitted = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        let mut fresh = 0usize;
+                        for s in &all {
+                            if store.insert(s) {
+                                fresh += 1;
+                            }
+                        }
+                        admitted.fetch_add(fresh, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(admitted.load(std::sync::atomic::Ordering::Relaxed), 512, "{kind:?}");
+            assert_eq!(store.len(), 512, "{kind:?}");
+            for s in &all {
+                assert!(store.contains(s), "{kind:?} lost a state");
+            }
+        }
     }
 }
