@@ -22,6 +22,12 @@
 //! verification oracle so it can be unit-tested without the model checker and
 //! reused by the pipeline in `iotsan-core`.
 //!
+//! Besides the configuration-enumeration oracle, the crate also attributes
+//! violations **from counterexample traces**: [`trace::attribute_traces`]
+//! consumes the checker's [`iotsan_checker::FoundViolation`]s directly and
+//! ranks the apps of a verified group per violation (used by the fleet
+//! planner in `iotsan-core`).
+//!
 //! ```
 //! use iotsan_attribution::{attribute_app, AttributionThresholds, Verdict};
 //!
@@ -40,7 +46,11 @@
 //! assert!(matches!(report.verdict, Verdict::Malicious { .. }));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+pub mod trace;
+
+pub use trace::{attribute_traces, rank_suspects, SuspectScore, TraceAttribution};
 
 use std::fmt;
 

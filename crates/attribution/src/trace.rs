@@ -1,0 +1,223 @@
+//! Trace-driven attribution: ranking suspect apps from counterexample traces.
+//!
+//! The two-phase algorithm of §9 ([`crate::attribute_app`],
+//! [`crate::attribute_all`]) treats the verifier as an opaque boolean oracle
+//! over enumerated *configurations*.  Fleet verification (the
+//! `VerificationPlanner` in `iotsan-core`) has richer evidence available:
+//! the model checker's counterexample **traces**.  Every log line of a trace
+//! step is stamped with the `App.handler:` that produced it, so the Output
+//! Analyzer can rank the apps of a verified group by how strongly each one is
+//! implicated in driving the system into the unsafe state — without
+//! re-verifying a single configuration.
+//!
+//! Scoring is deliberately simple and deterministic: every log line owned by
+//! an app counts as one *mention*, weighted by how late in the counterexample
+//! it occurs (`(line + 1) / total log lines`, so the handler whose activity
+//! is closest to the unsafe state weighs most — a single external event can
+//! dispatch a whole chain of handlers, so position is tracked per log line,
+//! not per step), and acting in the final step is reported
+//! separately as the strongest single signal.  Apps of the group that never
+//! act on the counterexample path are still listed with a zero score, which
+//! lets callers distinguish "exonerated by the trace" from "absent from the
+//! group".
+
+use iotsan_checker::{FoundViolation, Trace};
+
+/// How strongly one app of a verified group is implicated by a
+/// counterexample trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuspectScore {
+    /// The app's display name.
+    pub app: String,
+    /// Number of trace log lines produced by this app's handlers.
+    pub mentions: usize,
+    /// True when the app acted in the final step of the counterexample — the
+    /// step that drove the system into the unsafe state.
+    pub in_final_step: bool,
+    /// Position-weighted evidence: the sum of `(line + 1) / total log lines`
+    /// over the app's log lines.  Activity closer to the unsafe state weighs
+    /// more; `0.0` means the app never acted on the counterexample path.
+    pub score: f64,
+}
+
+/// The ranked suspects for one violated property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAttribution {
+    /// The violated property's identifier.
+    pub property: u32,
+    /// The violated property's description (the failed assertion text).
+    pub description: String,
+    /// The group's apps ranked by [`SuspectScore::score`] (descending, ties
+    /// broken by app name so the ranking is deterministic).
+    pub suspects: Vec<SuspectScore>,
+}
+
+impl TraceAttribution {
+    /// The prime suspect: the highest-ranked app that actually acted on the
+    /// counterexample path, if any did.
+    pub fn prime_suspect(&self) -> Option<&SuspectScore> {
+        self.suspects.first().filter(|s| s.mentions > 0)
+    }
+}
+
+/// True when `line` was logged by one of `app`'s handlers.  Handler log lines
+/// are stamped `App Name.handlerName: …` by the interpreter; device-state
+/// lines (`deviceLabel.attribute = value`) never collide because device
+/// labels are single identifiers while the stamp uses the app's display name.
+fn owned_by(line: &str, app: &str) -> bool {
+    line.strip_prefix(app).is_some_and(|rest| rest.starts_with('.'))
+}
+
+/// Ranks the apps of a verified group by the evidence a single
+/// counterexample trace holds against them.
+///
+/// Every app of `group_apps` appears exactly once in the result, sorted by
+/// descending [`SuspectScore::score`] with ties broken by name.
+pub fn rank_suspects(group_apps: &[String], trace: &Trace) -> Vec<SuspectScore> {
+    let steps = trace.steps.len();
+    let total_lines: usize = trace.steps.iter().map(|s| s.log.len()).sum();
+    let mut scores: Vec<SuspectScore> = group_apps
+        .iter()
+        .map(|app| {
+            let mut mentions = 0usize;
+            let mut score = 0.0f64;
+            let mut in_final_step = false;
+            let mut line_index = 0usize;
+            for (i, step) in trace.steps.iter().enumerate() {
+                for line in &step.log {
+                    line_index += 1;
+                    if owned_by(line, app) {
+                        mentions += 1;
+                        score += line_index as f64 / total_lines as f64;
+                        if i + 1 == steps {
+                            in_final_step = true;
+                        }
+                    }
+                }
+            }
+            SuspectScore { app: app.clone(), mentions, in_final_step, score }
+        })
+        .collect();
+    scores.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.app.cmp(&b.app)));
+    scores
+}
+
+/// Attributes every violation of a verified group from its counterexample
+/// trace: the trace-driven counterpart of [`crate::attribute_all`], consuming
+/// [`FoundViolation`]s from the checker instead of opaque configuration
+/// lists.  Returns one [`TraceAttribution`] per violation, in input order.
+pub fn attribute_traces(
+    group_apps: &[String],
+    violations: &[FoundViolation],
+) -> Vec<TraceAttribution> {
+    violations
+        .iter()
+        .map(|found| TraceAttribution {
+            property: found.violation.property,
+            description: found.violation.description.clone(),
+            suspects: rank_suspects(group_apps, &found.trace),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_checker::Violation;
+
+    fn group() -> Vec<String> {
+        vec!["Auto Mode Change".into(), "Unlock Door".into(), "Brighten My Path".into()]
+    }
+
+    fn unlock_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(
+            "alicePresence/presence=not present [ok]".into(),
+            vec![
+                "Auto Mode Change.presenceHandler: handling presence=not present".into(),
+                "location.mode = Away".into(),
+            ],
+        );
+        t.push(
+            "location/mode=Away".into(),
+            vec![
+                "Unlock Door.changedLocationMode: handling mode=Away".into(),
+                "mainDoorLock.unlock()".into(),
+                "mainDoorLock.lock = unlocked".into(),
+            ],
+        );
+        t
+    }
+
+    #[test]
+    fn final_step_app_ranks_first() {
+        let suspects = rank_suspects(&group(), &unlock_trace());
+        assert_eq!(suspects.len(), 3);
+        assert_eq!(suspects[0].app, "Unlock Door");
+        assert!(suspects[0].in_final_step);
+        assert_eq!(suspects[0].mentions, 1);
+        assert_eq!(suspects[1].app, "Auto Mode Change");
+        assert!(!suspects[1].in_final_step);
+        // The app that never acted is listed last with a zero score.
+        assert_eq!(suspects[2].app, "Brighten My Path");
+        assert_eq!(suspects[2].mentions, 0);
+        assert_eq!(suspects[2].score, 0.0);
+    }
+
+    #[test]
+    fn device_lines_do_not_count_as_app_activity() {
+        // `mainDoorLock.lock = unlocked` must not be attributed to any app,
+        // and an app name that happens to prefix another string only matches
+        // with the `.` separator.
+        let apps = vec!["mainDoorLock".into()];
+        let suspects = rank_suspects(&apps, &unlock_trace());
+        // The label does own the `mainDoorLock.*` lines — but no *app* is
+        // named like a device label in practice; what matters is that the
+        // prefix match requires the dot.
+        assert!(suspects[0].mentions > 0);
+        let apps = vec!["Unlock".into()]; // prefix of "Unlock Door", no dot follows
+        let suspects = rank_suspects(&apps, &unlock_trace());
+        assert_eq!(suspects[0].mentions, 0);
+    }
+
+    #[test]
+    fn attribute_traces_maps_violations_in_order() {
+        let violations = vec![
+            FoundViolation {
+                violation: Violation { property: 6, description: "main door unlocked".into() },
+                trace: unlock_trace(),
+                depth: 2,
+            },
+            FoundViolation {
+                violation: Violation { property: 9, description: "other".into() },
+                trace: Trace::new(),
+                depth: 0,
+            },
+        ];
+        let attributions = attribute_traces(&group(), &violations);
+        assert_eq!(attributions.len(), 2);
+        assert_eq!(attributions[0].property, 6);
+        assert_eq!(attributions[0].prime_suspect().unwrap().app, "Unlock Door");
+        // An empty trace implicates no one.
+        assert_eq!(attributions[1].prime_suspect(), None);
+        assert!(attributions[1].suspects.iter().all(|s| s.score == 0.0));
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_ties() {
+        // Neither app acts: equal zero scores, alphabetical order breaks the
+        // tie so repeated runs render identically.
+        let suspects = rank_suspects(&["B App".into(), "A App".into()], &unlock_trace());
+        assert_eq!(suspects[0].app, "A App");
+        assert_eq!(suspects[1].app, "B App");
+
+        // Within one step, the later log line weighs more: the handler whose
+        // activity is closest to the unsafe state ranks first.
+        let mut t = Trace::new();
+        t.push("e".into(), vec!["B App.h: handling x=1".into(), "A App.h: handling x=1".into()]);
+        let suspects = rank_suspects(&["A App".into(), "B App".into()], &t);
+        assert_eq!(suspects[0].app, "A App");
+        assert!(suspects[0].score > suspects[1].score);
+        assert!(suspects[0].in_final_step && suspects[1].in_final_step);
+    }
+}

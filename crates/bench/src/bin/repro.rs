@@ -10,12 +10,14 @@
 //! ```
 //!
 //! Available experiments: `table1 table2 table3 table4 table5 table6 table7a
-//! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel`.
+//! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet`.
 //!
 //! `--json <path>` additionally writes the machine-readable timings collected
-//! by the timing experiments (currently `parallel`: sequential baseline vs
-//! parallel checker at 2/4/8 workers) — CI's `bench-smoke` job uploads this
-//! as the `BENCH_pr.json` artifact so the perf trajectory accumulates.
+//! by the timing experiments (`parallel`: sequential baseline vs parallel
+//! checker at 2/4/8 workers; `fleet`: corpus-size × worker sweep of the
+//! group-wise planner with cold/warm/mutated cache phases) — CI's
+//! `bench-smoke` job uploads this as the `BENCH_pr.json` artifact so the perf
+//! trajectory accumulates.
 //!
 //! Absolute numbers differ from the paper (different corpus snapshot, а
 //! simulator substrate instead of Spin on the authors' laptop); the *shape* of
@@ -30,8 +32,8 @@ use iotsan::properties::{PropertyClass, PropertySet};
 use iotsan::{render_table1, Pipeline};
 use iotsan_apps::{ifttt, malicious, market, samples};
 use iotsan_bench::{
-    expert_config, format_runtime, run_concurrent, run_sequential, translate_group,
-    volunteer_config, TimedRun,
+    expert_config, format_duration, format_runtime, run_concurrent, run_sequential,
+    translate_group, volunteer_config, TimedRun,
 };
 use std::collections::BTreeMap;
 
@@ -53,6 +55,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig8a",
     "fig8b",
     "parallel",
+    "fleet",
 ];
 
 fn main() {
@@ -117,6 +120,9 @@ fn main() {
     }
     if want("parallel") {
         parallel(&mut bench_json);
+    }
+    if want("fleet") {
+        fleet(&mut bench_json);
     }
     if let Some(path) = json_path {
         std::fs::write(&path, bench_json.render())
@@ -240,6 +246,103 @@ fn parallel(json: &mut BenchJson) {
     } else {
         println!("(equal violation sets, state and transition counts across all worker counts: deterministic merge verified)");
     }
+}
+
+fn fleet_row(
+    corpus: usize,
+    workers: usize,
+    phase: &str,
+    run: &iotsan_bench::FleetRun,
+    cold: &iotsan_bench::FleetRun,
+) -> String {
+    format!(
+        "        {{\"corpus\": {corpus}, \"workers\": {workers}, \"phase\": \"{phase}\", \"seconds\": {:.6}, \"groups\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.3}, \"violated_properties\": {}, \"states\": {}, \"transitions\": {}, \"truncated\": {}, \"speedup_vs_cold\": {:.3}}}",
+        run.elapsed.as_secs_f64(),
+        run.report.groups.len(),
+        run.report.cache_hits,
+        run.report.cache_misses,
+        run.report.cache_hit_rate(),
+        run.report.violated_properties().len(),
+        run.states(),
+        run.transitions(),
+        run.truncated(),
+        cold.elapsed.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9),
+    )
+}
+
+/// Fleet planner sweep: group counts (via corpus size) × worker counts ×
+/// cache phases (cold, warm replay, warm after mutating one app) over the
+/// market corpus with failure injection.  The paper has no fleet-cache
+/// numbers — this tracks the reproduction's own analyze→check→attribute
+/// subsystem; see EXPERIMENTS.md.
+fn fleet(json: &mut BenchJson) {
+    heading("Fleet planner: cached group-wise verification (market corpus, failures on)");
+    let events = iotsan_bench::experiment_events(2, 3);
+    let budget = iotsan_bench::experiment_budget(30, 120);
+    let corpus_sizes: &[usize] = if iotsan_bench::PAPER_SCALE { &[8, 16, 24] } else { &[4, 8, 12] };
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:<8} {:<10} {:>12} {:>8} {:>6} {:>8} {:>9} {:>12}",
+        "Corpus", "Workers", "Phase", "Time", "Groups", "Hits", "Misses", "HitRate", "Violations"
+    );
+    for &corpus in corpus_sizes {
+        let (apps, config) = iotsan_bench::fleet_workload(corpus);
+        for workers in [1usize, 2] {
+            let mut cache = iotsan::VerificationCache::new();
+            let cold =
+                iotsan_bench::run_fleet(&apps, &config, events, workers, true, budget, &mut cache);
+            let warm =
+                iotsan_bench::run_fleet(&apps, &config, events, workers, true, budget, &mut cache);
+
+            // Mutate one verified app's IR (not its event profile): only the
+            // groups containing it may be re-checked.
+            let mut mutated = apps.clone();
+            let target = mutated
+                .iter_mut()
+                .find(|a| !a.dynamic_discovery)
+                .expect("a verifiable app in the corpus");
+            let target_name = target.name.clone();
+            target.description.push_str(" (fleet mutation)");
+            let after = iotsan_bench::run_fleet(
+                &mutated, &config, events, workers, true, budget, &mut cache,
+            );
+
+            // Consistency: a warm replay must be outcome-identical to the
+            // cold run, and the mutation must invalidate exactly the groups
+            // containing the mutated app.  Only complete searches carry the
+            // guarantee (a budget-truncated report is never cached).
+            if !cold.truncated() && !warm.truncated() {
+                assert_eq!(
+                    warm.report.outcome(),
+                    cold.report.outcome(),
+                    "warm fleet replay diverged from the cold run ({corpus} apps, {workers} workers)"
+                );
+                assert_eq!(warm.report.cache_hits, warm.report.groups.len());
+                for group in &after.report.groups {
+                    let contains_target = group.apps.contains(&target_name);
+                    assert_eq!(
+                        group.from_cache, !contains_target,
+                        "mutation of {target_name} invalidated the wrong groups"
+                    );
+                }
+            }
+
+            for (phase, run) in [("cold", &cold), ("warm", &warm), ("mutated", &after)] {
+                println!(
+                    "{corpus:<8} {workers:<8} {phase:<10} {:>12} {:>8} {:>6} {:>8} {:>8.0}% {:>12}",
+                    format_duration(run.elapsed, run.truncated()),
+                    run.report.groups.len(),
+                    run.report.cache_hits,
+                    run.report.cache_misses,
+                    run.report.cache_hit_rate() * 100.0,
+                    run.report.violated_properties().len(),
+                );
+                rows.push(fleet_row(corpus, workers, phase, run, &cold));
+            }
+        }
+    }
+    json.push_experiment("fleet", "market+failures", events, &rows);
+    println!("(warm replays verified outcome-identical; mutation invalidated only its own groups)");
 }
 
 fn heading(title: &str) {

@@ -11,6 +11,7 @@ use iotsan::checker::{Checker, ParallelChecker, SearchConfig, SearchReport};
 use iotsan::config::{expert_configure, misconfigure, standard_household, SystemConfig};
 use iotsan::ir::IrApp;
 use iotsan::model::{ConcurrentModel, ModelOptions, SequentialModel};
+use iotsan::planner::{FleetReport, VerificationCache};
 use iotsan::properties::PropertySet;
 use iotsan::system::InstalledSystem;
 use iotsan::{translate_sources, Pipeline};
@@ -129,11 +130,68 @@ pub fn run_parallel(
 /// enough work per state for the parallel engine to amortize its queue and
 /// shard traffic, while staying CI-quick at one run per worker count.
 pub fn scaling_workload() -> (Vec<IrApp>, SystemConfig) {
+    fleet_workload(8)
+}
+
+/// The fleet workload at a chosen corpus size: the first `n` market apps
+/// under their expert configuration.  Larger corpora yield more related
+/// groups, which is the axis the `repro fleet` experiment sweeps.
+pub fn fleet_workload(n: usize) -> (Vec<IrApp>, SystemConfig) {
     let corpus = iotsan_apps::market::market_apps();
-    let group: Vec<MarketApp> = corpus.into_iter().take(8).collect();
+    let group: Vec<MarketApp> = corpus.into_iter().take(n).collect();
     let apps = translate_group(&group);
     let config = expert_config(&apps);
     (apps, config)
+}
+
+/// Result of timing one fleet verification (planner + cache) run.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Wall-clock duration of the whole fleet pass.
+    pub elapsed: Duration,
+    /// The merged fleet report.
+    pub report: FleetReport,
+}
+
+impl FleetRun {
+    /// Total states stored across all groups (cached groups replay the
+    /// stored statistics).
+    pub fn states(&self) -> usize {
+        self.report.groups.iter().map(|g| g.report.stats.states_stored).sum()
+    }
+
+    /// Total transitions applied across all groups.
+    pub fn transitions(&self) -> usize {
+        self.report.groups.iter().map(|g| g.report.stats.transitions).sum()
+    }
+
+    /// True when any group's search hit a resource cap.
+    pub fn truncated(&self) -> bool {
+        self.report.groups.iter().any(|g| g.report.stats.truncated)
+    }
+}
+
+/// One group-wise fleet verification pass through [`Pipeline::verify_fleet`]:
+/// depgraph partitioning, per-group fingerprint lookup in `cache`, bounded
+/// model checking of the misses (`workers <= 1` sequential, more parallel),
+/// trace-driven attribution, deterministic merge.
+pub fn run_fleet(
+    apps: &[IrApp],
+    config: &SystemConfig,
+    events: usize,
+    workers: usize,
+    failures: bool,
+    budget: Duration,
+    cache: &mut VerificationCache,
+) -> FleetRun {
+    let mut pipeline = Pipeline::with_events(events).with_workers(workers);
+    if failures {
+        pipeline = pipeline.with_failures();
+    }
+    pipeline.search.time_limit = Some(budget);
+    let start = Instant::now();
+    let report = pipeline.verify_fleet(apps, config, cache);
+    FleetRun { elapsed: start.elapsed(), report }
 }
 
 /// Verifies a group with the strict-concurrency design.
@@ -157,11 +215,11 @@ pub fn run_concurrent(
 
 /// Formats a duration the way the paper's tables do (seconds / minutes /
 /// hours, or "forever" when the run was truncated by its budget).
-pub fn format_runtime(run: &TimedRun) -> String {
-    if run.truncated {
+pub fn format_duration(elapsed: Duration, truncated: bool) -> String {
+    if truncated {
         return "forever (budget exceeded)".to_string();
     }
-    let secs = run.elapsed.as_secs_f64();
+    let secs = elapsed.as_secs_f64();
     if secs < 60.0 {
         format!("{secs:.2}s")
     } else if secs < 3600.0 {
@@ -169,6 +227,11 @@ pub fn format_runtime(run: &TimedRun) -> String {
     } else {
         format!("{:.2}h", secs / 3600.0)
     }
+}
+
+/// [`format_duration`] for a [`TimedRun`].
+pub fn format_runtime(run: &TimedRun) -> String {
+    format_duration(run.elapsed, run.truncated)
 }
 
 #[cfg(test)]
@@ -193,6 +256,19 @@ mod tests {
         let parallel = run_parallel(&apps, &config, 2, 4, Duration::from_secs(30));
         assert_eq!(sequential.report.violated_properties(), parallel.report.violated_properties());
         assert_eq!(sequential.report.stats.states_stored, parallel.report.stats.states_stored);
+    }
+
+    #[test]
+    fn run_fleet_caches_between_runs() {
+        let apps = translate_group(&samples::bad_group_mode_unlock());
+        let config = expert_config(&apps);
+        let mut cache = VerificationCache::new();
+        let budget = Duration::from_secs(30);
+        let cold = run_fleet(&apps, &config, 2, 1, false, budget, &mut cache);
+        let warm = run_fleet(&apps, &config, 2, 1, false, budget, &mut cache);
+        assert_eq!(warm.report.cache_hits, warm.report.groups.len());
+        assert_eq!(warm.report.outcome(), cold.report.outcome());
+        assert!(cold.states() > 0 && cold.transitions() > 0);
     }
 
     #[test]

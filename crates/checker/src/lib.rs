@@ -24,7 +24,7 @@
 //! reusable and testable in isolation (its unit tests run it over a toy
 //! counter model).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod parallel;
 pub mod search;

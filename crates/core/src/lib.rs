@@ -22,6 +22,9 @@
 //!   `iotsan-checker` against the 45 properties of `iotsan-properties`;
 //! * [`pipeline::Pipeline::attribute_new_app`] — the Output Analyzer (§9) via
 //!   `iotsan-attribution` and configuration enumeration from `iotsan-config`;
+//! * [`planner::VerificationPlanner`] / [`pipeline::Pipeline::verify_fleet`]
+//!   — group-wise fleet checking with a content-addressed result cache and
+//!   trace-driven suspect ranking;
 //! * [`features`] — the Table 1 feature matrix.
 //!
 //! ```
@@ -49,12 +52,17 @@ pub mod features;
 pub mod interp;
 pub mod model;
 pub mod pipeline;
+pub mod planner;
 pub mod system;
 
 pub use features::{comparison_matrix, render_table1, SystemFeatures, FEATURES};
 pub use interp::{run_handler, DispatchedEvent, HandlerEffects};
 pub use model::{ConcurrentAction, ConcurrentModel, ExternalAction, ModelOptions, SequentialModel};
 pub use pipeline::{translate_sources, GroupResult, Pipeline, TranslateError, VerificationResult};
+pub use planner::{
+    Fingerprint, FleetGroupReport, FleetPlan, FleetReport, GroupJob, GroupOutcome,
+    VerificationCache, VerificationPlanner,
+};
 pub use system::{InstalledSystem, InternalEvent, SystemState};
 
 // Re-export the sibling crates so downstream users (examples, benches, the

@@ -8,6 +8,7 @@
 //! installed apps.
 
 use crate::model::{ModelOptions, SequentialModel};
+use crate::planner::{FleetReport, VerificationCache, VerificationPlanner};
 use crate::system::InstalledSystem;
 use iotsan_attribution::{attribute_app, AttributionReport, AttributionThresholds};
 use iotsan_checker::{ParallelChecker, SearchConfig, SearchReport};
@@ -212,8 +213,18 @@ impl Pipeline {
 
     /// Verifies one explicit group of apps (no dependency analysis).
     pub fn verify_group(&self, apps: &[IrApp], config: &SystemConfig) -> GroupResult {
-        let config = self.restrict_config(apps, config);
-        let system = InstalledSystem::new(apps.to_vec(), config.clone());
+        self.verify_group_restricted(apps, self.restrict_config(apps, config))
+    }
+
+    /// [`Pipeline::verify_group`] for a configuration that is already
+    /// restricted to the group's devices — the planner restricts once at
+    /// plan time, so execution must not pay (or depend on) a second pass.
+    pub(crate) fn verify_group_restricted(
+        &self,
+        apps: &[IrApp],
+        config: SystemConfig,
+    ) -> GroupResult {
+        let system = InstalledSystem::new(apps.to_vec(), config);
         let model =
             SequentialModel::new(system, self.properties.clone(), self.model_options.clone());
         // ParallelChecker delegates to the sequential engine when the
@@ -222,37 +233,75 @@ impl Pipeline {
         GroupResult { apps: apps.iter().map(|a| a.name.clone()).collect(), report }
     }
 
+    /// A [`VerificationPlanner`] over this pipeline — the entry point for
+    /// group-wise fleet checking with explicit plans and caches.
+    pub fn planner(&self) -> VerificationPlanner<'_> {
+        VerificationPlanner::new(self)
+    }
+
     /// The full pipeline: dependency analysis, then per-related-group
     /// verification with the sequential model.
+    ///
+    /// The partitioning is shared with [`Pipeline::verify_fleet`] — both run
+    /// the same [`VerificationPlanner::plan`]; this entry point verifies
+    /// every group unconditionally (no cache) and keeps the lean
+    /// [`VerificationResult`] shape.
     pub fn verify(&self, apps: &[IrApp], config: &SystemConfig) -> VerificationResult {
-        let excluded_apps: Vec<String> =
-            apps.iter().filter(|a| a.dynamic_discovery).map(|a| a.name.clone()).collect();
-        let verifiable: Vec<IrApp> =
-            apps.iter().filter(|a| !a.dynamic_discovery).cloned().collect();
-
-        let (graph, sets) = analyze(&verifiable);
+        let plan = self.planner().plan(apps, config);
         let mut result = VerificationResult {
             groups: Vec::new(),
-            original_handlers: graph.handler_count(),
-            reduced_handlers: sets.largest_handler_count(&graph),
-            excluded_apps,
+            original_handlers: plan.original_handlers,
+            reduced_handlers: plan.reduced_handlers,
+            excluded_apps: plan.excluded_apps,
         };
-
-        let groups = if sets.is_empty() {
-            // No handlers at all: nothing to verify.
-            Vec::new()
-        } else {
-            sets.app_groups(&graph)
-        };
-        for group in groups {
-            let group_apps: Vec<IrApp> =
-                verifiable.iter().filter(|a| group.contains(&a.name)).cloned().collect();
-            if group_apps.is_empty() {
-                continue;
-            }
-            result.groups.push(self.verify_group(&group_apps, config));
+        for job in &plan.jobs {
+            result.groups.push(self.verify_group_restricted(&job.members, job.config.clone()));
         }
         result
+    }
+
+    /// Verifies a whole installed-app fleet group-wise with result caching:
+    /// partitions `apps` into related groups, reuses every cached group whose
+    /// [`crate::planner::Fingerprint`] matches, model-checks the rest, ranks
+    /// suspect apps per violation from the counterexample traces, and merges
+    /// everything into a deterministic [`FleetReport`].
+    ///
+    /// Re-verifying the same bundle with the same `cache` is pure cache
+    /// replay; after changing one app, only the groups containing it are
+    /// re-checked.
+    ///
+    /// ```
+    /// use iotsan::{translate_sources, Pipeline, VerificationCache};
+    /// use iotsan_config::{expert_configure, standard_household};
+    ///
+    /// let sources = [r#"
+    /// definition(name: "Energy Saver", namespace: "st", author: "x", description: "d")
+    /// preferences {
+    ///     section("s") { input "motionSensor", "capability.motionSensor" }
+    ///     section("s") { input "lights", "capability.switch", multiple: true }
+    /// }
+    /// def installed() { subscribe(motionSensor, "motion.inactive", onStill) }
+    /// def onStill(evt) { lights.off() }
+    /// "#];
+    /// let apps = translate_sources(&sources).unwrap();
+    /// let config = expert_configure(&apps, &standard_household());
+    /// let mut cache = VerificationCache::new();
+    /// let pipeline = Pipeline::with_events(1);
+    ///
+    /// let cold = pipeline.verify_fleet(&apps, &config, &mut cache);
+    /// let warm = pipeline.verify_fleet(&apps, &config, &mut cache);
+    /// assert!(warm.groups.iter().all(|g| g.from_cache));
+    /// assert_eq!(warm.outcome(), cold.outcome());
+    /// ```
+    pub fn verify_fleet(
+        &self,
+        apps: &[IrApp],
+        config: &SystemConfig,
+        cache: &mut VerificationCache,
+    ) -> FleetReport {
+        let planner = self.planner();
+        let plan = planner.plan(apps, config);
+        planner.execute(&plan, cache)
     }
 
     /// Emits the Promela model for a group of apps (for inspection / external

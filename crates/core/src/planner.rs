@@ -1,0 +1,773 @@
+//! Group-wise verification planning: depgraph-partitioned fleet checking
+//! with content-addressed result caching.
+//!
+//! IotSan's scalability story (§5, Table 7a) is that the model checker never
+//! sees the whole household at once: the App Dependency Analyzer partitions
+//! the installed apps into *related groups*, each group is verified
+//! independently, and the Output Analyzer attributes the violations.  The
+//! [`VerificationPlanner`] turns that decomposition into an operational
+//! subsystem:
+//!
+//! ```text
+//!   installed bundle ──▶ plan() ────────────▶ FleetPlan (one GroupJob per
+//!        │                 iotsan-depgraph        related app group, keyed by
+//!        │                 related_sets           a content Fingerprint)
+//!        ▼                                          │
+//!   execute(plan, cache) ◀──────────────────────────┘
+//!        │  cache hit  → reuse the stored SearchReport
+//!        │  cache miss → bounded model checking (ParallelChecker)
+//!        ▼
+//!   FleetReport — deterministically merged groups, cache statistics, and
+//!   per-violation suspect rankings from the counterexample traces
+//!   (iotsan-attribution).
+//! ```
+//!
+//! The cache key ([`Fingerprint`]) covers the group's sorted app IRs, its
+//! restricted device configuration, the property set and the model/search
+//! options that can change a verdict — so re-verifying a fleet after one app
+//! changes only re-checks the groups containing that app:
+//!
+//! ```
+//! use iotsan::{translate_sources, Pipeline, VerificationCache};
+//! use iotsan_config::{expert_configure, standard_household};
+//!
+//! let sources = [r#"
+//! definition(name: "Brighten My Path", namespace: "st", author: "x", description: "d")
+//! preferences {
+//!     section("s") { input "motionSensor", "capability.motionSensor" }
+//!     section("s") { input "lights", "capability.switch", multiple: true }
+//! }
+//! def installed() { subscribe(motionSensor, "motion.active", onMotion) }
+//! def onMotion(evt) { lights.on() }
+//! "#];
+//! let apps = translate_sources(&sources).unwrap();
+//! let config = expert_configure(&apps, &standard_household());
+//! let pipeline = Pipeline::with_events(1);
+//! let mut cache = VerificationCache::new();
+//!
+//! let cold = pipeline.verify_fleet(&apps, &config, &mut cache);
+//! assert_eq!(cold.cache_misses, cold.groups.len());
+//!
+//! // Nothing changed: the warm rerun touches no model checker at all and
+//! // reports exactly the same outcome.
+//! let warm = pipeline.verify_fleet(&apps, &config, &mut cache);
+//! assert!(warm.groups.iter().all(|g| g.from_cache));
+//! assert_eq!(warm.outcome(), cold.outcome());
+//! ```
+
+use crate::pipeline::{GroupResult, Pipeline};
+use iotsan_attribution::{attribute_traces, TraceAttribution};
+use iotsan_checker::{SearchConfig, SearchReport};
+use iotsan_config::SystemConfig;
+use iotsan_depgraph::analyze;
+use iotsan_ir::IrApp;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A content hash identifying one group-verification task.
+///
+/// Two jobs with the same fingerprint verify the same sorted app IRs against
+/// the same restricted device configuration, property set, model options and
+/// search shape — so one job's [`SearchReport`] can stand in for the
+/// other's.  Worker and shard counts are deliberately *excluded* for
+/// exhaustive searches over exact or hash-compact storage: there the
+/// parallel engine's deterministic merge reports the same verdict as the
+/// sequential one, so a cache warmed sequentially stays valid for parallel
+/// reruns (and vice versa).  For *order-dependent* searches — BITSTATE
+/// storage (admission depends on insertion order) or
+/// [`SearchConfig::stop_at_first`] — workers and shards **are** part of the
+/// fingerprint, since different engine shapes can legitimately report
+/// different results there and a replay must not masquerade as a different
+/// engine's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// 64-bit FNV-1a over length-prefixed items (the length prefix keeps
+/// concatenated fields from aliasing across boundaries).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_item(&mut self, item: &str) {
+        self.write_bytes(&(item.len() as u64).to_le_bytes());
+        self.write_bytes(item.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Computes the content fingerprint of one group-verification task.
+///
+/// The ingredients are the group's app IRs (sorted by name, so member order
+/// never matters), the device configuration the group is verified under, the
+/// property set, and the model/search options that can change the verdict
+/// ([`crate::model::ModelOptions`] plus the result-relevant
+/// [`SearchConfig`] fields — depth, caps, mode, store, stop-at-first).
+/// The wall-clock budget is always excluded (a budget-truncated report is
+/// never cached); worker/shard counts are excluded only when the search is
+/// deterministic across engine shapes — see [`Fingerprint`].
+pub fn fingerprint_group(
+    pipeline: &Pipeline,
+    apps: &[IrApp],
+    config: &SystemConfig,
+) -> Fingerprint {
+    let mut h = Fnv::new();
+    let mut sorted: Vec<&IrApp> = apps.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    for app in sorted {
+        h.write_item(&format!("{app:?}"));
+    }
+    h.write_item(&format!("{config:?}"));
+    h.write_item(&format!("{:?}", pipeline.properties));
+    h.write_item(&format!("{:?}", pipeline.model_options));
+    let SearchConfig {
+        max_depth,
+        max_states,
+        max_transitions,
+        mode,
+        store,
+        stop_at_first,
+        workers,
+        shards,
+        ..
+    } = &pipeline.search;
+    h.write_item(&format!(
+        "{:?}",
+        (max_depth, max_states, max_transitions, mode, store, stop_at_first)
+    ));
+    // BITSTATE admission depends on insertion order, and a stop-at-first
+    // search is order-dependent in any engine: there the engine shape is
+    // part of the task identity, so a replay can never masquerade as a
+    // different engine's verdict.
+    let order_dependent =
+        matches!(store, iotsan_checker::StoreKind::Bitstate { .. }) || *stop_at_first;
+    if order_dependent {
+        h.write_item(&format!("{:?}", (workers.max(&1), shards)));
+    }
+    Fingerprint(h.finish())
+}
+
+/// One scheduled model-checking job: a related group of apps, the
+/// configuration slice it observes, and its cache key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupJob {
+    /// The display names of the group's apps, sorted.
+    pub apps: Vec<String>,
+    /// The IR of the group's apps (same order as [`GroupJob::apps`]).
+    pub members: Vec<IrApp>,
+    /// The system configuration restricted to the devices this group's apps
+    /// actually observe (see [`Pipeline::restrict_config`]).
+    pub config: SystemConfig,
+    /// Total number of event handlers in the group — the cost estimate the
+    /// scheduler orders jobs by.
+    pub handler_count: usize,
+    /// The content-addressed cache key of this job.
+    pub fingerprint: Fingerprint,
+}
+
+/// The verification schedule for one installed-app bundle.
+///
+/// Jobs are ordered largest-first (by handler count, ties broken by app
+/// names), so the most expensive group starts first; the merged
+/// [`FleetReport`] is sorted by app names regardless of schedule order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPlan {
+    /// The scheduled jobs, one per related app group.
+    pub jobs: Vec<GroupJob>,
+    /// Apps excluded from verification because they discover devices
+    /// dynamically (§10.1).
+    pub excluded_apps: Vec<String>,
+    /// Total number of event handlers before dependency analysis.
+    pub original_handlers: usize,
+    /// Number of event handlers in the largest related set.
+    pub reduced_handlers: usize,
+}
+
+impl FleetPlan {
+    /// The jobs whose group contains `app`, in schedule order.
+    pub fn jobs_for(&self, app: &str) -> Vec<&GroupJob> {
+        self.jobs.iter().filter(|j| j.apps.iter().any(|a| a == app)).collect()
+    }
+}
+
+/// A content-addressed store of group verification results.
+///
+/// Keys are [`Fingerprint`]s; values are complete group reports.  Only
+/// *complete* searches are ever inserted — a report truncated by a resource
+/// cap or time budget depends on the budget that cut it off, so it is
+/// recomputed every time.
+///
+/// ```
+/// use iotsan::{translate_sources, Pipeline, VerificationCache};
+/// use iotsan_config::{expert_configure, standard_household};
+///
+/// let sources = [r#"
+/// definition(name: "Light Follows Me", namespace: "st", author: "x", description: "d")
+/// preferences {
+///     section("s") { input "motionSensor", "capability.motionSensor" }
+///     section("s") { input "lights", "capability.switch", multiple: true }
+/// }
+/// def installed() { subscribe(motionSensor, "motion.active", onMotion) }
+/// def onMotion(evt) { lights.on() }
+/// "#];
+/// let apps = translate_sources(&sources).unwrap();
+/// let config = expert_configure(&apps, &standard_household());
+/// let mut cache = VerificationCache::new();
+/// assert!(cache.is_empty());
+///
+/// Pipeline::with_events(1).verify_fleet(&apps, &config, &mut cache);
+/// assert_eq!(cache.len(), 1);
+/// assert_eq!((cache.hits(), cache.misses()), (0, 1));
+///
+/// Pipeline::with_events(1).verify_fleet(&apps, &config, &mut cache);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+///
+/// cache.clear();
+/// assert!(cache.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VerificationCache {
+    entries: BTreeMap<Fingerprint, GroupResult>,
+    hits: usize,
+    misses: usize,
+}
+
+impl VerificationCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached group results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (the lifetime hit/miss counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Lifetime number of successful lookups.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lifetime number of failed lookups.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Lifetime hit rate in `[0, 1]` (`0.0` before the first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Looks up a group result by fingerprint, counting a hit or a miss.
+    pub fn lookup(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
+        match self.entries.get(&fingerprint) {
+            Some(result) => {
+                self.hits += 1;
+                Some(result.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a group result under its fingerprint.
+    pub fn insert(&mut self, fingerprint: Fingerprint, result: GroupResult) {
+        self.entries.insert(fingerprint, result);
+    }
+}
+
+/// The merged verdict for one group within a [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct FleetGroupReport {
+    /// The group's apps, sorted by name.
+    pub apps: Vec<String>,
+    /// The group's cache key.
+    pub fingerprint: Fingerprint,
+    /// True when the report was served from the cache without running the
+    /// model checker.
+    pub from_cache: bool,
+    /// The checker's report (violations + statistics).
+    pub report: SearchReport,
+    /// Per-violation suspect rankings derived from the counterexample traces
+    /// (see [`iotsan_attribution::attribute_traces`]).
+    pub attributions: Vec<TraceAttribution>,
+}
+
+impl FleetGroupReport {
+    /// The ids of properties violated in this group.
+    pub fn violated_properties(&self) -> BTreeSet<u32> {
+        self.report.violated_properties()
+    }
+
+    /// The timing-free projection of this group's verdict.
+    pub fn outcome(&self) -> GroupOutcome {
+        GroupOutcome {
+            apps: self.apps.clone(),
+            violated_properties: self.violated_properties(),
+            states_stored: self.report.stats.states_stored,
+            transitions: self.report.stats.transitions,
+        }
+    }
+}
+
+/// The comparable (timing-free) projection of one group's verdict: a cached
+/// replay and a cold run report different wall-clock times but must agree on
+/// everything here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupOutcome {
+    /// The group's apps, sorted by name.
+    pub apps: Vec<String>,
+    /// Ids of the properties the group violates.
+    pub violated_properties: BTreeSet<u32>,
+    /// Distinct states stored while verifying the group.
+    pub states_stored: usize,
+    /// Transitions applied while verifying the group.
+    pub transitions: usize,
+}
+
+/// The deterministically merged result of verifying a whole fleet.
+///
+/// Groups are sorted by their app names, so two runs over the same bundle —
+/// regardless of schedule order, worker count or cache warmth — render
+/// identically.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Per-group verdicts, sorted by app names.
+    pub groups: Vec<FleetGroupReport>,
+    /// Apps excluded because they discover devices dynamically.
+    pub excluded_apps: Vec<String>,
+    /// Total number of event handlers before dependency analysis.
+    pub original_handlers: usize,
+    /// Number of event handlers in the largest related set.
+    pub reduced_handlers: usize,
+    /// Groups served from the cache in this run.
+    pub cache_hits: usize,
+    /// Groups that had to be model-checked in this run.
+    pub cache_misses: usize,
+}
+
+impl FleetReport {
+    /// The distinct properties violated anywhere in the fleet.
+    pub fn violated_properties(&self) -> BTreeSet<u32> {
+        self.groups.iter().flat_map(|g| g.violated_properties()).collect()
+    }
+
+    /// True when any group violated any property.
+    pub fn has_violations(&self) -> bool {
+        self.groups.iter().any(|g| g.report.has_violations())
+    }
+
+    /// Total number of `(property, group)` violation pairs.
+    pub fn violation_count(&self) -> usize {
+        self.groups.iter().map(|g| g.report.violations.len()).sum()
+    }
+
+    /// This run's cache hit rate in `[0, 1]` (`0.0` for an empty fleet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The dependency-analysis scale ratio (original handler count over the
+    /// largest related set's handler count); `1.0` for an empty fleet, same
+    /// convention as [`iotsan_depgraph::RelatedSets::scale_ratio`].
+    pub fn scale_ratio(&self) -> f64 {
+        if self.reduced_handlers == 0 {
+            1.0
+        } else {
+            self.original_handlers as f64 / self.reduced_handlers as f64
+        }
+    }
+
+    /// The timing-free projection of the whole fleet verdict, for comparing
+    /// a warm (cached) run against a cold one.
+    pub fn outcome(&self) -> Vec<GroupOutcome> {
+        self.groups.iter().map(|g| g.outcome()).collect()
+    }
+
+    /// The group reports whose group contains `app`.
+    pub fn groups_containing(&self, app: &str) -> Vec<&FleetGroupReport> {
+        self.groups.iter().filter(|g| g.apps.iter().any(|a| a == app)).collect()
+    }
+}
+
+/// Plans and executes group-wise fleet verification for a [`Pipeline`].
+///
+/// Planning is deterministic: the same bundle yields the same jobs with the
+/// same fingerprints, which is what makes the [`VerificationCache`] useful
+/// across runs.
+///
+/// ```
+/// use iotsan::{translate_sources, Pipeline, VerificationPlanner};
+/// use iotsan_config::{expert_configure, standard_household};
+///
+/// // Two apps with no event-chain between them: two independent jobs.
+/// let sources = [r#"
+/// definition(name: "Brighten My Path", namespace: "st", author: "x", description: "d")
+/// preferences {
+///     section("s") { input "motionSensor", "capability.motionSensor" }
+///     section("s") { input "lights", "capability.switch", multiple: true }
+/// }
+/// def installed() { subscribe(motionSensor, "motion.active", onMotion) }
+/// def onMotion(evt) { lights.on() }
+/// "#, r#"
+/// definition(name: "Auto Mode Change", namespace: "st", author: "x", description: "d")
+/// preferences { section("s") { input "people", "capability.presenceSensor", multiple: true } }
+/// def installed() { subscribe(people, "presence", presenceHandler) }
+/// def presenceHandler(evt) { setLocationMode("Away") }
+/// "#];
+/// let apps = translate_sources(&sources).unwrap();
+/// let config = expert_configure(&apps, &standard_household());
+/// let pipeline = Pipeline::with_events(1);
+///
+/// let plan = VerificationPlanner::new(&pipeline).plan(&apps, &config);
+/// assert_eq!(plan.jobs.len(), 2);
+/// assert_eq!(plan.jobs_for("Brighten My Path").len(), 1);
+/// // Planning is a pure function of the bundle.
+/// assert_eq!(plan, VerificationPlanner::new(&pipeline).plan(&apps, &config));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct VerificationPlanner<'a> {
+    pipeline: &'a Pipeline,
+}
+
+impl<'a> VerificationPlanner<'a> {
+    /// Creates a planner for `pipeline`.
+    pub fn new(pipeline: &'a Pipeline) -> Self {
+        VerificationPlanner { pipeline }
+    }
+
+    /// Partitions `apps` into related groups (via
+    /// [`iotsan_depgraph::analyze`]) and schedules one fingerprinted
+    /// model-checking job per group, largest first.
+    pub fn plan(&self, apps: &[IrApp], config: &SystemConfig) -> FleetPlan {
+        let excluded_apps: Vec<String> =
+            apps.iter().filter(|a| a.dynamic_discovery).map(|a| a.name.clone()).collect();
+        let verifiable: Vec<IrApp> =
+            apps.iter().filter(|a| !a.dynamic_discovery).cloned().collect();
+
+        let (graph, sets) = analyze(&verifiable);
+        let original_handlers = graph.handler_count();
+        let reduced_handlers = sets.largest_handler_count(&graph);
+
+        let groups = if sets.is_empty() { Vec::new() } else { sets.app_groups(&graph) };
+        let mut jobs: Vec<GroupJob> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut members: Vec<IrApp> =
+                verifiable.iter().filter(|a| group.contains(&a.name)).cloned().collect();
+            if members.is_empty() {
+                continue;
+            }
+            members.sort_by(|a, b| a.name.cmp(&b.name));
+            let restricted = self.pipeline.restrict_config(&members, config);
+            let fingerprint = fingerprint_group(self.pipeline, &members, &restricted);
+            jobs.push(GroupJob {
+                apps: members.iter().map(|a| a.name.clone()).collect(),
+                handler_count: members.iter().map(|a| a.handlers.len()).sum(),
+                members,
+                config: restricted,
+                fingerprint,
+            });
+        }
+        // Largest job first: when the checker itself runs multi-worker, the
+        // most expensive group dominates fleet latency, so start it first.
+        jobs.sort_by(|a, b| {
+            b.handler_count.cmp(&a.handler_count).then_with(|| a.apps.cmp(&b.apps))
+        });
+
+        FleetPlan { jobs, excluded_apps, original_handlers, reduced_handlers }
+    }
+
+    /// Runs every job of `plan`, reusing cached results where the
+    /// fingerprint matches, and merges the verdicts deterministically.
+    ///
+    /// Cache discipline: only complete (non-truncated) reports are inserted;
+    /// a hit replays the stored report without touching the model checker.
+    /// Violation traces are fed to [`iotsan_attribution::attribute_traces`]
+    /// to rank each group's apps per violation.
+    pub fn execute(&self, plan: &FleetPlan, cache: &mut VerificationCache) -> FleetReport {
+        let mut groups: Vec<FleetGroupReport> = Vec::with_capacity(plan.jobs.len());
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+        for job in &plan.jobs {
+            let (result, from_cache) = match cache.lookup(job.fingerprint) {
+                Some(cached) => (cached, true),
+                None => {
+                    let fresh =
+                        self.pipeline.verify_group_restricted(&job.members, job.config.clone());
+                    if !fresh.report.stats.truncated {
+                        cache.insert(job.fingerprint, fresh.clone());
+                    }
+                    (fresh, false)
+                }
+            };
+            if from_cache {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+            }
+            let attributions = attribute_traces(&result.apps, &result.report.violations);
+            groups.push(FleetGroupReport {
+                apps: result.apps,
+                fingerprint: job.fingerprint,
+                from_cache,
+                report: result.report,
+                attributions,
+            });
+        }
+        groups.sort_by(|a, b| a.apps.cmp(&b.apps));
+        FleetReport {
+            groups,
+            excluded_apps: plan.excluded_apps.clone(),
+            original_handlers: plan.original_handlers,
+            reduced_handlers: plan.reduced_handlers,
+            cache_hits,
+            cache_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::translate_sources;
+    use iotsan_config::{expert_configure, standard_household};
+
+    const AUTO_MODE: &str = r#"
+definition(name: "Auto Mode Change", namespace: "st", author: "a", description: "d")
+preferences { section("s") { input "people", "capability.presenceSensor", multiple: true } }
+def installed() { subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    if (evt.value == "not present") { setLocationMode("Away") } else { setLocationMode("Home") }
+}
+"#;
+
+    const UNLOCK_DOOR: &str = r#"
+definition(name: "Unlock Door", namespace: "st", author: "a", description: "d")
+preferences { section("s") { input "lock1", "capability.lock" } }
+def installed() {
+    subscribe(app, "touch", appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def appTouch(evt) { lock1.unlock() }
+def changedLocationMode(evt) { lock1.unlock() }
+"#;
+
+    const NIGHT_LIGHT: &str = r#"
+definition(name: "Brighten My Path", namespace: "st", author: "a", description: "d")
+preferences {
+    section("s") { input "motionSensor", "capability.motionSensor" }
+    section("s") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(motionSensor, "motion.active", motionActiveHandler) }
+def motionActiveHandler(evt) { lights.on() }
+"#;
+
+    fn bundle() -> (Vec<IrApp>, SystemConfig) {
+        let apps = translate_sources(&[AUTO_MODE, UNLOCK_DOOR, NIGHT_LIGHT]).unwrap();
+        let config = expert_configure(&apps, &standard_household());
+        (apps, config)
+    }
+
+    #[test]
+    fn plan_partitions_and_orders_largest_first() {
+        let (apps, config) = bundle();
+        let pipeline = Pipeline::with_events(1);
+        let plan = VerificationPlanner::new(&pipeline).plan(&apps, &config);
+        assert!(plan.jobs.len() >= 2, "plan: {plan:?}");
+        for pair in plan.jobs.windows(2) {
+            assert!(pair[0].handler_count >= pair[1].handler_count);
+        }
+        // The mode/lock chain is one group; the night light is another.
+        assert_eq!(plan.jobs_for("Brighten My Path").len(), 1);
+        assert!(plan
+            .jobs_for("Auto Mode Change")
+            .iter()
+            .all(|j| j.apps.contains(&"Unlock Door".to_string())));
+        assert_eq!(plan.original_handlers, 4);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        let (apps, config) = bundle();
+        let pipeline = Pipeline::with_events(2);
+        let planner = VerificationPlanner::new(&pipeline);
+        let a = planner.plan(&apps, &config);
+        let b = planner.plan(&apps, &config);
+        assert_eq!(a, b);
+
+        // Mutating one app's IR (not its event profile) changes only the
+        // fingerprints of the jobs containing it.
+        let mut mutated = apps.clone();
+        mutated[2].description = "patched".into();
+        let c = planner.plan(&mutated, &config);
+        assert_eq!(a.jobs.len(), c.jobs.len());
+        for (old, new) in a.jobs.iter().zip(&c.jobs) {
+            assert_eq!(old.apps, new.apps);
+            if old.apps.contains(&"Brighten My Path".to_string()) {
+                assert_ne!(old.fingerprint, new.fingerprint);
+            } else {
+                assert_eq!(old.fingerprint, new.fingerprint);
+            }
+        }
+
+        // A different search depth is a different task.
+        let deeper = Pipeline::with_events(3);
+        let d = VerificationPlanner::new(&deeper).plan(&apps, &config);
+        for (old, new) in a.jobs.iter().zip(&d.jobs) {
+            assert_ne!(old.fingerprint, new.fingerprint);
+        }
+
+        // Worker count is engine shape, not task identity: the cache stays
+        // valid across sequential and parallel runs.
+        let parallel = Pipeline::with_events(2).with_workers(4);
+        let e = VerificationPlanner::new(&parallel).plan(&apps, &config);
+        for (old, new) in a.jobs.iter().zip(&e.jobs) {
+            assert_eq!(old.fingerprint, new.fingerprint);
+        }
+    }
+
+    #[test]
+    fn order_dependent_configs_key_on_engine_shape() {
+        // Under BITSTATE storage (admission order-dependent) or stop-at-first
+        // the engine shape is part of the task identity: a sequential verdict
+        // must not replay as a parallel one.
+        let (apps, config) = bundle();
+        let mut sequential = Pipeline::with_events(2);
+        sequential.search = sequential.search.clone().bitstate();
+        let mut parallel = Pipeline::with_events(2).with_workers(4);
+        parallel.search = parallel.search.clone().bitstate();
+        let a = VerificationPlanner::new(&sequential).plan(&apps, &config);
+        let b = VerificationPlanner::new(&parallel).plan(&apps, &config);
+        for (seq, par) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(seq.apps, par.apps);
+            assert_ne!(seq.fingerprint, par.fingerprint);
+        }
+
+        let mut first_seq = Pipeline::with_events(2);
+        first_seq.search.stop_at_first = true;
+        let mut first_par = Pipeline::with_events(2).with_workers(4);
+        first_par.search.stop_at_first = true;
+        let c = VerificationPlanner::new(&first_seq).plan(&apps, &config);
+        let d = VerificationPlanner::new(&first_par).plan(&apps, &config);
+        for (seq, par) in c.jobs.iter().zip(&d.jobs) {
+            assert_ne!(seq.fingerprint, par.fingerprint);
+        }
+    }
+
+    #[test]
+    fn execute_caches_and_replays_identically() {
+        let (apps, config) = bundle();
+        let pipeline = Pipeline::with_events(2);
+        let planner = VerificationPlanner::new(&pipeline);
+        let plan = planner.plan(&apps, &config);
+        let mut cache = VerificationCache::new();
+
+        let cold = planner.execute(&plan, &mut cache);
+        assert_eq!(cold.cache_misses, plan.jobs.len());
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.has_violations());
+
+        let warm = planner.execute(&plan, &mut cache);
+        assert_eq!(warm.cache_hits, plan.jobs.len());
+        assert_eq!(warm.cache_misses, 0);
+        assert!((warm.cache_hit_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(warm.outcome(), cold.outcome());
+        assert_eq!(warm.violated_properties(), cold.violated_properties());
+    }
+
+    #[test]
+    fn truncated_reports_are_not_cached() {
+        let (apps, config) = bundle();
+        let mut pipeline = Pipeline::with_events(2);
+        pipeline.search.max_transitions = 1; // guarantees truncation
+        let planner = VerificationPlanner::new(&pipeline);
+        let plan = planner.plan(&apps, &config);
+        let mut cache = VerificationCache::new();
+        let report = planner.execute(&plan, &mut cache);
+        assert!(report.groups.iter().any(|g| g.report.stats.truncated));
+        let truncated_groups = report.groups.iter().filter(|g| g.report.stats.truncated).count();
+        assert_eq!(cache.len(), plan.jobs.len() - truncated_groups);
+    }
+
+    #[test]
+    fn attributions_rank_the_final_actor_first() {
+        let (apps, config) = bundle();
+        let pipeline = Pipeline::with_events(2);
+        let mut cache = VerificationCache::new();
+        let report = pipeline.verify_fleet(&apps, &config, &mut cache);
+        let group = report
+            .groups_containing("Unlock Door")
+            .into_iter()
+            .find(|g| g.report.has_violations())
+            .expect("the mode/lock group violates");
+        assert_eq!(group.attributions.len(), group.report.violations.len());
+        let unlock = group
+            .attributions
+            .iter()
+            .find(|a| a.description.contains("main door"))
+            .expect("a main-door attribution");
+        // Unlock Door's handler performs the final unlock: prime suspect.
+        assert_eq!(unlock.prime_suspect().unwrap().app, "Unlock Door");
+    }
+
+    #[test]
+    fn empty_bundle_yields_empty_plan_and_report() {
+        let pipeline = Pipeline::with_events(1);
+        let config = SystemConfig::new();
+        let planner = VerificationPlanner::new(&pipeline);
+        let plan = planner.plan(&[], &config);
+        assert!(plan.jobs.is_empty());
+        let mut cache = VerificationCache::new();
+        let report = planner.execute(&plan, &mut cache);
+        assert!(report.groups.is_empty());
+        assert!(!report.has_violations());
+        assert_eq!(report.cache_hit_rate(), 0.0);
+        assert_eq!(report.scale_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fingerprint_displays_as_hex() {
+        let fp = Fingerprint(0xdead_beef);
+        assert_eq!(fp.to_string(), "00000000deadbeef");
+    }
+}

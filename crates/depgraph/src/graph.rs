@@ -324,8 +324,14 @@ impl RelatedSets {
         self.sets.is_empty()
     }
 
-    /// The number of event handlers in the largest related set (the "New
+    /// The number of **event handlers** in the largest related set (the "New
     /// Size" column of Table 7a).
+    ///
+    /// Units are handlers, not vertices: a composite vertex (a merged
+    /// strongly connected component) contributes every handler it holds, so
+    /// a single two-handler cycle counts as 2.  Returns `0` when there are
+    /// no related sets at all (an empty graph); a graph with one
+    /// single-handler vertex returns `1`.
     pub fn largest_handler_count(&self, graph: &DependencyGraph) -> usize {
         self.sets
             .iter()
@@ -334,8 +340,18 @@ impl RelatedSets {
             .unwrap_or(0)
     }
 
-    /// The scale ratio reported in Table 7a: original handler count divided by
-    /// the largest related set's handler count.
+    /// The scale ratio reported in Table 7a: original handler count divided
+    /// by the largest related set's handler count
+    /// ([`DependencyGraph::handler_count`] over
+    /// [`RelatedSets::largest_handler_count`]).
+    ///
+    /// The ratio is dimensionless (handlers over handlers) and `>= 1.0` for
+    /// any non-empty graph, since the largest related set can never hold
+    /// more handlers than the whole graph.  **Empty-graph convention:** when
+    /// there are no related sets (`largest_handler_count == 0`, which for a
+    /// well-formed graph only happens when the graph itself is empty) the
+    /// ratio is defined as `1.0` — "no reduction" — rather than dividing by
+    /// zero; a singleton graph likewise reports exactly `1.0`.
     pub fn scale_ratio(&self, graph: &DependencyGraph) -> f64 {
         let original = graph.handler_count();
         let reduced = self.largest_handler_count(graph);
@@ -678,6 +694,54 @@ mod tests {
         let (graph, sets) = analyze(&[]);
         assert!(graph.is_empty());
         assert!(sets.is_empty());
+        assert_eq!(sets.scale_ratio(&graph), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_reports_zero_handlers_and_neutral_ratio() {
+        // The documented empty-graph convention: no related sets, a largest
+        // handler count of 0, and a scale ratio pinned to 1.0 ("no
+        // reduction") instead of a 0/0 division.
+        let (graph, sets) = analyze(&[]);
+        assert_eq!(graph.handler_count(), 0);
+        assert_eq!(sets.largest_handler_count(&graph), 0);
+        assert_eq!(sets.scale_ratio(&graph), 1.0);
+        // A detached RelatedSets against an empty graph behaves the same.
+        let detached = RelatedSets::default();
+        assert_eq!(detached.largest_handler_count(&graph), 0);
+        assert_eq!(detached.scale_ratio(&graph), 1.0);
+    }
+
+    #[test]
+    fn singleton_graph_reports_unit_handlers_and_unit_ratio() {
+        // One app with one handler: one vertex, one related set, both counts
+        // in handler units, ratio exactly 1.0 (no reduction possible).
+        let app = IrApp {
+            name: "Solo".into(),
+            description: String::new(),
+            inputs: vec![AppInput::device("m", "motionSensor"), AppInput::device("s", "switch")],
+            handlers: vec![IrHandler {
+                app: "Solo".into(),
+                name: "onMotion".into(),
+                trigger: Trigger::Device {
+                    input: "m".into(),
+                    attribute: "motion".into(),
+                    value: Some("active".into()),
+                },
+                body: vec![IrStmt::DeviceCommand {
+                    input: "s".into(),
+                    command: "on".into(),
+                    args: vec![],
+                }],
+            }],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        };
+        let (graph, sets) = analyze(&[app]);
+        assert_eq!(graph.len(), 1);
+        assert_eq!(graph.handler_count(), 1);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets.largest_handler_count(&graph), 1);
         assert_eq!(sets.scale_ratio(&graph), 1.0);
     }
 

@@ -32,7 +32,7 @@
 //! assert_eq!(sets.len(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod events;
 pub mod graph;

@@ -1,0 +1,89 @@
+//! Docs-drift guard: `ARCHITECTURE.md`'s crate map must list exactly the
+//! workspace's `crates/*` members, and every `vendor/*` stub must be
+//! mentioned.  CI runs this in the docs job so the handbook cannot silently
+//! rot when crates are added, renamed or removed.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; the repository root is two up.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// The package names of every crate under `dir` (read from each Cargo.toml).
+fn package_names(dir: &Path) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for entry in fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display())) {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let name = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("name = ").map(|v| v.trim_matches('"').to_string()))
+            .unwrap_or_else(|| panic!("no package name in {}", manifest.display()));
+        names.insert(name);
+    }
+    names
+}
+
+/// The crate names listed in ARCHITECTURE.md's crate-map table (the first
+/// backticked cell of every `| `name` | ... |` row).
+fn architecture_crate_map(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("| `") else { continue };
+        let Some(end) = rest.find('`') else { continue };
+        names.insert(rest[..end].to_string());
+    }
+    names
+}
+
+#[test]
+fn architecture_crate_map_matches_workspace_members() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("ARCHITECTURE.md"))
+        .expect("ARCHITECTURE.md exists at the repository root");
+
+    let documented = architecture_crate_map(&text);
+    let actual = package_names(&root.join("crates"));
+    assert!(!actual.is_empty(), "no crates found under crates/");
+    assert_eq!(
+        documented,
+        actual,
+        "ARCHITECTURE.md's crate map is out of sync with crates/*: \
+         documented-but-missing {:?}, present-but-undocumented {:?}",
+        documented.difference(&actual).collect::<Vec<_>>(),
+        actual.difference(&documented).collect::<Vec<_>>(),
+    );
+
+    // The workspace Cargo.toml must also know every crate (crates/* is a
+    // glob member, but the dependency table is written out by hand).
+    let workspace = fs::read_to_string(root.join("Cargo.toml")).expect("root Cargo.toml");
+    for name in &actual {
+        assert!(
+            workspace.contains(&format!("{name} = ")),
+            "{name} missing from [workspace.dependencies] in the root Cargo.toml"
+        );
+    }
+}
+
+#[test]
+fn architecture_mentions_every_vendored_stub() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md exists");
+    for name in package_names(&root.join("vendor")) {
+        assert!(text.contains(&format!("`{name}`")), "vendored stub `{name}` not documented");
+    }
+}
+
+#[test]
+fn readme_links_the_architecture_handbook() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
+    assert!(readme.contains("ARCHITECTURE.md"), "README.md must link the architecture handbook");
+}

@@ -1,0 +1,117 @@
+//! Fleet-verification acceptance suite for the group-wise planner.
+//!
+//! Three guarantees are enforced here on the 8-app market corpus:
+//!
+//! 1. **Decomposition**: the planner partitions the corpus into at least two
+//!    independent groups (the whole point of the dependency analyzer).
+//! 2. **Soundness of the decomposition**: the merged violated-property set of
+//!    the group-wise fleet check equals a monolithic whole-fleet check of the
+//!    same corpus — splitting must not hide or invent violations.
+//! 3. **Cache correctness** (property-based): re-verifying a fleet after
+//!    mutating one app re-checks exactly the groups containing it, and the
+//!    merged `FleetReport` is outcome-identical to a cold full run on the
+//!    mutated bundle.
+
+use iotsan::config::{expert_configure, standard_household, SystemConfig};
+use iotsan::ir::IrApp;
+use iotsan::{translate_sources, Pipeline, VerificationCache};
+use iotsan_apps::market;
+use proptest::prelude::*;
+
+/// The first 8 market apps under the expert household configuration.
+fn market8() -> (Vec<IrApp>, SystemConfig) {
+    let corpus: Vec<market::MarketApp> = market::market_apps().into_iter().take(8).collect();
+    let sources: Vec<&str> = corpus.iter().map(|a| a.source.as_str()).collect();
+    let apps = translate_sources(&sources).expect("corpus apps translate");
+    let config = expert_configure(&apps, &standard_household());
+    (apps, config)
+}
+
+#[test]
+fn fleet_partitions_market_corpus_into_independent_groups() {
+    let (apps, config) = market8();
+    let mut cache = VerificationCache::new();
+    let report = Pipeline::with_events(2).verify_fleet(&apps, &config, &mut cache);
+    assert!(
+        report.groups.len() >= 2,
+        "expected >= 2 independent groups, got {:?}",
+        report.groups.iter().map(|g| g.apps.clone()).collect::<Vec<_>>()
+    );
+    // Every non-excluded app is verified in at least one group.
+    for app in &apps {
+        if !app.dynamic_discovery {
+            assert!(
+                !report.groups_containing(&app.name).is_empty(),
+                "{} not covered by any group",
+                app.name
+            );
+        }
+    }
+    assert_eq!(report.cache_misses, report.groups.len());
+}
+
+#[test]
+fn fleet_violations_match_monolithic_whole_fleet_check() {
+    let (apps, config) = market8();
+    let pipeline = Pipeline::with_events(2);
+    let mut cache = VerificationCache::new();
+    let fleet = pipeline.verify_fleet(&apps, &config, &mut cache);
+    // The monolithic baseline verifies every app in one group, skipping
+    // dependency analysis entirely.
+    let verifiable: Vec<IrApp> = apps.iter().filter(|a| !a.dynamic_discovery).cloned().collect();
+    let monolithic = pipeline.verify_group(&verifiable, &config);
+    assert_eq!(
+        fleet.violated_properties(),
+        monolithic.violated_properties(),
+        "group-wise fleet check and monolithic check disagree"
+    );
+}
+
+#[test]
+fn warm_rerun_is_pure_cache_replay() {
+    let (apps, config) = market8();
+    let pipeline = Pipeline::with_events(2);
+    let mut cache = VerificationCache::new();
+    let cold = pipeline.verify_fleet(&apps, &config, &mut cache);
+    let warm = pipeline.verify_fleet(&apps, &config, &mut cache);
+    assert_eq!(warm.cache_hits, warm.groups.len());
+    assert_eq!(warm.cache_misses, 0);
+    assert!(warm.groups.iter().all(|g| g.from_cache));
+    assert_eq!(warm.outcome(), cold.outcome());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Mutating one app (its IR content, not its event profile) and
+    /// re-verifying with a warm cache re-checks exactly the groups containing
+    /// that app, and the merged report equals a cold full run on the mutated
+    /// bundle.
+    #[test]
+    fn mutating_one_app_rechecks_exactly_its_groups(index in 0usize..8) {
+        let (apps, config) = market8();
+        let pipeline = Pipeline::with_events(2);
+        let mut cache = VerificationCache::new();
+        pipeline.verify_fleet(&apps, &config, &mut cache);
+
+        let mut mutated = apps.clone();
+        let slot = index % mutated.len();
+        let target = mutated[slot].name.clone();
+        mutated[slot].description.push_str(" (v2)");
+        // Skip indices whose app is excluded from verification.
+        if mutated[slot].dynamic_discovery {
+            return Ok(());
+        }
+
+        let warm = pipeline.verify_fleet(&mutated, &config, &mut cache);
+        for group in &warm.groups {
+            let contains_target = group.apps.contains(&target);
+            prop_assert_eq!(group.from_cache, !contains_target);
+        }
+        prop_assert!(warm.cache_misses >= 1);
+
+        let mut cold_cache = VerificationCache::new();
+        let cold = pipeline.verify_fleet(&mutated, &config, &mut cold_cache);
+        prop_assert_eq!(warm.outcome(), cold.outcome());
+    }
+}
