@@ -5,10 +5,13 @@
 //! over enumerated *configurations*.  Fleet verification (the
 //! `VerificationPlanner` in `iotsan-core`) has richer evidence available:
 //! the model checker's counterexample **traces**.  Every log line of a trace
-//! step is stamped with the `App.handler:` that produced it, so the Output
-//! Analyzer can rank the apps of a verified group by how strongly each one is
-//! implicated in driving the system into the unsafe state — without
-//! re-verifying a single configuration.
+//! step carries structured provenance — [`LogLine::owner`] names the app
+//! whose handler produced it, stamped by the model generator when the
+//! counterexample is materialized from its structured log events — so the
+//! Output Analyzer ranks the apps of a verified group by how strongly each
+//! one is implicated in driving the system into the unsafe state, without
+//! re-verifying a single configuration and without re-parsing formatted
+//! `App.handler:` prefixes out of log text (which earlier revisions did).
 //!
 //! Scoring is deliberately simple and deterministic: every log line owned by
 //! an app counts as one *mention*, weighted by how late in the counterexample
@@ -21,7 +24,7 @@
 //! lets callers distinguish "exonerated by the trace" from "absent from the
 //! group".
 
-use iotsan_checker::{FoundViolation, Trace};
+use iotsan_checker::{FoundViolation, LogLine, Trace};
 
 /// How strongly one app of a verified group is implicated by a
 /// counterexample trace.
@@ -60,12 +63,10 @@ impl TraceAttribution {
     }
 }
 
-/// True when `line` was logged by one of `app`'s handlers.  Handler log lines
-/// are stamped `App Name.handlerName: …` by the interpreter; device-state
-/// lines (`deviceLabel.attribute = value`) never collide because device
-/// labels are single identifiers while the stamp uses the app's display name.
-fn owned_by(line: &str, app: &str) -> bool {
-    line.strip_prefix(app).is_some_and(|rest| rest.starts_with('.'))
+/// True when `line` was produced by one of `app`'s handlers — read directly
+/// from the line's structured provenance.
+fn owned_by(line: &LogLine, app: &str) -> bool {
+    line.owner.as_deref() == Some(app)
 }
 
 /// Ranks the apps of a verified group by the evidence a single
@@ -134,16 +135,22 @@ mod tests {
         t.push(
             "alicePresence/presence=not present [ok]".into(),
             vec![
-                "Auto Mode Change.presenceHandler: handling presence=not present".into(),
-                "location.mode = Away".into(),
+                LogLine::owned(
+                    "Auto Mode Change",
+                    "Auto Mode Change.presenceHandler: handling presence=not present",
+                ),
+                LogLine::new("location.mode = Away"),
             ],
         );
         t.push(
             "location/mode=Away".into(),
             vec![
-                "Unlock Door.changedLocationMode: handling mode=Away".into(),
-                "mainDoorLock.unlock()".into(),
-                "mainDoorLock.lock = unlocked".into(),
+                LogLine::owned(
+                    "Unlock Door",
+                    "Unlock Door.changedLocationMode: handling mode=Away",
+                ),
+                LogLine::new("mainDoorLock.unlock()"),
+                LogLine::new("mainDoorLock.lock = unlocked"),
             ],
         );
         t
@@ -165,18 +172,22 @@ mod tests {
     }
 
     #[test]
-    fn device_lines_do_not_count_as_app_activity() {
-        // `mainDoorLock.lock = unlocked` must not be attributed to any app,
-        // and an app name that happens to prefix another string only matches
-        // with the `.` separator.
-        let apps = vec!["mainDoorLock".into()];
-        let suspects = rank_suspects(&apps, &unlock_trace());
-        // The label does own the `mainDoorLock.*` lines — but no *app* is
-        // named like a device label in practice; what matters is that the
-        // prefix match requires the dot.
-        assert!(suspects[0].mentions > 0);
-        let apps = vec!["Unlock".into()]; // prefix of "Unlock Door", no dot follows
-        let suspects = rank_suspects(&apps, &unlock_trace());
+    fn ownership_is_structural_not_textual() {
+        // A line whose *text* looks like app activity but carries no owner is
+        // never attributed; conversely, the owner field alone decides even if
+        // the text never mentions the app.
+        let mut t = Trace::new();
+        t.push(
+            "e".into(),
+            vec![
+                LogLine::new("Unlock Door.handler: handling x=1"),
+                LogLine::owned("Unlock Door", "doorLock.unlock()"),
+            ],
+        );
+        let suspects = rank_suspects(&["Unlock Door".into()], &t);
+        assert_eq!(suspects[0].mentions, 1);
+        // An app name that merely prefixes another owner never matches.
+        let suspects = rank_suspects(&["Unlock".into()], &t);
         assert_eq!(suspects[0].mentions, 0);
     }
 
@@ -214,7 +225,13 @@ mod tests {
         // Within one step, the later log line weighs more: the handler whose
         // activity is closest to the unsafe state ranks first.
         let mut t = Trace::new();
-        t.push("e".into(), vec!["B App.h: handling x=1".into(), "A App.h: handling x=1".into()]);
+        t.push(
+            "e".into(),
+            vec![
+                LogLine::owned("B App", "B App.h: handling x=1"),
+                LogLine::owned("A App", "A App.h: handling x=1"),
+            ],
+        );
         let suspects = rank_suspects(&["A App".into(), "B App".into()], &t);
         assert_eq!(suspects[0].app, "A App");
         assert!(suspects[0].score > suspects[1].score);

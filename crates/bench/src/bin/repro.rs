@@ -69,6 +69,15 @@ fn main() {
         json_path = Some(which.remove(pos + 1));
         which.remove(pos);
     }
+    let mut baseline_path = None;
+    if let Some(pos) = which.iter().position(|a| a == "--baseline") {
+        if pos + 1 >= which.len() {
+            eprintln!("error: --baseline requires a file path");
+            std::process::exit(2);
+        }
+        baseline_path = Some(which.remove(pos + 1));
+        which.remove(pos);
+    }
     if let Some(unknown) = which.iter().find(|a| *a != "all" && !EXPERIMENTS.contains(&a.as_str()))
     {
         eprintln!("error: unknown experiment `{unknown}`");
@@ -118,8 +127,9 @@ fn main() {
     if want("fig8b") {
         fig8b();
     }
+    let mut sequential_throughput = None;
     if want("parallel") {
-        parallel(&mut bench_json);
+        sequential_throughput = Some(parallel(&mut bench_json));
     }
     if want("fleet") {
         fleet(&mut bench_json);
@@ -128,6 +138,54 @@ fn main() {
         std::fs::write(&path, bench_json.render())
             .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
         println!("\nwrote machine-readable timings to {path}");
+    }
+    if let Some(path) = baseline_path {
+        let Some(measured) = sequential_throughput else {
+            eprintln!("error: --baseline requires the `parallel` experiment to run");
+            std::process::exit(2);
+        };
+        check_throughput_baseline(&path, measured);
+    }
+}
+
+/// Maximum tolerated drop of the sequential checker's states/sec relative to
+/// the committed baseline before the CI bench-smoke job fails.
+const THROUGHPUT_REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Extracts the sequential-engine `states_per_sec` value from a
+/// machine-readable timings document (the committed `BENCH_baseline.json`).
+/// Hand-rolled scan, matching the hand-rendered writer.
+fn baseline_states_per_sec(text: &str) -> Option<f64> {
+    let row = text.lines().find(|l| l.contains("\"engine\": \"sequential\""))?;
+    let start = row.find("\"states_per_sec\": ")? + "\"states_per_sec\": ".len();
+    let rest = &row[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// The bench-smoke regression guard: fails the run when the measured
+/// sequential throughput has regressed more than
+/// [`THROUGHPUT_REGRESSION_TOLERANCE`] below the committed baseline.
+/// (Cross-machine noise caveat: the baseline is refreshed whenever the
+/// benchmark machine class changes — see EXPERIMENTS.md.)
+fn check_throughput_baseline(path: &str, measured: f64) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("failed to read baseline {path}: {e}"));
+    let Some(baseline) = baseline_states_per_sec(&text) else {
+        eprintln!("error: no sequential states_per_sec row in baseline {path}");
+        std::process::exit(2);
+    };
+    let floor = baseline * (1.0 - THROUGHPUT_REGRESSION_TOLERANCE);
+    println!(
+        "\nthroughput guard: sequential {measured:.0} states/sec vs baseline {baseline:.0} (floor {floor:.0})"
+    );
+    if measured < floor {
+        eprintln!(
+            "error: sequential throughput regressed more than {:.0}% below the committed baseline \
+             ({measured:.0} < {floor:.0} states/sec); investigate or refresh BENCH_baseline.json",
+            THROUGHPUT_REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
     }
 }
 
@@ -170,11 +228,13 @@ fn speedup_vs(baseline: &TimedRun, run: &TimedRun) -> f64 {
 fn timing_row(workers: usize, run: &TimedRun, baseline: &TimedRun) -> String {
     let speedup = speedup_vs(baseline, run);
     format!(
-        "        {{\"workers\": {workers}, \"engine\": \"{}\", \"seconds\": {:.6}, \"states\": {}, \"transitions\": {}, \"violated_properties\": {}, \"truncated\": {}, \"speedup\": {speedup:.3}}}",
+        "        {{\"workers\": {workers}, \"engine\": \"{}\", \"seconds\": {:.6}, \"states\": {}, \"transitions\": {}, \"states_per_sec\": {:.1}, \"peak_trace_bytes\": {}, \"violated_properties\": {}, \"truncated\": {}, \"speedup\": {speedup:.3}}}",
         if workers <= 1 { "sequential" } else { "parallel" },
         run.elapsed.as_secs_f64(),
         run.report.stats.states_stored,
         run.report.stats.transitions,
+        run.report.stats.states_per_sec,
+        run.report.stats.peak_trace_bytes,
         run.report.violated_properties().len(),
         run.truncated,
     )
@@ -183,8 +243,9 @@ fn timing_row(workers: usize, run: &TimedRun, baseline: &TimedRun) -> String {
 /// Worker-count sweep: the sequential checker vs the parallel checker at
 /// 2/4/8 workers on the bench-profile scaling workload — 8 market apps with
 /// failure injection (the paper has no multi-core numbers — this tracks the
-/// reproduction's own scaling; see EXPERIMENTS.md).
-fn parallel(json: &mut BenchJson) {
+/// reproduction's own scaling; see EXPERIMENTS.md).  Returns the sequential
+/// engine's measured states/sec (the throughput-guard metric).
+fn parallel(json: &mut BenchJson) -> f64 {
     heading("Parallel checker: worker-count sweep (8 market apps, failures on)");
     let (apps, config) = iotsan_bench::scaling_workload();
     let events = iotsan_bench::experiment_events(3, 4);
@@ -246,6 +307,7 @@ fn parallel(json: &mut BenchJson) {
     } else {
         println!("(equal violation sets, state and transition counts across all worker counts: deterministic merge verified)");
     }
+    baseline.report.stats.states_per_sec
 }
 
 fn fleet_row(

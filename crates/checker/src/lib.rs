@@ -34,6 +34,8 @@ pub mod transition;
 
 pub use parallel::ParallelChecker;
 pub use search::{Checker, FoundViolation, SearchConfig, SearchMode, SearchReport, SearchStats};
-pub use store::{BitstateStore, ExactStore, HashCompactStore, ShardedStore, StateStore, StoreKind};
-pub use trace::{Trace, TraceStep};
-pub use transition::{StepOutcome, TransitionSystem, Violation};
+pub use store::{
+    fnv1a, BitstateStore, ExactStore, HashCompactStore, ShardedStore, StateStore, StoreKind,
+};
+pub use trace::{LogLine, Trace, TraceStep};
+pub use transition::{StepLog, StepOutcome, TransitionSystem, Violation};

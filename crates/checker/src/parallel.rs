@@ -16,6 +16,20 @@
 //! global queue empty parks on a condvar; when every worker is parked the
 //! frontier is exhausted and the search is over.
 //!
+//! # Counterexample bookkeeping
+//!
+//! Like the sequential engine, workers never clone traces on the hot path:
+//! each worker owns a parent-pointer `TraceArena` (`crate::search`)
+//! recording one `(parent, action)` node per state *it*
+//! admitted.  Frames donated to the shared queue carry their root-to-frame
+//! action path as an owned prefix, which the stealing worker registers in its
+//! own arena — so arenas are strictly worker-private (no cross-thread
+//! dereference of a growing arena) while every frame, wherever it travels,
+//! can still reconstruct its full path.  Violations record `(depth, action
+//! path)` candidates; the deterministic merge ranks them exactly as before
+//! and only the per-property winners are materialized into full [`crate::Trace`]s
+//! by replay.
+//!
 //! # Determinism
 //!
 //! With exact (or hash-compact) storage, depth is part of state identity and
@@ -29,20 +43,22 @@
 //! parallel merge reports the co-violated properties of one best-ranked
 //! triggering step, which may be a different step than sequential DFS order
 //! happens to reach first.  Worker results are merged by
-//! keeping, per property, the lexicographically least `(depth, trace)`
-//! candidate, so the *depth* of every reported counterexample is also
-//! schedule-independent.  The trace itself is best-effort: when two
-//! equal-depth paths race to admit the same state, the winner's trace seeds
-//! that state's whole subtree, so the specific event sequence reported for a
-//! property may differ between runs (its length never does).  (Bitstate
-//! storage stays approximate: admission of colliding states depends on
-//! insertion order, exactly as Spin's multi-core BITSTATE mode trades
-//! determinism for memory.)
+//! keeping, per property, the lexicographically least `(depth, rendered
+//! action sequence)` candidate, so the *depth* of every reported
+//! counterexample is also schedule-independent.  The trace itself is
+//! best-effort: when two equal-depth paths race to admit the same state, the
+//! winner's path seeds that state's whole subtree, so the specific event
+//! sequence reported for a property may differ between runs (its length
+//! never does).  (Bitstate storage stays approximate: admission of colliding
+//! states depends on insertion order, exactly as Spin's multi-core BITSTATE
+//! mode trades determinism for memory.)
 
-use crate::search::{depth_tag, Checker, FoundViolation, SearchConfig, SearchReport, SearchStats};
+use crate::search::{
+    depth_tag, materialize_trace, states_per_sec, Checker, FoundViolation, SearchConfig,
+    SearchReport, SearchStats, TraceArena,
+};
 use crate::store::ShardedStore;
-use crate::trace::Trace;
-use crate::transition::TransitionSystem;
+use crate::transition::{StepLog, TransitionSystem, Violation};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -51,17 +67,43 @@ use std::time::Instant;
 /// How many frames a worker pulls from the global queue in one pop.
 const CHUNK: usize = 16;
 
-/// A frontier entry: a state to expand, its event depth and the trace that
-/// reached it.
-struct Frame<S> {
+/// Where a frame's action path is rooted: a node of the local arena, or (for
+/// frames that travelled through the shared queue) an owned path.
+enum Lineage<A> {
+    /// Node id in the expanding worker's arena.
+    Local(u32),
+    /// The full root-to-frame action path, carried along with a stolen frame.
+    Owned(Vec<A>),
+}
+
+/// A frontier entry: a state to expand, its event depth and its lineage.
+struct Frame<S, A> {
     state: S,
     depth: usize,
-    trace: Trace,
+    lineage: Lineage<A>,
+}
+
+/// A violation candidate: enough to rank deterministically and to
+/// materialize the winner's trace later.
+struct Candidate<A> {
+    violation: Violation,
+    depth: usize,
+    /// Root-to-violation action sequence (the triggering action included).
+    actions: Vec<A>,
+    /// Rendered action strings (the merge's tie-break key; computed once per
+    /// candidate, not per comparison).
+    events: Vec<String>,
+}
+
+impl<A> Candidate<A> {
+    fn rank(&self) -> (usize, &[String]) {
+        (self.depth, &self.events)
+    }
 }
 
 /// The shared frontier plus the termination-detection bookkeeping it guards.
-struct Frontier<S> {
-    items: VecDeque<Frame<S>>,
+struct Frontier<S, A> {
+    items: VecDeque<Frame<S, A>>,
     /// Workers currently parked waiting for work.
     idle: usize,
     /// Set once: either every worker went idle or a stop condition fired.
@@ -74,7 +116,7 @@ struct Shared<'m, T: TransitionSystem> {
     config: &'m SearchConfig,
     workers: usize,
     store: ShardedStore,
-    frontier: Mutex<Frontier<T::State>>,
+    frontier: Mutex<Frontier<T::State, T::Action>>,
     /// Approximate mirror of `frontier.items.len()`, readable without the
     /// lock so workers can decide cheaply whether the queue is hungry.
     frontier_len: AtomicUsize,
@@ -82,6 +124,8 @@ struct Shared<'m, T: TransitionSystem> {
     transitions: AtomicUsize,
     stored: AtomicUsize,
     max_depth_reached: AtomicUsize,
+    /// Total arena bookkeeping bytes, accumulated as workers retire.
+    arena_bytes: AtomicUsize,
     /// Hard-stop flag (budget exhausted or stop-at-first fired).
     stop: AtomicBool,
     transitions_capped: AtomicBool,
@@ -98,7 +142,7 @@ impl<T: TransitionSystem> Shared<'_, T> {
         self.available.notify_all();
     }
 
-    fn lock_frontier(&self) -> std::sync::MutexGuard<'_, Frontier<T::State>> {
+    fn lock_frontier(&self) -> std::sync::MutexGuard<'_, Frontier<T::State, T::Action>> {
         match self.frontier.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -159,11 +203,13 @@ impl ParallelChecker {
     /// Runs the search over `model` and reports violations and statistics.
     ///
     /// The model must be shareable across worker threads (`Sync`, with
-    /// sendable states); every model in `iotsan-core` satisfies this.
+    /// sendable states and actions); every model in `iotsan-core` satisfies
+    /// this.
     pub fn verify<T>(&self, model: &T) -> SearchReport
     where
         T: TransitionSystem + Sync,
         T::State: Send,
+        T::Action: Send,
     {
         let workers = self.config.effective_workers();
         if workers == 1 {
@@ -178,7 +224,7 @@ impl ParallelChecker {
         store.insert(&encode_buf);
 
         let mut items = VecDeque::new();
-        items.push_back(Frame { state: initial, depth: 0, trace: Trace::new() });
+        items.push_back(Frame { state: initial, depth: 0, lineage: Lineage::Owned(Vec::new()) });
         let shared = Shared {
             model,
             config: &self.config,
@@ -190,6 +236,7 @@ impl ParallelChecker {
             transitions: AtomicUsize::new(0),
             stored: AtomicUsize::new(1),
             max_depth_reached: AtomicUsize::new(0),
+            arena_bytes: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             transitions_capped: AtomicBool::new(false),
             states_capped: AtomicBool::new(false),
@@ -198,12 +245,12 @@ impl ParallelChecker {
             deadline: self.config.time_limit.and_then(|limit| start.checked_add(limit)),
         };
 
-        let per_worker: Vec<BTreeMap<u32, FoundViolation>> = std::thread::scope(|scope| {
+        let per_worker: Vec<BTreeMap<u32, Candidate<T::Action>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers).map(|_| scope.spawn(|| worker(&shared))).collect();
             handles.into_iter().map(|h| h.join().expect("search worker panicked")).collect()
         });
 
-        let violations = merge_violations(per_worker, self.config.stop_at_first);
+        let violations = merge_violations(model, per_worker, self.config.stop_at_first);
         let stopped_early = shared.stop.load(Ordering::Relaxed);
         let states_capped = shared.states_capped.load(Ordering::Relaxed);
         let transitions_capped = shared.transitions_capped.load(Ordering::Relaxed);
@@ -212,12 +259,17 @@ impl ParallelChecker {
         // the violation still means the space was not exhausted), keeping the
         // invariant that any `*_capped` flag implies `truncated`.
         let stop_at_first_exit = self.config.stop_at_first && !violations.is_empty();
+        let states_stored = shared.store.len();
+        let elapsed = start.elapsed();
         let stats = SearchStats {
-            states_stored: shared.store.len(),
+            states_stored,
             transitions: shared.transitions.load(Ordering::Relaxed),
             max_depth_reached: shared.max_depth_reached.load(Ordering::Relaxed),
-            elapsed: start.elapsed(),
+            elapsed,
+            states_per_sec: states_per_sec(states_stored, elapsed),
             store_memory_bytes: shared.store.memory_bytes(),
+            peak_trace_bytes: shared.arena_bytes.load(Ordering::Relaxed)
+                + violations.iter().map(|v| v.trace.memory_bytes()).sum::<usize>(),
             truncated: (stopped_early && !stop_at_first_exit)
                 || states_capped
                 || transitions_capped,
@@ -229,53 +281,53 @@ impl ParallelChecker {
     }
 }
 
-/// Reduces the per-worker violation maps to one counterexample per property,
+/// Reduces the per-worker candidate maps to one counterexample per property,
 /// deterministically: per property the lexicographically least
-/// `(depth, trace)` candidate wins, and the result is ordered by property id.
-/// Under `stop_at_first` only the best-ranked triggering transition's
-/// violations survive — like the sequential engine, which records *every*
-/// property the first violating step breaks before stopping (a single step
-/// can violate several properties at once).
-fn merge_violations(
-    per_worker: Vec<BTreeMap<u32, FoundViolation>>,
+/// `(depth, rendered actions)` candidate wins, and the result is ordered by
+/// property id.  Only the winners are materialized into full traces (by
+/// replaying their action sequences).  Under `stop_at_first` only the
+/// best-ranked triggering transition's violations survive — like the
+/// sequential engine, which records *every* property the first violating
+/// step breaks before stopping (a single step can violate several properties
+/// at once).
+fn merge_violations<T: TransitionSystem>(
+    model: &T,
+    per_worker: Vec<BTreeMap<u32, Candidate<T::Action>>>,
     stop_at_first: bool,
 ) -> Vec<FoundViolation> {
-    let mut best: BTreeMap<u32, FoundViolation> = BTreeMap::new();
+    let mut best: BTreeMap<u32, Candidate<T::Action>> = BTreeMap::new();
     for map in per_worker {
         for candidate in map.into_values() {
-            record_violation(&mut best, candidate);
+            record_candidate(&mut best, candidate);
         }
     }
-    let mut merged: Vec<FoundViolation> = best.into_values().collect();
+    let mut merged: Vec<Candidate<T::Action>> = best.into_values().collect();
     if stop_at_first && merged.len() > 1 {
         // Keep the co-violated properties of a single triggering step:
-        // violations from the same step share the full trace (actions and
-        // logs), so trace identity — not just rank — keys the retain.
-        let best_index =
-            (0..merged.len()).min_by_key(|&i| owned_rank(&merged[i])).expect("merged is non-empty");
+        // violations from the same step share the full action path, so path
+        // identity — not just rank — keys the retain.
+        let best_index = (0..merged.len())
+            .min_by_key(|&i| (merged[i].depth, merged[i].events.clone()))
+            .expect("merged is non-empty");
         let best_depth = merged[best_index].depth;
-        let best_trace = merged[best_index].trace.clone();
-        merged.retain(|v| v.depth == best_depth && v.trace == best_trace);
+        let best_events = merged[best_index].events.clone();
+        merged.retain(|c| c.depth == best_depth && c.events == best_events);
     }
     merged
-}
-
-/// The total order used to pick one counterexample per property.
-fn violation_rank(v: &FoundViolation) -> (usize, Vec<&str>) {
-    (v.depth, v.trace.events())
-}
-
-/// [`violation_rank`] with owned event strings, for comparisons that outlive
-/// a borrow of the candidate list.
-fn owned_rank(v: &FoundViolation) -> (usize, Vec<String>) {
-    (v.depth, v.trace.events().iter().map(|e| e.to_string()).collect())
+        .into_iter()
+        .map(|c| FoundViolation {
+            trace: materialize_trace(model, &c.actions),
+            violation: c.violation,
+            depth: c.depth,
+        })
+        .collect()
 }
 
 /// Records a violation candidate, keeping the least-ranked one per property.
-fn record_violation(best: &mut BTreeMap<u32, FoundViolation>, candidate: FoundViolation) {
+fn record_candidate<A>(best: &mut BTreeMap<u32, Candidate<A>>, candidate: Candidate<A>) {
     match best.get_mut(&candidate.violation.property) {
         Some(current) => {
-            if violation_rank(&candidate) < violation_rank(current) {
+            if candidate.rank() < current.rank() {
                 *current = candidate;
             }
         }
@@ -303,22 +355,41 @@ impl<T: TransitionSystem> Drop for StopOnPanic<'_, '_, T> {
     }
 }
 
+/// Per-worker reusable hot-loop buffers.
+struct WorkerScratch<T: TransitionSystem> {
+    arena: TraceArena<T::Action>,
+    actions: Vec<T::Action>,
+    encode: Vec<u8>,
+    path: Vec<T::Action>,
+    model_scratch: T::Scratch,
+    log: StepLog<T::Event>,
+}
+
 /// One worker of the pool: expand local frames depth-first, share surplus
 /// when the global queue runs dry, park when there is nothing left anywhere.
-fn worker<T>(shared: &Shared<'_, T>) -> BTreeMap<u32, FoundViolation>
+fn worker<T>(shared: &Shared<'_, T>) -> BTreeMap<u32, Candidate<T::Action>>
 where
     T: TransitionSystem + Sync,
     T::State: Send,
+    T::Action: Send,
 {
     let _guard = StopOnPanic { shared };
-    let mut local: Vec<Frame<T::State>> = Vec::new();
-    let mut best: BTreeMap<u32, FoundViolation> = BTreeMap::new();
-    let mut encode_buf = Vec::new();
+    let mut local: Vec<Frame<T::State, T::Action>> = Vec::new();
+    let mut best: BTreeMap<u32, Candidate<T::Action>> = BTreeMap::new();
+    let mut scratch = WorkerScratch::<T> {
+        arena: TraceArena::new(),
+        actions: Vec::new(),
+        encode: Vec::new(),
+        path: Vec::new(),
+        model_scratch: T::Scratch::default(),
+        log: StepLog::disabled(),
+    };
 
     while let Some(frame) = next_frame(shared, &mut local) {
-        expand(shared, frame, &mut local, &mut best, &mut encode_buf);
-        share_surplus(shared, &mut local);
+        expand(shared, frame, &mut local, &mut best, &mut scratch);
+        share_surplus(shared, &mut local, &scratch.arena);
     }
+    shared.arena_bytes.fetch_add(scratch.arena.memory_bytes(), Ordering::Relaxed);
     best
 }
 
@@ -327,8 +398,8 @@ where
 /// queue is empty too.
 fn next_frame<T>(
     shared: &Shared<'_, T>,
-    local: &mut Vec<Frame<T::State>>,
-) -> Option<Frame<T::State>>
+    local: &mut Vec<Frame<T::State, T::Action>>,
+) -> Option<Frame<T::State, T::Action>>
 where
     T: TransitionSystem,
 {
@@ -371,9 +442,14 @@ where
 }
 
 /// Moves the shallowest half of an oversized local stack to the global queue
-/// when the queue is hungry, waking parked workers.
-fn share_surplus<T>(shared: &Shared<'_, T>, local: &mut Vec<Frame<T::State>>)
-where
+/// when the queue is hungry, waking parked workers.  Donated frames have
+/// their lineage resolved into owned action paths (walking the donor's
+/// arena), so the stealing worker never touches this worker's arena.
+fn share_surplus<T>(
+    shared: &Shared<'_, T>,
+    local: &mut Vec<Frame<T::State, T::Action>>,
+    arena: &TraceArena<T::Action>,
+) where
     T: TransitionSystem,
 {
     if local.len() < 2 {
@@ -383,10 +459,20 @@ where
         return;
     }
     let keep = local.len() - local.len() / 2;
-    let mut frontier = shared.lock_frontier();
+    let donate = local.len() - keep;
     // Donate the *bottom* of the stack: those frames are the shallowest, so a
-    // stealing worker receives a large subtree instead of a near-leaf.
-    frontier.items.extend(local.drain(..local.len() - keep));
+    // stealing worker receives a large subtree instead of a near-leaf.  Path
+    // resolution (the arena walks and their allocations) happens *before*
+    // taking the shared lock, so donation bursts never serialize the pool.
+    for frame in local[..donate].iter_mut() {
+        if let Lineage::Local(node) = frame.lineage {
+            let mut path = Vec::new();
+            arena.path(node, &mut path);
+            frame.lineage = Lineage::Owned(path);
+        }
+    }
+    let mut frontier = shared.lock_frontier();
+    frontier.items.extend(local.drain(..donate));
     shared.frontier_len.store(frontier.items.len(), Ordering::Relaxed);
     shared.available.notify_all();
 }
@@ -396,10 +482,10 @@ where
 /// the shared store and push them for further expansion.
 fn expand<T>(
     shared: &Shared<'_, T>,
-    frame: Frame<T::State>,
-    local: &mut Vec<Frame<T::State>>,
-    best: &mut BTreeMap<u32, FoundViolation>,
-    encode_buf: &mut Vec<u8>,
+    frame: Frame<T::State, T::Action>,
+    local: &mut Vec<Frame<T::State, T::Action>>,
+    best: &mut BTreeMap<u32, Candidate<T::Action>>,
+    scratch: &mut WorkerScratch<T>,
 ) where
     T: TransitionSystem + Sync,
     T::State: Send,
@@ -408,51 +494,104 @@ fn expand<T>(
     if shared.stop.load(Ordering::Relaxed) || frame.depth >= shared.config.max_depth {
         return;
     }
-    for action in shared.model.actions(&frame.state) {
+    // Root this frame in the local arena: a frame that travelled through the
+    // shared queue registers its owned path as a prefix exactly once.
+    let parent = match frame.lineage {
+        Lineage::Local(node) => node,
+        Lineage::Owned(path) => scratch.arena.add_prefix(path),
+    };
+    shared.model.actions(&frame.state, &mut scratch.actions);
+    for index in 0..scratch.actions.len() {
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
+        let action = &scratch.actions[index];
         let transitions = shared.transitions.fetch_add(1, Ordering::Relaxed).saturating_add(1);
         if transitions >= shared.config.max_transitions {
             shared.transitions_capped.store(true, Ordering::Relaxed);
             shared.request_stop();
         }
-        let outcome = shared.model.apply(&frame.state, &action);
-        let mut next_trace = frame.trace.clone();
-        next_trace.push(action.to_string(), outcome.log.clone());
+        let outcome =
+            shared.model.apply(&frame.state, action, &mut scratch.model_scratch, &mut scratch.log);
         let next_depth = frame.depth + 1;
         shared.max_depth_reached.fetch_max(next_depth, Ordering::Relaxed);
 
         if !outcome.violations.is_empty() {
-            for violation in &outcome.violations {
-                record_violation(
-                    best,
-                    FoundViolation {
-                        violation: violation.clone(),
-                        trace: next_trace.clone(),
-                        depth: next_depth,
-                    },
-                );
-            }
+            record_step_violations(
+                shared.model,
+                &outcome.violations,
+                &scratch.arena,
+                parent,
+                action,
+                next_depth,
+                best,
+                &mut scratch.path,
+            );
             if shared.config.stop_at_first {
                 shared.request_stop();
                 return;
             }
         }
 
-        encode_buf.clear();
-        shared.model.encode(&outcome.state, encode_buf);
+        scratch.encode.clear();
+        shared.model.encode(&outcome.state, &mut scratch.encode);
         // Depth is part of state identity, exactly as in the sequential
-        // engine (see `Checker::run_dfs`).
-        encode_buf.push(depth_tag(next_depth));
-        if shared.store.insert(encode_buf) {
+        // engine (see `Checker::run`).
+        scratch.encode.push(depth_tag(next_depth));
+        if shared.store.insert(&scratch.encode) {
             let stored = shared.stored.fetch_add(1, Ordering::Relaxed).saturating_add(1);
             if stored >= shared.config.max_states {
                 shared.states_capped.store(true, Ordering::Relaxed);
                 shared.request_stop();
             }
-            local.push(Frame { state: outcome.state, depth: next_depth, trace: next_trace });
+            let node = scratch.arena.push(parent, action);
+            local.push(Frame {
+                state: outcome.state,
+                depth: next_depth,
+                lineage: Lineage::Local(node),
+            });
         }
+    }
+}
+
+/// Records candidates for every violation of one step, skipping the path
+/// walk and action rendering whenever the candidate cannot beat the current
+/// best for its property.
+#[allow(clippy::too_many_arguments)]
+fn record_step_violations<T: TransitionSystem>(
+    model: &T,
+    violations: &[Violation],
+    arena: &TraceArena<T::Action>,
+    parent: u32,
+    action: &T::Action,
+    depth: usize,
+    best: &mut BTreeMap<u32, Candidate<T::Action>>,
+    path_buf: &mut Vec<T::Action>,
+) {
+    // One path walk / render pass per step, shared by its co-violations, and
+    // only when at least one of them can improve on the current best.
+    let mut rendered: Option<(Vec<T::Action>, Vec<String>)> = None;
+    for violation in violations {
+        if let Some(current) = best.get(&violation.property) {
+            if depth > current.depth {
+                continue;
+            }
+        }
+        let (actions, events) = rendered.get_or_insert_with(|| {
+            arena.path(parent, path_buf);
+            path_buf.push(action.clone());
+            let events = path_buf.iter().map(|a| model.display_action(a)).collect();
+            (path_buf.clone(), events)
+        });
+        record_candidate(
+            best,
+            Candidate {
+                violation: violation.clone(),
+                depth,
+                actions: actions.clone(),
+                events: events.clone(),
+            },
+        );
     }
 }
 
@@ -461,7 +600,9 @@ mod tests {
     use super::*;
     use crate::search::SearchMode;
     use crate::store::StoreKind;
+    use crate::trace::LogLine;
     use crate::transition::testing::CounterModel;
+    use crate::transition::StepOutcome;
     use std::time::Duration;
 
     fn model() -> CounterModel {
@@ -508,6 +649,17 @@ mod tests {
     }
 
     #[test]
+    fn parallel_counterexamples_are_materialized() {
+        let config = SearchConfig::with_depth(6).parallel(4);
+        let report = ParallelChecker::new(config).verify(&model());
+        let found = report.violation_for(1).expect("violation found");
+        assert_eq!(found.trace.len(), found.depth);
+        assert_eq!(found.trace.steps.last().unwrap().log[0].text, "counter = 6");
+        assert!(report.stats.peak_trace_bytes > 0);
+        assert!(report.stats.states_per_sec > 0.0);
+    }
+
+    #[test]
     fn one_worker_delegates_to_the_sequential_engine() {
         let config = SearchConfig::with_depth(5);
         let par = ParallelChecker::new(config.clone()).verify(&model());
@@ -530,7 +682,6 @@ mod tests {
     #[test]
     fn stop_at_first_keeps_all_properties_of_the_triggering_step() {
         use crate::transition::testing::CounterAction;
-        use crate::transition::{StepOutcome, Violation};
 
         /// Like `CounterModel`, but reaching the bad value violates two
         /// properties in the same step.
@@ -538,20 +689,28 @@ mod tests {
         impl TransitionSystem for DoubleViolationModel {
             type State = u32;
             type Action = CounterAction;
+            type Event = ();
+            type Scratch = ();
 
             fn initial_state(&self) -> u32 {
                 1
             }
 
-            fn actions(&self, state: &u32) -> Vec<CounterAction> {
-                if *state >= 32 {
-                    Vec::new()
-                } else {
-                    vec![CounterAction::Increment, CounterAction::Double]
+            fn actions(&self, state: &u32, out: &mut Vec<CounterAction>) {
+                out.clear();
+                if *state < 32 {
+                    out.push(CounterAction::Increment);
+                    out.push(CounterAction::Double);
                 }
             }
 
-            fn apply(&self, state: &u32, action: &CounterAction) -> StepOutcome<u32> {
+            fn apply(
+                &self,
+                state: &u32,
+                action: &CounterAction,
+                _scratch: &mut (),
+                _log: &mut StepLog<()>,
+            ) -> StepOutcome<u32> {
                 let next = match action {
                     CounterAction::Increment => state + 1,
                     CounterAction::Double => state * 2,
@@ -565,11 +724,19 @@ mod tests {
                 } else {
                     Vec::new()
                 };
-                StepOutcome { state: next, violations, log: Vec::new() }
+                StepOutcome { state: next, violations }
             }
 
             fn encode(&self, state: &u32, out: &mut Vec<u8>) {
                 out.extend_from_slice(&state.to_le_bytes());
+            }
+
+            fn display_action(&self, action: &CounterAction) -> String {
+                action.to_string()
+            }
+
+            fn render_event(&self, _event: &()) -> LogLine {
+                LogLine::new("")
             }
         }
 
@@ -654,38 +821,53 @@ mod tests {
     #[test]
     fn worker_panic_propagates_instead_of_hanging() {
         use crate::transition::testing::CounterAction;
-        use crate::transition::StepOutcome;
 
         /// A model whose `apply` panics on one reachable state.
         struct ExplodingModel;
         impl TransitionSystem for ExplodingModel {
             type State = u32;
             type Action = CounterAction;
+            type Event = ();
+            type Scratch = ();
 
             fn initial_state(&self) -> u32 {
                 1
             }
 
-            fn actions(&self, state: &u32) -> Vec<CounterAction> {
-                if *state >= 32 {
-                    Vec::new()
-                } else {
-                    vec![CounterAction::Increment, CounterAction::Double]
+            fn actions(&self, state: &u32, out: &mut Vec<CounterAction>) {
+                out.clear();
+                if *state < 32 {
+                    out.push(CounterAction::Increment);
+                    out.push(CounterAction::Double);
                 }
             }
 
-            fn apply(&self, state: &u32, action: &CounterAction) -> StepOutcome<u32> {
+            fn apply(
+                &self,
+                state: &u32,
+                action: &CounterAction,
+                _scratch: &mut (),
+                _log: &mut StepLog<()>,
+            ) -> StepOutcome<u32> {
                 assert!(*state != 5, "model exploded at 5");
                 let next = match action {
                     CounterAction::Increment => state + 1,
                     CounterAction::Double => state * 2,
                 }
                 .min(32);
-                StepOutcome { state: next, violations: Vec::new(), log: Vec::new() }
+                StepOutcome { state: next, violations: Vec::new() }
             }
 
             fn encode(&self, state: &u32, out: &mut Vec<u8>) {
                 out.extend_from_slice(&state.to_le_bytes());
+            }
+
+            fn display_action(&self, action: &CounterAction) -> String {
+                action.to_string()
+            }
+
+            fn render_event(&self, _event: &()) -> LogLine {
+                LogLine::new("")
             }
         }
 

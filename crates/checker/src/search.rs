@@ -7,10 +7,27 @@
 //! bound is [`SearchConfig::max_depth`], the maximum number of external events
 //! along any path.  Visited states are stored exactly, hash-compacted or in a
 //! BITSTATE bit array ([`crate::store`]).
+//!
+//! # Allocation discipline
+//!
+//! The exploration loop performs no per-transition heap allocation in steady
+//! state:
+//!
+//! * enabled actions are written into one reused buffer per expansion;
+//! * counterexample bookkeeping is a parent-pointer `TraceArena` — one
+//!   `(parent, action)` node per *admitted* state instead of an O(depth)
+//!   trace clone per transition (which made path cost quadratic);
+//! * effect logs are deferred: the search runs with a disabled
+//!   [`StepLog`], so the model never formats or even constructs log events on
+//!   the hot path;
+//! * full [`Trace`]s (action strings plus rendered log lines) exist only for
+//!   the ≤1-per-property violations that are actually reported — they are
+//!   *materialized* by replaying the arena's action path from the initial
+//!   state with logging enabled.
 
 use crate::store::StoreKind;
 use crate::trace::Trace;
-use crate::transition::{StepOutcome, TransitionSystem, Violation};
+use crate::transition::{StepLog, TransitionSystem, Violation};
 use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -111,8 +128,18 @@ pub struct SearchStats {
     pub max_depth_reached: usize,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
+    /// Exploration throughput: distinct states stored per second of
+    /// wall-clock search time (the headline number the zero-allocation core
+    /// is measured by; `repro parallel --json` and the CI regression guard
+    /// consume it).
+    pub states_per_sec: f64,
     /// Approximate memory used by the state store.
     pub store_memory_bytes: usize,
+    /// High-water mark, in bytes, of counterexample bookkeeping: the
+    /// parent-pointer trace arena(s) plus every materialized counterexample.
+    /// The arena grows by one pointer-sized node per admitted state; full
+    /// traces with strings exist only for reported violations.
+    pub peak_trace_bytes: usize,
     /// True when the search stopped because of a resource cap rather than
     /// exhausting the bounded state space.
     pub truncated: bool,
@@ -183,6 +210,107 @@ impl SearchReport {
     }
 }
 
+/// Sentinel parent id of root frames (the initial state, empty path).
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// High bit marking an arena parent id as a *prefix* reference (an owned
+/// action path imported from another worker's subtree — see
+/// [`TraceArena::add_prefix`]).
+const PREFIX_FLAG: u32 = 1 << 31;
+
+/// Parent-pointer counterexample bookkeeping.
+///
+/// The search engines record one `(parent, action)` node per **admitted**
+/// state — never a full trace per transition.  A counterexample's action
+/// sequence is reconstructed by walking parents from the violating frame to
+/// the root, which only happens for the ≤1-per-property violations that are
+/// reported.
+///
+/// The parallel engine keeps one arena per worker.  Frames that migrate
+/// between workers through the shared queue carry their action path as an
+/// owned prefix; the receiving worker registers it once
+/// ([`TraceArena::add_prefix`]) and roots the stolen subtree's nodes at it,
+/// so no worker ever dereferences another worker's (concurrently growing)
+/// arena and the deterministic merge is unchanged.
+#[derive(Debug)]
+pub(crate) struct TraceArena<A> {
+    nodes: Vec<(u32, A)>,
+    prefixes: Vec<Vec<A>>,
+}
+
+impl<A: Clone> TraceArena<A> {
+    pub(crate) fn new() -> Self {
+        TraceArena { nodes: Vec::new(), prefixes: Vec::new() }
+    }
+
+    /// Records an admitted state's provenance; returns its node id.
+    #[inline]
+    pub(crate) fn push(&mut self, parent: u32, action: &A) -> u32 {
+        let id = self.nodes.len() as u32;
+        assert!(id < PREFIX_FLAG, "trace arena overflow (>2^31 admitted states)");
+        self.nodes.push((parent, action.clone()));
+        id
+    }
+
+    /// Registers an owned action prefix (a stolen frame's path) and returns
+    /// the parent id that roots nodes at it.
+    pub(crate) fn add_prefix(&mut self, path: Vec<A>) -> u32 {
+        if path.is_empty() {
+            return NO_PARENT;
+        }
+        let id = self.prefixes.len() as u32;
+        assert!(id < PREFIX_FLAG - 1, "trace arena prefix overflow");
+        self.prefixes.push(path);
+        PREFIX_FLAG | id
+    }
+
+    /// Reconstructs the root-to-`node` action path into `out` (cleared
+    /// first).
+    pub(crate) fn path(&self, mut node: u32, out: &mut Vec<A>) {
+        out.clear();
+        let mut prefix = None;
+        while node != NO_PARENT {
+            if node & PREFIX_FLAG != 0 {
+                prefix = Some((node & !PREFIX_FLAG) as usize);
+                break;
+            }
+            let (parent, action) = &self.nodes[node as usize];
+            out.push(action.clone());
+            node = *parent;
+        }
+        out.reverse();
+        if let Some(index) = prefix {
+            out.splice(0..0, self.prefixes[index].iter().cloned());
+        }
+    }
+
+    /// Approximate heap footprint of the arena in bytes.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<(u32, A)>()
+            + self.prefixes.capacity() * std::mem::size_of::<Vec<A>>()
+            + self.prefixes.iter().map(|p| p.capacity() * std::mem::size_of::<A>()).sum::<usize>()
+    }
+}
+
+/// Materializes the counterexample for an action sequence by replaying it
+/// from the initial state with logging enabled — the only place the checker
+/// renders action strings and log lines.  `apply` is deterministic, so the
+/// replay reproduces exactly the transitions the search took.
+pub(crate) fn materialize_trace<T: TransitionSystem>(model: &T, actions: &[T::Action]) -> Trace {
+    let mut trace = Trace::new();
+    let mut state = model.initial_state();
+    let mut scratch = T::Scratch::default();
+    let mut log = StepLog::enabled();
+    for action in actions {
+        log.clear();
+        let outcome = model.apply(&state, action, &mut scratch, &mut log);
+        let lines = log.events().iter().map(|e| model.render_event(e)).collect();
+        trace.push(model.display_action(action), lines);
+        state = outcome.state;
+    }
+    trace
+}
+
 /// The explicit-state model checker.
 #[derive(Debug, Clone, Default)]
 pub struct Checker {
@@ -210,29 +338,42 @@ impl Checker {
     /// order-dependent in either engine).
     pub fn verify<T: TransitionSystem>(&self, model: &T) -> SearchReport {
         match self.config.mode {
-            SearchMode::Dfs => self.run_dfs(model),
-            SearchMode::Bfs => self.run_bfs(model),
+            SearchMode::Dfs => self.run::<T, false>(model),
+            SearchMode::Bfs => self.run::<T, true>(model),
         }
     }
 
-    fn run_dfs<T: TransitionSystem>(&self, model: &T) -> SearchReport {
+    /// The search loop; `BFS` selects queue (breadth-first) or stack
+    /// (depth-first) frontier order — everything else is identical.
+    fn run<T: TransitionSystem, const BFS: bool>(&self, model: &T) -> SearchReport {
         let start = Instant::now();
         let mut store = self.config.store.build();
         let mut report = SearchReport::default();
         let mut seen_properties: BTreeSet<u32> = BTreeSet::new();
+
+        // Reused hot-loop buffers: encoded state bytes, enabled actions,
+        // model scratch, the (disabled) effect log and the path scratch for
+        // the rare materializations.
         let mut encode_buf = Vec::new();
+        let mut actions_buf: Vec<T::Action> = Vec::new();
+        let mut scratch = T::Scratch::default();
+        let mut log = StepLog::disabled();
+        let mut path_buf: Vec<T::Action> = Vec::new();
+        let mut arena: TraceArena<T::Action> = TraceArena::new();
 
         let initial = model.initial_state();
         encode_buf.clear();
         model.encode(&initial, &mut encode_buf);
         store.insert(&encode_buf);
 
-        // Explicit DFS stack: (state, depth, trace-so-far).
-        // The trace is cloned per frame; depths are small (≤ ~12 events) so
-        // this stays cheap relative to handler interpretation.
-        let mut stack: Vec<(T::State, usize, Trace)> = vec![(initial, 0, Trace::new())];
+        // The frontier: (state, depth, arena node).  A VecDeque serves both
+        // orders — DFS pops the back, BFS pops the front.
+        let mut frontier: VecDeque<(T::State, usize, u32)> = VecDeque::new();
+        frontier.push_back((initial, 0, NO_PARENT));
 
-        'search: while let Some((state, depth, trace)) = stack.pop() {
+        'search: while let Some((state, depth, node)) =
+            if BFS { frontier.pop_front() } else { frontier.pop_back() }
+        {
             if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
                 report.stats.record_cap(cap);
                 break;
@@ -240,27 +381,32 @@ impl Checker {
             if depth >= self.config.max_depth {
                 continue;
             }
-            for action in model.actions(&state) {
+            model.actions(&state, &mut actions_buf);
+            for action in &actions_buf {
                 if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
                     report.stats.record_cap(cap);
                     break 'search;
                 }
-                let outcome = model.apply(&state, &action);
+                let outcome = model.apply(&state, action, &mut scratch, &mut log);
                 report.stats.transitions = report.stats.transitions.saturating_add(1);
-                let mut next_trace = trace.clone();
-                next_trace.push(action.to_string(), outcome.log.clone());
                 let next_depth = depth + 1;
                 report.stats.max_depth_reached = report.stats.max_depth_reached.max(next_depth);
 
-                self.record_violations(
-                    &outcome,
-                    &next_trace,
-                    next_depth,
-                    &mut seen_properties,
-                    &mut report,
-                );
-                if self.config.stop_at_first && report.has_violations() {
-                    break 'search;
+                if !outcome.violations.is_empty() {
+                    record_violations(
+                        model,
+                        &outcome.violations,
+                        &arena,
+                        node,
+                        action,
+                        next_depth,
+                        &mut seen_properties,
+                        &mut report,
+                        &mut path_buf,
+                    );
+                    if self.config.stop_at_first {
+                        break 'search;
+                    }
                 }
 
                 encode_buf.clear();
@@ -270,91 +416,14 @@ impl Checker {
                 // left, so it must be revisited.
                 encode_buf.push(depth_tag(next_depth));
                 if store.insert(&encode_buf) {
-                    stack.push((outcome.state, next_depth, next_trace));
+                    let next_node = arena.push(node, action);
+                    frontier.push_back((outcome.state, next_depth, next_node));
                 }
             }
         }
 
-        self.finish(&mut report, store.as_ref(), start);
+        self.finish(&mut report, store.as_ref(), start, arena.memory_bytes());
         report
-    }
-
-    fn run_bfs<T: TransitionSystem>(&self, model: &T) -> SearchReport {
-        let start = Instant::now();
-        let mut store = self.config.store.build();
-        let mut report = SearchReport::default();
-        let mut seen_properties: BTreeSet<u32> = BTreeSet::new();
-        let mut encode_buf = Vec::new();
-
-        let initial = model.initial_state();
-        encode_buf.clear();
-        model.encode(&initial, &mut encode_buf);
-        store.insert(&encode_buf);
-
-        let mut queue: VecDeque<(T::State, usize, Trace)> = VecDeque::new();
-        queue.push_back((initial, 0, Trace::new()));
-
-        'search: while let Some((state, depth, trace)) = queue.pop_front() {
-            if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
-                report.stats.record_cap(cap);
-                break;
-            }
-            if depth >= self.config.max_depth {
-                continue;
-            }
-            for action in model.actions(&state) {
-                if let Some(cap) = self.cap_hit(&report.stats, start, store.len()) {
-                    report.stats.record_cap(cap);
-                    break 'search;
-                }
-                let outcome = model.apply(&state, &action);
-                report.stats.transitions = report.stats.transitions.saturating_add(1);
-                let mut next_trace = trace.clone();
-                next_trace.push(action.to_string(), outcome.log.clone());
-                let next_depth = depth + 1;
-                report.stats.max_depth_reached = report.stats.max_depth_reached.max(next_depth);
-
-                self.record_violations(
-                    &outcome,
-                    &next_trace,
-                    next_depth,
-                    &mut seen_properties,
-                    &mut report,
-                );
-                if self.config.stop_at_first && report.has_violations() {
-                    break 'search;
-                }
-
-                encode_buf.clear();
-                model.encode(&outcome.state, &mut encode_buf);
-                encode_buf.push(depth_tag(next_depth));
-                if store.insert(&encode_buf) {
-                    queue.push_back((outcome.state, next_depth, next_trace));
-                }
-            }
-        }
-
-        self.finish(&mut report, store.as_ref(), start);
-        report
-    }
-
-    fn record_violations<S>(
-        &self,
-        outcome: &StepOutcome<S>,
-        trace: &Trace,
-        depth: usize,
-        seen: &mut BTreeSet<u32>,
-        report: &mut SearchReport,
-    ) {
-        for violation in &outcome.violations {
-            if seen.insert(violation.property) {
-                report.violations.push(FoundViolation {
-                    violation: violation.clone(),
-                    trace: trace.clone(),
-                    depth,
-                });
-            }
-        }
     }
 
     fn cap_hit(&self, stats: &SearchStats, start: Instant, stored: usize) -> Option<CapHit> {
@@ -380,12 +449,55 @@ impl Checker {
         report: &mut SearchReport,
         store: &dyn crate::store::StateStore,
         start: Instant,
+        arena_bytes: usize,
     ) {
         report.stats.states_stored = store.len();
         report.stats.store_memory_bytes = store.memory_bytes();
         report.stats.elapsed = start.elapsed();
+        // Derived from the single elapsed sample above, so the reported
+        // throughput always equals states_stored / elapsed exactly.
+        report.stats.states_per_sec =
+            states_per_sec(report.stats.states_stored, report.stats.elapsed);
+        report.stats.peak_trace_bytes =
+            arena_bytes + report.violations.iter().map(|v| v.trace.memory_bytes()).sum::<usize>();
         report.stats.workers = 1;
     }
+}
+
+/// Records the not-yet-seen violations of one step, materializing the shared
+/// counterexample (arena path + triggering action, replayed from the initial
+/// state) exactly once.
+#[allow(clippy::too_many_arguments)]
+fn record_violations<T: TransitionSystem>(
+    model: &T,
+    violations: &[Violation],
+    arena: &TraceArena<T::Action>,
+    parent: u32,
+    action: &T::Action,
+    depth: usize,
+    seen: &mut BTreeSet<u32>,
+    report: &mut SearchReport,
+    path_buf: &mut Vec<T::Action>,
+) {
+    let fresh: Vec<&Violation> = violations.iter().filter(|v| seen.insert(v.property)).collect();
+    let Some((last, rest)) = fresh.split_last() else { return };
+    arena.path(parent, path_buf);
+    path_buf.push(action.clone());
+    let trace = materialize_trace(model, path_buf);
+    // Co-violations of one step share the trace; only the first n−1 clone it.
+    for violation in rest {
+        report.violations.push(FoundViolation {
+            violation: (*violation).clone(),
+            trace: trace.clone(),
+            depth,
+        });
+    }
+    report.violations.push(FoundViolation { violation: (*last).clone(), trace, depth });
+}
+
+/// Distinct-states-per-second throughput, guarded against zero elapsed time.
+pub(crate) fn states_per_sec(states: usize, elapsed: Duration) -> f64 {
+    states as f64 / elapsed.as_secs_f64().max(1e-9)
 }
 
 /// The depth byte appended to encoded states (saturating: the checker's event
@@ -415,6 +527,21 @@ mod tests {
         // (1→2→3→6 or 1→2→4→5→6 ...), so the trace is non-trivial.
         assert!(found.depth >= 3);
         assert!(!found.trace.is_empty());
+    }
+
+    #[test]
+    fn materialized_trace_replays_actions_and_logs() {
+        let checker = Checker::new(SearchConfig::with_depth(5));
+        let report = checker.verify(&model());
+        let found = report.violation_for(1).unwrap();
+        // The trace has one step per external event and each step carries the
+        // replayed log (the counter model logs its value every step), with
+        // the final log line naming the bad value.
+        assert_eq!(found.trace.len(), found.depth);
+        assert!(found.trace.steps.iter().all(|s| !s.log.is_empty()));
+        assert_eq!(found.trace.steps.last().unwrap().log[0].text, "counter = 6");
+        // Action strings come from display_action.
+        assert!(found.trace.events().iter().all(|e| *e == "inc" || *e == "dbl"));
     }
 
     #[test]
@@ -517,5 +644,37 @@ mod tests {
         assert!(report.stats.states_stored > 0);
         assert!(report.stats.store_memory_bytes > 0);
         assert!(report.stats.max_depth_reached <= 4);
+        assert!(report.stats.states_per_sec > 0.0);
+        // The arena recorded nodes, and the reported violation carries a
+        // materialized trace — both show up in the bookkeeping high-water
+        // mark.
+        assert!(report.stats.peak_trace_bytes > 0);
+    }
+
+    #[test]
+    fn arena_paths_round_trip() {
+        let mut arena: TraceArena<u8> = TraceArena::new();
+        let a = arena.push(NO_PARENT, &1);
+        let b = arena.push(a, &2);
+        let c = arena.push(b, &3);
+        let mut path = Vec::new();
+        arena.path(c, &mut path);
+        assert_eq!(path, vec![1, 2, 3]);
+        arena.path(NO_PARENT, &mut path);
+        assert!(path.is_empty());
+        assert!(arena.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn arena_prefixes_root_stolen_subtrees() {
+        let mut arena: TraceArena<u8> = TraceArena::new();
+        let root = arena.add_prefix(vec![9, 8]);
+        let a = arena.push(root, &1);
+        let b = arena.push(a, &2);
+        let mut path = Vec::new();
+        arena.path(b, &mut path);
+        assert_eq!(path, vec![9, 8, 1, 2]);
+        // An empty prefix is the plain root.
+        assert_eq!(arena.add_prefix(Vec::new()), NO_PARENT);
     }
 }

@@ -12,23 +12,103 @@
 //!   highest memory use);
 //! * [`HashCompactStore`] — stores a 64-bit hash per state (Spin's hash-compact
 //!   mode); collisions are astronomically unlikely for our state counts;
-//! * [`BitstateStore`] — a Bloom-filter bit array with `k` independent hash
-//!   functions (Spin's `-DBITSTATE`); may report a new state as already
-//!   visited (losing coverage) but never the reverse.
+//! * [`BitstateStore`] — a Bloom-filter bit array with `k` probe positions
+//!   (Spin's `-DBITSTATE`); may report a new state as already visited (losing
+//!   coverage) but never the reverse.
+//!
+//! # One hash per probe
+//!
+//! Every store operation runs **one** pass of [`fnv1a`] over the encoded
+//! state and derives everything else from that 64-bit value: the
+//! [`ShardedStore`] picks its shard from the *high* bits, [`ExactStore`] and
+//! [`HashCompactStore`] key their tables by the full value through an
+//! identity hasher (no re-hashing of the state bytes, no SipHash over them),
+//! and [`BitstateStore`] expands the value into `k` Bloom probes with a
+//! [`splitmix64`] double-hashing scheme.  Earlier revisions hashed each state
+//! two to three times per probe (`shard_of` ran its own pass, then the inner
+//! `HashSet<Vec<u8>>` re-hashed the bytes); on long states that was a
+//! measurable fraction of the exploration hot loop.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Mutex;
 
+/// FNV-1a 64-bit hash (the checker avoids external hashing crates).  This is
+/// the *single* per-state hash; all storage strategies derive their keys,
+/// shard choices and probe positions from its output.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The splitmix64 finalizer: diffuses a 64-bit value over all bits.  Used to
+/// derive the second Bloom hash (Kirsch–Mitzenmacher double hashing) from the
+/// single per-state [`fnv1a`] value.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A pass-through [`Hasher`] for keys that *are* already hashes (the
+/// precomputed per-state [`fnv1a`] value).  Using it as the `HashMap`/
+/// `HashSet` build hasher means the table never runs SipHash over the state
+/// again.
+#[derive(Debug, Default, Clone)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached if a non-u64 key sneaks in; fold bytes so behaviour
+        // stays correct (if slower) rather than silently colliding.
+        for b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(*b);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// Build-hasher alias for [`IdentityHasher`]-keyed tables.
+pub type IdentityState = BuildHasherDefault<IdentityHasher>;
+
 /// How visited states are remembered during the search.
+///
+/// The `*_hashed` methods take the precomputed [`fnv1a`] value of `encoded`
+/// so composite stores (sharding, probing, exact comparison) share one hash
+/// pass; the hash-free convenience methods compute it on the spot.
 pub trait StateStore {
     /// Inserts the encoded state, returning `true` when it was *not* seen
     /// before (i.e. the state is new and should be explored).
-    fn insert(&mut self, encoded: &[u8]) -> bool;
+    fn insert(&mut self, encoded: &[u8]) -> bool {
+        self.insert_hashed(fnv1a(encoded), encoded)
+    }
+
+    /// [`StateStore::insert`] with the state's [`fnv1a`] hash already
+    /// computed.
+    fn insert_hashed(&mut self, hash: u64, encoded: &[u8]) -> bool;
 
     /// True when the encoded state has already been recorded.  For bitstate
     /// storage this may report false positives (like [`StateStore::insert`]),
     /// never false negatives.
-    fn contains(&self, encoded: &[u8]) -> bool;
+    fn contains(&self, encoded: &[u8]) -> bool {
+        self.contains_hashed(fnv1a(encoded), encoded)
+    }
+
+    /// [`StateStore::contains`] with the state's [`fnv1a`] hash already
+    /// computed.
+    fn contains_hashed(&self, hash: u64, encoded: &[u8]) -> bool;
 
     /// Number of states recorded (for bitstate this is the number of
     /// successful inserts, not the array population).
@@ -39,44 +119,20 @@ pub trait StateStore {
         self.len() == 0
     }
 
-    /// Approximate memory used by the store, in bytes.
+    /// Approximate memory used by the store, in bytes: table capacity
+    /// (buckets and control bytes), per-entry overhead and stored payload —
+    /// not just payload length.
     fn memory_bytes(&self) -> usize;
 }
 
-/// FNV-1a 64-bit hash (the checker avoids external hashing crates).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// A second, independent 64-bit hash (xorshift-mixed multiplication), used by
-/// the bitstate store to derive `k` probe positions.
-pub fn mix_hash(bytes: &[u8], seed: u64) -> u64 {
-    // Diffuse the seed over all 64 bits before absorbing input bytes;
-    // otherwise the seed and the first input byte would simply XOR into the
-    // same position and (seed=1, byte=0) would alias (seed=0, byte=1),
-    // making the k Bloom probes structurally collide across states.
-    let mut hash = 0x9e37_79b9_7f4a_7c15u64 ^ seed.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    hash ^= hash >> 29;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        hash ^= hash >> 27;
-    }
-    hash ^= hash >> 33;
-    hash
-}
-
-/// Exhaustive storage of full state vectors.
+/// Exhaustive storage of full state vectors, bucketed by the precomputed
+/// per-state hash (an identity-hashed table: the state bytes are hashed
+/// exactly once, by the caller's [`fnv1a`] pass).
 #[derive(Debug, Default)]
 pub struct ExactStore {
-    states: HashSet<Vec<u8>>,
-    bytes: usize,
+    buckets: HashMap<u64, Vec<Box<[u8]>>, IdentityState>,
+    len: usize,
+    payload_bytes: usize,
 }
 
 impl ExactStore {
@@ -87,31 +143,49 @@ impl ExactStore {
 }
 
 impl StateStore for ExactStore {
-    fn insert(&mut self, encoded: &[u8]) -> bool {
-        let fresh = self.states.insert(encoded.to_vec());
-        if fresh {
-            self.bytes += encoded.len();
+    fn insert_hashed(&mut self, hash: u64, encoded: &[u8]) -> bool {
+        // Re-diffuse before keying: the sharded store consumes the high bits
+        // of `hash` for shard selection, and hashbrown's control byte also
+        // comes from the top bits — without mixing, every entry of a shard
+        // would share most of its control byte and probe with extra key
+        // comparisons.
+        let bucket = self.buckets.entry(splitmix64(hash)).or_default();
+        if bucket.iter().any(|s| s.as_ref() == encoded) {
+            return false;
         }
-        fresh
+        bucket.push(encoded.to_vec().into_boxed_slice());
+        self.len += 1;
+        self.payload_bytes += encoded.len();
+        true
     }
 
-    fn contains(&self, encoded: &[u8]) -> bool {
-        self.states.contains(encoded)
+    fn contains_hashed(&self, hash: u64, encoded: &[u8]) -> bool {
+        self.buckets.get(&splitmix64(hash)).is_some_and(|b| b.iter().any(|s| s.as_ref() == encoded))
     }
 
     fn len(&self) -> usize {
-        self.states.len()
+        self.len
     }
 
     fn memory_bytes(&self) -> usize {
-        self.bytes
+        // Table: one (key, bucket) slot plus one control byte per slot of
+        // capacity; buckets: pointer-sized handles per capacity slot; payload:
+        // the boxed state bytes themselves.  Earlier revisions reported only
+        // the payload length, undercounting by the entire table (the
+        // `repro table8` memory columns looked several times smaller than
+        // what the process actually held).
+        let slot = std::mem::size_of::<(u64, Vec<Box<[u8]>>)>() + 1;
+        let handles: usize =
+            self.buckets.values().map(|b| b.capacity() * std::mem::size_of::<Box<[u8]>>()).sum();
+        self.buckets.capacity() * slot + handles + self.payload_bytes
     }
 }
 
-/// Hash-compact storage: one 64-bit hash per state.
+/// Hash-compact storage: one 64-bit hash per state (the caller's single
+/// [`fnv1a`] pass), kept in an identity-hashed set.
 #[derive(Debug, Default)]
 pub struct HashCompactStore {
-    hashes: HashSet<u64>,
+    hashes: HashSet<u64, IdentityState>,
 }
 
 impl HashCompactStore {
@@ -122,12 +196,13 @@ impl HashCompactStore {
 }
 
 impl StateStore for HashCompactStore {
-    fn insert(&mut self, encoded: &[u8]) -> bool {
-        self.hashes.insert(fnv1a(encoded))
+    fn insert_hashed(&mut self, hash: u64, _encoded: &[u8]) -> bool {
+        // Same re-diffusion rationale as `ExactStore::insert_hashed`.
+        self.hashes.insert(splitmix64(hash))
     }
 
-    fn contains(&self, encoded: &[u8]) -> bool {
-        self.hashes.contains(&fnv1a(encoded))
+    fn contains_hashed(&self, hash: u64, _encoded: &[u8]) -> bool {
+        self.hashes.contains(&splitmix64(hash))
     }
 
     fn len(&self) -> usize {
@@ -135,11 +210,17 @@ impl StateStore for HashCompactStore {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.hashes.len() * std::mem::size_of::<u64>()
+        // Capacity slots (8-byte key + control byte), not just occupied ones.
+        self.hashes.capacity() * (std::mem::size_of::<u64>() + 1)
     }
 }
 
 /// Approximate BITSTATE (Bloom filter) storage.
+///
+/// The `k` probe positions are derived from the single per-state hash with
+/// Kirsch–Mitzenmacher double hashing: `probe_i = h1 + i·h2` where `h1` is
+/// the [`fnv1a`] value and `h2` its [`splitmix64`] mix (forced odd so probes
+/// never degenerate).
 #[derive(Debug)]
 pub struct BitstateStore {
     bits: Vec<u64>,
@@ -166,40 +247,61 @@ impl BitstateStore {
         Self::new(24, 3)
     }
 
+    #[inline]
     fn probe(&self, bit: u64) -> (usize, u64) {
         let idx = (bit & self.mask) as usize;
         (idx / 64, 1u64 << (idx % 64))
     }
+
+    /// The second double-hashing base, derived once per state (not per
+    /// probe): `probe_i = h1 + i·h2`.
+    #[inline]
+    fn second_hash(hash: u64) -> u64 {
+        splitmix64(hash) | 1
+    }
+
+    /// The `k`-th probe position derived from the per-state hash (tests).
+    #[cfg(test)]
+    fn probe_at(&self, hash: u64, k: usize) -> (usize, u64) {
+        self.probe(hash.wrapping_add(Self::second_hash(hash).wrapping_mul(k as u64)))
+    }
 }
 
 impl StateStore for BitstateStore {
-    fn insert(&mut self, encoded: &[u8]) -> bool {
+    fn insert_hashed(&mut self, hash: u64, _encoded: &[u8]) -> bool {
+        // Single pass: test and set together.  Setting the bits of a state
+        // that turns out fully present is harmless (they were all set), so no
+        // second probe-derivation loop is needed.
+        let h2 = Self::second_hash(hash);
         let mut all_set = true;
-        let mut positions = Vec::with_capacity(self.hash_functions);
-        for k in 0..self.hash_functions {
-            let h = mix_hash(encoded, k as u64);
-            let (word, bit) = self.probe(h);
+        let mut position = hash;
+        for _ in 0..self.hash_functions {
+            let (word, bit) = self.probe(position);
             if self.bits[word] & bit == 0 {
                 all_set = false;
+                self.bits[word] |= bit;
             }
-            positions.push((word, bit));
+            position = position.wrapping_add(h2);
         }
         if all_set {
             // Considered already visited (possibly a false positive).
             return false;
         }
-        for (word, bit) in positions {
-            self.bits[word] |= bit;
-        }
         self.inserted += 1;
         true
     }
 
-    fn contains(&self, encoded: &[u8]) -> bool {
-        (0..self.hash_functions).all(|k| {
-            let (word, bit) = self.probe(mix_hash(encoded, k as u64));
-            self.bits[word] & bit != 0
-        })
+    fn contains_hashed(&self, hash: u64, _encoded: &[u8]) -> bool {
+        let h2 = Self::second_hash(hash);
+        let mut position = hash;
+        for _ in 0..self.hash_functions {
+            let (word, bit) = self.probe(position);
+            if self.bits[word] & bit == 0 {
+                return false;
+            }
+            position = position.wrapping_add(h2);
+        }
+        true
     }
 
     fn len(&self) -> usize {
@@ -257,13 +359,15 @@ impl StoreKind {
     }
 }
 
-/// Seed for the shard-selection hash.  Distinct from the bitstate probe seeds
-/// (`0..k`) so shard choice and in-shard Bloom probes stay independent.
-const SHARD_SEED: u64 = 0x5AAD_ED57_0EC0_DE01;
-
-/// A concurrent visited-state store: `N` mutex-guarded shards selected by a
-/// state hash, each shard backed by any [`StoreKind`] ([`ExactStore`],
-/// [`HashCompactStore`] or [`BitstateStore`]).
+/// A concurrent visited-state store: `N` mutex-guarded shards selected by the
+/// *high* bits of the per-state hash, each shard backed by any [`StoreKind`]
+/// ([`ExactStore`], [`HashCompactStore`] or [`BitstateStore`]).
+///
+/// The state bytes are hashed exactly once per operation: the same 64-bit
+/// [`fnv1a`] value selects the shard (high bits) and keys the shard's
+/// backend, which re-diffuses it with [`splitmix64`] (a few integer ops, not
+/// a second pass over the state) so in-shard table keys and Bloom probes
+/// stay independent of the shard-selection bits.
 ///
 /// Workers of the parallel search engine call [`ShardedStore::insert`]
 /// through a shared reference; two workers only contend when their states
@@ -273,7 +377,8 @@ const SHARD_SEED: u64 = 0x5AAD_ED57_0EC0_DE01;
 /// `true`.
 pub struct ShardedStore {
     shards: Vec<Mutex<Box<dyn StateStore + Send>>>,
-    shard_mask: u64,
+    /// Right-shift that maps a 64-bit hash to a shard index (64 − log2 shards).
+    shard_shift: u32,
 }
 
 impl std::fmt::Debug for ShardedStore {
@@ -293,18 +398,23 @@ impl ShardedStore {
         let per_shard = kind.for_shard(count.trailing_zeros());
         ShardedStore {
             shards: (0..count).map(|_| Mutex::new(per_shard.build())).collect(),
-            shard_mask: (count as u64) - 1,
+            shard_shift: 64 - count.trailing_zeros(),
         }
     }
 
-    fn shard_of(&self, encoded: &[u8]) -> usize {
-        (mix_hash(encoded, SHARD_SEED) & self.shard_mask) as usize
+    #[inline]
+    fn shard_of(&self, hash: u64) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (hash >> self.shard_shift) as usize
+        }
     }
 
-    fn shard(&self, encoded: &[u8]) -> std::sync::MutexGuard<'_, Box<dyn StateStore + Send>> {
+    fn shard(&self, hash: u64) -> std::sync::MutexGuard<'_, Box<dyn StateStore + Send>> {
         // Lock poisoning cannot leave the set inconsistent (each insert is a
         // single shard operation), so a poisoned shard is simply reclaimed.
-        match self.shards[self.shard_of(encoded)].lock() {
+        match self.shards[self.shard_of(hash)].lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -316,14 +426,17 @@ impl ShardedStore {
     }
 
     /// Concurrent insert through a shared reference; returns `true` when the
-    /// state was not seen before.
+    /// state was not seen before.  Hashes `encoded` once.
     pub fn insert(&self, encoded: &[u8]) -> bool {
-        self.shard(encoded).insert(encoded)
+        let hash = fnv1a(encoded);
+        self.shard(hash).insert_hashed(hash, encoded)
     }
 
-    /// Concurrent membership test through a shared reference.
+    /// Concurrent membership test through a shared reference.  Hashes
+    /// `encoded` once.
     pub fn contains(&self, encoded: &[u8]) -> bool {
-        self.shard(encoded).contains(encoded)
+        let hash = fnv1a(encoded);
+        self.shard(hash).contains_hashed(hash, encoded)
     }
 
     /// Total number of states recorded across all shards.
@@ -358,12 +471,12 @@ impl ShardedStore {
 // threaded code paths (and tests) can exercise the exact same dedup logic the
 // parallel engine uses.
 impl StateStore for ShardedStore {
-    fn insert(&mut self, encoded: &[u8]) -> bool {
-        ShardedStore::insert(self, encoded)
+    fn insert_hashed(&mut self, hash: u64, encoded: &[u8]) -> bool {
+        self.shard(hash).insert_hashed(hash, encoded)
     }
 
-    fn contains(&self, encoded: &[u8]) -> bool {
-        ShardedStore::contains(self, encoded)
+    fn contains_hashed(&self, hash: u64, encoded: &[u8]) -> bool {
+        self.shard(hash).contains_hashed(hash, encoded)
     }
 
     fn len(&self) -> usize {
@@ -390,8 +503,37 @@ mod tests {
         assert!(!store.insert(b"state-a"));
         assert!(store.insert(b"state-b"));
         assert_eq!(store.len(), 2);
-        assert!(store.memory_bytes() >= 14);
         assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn exact_store_memory_accounts_for_table_overhead() {
+        let mut store = ExactStore::new();
+        let all = states(1_000);
+        for s in &all {
+            store.insert(s);
+        }
+        let payload: usize = all.iter().map(Vec::len).sum();
+        let reported = store.memory_bytes();
+        // The table slots (33 bytes each at minimum) and per-entry handles
+        // dominate the 8-byte payloads: the honest number must be well above
+        // payload alone — the old accounting reported exactly `payload`.
+        assert!(reported > payload * 3, "reported {reported} for payload {payload}");
+        // And it must still include the payload itself.
+        assert!(reported >= payload);
+    }
+
+    #[test]
+    fn exact_store_separates_hash_colliding_states() {
+        // Two different states rammed through insert_hashed with the same
+        // hash must both be admitted (bucket chaining), never conflated.
+        let mut store = ExactStore::new();
+        assert!(store.insert_hashed(42, b"alpha"));
+        assert!(store.insert_hashed(42, b"beta"));
+        assert!(!store.insert_hashed(42, b"alpha"));
+        assert!(store.contains_hashed(42, b"beta"));
+        assert!(!store.contains_hashed(42, b"gamma"));
+        assert_eq!(store.len(), 2);
     }
 
     #[test]
@@ -404,6 +546,7 @@ mod tests {
             assert!(!store.insert(&s));
         }
         assert_eq!(store.len(), 100);
+        assert!(store.memory_bytes() >= 100 * 9);
     }
 
     #[test]
@@ -441,11 +584,15 @@ mod tests {
     }
 
     #[test]
-    fn hashes_differ_between_functions() {
-        let h1 = mix_hash(b"hello", 0);
-        let h2 = mix_hash(b"hello", 1);
-        assert_ne!(h1, h2);
+    fn hashes_and_probes_are_well_distributed() {
         assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Double-hashed Bloom probes must differ across k for the same state.
+        let store = BitstateStore::new(20, 3);
+        let h = fnv1a(b"hello");
+        let probes: Vec<_> = (0..3).map(|k| store.probe_at(h, k)).collect();
+        assert_ne!(probes[0], probes[1]);
+        assert_ne!(probes[1], probes[2]);
     }
 
     #[test]
@@ -504,6 +651,16 @@ mod tests {
             let len = shard.lock().unwrap().len();
             assert!(len > 250, "shard holds only {len} of 4000 states");
         }
+    }
+
+    #[test]
+    fn single_shard_store_works_without_shifting() {
+        let store = ShardedStore::new(StoreKind::Exact, 1);
+        assert_eq!(store.shard_count(), 1);
+        for s in states(64) {
+            assert!(store.insert(&s));
+        }
+        assert_eq!(store.len(), 64);
     }
 
     #[test]

@@ -5,9 +5,46 @@
 //! state to the unsafe state — the counter-example that §2.3 lists as one of
 //! the main reasons for adopting model checking.  [`Trace::render`] prints the
 //! trace in a format modelled on Spin's violation logs (Figure 7).
+//!
+//! Traces are *materialized* structures: the search engines never build them
+//! on the hot path.  Exploration records only parent-pointer `(parent,
+//! action)` arena nodes (see [`crate::search`]); when a violation is kept,
+//! the action sequence is replayed with logging enabled and each structured
+//! event is rendered into a [`LogLine`] — text plus the owning app, so the
+//! Output Analyzer ranks suspects from structured provenance instead of
+//! re-parsing formatted strings.
 
 use crate::transition::Violation;
 use std::fmt;
+
+/// One rendered log line of a counterexample step, with structured
+/// provenance: the app whose handler produced the line, when one did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogLine {
+    /// The display name of the app whose handler activity produced this line
+    /// (`None` for environment/device/system lines).
+    pub owner: Option<String>,
+    /// The rendered text (what Spin-style logs print).
+    pub text: String,
+}
+
+impl LogLine {
+    /// A line with no owning app.
+    pub fn new(text: impl Into<String>) -> Self {
+        LogLine { owner: None, text: text.into() }
+    }
+
+    /// A line owned by `app`'s handler activity.
+    pub fn owned(app: impl Into<String>, text: impl Into<String>) -> Self {
+        LogLine { owner: Some(app.into()), text: text.into() }
+    }
+}
+
+impl fmt::Display for LogLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
 
 /// One step of a counterexample: the external action taken plus the log of
 /// everything the model did while dispatching it.
@@ -17,7 +54,7 @@ pub struct TraceStep {
     pub action: String,
     /// Model log lines for this step (handler invocations, commands, state
     /// updates), in execution order.
-    pub log: Vec<String>,
+    pub log: Vec<LogLine>,
 }
 
 /// A full counterexample from the initial state to the violation.
@@ -34,7 +71,7 @@ impl Trace {
     }
 
     /// Appends a step.
-    pub fn push(&mut self, action: String, log: Vec<String>) {
+    pub fn push(&mut self, action: String, log: Vec<LogLine>) {
         self.steps.push(TraceStep { action, log });
     }
 
@@ -51,6 +88,28 @@ impl Trace {
     /// The external events only (one line per step).
     pub fn events(&self) -> Vec<&str> {
         self.steps.iter().map(|s| s.action.as_str()).collect()
+    }
+
+    /// Approximate heap footprint of this trace in bytes (step strings plus
+    /// log lines); materialized traces are the only place the checker still
+    /// pays for strings, and [`crate::search::SearchStats::peak_trace_bytes`]
+    /// reports the bookkeeping high-water mark.
+    pub fn memory_bytes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| {
+                std::mem::size_of::<TraceStep>()
+                    + s.action.len()
+                    + s.log
+                        .iter()
+                        .map(|l| {
+                            std::mem::size_of::<LogLine>()
+                                + l.text.len()
+                                + l.owner.as_ref().map_or(0, String::len)
+                        })
+                        .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Renders the trace in a Spin-like violation-log format: every model log
@@ -108,15 +167,18 @@ mod tests {
         t.push(
             "alicePresence/presence=not present [ok]".into(),
             vec![
-                "Auto Mode Change.presenceHandler: setLocationMode(\"Away\")".into(),
-                "location.mode = Away".into(),
+                LogLine::owned(
+                    "Auto Mode Change",
+                    "Auto Mode Change.presenceHandler: setLocationMode(\"Away\")",
+                ),
+                LogLine::new("location.mode = Away"),
             ],
         );
         t.push(
             "location/mode=Away".into(),
             vec![
-                "Unlock Door.changedLocationMode: doorLock.unlock()".into(),
-                "doorLock.lock = unlocked".into(),
+                LogLine::owned("Unlock Door", "Unlock Door.changedLocationMode: doorLock.unlock()"),
+                LogLine::new("doorLock.lock = unlocked"),
             ],
         );
         t
@@ -128,6 +190,15 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert_eq!(t.events()[0], "alicePresence/presence=not present [ok]");
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn log_lines_carry_provenance() {
+        let t = sample();
+        assert_eq!(t.steps[0].log[0].owner.as_deref(), Some("Auto Mode Change"));
+        assert_eq!(t.steps[0].log[1].owner, None);
+        assert_eq!(LogLine::new("x").to_string(), "x");
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //! configuration, records messages/network calls/fake events for the
 //! step-based properties, and emits the internal events that cascade to other
 //! apps (actuator state changes and location-mode changes).
+//!
+//! The interpreter is hot-loop code: generated events go into a caller-owned
+//! buffer, and log output is *deferred* — structured [`LogEvent`]s pushed
+//! through a [`StepLog`] that is disabled during search, so no log string (or
+//! even event) is ever built unless a counterexample is being materialized.
 
+use crate::logevent::LogEvent;
 use crate::system::{InstalledSystem, InternalEvent, SystemState};
+use iotsan_checker::StepLog;
 use iotsan_devices::{CommandOutcome, DeviceId, LocationMode};
-use iotsan_ir::{EventField, IrBinOp, IrExpr, IrHandler, IrStmt, Quantifier, Value};
+use iotsan_ir::{EventField, IrBinOp, IrExpr, IrHandler, IrStmt, Quantifier, Sym, Value};
 use iotsan_properties::{
     CommandRecord, FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord, StepObservation,
 };
@@ -24,8 +31,8 @@ const MAX_LOOP_ITERATIONS: usize = 16;
 pub struct DispatchedEvent {
     /// Source device, if any.
     pub device: Option<DeviceId>,
-    /// Attribute name.
-    pub attribute: String,
+    /// Interned attribute name.
+    pub attribute: Sym,
     /// Event value.
     pub value: Value,
 }
@@ -35,26 +42,19 @@ impl DispatchedEvent {
     pub fn from_internal(event: &InternalEvent) -> Self {
         DispatchedEvent {
             device: event.device,
-            attribute: event.attribute.clone(),
+            attribute: event.attribute,
             value: event.value.clone(),
         }
     }
 }
 
-/// Everything a single handler execution produced.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct HandlerEffects {
-    /// New cyber events to dispatch (actuator changes, mode changes, fakes).
-    pub new_events: Vec<InternalEvent>,
-    /// Log lines for the counterexample trace.
-    pub log: Vec<String>,
-}
-
 /// Executes `handler` of `app_index` against `state`, recording observations
-/// into `observation` and returning the generated events and log.
+/// into `observation`, appending generated cyber events to `events_out` and
+/// deferred log events to `log`.
 ///
 /// `inject_command_failure` models an actuator/communication failure for every
 /// command sent during this execution (§8's actuator-offline enumeration).
+#[allow(clippy::too_many_arguments)]
 pub fn run_handler(
     system: &InstalledSystem,
     app_index: usize,
@@ -63,7 +63,9 @@ pub fn run_handler(
     state: &mut SystemState,
     observation: &mut StepObservation,
     inject_command_failure: bool,
-) -> HandlerEffects {
+    events_out: &mut Vec<InternalEvent>,
+    log: &mut StepLog<LogEvent>,
+) {
     let mut interp = Interpreter {
         system,
         app_index,
@@ -74,14 +76,16 @@ pub fn run_handler(
         inject_command_failure,
         locals: BTreeMap::new(),
         iteration_overrides: Vec::new(),
-        effects: HandlerEffects::default(),
+        events_out,
+        log,
     };
-    interp.effects.log.push(format!(
-        "{}.{}: handling {}={}",
-        handler.app, handler.name, event.attribute, event.value
-    ));
+    interp.log.push(|| LogEvent::HandlerStart {
+        app: app_index as u32,
+        handler: handler.name.clone(),
+        attribute: event.attribute,
+        value: event.value.clone(),
+    });
     interp.exec_block(&handler.body);
-    interp.effects
 }
 
 /// Control flow result of executing a statement list.
@@ -103,7 +107,57 @@ struct Interpreter<'a> {
     /// While executing `devices.each { ... }`, `(input, device)` pairs that
     /// narrow the binding of `input` to the current iteration device.
     iteration_overrides: Vec<(String, DeviceId)>,
-    effects: HandlerEffects,
+    events_out: &'a mut Vec<InternalEvent>,
+    log: &'a mut StepLog<LogEvent>,
+}
+
+/// The devices an input resolves to: a borrow of the installation-time
+/// binding, or the single device of an active `devices.each` iteration —
+/// either way, no allocation.
+enum Bound<'a> {
+    Slice(&'a [DeviceId]),
+    One([DeviceId; 1]),
+}
+
+impl Bound<'_> {
+    fn as_slice(&self) -> &[DeviceId] {
+        match self {
+            Bound::Slice(s) => s,
+            Bound::One(one) => one,
+        }
+    }
+}
+
+/// Inline capacity of a [`DeviceBuf`] (largest realistic multi-device
+/// binding; the standard household has ~20 devices total).
+const INLINE_DEVICES: usize = 16;
+
+/// A by-value snapshot of a resolved device binding, so statement loops can
+/// release the `&self` borrow of [`Interpreter::bound_devices`] and call
+/// `&mut self` methods per device — resolved once per statement, without
+/// heap allocation for realistic binding sizes.
+enum DeviceBuf {
+    Inline([DeviceId; INLINE_DEVICES], usize),
+    Heap(Vec<DeviceId>),
+}
+
+impl DeviceBuf {
+    fn from_slice(devices: &[DeviceId]) -> Self {
+        if devices.len() <= INLINE_DEVICES {
+            let mut inline = [DeviceId(0); INLINE_DEVICES];
+            inline[..devices.len()].copy_from_slice(devices);
+            DeviceBuf::Inline(inline, devices.len())
+        } else {
+            DeviceBuf::Heap(devices.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[DeviceId] {
+        match self {
+            DeviceBuf::Inline(inline, len) => &inline[..*len],
+            DeviceBuf::Heap(devices) => devices,
+        }
+    }
 }
 
 impl<'a> Interpreter<'a> {
@@ -111,11 +165,11 @@ impl<'a> Interpreter<'a> {
         &self.system.apps[self.app_index].name
     }
 
-    fn bound_devices(&self, input: &str) -> Vec<DeviceId> {
+    fn bound_devices(&self, input: &str) -> Bound<'_> {
         if let Some((_, device)) = self.iteration_overrides.iter().rev().find(|(i, _)| i == input) {
-            return vec![*device];
+            return Bound::One([*device]);
         }
-        self.system.bound_devices(self.app_name(), input)
+        Bound::Slice(self.system.bound_slice(self.app_index, input))
     }
 
     // ---- execution -------------------------------------------------------
@@ -133,8 +187,10 @@ impl<'a> Interpreter<'a> {
         match stmt {
             IrStmt::DeviceCommand { input, command, args } => {
                 let args: Vec<Value> = args.iter().map(|a| self.eval(a)).collect();
-                for device in self.bound_devices(input) {
-                    self.send_command(device, command, &args);
+                // Resolve once per statement; `send_command` needs `&mut self`.
+                let devices = DeviceBuf::from_slice(self.bound_devices(input).as_slice());
+                for device in devices.as_slice() {
+                    self.send_command(*device, command, &args);
                 }
                 Flow::Continue
             }
@@ -143,10 +199,10 @@ impl<'a> Interpreter<'a> {
                 let mode = LocationMode::parse(&value.as_string()).unwrap_or(self.state.mode);
                 if mode != self.state.mode {
                     self.state.mode = mode;
-                    self.effects.log.push(format!("location.mode = {}", mode.name()));
-                    self.effects.new_events.push(InternalEvent {
+                    self.log.push(|| LogEvent::ModeChange { mode });
+                    self.events_out.push(InternalEvent {
                         device: None,
-                        attribute: "mode".into(),
+                        attribute: self.system.mode_sym(),
                         value: Value::Str(mode.name().to_string()),
                         physical: false,
                     });
@@ -156,7 +212,7 @@ impl<'a> Interpreter<'a> {
             IrStmt::SendSms { recipient, message } => {
                 let recipient = self.eval(recipient).as_string();
                 let body = self.eval(message).as_string();
-                self.effects.log.push(format!("sendSms({recipient})"));
+                self.log.push(|| LogEvent::SendSms { recipient: recipient.clone() });
                 self.observation.messages.push(MessageRecord {
                     app: self.app_name().to_string(),
                     channel: MessageChannel::Sms,
@@ -167,7 +223,7 @@ impl<'a> Interpreter<'a> {
             }
             IrStmt::SendPush { message } => {
                 let body = self.eval(message).as_string();
-                self.effects.log.push("sendPush".to_string());
+                self.log.push(|| LogEvent::SendPush);
                 self.observation.messages.push(MessageRecord {
                     app: self.app_name().to_string(),
                     channel: MessageChannel::Push,
@@ -180,7 +236,7 @@ impl<'a> Interpreter<'a> {
                 let url = self.eval(url).as_string();
                 let allowed =
                     self.system.config.network_allowed_apps.iter().any(|a| a == self.app_name());
-                self.effects.log.push(format!("httpPost({url})"));
+                self.log.push(|| LogEvent::HttpPost { url: url.clone() });
                 self.observation.network.push(NetworkRecord {
                     app: self.app_name().to_string(),
                     url,
@@ -190,34 +246,37 @@ impl<'a> Interpreter<'a> {
             }
             IrStmt::SendEvent { attribute, value } => {
                 let value = self.eval(value);
-                self.effects.log.push(format!("sendEvent({attribute}={value})"));
+                let attribute_sym = self.system.sym_of(attribute);
+                self.log.push(|| LogEvent::SendEvent {
+                    attribute: attribute_sym,
+                    value: value.clone(),
+                });
                 self.observation.fake_events.push(FakeEventRecord {
                     app: self.app_name().to_string(),
                     attribute: attribute.clone(),
                     value: value.as_string(),
                 });
-                self.effects.new_events.push(InternalEvent {
+                self.events_out.push(InternalEvent {
                     device: None,
-                    attribute: attribute.clone(),
+                    attribute: attribute_sym,
                     value,
                     physical: false,
                 });
                 Flow::Continue
             }
             IrStmt::Unsubscribe => {
-                self.effects.log.push("unsubscribe()".to_string());
+                self.log.push(|| LogEvent::Unsubscribe);
                 self.observation.unsubscribes.push(self.app_name().to_string());
                 Flow::Continue
             }
             IrStmt::Unschedule => Flow::Continue,
             IrStmt::Schedule { handler, .. } => {
-                self.effects.log.push(format!("schedule({handler})"));
+                self.log.push(|| LogEvent::Schedule { handler: handler.clone() });
                 Flow::Continue
             }
             IrStmt::AssignState { name, value } => {
                 let value = self.eval(value);
-                let app = self.app_name().to_string();
-                self.state.set_app_var(&app, name, &value);
+                self.system.set_app_var_indexed(self.state, self.app_index, name, &value);
                 Flow::Continue
             }
             IrStmt::AssignLocal { name, value } => {
@@ -243,7 +302,9 @@ impl<'a> Interpreter<'a> {
                 Flow::Continue
             }
             IrStmt::ForEachDevice { input, body } => {
-                for device in self.bound_devices(input) {
+                let devices = DeviceBuf::from_slice(self.bound_devices(input).as_slice());
+                for device in devices.as_slice() {
+                    let device = *device;
                     self.iteration_overrides.push((input.clone(), device));
                     let flow = self.exec_block(body);
                     self.iteration_overrides.pop();
@@ -255,8 +316,12 @@ impl<'a> Interpreter<'a> {
             }
             IrStmt::Return(_) => Flow::Return,
             IrStmt::Log(expr) => {
-                let message = self.eval(expr).as_string();
-                self.effects.log.push(format!("log: {message}"));
+                // Only evaluate the message when the log is recording — a
+                // handler's `log.debug` must cost nothing during search.
+                if self.log.is_enabled() {
+                    let message = self.eval(expr).as_string();
+                    self.log.push(|| LogEvent::LogMessage { message });
+                }
                 Flow::Continue
             }
             IrStmt::OpaqueCall { .. } => Flow::Continue,
@@ -277,7 +342,11 @@ impl<'a> Interpreter<'a> {
                 delivered: false,
                 changed_state: false,
             });
-            self.effects.log.push(format!("{}.{command}() LOST (failure)", device.label));
+            self.log.push(|| LogEvent::Command {
+                device: device_id,
+                command: command.to_string(),
+                lost: true,
+            });
             return;
         }
         let outcome = self.state.devices[device_id.0 as usize].apply_command(spec, command, args);
@@ -299,13 +368,21 @@ impl<'a> Interpreter<'a> {
             delivered,
             changed_state,
         });
-        self.effects.log.push(format!("{}.{command}()", device.label));
+        self.log.push(|| LogEvent::Command {
+            device: device_id,
+            command: command.to_string(),
+            lost: false,
+        });
         if let CommandOutcome::Changed(changes) = outcome {
             for (attribute, value) in changes {
-                self.effects.log.push(format!("{}.{} = {}", device.label, attribute, value));
-                self.effects.new_events.push(InternalEvent {
+                self.log.push(|| LogEvent::AttrChange {
+                    device: device_id,
+                    attribute: attribute.clone(),
+                    value: value.clone(),
+                });
+                self.events_out.push(InternalEvent {
                     device: Some(device_id),
-                    attribute,
+                    attribute: self.system.sym_of(&attribute),
                     value,
                     physical: false,
                 });
@@ -320,6 +397,7 @@ impl<'a> Interpreter<'a> {
             IrExpr::Const(v) => v.clone(),
             IrExpr::Setting(name) => {
                 let devices = self.bound_devices(name);
+                let devices = devices.as_slice();
                 if !devices.is_empty() {
                     Value::List(
                         devices
@@ -333,7 +411,7 @@ impl<'a> Interpreter<'a> {
             }
             IrExpr::DeviceAttr { input, attribute } => {
                 let devices = self.bound_devices(input);
-                match devices.first() {
+                match devices.as_slice().first() {
                     Some(id) => {
                         let device = self.system.device(*id);
                         self.state.devices[id.0 as usize].get(device.spec(), attribute)
@@ -344,6 +422,7 @@ impl<'a> Interpreter<'a> {
             IrExpr::DeviceQuery { input, attribute, value, quantifier } => {
                 let expected = self.eval(value);
                 let devices = self.bound_devices(input);
+                let devices = devices.as_slice();
                 let matches = devices
                     .iter()
                     .filter(|id| {
@@ -364,7 +443,9 @@ impl<'a> Interpreter<'a> {
                 EventField::NumericValue => {
                     self.event.value.as_number().map(Value::Decimal).unwrap_or(Value::Null)
                 }
-                EventField::Name => Value::Str(self.event.attribute.clone()),
+                EventField::Name => {
+                    Value::Str(self.system.attr_name(self.event.attribute).to_string())
+                }
                 EventField::DeviceId => self
                     .event
                     .device
@@ -380,10 +461,7 @@ impl<'a> Interpreter<'a> {
             },
             IrExpr::LocationMode => Value::Str(self.state.mode.name().to_string()),
             IrExpr::Time => Value::Int(self.state.time.seconds() as i64),
-            IrExpr::StateVar(name) => {
-                let app = self.app_name().to_string();
-                self.state.app_var(&app, name)
-            }
+            IrExpr::StateVar(name) => self.system.app_var_indexed(self.state, self.app_index, name),
             IrExpr::Local(name) => self.locals.get(name).cloned().unwrap_or(Value::Null),
             IrExpr::Not(inner) => Value::Bool(!self.eval(inner).truthy()),
             IrExpr::Neg(inner) => match self.eval(inner).as_number() {
@@ -544,12 +622,29 @@ mod tests {
         (InstalledSystem::new(vec![app], config), handler)
     }
 
-    fn temp_event(value: i64) -> DispatchedEvent {
+    fn temp_event(system: &InstalledSystem, value: i64) -> DispatchedEvent {
         DispatchedEvent {
             device: Some(DeviceId(0)),
-            attribute: "temperature".into(),
+            attribute: system.sym_of("temperature"),
             value: Value::Int(value),
         }
+    }
+
+    /// Runs the handler with an enabled log, returning the generated events
+    /// and rendered log lines (the shape the old `HandlerEffects` exposed).
+    fn run(
+        system: &InstalledSystem,
+        handler: &IrHandler,
+        event: &DispatchedEvent,
+        state: &mut SystemState,
+        obs: &mut StepObservation,
+        fail: bool,
+    ) -> (Vec<InternalEvent>, Vec<String>) {
+        let mut events = Vec::new();
+        let mut log = StepLog::enabled();
+        run_handler(system, 0, handler, event, state, obs, fail, &mut events, &mut log);
+        let lines = log.events().iter().map(|e| e.render(system).text).collect();
+        (events, lines)
     }
 
     #[test]
@@ -576,11 +671,11 @@ mod tests {
         let mut obs = StepObservation::default();
 
         // 85 > 75 → both outlets turned on, two state-change events generated.
-        let effects =
-            run_handler(&system, 0, &handler, &temp_event(85), &mut state, &mut obs, false);
+        let event = temp_event(&system, 85);
+        let (events, _) = run(&system, &handler, &event, &mut state, &mut obs, false);
         assert_eq!(obs.commands.len(), 2);
         assert!(obs.commands.iter().all(|c| c.command == "on" && c.delivered));
-        assert_eq!(effects.new_events.len(), 2);
+        assert_eq!(events.len(), 2);
         let snap = system.snapshot(&state);
         assert!(snap.role_attr_is(iotsan_properties::DeviceRole::Heater, "switch", "on"));
         assert!(snap.role_attr_is(iotsan_properties::DeviceRole::AirConditioner, "switch", "on"));
@@ -609,11 +704,11 @@ mod tests {
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
         // 60 < 75 → off commands; devices already off so no state change events.
-        let effects =
-            run_handler(&system, 0, &handler, &temp_event(60), &mut state, &mut obs, false);
+        let event = temp_event(&system, 60);
+        let (events, _) = run(&system, &handler, &event, &mut state, &mut obs, false);
         assert_eq!(obs.commands.len(), 2);
         assert!(obs.commands.iter().all(|c| !c.changed_state));
-        assert!(effects.new_events.is_empty());
+        assert!(events.is_empty());
     }
 
     #[test]
@@ -635,8 +730,8 @@ mod tests {
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
-        let effects =
-            run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        let event = temp_event(&system, 70);
+        let (events, lines) = run(&system, &handler, &event, &mut state, &mut obs, false);
         assert_eq!(obs.messages.len(), 2);
         assert_eq!(obs.messages[0].recipient, "5551234567");
         assert_eq!(obs.network.len(), 1);
@@ -644,7 +739,9 @@ mod tests {
         assert_eq!(obs.fake_events.len(), 1);
         assert_eq!(obs.unsubscribes, vec!["Test App".to_string()]);
         // The fake smoke event is also queued for dispatch.
-        assert!(effects.new_events.iter().any(|e| e.attribute == "smoke"));
+        assert!(events.iter().any(|e| system.attr_name(e.attribute) == "smoke"));
+        assert!(lines.iter().any(|l| l == "sendSms(5551234567)"));
+        assert!(lines.iter().any(|l| l == "sendEvent(smoke=detected)"));
     }
 
     #[test]
@@ -657,9 +754,11 @@ mod tests {
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
-        run_handler(&system, 0, &handler, &temp_event(90), &mut state, &mut obs, true);
+        let event = temp_event(&system, 90);
+        let (_, lines) = run(&system, &handler, &event, &mut state, &mut obs, true);
         assert_eq!(obs.command_failures, 2);
         assert!(obs.commands.iter().all(|c| !c.delivered));
+        assert!(lines.iter().any(|l| l.ends_with("LOST (failure)")));
         // Device state unchanged.
         let snap = system.snapshot(&state);
         assert!(!snap.role_attr_is(iotsan_properties::DeviceRole::Heater, "switch", "on"));
@@ -691,8 +790,9 @@ mod tests {
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
-        run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
-        assert_eq!(state.app_var("Test App", "count"), Value::Str("1".into()));
+        let event = temp_event(&system, 70);
+        run(&system, &handler, &event, &mut state, &mut obs, false);
+        assert_eq!(system.app_var(&state, "Test App", "count"), Value::Str("1".into()));
         // ForEachDevice issued one command per outlet, and the All-query then
         // saw both outlets on.
         assert_eq!(obs.commands.len(), 2);
@@ -715,11 +815,40 @@ mod tests {
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
-        let effects =
-            run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
+        let event = temp_event(&system, 70);
+        let (_, lines) = run(&system, &handler, &event, &mut state, &mut obs, false);
         // The loop is bounded and execution continues past it.
         assert_eq!(obs.messages.len(), 1);
-        assert!(!effects.log.is_empty());
+        assert!(!lines.is_empty());
+    }
+
+    #[test]
+    fn disabled_log_records_nothing_but_behaviour_is_identical() {
+        let body = vec![IrStmt::DeviceCommand {
+            input: "outlets".into(),
+            command: "on".into(),
+            args: vec![],
+        }];
+        let (system, handler) = build_system(body);
+        let mut state = system.initial_state();
+        let mut obs = StepObservation::default();
+        let mut events = Vec::new();
+        let mut log = StepLog::disabled();
+        let event = temp_event(&system, 70);
+        run_handler(
+            &system,
+            0,
+            &handler,
+            &event,
+            &mut state,
+            &mut obs,
+            false,
+            &mut events,
+            &mut log,
+        );
+        assert!(log.events().is_empty());
+        assert_eq!(obs.commands.len(), 2);
+        assert_eq!(events.len(), 2);
     }
 
     #[test]
@@ -737,7 +866,8 @@ mod tests {
         let (system, handler) = build_system(body);
         let mut state = system.initial_state();
         let mut obs = StepObservation::default();
-        run_handler(&system, 0, &handler, &temp_event(70), &mut state, &mut obs, false);
-        assert_eq!(state.app_var("Test App", "msg"), Value::Str("x=42".into()));
+        let event = temp_event(&system, 70);
+        run(&system, &handler, &event, &mut state, &mut obs, false);
+        assert_eq!(system.app_var(&state, "Test App", "msg"), Value::Str("x=42".into()));
     }
 }

@@ -50,14 +50,18 @@
 
 pub mod features;
 pub mod interp;
+pub mod logevent;
 pub mod model;
 pub mod pipeline;
 pub mod planner;
 pub mod system;
 
 pub use features::{comparison_matrix, render_table1, SystemFeatures, FEATURES};
-pub use interp::{run_handler, DispatchedEvent, HandlerEffects};
-pub use model::{ConcurrentAction, ConcurrentModel, ExternalAction, ModelOptions, SequentialModel};
+pub use interp::{run_handler, DispatchedEvent};
+pub use logevent::LogEvent;
+pub use model::{
+    ConcurrentAction, ConcurrentModel, ExternalAction, ModelOptions, ModelScratch, SequentialModel,
+};
 pub use pipeline::{translate_sources, GroupResult, Pipeline, TranslateError, VerificationResult};
 pub use planner::{
     Fingerprint, FleetGroupReport, FleetPlan, FleetReport, GroupJob, GroupOutcome,

@@ -11,14 +11,27 @@
 //! comparison: external events only *enqueue* cyber events, and the order in
 //! which pending events are dispatched is itself a non-deterministic choice,
 //! so the checker explores all interleavings of internal and external events.
+//!
+//! # Hot-loop discipline
+//!
+//! Actions are small `Copy` values — device ids, attribute positions and
+//! interned [`Sym`]s, never owned strings — because the checker clones one
+//! into its counterexample arena for every admitted state.  `apply` threads a
+//! reusable [`ModelScratch`] (observation buffers, the cascade queue, the
+//! snapshot the property checker reads) and a deferred
+//! [`StepLog`], so a steady-state transition on a non-violating
+//! path performs no heap allocation beyond constructing its successor state.
+//! Log lines and action strings are rendered only for materialized
+//! counterexamples ([`TransitionSystem::display_action`] /
+//! [`TransitionSystem::render_event`]).
 
 use crate::interp::{run_handler, DispatchedEvent};
+use crate::logevent::LogEvent;
 use crate::system::{InstalledSystem, InternalEvent, SystemState};
-use iotsan_checker::{StepOutcome, TransitionSystem, Violation};
+use iotsan_checker::{LogLine, StepLog, StepOutcome, TransitionSystem, Violation};
 use iotsan_devices::{DeviceId, FailureMode, FailurePolicy};
-use iotsan_ir::{Trigger, Value};
-use iotsan_properties::{PropertyId, PropertySet, StepObservation};
-use std::fmt;
+use iotsan_ir::{Sym, Trigger, Value};
+use iotsan_properties::{PropertyId, PropertySet, Snapshot, StepObservation};
 
 /// Options controlling model construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,55 +65,52 @@ impl ModelOptions {
 }
 
 /// One external event choice (the checker's action alphabet).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Deliberately `Copy` and string-free: display names are resolved through
+/// the [`InstalledSystem`] only when a counterexample is rendered.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExternalAction {
     /// The physical environment changes a sensor attribute.
     SensorEvent {
         /// The sensor device.
         device: DeviceId,
-        /// Its label (for display).
-        label: String,
-        /// The attribute that changes.
-        attribute: String,
+        /// Interned attribute name.
+        attribute: Sym,
+        /// Position of the attribute in the device spec.
+        attr_index: u8,
         /// The index of the new value in the attribute's domain.
-        value_index: usize,
-        /// Rendered new value (for display and dispatch).
-        value: String,
+        value_index: u8,
         /// The injected failure mode for this step.
         failure: FailureMode,
     },
     /// The user taps an app in the companion app.
     AppTouch {
         /// Index of the app.
-        app: usize,
-        /// App name (for display).
-        name: String,
+        app: u32,
     },
     /// A scheduled timer fires for a specific handler.
     TimerFire {
         /// Index of the app.
-        app: usize,
-        /// Handler name.
-        handler: String,
+        app: u32,
+        /// Index of the handler within the app.
+        handler: u32,
     },
     /// A location environment event (sunrise / sunset).
     LocationEvent {
-        /// Event name.
-        name: String,
+        /// Interned event name.
+        name: Sym,
     },
 }
 
-impl fmt::Display for ExternalAction {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExternalAction::SensorEvent { label, attribute, value, failure, .. } => {
-                write!(f, "{label}/{attribute}={value} [{failure}]")
-            }
-            ExternalAction::AppTouch { name, .. } => write!(f, "app/touch -> {name}"),
-            ExternalAction::TimerFire { handler, .. } => write!(f, "timer -> {handler}"),
-            ExternalAction::LocationEvent { name } => write!(f, "location/{name}"),
-        }
-    }
+/// Reusable per-worker scratch for [`SequentialModel::apply`] /
+/// [`ConcurrentModel::apply`]: step observation buffers, the cascade queue
+/// and the physical-state snapshot the property checker reads.  All of it is
+/// cleared (never reallocated) per transition.
+#[derive(Debug, Default)]
+pub struct ModelScratch {
+    observation: StepObservation,
+    queue: Vec<InternalEvent>,
+    snapshot: Snapshot,
 }
 
 /// Shared model core used by both designs.
@@ -112,189 +122,222 @@ struct ModelCore {
 }
 
 impl ModelCore {
-    /// External actions available when fewer than `max_events` have happened.
-    fn external_actions(&self, state: &SystemState) -> Vec<ExternalAction> {
+    /// External actions available when fewer than `max_events` have happened,
+    /// written into the caller's reused buffer.
+    fn external_actions(&self, state: &SystemState, out: &mut Vec<ExternalAction>) {
+        out.clear();
         if state.external_events >= self.options.max_events {
-            return Vec::new();
+            return;
         }
-        let mut actions = Vec::new();
         for device in &self.system.devices {
             if !device.is_sensor() {
                 continue;
             }
             let spec = device.spec();
-            for (attribute, value_index) in spec.environment_events() {
-                let attr_index = spec.attribute_index(attribute).expect("attribute exists");
-                // Skip events that would not change the sensor state
-                // (Algorithm 1 only acts when evt != current state).
-                if state.devices[device.id.0 as usize].raw(attr_index) == Some(value_index as u8) {
+            for (attr_index, attr) in spec.attributes.iter().enumerate() {
+                if !attr.environment_driven {
                     continue;
                 }
-                let value = spec
-                    .attribute(attribute)
-                    .and_then(|a| a.domain.value_at(value_index))
-                    .unwrap_or_default();
-                for failure in self.options.failure_policy.modes_for(device.id) {
-                    actions.push(ExternalAction::SensorEvent {
-                        device: device.id,
-                        label: device.label.clone(),
-                        attribute: attribute.to_string(),
-                        value_index,
-                        value: value.clone(),
-                        failure,
-                    });
+                let attribute = self.system.device_attr_sym(device.id, attr_index);
+                for value_index in 0..attr.domain.len() {
+                    // Skip events that would not change the sensor state
+                    // (Algorithm 1 only acts when evt != current state).
+                    if state.devices[device.id.0 as usize].raw(attr_index)
+                        == Some(value_index as u8)
+                    {
+                        continue;
+                    }
+                    for failure in self.options.failure_policy.modes_for(device.id) {
+                        out.push(ExternalAction::SensorEvent {
+                            device: device.id,
+                            attribute,
+                            attr_index: attr_index as u8,
+                            value_index: value_index as u8,
+                            failure: *failure,
+                        });
+                    }
                 }
             }
         }
         for (app_index, app) in self.system.apps.iter().enumerate() {
             if app.handlers.iter().any(|h| matches!(h.trigger, Trigger::AppTouch)) {
-                actions.push(ExternalAction::AppTouch { app: app_index, name: app.name.clone() });
+                out.push(ExternalAction::AppTouch { app: app_index as u32 });
             }
-            for handler in &app.handlers {
+            for (handler_index, handler) in app.handlers.iter().enumerate() {
                 if matches!(handler.trigger, Trigger::Timer { .. }) {
-                    actions.push(ExternalAction::TimerFire {
-                        app: app_index,
-                        handler: handler.name.clone(),
+                    out.push(ExternalAction::TimerFire {
+                        app: app_index as u32,
+                        handler: handler_index as u32,
                     });
                 }
             }
             for handler in &app.handlers {
                 if let Trigger::LocationEvent { name } = &handler.trigger {
-                    let action = ExternalAction::LocationEvent { name: name.clone() };
-                    if !actions.contains(&action) {
-                        actions.push(action);
+                    let action = ExternalAction::LocationEvent { name: self.system.sym_of(name) };
+                    if !out.contains(&action) {
+                        out.push(action);
                     }
                 }
             }
         }
-        actions
     }
 
-    /// Applies the external action to `state`, returning the initial internal
-    /// events to dispatch plus log lines, and updating the observation.
+    /// The domain value of a sensor attribute as a [`Value`] (numeric domain
+    /// levels become integers, enum names numbers-or-strings — the same
+    /// parse the old string path applied).
+    fn domain_value(
+        spec: &iotsan_devices::DeviceSpec,
+        attr_index: usize,
+        value_index: usize,
+    ) -> Value {
+        let attr = &spec.attributes[attr_index];
+        match attr.domain.numeric_at(value_index) {
+            Some(n) => Value::Int(n),
+            None => match attr.domain.value_at(value_index) {
+                Some(text) => parse_value(&text),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// Applies the external action to `state`, appending the initial internal
+    /// events to dispatch to `events`, and updating the observation.
     fn apply_external(
         &self,
         state: &mut SystemState,
         action: &ExternalAction,
         observation: &mut StepObservation,
-        log: &mut Vec<String>,
-    ) -> Vec<InternalEvent> {
+        events: &mut Vec<InternalEvent>,
+        log: &mut StepLog<LogEvent>,
+    ) {
         state.external_events += 1;
         state.time.tick();
-        let mut events = Vec::new();
-        match action {
-            ExternalAction::SensorEvent {
-                device,
-                label,
-                attribute,
-                value_index,
-                value,
-                failure,
-            } => {
-                let spec = self.system.device(*device).spec();
+        match *action {
+            ExternalAction::SensorEvent { device, attribute, attr_index, value_index, failure } => {
+                let spec = self.system.device(device).spec();
+                let attr_index = attr_index as usize;
+                let value_index = value_index as usize;
                 match failure {
                     FailureMode::DeviceOffline => {
                         state.devices[device.0 as usize].set_online(false);
-                        log.push(format!("{label} is OFFLINE; event {attribute}={value} missed"));
+                        log.push(|| LogEvent::SensorOffline {
+                            device,
+                            attribute,
+                            value: spec.attributes[attr_index]
+                                .domain
+                                .value_at(value_index)
+                                .unwrap_or_default(),
+                        });
                     }
                     FailureMode::CommunicationLost => {
                         // Communication between the hub/cloud and the devices
                         // is down (e.g. jamming): the sensor reading is still
                         // observed, but commands sent to actuators during this
                         // step are lost — see `inject_command_failure` below.
-                        let changed = state.devices[device.0 as usize].set_index(
+                        let changed = state.devices[device.0 as usize].set_index_at(
                             spec,
-                            attribute,
-                            *value_index,
+                            attr_index,
+                            value_index,
                         );
-                        log.push(format!(
-                            "{label}.{attribute} = {value} (actuator communication DOWN)"
-                        ));
+                        log.push(|| LogEvent::SensorCommDown {
+                            device,
+                            attribute,
+                            value: spec.attributes[attr_index]
+                                .domain
+                                .value_at(value_index)
+                                .unwrap_or_default(),
+                        });
                         if changed {
                             events.push(InternalEvent {
-                                device: Some(*device),
-                                attribute: attribute.clone(),
-                                value: parse_value(value),
+                                device: Some(device),
+                                attribute,
+                                value: Self::domain_value(spec, attr_index, value_index),
                                 physical: true,
                             });
                         }
                     }
                     FailureMode::None => {
-                        let changed = state.devices[device.0 as usize].set_index(
+                        let changed = state.devices[device.0 as usize].set_index_at(
                             spec,
-                            attribute,
-                            *value_index,
+                            attr_index,
+                            value_index,
                         );
-                        log.push(format!("generatedEvent.evtType = {}", value.replace(' ', "")));
+                        log.push(|| LogEvent::GeneratedEvent {
+                            value: spec.attributes[attr_index]
+                                .domain
+                                .value_at(value_index)
+                                .unwrap_or_default(),
+                        });
                         if changed {
                             events.push(InternalEvent {
-                                device: Some(*device),
-                                attribute: attribute.clone(),
-                                value: parse_value(value),
+                                device: Some(device),
+                                attribute,
+                                value: Self::domain_value(spec, attr_index, value_index),
                                 physical: true,
                             });
                         }
                     }
                 }
             }
-            ExternalAction::AppTouch { app, name } => {
-                log.push(format!("app touch: {name}"));
+            ExternalAction::AppTouch { app } => {
+                log.push(|| LogEvent::AppTouch { app });
                 let touch = DispatchedEvent {
                     device: None,
-                    attribute: "touch".into(),
+                    attribute: self.system.touch_sym(),
                     value: Value::Str("touched".into()),
                 };
-                let handlers: Vec<_> = self.system.apps[*app]
-                    .handlers
-                    .iter()
-                    .filter(|h| matches!(h.trigger, Trigger::AppTouch))
-                    .cloned()
-                    .collect();
-                for handler in handlers {
-                    let effects = run_handler(
+                let app_index = app as usize;
+                for handler_index in 0..self.system.apps[app_index].handlers.len() {
+                    let handler = &self.system.apps[app_index].handlers[handler_index];
+                    if !matches!(handler.trigger, Trigger::AppTouch) {
+                        continue;
+                    }
+                    run_handler(
                         &self.system,
-                        *app,
-                        &handler,
+                        app_index,
+                        handler,
                         &touch,
                         state,
                         observation,
                         false,
+                        events,
+                        log,
                     );
-                    log.extend(effects.log);
-                    events.extend(effects.new_events);
                 }
             }
             ExternalAction::TimerFire { app, handler } => {
-                log.push(format!("timer fired: {handler}"));
+                let app_index = app as usize;
+                let handler = &self.system.apps[app_index].handlers[handler as usize];
+                log.push(|| LogEvent::TimerFired { handler: handler.name.clone() });
                 let tick = DispatchedEvent {
                     device: None,
-                    attribute: "time".into(),
+                    attribute: self.system.time_sym(),
                     value: Value::Int(state.time.seconds() as i64),
                 };
-                let handlers: Vec<_> = self.system.apps[*app]
-                    .handlers
-                    .iter()
-                    .filter(|h| h.name == *handler && matches!(h.trigger, Trigger::Timer { .. }))
-                    .cloned()
-                    .collect();
-                for handler in handlers {
-                    let effects =
-                        run_handler(&self.system, *app, &handler, &tick, state, observation, false);
-                    log.extend(effects.log);
-                    events.extend(effects.new_events);
+                if matches!(handler.trigger, Trigger::Timer { .. }) {
+                    run_handler(
+                        &self.system,
+                        app_index,
+                        handler,
+                        &tick,
+                        state,
+                        observation,
+                        false,
+                        events,
+                        log,
+                    );
                 }
             }
             ExternalAction::LocationEvent { name } => {
-                log.push(format!("location event: {name}"));
+                log.push(|| LogEvent::LocationEvent { name });
                 events.push(InternalEvent {
                     device: None,
-                    attribute: name.clone(),
-                    value: Value::Str(name.clone()),
+                    attribute: name,
+                    value: Value::Str(self.system.attr_name(name).to_string()),
                     physical: true,
                 });
             }
         }
-        events
     }
 
     /// True when `handler` of `app_index` subscribes to `event`.
@@ -304,93 +347,97 @@ impl ModelCore {
         handler: &iotsan_ir::IrHandler,
         event: &InternalEvent,
     ) -> bool {
+        let event_attribute = self.system.attr_name(event.attribute);
         match &handler.trigger {
             Trigger::Device { input, attribute, value } => {
-                if *attribute != event.attribute {
+                if attribute != event_attribute {
                     return false;
                 }
                 if let Some(expected) = value {
-                    if !event.value.loosely_equals(&Value::Str(expected.clone())) {
+                    if !event.value.eq_str(expected) {
                         return false;
                     }
                 }
                 match event.device {
-                    Some(device) => self
-                        .system
-                        .bound_devices(&self.system.apps[app_index].name, input)
-                        .contains(&device),
+                    Some(device) => self.system.bound_slice(app_index, input).contains(&device),
                     // A device-less event (e.g. a fake `sendEvent`) reaches any
                     // subscriber of that attribute.
                     None => true,
                 }
             }
             Trigger::LocationMode { value } => {
-                event.attribute == "mode"
-                    && value
-                        .as_ref()
-                        .map(|v| event.value.loosely_equals(&Value::Str(v.clone())))
-                        .unwrap_or(true)
+                event_attribute == "mode"
+                    && value.as_ref().map(|v| event.value.eq_str(v)).unwrap_or(true)
             }
-            Trigger::LocationEvent { name } => event.attribute == *name,
+            Trigger::LocationEvent { name } => event_attribute == *name,
             Trigger::AppTouch | Trigger::Timer { .. } => false,
         }
     }
 
     /// Dispatches one event to every subscribed handler (Algorithm 1's
-    /// `dispatch_event`), returning the newly generated events.
+    /// `dispatch_event`), appending newly generated events to `events`.
     fn dispatch_one(
         &self,
         state: &mut SystemState,
         event: &InternalEvent,
         observation: &mut StepObservation,
-        log: &mut Vec<String>,
+        events: &mut Vec<InternalEvent>,
+        log: &mut StepLog<LogEvent>,
         commands_fail: bool,
-    ) -> Vec<InternalEvent> {
-        let mut new_events = Vec::new();
+    ) {
         let dispatched = DispatchedEvent::from_internal(event);
         for app_index in 0..self.system.apps.len() {
-            let handlers: Vec<_> = self.system.apps[app_index]
-                .handlers
-                .iter()
-                .filter(|h| self.subscribes(app_index, h, event))
-                .cloned()
-                .collect();
-            for handler in handlers {
-                let effects = run_handler(
+            for handler_index in 0..self.system.apps[app_index].handlers.len() {
+                let handler = &self.system.apps[app_index].handlers[handler_index];
+                if !self.subscribes(app_index, handler, event) {
+                    continue;
+                }
+                run_handler(
                     &self.system,
                     app_index,
-                    &handler,
+                    handler,
                     &dispatched,
                     state,
                     observation,
                     commands_fail,
+                    events,
+                    log,
                 );
-                log.extend(effects.log);
-                new_events.extend(effects.new_events);
             }
         }
-        new_events
     }
 
-    /// Dispatches a whole cascade to quiescence (sequential design).
+    /// Dispatches a whole cascade to quiescence (sequential design).  `queue`
+    /// already holds the initial events; newly generated events are appended
+    /// and consumed in FIFO order through a cursor (no per-event shifting or
+    /// queue reallocation across transitions).
     fn dispatch_cascade(
         &self,
         state: &mut SystemState,
-        initial: Vec<InternalEvent>,
+        queue: &mut Vec<InternalEvent>,
         observation: &mut StepObservation,
-        log: &mut Vec<String>,
+        log: &mut StepLog<LogEvent>,
         commands_fail: bool,
     ) {
-        let mut queue = initial;
-        let mut dispatched = 0usize;
-        while let Some(event) = if queue.is_empty() { None } else { Some(queue.remove(0)) } {
-            if dispatched >= self.options.max_cascade {
-                log.push("cascade bound reached; remaining events dropped".into());
+        let mut cursor = 0usize;
+        while cursor < queue.len() {
+            if cursor >= self.options.max_cascade {
+                log.push(|| LogEvent::CascadeBound);
                 break;
             }
-            dispatched += 1;
-            let new_events = self.dispatch_one(state, &event, observation, log, commands_fail);
-            queue.extend(new_events);
+            // Take the event out without shifting the queue; the placeholder
+            // is never dispatched (the cursor moves past it).
+            let event = std::mem::replace(
+                &mut queue[cursor],
+                InternalEvent {
+                    device: None,
+                    attribute: Sym(0),
+                    value: Value::Null,
+                    physical: false,
+                },
+            );
+            cursor += 1;
+            self.dispatch_one(state, &event, observation, queue, log, commands_fail);
         }
     }
 
@@ -403,11 +450,22 @@ impl ModelCore {
         )
     }
 
-    /// Evaluates all properties after a step.
-    fn check(&self, state: &SystemState, observation: &StepObservation) -> Vec<Violation> {
-        let snapshot = self.system.snapshot(state);
-        let mut violated: Vec<PropertyId> = self.properties.check_snapshot(&snapshot);
+    /// Evaluates all properties after a step, refreshing the scratch
+    /// snapshot in place.
+    fn check(
+        &self,
+        state: &SystemState,
+        observation: &StepObservation,
+        snapshot: &mut Snapshot,
+    ) -> Vec<Violation> {
+        self.system.snapshot_into(state, snapshot);
+        let mut violated: Vec<PropertyId> = self.properties.check_snapshot(snapshot);
         violated.extend(self.properties.check_step(observation));
+        self.to_violations(violated)
+    }
+
+    /// Maps violated property ids to [`Violation`]s (sorted, deduplicated).
+    fn to_violations(&self, mut violated: Vec<PropertyId>) -> Vec<Violation> {
         violated.sort();
         violated.dedup();
         violated
@@ -420,10 +478,42 @@ impl ModelCore {
             .collect()
     }
 
-    fn new_observation(&self) -> StepObservation {
-        StepObservation {
-            configured_recipients: self.system.config.phone_numbers.clone(),
-            ..Default::default()
+    /// Prepares the scratch for one transition: clears the step buffers and
+    /// re-syncs the configured SMS recipients (without reallocating when they
+    /// are unchanged, which is always after the first transition).
+    fn reset_scratch(&self, scratch: &mut ModelScratch) {
+        scratch.observation.reset();
+        scratch.queue.clear();
+        if scratch.observation.configured_recipients != self.system.config.phone_numbers {
+            scratch.observation.configured_recipients.clone_from(&self.system.config.phone_numbers);
+        }
+    }
+
+    /// Renders an action for counterexample traces.
+    fn display_action(&self, action: &ExternalAction) -> String {
+        match *action {
+            ExternalAction::SensorEvent { device, attribute, attr_index, value_index, failure } => {
+                let dev = self.system.device(device);
+                let value = dev
+                    .spec()
+                    .attributes
+                    .get(attr_index as usize)
+                    .and_then(|a| a.domain.value_at(value_index as usize))
+                    .unwrap_or_default();
+                format!("{}/{}={value} [{failure}]", dev.label, self.system.attr_name(attribute))
+            }
+            ExternalAction::AppTouch { app } => {
+                format!("app/touch -> {}", self.system.apps[app as usize].name)
+            }
+            ExternalAction::TimerFire { app, handler } => {
+                format!(
+                    "timer -> {}",
+                    self.system.apps[app as usize].handlers[handler as usize].name
+                )
+            }
+            ExternalAction::LocationEvent { name } => {
+                format!("location/{}", self.system.attr_name(name))
+            }
         }
     }
 }
@@ -464,51 +554,69 @@ impl SequentialModel {
 impl TransitionSystem for SequentialModel {
     type State = SystemState;
     type Action = ExternalAction;
+    type Event = LogEvent;
+    type Scratch = ModelScratch;
 
     fn initial_state(&self) -> SystemState {
         self.core.system.initial_state()
     }
 
-    fn actions(&self, state: &SystemState) -> Vec<ExternalAction> {
-        self.core.external_actions(state)
+    fn actions(&self, state: &SystemState, out: &mut Vec<ExternalAction>) {
+        self.core.external_actions(state, out);
     }
 
-    fn apply(&self, state: &SystemState, action: &ExternalAction) -> StepOutcome<SystemState> {
+    fn apply(
+        &self,
+        state: &SystemState,
+        action: &ExternalAction,
+        scratch: &mut ModelScratch,
+        log: &mut StepLog<LogEvent>,
+    ) -> StepOutcome<SystemState> {
         let mut next = state.clone();
-        let mut observation = self.core.new_observation();
-        let mut log = Vec::new();
+        self.core.reset_scratch(scratch);
         let commands_fail = ModelCore::commands_fail(action);
-        let initial = self.core.apply_external(&mut next, action, &mut observation, &mut log);
-        self.core.dispatch_cascade(&mut next, initial, &mut observation, &mut log, commands_fail);
-        let violations = self.core.check(&next, &observation);
-        StepOutcome { state: next, violations, log }
+        self.core.apply_external(
+            &mut next,
+            action,
+            &mut scratch.observation,
+            &mut scratch.queue,
+            log,
+        );
+        self.core.dispatch_cascade(
+            &mut next,
+            &mut scratch.queue,
+            &mut scratch.observation,
+            log,
+            commands_fail,
+        );
+        let violations = self.core.check(&next, &scratch.observation, &mut scratch.snapshot);
+        StepOutcome { state: next, violations }
     }
 
     fn encode(&self, state: &SystemState, out: &mut Vec<u8>) {
         state.encode_into(out);
     }
+
+    fn display_action(&self, action: &ExternalAction) -> String {
+        self.core.display_action(action)
+    }
+
+    fn render_event(&self, event: &LogEvent) -> LogLine {
+        event.render(&self.core.system)
+    }
 }
 
 /// One step of the strict-concurrency design: either generate an external
 /// event (which only enqueues its cyber event) or dispatch one pending event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConcurrentAction {
     /// Generate an external event.
     External(ExternalAction),
     /// Dispatch the pending event at the given queue index.
     Dispatch {
         /// Index into the pending-event queue.
-        index: usize,
+        index: u32,
     },
-}
-
-impl fmt::Display for ConcurrentAction {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ConcurrentAction::External(a) => write!(f, "{a}"),
-            ConcurrentAction::Dispatch { index } => write!(f, "dispatch pending[{index}]"),
-        }
-    }
 }
 
 /// The strict-concurrency transition system (used for the Table 7b
@@ -533,43 +641,60 @@ impl ConcurrentModel {
 impl TransitionSystem for ConcurrentModel {
     type State = SystemState;
     type Action = ConcurrentAction;
+    type Event = LogEvent;
+    type Scratch = ModelScratch;
 
     fn initial_state(&self) -> SystemState {
         self.core.system.initial_state()
     }
 
-    fn actions(&self, state: &SystemState) -> Vec<ConcurrentAction> {
-        let mut actions: Vec<ConcurrentAction> =
-            self.core.external_actions(state).into_iter().map(ConcurrentAction::External).collect();
+    fn actions(&self, state: &SystemState, out: &mut Vec<ConcurrentAction>) {
+        out.clear();
+        // The concurrent design is the comparison model, not the hot path, so
+        // a per-expansion buffer for the external enumeration is acceptable.
+        let mut externals = Vec::new();
+        self.core.external_actions(state, &mut externals);
+        out.extend(externals.into_iter().map(ConcurrentAction::External));
         for index in 0..state.pending.len() {
-            actions.push(ConcurrentAction::Dispatch { index });
+            out.push(ConcurrentAction::Dispatch { index: index as u32 });
         }
-        actions
     }
 
-    fn apply(&self, state: &SystemState, action: &ConcurrentAction) -> StepOutcome<SystemState> {
+    fn apply(
+        &self,
+        state: &SystemState,
+        action: &ConcurrentAction,
+        scratch: &mut ModelScratch,
+        log: &mut StepLog<LogEvent>,
+    ) -> StepOutcome<SystemState> {
         let mut next = state.clone();
-        let mut observation = self.core.new_observation();
-        let mut log = Vec::new();
-        match action {
+        self.core.reset_scratch(scratch);
+        match *action {
             ConcurrentAction::External(external) => {
-                let events =
-                    self.core.apply_external(&mut next, external, &mut observation, &mut log);
-                next.pending.extend(events);
+                self.core.apply_external(
+                    &mut next,
+                    &external,
+                    &mut scratch.observation,
+                    &mut scratch.queue,
+                    log,
+                );
+                next.pending.append(&mut scratch.queue);
             }
             ConcurrentAction::Dispatch { index } => {
-                if *index < next.pending.len() {
-                    let event = next.pending.remove(*index);
-                    log.push(format!("dispatch {event}"));
+                let index = index as usize;
+                if index < next.pending.len() {
+                    let event = next.pending.remove(index);
+                    log.push(|| LogEvent::DispatchPending { event: event.clone() });
                     if next.pending.len() < self.core.options.max_cascade {
-                        let new_events = self.core.dispatch_one(
+                        self.core.dispatch_one(
                             &mut next,
                             &event,
-                            &mut observation,
-                            &mut log,
+                            &mut scratch.observation,
+                            &mut scratch.queue,
+                            log,
                             false,
                         );
-                        next.pending.extend(new_events);
+                        next.pending.append(&mut scratch.queue);
                     }
                 }
             }
@@ -579,27 +704,27 @@ impl TransitionSystem for ConcurrentModel {
         // observable states as the sequential one; step-level observations
         // (conflicting commands, leakage) are checked on every action.
         let violations = if next.pending.is_empty() {
-            self.core.check(&next, &observation)
+            self.core.check(&next, &scratch.observation, &mut scratch.snapshot)
         } else {
-            let mut violated = self.core.properties.check_step(&observation);
-            violated.sort();
-            violated.dedup();
-            violated
-                .into_iter()
-                .filter_map(|id| {
-                    self.core
-                        .properties
-                        .get(id)
-                        .map(|p| Violation { property: id.0, description: p.name.clone() })
-                })
-                .collect()
+            self.core.to_violations(self.core.properties.check_step(&scratch.observation))
         };
-        StepOutcome { state: next, violations, log }
+        StepOutcome { state: next, violations }
     }
 
     fn encode(&self, state: &SystemState, out: &mut Vec<u8>) {
         state.encode_into(out);
         out.push(state.external_events as u8);
+    }
+
+    fn display_action(&self, action: &ConcurrentAction) -> String {
+        match action {
+            ConcurrentAction::External(a) => self.core.display_action(a),
+            ConcurrentAction::Dispatch { index } => format!("dispatch pending[{index}]"),
+        }
+    }
+
+    fn render_event(&self, event: &LogEvent) -> LogLine {
+        event.render(&self.core.system)
     }
 }
 
@@ -681,6 +806,14 @@ def changedLocationMode(evt) { lock1.unlock() }
         let rendered = found.trace.render(&found.violation);
         assert!(rendered.contains("assertion violated"));
         assert!(rendered.contains("doorLock.unlock"));
+        // Handler log lines carry structured provenance for the Output
+        // Analyzer.
+        assert!(found
+            .trace
+            .steps
+            .iter()
+            .flat_map(|s| &s.log)
+            .any(|l| l.owner.as_deref() == Some("Unlock Door")));
     }
 
     #[test]
@@ -739,7 +872,10 @@ def changedLocationMode(evt) { lock1.unlock() }
             ModelOptions::with_events(1).with_failures(),
         );
         let state = no_failures.initial_state();
-        assert!(with_failures.actions(&state).len() > no_failures.actions(&state).len());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        no_failures.actions(&state, &mut a);
+        with_failures.actions(&state, &mut b);
+        assert!(b.len() > a.len());
     }
 
     #[test]
@@ -751,7 +887,9 @@ def changedLocationMode(evt) { lock1.unlock() }
         );
         let mut state = model.initial_state();
         state.external_events = 1;
-        assert!(model.actions(&state).is_empty());
+        let mut actions = vec![ExternalAction::AppTouch { app: 0 }];
+        model.actions(&state, &mut actions);
+        assert!(actions.is_empty());
     }
 
     #[test]
@@ -764,10 +902,29 @@ def changedLocationMode(evt) { lock1.unlock() }
         let state = model.initial_state();
         // The presence sensor starts "present"; only "not present" (plus the
         // app-touch action) should be offered, never a redundant "present".
-        let actions = model.actions(&state);
+        let mut actions = Vec::new();
+        model.actions(&state, &mut actions);
         assert!(actions.iter().all(|a| match a {
-            ExternalAction::SensorEvent { value, .. } => value != "present",
+            ExternalAction::SensorEvent { .. } => !model.display_action(a).contains("=present "),
             _ => true,
         }));
+    }
+
+    #[test]
+    fn action_display_matches_the_old_format() {
+        let model = SequentialModel::new(
+            unlock_door_system(),
+            PropertySet::all(),
+            ModelOptions::with_events(1),
+        );
+        let state = model.initial_state();
+        let mut actions = Vec::new();
+        model.actions(&state, &mut actions);
+        let displays: Vec<String> = actions.iter().map(|a| model.display_action(a)).collect();
+        assert!(
+            displays.iter().any(|d| d == "alicePresence/presence=not present [ok]"),
+            "displays: {displays:?}"
+        );
+        assert!(displays.iter().any(|d| d == "app/touch -> Unlock Door"));
     }
 }

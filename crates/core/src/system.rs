@@ -6,35 +6,44 @@
 //! is the model checker's state vector: every device's attribute valuation,
 //! the location mode, the modelled time, each app's persistent `state.*`
 //! variables and (for the concurrent design) the queue of pending events.
+//!
+//! # Interned names and the flat state vector
+//!
+//! Installation freezes a [`Symbols`] table: app names, device labels,
+//! attribute names, handler names, `sendEvent` attributes and location-event
+//! names are interned exactly once, in deterministic first-intern order.  At
+//! verification time runtime structures carry 4-byte [`Sym`] handles —
+//! [`InternalEvent`] keys its attribute by `Sym`, and app state variables
+//! live in a *slot table* fixed at installation (one slot per `(app, state
+//! variable)` pair discovered in the IR), so [`SystemState::app_state`] is a
+//! flat `Vec` indexed by slot instead of a `BTreeMap<String, String>`.
+//! [`SystemState::encode_into`] is consequently a fixed-layout write — no
+//! key bytes, no map iteration — into a caller-owned reusable buffer.
 
+use crate::logevent::LogEvent;
 use iotsan_config::SystemConfig;
 use iotsan_devices::{Device, DeviceId, DeviceState, LocationMode, SystemTime};
-use iotsan_ir::{IrApp, Value};
-use iotsan_properties::{DeviceSnapshot, Snapshot};
-use std::collections::BTreeMap;
-use std::fmt;
+use iotsan_ir::{IrApp, IrStmt, Sym, Symbols, Value};
+use iotsan_properties::{DeviceRole, DeviceSnapshot, Snapshot};
+use std::collections::HashMap;
 
 /// A cyber event flowing through the system during verification.
+///
+/// The attribute is an interned [`Sym`] (resolve it with
+/// [`InstalledSystem::attr_name`]); events are created and cloned on every
+/// handler dispatch, so they must not carry owned strings for names that are
+/// fixed at installation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InternalEvent {
     /// The device that generated the event, if any (`None` for location-mode
     /// changes and app-generated fake events with no device).
     pub device: Option<DeviceId>,
-    /// Attribute name (`motion`, `contact`, `mode`, ...).
-    pub attribute: String,
+    /// Interned attribute name (`motion`, `contact`, `mode`, ...).
+    pub attribute: Sym,
     /// New value.
     pub value: Value,
     /// True when the event came from the physical environment.
     pub physical: bool,
-}
-
-impl fmt::Display for InternalEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.device {
-            Some(id) => write!(f, "{id}/{}={}", self.attribute, self.value),
-            None => write!(f, "{}={}", self.attribute, self.value),
-        }
-    }
 }
 
 /// The apps and configuration under verification, with binding resolution.
@@ -46,26 +55,204 @@ pub struct InstalledSystem {
     pub config: SystemConfig,
     /// Installed devices (ids are positions in this table).
     pub devices: Vec<Device>,
+    /// The frozen name table (see the module docs).
+    pub symbols: Symbols,
+    /// Per-device, per-spec-attribute-index interned attribute names.
+    attr_syms: Vec<Vec<Sym>>,
+    /// The interned `"mode"` attribute (location-mode change events).
+    sym_mode: Sym,
+    /// The interned `"touch"` attribute (app-touch events).
+    sym_touch: Sym,
+    /// The interned `"time"` attribute (timer events).
+    sym_time: Sym,
+    /// `slot_lookup[app name][state var] -> slot` into
+    /// [`SystemState::app_state`].
+    slot_lookup: HashMap<String, HashMap<String, u32>>,
+    /// Total number of app state slots.
+    slot_count: usize,
+    /// Per-app-index resolved device bindings: `input name -> device ids`.
+    /// Binding resolution runs on every subscription check and device
+    /// expression, so it must be a borrow, not a fresh `Vec`.
+    input_bindings: Vec<HashMap<String, Vec<DeviceId>>>,
+    /// Per-device configured roles, parsed once at installation (role parsing
+    /// lowercases strings; doing it per snapshot refresh would allocate on
+    /// the hot loop).
+    device_roles: Vec<DeviceRole>,
+}
+
+/// Collects every `state.*` variable name an app can write (declared
+/// `state_vars` plus a scan of all `AssignState` statements, so lowering
+/// changes can never leave a write without a slot).
+fn collect_state_vars(app: &IrApp, out: &mut Vec<String>) {
+    for var in &app.state_vars {
+        if !out.iter().any(|n| n == var) {
+            out.push(var.clone());
+        }
+    }
+    // `IrStmt::walk` owns the statement-nesting knowledge, so a new nested
+    // variant can never be silently missed by a hand-rolled copy here.
+    for handler in &app.handlers {
+        for stmt in &handler.body {
+            stmt.walk(&mut |s| {
+                if let IrStmt::AssignState { name, .. } = s {
+                    if !out.iter().any(|n| n == name) {
+                        out.push(name.clone());
+                    }
+                }
+            });
+        }
+    }
 }
 
 impl InstalledSystem {
-    /// Builds an installed system from apps and a configuration.
+    /// Builds an installed system from apps and a configuration, freezing the
+    /// symbol table and the app-state slot layout.
     pub fn new(apps: Vec<IrApp>, config: SystemConfig) -> Self {
         let devices = config.device_table();
-        InstalledSystem { apps, config, devices }
+        let mut symbols = Symbols::new();
+        // Sym(0) is reserved for the empty string: `sym_of` falls back to it
+        // for names that escaped installation-time interning.
+        symbols.intern("");
+        let sym_mode = symbols.intern("mode");
+        let sym_touch = symbols.intern("touch");
+        let sym_time = symbols.intern("time");
+
+        let attr_syms: Vec<Vec<Sym>> = devices
+            .iter()
+            .map(|device| {
+                symbols.intern(&device.label);
+                let spec = device.spec();
+                spec.attributes.iter().map(|attr| symbols.intern(attr.name)).collect()
+            })
+            .collect();
+
+        let mut slot_lookup: HashMap<String, HashMap<String, u32>> = HashMap::new();
+        let mut slot_count = 0usize;
+        let mut vars = Vec::new();
+        for app in &apps {
+            symbols.intern(&app.name);
+            for handler in &app.handlers {
+                symbols.intern(&handler.name);
+                if let iotsan_ir::Trigger::LocationEvent { name } = &handler.trigger {
+                    symbols.intern(name);
+                }
+            }
+            for handler in &app.handlers {
+                for stmt in &handler.body {
+                    stmt.walk(&mut |s| {
+                        if let IrStmt::SendEvent { attribute, .. } = s {
+                            symbols.intern(attribute);
+                        }
+                    });
+                }
+            }
+
+            vars.clear();
+            collect_state_vars(app, &mut vars);
+            let entry = slot_lookup.entry(app.name.clone()).or_default();
+            for var in &vars {
+                symbols.intern(var);
+                entry.entry(var.clone()).or_insert_with(|| {
+                    let slot = slot_count as u32;
+                    slot_count += 1;
+                    slot
+                });
+            }
+        }
+
+        let input_bindings = apps
+            .iter()
+            .map(|app| {
+                let mut map: HashMap<String, Vec<DeviceId>> = HashMap::new();
+                if let Some(cfg) = config.app(&app.name) {
+                    for (input, binding) in &cfg.bindings {
+                        let ids: Vec<DeviceId> = binding
+                            .device_labels()
+                            .iter()
+                            .filter_map(|label| config.device_id(label))
+                            .collect();
+                        map.insert(input.clone(), ids);
+                    }
+                }
+                map
+            })
+            .collect();
+
+        let device_roles = devices.iter().map(|d| config.role_of(&d.label)).collect();
+
+        InstalledSystem {
+            apps,
+            config,
+            devices,
+            symbols,
+            attr_syms,
+            sym_mode,
+            sym_touch,
+            sym_time,
+            slot_lookup,
+            slot_count,
+            input_bindings,
+            device_roles,
+        }
+    }
+
+    /// The interned symbol for `name`, falling back to the reserved empty
+    /// symbol when `name` was never interned (which installation-time
+    /// scanning should prevent).
+    pub fn sym_of(&self, name: &str) -> Sym {
+        match self.symbols.lookup(name) {
+            Some(sym) => sym,
+            None => {
+                debug_assert!(false, "name {name:?} escaped installation-time interning");
+                Sym(0)
+            }
+        }
+    }
+
+    /// Resolves an interned attribute (or any other) name.
+    #[inline]
+    pub fn attr_name(&self, sym: Sym) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// The interned `"mode"` attribute.
+    #[inline]
+    pub fn mode_sym(&self) -> Sym {
+        self.sym_mode
+    }
+
+    /// The interned `"touch"` attribute.
+    #[inline]
+    pub fn touch_sym(&self) -> Sym {
+        self.sym_touch
+    }
+
+    /// The interned `"time"` attribute.
+    #[inline]
+    pub fn time_sym(&self) -> Sym {
+        self.sym_time
+    }
+
+    /// The interned name of `device`'s spec attribute at `attr_index`.
+    #[inline]
+    pub fn device_attr_sym(&self, device: DeviceId, attr_index: usize) -> Sym {
+        self.attr_syms[device.0 as usize][attr_index]
     }
 
     /// The devices bound to `input` of `app`.
     pub fn bound_devices(&self, app: &str, input: &str) -> Vec<DeviceId> {
-        self.config
-            .app(app)
-            .map(|cfg| {
-                cfg.devices_for(input)
-                    .iter()
-                    .filter_map(|label| self.config.device_id(label))
-                    .collect()
-            })
+        self.apps
+            .iter()
+            .position(|a| a.name == app)
+            .map(|index| self.bound_slice(index, input).to_vec())
             .unwrap_or_default()
+    }
+
+    /// The devices bound to `input` of the app at `app_index`, as a borrow
+    /// of the installation-time resolution (the hot-loop form).
+    #[inline]
+    pub fn bound_slice(&self, app_index: usize, input: &str) -> &[DeviceId] {
+        self.input_bindings[app_index].get(input).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The non-device setting value bound to `input` of `app`.
@@ -82,13 +269,66 @@ impl InstalledSystem {
         &self.devices[id.0 as usize]
     }
 
+    /// The app-state slot for `app`'s variable `var`, if the pair exists in
+    /// the installation's slot table.
+    pub fn state_slot(&self, app: &str, var: &str) -> Option<u32> {
+        self.slot_lookup.get(app)?.get(var).copied()
+    }
+
+    /// Number of app-state slots in the state vector.
+    pub fn state_slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Reads `app`'s state variable `var` from `state`.
+    pub fn app_var(&self, state: &SystemState, app: &str, var: &str) -> Value {
+        match self.state_slot(app, var).and_then(|slot| state.app_state[slot as usize].as_ref()) {
+            Some(text) => Value::Str(text.clone()),
+            None => Value::Null,
+        }
+    }
+
+    /// Writes `app`'s state variable `var` into `state` (rendered form, so
+    /// the state stays hashable).  Writes to unknown `(app, var)` pairs are
+    /// ignored — installation scans the IR, so every reachable `state.*`
+    /// assignment has a slot.
+    pub fn set_app_var(&self, state: &mut SystemState, app: &str, var: &str, value: &Value) {
+        if let Some(slot) = self.state_slot(app, var) {
+            state.app_state[slot as usize] = Some(value.as_string());
+        } else {
+            debug_assert!(false, "state variable {app}::{var} has no slot");
+        }
+    }
+
+    /// [`InstalledSystem::app_var`] addressed by app index (the interpreter's
+    /// form).
+    pub fn app_var_indexed(&self, state: &SystemState, app_index: usize, var: &str) -> Value {
+        self.app_var(state, &self.apps[app_index].name, var)
+    }
+
+    /// [`InstalledSystem::set_app_var`] addressed by app index.
+    pub fn set_app_var_indexed(
+        &self,
+        state: &mut SystemState,
+        app_index: usize,
+        var: &str,
+        value: &Value,
+    ) {
+        let app = &self.apps[app_index].name;
+        if let Some(slot) = self.state_slot(app, var) {
+            state.app_state[slot as usize] = Some(value.as_string());
+        } else {
+            debug_assert!(false, "state variable {app}::{var} has no slot");
+        }
+    }
+
     /// The initial state of the whole system.
     pub fn initial_state(&self) -> SystemState {
         SystemState {
             devices: self.devices.iter().map(|d| d.initial_state()).collect(),
             mode: LocationMode::parse(&self.config.initial_mode).unwrap_or_default(),
             time: SystemTime::zero(),
-            app_state: BTreeMap::new(),
+            app_state: vec![None; self.slot_count],
             pending: Vec::new(),
             external_events: 0,
         }
@@ -96,31 +336,86 @@ impl InstalledSystem {
 
     /// Builds the physical-state [`Snapshot`] the property checker consumes.
     pub fn snapshot(&self, state: &SystemState) -> Snapshot {
+        let mut snap = Snapshot::default();
+        self.snapshot_into(state, &mut snap);
+        snap
+    }
+
+    /// Refreshes `snap` to reflect `state`, reusing every allocation: labels,
+    /// capabilities, roles and attribute-name strings are written once (on
+    /// first use of the buffer) and only the attribute *values*, online
+    /// flags, mode and time are updated per call.  This is the per-transition
+    /// property-check path.
+    pub fn snapshot_into(&self, state: &SystemState, snap: &mut Snapshot) {
+        // The template is rebuilt whenever the buffer does not belong to
+        // *this* system — matching device count alone is not enough, since a
+        // buffer reused across systems with equally many (but different)
+        // devices would keep stale labels/capabilities/roles.  The label
+        // comparison is a handful of short equal-string memcmps per call.
+        let matches_system = snap.devices.len() == self.devices.len()
+            && snap.devices.iter().zip(&self.devices).zip(&self.device_roles).all(
+                |((s, d), role)| {
+                    // Compare against what the template actually stores: the
+                    // *spec* capability (a raw config capability may fall back
+                    // to the `switch` spec) and the parsed configured role.
+                    s.label == d.label && s.capability == d.spec().capability && s.role == *role
+                },
+            );
+        if !matches_system {
+            *snap = self.snapshot_template();
+        }
+        snap.mode.clear();
+        snap.mode.push_str(state.mode.name());
+        snap.time_seconds = state.time.seconds();
+        for ((device, dstate), dsnap) in
+            self.devices.iter().zip(&state.devices).zip(&mut snap.devices)
+        {
+            let spec = device.spec();
+            dsnap.online = dstate.is_online();
+            for (index, (_, value)) in dsnap.attributes.iter_mut().enumerate() {
+                dstate.value_at_into(spec, index, value);
+            }
+        }
+    }
+
+    /// The constant parts of a snapshot (everything but values/online/mode).
+    fn snapshot_template(&self) -> Snapshot {
         let devices = self
             .devices
             .iter()
-            .zip(&state.devices)
-            .map(|(device, dstate)| {
+            .zip(&self.device_roles)
+            .map(|(device, role)| {
                 let spec = device.spec();
                 DeviceSnapshot {
                     id: device.id,
                     label: device.label.clone(),
                     capability: spec.capability.to_string(),
-                    role: self.config.role_of(&device.label),
+                    role: *role,
                     attributes: spec
                         .attributes
                         .iter()
-                        .map(|attr| (attr.name.to_string(), dstate.get(spec, attr.name)))
+                        .map(|attr| (attr.name.to_string(), Value::Null))
                         .collect(),
-                    online: dstate.is_online(),
+                    online: true,
                 }
             })
             .collect();
-        Snapshot {
-            mode: state.mode.name().to_string(),
-            devices,
-            time_seconds: state.time.seconds(),
+        Snapshot { mode: String::new(), devices, time_seconds: 0 }
+    }
+
+    /// Renders an [`InternalEvent`] (for the concurrent design's dispatch
+    /// log lines): `dev0/motion=active` or `mode=Away`.
+    pub fn render_internal_event(&self, event: &InternalEvent) -> String {
+        let attribute = self.attr_name(event.attribute);
+        match event.device {
+            Some(id) => format!("{id}/{attribute}={}", event.value),
+            None => format!("{attribute}={}", event.value),
         }
+    }
+
+    /// Renders a structured [`LogEvent`] into a counterexample log line.
+    pub fn render_log_event(&self, event: &LogEvent) -> iotsan_checker::LogLine {
+        event.render(self)
     }
 }
 
@@ -133,9 +428,10 @@ pub struct SystemState {
     pub mode: LocationMode,
     /// Modelled system time (not part of the state identity).
     pub time: SystemTime,
-    /// Persistent app state variables, keyed `"app::var"`, stored in rendered
-    /// form so the state stays hashable.
-    pub app_state: BTreeMap<String, String>,
+    /// Persistent app state variables in rendered form, indexed by the
+    /// installation's slot table ([`InstalledSystem::state_slot`]); `None`
+    /// means never written.
+    pub app_state: Vec<Option<String>>,
     /// Pending (not yet dispatched) events; only the concurrent design keeps
     /// events pending across transitions.
     pub pending: Vec<InternalEvent>,
@@ -143,42 +439,79 @@ pub struct SystemState {
     pub external_events: usize,
 }
 
+/// Slot markers inside the encoded state.  All are in `0xfc..=0xff` — the
+/// four byte values that can never occur anywhere in well-formed UTF-8 (lead
+/// bytes stop at 0xf4), so marker-delimited rendered values stay unambiguous
+/// without length prefixes.  Do not add markers below 0xfc: `0xf0..=0xf4`
+/// are valid UTF-8 lead bytes.
+const ENC_SLOT_EMPTY: u8 = 0xfe;
+const ENC_SLOT_SET: u8 = 0xfd;
+const ENC_SLOT_END: u8 = 0xff;
+const ENC_NO_DEVICE: u8 = 0xfc;
+
 impl SystemState {
-    /// Reads an app state variable.
-    pub fn app_var(&self, app: &str, var: &str) -> Value {
-        match self.app_state.get(&format!("{app}::{var}")) {
-            Some(text) => Value::Str(text.clone()),
-            None => Value::Null,
-        }
-    }
-
-    /// Writes an app state variable.
-    pub fn set_app_var(&mut self, app: &str, var: &str, value: &Value) {
-        self.app_state.insert(format!("{app}::{var}"), value.as_string());
-    }
-
     /// Serializes the state-identity-relevant parts into `out` (device states,
     /// mode, app variables and the pending-event queue; modelled time and the
     /// external-event count are excluded so equivalent physical states merge).
+    ///
+    /// The layout is flat and fixed by the installation: device attribute
+    /// indices, the mode byte, one marker-delimited value per app-state slot
+    /// (no key bytes — the slot position *is* the key) and the pending
+    /// events keyed by their interned attribute ids.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for device in &self.devices {
             device.encode_into(out);
         }
         out.push(self.mode.index());
-        for (key, value) in &self.app_state {
-            out.extend_from_slice(key.as_bytes());
-            out.push(0xfe);
-            out.extend_from_slice(value.as_bytes());
-            out.push(0xff);
+        for slot in &self.app_state {
+            match slot {
+                None => out.push(ENC_SLOT_EMPTY),
+                Some(value) => {
+                    out.push(ENC_SLOT_SET);
+                    out.extend_from_slice(value.as_bytes());
+                    out.push(ENC_SLOT_END);
+                }
+            }
         }
         for event in &self.pending {
-            out.extend_from_slice(event.attribute.as_bytes());
-            out.push(0xfd);
-            out.extend_from_slice(event.value.as_string().as_bytes());
+            out.extend_from_slice(&event.attribute.0.to_le_bytes());
+            encode_value_into(&event.value, out);
             out.push(match event.device {
                 Some(id) => id.0 as u8,
-                None => 0xfc,
+                None => ENC_NO_DEVICE,
             });
+        }
+    }
+}
+
+/// Encodes a [`Value`] without rendering it to a string (the old path built
+/// `as_string()` per pending event per probe).
+fn encode_value_into(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Decimal(d) => {
+            out.push(3);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            out.extend_from_slice(s.as_bytes());
+            out.push(ENC_SLOT_END);
+        }
+        Value::List(items) => {
+            out.push(5);
+            out.push(items.len().min(u8::MAX as usize) as u8);
+            for item in items {
+                encode_value_into(item, out);
+            }
         }
     }
 }
@@ -187,7 +520,7 @@ impl SystemState {
 mod tests {
     use super::*;
     use iotsan_config::{AppConfig, Binding, DeviceConfig};
-    use iotsan_ir::AppInput;
+    use iotsan_ir::{AppInput, IrExpr};
 
     fn system() -> InstalledSystem {
         let app = IrApp {
@@ -195,7 +528,7 @@ mod tests {
             description: String::new(),
             inputs: vec![AppInput::device("lock1", "lock")],
             handlers: vec![],
-            state_vars: vec![],
+            state_vars: vec!["count".into(), "x".into()],
             dynamic_discovery: false,
         };
         let config = SystemConfig::new()
@@ -234,12 +567,81 @@ mod tests {
     }
 
     #[test]
-    fn app_vars_round_trip() {
+    fn snapshot_into_reuses_buffers_and_tracks_state() {
         let sys = system();
         let mut state = sys.initial_state();
-        assert_eq!(state.app_var("Unlock Door", "count"), Value::Null);
-        state.set_app_var("Unlock Door", "count", &Value::Int(3));
-        assert_eq!(state.app_var("Unlock Door", "count"), Value::Str("3".into()));
+        let mut snap = Snapshot::default();
+        sys.snapshot_into(&state, &mut snap);
+        let lock = snap.devices.iter().find(|d| d.capability == "lock").unwrap();
+        assert!(lock.attr_is("lock", "locked"));
+
+        // Mutate the device state and refresh the same buffer.
+        let spec = sys.device(DeviceId(0)).spec();
+        state.devices[0].set(spec, "lock", &Value::Str("unlocked".into()));
+        state.mode = LocationMode::Away;
+        sys.snapshot_into(&state, &mut snap);
+        assert_eq!(snap.mode, "Away");
+        let lock = snap.devices.iter().find(|d| d.capability == "lock").unwrap();
+        assert!(lock.attr_is("lock", "unlocked"));
+        // The refreshed snapshot equals a freshly built one.
+        assert_eq!(snap, sys.snapshot(&state));
+    }
+
+    #[test]
+    fn symbols_cover_installation_names() {
+        let sys = system();
+        assert_eq!(sys.symbols.lookup(""), Some(Sym(0)));
+        assert!(sys.symbols.lookup("Unlock Door").is_some());
+        assert!(sys.symbols.lookup("doorLock").is_some());
+        assert!(sys.symbols.lookup("lock").is_some());
+        assert!(sys.symbols.lookup("presence").is_some());
+        assert_eq!(sys.attr_name(sys.mode_sym()), "mode");
+        assert_eq!(sys.attr_name(sys.touch_sym()), "touch");
+        assert_eq!(sys.attr_name(sys.time_sym()), "time");
+        // Device attribute syms resolve to the spec's attribute names.
+        let lock_spec = sys.device(DeviceId(0)).spec();
+        for (i, attr) in lock_spec.attributes.iter().enumerate() {
+            assert_eq!(sys.attr_name(sys.device_attr_sym(DeviceId(0), i)), attr.name);
+        }
+    }
+
+    #[test]
+    fn app_vars_round_trip_through_slots() {
+        let sys = system();
+        let mut state = sys.initial_state();
+        assert_eq!(sys.state_slot_count(), 2);
+        assert_eq!(sys.app_var(&state, "Unlock Door", "count"), Value::Null);
+        sys.set_app_var(&mut state, "Unlock Door", "count", &Value::Int(3));
+        assert_eq!(sys.app_var(&state, "Unlock Door", "count"), Value::Str("3".into()));
+        assert_eq!(sys.state_slot("Unlock Door", "count"), Some(0));
+        assert_eq!(sys.state_slot("Unlock Door", "missing"), None);
+        assert_eq!(sys.state_slot("Ghost", "count"), None);
+    }
+
+    #[test]
+    fn state_vars_are_discovered_from_handler_bodies() {
+        let app = IrApp {
+            name: "Writer".into(),
+            description: String::new(),
+            inputs: vec![],
+            handlers: vec![iotsan_ir::IrHandler {
+                app: "Writer".into(),
+                name: "h".into(),
+                trigger: iotsan_ir::Trigger::AppTouch,
+                body: vec![IrStmt::If {
+                    cond: IrExpr::bool(true),
+                    then: vec![IrStmt::AssignState {
+                        name: "nested".into(),
+                        value: IrExpr::int(1),
+                    }],
+                    els: vec![],
+                }],
+            }],
+            state_vars: vec![],
+            dynamic_discovery: false,
+        };
+        let sys = InstalledSystem::new(vec![app], SystemConfig::new());
+        assert_eq!(sys.state_slot("Writer", "nested"), Some(0));
     }
 
     #[test]
@@ -263,27 +665,61 @@ mod tests {
 
         // App variables and pending events contribute.
         let mut c = sys.initial_state();
-        c.set_app_var("Unlock Door", "x", &Value::Int(1));
+        sys.set_app_var(&mut c, "Unlock Door", "x", &Value::Int(1));
         let mut buf_c = Vec::new();
         c.encode_into(&mut buf_c);
         assert_ne!(buf_a, buf_c);
+
+        let mut d = sys.initial_state();
+        d.pending.push(InternalEvent {
+            device: Some(DeviceId(1)),
+            attribute: sys.sym_of("presence"),
+            value: Value::Str("not present".into()),
+            physical: true,
+        });
+        let mut buf_d = Vec::new();
+        d.encode_into(&mut buf_d);
+        assert_ne!(buf_a, buf_d);
     }
 
     #[test]
-    fn internal_event_display() {
+    fn distinct_slot_values_encode_distinctly() {
+        let sys = system();
+        let mut a = sys.initial_state();
+        let mut b = sys.initial_state();
+        // (empty, "1") vs ("1", empty) must not alias even without key bytes.
+        sys.set_app_var(&mut a, "Unlock Door", "count", &Value::Int(1));
+        sys.set_app_var(&mut b, "Unlock Door", "x", &Value::Int(1));
+        let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+        a.encode_into(&mut buf_a);
+        b.encode_into(&mut buf_b);
+        assert_ne!(buf_a, buf_b);
+        // And None vs Some("") differ.
+        let mut c = sys.initial_state();
+        sys.set_app_var(&mut c, "Unlock Door", "count", &Value::Str(String::new()));
+        let mut buf_c = Vec::new();
+        c.encode_into(&mut buf_c);
+        let mut buf_none = Vec::new();
+        sys.initial_state().encode_into(&mut buf_none);
+        assert_ne!(buf_c, buf_none);
+    }
+
+    #[test]
+    fn internal_event_rendering() {
+        let sys = system();
         let e = InternalEvent {
             device: Some(DeviceId(1)),
-            attribute: "presence".into(),
+            attribute: sys.sym_of("presence"),
             value: Value::Str("not present".into()),
             physical: true,
         };
-        assert_eq!(e.to_string(), "dev1/presence=not present");
+        assert_eq!(sys.render_internal_event(&e), "dev1/presence=not present");
         let e = InternalEvent {
             device: None,
-            attribute: "mode".into(),
+            attribute: sys.mode_sym(),
             value: Value::Str("Away".into()),
             physical: false,
         };
-        assert_eq!(e.to_string(), "mode=Away");
+        assert_eq!(sys.render_internal_event(&e), "mode=Away");
     }
 }

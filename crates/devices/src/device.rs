@@ -73,23 +73,38 @@ pub enum CommandOutcome {
     Offline,
 }
 
+/// Upper bound on attributes per device spec (the registry's richest device,
+/// the thermostat, has 4; the inline array leaves headroom).
+pub const MAX_DEVICE_ATTRS: usize = 8;
+
 /// Current attribute valuation of one device.
 ///
 /// Values are stored as indices into each attribute's finite domain, plus an
-/// `online` flag used for device/communication failure injection (§8).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// `online` flag used for device/communication failure injection (§8).  The
+/// indices live in a fixed inline array (specs are bounded by
+/// [`MAX_DEVICE_ATTRS`]), so `DeviceState` is `Copy`: cloning a whole
+/// [`Vec<DeviceState>`] system state is one memcpy instead of one heap
+/// allocation per device — the model checker clones a state per transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeviceState {
-    values: Vec<u8>,
+    values: [u8; MAX_DEVICE_ATTRS],
+    len: u8,
     online: bool,
 }
 
 impl DeviceState {
     /// The initial state per the specification defaults.
     pub fn initial(spec: &DeviceSpec) -> Self {
-        DeviceState {
-            values: spec.attributes.iter().map(|a| a.default_index as u8).collect(),
-            online: true,
+        assert!(
+            spec.attributes.len() <= MAX_DEVICE_ATTRS,
+            "device spec {} exceeds MAX_DEVICE_ATTRS",
+            spec.capability
+        );
+        let mut values = [0u8; MAX_DEVICE_ATTRS];
+        for (i, a) in spec.attributes.iter().enumerate() {
+            values[i] = a.default_index as u8;
         }
+        DeviceState { values, len: spec.attributes.len() as u8, online: true }
     }
 
     /// Whether the device is currently online.
@@ -104,7 +119,7 @@ impl DeviceState {
 
     /// Raw domain index of an attribute (by position).
     pub fn raw(&self, index: usize) -> Option<u8> {
-        self.values.get(index).copied()
+        self.values[..self.len as usize].get(index).copied()
     }
 
     /// The current value of `attribute` as an [`Value`].
@@ -122,15 +137,57 @@ impl DeviceState {
         }
     }
 
+    /// Writes the current value of the attribute at position `index` into
+    /// `out`, reusing `out`'s string allocation when possible.  This is the
+    /// snapshot-refresh path: the model generator rebuilds a physical-state
+    /// snapshot on every explored transition, and cloning a fresh `String`
+    /// per attribute there dominated the property-check cost.
+    pub fn value_at_into(&self, spec: &DeviceSpec, index: usize, out: &mut Value) {
+        let Some(attr) = spec.attributes.get(index) else {
+            *out = Value::Null;
+            return;
+        };
+        let value_index = self.values[index] as usize;
+        match &attr.domain {
+            AttrDomain::Enum(names) => match names.get(value_index) {
+                Some(name) => match out {
+                    Value::Str(s) => {
+                        s.clear();
+                        s.push_str(name);
+                    }
+                    _ => *out = Value::Str((*name).to_string()),
+                },
+                None => *out = Value::Null,
+            },
+            AttrDomain::Numeric(values) => {
+                *out = values.get(value_index).map(|v| Value::Int(*v)).unwrap_or(Value::Null);
+            }
+        }
+    }
+
     /// Sets `attribute` to the domain value at `value_index`; returns `true`
     /// when the state actually changed.
     pub fn set_index(&mut self, spec: &DeviceSpec, attribute: &str, value_index: usize) -> bool {
         let Some(idx) = spec.attribute_index(attribute) else { return false };
-        if value_index >= spec.attributes[idx].domain.len() {
+        self.set_index_at(spec, idx, value_index)
+    }
+
+    /// [`DeviceState::set_index`] addressed by attribute position (the model
+    /// generator's form: its actions carry the position, so the hot loop
+    /// skips the name lookup).
+    pub fn set_index_at(
+        &mut self,
+        spec: &DeviceSpec,
+        attr_index: usize,
+        value_index: usize,
+    ) -> bool {
+        if attr_index >= spec.attributes.len()
+            || value_index >= spec.attributes[attr_index].domain.len()
+        {
             return false;
         }
-        let changed = self.values[idx] != value_index as u8;
-        self.values[idx] = value_index as u8;
+        let changed = self.values[attr_index] != value_index as u8;
+        self.values[attr_index] = value_index as u8;
         changed
     }
 
@@ -193,7 +250,7 @@ impl DeviceState {
     /// Serializes the state into bytes for hashing by the model checker: the
     /// attribute indices followed by the online flag.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.values);
+        out.extend_from_slice(&self.values[..self.len as usize]);
         out.push(self.online as u8);
     }
 }

@@ -67,16 +67,19 @@ pub enum FailurePolicy {
 }
 
 impl FailurePolicy {
-    /// The failure modes to explore for a step involving `device`.
-    pub fn modes_for(&self, device: DeviceId) -> Vec<FailureMode> {
+    /// The failure modes to explore for a step involving `device`.  Returns
+    /// a borrowed slice — the action enumerator calls this once per sensor
+    /// event per expansion, and the choice sets are static.
+    pub fn modes_for(&self, device: DeviceId) -> &'static [FailureMode] {
+        const NO_FAILURE: [FailureMode; 1] = [FailureMode::None];
         match self {
-            FailurePolicy::None => vec![FailureMode::None],
-            FailurePolicy::Exhaustive => FailureMode::ALL.to_vec(),
+            FailurePolicy::None => &NO_FAILURE,
+            FailurePolicy::Exhaustive => &FailureMode::ALL,
             FailurePolicy::OnlyDevices(devices) => {
                 if devices.contains(&device) {
-                    FailureMode::ALL.to_vec()
+                    &FailureMode::ALL
                 } else {
-                    vec![FailureMode::None]
+                    &NO_FAILURE
                 }
             }
         }

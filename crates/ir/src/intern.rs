@@ -1,0 +1,148 @@
+//! String interning for the exploration hot loop.
+//!
+//! The model checker touches app names, device labels, attribute names and
+//! handler names on every transition.  Keying runtime structures by owned
+//! `String`s means every successor state clones, compares and re-hashes those
+//! bytes millions of times.  [`Symbols`] interns each distinct name exactly
+//! once — at lowering/installation time — and hands out a copyable [`Sym`]
+//! (a `u32` index into an append-only table), so the hot loop moves 4-byte
+//! integers instead of heap strings and renders text only when a
+//! counterexample is materialized.
+//!
+//! Determinism: symbol ids are assigned in first-intern order, so two systems
+//! built from the same inputs in the same order produce identical tables —
+//! and therefore byte-identical state encodings (`tests/state_interning.rs`
+//! guards this).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string: a dense index into a [`Symbols`] table.
+///
+/// `Sym`s are only meaningful together with the table that produced them;
+/// resolving a `Sym` against a different table is a logic error (caught by
+/// the bounds check in [`Symbols::resolve`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// * [`Symbols::intern`] deduplicates: the same text always returns the same
+///   [`Sym`], and ids are assigned densely in first-intern order.
+/// * [`Symbols::resolve`] is a bounds-checked array index — no hashing.
+/// * [`Symbols::lookup`] finds an existing symbol without interning (the
+///   read-only form the interpreter uses at verification time, when the
+///   table is already frozen).
+#[derive(Debug, Clone, Default)]
+pub struct Symbols {
+    table: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Symbols {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning its (new or existing) symbol.
+    pub fn intern(&mut self, text: &str) -> Sym {
+        if let Some(&id) = self.index.get(text) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.table.len()).expect("symbol table overflow");
+        self.table.push(text.to_string());
+        self.index.insert(text.to_string(), id);
+        Sym(id)
+    }
+
+    /// The symbol for `text` if it was interned before, without interning.
+    pub fn lookup(&self, text: &str) -> Option<Sym> {
+        self.index.get(text).map(|&id| Sym(id))
+    }
+
+    /// The text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sym` did not come from this table.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.table[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates `(Sym, text)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.table.iter().enumerate().map(|(i, s)| (Sym(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_deduplicates_and_resolves() {
+        let mut syms = Symbols::new();
+        let a = syms.intern("motion");
+        let b = syms.intern("presence");
+        let a2 = syms.intern("motion");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(syms.resolve(a), "motion");
+        assert_eq!(syms.resolve(b), "presence");
+        assert_eq!(syms.len(), 2);
+        assert!(!syms.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_intern_order() {
+        let mut syms = Symbols::new();
+        assert_eq!(syms.intern("a"), Sym(0));
+        assert_eq!(syms.intern("b"), Sym(1));
+        assert_eq!(syms.intern("a"), Sym(0));
+        assert_eq!(syms.intern("c"), Sym(2));
+        let collected: Vec<_> = syms.iter().map(|(s, t)| (s.0, t.to_string())).collect();
+        assert_eq!(collected, vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]);
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        let mut syms = Symbols::new();
+        assert_eq!(syms.lookup("x"), None);
+        let x = syms.intern("x");
+        assert_eq!(syms.lookup("x"), Some(x));
+        assert_eq!(syms.len(), 1);
+    }
+
+    #[test]
+    fn sym_display_and_index() {
+        let sym = Sym(7);
+        assert_eq!(sym.to_string(), "sym7");
+        assert_eq!(sym.index(), 7);
+    }
+}

@@ -15,6 +15,8 @@
 //!   (device commands, messaging, scheduling, control flow);
 //! * [`handler`] — translated apps ([`IrApp`]) and handlers ([`IrHandler`])
 //!   with their [`Trigger`]s;
+//! * [`intern`] — the [`Symbols`] string interner ([`Sym`] handles) the model
+//!   generator uses to keep names out of the exploration hot loop;
 //! * [`lower`] — the Groovy → IR translation, including desugaring of
 //!   Groovy's collection utilities and inlining of helper methods.
 //!
@@ -43,6 +45,7 @@
 pub mod expr;
 pub mod handler;
 pub mod infer;
+pub mod intern;
 pub mod lower;
 pub mod stmt;
 pub mod types;
@@ -50,6 +53,7 @@ pub mod types;
 pub use expr::{EventField, IrBinOp, IrExpr, Quantifier};
 pub use handler::{AppInput, IrApp, IrHandler, SettingKind, Trigger};
 pub use infer::{infer_app, TypeEnv};
+pub use intern::{Sym, Symbols};
 pub use lower::{lower_app, LowerError};
 pub use stmt::{format_stmts, HttpMethod, IrStmt};
 pub use types::{Type, Value};

@@ -75,9 +75,34 @@ impl Value {
             (Value::List(a), Value::List(b)) => {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.loosely_equals(y))
             }
+            // Allocation-free fast path for the overwhelmingly common
+            // string/string case (attribute states, modes): numeric when both
+            // parse, byte comparison otherwise — exactly the general rule
+            // below, minus the `as_string` clones.
+            (Value::Str(a), Value::Str(b)) => {
+                match (a.trim().parse::<f64>().ok(), b.trim().parse::<f64>().ok()) {
+                    (Some(x), Some(y)) => (x - y).abs() < f64::EPSILON,
+                    _ => a == b,
+                }
+            }
             _ => match (self.as_number(), other.as_number()) {
                 (Some(a), Some(b)) => (a - b).abs() < f64::EPSILON,
                 _ => self.as_string() == other.as_string(),
+            },
+        }
+    }
+
+    /// [`Value::loosely_equals`] against a plain string, without wrapping it
+    /// in a [`Value`] (and therefore without allocating): the property
+    /// checker compares attribute values against literals on every explored
+    /// transition.
+    pub fn eq_str(&self, other: &str) -> bool {
+        match (self.as_number(), other.trim().parse::<f64>().ok()) {
+            (Some(a), Some(b)) => (a - b).abs() < f64::EPSILON,
+            _ => match self {
+                Value::Str(s) => s == other,
+                Value::Null => false,
+                other_value => other_value.as_string() == other,
             },
         }
     }

@@ -238,10 +238,13 @@ impl PropertySet {
     /// Evaluates the physical-state invariants against a snapshot, returning
     /// the ids of violated properties.
     pub fn check_snapshot(&self, snapshot: &Snapshot) -> Vec<PropertyId> {
+        // The shared device scans are computed once per snapshot; each of the
+        // 38 invariants then evaluates pure boolean logic over them.
+        let facts = crate::invariant::SnapshotFacts::new(snapshot);
         self.properties
             .iter()
             .filter_map(|p| match &p.kind {
-                PropertyKind::Invariant(inv) if inv.is_violated(snapshot) => Some(p.id),
+                PropertyKind::Invariant(inv) if inv.is_violated_with(&facts) => Some(p.id),
                 _ => None,
             })
             .collect()
@@ -286,17 +289,19 @@ const CONFLICTING_PAIRS: &[(&str, &str)] = &[
 
 /// True when one actuator received two conflicting commands in the step.
 pub fn has_conflicting_commands(step: &StepObservation) -> bool {
-    for (_, cmds) in step.commands_by_device() {
-        for i in 0..cmds.len() {
-            for j in (i + 1)..cmds.len() {
-                let a = cmds[i].command.as_str();
-                let b = cmds[j].command.as_str();
-                if CONFLICTING_PAIRS
-                    .iter()
-                    .any(|(x, y)| (a == *x && b == *y) || (a == *y && b == *x))
-                {
-                    return true;
-                }
+    // Direct pair scan (same device, i < j): equivalent to grouping by
+    // device first, but allocation-free — this runs on every explored
+    // transition and step command counts are tiny.
+    let cmds = &step.commands;
+    for i in 0..cmds.len() {
+        for j in (i + 1)..cmds.len() {
+            if cmds[i].device != cmds[j].device {
+                continue;
+            }
+            let a = cmds[i].command.as_str();
+            let b = cmds[j].command.as_str();
+            if CONFLICTING_PAIRS.iter().any(|(x, y)| (a == *x && b == *y) || (a == *y && b == *x)) {
+                return true;
             }
         }
     }
@@ -305,12 +310,11 @@ pub fn has_conflicting_commands(step: &StepObservation) -> bool {
 
 /// True when one actuator received the same command more than once in the step.
 pub fn has_repeated_commands(step: &StepObservation) -> bool {
-    for (_, cmds) in step.commands_by_device() {
-        for i in 0..cmds.len() {
-            for j in (i + 1)..cmds.len() {
-                if cmds[i].command == cmds[j].command {
-                    return true;
-                }
+    let cmds = &step.commands;
+    for i in 0..cmds.len() {
+        for j in (i + 1)..cmds.len() {
+            if cmds[i].device == cmds[j].device && cmds[i].command == cmds[j].command {
+                return true;
             }
         }
     }

@@ -8,6 +8,162 @@
 
 use crate::snapshot::{DeviceRole, Snapshot};
 
+/// Facts about one [`Snapshot`] shared by the invariant predicates, computed
+/// in a single pass set so the catalog's per-transition check does not
+/// re-scan every device 38 times (once per invariant).  Thresholded
+/// temperature/moisture predicates keep the extrema and compare against
+/// their own bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotFacts {
+    anyone_home: bool,
+    sleeping: bool,
+    away: bool,
+    smoke: bool,
+    co: bool,
+    leak: bool,
+    intruder: bool,
+    danger: bool,
+    heater_on: bool,
+    has_heater: bool,
+    ac_on: bool,
+    any_light_on: bool,
+    has_light: bool,
+    alarm_active: bool,
+    has_alarm: bool,
+    main_lock_unlocked: bool,
+    has_main_lock: bool,
+    any_lock_unlocked: bool,
+    entrance_open: bool,
+    garage_open: bool,
+    has_presence_sensor: bool,
+    any_present: bool,
+    all_not_present: bool,
+    valve_open: bool,
+    valve_closed: bool,
+    appliance_on: bool,
+    fan_on: bool,
+    sprinkler_on: bool,
+    speaker_playing: bool,
+    has_camera: bool,
+    camera_captured: bool,
+    safety_sensor_offline: bool,
+    min_temperature: Option<f64>,
+    max_temperature: Option<f64>,
+    soil_min: Option<f64>,
+    soil_max: Option<f64>,
+}
+
+impl SnapshotFacts {
+    /// Computes the shared facts for `snap`.
+    pub fn new(snap: &Snapshot) -> Self {
+        let anyone_home = snap.anyone_home();
+        let smoke = snap.smoke_detected();
+        let co = snap.co_detected();
+        let leak = snap.leak_detected();
+        let intruder = !anyone_home && snap.motion_detected();
+        let mut facts = SnapshotFacts {
+            anyone_home,
+            sleeping: snap.sleeping(),
+            away: snap.mode.eq_ignore_ascii_case("away"),
+            smoke,
+            co,
+            leak,
+            intruder,
+            danger: smoke || co || intruder || leak,
+            heater_on: false,
+            has_heater: false,
+            ac_on: false,
+            any_light_on: false,
+            has_light: false,
+            alarm_active: false,
+            has_alarm: false,
+            main_lock_unlocked: false,
+            has_main_lock: false,
+            any_lock_unlocked: false,
+            entrance_open: false,
+            garage_open: false,
+            has_presence_sensor: false,
+            any_present: false,
+            all_not_present: true,
+            valve_open: false,
+            valve_closed: false,
+            appliance_on: false,
+            fan_on: false,
+            sprinkler_on: false,
+            speaker_playing: false,
+            has_camera: false,
+            camera_captured: false,
+            safety_sensor_offline: false,
+            min_temperature: snap.min_temperature(),
+            max_temperature: snap.max_temperature(),
+            soil_min: None,
+            soil_max: None,
+        };
+        for device in &snap.devices {
+            match device.role {
+                DeviceRole::Heater => {
+                    facts.has_heater = true;
+                    facts.heater_on |= device.attr_is("switch", "on");
+                }
+                DeviceRole::AirConditioner => facts.ac_on |= device.attr_is("switch", "on"),
+                DeviceRole::Light => {
+                    facts.has_light = true;
+                    facts.any_light_on |= device.attr_is("switch", "on");
+                }
+                DeviceRole::MainDoorLock => {
+                    facts.has_main_lock = true;
+                    facts.main_lock_unlocked |= device.attr_is("lock", "unlocked");
+                }
+                DeviceRole::Appliance => facts.appliance_on |= device.attr_is("switch", "on"),
+                _ => {}
+            }
+            match device.capability.as_str() {
+                "alarm" => {
+                    facts.has_alarm = true;
+                    facts.alarm_active |= device.attr_is("alarm", "siren")
+                        || device.attr_is("alarm", "strobe")
+                        || device.attr_is("alarm", "both");
+                }
+                "lock" => facts.any_lock_unlocked |= device.attr_is("lock", "unlocked"),
+                "doorControl" => facts.entrance_open |= device.attr_is("door", "open"),
+                "garageDoorControl" => {
+                    let open = device.attr_is("door", "open");
+                    facts.entrance_open |= open;
+                    facts.garage_open |= open;
+                }
+                "presenceSensor" => {
+                    facts.has_presence_sensor = true;
+                    let present = device.attr_is("presence", "present");
+                    facts.any_present |= present;
+                    facts.all_not_present &= device.attr_is("presence", "not present");
+                }
+                "valve" => {
+                    facts.valve_open |= device.attr_is("valve", "open");
+                    facts.valve_closed |= device.attr_is("valve", "closed");
+                }
+                "fanControl" => facts.fan_on |= device.attr_is("switch", "on"),
+                "sprinkler" => facts.sprinkler_on |= device.attr_is("sprinkler", "on"),
+                "musicPlayer" => facts.speaker_playing |= device.attr_is("status", "playing"),
+                "imageCapture" => {
+                    facts.has_camera = true;
+                    facts.camera_captured |= device.attr_is("image", "captured");
+                }
+                "smokeDetector" | "carbonMonoxideDetector" => {
+                    facts.safety_sensor_offline |= !device.online;
+                }
+                "soilMoisture" => {
+                    if let Some(m) = device.attr_number("moisture") {
+                        facts.soil_min = Some(facts.soil_min.map_or(m, |current| current.min(m)));
+                        facts.soil_max = Some(facts.soil_max.map_or(m, |current| current.max(m)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        facts
+    }
+}
+
 /// A parameterized safe-physical-state invariant.
 ///
 /// `is_violated` returns `true` when the snapshot is in the *unsafe* state.
@@ -320,136 +476,83 @@ impl PhysicalInvariant {
 
     /// Whether `snapshot` violates this invariant.
     pub fn is_violated(&self, snap: &Snapshot) -> bool {
-        use PhysicalInvariant::*;
-        // Helpers over roles and capabilities.
-        let heater_on = snap.role_attr_is(DeviceRole::Heater, "switch", "on");
-        let ac_on = snap.role_attr_is(DeviceRole::AirConditioner, "switch", "on");
-        let any_light_on = snap.by_role(DeviceRole::Light).any(|d| d.attr_is("switch", "on"));
-        let alarm_active = snap.by_capability("alarm").any(|d| {
-            d.attr_is("alarm", "siren")
-                || d.attr_is("alarm", "strobe")
-                || d.attr_is("alarm", "both")
-        });
-        let has_alarm = snap.by_capability("alarm").count() > 0;
-        let main_lock_unlocked =
-            snap.by_role(DeviceRole::MainDoorLock).any(|d| d.attr_is("lock", "unlocked"));
-        let has_main_lock = snap.by_role(DeviceRole::MainDoorLock).count() > 0;
-        let any_lock_unlocked = snap.by_capability("lock").any(|d| d.attr_is("lock", "unlocked"));
-        let entrance_open = snap
-            .by_capability("doorControl")
-            .chain(snap.by_capability("garageDoorControl"))
-            .any(|d| d.attr_is("door", "open"));
-        let intruder = !snap.anyone_home() && snap.motion_detected();
-        let danger =
-            snap.smoke_detected() || snap.co_detected() || intruder || snap.leak_detected();
+        self.is_violated_with(&SnapshotFacts::new(snap))
+    }
 
+    /// [`PhysicalInvariant::is_violated`] against precomputed
+    /// [`SnapshotFacts`] — the catalog evaluates all 38 invariants per
+    /// explored transition, so the device scans the predicates share are
+    /// hoisted out and computed once per snapshot instead of once per
+    /// invariant.
+    pub fn is_violated_with(&self, facts: &SnapshotFacts) -> bool {
+        use PhysicalInvariant::*;
         match self {
             TemperatureInRangeWhenHome { min, max } => {
-                snap.anyone_home()
-                    && (snap.min_temperature().map(|t| t < *min).unwrap_or(false)
-                        || snap.max_temperature().map(|t| t > *max).unwrap_or(false))
+                facts.anyone_home
+                    && (facts.min_temperature.map(|t| t < *min).unwrap_or(false)
+                        || facts.max_temperature.map(|t| t > *max).unwrap_or(false))
             }
             HeaterOnWhenCold { threshold } => {
-                snap.anyone_home()
-                    && snap.by_role(DeviceRole::Heater).count() > 0
-                    && snap.min_temperature().map(|t| t < *threshold).unwrap_or(false)
-                    && !heater_on
+                facts.anyone_home
+                    && facts.has_heater
+                    && facts.min_temperature.map(|t| t < *threshold).unwrap_or(false)
+                    && !facts.heater_on
             }
             HeaterOffWhenHot { threshold } => {
-                heater_on && snap.max_temperature().map(|t| t > *threshold).unwrap_or(false)
+                facts.heater_on && facts.max_temperature.map(|t| t > *threshold).unwrap_or(false)
             }
-            AcAndHeaterNotBothOn => heater_on && ac_on,
+            AcAndHeaterNotBothOn => facts.heater_on && facts.ac_on,
             AcOffWhenCold { threshold } => {
-                ac_on && snap.min_temperature().map(|t| t < *threshold).unwrap_or(false)
+                facts.ac_on && facts.min_temperature.map(|t| t < *threshold).unwrap_or(false)
             }
-            MainDoorLockedWhenNooneHome => !snap.anyone_home() && main_lock_unlocked,
-            MainDoorLockedWhenSleeping => snap.sleeping() && main_lock_unlocked,
-            EntranceDoorClosedWhenNooneHome => !snap.anyone_home() && entrance_open,
-            EntranceDoorClosedWhenSleeping => snap.sleeping() && entrance_open,
-            NoLockUnlockedInAwayMode => snap.mode.eq_ignore_ascii_case("away") && any_lock_unlocked,
-            GarageDoorClosedAtNight => {
-                snap.sleeping()
-                    && snap.by_capability("garageDoorControl").any(|d| d.attr_is("door", "open"))
-            }
-            AnyLockLockedWhenNooneHome => !snap.anyone_home() && any_lock_unlocked,
-            MainDoorLockedDuringIntrusion => intruder && main_lock_unlocked,
+            MainDoorLockedWhenNooneHome => !facts.anyone_home && facts.main_lock_unlocked,
+            MainDoorLockedWhenSleeping => facts.sleeping && facts.main_lock_unlocked,
+            EntranceDoorClosedWhenNooneHome => !facts.anyone_home && facts.entrance_open,
+            EntranceDoorClosedWhenSleeping => facts.sleeping && facts.entrance_open,
+            NoLockUnlockedInAwayMode => facts.away && facts.any_lock_unlocked,
+            GarageDoorClosedAtNight => facts.sleeping && facts.garage_open,
+            AnyLockLockedWhenNooneHome => !facts.anyone_home && facts.any_lock_unlocked,
+            MainDoorLockedDuringIntrusion => facts.intruder && facts.main_lock_unlocked,
             ModeAwayWhenNooneHome => {
-                let sensors: Vec<_> = snap.by_capability("presenceSensor").collect();
-                !sensors.is_empty()
-                    && sensors.iter().all(|d| d.attr_is("presence", "not present"))
-                    && !snap.mode.eq_ignore_ascii_case("away")
+                facts.has_presence_sensor && facts.all_not_present && !facts.away
             }
-            ModeNotAwayWhenSomeoneHome => {
-                snap.by_capability("presenceSensor").any(|d| d.attr_is("presence", "present"))
-                    && snap.mode.eq_ignore_ascii_case("away")
-            }
+            ModeNotAwayWhenSomeoneHome => facts.any_present && facts.away,
             ModeNotNightWhenNooneHome => {
-                let sensors: Vec<_> = snap.by_capability("presenceSensor").collect();
-                !sensors.is_empty()
-                    && sensors.iter().all(|d| d.attr_is("presence", "not present"))
-                    && snap.mode.eq_ignore_ascii_case("night")
+                facts.has_presence_sensor && facts.all_not_present && facts.sleeping
             }
-            AlarmActiveWhenSmoke => snap.smoke_detected() && has_alarm && !alarm_active,
-            AlarmActiveWhenCo => snap.co_detected() && has_alarm && !alarm_active,
-            AlarmActiveWhenIntruder => intruder && has_alarm && !alarm_active,
-            AlarmSilentWhenNoDanger => alarm_active && !danger,
-            AlarmSilentWhenSleepingNoDanger => snap.sleeping() && alarm_active && !danger,
+            AlarmActiveWhenSmoke => facts.smoke && facts.has_alarm && !facts.alarm_active,
+            AlarmActiveWhenCo => facts.co && facts.has_alarm && !facts.alarm_active,
+            AlarmActiveWhenIntruder => facts.intruder && facts.has_alarm && !facts.alarm_active,
+            AlarmSilentWhenNoDanger => facts.alarm_active && !facts.danger,
+            AlarmSilentWhenSleepingNoDanger => {
+                facts.sleeping && facts.alarm_active && !facts.danger
+            }
             MainDoorUnlockedDuringFire => {
-                snap.smoke_detected() && snap.anyone_home() && has_main_lock && !main_lock_unlocked
+                facts.smoke && facts.anyone_home && facts.has_main_lock && !facts.main_lock_unlocked
             }
             DoorsOpenableDuringCoAlarm => {
-                snap.co_detected() && snap.anyone_home() && has_main_lock && !main_lock_unlocked
+                facts.co && facts.anyone_home && facts.has_main_lock && !facts.main_lock_unlocked
             }
-            WaterValveOpenDuringFire => {
-                snap.smoke_detected()
-                    && snap.by_capability("valve").any(|d| d.attr_is("valve", "closed"))
-            }
+            WaterValveOpenDuringFire => facts.smoke && facts.valve_closed,
             LightsOnDuringFireAtNight => {
-                snap.smoke_detected()
-                    && snap.sleeping()
-                    && snap.by_role(DeviceRole::Light).count() > 0
-                    && !any_light_on
+                facts.smoke && facts.sleeping && facts.has_light && !facts.any_light_on
             }
-            SafetySensorsOnline => snap
-                .by_capability("smokeDetector")
-                .chain(snap.by_capability("carbonMonoxideDetector"))
-                .any(|d| !d.online),
-            CameraCapturesIntruder => {
-                intruder
-                    && snap.by_capability("imageCapture").count() > 0
-                    && !snap.by_capability("imageCapture").any(|d| d.attr_is("image", "captured"))
+            SafetySensorsOnline => facts.safety_sensor_offline,
+            CameraCapturesIntruder => facts.intruder && facts.has_camera && !facts.camera_captured,
+            AppliancesOffWhenSmoke => facts.smoke && facts.appliance_on,
+            FansOffWhenSmoke => facts.smoke && facts.fan_on,
+            HeaterOffWhenSmoke => facts.smoke && facts.heater_on,
+            SoilMoistureInRange { min, max } => {
+                facts.soil_min.map(|m| m < *min).unwrap_or(false)
+                    || facts.soil_max.map(|m| m > *max).unwrap_or(false)
             }
-            AppliancesOffWhenSmoke => {
-                snap.smoke_detected() && snap.role_attr_is(DeviceRole::Appliance, "switch", "on")
-            }
-            FansOffWhenSmoke => {
-                snap.smoke_detected()
-                    && snap.by_capability("fanControl").any(|d| d.attr_is("switch", "on"))
-            }
-            HeaterOffWhenSmoke => snap.smoke_detected() && heater_on,
-            SoilMoistureInRange { min, max } => snap
-                .by_capability("soilMoisture")
-                .any(|d| d.attr_number("moisture").map(|m| m < *min || m > *max).unwrap_or(false)),
-            SprinklerOffWhenWet => {
-                snap.leak_detected()
-                    && snap.by_capability("sprinkler").any(|d| d.attr_is("sprinkler", "on"))
-            }
-            WaterValveClosedWhenLeak => {
-                snap.leak_detected()
-                    && snap.by_capability("valve").any(|d| d.attr_is("valve", "open"))
-            }
-            LightsOffWhenNooneHome => !snap.anyone_home() && any_light_on,
-            AppliancesOffWhenNooneHome => {
-                !snap.anyone_home() && snap.role_attr_is(DeviceRole::Appliance, "switch", "on")
-            }
-            AppliancesOffWhenSleeping => {
-                snap.sleeping() && snap.role_attr_is(DeviceRole::Appliance, "switch", "on")
-            }
-            LightsOffWhenSleeping => snap.sleeping() && any_light_on,
-            SpeakersQuietWhenSleeping => {
-                snap.sleeping()
-                    && snap.by_capability("musicPlayer").any(|d| d.attr_is("status", "playing"))
-            }
+            SprinklerOffWhenWet => facts.leak && facts.sprinkler_on,
+            WaterValveClosedWhenLeak => facts.leak && facts.valve_open,
+            LightsOffWhenNooneHome => !facts.anyone_home && facts.any_light_on,
+            AppliancesOffWhenNooneHome => !facts.anyone_home && facts.appliance_on,
+            AppliancesOffWhenSleeping => facts.sleeping && facts.appliance_on,
+            LightsOffWhenSleeping => facts.sleeping && facts.any_light_on,
+            SpeakersQuietWhenSleeping => facts.sleeping && facts.speaker_playing,
         }
     }
 

@@ -33,7 +33,7 @@ pub use catalog::{
     default_properties, has_conflicting_commands, has_repeated_commands, Property, PropertyClass,
     PropertyId, PropertyKind, PropertySet,
 };
-pub use invariant::PhysicalInvariant;
+pub use invariant::{PhysicalInvariant, SnapshotFacts};
 pub use snapshot::{
     CommandRecord, DeviceRole, DeviceSnapshot, FakeEventRecord, MessageChannel, MessageRecord,
     NetworkRecord, Snapshot, StepObservation,

@@ -91,11 +91,9 @@ impl DeviceSnapshot {
         self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
-    /// True when `attribute == value` (loose comparison).
+    /// True when `attribute == value` (loose comparison, allocation-free).
     pub fn attr_is(&self, attribute: &str, value: &str) -> bool {
-        self.attr(attribute)
-            .map(|v| v.loosely_equals(&Value::Str(value.to_string())))
-            .unwrap_or(false)
+        self.attr(attribute).map(|v| v.eq_str(value)).unwrap_or(false)
     }
 
     /// Numeric value of an attribute, if it has one.
@@ -133,11 +131,18 @@ impl Snapshot {
     /// no presence sensor, the location mode is used as a proxy (the paper's
     /// properties treat mode `Away` as "no one at home").
     pub fn anyone_home(&self) -> bool {
-        let sensors: Vec<_> = self.by_capability("presenceSensor").collect();
-        if sensors.is_empty() {
-            return !self.mode.eq_ignore_ascii_case("away");
+        let mut has_sensor = false;
+        for sensor in self.by_capability("presenceSensor") {
+            has_sensor = true;
+            if sensor.attr_is("presence", "present") {
+                return true;
+            }
         }
-        sensors.iter().any(|d| d.attr_is("presence", "present"))
+        if has_sensor {
+            false
+        } else {
+            !self.mode.eq_ignore_ascii_case("away")
+        }
     }
 
     /// True when the home is in sleeping mode.
@@ -273,16 +278,17 @@ pub struct StepObservation {
 }
 
 impl StepObservation {
-    /// Commands grouped by device: returns `(device, commands)` pairs.
-    pub fn commands_by_device(&self) -> Vec<(DeviceId, Vec<&CommandRecord>)> {
-        let mut out: Vec<(DeviceId, Vec<&CommandRecord>)> = Vec::new();
-        for cmd in &self.commands {
-            match out.iter_mut().find(|(d, _)| *d == cmd.device) {
-                Some((_, list)) => list.push(cmd),
-                None => out.push((cmd.device, vec![cmd])),
-            }
-        }
-        out
+    /// Clears every per-step record while keeping buffer capacities and the
+    /// configured recipients (which belong to the system, not the step).
+    /// The model generator reuses one observation per search worker, so the
+    /// hot loop allocates nothing here after warm-up.
+    pub fn reset(&mut self) {
+        self.commands.clear();
+        self.messages.clear();
+        self.network.clear();
+        self.fake_events.clear();
+        self.unsubscribes.clear();
+        self.command_failures = 0;
     }
 
     /// True when the step sent an SMS to a recipient that is not one of the
@@ -396,24 +402,28 @@ mod tests {
     }
 
     #[test]
-    fn commands_by_device_groups() {
-        let mk = |device: u32, command: &str| CommandRecord {
-            app: "A".into(),
-            handler: "h".into(),
-            device: DeviceId(device),
-            device_label: format!("dev{device}"),
-            command: command.into(),
-            delivered: true,
-            changed_state: true,
-        };
-        let obs = StepObservation {
-            commands: vec![mk(0, "on"), mk(1, "off"), mk(0, "off")],
+    fn observation_reset_clears_step_records_but_keeps_recipients() {
+        let mut obs = StepObservation {
+            commands: vec![CommandRecord {
+                app: "A".into(),
+                handler: "h".into(),
+                device: DeviceId(0),
+                device_label: "dev0".into(),
+                command: "on".into(),
+                delivered: true,
+                changed_state: true,
+            }],
+            unsubscribes: vec!["A".into()],
+            configured_recipients: vec!["5551234".into()],
+            command_failures: 2,
             ..Default::default()
         };
-        let grouped = obs.commands_by_device();
-        assert_eq!(grouped.len(), 2);
-        let dev0 = grouped.iter().find(|(d, _)| *d == DeviceId(0)).unwrap();
-        assert_eq!(dev0.1.len(), 2);
+        obs.reset();
+        assert!(obs.commands.is_empty());
+        assert!(obs.unsubscribes.is_empty());
+        assert_eq!(obs.command_failures, 0);
+        // Recipients belong to the system, not the step.
+        assert_eq!(obs.configured_recipients, vec!["5551234".to_string()]);
     }
 
     #[test]

@@ -66,7 +66,7 @@ proptest! {
         let commands = ["lock", "unlock", "lock", "unlock"];
         let command = commands[cmd_choice];
         state.apply_command(spec, command, &[]);
-        let before = state.clone();
+        let before = state;
         let outcome = state.apply_command(spec, command, &[]);
         prop_assert_eq!(before, state);
         prop_assert_eq!(outcome, iotsan::devices::CommandOutcome::NoChange);
