@@ -10,12 +10,15 @@
 //! ```
 //!
 //! Available experiments: `table1 table2 table3 table4 table5 table6 table7a
-//! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet`.
+//! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet
+//! properties`.
 //!
 //! `--json <path>` additionally writes the machine-readable timings collected
 //! by the timing experiments (`parallel`: sequential baseline vs parallel
 //! checker at 2/4/8 workers; `fleet`: corpus-size × worker sweep of the
-//! group-wise planner with cold/warm/mutated cache phases) — CI's
+//! group-wise planner with cold/warm/mutated cache phases; `properties`:
+//! built-ins vs built-ins+customs throughput plus the `property_eval`
+//! micro-benchmark of one compiled property pass) — CI's
 //! `bench-smoke` job uploads this as the `BENCH_pr.json` artifact so the perf
 //! trajectory accumulates.
 //!
@@ -56,6 +59,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig8b",
     "parallel",
     "fleet",
+    "properties",
 ];
 
 fn main() {
@@ -134,6 +138,9 @@ fn main() {
     if want("fleet") {
         fleet(&mut bench_json);
     }
+    if want("properties") {
+        properties_experiment(&mut bench_json);
+    }
     if let Some(path) = json_path {
         std::fs::write(&path, bench_json.render())
             .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
@@ -146,6 +153,141 @@ fn main() {
         };
         check_throughput_baseline(&path, measured);
     }
+}
+
+/// The open-property-API experiment: the same scaling workload verified
+/// under the 45 built-ins and under built-ins + 5 custom `PropertySpec`s
+/// (see `iotsan_bench::sample_custom_properties`).  Asserts the custom run
+/// is consistent (identical built-in violated set, identical states and
+/// transitions — same-step custom specs cannot change the state space) and
+/// that the open API causes no throughput cliff, then times one compiled
+/// property pass in isolation (the `property_eval` rows).
+fn properties_experiment(json: &mut BenchJson) {
+    use iotsan::system::InstalledSystem;
+    use std::collections::BTreeSet;
+    use std::time::Instant;
+
+    heading("Open property API: built-ins vs built-ins + custom specs");
+    let (apps, config) = iotsan_bench::scaling_workload();
+    let events = iotsan_bench::experiment_events(2, 3);
+    let budget = iotsan_bench::experiment_budget(30, 120);
+
+    let builtin_run = iotsan_bench::run_search(&apps, &config, events, 1, true, budget);
+    let extended_set = iotsan_bench::extended_property_set();
+    let custom_count = extended_set.len() - 45;
+    let custom_run = iotsan_bench::run_search_with_properties(
+        &apps,
+        &config,
+        events,
+        1,
+        true,
+        budget,
+        extended_set,
+    );
+
+    // Consistency: custom specs must not perturb the built-in verdict or the
+    // explored state space.
+    let base: BTreeSet<u32> = builtin_run.report.violated_properties();
+    let extended: BTreeSet<u32> = custom_run.report.violated_properties();
+    let extended_builtins: BTreeSet<u32> = extended.iter().copied().filter(|p| *p <= 45).collect();
+    assert_eq!(base, extended_builtins, "custom properties changed the built-in violated set");
+    assert_eq!(
+        builtin_run.report.stats.states_stored, custom_run.report.stats.states_stored,
+        "custom same-step properties must not change the state count"
+    );
+    assert_eq!(
+        builtin_run.report.stats.transitions, custom_run.report.stats.transitions,
+        "custom same-step properties must not change the transition count"
+    );
+
+    let ratio =
+        custom_run.report.stats.states_per_sec / builtin_run.report.stats.states_per_sec.max(1e-9);
+    println!(
+        "{:<22} {:>14} {:>10} {:>12} {:>12}",
+        "Property set", "Time", "States", "States/sec", "Violations"
+    );
+    for (label, run) in [("45 built-ins", &builtin_run), ("+5 custom specs", &custom_run)] {
+        println!(
+            "{label:<22} {:>14} {:>10} {:>12.0} {:>12}",
+            format_runtime(run),
+            run.report.stats.states_stored,
+            run.report.stats.states_per_sec,
+            run.report.violated_properties().len()
+        );
+    }
+    println!("custom/builtin throughput ratio: {ratio:.3}");
+    // The cliff guard: a structural regression (e.g. per-transition
+    // allocation or string matching sneaking back into the compiled path)
+    // costs integer factors, far below this noise-tolerant floor.
+    assert!(
+        ratio >= 0.5,
+        "throughput cliff: custom specs dropped states/sec to {ratio:.3}x of built-ins"
+    );
+
+    let rows = vec![
+        format!(
+            "        {{\"phase\": \"builtins\", \"properties\": 45, \"seconds\": {:.6}, \"states\": {}, \"transitions\": {}, \"states_per_sec\": {:.1}, \"violated_properties\": {}, \"truncated\": {}, \"throughput_ratio\": 1.000}}",
+            builtin_run.elapsed.as_secs_f64(),
+            builtin_run.report.stats.states_stored,
+            builtin_run.report.stats.transitions,
+            builtin_run.report.stats.states_per_sec,
+            builtin_run.report.violated_properties().len(),
+            builtin_run.truncated,
+        ),
+        format!(
+            "        {{\"phase\": \"customs\", \"properties\": {}, \"seconds\": {:.6}, \"states\": {}, \"transitions\": {}, \"states_per_sec\": {:.1}, \"violated_properties\": {}, \"truncated\": {}, \"throughput_ratio\": {ratio:.3}}}",
+            45 + custom_count,
+            custom_run.elapsed.as_secs_f64(),
+            custom_run.report.stats.states_stored,
+            custom_run.report.stats.transitions,
+            custom_run.report.stats.states_per_sec,
+            custom_run.report.violated_properties().len(),
+            custom_run.truncated,
+        ),
+    ];
+    json.push_experiment("properties", "market8+failures", events, &rows);
+
+    // ---- property_eval micro-benchmark: one compiled pass in isolation ----
+    let pipeline = Pipeline::with_events(events);
+    let restricted = pipeline.restrict_config(&apps, &config);
+    let system = InstalledSystem::new(apps.clone(), restricted);
+    let snapshot = system.snapshot(&system.initial_state());
+    let observation = iotsan::properties::StepObservation::default();
+    let mut eval_rows = Vec::new();
+    println!("\nproperty_eval micro-benchmark (one compiled pass per transition):");
+    for (label, set) in [
+        ("builtins", PropertySet::all()),
+        ("builtins+customs", iotsan_bench::extended_property_set()),
+    ] {
+        let compiled = system.compile_properties(&set);
+        let mut monitors = vec![0u8; compiled.monitor_count()];
+        let mut scratch = iotsan::properties::EvalScratch::default();
+        let mut out = Vec::new();
+        let iters = 200_000u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            out.clear();
+            compiled.check_transition(
+                &snapshot,
+                &observation,
+                &mut monitors,
+                &mut scratch,
+                &mut out,
+            );
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+        println!(
+            "  {label:<18} {:>3} specs, {:>3} atoms: {ns:>8.1} ns/pass",
+            set.len(),
+            compiled.atom_count()
+        );
+        eval_rows.push(format!(
+            "        {{\"set\": \"{label}\", \"properties\": {}, \"atoms\": {}, \"ns_per_eval\": {ns:.1}}}",
+            set.len(),
+            compiled.atom_count(),
+        ));
+    }
+    json.push_experiment("property_eval", "market8", events, &eval_rows);
 }
 
 /// Maximum tolerated drop of the sequential checker's states/sec relative to
@@ -453,8 +595,8 @@ fn table4() {
 fn table5() {
     heading("Table 5: verification results with market apps (expert configurations)");
     let groups = market::six_groups();
-    let mut totals: BTreeMap<&'static str, usize> = BTreeMap::new();
-    let mut totals_failures: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut totals: BTreeMap<String, usize> = BTreeMap::new();
+    let mut totals_failures: BTreeMap<String, usize> = BTreeMap::new();
     let mut violated_props = std::collections::BTreeSet::new();
     let mut violated_props_failures = std::collections::BTreeSet::new();
 
@@ -513,7 +655,7 @@ fn table6() {
     let corpus = market::market_apps();
     let groups: Vec<Vec<market::MarketApp>> =
         corpus.chunks(5).take(10).map(|c| c.to_vec()).collect();
-    let mut totals: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut totals: BTreeMap<String, usize> = BTreeMap::new();
     let mut violated_props = std::collections::BTreeSet::new();
     let mut configurations = 0usize;
 

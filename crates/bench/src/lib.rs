@@ -85,6 +85,23 @@ pub fn run_search(
     failures: bool,
     budget: Duration,
 ) -> TimedRun {
+    run_search_with_properties(apps, config, events, workers, failures, budget, PropertySet::all())
+}
+
+/// [`run_search`] against an explicit property registry — the `repro
+/// properties` experiment verifies the same workload under the built-ins and
+/// under built-ins + custom [`iotsan::properties::PropertySpec`]s to show
+/// the open property API adds no throughput cliff.
+#[allow(clippy::too_many_arguments)]
+pub fn run_search_with_properties(
+    apps: &[IrApp],
+    config: &SystemConfig,
+    events: usize,
+    workers: usize,
+    failures: bool,
+    budget: Duration,
+    properties: PropertySet,
+) -> TimedRun {
     let p = Pipeline::with_events(events);
     let restricted = p.restrict_config(apps, config);
     let system = InstalledSystem::new(apps.to_vec(), restricted);
@@ -92,13 +109,65 @@ pub fn run_search(
     if failures {
         options = options.with_failures();
     }
-    let model = SequentialModel::new(system, PropertySet::all(), options);
+    let model = SequentialModel::new(system, properties, options);
     let mut search = SearchConfig::with_depth(events).parallel(workers);
     search.time_limit = Some(budget);
     let start = Instant::now();
     // ParallelChecker delegates to the sequential engine for workers <= 1.
     let report = ParallelChecker::new(search).verify(&model);
     TimedRun { elapsed: start.elapsed(), truncated: report.stats.truncated, report }
+}
+
+/// The 45 built-ins plus [`sample_custom_properties`] — the extended
+/// registry every custom-property experiment row uses.
+pub fn extended_property_set() -> PropertySet {
+    let mut set = PropertySet::all();
+    for spec in sample_custom_properties() {
+        set.register(spec).expect("sample ids are free");
+    }
+    set
+}
+
+/// A handful of user-defined specs over the standard household — the custom
+/// workload of the `repro properties` experiment and the `property_eval`
+/// micro-benchmark.  Only same-step modalities, so the state space (and
+/// therefore states/transitions) is identical to a built-ins-only run.
+pub fn sample_custom_properties() -> Vec<iotsan::properties::PropertySpec> {
+    use iotsan::properties::{Atom, DeviceSelect, Expr, PropertyClass, PropertySpec};
+    vec![
+        PropertySpec::builder(46, "No unlock command while nobody is home")
+            .category("Custom")
+            .class(PropertyClass::Custom("House rules".into()))
+            .never(Expr::and([
+                Expr::not(Expr::anyone_home()),
+                Expr::command_issued(DeviceSelect::capability("lock"), "unlock"),
+            ])),
+        PropertySpec::builder(47, "Heater and lights off together when away")
+            .category("Custom")
+            .class(PropertyClass::Custom("House rules".into()))
+            .never(Expr::and([
+                Expr::mode_is("Away"),
+                Expr::or([
+                    Expr::role_attr("heater", "switch", "on"),
+                    Expr::role_attr("light", "switch", "on"),
+                ]),
+            ])),
+        PropertySpec::builder(48, "Garage stays shut when a leak is detected")
+            .category("Custom")
+            .class(PropertyClass::Custom("House rules".into()))
+            .never(Expr::and([
+                Expr::capability_attr("waterSensor", "water", "wet"),
+                Expr::capability_attr("garageDoorControl", "door", "open"),
+            ])),
+        PropertySpec::builder(49, "Temperature stays above freezing-risk levels")
+            .category("Custom")
+            .class(PropertyClass::Custom("House rules".into()))
+            .never(Expr::any_below(DeviceSelect::any(), "temperature", 40.0)),
+        PropertySpec::builder(50, "A failed command never coincides with a fake event")
+            .category("Custom")
+            .class(PropertyClass::Custom("House rules".into()))
+            .never(Expr::and([Expr::atom(Atom::CommandFailed), Expr::atom(Atom::FakeEventRaised)])),
+    ]
 }
 
 /// Verifies a group with the sequential design and `events` external events.

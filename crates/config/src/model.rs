@@ -10,7 +10,7 @@
 
 use iotsan_devices::{registry, Device, DeviceId};
 use iotsan_ir::{IrApp, SettingKind, Value};
-use iotsan_properties::DeviceRole;
+use iotsan_properties::{DeviceRole, PropertySpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -139,6 +139,15 @@ pub struct SystemConfig {
     /// The initial location mode.
     #[serde(default = "default_mode")]
     pub initial_mode: String,
+    /// User-defined safety properties shipped with the configuration
+    /// ([`iotsan_properties::PropertySpec`], the same JSON shape
+    /// `PropertySpec::from_json` reads).  The pipeline's verification entry
+    /// points register and check these automatically (see
+    /// `Pipeline::properties_for`); `Pipeline::with_config_properties`
+    /// additionally merges them into the pipeline's own registry for
+    /// display/lookup helpers.
+    #[serde(default)]
+    pub custom_properties: Vec<PropertySpec>,
 }
 
 fn default_mode() -> String {
@@ -160,6 +169,12 @@ impl SystemConfig {
     /// Adds an app configuration (builder style).
     pub fn with_app(mut self, app: AppConfig) -> Self {
         self.apps.push(app);
+        self
+    }
+
+    /// Adds a user-defined safety property (builder style).
+    pub fn with_custom_property(mut self, spec: PropertySpec) -> Self {
+        self.custom_properties.push(spec);
         self
     }
 
@@ -365,6 +380,23 @@ mod tests {
         let parsed = SystemConfig::from_json(&json).unwrap();
         assert_eq!(cfg, parsed);
         assert!(json.contains("myHeaterOutlet"));
+    }
+
+    #[test]
+    fn custom_properties_ride_along_in_config_json() {
+        use iotsan_properties::{Expr, PropertySpec};
+        let cfg = sample_config().with_custom_property(
+            PropertySpec::builder(46, "Heater outlet stays off at night").category("Custom").never(
+                Expr::and([Expr::mode_is("Night"), Expr::role_attr("heater", "switch", "on")]),
+            ),
+        );
+        let parsed = SystemConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, parsed);
+        assert_eq!(parsed.custom_properties.len(), 1);
+        assert_eq!(parsed.custom_properties[0].id, 46);
+        // Absent field defaults to empty (older configs keep loading).
+        let legacy = SystemConfig::from_json(&sample_config().to_json()).unwrap();
+        assert!(legacy.custom_properties.is_empty());
     }
 
     #[test]

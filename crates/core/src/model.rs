@@ -31,7 +31,9 @@ use crate::system::{InstalledSystem, InternalEvent, SystemState};
 use iotsan_checker::{LogLine, StepLog, StepOutcome, TransitionSystem, Violation};
 use iotsan_devices::{DeviceId, FailureMode, FailurePolicy};
 use iotsan_ir::{Sym, Trigger, Value};
-use iotsan_properties::{PropertyId, PropertySet, Snapshot, StepObservation};
+use iotsan_properties::{
+    CompiledPropertySet, EvalScratch, PropertyId, PropertySet, Snapshot, StepObservation,
+};
 
 /// Options controlling model construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,14 +113,36 @@ pub struct ModelScratch {
     observation: StepObservation,
     queue: Vec<InternalEvent>,
     snapshot: Snapshot,
+    eval: EvalScratch,
+    violated: Vec<PropertyId>,
 }
 
 /// Shared model core used by both designs.
 #[derive(Debug, Clone)]
 struct ModelCore {
     system: InstalledSystem,
+    /// The registry (names, classes — counterexample metadata).
     properties: PropertySet,
+    /// The registry compiled against `system` at model-construction time:
+    /// selectors resolved to snapshot slots, formulas flattened to programs
+    /// over a deduplicated atom table (see `iotsan-properties::compile`).
+    compiled: CompiledPropertySet,
     options: ModelOptions,
+}
+
+impl ModelCore {
+    fn new(system: InstalledSystem, properties: PropertySet, options: ModelOptions) -> Self {
+        let compiled = system.compile_properties(&properties);
+        ModelCore { system, properties, compiled, options }
+    }
+
+    /// The initial state, with one zeroed leads-to monitor slot per compiled
+    /// bounded-response property.
+    fn initial_state(&self) -> SystemState {
+        let mut state = self.system.initial_state();
+        state.monitors = vec![0; self.compiled.monitor_count()];
+        state
+    }
 }
 
 impl ModelCore {
@@ -450,29 +474,39 @@ impl ModelCore {
         )
     }
 
-    /// Evaluates all properties after a step, refreshing the scratch
-    /// snapshot in place.
-    fn check(
-        &self,
-        state: &SystemState,
-        observation: &StepObservation,
-        snapshot: &mut Snapshot,
-    ) -> Vec<Violation> {
+    /// Evaluates all compiled properties after a step, refreshing the
+    /// scratch snapshot in place and updating the state's leads-to monitors.
+    fn check(&self, state: &mut SystemState, scratch: &mut ModelScratch) -> Vec<Violation> {
+        let ModelScratch { observation, snapshot, eval, violated, .. } = scratch;
         self.system.snapshot_into(state, snapshot);
-        let mut violated: Vec<PropertyId> = self.properties.check_snapshot(snapshot);
-        violated.extend(self.properties.check_step(observation));
+        violated.clear();
+        self.compiled.check_transition(snapshot, observation, &mut state.monitors, eval, violated);
+        self.to_violations(violated)
+    }
+
+    /// Evaluates only the step-only compiled properties (the strict
+    /// concurrency design's non-quiescent steps).
+    fn check_step_only(
+        &self,
+        state: &mut SystemState,
+        scratch: &mut ModelScratch,
+    ) -> Vec<Violation> {
+        let ModelScratch { observation, eval, violated, .. } = scratch;
+        violated.clear();
+        self.compiled.check_step_only(observation, &mut state.monitors, eval, violated);
         self.to_violations(violated)
     }
 
     /// Maps violated property ids to [`Violation`]s (sorted, deduplicated).
-    fn to_violations(&self, mut violated: Vec<PropertyId>) -> Vec<Violation> {
+    /// Allocates only when there are violations to report.
+    fn to_violations(&self, violated: &mut Vec<PropertyId>) -> Vec<Violation> {
         violated.sort();
         violated.dedup();
         violated
-            .into_iter()
+            .iter()
             .filter_map(|id| {
                 self.properties
-                    .get(id)
+                    .get(*id)
                     .map(|p| Violation { property: id.0, description: p.name.clone() })
             })
             .collect()
@@ -535,9 +569,15 @@ pub struct SequentialModel {
 }
 
 impl SequentialModel {
-    /// Builds a sequential model.
+    /// Builds a sequential model, compiling `properties` against the
+    /// installed system.
     pub fn new(system: InstalledSystem, properties: PropertySet, options: ModelOptions) -> Self {
-        SequentialModel { core: ModelCore { system, properties, options } }
+        SequentialModel { core: ModelCore::new(system, properties, options) }
+    }
+
+    /// The compiled property set the model evaluates per transition.
+    pub fn compiled_properties(&self) -> &CompiledPropertySet {
+        &self.core.compiled
     }
 
     /// The installed system under verification.
@@ -558,7 +598,7 @@ impl TransitionSystem for SequentialModel {
     type Scratch = ModelScratch;
 
     fn initial_state(&self) -> SystemState {
-        self.core.system.initial_state()
+        self.core.initial_state()
     }
 
     fn actions(&self, state: &SystemState, out: &mut Vec<ExternalAction>) {
@@ -589,7 +629,7 @@ impl TransitionSystem for SequentialModel {
             log,
             commands_fail,
         );
-        let violations = self.core.check(&next, &scratch.observation, &mut scratch.snapshot);
+        let violations = self.core.check(&mut next, scratch);
         StepOutcome { state: next, violations }
     }
 
@@ -627,9 +667,10 @@ pub struct ConcurrentModel {
 }
 
 impl ConcurrentModel {
-    /// Builds a concurrent model.
+    /// Builds a concurrent model, compiling `properties` against the
+    /// installed system.
     pub fn new(system: InstalledSystem, properties: PropertySet, options: ModelOptions) -> Self {
-        ConcurrentModel { core: ModelCore { system, properties, options } }
+        ConcurrentModel { core: ModelCore::new(system, properties, options) }
     }
 
     /// A search depth sufficient to drain every cascade the model can create.
@@ -645,7 +686,7 @@ impl TransitionSystem for ConcurrentModel {
     type Scratch = ModelScratch;
 
     fn initial_state(&self) -> SystemState {
-        self.core.system.initial_state()
+        self.core.initial_state()
     }
 
     fn actions(&self, state: &SystemState, out: &mut Vec<ConcurrentAction>) {
@@ -704,9 +745,9 @@ impl TransitionSystem for ConcurrentModel {
         // observable states as the sequential one; step-level observations
         // (conflicting commands, leakage) are checked on every action.
         let violations = if next.pending.is_empty() {
-            self.core.check(&next, &scratch.observation, &mut scratch.snapshot)
+            self.core.check(&mut next, scratch)
         } else {
-            self.core.to_violations(self.core.properties.check_step(&scratch.observation))
+            self.core.check_step_only(&mut next, scratch)
         };
         StepOutcome { state: next, violations }
     }

@@ -18,7 +18,7 @@ use iotsan_config::{
 use iotsan_depgraph::{analyze, DependencyGraph, RelatedSets};
 use iotsan_groovy::SmartApp;
 use iotsan_ir::{lower_app, IrApp};
-use iotsan_properties::{PropertyClass, PropertyId, PropertySet};
+use iotsan_properties::{PropertyId, PropertySet};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -109,20 +109,20 @@ impl VerificationResult {
         self.groups.iter().any(|g| g.report.has_violations())
     }
 
-    /// Violation counts per property class (the row structure of Tables 5/6).
-    pub fn violations_by_class(&self, properties: &PropertySet) -> BTreeMap<&'static str, usize> {
-        let mut out: BTreeMap<&'static str, usize> = BTreeMap::new();
+    /// Violation counts per property class (the row structure of Tables
+    /// 5/6).  Labels come from the property registry itself
+    /// ([`iotsan_properties::PropertyClass::label`]), so user-defined classes
+    /// render under their own names; violations whose id is not in the
+    /// registry are reported under an explicit `unknown property PNN` bucket
+    /// instead of being silently dropped.
+    pub fn violations_by_class(&self, properties: &PropertySet) -> BTreeMap<String, usize> {
+        let mut out: BTreeMap<String, usize> = BTreeMap::new();
         for (property, _) in self.violations() {
-            if let Some(p) = properties.get(PropertyId(property)) {
-                let label = match p.class {
-                    PropertyClass::ConflictingCommands => "Conflicting commands",
-                    PropertyClass::RepeatedCommands => "Repeated commands",
-                    PropertyClass::PhysicalState => "Unsafe physical states",
-                    PropertyClass::Security => "Security",
-                    PropertyClass::Robustness => "Robustness",
-                };
-                *out.entry(label).or_insert(0) += 1;
-            }
+            let label = match properties.class_label(PropertyId(property)) {
+                Some(label) => label.to_string(),
+                None => format!("unknown property {}", PropertyId(property)),
+            };
+            *out.entry(label).or_insert(0) += 1;
         }
         out
     }
@@ -172,6 +172,60 @@ impl Pipeline {
     pub fn with_failures(mut self) -> Self {
         self.model_options = self.model_options.clone().with_failures();
         self
+    }
+
+    /// Replaces the property registry (e.g. a selection, or built-ins plus
+    /// custom [`iotsan_properties::PropertySpec`]s).
+    pub fn with_properties(mut self, properties: PropertySet) -> Self {
+        self.properties = properties;
+        self
+    }
+
+    /// Registers the configuration's user-defined properties
+    /// ([`SystemConfig::custom_properties`]) on the pipeline's own registry,
+    /// so they also show up in [`Pipeline::properties`]-driven displays
+    /// (e.g. [`VerificationResult::violations_by_class`]).  The verification
+    /// paths honor config-shipped specs automatically either way — see
+    /// [`Pipeline::properties_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a custom property reuses an id already bound to a
+    /// *different* spec (the built-ins occupy 1..=45).
+    pub fn with_config_properties(mut self, config: &SystemConfig) -> Self {
+        self.properties = self.properties_for(config);
+        self
+    }
+
+    /// The effective property registry for a run over `config`: the
+    /// pipeline's own registry plus any [`SystemConfig::custom_properties`]
+    /// not already registered.  Every verification entry point
+    /// ([`Pipeline::verify`], [`Pipeline::verify_fleet`],
+    /// [`Pipeline::verify_group`], [`Pipeline::emit_promela`]) goes through
+    /// this merge, so properties shipped inside a configuration are checked
+    /// without any extra call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a config property reuses an id already bound to a
+    /// *different* spec (an identical re-registration is fine).
+    pub fn properties_for(&self, config: &SystemConfig) -> PropertySet {
+        let mut properties = self.properties.clone();
+        for spec in &config.custom_properties {
+            match properties.get(spec.property_id()) {
+                Some(existing) if existing == spec => {}
+                Some(existing) => panic!(
+                    "config custom property {} ({}) conflicts with registered spec {}",
+                    spec.property_id(),
+                    spec.name,
+                    existing.name
+                ),
+                None => {
+                    properties.register(spec.clone()).expect("absence just checked");
+                }
+            }
+        }
+        properties
     }
 
     /// Verifies every group with `workers` parallel search workers (over the
@@ -224,9 +278,9 @@ impl Pipeline {
         apps: &[IrApp],
         config: SystemConfig,
     ) -> GroupResult {
+        let properties = self.properties_for(&config);
         let system = InstalledSystem::new(apps.to_vec(), config);
-        let model =
-            SequentialModel::new(system, self.properties.clone(), self.model_options.clone());
+        let model = SequentialModel::new(system, properties, self.model_options.clone());
         // ParallelChecker delegates to the sequential engine when the
         // configured worker count is 0 or 1, so it is the single entry point.
         let report = ParallelChecker::new(self.search.clone()).verify(&model);
@@ -307,7 +361,7 @@ impl Pipeline {
     /// Emits the Promela model for a group of apps (for inspection / external
     /// Spin runs).
     pub fn emit_promela(&self, apps: &[IrApp], config: &SystemConfig) -> String {
-        iotsan_promela::emit_sequential(apps, config, &self.properties)
+        iotsan_promela::emit_sequential(apps, config, &self.properties_for(config))
     }
 
     /// Returns `true` when verifying `apps` under `config` violates at least

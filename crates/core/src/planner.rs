@@ -136,7 +136,11 @@ pub fn fingerprint_group(
         h.write_item(&format!("{app:?}"));
     }
     h.write_item(&format!("{config:?}"));
-    h.write_item(&format!("{:?}", pipeline.properties));
+    // Spec content hash, not a Debug rendering: every property's id,
+    // metadata and formula AST feeds the fingerprint, so adding or editing a
+    // (custom) spec invalidates exactly the cached verdicts computed under a
+    // different property set — and nothing else.
+    h.write_bytes(&pipeline.properties.content_hash().to_le_bytes());
     h.write_item(&format!("{:?}", pipeline.model_options));
     let SearchConfig {
         max_depth,
@@ -692,6 +696,31 @@ def motionActiveHandler(evt) { lights.on() }
         for (seq, par) in c.jobs.iter().zip(&d.jobs) {
             assert_ne!(seq.fingerprint, par.fingerprint);
         }
+    }
+
+    #[test]
+    fn custom_properties_invalidate_fingerprints_exactly() {
+        use iotsan_properties::{Expr, PropertySet, PropertySpec};
+        let (apps, config) = bundle();
+        let base = Pipeline::with_events(1);
+        let custom_spec =
+            PropertySpec::builder(46, "No Night mode, ever").never(Expr::mode_is("Night"));
+        let custom =
+            Pipeline::with_events(1).with_properties(PropertySet::all().with(custom_spec.clone()));
+
+        let a = VerificationPlanner::new(&base).plan(&apps, &config);
+        let b = VerificationPlanner::new(&custom).plan(&apps, &config);
+        // Every group verifies every property, so a new spec invalidates all
+        // cached verdicts...
+        for (old, new) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(old.apps, new.apps);
+            assert_ne!(old.fingerprint, new.fingerprint);
+        }
+        // ...while re-registering an identical spec reproduces identical
+        // fingerprints, keeping warmed caches valid across runs.
+        let again = Pipeline::with_events(1).with_properties(PropertySet::all().with(custom_spec));
+        let c = VerificationPlanner::new(&again).plan(&apps, &config);
+        assert_eq!(b, c);
     }
 
     #[test]

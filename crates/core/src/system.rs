@@ -24,7 +24,10 @@ use crate::logevent::LogEvent;
 use iotsan_config::SystemConfig;
 use iotsan_devices::{Device, DeviceId, DeviceState, LocationMode, SystemTime};
 use iotsan_ir::{IrApp, IrStmt, Sym, Symbols, Value};
-use iotsan_properties::{DeviceRole, DeviceSnapshot, Snapshot};
+use iotsan_properties::{
+    CompileTarget, CompiledPropertySet, DeviceRole, DeviceSnapshot, PropertySet, Snapshot,
+    TargetDevice,
+};
 use std::collections::HashMap;
 
 /// A cyber event flowing through the system during verification.
@@ -331,7 +334,36 @@ impl InstalledSystem {
             app_state: vec![None; self.slot_count],
             pending: Vec::new(),
             external_events: 0,
+            monitors: Vec::new(),
         }
+    }
+
+    /// The layout the property compiler resolves specs against: one
+    /// [`TargetDevice`] per installed device, in [`DeviceId`] order, with the
+    /// exact attribute layout [`InstalledSystem::snapshot_into`] writes.
+    pub fn compile_target(&self) -> CompileTarget {
+        CompileTarget::new(
+            self.devices
+                .iter()
+                .zip(&self.device_roles)
+                .map(|(device, role)| {
+                    let spec = device.spec();
+                    TargetDevice {
+                        id: device.id.0,
+                        label: device.label.clone(),
+                        capability: spec.capability.to_string(),
+                        role: *role,
+                        attributes: spec.attributes.iter().map(|a| a.name.to_string()).collect(),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Compiles a property set against this installation (see
+    /// [`CompiledPropertySet::compile`]).
+    pub fn compile_properties(&self, properties: &PropertySet) -> CompiledPropertySet {
+        CompiledPropertySet::compile(properties, &self.compile_target())
     }
 
     /// Builds the physical-state [`Snapshot`] the property checker consumes.
@@ -437,6 +469,12 @@ pub struct SystemState {
     pub pending: Vec<InternalEvent>,
     /// Number of external events generated so far.
     pub external_events: usize,
+    /// Leads-to obligation countdowns, one slot per compiled property with
+    /// `within > 0` (see [`iotsan_properties::CompiledPropertySet`]).  Empty
+    /// — and absent from the encoding — for property sets without bounded
+    /// response distances, so the paper corpus keeps byte-identical state
+    /// encodings.
+    pub monitors: Vec<u8>,
 }
 
 /// Slot markers inside the encoded state.  All are in `0xfc..=0xff` — the
@@ -481,6 +519,9 @@ impl SystemState {
                 None => ENC_NO_DEVICE,
             });
         }
+        // Pending leads-to obligations distinguish states: a home that still
+        // owes a response is not the same state as one that does not.
+        out.extend_from_slice(&self.monitors);
     }
 }
 

@@ -1,0 +1,864 @@
+//! Compilation of [`PropertySpec`](crate::PropertySpec)s into slot-indexed, zero-allocation
+//! evaluators.
+//!
+//! The checker evaluates every property once per explored transition, so the
+//! interpreted [`crate::Expr::eval`] walk (selector matching, attribute-name
+//! lookups) is far too slow for the hot path.  At install time the
+//! [`CompiledPropertySet`] resolves everything that is fixed by the installed
+//! system against a [`CompileTarget`]:
+//!
+//! * device selectors become lists of `(device index, attribute index)`
+//!   *slots* into the snapshot's fixed layout — no capability/role/attribute
+//!   string matching remains at evaluation time;
+//! * existence tests ([`crate::Atom::HasDevice`]) fold to constants;
+//! * formulas become flat postfix programs over a shared, deduplicated atom
+//!   table: each distinct atom is evaluated once per transition into a slot
+//!   vector, then every property's program runs pure boolean ops.
+//!
+//! Evaluation reuses an [`EvalScratch`] (slot vector + program stack), so a
+//! steady-state transition check performs no heap allocation.  Leads-to
+//! obligations are tracked in caller-owned per-property monitor counters that
+//! are part of the model-checker state identity.
+
+use crate::registry::PropertySet;
+use crate::snapshot::{
+    has_conflicting_commands, has_repeated_commands, DeviceRole, Snapshot, StepObservation,
+};
+use crate::spec::{Atom, DeviceSelect, Expr, Modality, PropertyId};
+
+/// One installed device, as the compiler sees it: identity for selector
+/// matching plus the attribute layout of its snapshot entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetDevice {
+    /// The raw device id (`DeviceId.0`), used to match step command records.
+    pub id: u32,
+    /// User-facing label.
+    pub label: String,
+    /// Spec capability name.
+    pub capability: String,
+    /// User-assigned role.
+    pub role: DeviceRole,
+    /// Attribute names, in the exact order they appear in the device's
+    /// snapshot entry (slot positions are resolved against this).
+    pub attributes: Vec<String>,
+}
+
+/// The installed-system layout properties are compiled against.  Device
+/// positions must match the position of each device in the snapshots later
+/// passed to [`CompiledPropertySet::check_transition`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileTarget {
+    /// The installed devices, in snapshot order.
+    pub devices: Vec<TargetDevice>,
+}
+
+impl CompileTarget {
+    /// A target over the given devices.
+    pub fn new(devices: Vec<TargetDevice>) -> Self {
+        CompileTarget { devices }
+    }
+
+    /// Derives the target from a snapshot's layout (tests and standalone
+    /// checking; installed systems build their target once from the device
+    /// table).
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        CompileTarget {
+            devices: snapshot
+                .devices
+                .iter()
+                .map(|d| TargetDevice {
+                    id: d.id.0,
+                    label: d.label.clone(),
+                    capability: d.capability.clone(),
+                    role: d.role,
+                    attributes: d.attributes.iter().map(|(n, _)| n.clone()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// `(device position, attribute position)` slots for every selected
+    /// device that has the attribute.
+    fn attr_slots(&self, select: &DeviceSelect, attribute: &str) -> Vec<(u16, u8)> {
+        let mut out = Vec::new();
+        for (di, device) in self.devices.iter().enumerate() {
+            if !select.matches(&device.label, &device.capability, device.role) {
+                continue;
+            }
+            if let Some(ai) = device.attributes.iter().position(|a| a == attribute) {
+                out.push((di as u16, ai as u8));
+            }
+        }
+        out
+    }
+
+    /// Positions of every selected device.
+    fn device_slots(&self, select: &DeviceSelect) -> Vec<u16> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| select.matches(&d.label, &d.capability, d.role))
+            .map(|(i, _)| i as u16)
+            .collect()
+    }
+
+    /// Raw device ids of every selected device.
+    fn device_ids(&self, select: &DeviceSelect) -> Vec<u32> {
+        self.devices
+            .iter()
+            .filter(|d| select.matches(&d.label, &d.capability, d.role))
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+/// A compiled atom: every name resolved to slots, selectors gone.
+#[derive(Debug, Clone, PartialEq)]
+enum CAtom {
+    /// Constant folded at compile time (existence tests, empty selections).
+    Const(bool),
+    /// The location mode equals the name (case-insensitive).
+    ModeIs(String),
+    /// Some slot's value loosely equals the string.
+    AnyAttrEq {
+        slots: Vec<(u16, u8)>,
+        value: String,
+    },
+    /// Every slot's value loosely equals the string (vacuously true).
+    AllAttrEq {
+        slots: Vec<(u16, u8)>,
+        value: String,
+    },
+    /// Some listed device is offline.
+    AnyOffline {
+        devices: Vec<u16>,
+    },
+    /// Some slot reads a number below the threshold.
+    AnyBelow {
+        slots: Vec<(u16, u8)>,
+        threshold: f64,
+    },
+    /// Some slot reads a number above the threshold.
+    AnyAbove {
+        slots: Vec<(u16, u8)>,
+        threshold: f64,
+    },
+    /// Step detectors (see [`crate::snapshot`]).
+    Conflicting,
+    Repeated,
+    DisallowedNetwork,
+    SmsMismatch,
+    Unsubscribe,
+    FakeEvent,
+    CommandFailed,
+    UserNotified,
+    /// A command with the given name reached one of the listed device ids
+    /// (`None` = any device).
+    CommandIssued {
+        command: String,
+        devices: Option<Vec<u32>>,
+    },
+}
+
+impl CAtom {
+    fn reads_state(&self) -> bool {
+        matches!(
+            self,
+            CAtom::ModeIs(_)
+                | CAtom::AnyAttrEq { .. }
+                | CAtom::AllAttrEq { .. }
+                | CAtom::AnyOffline { .. }
+                | CAtom::AnyBelow { .. }
+                | CAtom::AnyAbove { .. }
+        )
+    }
+
+    /// Evaluates the atom.  `snapshot` is only read by state atoms, which
+    /// the caller never schedules without one.
+    fn eval(&self, snapshot: &Snapshot, step: &StepObservation) -> bool {
+        match self {
+            CAtom::Const(v) => *v,
+            CAtom::ModeIs(mode) => snapshot.mode.eq_ignore_ascii_case(mode),
+            CAtom::AnyAttrEq { slots, value } => slots
+                .iter()
+                .any(|&(d, a)| snapshot.devices[d as usize].attributes[a as usize].1.eq_str(value)),
+            CAtom::AllAttrEq { slots, value } => slots
+                .iter()
+                .all(|&(d, a)| snapshot.devices[d as usize].attributes[a as usize].1.eq_str(value)),
+            CAtom::AnyOffline { devices } => {
+                devices.iter().any(|&d| !snapshot.devices[d as usize].online)
+            }
+            CAtom::AnyBelow { slots, threshold } => slots.iter().any(|&(d, a)| {
+                snapshot.devices[d as usize].attributes[a as usize]
+                    .1
+                    .as_number()
+                    .map(|v| v < *threshold)
+                    .unwrap_or(false)
+            }),
+            CAtom::AnyAbove { slots, threshold } => slots.iter().any(|&(d, a)| {
+                snapshot.devices[d as usize].attributes[a as usize]
+                    .1
+                    .as_number()
+                    .map(|v| v > *threshold)
+                    .unwrap_or(false)
+            }),
+            CAtom::Conflicting => has_conflicting_commands(step),
+            CAtom::Repeated => has_repeated_commands(step),
+            CAtom::DisallowedNetwork => step.network.iter().any(|n| !n.allowed),
+            CAtom::SmsMismatch => step.sms_recipient_mismatch(),
+            CAtom::Unsubscribe => !step.unsubscribes.is_empty(),
+            CAtom::FakeEvent => !step.fake_events.is_empty(),
+            CAtom::CommandFailed => step.command_failures > 0,
+            CAtom::UserNotified => !step.messages.is_empty(),
+            CAtom::CommandIssued { command, devices } => step.commands.iter().any(|c| {
+                c.command == *command
+                    && devices.as_ref().map(|ids| ids.contains(&c.device.0)).unwrap_or(true)
+            }),
+        }
+    }
+}
+
+/// One postfix program instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Push the atom slot's value.
+    Push(u16),
+    /// Pop one, push its negation.
+    Not,
+    /// Pop two, push the conjunction.
+    And,
+    /// Pop two, push the disjunction.
+    Or,
+}
+
+/// A program is a range into the shared op tape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Program {
+    start: u32,
+    len: u32,
+}
+
+/// How a compiled property decides violations.
+#[derive(Debug, Clone, PartialEq)]
+enum CompiledKind {
+    /// Violated when the program evaluates true.
+    Check { program: Program },
+    /// Bounded response: a trigger opens an obligation the response must
+    /// discharge within `within` further evaluated steps; the countdown
+    /// lives in the caller's monitor slot.
+    LeadsTo { trigger: Program, response: Program, within: u8, monitor: u16 },
+}
+
+/// One property compiled against an installed system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProperty {
+    id: PropertyId,
+    kind: CompiledKind,
+    step_only: bool,
+}
+
+impl CompiledProperty {
+    /// The property's id in the source [`PropertySet`].
+    pub fn id(&self) -> PropertyId {
+        self.id
+    }
+
+    /// True when the property reads only the step observation (and is
+    /// therefore evaluated on non-quiescent steps too).
+    pub fn step_only(&self) -> bool {
+        self.step_only
+    }
+}
+
+/// Reusable evaluation buffers: one bool per distinct atom plus the program
+/// stack.  Per-worker, cleared (never reallocated) on every transition.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    slots: Vec<bool>,
+    stack: Vec<bool>,
+}
+
+/// A [`PropertySet`] compiled against one installed system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPropertySet {
+    atoms: Vec<CAtom>,
+    ops: Vec<Op>,
+    props: Vec<CompiledProperty>,
+    /// Number of leads-to monitor slots the caller must carry in its state.
+    monitor_count: usize,
+}
+
+impl CompiledPropertySet {
+    /// Compiles every spec in `set` against the target layout.
+    pub fn compile(set: &PropertySet, target: &CompileTarget) -> Self {
+        let mut c = Compiler { target, atoms: Vec::new(), ops: Vec::new() };
+        let mut props = Vec::new();
+        let mut monitor_count = 0usize;
+        for spec in set.specs() {
+            let step_only = spec.step_only();
+            let kind = match &spec.modality {
+                Modality::Never(e) => CompiledKind::Check { program: c.compile_expr(e) },
+                Modality::Always(e) => {
+                    let program = c.compile_negated(e);
+                    CompiledKind::Check { program }
+                }
+                Modality::LeadsTo(l) => {
+                    let trigger = c.compile_expr(&l.trigger);
+                    let response = c.compile_expr(&l.response);
+                    assert!(
+                        l.within <= u32::from(u8::MAX),
+                        "property {} ({}): leads-to `within` is {} but the monitor bound is 255 \
+                         (bounded search depths are far smaller)",
+                        spec.property_id(),
+                        spec.name,
+                        l.within
+                    );
+                    if l.within == 0 {
+                        CompiledKind::LeadsTo { trigger, response, within: 0, monitor: u16::MAX }
+                    } else {
+                        let monitor = monitor_count as u16;
+                        monitor_count += 1;
+                        CompiledKind::LeadsTo { trigger, response, within: l.within as u8, monitor }
+                    }
+                }
+            };
+            props.push(CompiledProperty { id: spec.property_id(), kind, step_only });
+        }
+        CompiledPropertySet { atoms: c.atoms, ops: c.ops, props, monitor_count }
+    }
+
+    /// The number of monitor slots leads-to properties with `within > 0`
+    /// need; the model checker carries this many `u8` countdown counters in
+    /// its state vector (all zero initially).
+    pub fn monitor_count(&self) -> usize {
+        self.monitor_count
+    }
+
+    /// The compiled properties, in set order.
+    pub fn properties(&self) -> &[CompiledProperty] {
+        &self.props
+    }
+
+    /// Number of distinct atoms shared by all programs.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Evaluates every property at a quiescent point (both the physical
+    /// snapshot and the step observation are visible), appending violated
+    /// ids to `out` and updating leads-to monitors in place.
+    pub fn check_transition(
+        &self,
+        snapshot: &Snapshot,
+        step: &StepObservation,
+        monitors: &mut [u8],
+        scratch: &mut EvalScratch,
+        out: &mut Vec<PropertyId>,
+    ) {
+        self.fill_slots(Some(snapshot), step, scratch);
+        for prop in &self.props {
+            self.check_one(prop, monitors, scratch, out);
+        }
+    }
+
+    /// Evaluates only the step-only properties (the strict-concurrency
+    /// design's non-quiescent steps, where physical-state invariants are
+    /// deferred until the pending-event queue drains).
+    pub fn check_step_only(
+        &self,
+        step: &StepObservation,
+        monitors: &mut [u8],
+        scratch: &mut EvalScratch,
+        out: &mut Vec<PropertyId>,
+    ) {
+        self.fill_slots(None, step, scratch);
+        for prop in &self.props {
+            if prop.step_only {
+                self.check_one(prop, monitors, scratch, out);
+            }
+        }
+    }
+
+    fn check_one(
+        &self,
+        prop: &CompiledProperty,
+        monitors: &mut [u8],
+        scratch: &mut EvalScratch,
+        out: &mut Vec<PropertyId>,
+    ) {
+        match &prop.kind {
+            CompiledKind::Check { program } => {
+                if self.run(*program, scratch) {
+                    out.push(prop.id);
+                }
+            }
+            CompiledKind::LeadsTo { trigger, response, within, monitor } => {
+                let triggered = self.run(*trigger, scratch);
+                let responded = self.run(*response, scratch);
+                if *within == 0 {
+                    if triggered && !responded {
+                        out.push(prop.id);
+                    }
+                    return;
+                }
+                let slot = &mut monitors[*monitor as usize];
+                if responded {
+                    // A response discharges every open obligation at once.
+                    *slot = 0;
+                    return;
+                }
+                let mut violated = false;
+                if *slot > 0 {
+                    *slot -= 1;
+                    if *slot == 0 {
+                        violated = true;
+                    }
+                }
+                // The counter tracks the *earliest* open obligation — the
+                // first deadline to expire.  A re-trigger while one is
+                // pending must therefore never refresh the countdown (that
+                // would silently extend the first obligation's deadline and
+                // miss its violation); a new countdown starts only when no
+                // obligation is open (including right after one just
+                // expired — the new trigger stands on its own).
+                if triggered && *slot == 0 {
+                    *slot = *within;
+                }
+                if violated {
+                    out.push(prop.id);
+                }
+            }
+        }
+    }
+
+    /// Evaluates each distinct atom once into the slot vector.  State atoms
+    /// are skipped when no snapshot is given (their slots are then never read
+    /// — only step-only programs run).
+    fn fill_slots(
+        &self,
+        snapshot: Option<&Snapshot>,
+        step: &StepObservation,
+        scratch: &mut EvalScratch,
+    ) {
+        scratch.slots.clear();
+        scratch.slots.resize(self.atoms.len(), false);
+        for (slot, atom) in scratch.slots.iter_mut().zip(&self.atoms) {
+            match snapshot {
+                Some(snap) => *slot = atom.eval(snap, step),
+                None if !atom.reads_state() => *slot = atom.eval(&EMPTY_SNAPSHOT, step),
+                None => {}
+            }
+        }
+    }
+
+    fn run(&self, program: Program, scratch: &mut EvalScratch) -> bool {
+        let ops = &self.ops[program.start as usize..(program.start + program.len) as usize];
+        let stack = &mut scratch.stack;
+        stack.clear();
+        for op in ops {
+            match op {
+                Op::Push(slot) => stack.push(scratch.slots[*slot as usize]),
+                Op::Not => {
+                    let v = stack.pop().expect("program underflow");
+                    stack.push(!v);
+                }
+                Op::And => {
+                    let b = stack.pop().expect("program underflow");
+                    let a = stack.pop().expect("program underflow");
+                    stack.push(a && b);
+                }
+                Op::Or => {
+                    let b = stack.pop().expect("program underflow");
+                    let a = stack.pop().expect("program underflow");
+                    stack.push(a || b);
+                }
+            }
+        }
+        stack.pop().expect("empty program")
+    }
+}
+
+/// A snapshot that is never read (placeholder for step-only evaluation).
+static EMPTY_SNAPSHOT: Snapshot =
+    Snapshot { mode: String::new(), devices: Vec::new(), time_seconds: 0 };
+
+struct Compiler<'a> {
+    target: &'a CompileTarget,
+    atoms: Vec<CAtom>,
+    ops: Vec<Op>,
+}
+
+impl Compiler<'_> {
+    fn slot(&mut self, atom: CAtom) -> u16 {
+        if let Some(pos) = self.atoms.iter().position(|a| *a == atom) {
+            return pos as u16;
+        }
+        assert!(
+            self.atoms.len() <= u16::MAX as usize,
+            "property set exceeds {} distinct atoms",
+            u16::MAX as usize + 1
+        );
+        self.atoms.push(atom);
+        (self.atoms.len() - 1) as u16
+    }
+
+    fn compile_expr(&mut self, expr: &Expr) -> Program {
+        let start = self.ops.len() as u32;
+        self.emit(expr);
+        Program { start, len: self.ops.len() as u32 - start }
+    }
+
+    fn compile_negated(&mut self, expr: &Expr) -> Program {
+        let start = self.ops.len() as u32;
+        self.emit(expr);
+        self.ops.push(Op::Not);
+        Program { start, len: self.ops.len() as u32 - start }
+    }
+
+    fn emit(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Atom(atom) => self.emit_atom(atom),
+            Expr::Not(e) => {
+                self.emit(e);
+                self.ops.push(Op::Not);
+            }
+            Expr::All(es) => self.emit_nary(es, Op::And, true),
+            Expr::AnyOf(es) => self.emit_nary(es, Op::Or, false),
+        }
+    }
+
+    fn emit_nary(&mut self, es: &[Expr], op: Op, empty: bool) {
+        match es.split_first() {
+            None => {
+                let slot = self.slot(CAtom::Const(empty));
+                self.ops.push(Op::Push(slot));
+            }
+            Some((first, rest)) => {
+                self.emit(first);
+                for e in rest {
+                    self.emit(e);
+                    self.ops.push(op);
+                }
+            }
+        }
+    }
+
+    fn emit_atom(&mut self, atom: &Atom) {
+        let lowered = match atom {
+            Atom::ModeIs(mode) => CAtom::ModeIs(mode.clone()),
+            Atom::AnyoneHome => {
+                // Resolved at compile time: with presence sensors installed,
+                // "anyone home" means some sensor reports `present`; without
+                // any, the location mode not being Away is the paper's proxy.
+                let presence = DeviceSelect::capability("presenceSensor");
+                let slots = self.target.attr_slots(&presence, "presence");
+                if slots.is_empty() {
+                    let slot = self.slot(CAtom::ModeIs("Away".to_string()));
+                    self.ops.push(Op::Push(slot));
+                    self.ops.push(Op::Not);
+                    return;
+                }
+                CAtom::AnyAttrEq { slots, value: "present".to_string() }
+            }
+            Atom::AnyAttr(t) => {
+                let slots = self.target.attr_slots(&t.select, &t.attribute);
+                if slots.is_empty() {
+                    CAtom::Const(false)
+                } else {
+                    CAtom::AnyAttrEq { slots, value: t.value.clone() }
+                }
+            }
+            Atom::AllAttr(t) => {
+                // Match the interpreted semantics exactly: a selected device
+                // *without* the attribute fails the test (`attr_is` on a
+                // missing attribute is false).  Attribute layouts are fixed
+                // at install time, so that case folds to a constant.
+                let selected = self.target.device_slots(&t.select).len();
+                let slots = self.target.attr_slots(&t.select, &t.attribute);
+                if slots.len() < selected {
+                    CAtom::Const(false)
+                } else if slots.is_empty() {
+                    CAtom::Const(true)
+                } else {
+                    CAtom::AllAttrEq { slots, value: t.value.clone() }
+                }
+            }
+            Atom::HasDevice(select) => CAtom::Const(!self.target.device_slots(select).is_empty()),
+            Atom::AnyOffline(select) => {
+                let devices = self.target.device_slots(select);
+                if devices.is_empty() {
+                    CAtom::Const(false)
+                } else {
+                    CAtom::AnyOffline { devices }
+                }
+            }
+            Atom::AnyBelow(t) => {
+                let slots = self.target.attr_slots(&t.select, &t.attribute);
+                if slots.is_empty() {
+                    CAtom::Const(false)
+                } else {
+                    CAtom::AnyBelow { slots, threshold: t.threshold }
+                }
+            }
+            Atom::AnyAbove(t) => {
+                let slots = self.target.attr_slots(&t.select, &t.attribute);
+                if slots.is_empty() {
+                    CAtom::Const(false)
+                } else {
+                    CAtom::AnyAbove { slots, threshold: t.threshold }
+                }
+            }
+            Atom::ConflictingCommands => CAtom::Conflicting,
+            Atom::RepeatedCommands => CAtom::Repeated,
+            Atom::DisallowedNetwork => CAtom::DisallowedNetwork,
+            Atom::SmsRecipientMismatch => CAtom::SmsMismatch,
+            Atom::UnsubscribeCalled => CAtom::Unsubscribe,
+            Atom::FakeEventRaised => CAtom::FakeEvent,
+            Atom::CommandFailed => CAtom::CommandFailed,
+            Atom::UserNotified => CAtom::UserNotified,
+            Atom::CommandIssued(t) => CAtom::CommandIssued {
+                command: t.command.clone(),
+                devices: if t.select.is_any() {
+                    None
+                } else {
+                    Some(self.target.device_ids(&t.select))
+                },
+            },
+        };
+        let slot = self.slot(lowered);
+        self.ops.push(Op::Push(slot));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::DeviceSnapshot;
+    use crate::spec::PropertySpec;
+    use iotsan_devices::DeviceId;
+    use iotsan_ir::Value;
+
+    fn household() -> Snapshot {
+        let dev = |id: u32, cap: &str, role: DeviceRole, attrs: &[(&str, &str)]| DeviceSnapshot {
+            id: DeviceId(id),
+            label: format!("d{id}"),
+            capability: cap.into(),
+            role,
+            attributes: attrs
+                .iter()
+                .map(|(n, v)| (n.to_string(), Value::Str(v.to_string())))
+                .collect(),
+            online: true,
+        };
+        Snapshot {
+            mode: "Home".into(),
+            devices: vec![
+                dev(0, "presenceSensor", DeviceRole::Generic, &[("presence", "present")]),
+                dev(1, "lock", DeviceRole::MainDoorLock, &[("lock", "locked")]),
+                dev(2, "smokeDetector", DeviceRole::Generic, &[("smoke", "clear")]),
+                dev(3, "switch", DeviceRole::Heater, &[("switch", "off")]),
+            ],
+            time_seconds: 0,
+        }
+    }
+
+    fn compile_one(spec: PropertySpec, snapshot: &Snapshot) -> CompiledPropertySet {
+        let set = PropertySet::from_specs(vec![spec]);
+        CompiledPropertySet::compile(&set, &CompileTarget::from_snapshot(snapshot))
+    }
+
+    fn violated(
+        compiled: &CompiledPropertySet,
+        snapshot: &Snapshot,
+        step: &StepObservation,
+    ) -> Vec<u32> {
+        let mut monitors = vec![0u8; compiled.monitor_count()];
+        let mut scratch = EvalScratch::default();
+        let mut out = Vec::new();
+        compiled.check_transition(snapshot, step, &mut monitors, &mut scratch, &mut out);
+        out.into_iter().map(|id| id.0).collect()
+    }
+
+    #[test]
+    fn selectors_resolve_to_slots_and_constants_fold() {
+        let snapshot = household();
+        let spec = PropertySpec::builder(1, "p").never(Expr::and([
+            Expr::has_device(DeviceSelect::role("heater")),
+            Expr::capability_attr("lock", "lock", "unlocked"),
+        ]));
+        let compiled = compile_one(spec, &snapshot);
+        // `has_device` folded into a constant, the attr test into one atom.
+        assert!(compiled.atom_count() <= 2);
+        let step = StepObservation::default();
+        assert!(violated(&compiled, &snapshot, &step).is_empty());
+        let mut unlocked = snapshot.clone();
+        unlocked.devices[1].attributes[0].1 = Value::Str("unlocked".into());
+        assert_eq!(violated(&compiled, &unlocked, &step), vec![1]);
+    }
+
+    #[test]
+    fn anyone_home_compiles_to_presence_or_mode_fallback() {
+        let snapshot = household();
+        let spec = PropertySpec::builder(1, "p").always(Expr::anyone_home());
+        let compiled = compile_one(spec.clone(), &snapshot);
+        let step = StepObservation::default();
+        assert!(violated(&compiled, &snapshot, &step).is_empty());
+        let mut gone = snapshot.clone();
+        gone.devices[0].attributes[0].1 = Value::Str("not present".into());
+        assert_eq!(violated(&compiled, &gone, &step), vec![1]);
+
+        // No presence sensors: mode decides.
+        let mut bare = Snapshot { mode: "Home".into(), devices: vec![], time_seconds: 0 };
+        let compiled = compile_one(spec, &bare);
+        assert!(violated(&compiled, &bare, &step).is_empty());
+        bare.mode = "Away".into();
+        assert_eq!(violated(&compiled, &bare, &step), vec![1]);
+    }
+
+    #[test]
+    fn compiled_verdicts_match_interpreted_for_builtins() {
+        // Every built-in property agrees with the interpreted reference on a
+        // handful of hand-made situations.
+        let set = PropertySet::all();
+        let mut snapshot = household();
+        snapshot.mode = "Night".into();
+        snapshot.devices[1].attributes[0].1 = Value::Str("unlocked".into());
+        snapshot.devices[2].attributes[0].1 = Value::Str("detected".into());
+        snapshot.devices[2].online = false;
+        snapshot.devices[3].attributes[0].1 = Value::Str("on".into());
+        let step = StepObservation::default();
+        let compiled = CompiledPropertySet::compile(&set, &CompileTarget::from_snapshot(&snapshot));
+        let mut got = violated(&compiled, &snapshot, &step);
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            set.check_point(&snapshot, &step).into_iter().map(|id| id.0).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    #[test]
+    fn step_only_pass_skips_state_properties() {
+        let snapshot = household();
+        let set = PropertySet::all();
+        let compiled = CompiledPropertySet::compile(&set, &CompileTarget::from_snapshot(&snapshot));
+        let step = StepObservation {
+            unsubscribes: vec!["A".into()],
+            command_failures: 1,
+            ..Default::default()
+        };
+        let mut monitors = vec![0u8; compiled.monitor_count()];
+        let mut scratch = EvalScratch::default();
+        let mut out = Vec::new();
+        compiled.check_step_only(&step, &mut monitors, &mut scratch, &mut out);
+        let ids: Vec<u32> = out.iter().map(|id| id.0).collect();
+        // Unsubscribe (43) and the same-step robustness response (45) fire;
+        // no physical-state property can.
+        assert_eq!(ids, vec![43, 45]);
+    }
+
+    #[test]
+    fn leads_to_monitors_count_down_and_discharge() {
+        let spec = PropertySpec::builder(9, "failures notify within 2").leads_to(
+            Expr::atom(Atom::CommandFailed),
+            Expr::atom(Atom::UserNotified),
+            2,
+        );
+        let snapshot = Snapshot::default();
+        let compiled = compile_one(spec, &snapshot);
+        assert_eq!(compiled.monitor_count(), 1);
+        let failing = StepObservation { command_failures: 1, ..Default::default() };
+        let quiet = StepObservation::default();
+        let notified = StepObservation {
+            messages: vec![crate::snapshot::MessageRecord {
+                app: "A".into(),
+                channel: crate::snapshot::MessageChannel::Push,
+                recipient: String::new(),
+                body: "b".into(),
+            }],
+            ..Default::default()
+        };
+        let mut scratch = EvalScratch::default();
+
+        // Trigger, silence, silence → violated exactly on the second
+        // follow-up step.
+        let mut monitors = vec![0u8];
+        let mut out = Vec::new();
+        compiled.check_transition(&snapshot, &failing, &mut monitors, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(monitors, vec![2]);
+        compiled.check_transition(&snapshot, &quiet, &mut monitors, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        compiled.check_transition(&snapshot, &quiet, &mut monitors, &mut scratch, &mut out);
+        assert_eq!(out.iter().map(|id| id.0).collect::<Vec<_>>(), vec![9]);
+        assert_eq!(monitors, vec![0]);
+
+        // Trigger then notify → obligation discharged, never violated.
+        let mut monitors = vec![0u8];
+        let mut out = Vec::new();
+        compiled.check_transition(&snapshot, &failing, &mut monitors, &mut scratch, &mut out);
+        compiled.check_transition(&snapshot, &notified, &mut monitors, &mut scratch, &mut out);
+        compiled.check_transition(&snapshot, &quiet, &mut monitors, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(monitors, vec![0]);
+    }
+
+    #[test]
+    fn leads_to_retrigger_keeps_the_earliest_deadline() {
+        // The counter tracks the first deadline to expire: a second trigger
+        // while an obligation is open must not extend it, or the first
+        // obligation's violation would be missed entirely.
+        let spec = PropertySpec::builder(9, "failures notify within 2").leads_to(
+            Expr::atom(Atom::CommandFailed),
+            Expr::atom(Atom::UserNotified),
+            2,
+        );
+        let snapshot = Snapshot::default();
+        let compiled = compile_one(spec, &snapshot);
+        let failing = StepObservation { command_failures: 1, ..Default::default() };
+        let quiet = StepObservation::default();
+        let mut scratch = EvalScratch::default();
+        let mut monitors = vec![0u8];
+        let mut out = Vec::new();
+        // t0: trigger (deadline t2).  t1: trigger again — countdown must
+        // keep counting the t0 obligation (slot 1, not refreshed to 2).
+        compiled.check_transition(&snapshot, &failing, &mut monitors, &mut scratch, &mut out);
+        compiled.check_transition(&snapshot, &failing, &mut monitors, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(monitors, vec![1]);
+        // t2: silence — the t0 deadline expires.
+        compiled.check_transition(&snapshot, &quiet, &mut monitors, &mut scratch, &mut out);
+        assert_eq!(out.iter().map(|id| id.0).collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monitor bound is 255")]
+    fn leads_to_within_beyond_the_monitor_bound_fails_compilation() {
+        let spec = PropertySpec {
+            id: 9,
+            name: "huge".into(),
+            category: String::new(),
+            class: crate::spec::PropertyClass::Custom("Custom".into()),
+            modality: crate::spec::Modality::LeadsTo(crate::spec::LeadsTo {
+                trigger: Expr::atom(Atom::CommandFailed),
+                response: Expr::atom(Atom::UserNotified),
+                within: 1000,
+            }),
+            ltl: None,
+        };
+        let set = PropertySet::from_specs(vec![spec]);
+        let _ = CompiledPropertySet::compile(&set, &CompileTarget::default());
+    }
+
+    #[test]
+    fn builtin_corpus_needs_no_monitors() {
+        // The paper corpus only uses same-step response (within = 0), so the
+        // model-checker state vector stays byte-identical to the pre-spec
+        // catalog.
+        let compiled = CompiledPropertySet::compile(
+            &PropertySet::all(),
+            &CompileTarget::from_snapshot(&household()),
+        );
+        assert_eq!(compiled.monitor_count(), 0);
+    }
+}

@@ -1,18 +1,28 @@
 //! # iotsan-properties
 //!
-//! The safety-property corpus of IotSan-rs (the Rust reproduction of *IotSan:
-//! Fortifying the Safety of IoT Systems*, CoNEXT 2018, §8 and Table 4).
+//! The open safety-property subsystem of IotSan-rs (the Rust reproduction of
+//! *IotSan: Fortifying the Safety of IoT Systems*, CoNEXT 2018, §8 and
+//! Table 4).
 //!
-//! IotSan verifies 45 properties: one free-of-conflicting-commands property,
-//! one free-of-repeated-commands property, 38 safe-physical-state invariants
-//! across six categories, four security properties (information leakage and
-//! security-sensitive commands) and one robustness-to-failure property.
+//! IotSan treats properties as user-supplied inputs; this crate provides the
+//! declarative specification language they are written in and the compiler
+//! that turns them into the checker's zero-allocation evaluators:
 //!
-//! * [`snapshot`] — the [`Snapshot`] of the physical state and the per-step
-//!   [`StepObservation`] the model generator hands to the checker;
-//! * [`invariant`] — the 38 parameterized [`PhysicalInvariant`]s;
-//! * [`catalog`] — the full [`PropertySet`] with LTL renderings and the
-//!   conflicting/repeated-command detectors.
+//! * [`spec`] — the [`PropertySpec`] language: boolean formulas ([`Expr`])
+//!   over device/mode/step predicates ([`Atom`]) under temporal modalities
+//!   ([`Modality`]: always / never / leads-to-within-k), serde-loadable from
+//!   JSON and buildable with [`PropertySpec::builder`];
+//! * [`builtins`] — the paper's 45-property corpus (1 conflicting-commands,
+//!   1 repeated-commands, 38 physical-state invariants, 4 security,
+//!   1 robustness), expressed as plain specs;
+//! * [`registry`] — the [`PropertySet`] of specs selected for one run, with
+//!   content hashing for the verification cache;
+//! * [`compile`] — install-time compilation into slot-indexed
+//!   [`CompiledPropertySet`] programs (deduplicated atoms fill a slot
+//!   vector once per transition, per-property programs run pure boolean
+//!   ops; leads-to obligations live in checker-state monitor counters);
+//! * [`snapshot`] — the physical [`Snapshot`] and per-step
+//!   [`StepObservation`] the evaluators read.
 //!
 //! ```
 //! use iotsan_properties::{PropertySet, Snapshot};
@@ -22,19 +32,44 @@
 //! // An empty home violates nothing.
 //! assert!(set.check_snapshot(&Snapshot::default()).is_empty());
 //! ```
+//!
+//! Defining a custom property takes a handful of lines:
+//!
+//! ```
+//! use iotsan_properties::{DeviceSelect, Expr, PropertySet, PropertySpec};
+//!
+//! let spec = PropertySpec::builder(46, "No unlock command while sleeping")
+//!     .category("Custom")
+//!     .never(Expr::and([
+//!         Expr::mode_is("Night"),
+//!         Expr::command_issued(DeviceSelect::capability("lock"), "unlock"),
+//!     ]));
+//! let set = PropertySet::all().with(spec);
+//! assert_eq!(set.len(), 46);
+//! ```
 
 #![warn(missing_docs)]
 
-pub mod catalog;
-pub mod invariant;
+pub mod builtins;
+pub mod compile;
+pub mod registry;
 pub mod snapshot;
+pub mod spec;
 
-pub use catalog::{
-    default_properties, has_conflicting_commands, has_repeated_commands, Property, PropertyClass,
-    PropertyId, PropertyKind, PropertySet,
+pub use builtins::{default_properties, paper_properties};
+pub use compile::{
+    CompileTarget, CompiledProperty, CompiledPropertySet, EvalScratch, TargetDevice,
 };
-pub use invariant::{PhysicalInvariant, SnapshotFacts};
+pub use registry::{DuplicatePropertyId, PropertySet};
 pub use snapshot::{
-    CommandRecord, DeviceRole, DeviceSnapshot, FakeEventRecord, MessageChannel, MessageRecord,
-    NetworkRecord, Snapshot, StepObservation,
+    has_conflicting_commands, has_repeated_commands, CommandRecord, DeviceRole, DeviceSnapshot,
+    FakeEventRecord, MessageChannel, MessageRecord, NetworkRecord, Snapshot, StepObservation,
 };
+pub use spec::{
+    Atom, AttrTest, CommandTest, DeviceSelect, Expr, LeadsTo, Modality, NumericTest, PropertyClass,
+    PropertyId, PropertySpec, PropertySpecBuilder,
+};
+
+/// Pre-redesign name for [`PropertySpec`]: the catalog's `Property` records
+/// are now the specs themselves.
+pub type Property = PropertySpec;

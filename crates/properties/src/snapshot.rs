@@ -302,6 +302,53 @@ impl StepObservation {
     }
 }
 
+/// Commands that cancel each other when sent to the same actuator.
+const CONFLICTING_PAIRS: &[(&str, &str)] = &[
+    ("on", "off"),
+    ("lock", "unlock"),
+    ("open", "close"),
+    ("siren", "off"),
+    ("strobe", "off"),
+    ("both", "off"),
+    ("heat", "cool"),
+    ("play", "stop"),
+    ("mute", "unmute"),
+];
+
+/// True when one actuator received two conflicting commands in the step.
+pub fn has_conflicting_commands(step: &StepObservation) -> bool {
+    // Direct pair scan (same device, i < j): equivalent to grouping by
+    // device first, but allocation-free — this runs on every explored
+    // transition and step command counts are tiny.
+    let cmds = &step.commands;
+    for i in 0..cmds.len() {
+        for j in (i + 1)..cmds.len() {
+            if cmds[i].device != cmds[j].device {
+                continue;
+            }
+            let a = cmds[i].command.as_str();
+            let b = cmds[j].command.as_str();
+            if CONFLICTING_PAIRS.iter().any(|(x, y)| (a == *x && b == *y) || (a == *y && b == *x)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True when one actuator received the same command more than once in the step.
+pub fn has_repeated_commands(step: &StepObservation) -> bool {
+    let cmds = &step.commands;
+    for i in 0..cmds.len() {
+        for j in (i + 1)..cmds.len() {
+            if cmds[i].device == cmds[j].device && cmds[i].command == cmds[j].command {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +471,37 @@ mod tests {
         assert_eq!(obs.command_failures, 0);
         // Recipients belong to the system, not the step.
         assert_eq!(obs.configured_recipients, vec!["5551234".to_string()]);
+    }
+
+    #[test]
+    fn conflicting_and_repeated_commands_detected() {
+        let cmd = |device: u32, command: &str| CommandRecord {
+            app: "A".into(),
+            handler: "h".into(),
+            device: DeviceId(device),
+            device_label: format!("dev{device}"),
+            command: command.into(),
+            delivered: true,
+            changed_state: true,
+        };
+        let step =
+            StepObservation { commands: vec![cmd(0, "on"), cmd(0, "off")], ..Default::default() };
+        assert!(has_conflicting_commands(&step));
+        // Different devices do not conflict.
+        let step =
+            StepObservation { commands: vec![cmd(0, "on"), cmd(1, "off")], ..Default::default() };
+        assert!(!has_conflicting_commands(&step));
+        // Same direction commands do not conflict (they repeat).
+        let step =
+            StepObservation { commands: vec![cmd(0, "on"), cmd(0, "on")], ..Default::default() };
+        assert!(!has_conflicting_commands(&step));
+        assert!(has_repeated_commands(&step));
+        // Pairs are symmetric.
+        let step = StepObservation {
+            commands: vec![cmd(3, "unlock"), cmd(3, "lock")],
+            ..Default::default()
+        };
+        assert!(has_conflicting_commands(&step));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use iotsan::checker::{Checker, SearchConfig};
 use iotsan::config::{expert_configure, misconfigure, standard_household};
 use iotsan::depgraph::analyze;
 use iotsan::model::{ConcurrentModel, ModelOptions, SequentialModel};
-use iotsan::properties::{PhysicalInvariant, PropertySet};
+use iotsan::properties::{PropertyClass, PropertySet};
 use iotsan::system::InstalledSystem;
 use iotsan::{translate_sources, Pipeline};
 use iotsan_apps::{market, samples};
@@ -145,13 +145,16 @@ fn robustness_property_fires_under_failures() {
 fn default_property_set_covers_all_invariants() {
     let set = PropertySet::all();
     assert_eq!(set.len(), 45);
-    assert_eq!(PhysicalInvariant::defaults().len(), 38);
-    let invariant_count = set
+    let invariant_count =
+        set.properties().iter().filter(|p| p.class == PropertyClass::PhysicalState).count();
+    assert_eq!(invariant_count, 38);
+    // Every physical invariant reads the snapshot and none needs a monitor
+    // slot, so the state vector stays flat.
+    assert!(set
         .properties()
         .iter()
-        .filter(|p| matches!(p.kind, iotsan::properties::PropertyKind::Invariant(_)))
-        .count();
-    assert_eq!(invariant_count, 38);
+        .filter(|p| p.class == PropertyClass::PhysicalState)
+        .all(|p| p.reads_state()));
 }
 
 /// Counterexamples render in the Figure 7 style, mentioning the triggering

@@ -107,6 +107,18 @@ macro_rules! int_impls {
 
 int_impls!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(value)?))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
