@@ -1,0 +1,470 @@
+//! Lint diagnostics over an installed bundle.
+//!
+//! Four findings, each a static fact about the configured system the model
+//! checker would otherwise spend states discovering (or silently never
+//! exercise):
+//!
+//! * **dead handlers** — subscribed to an event no installed device can emit
+//!   and no app in the bundle fakes with `sendEvent`;
+//! * **unreachable branches** — guards [`mod@crate::fold`] proves constant;
+//! * **unknown write targets** — commands to inputs with no bound devices,
+//!   commands the capability does not define, and fake events claiming
+//!   attributes no household device carries;
+//! * **self-loops** — a handler writing the very attribute it subscribes to
+//!   (a feedback cycle the cascade bound will eventually cut).
+//!
+//! Provenance is `app/handler/location`, where the location is the
+//! statement's path in the lowered IR (`body[1].then[0]`) — the translated IR
+//! does not retain Groovy line numbers, and the path survives reformatting
+//! of the source, which line numbers would not.
+
+use crate::fold::fold_guard;
+use crate::summary::{summarize_handler, WriteEffect};
+use iotsan_config::{Binding, SystemConfig};
+use iotsan_devices::registry;
+use iotsan_ir::{IrApp, IrHandler, IrStmt, Trigger};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kind of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// Handler subscribed to an event nothing installed can emit.
+    DeadHandler,
+    /// Branch guarded by a constant-false (or constant-true) condition.
+    UnreachableBranch,
+    /// Write aimed at a device or attribute the household does not carry.
+    UnknownWriteTarget,
+    /// Handler writes the attribute it subscribes to.
+    SelfLoop,
+}
+
+impl LintKind {
+    /// Stable kebab-case identifier, used in rendered reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            LintKind::DeadHandler => "dead-handler",
+            LintKind::UnreachableBranch => "unreachable-branch",
+            LintKind::UnknownWriteTarget => "unknown-write-target",
+            LintKind::SelfLoop => "self-loop",
+        }
+    }
+
+    /// True for the kinds `--deny-dead-code` escalates to a hard failure:
+    /// dead handlers and unreachable branches mean the model contains code
+    /// exploration can never exercise.
+    pub fn denied_as_dead_code(&self) -> bool {
+        matches!(self, LintKind::DeadHandler | LintKind::UnreachableBranch)
+    }
+}
+
+/// One lint finding with app/handler/location provenance.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// App display name.
+    pub app: String,
+    /// Handler method name.
+    pub handler: String,
+    /// IR-path provenance (`trigger`, `body[0].then[1]`, ...).
+    pub location: String,
+    /// The finding kind.
+    pub kind: LintKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warning[{}] {}::{} @ {}: {}",
+            self.kind.slug(),
+            self.app,
+            self.handler,
+            self.location,
+            self.message
+        )
+    }
+}
+
+/// Lints every app of an installed bundle against its configuration,
+/// returning findings in a deterministic order.
+pub fn lint_system(apps: &[IrApp], config: &SystemConfig) -> Vec<Diagnostic> {
+    // Attributes any installed device carries, and attributes some app fakes:
+    // both can wake a subscriber.
+    let carried: BTreeSet<String> = config
+        .devices
+        .iter()
+        .flat_map(|d| registry().spec_or_switch(&d.capability).attributes.iter())
+        .map(|a| a.name.to_string())
+        .collect();
+    let faked: BTreeSet<String> = apps
+        .iter()
+        .flat_map(|app| app.handlers.iter().map(move |h| (app, h)))
+        .flat_map(|(app, h)| summarize_handler(app, h).writes)
+        .filter_map(|w| match w {
+            WriteEffect::FakeEvent { attribute, .. } => Some(attribute),
+            _ => None,
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for app in apps {
+        for handler in &app.handlers {
+            lint_handler(app, handler, config, &carried, &faked, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn lint_handler(
+    app: &IrApp,
+    handler: &IrHandler,
+    config: &SystemConfig,
+    carried: &BTreeSet<String>,
+    faked: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let diag = |kind: LintKind, location: String, message: String| Diagnostic {
+        app: app.name.clone(),
+        handler: handler.name.clone(),
+        location,
+        kind,
+        message,
+    };
+
+    // Dead handlers: device subscriptions nothing installed can satisfy.
+    if let Trigger::Device { input, attribute, value } = &handler.trigger {
+        let bound = bound_capabilities(app, input, config);
+        let emits = bound.iter().any(|cap| {
+            let spec = registry().spec_or_switch(cap);
+            spec.attributes.iter().any(|a| {
+                a.name == attribute.as_str()
+                    && value.as_ref().map(|v| a.domain.index_of(v).is_some()).unwrap_or(true)
+            })
+        });
+        let faked_here = faked.contains(attribute.as_str());
+        if bound.is_empty() {
+            out.push(diag(
+                LintKind::DeadHandler,
+                "trigger".into(),
+                format!("subscribed to `{input}` but no device is bound to that input"),
+            ));
+        } else if !emits && !faked_here {
+            let event = match value {
+                Some(v) => format!("{attribute}.{v}"),
+                None => attribute.clone(),
+            };
+            out.push(diag(
+                LintKind::DeadHandler,
+                "trigger".into(),
+                format!("subscribed to `{event}`, which no bound device can emit"),
+            ));
+        }
+    }
+
+    // Self-loops: the handler writes its own trigger channel.
+    let summary = summarize_handler(app, handler);
+    if let Some(channel) = summary.trigger_channel() {
+        if summary.written_channels().contains(&channel) {
+            out.push(diag(
+                LintKind::SelfLoop,
+                "trigger".into(),
+                format!("writes `{channel}`, the attribute it subscribes to (feedback loop)"),
+            ));
+        }
+    }
+
+    // Statement-level lints, with IR-path provenance.
+    walk_with_path(&handler.body, "body", &mut |stmt, path| match stmt {
+        IrStmt::If { cond, then, els } => match fold_guard(cond) {
+            Some(false) if !then.is_empty() => out.push(diag(
+                LintKind::UnreachableBranch,
+                path.to_string(),
+                format!("guard `{cond}` is constant false; the then-branch never runs"),
+            )),
+            Some(true) if !els.is_empty() => out.push(diag(
+                LintKind::UnreachableBranch,
+                path.to_string(),
+                format!("guard `{cond}` is constant true; the else-branch never runs"),
+            )),
+            _ => {}
+        },
+        IrStmt::While { cond, body } if fold_guard(cond) == Some(false) && !body.is_empty() => {
+            out.push(diag(
+                LintKind::UnreachableBranch,
+                path.to_string(),
+                format!("loop guard `{cond}` is constant false; the body never runs"),
+            ));
+        }
+        IrStmt::DeviceCommand { input, command, .. } => {
+            let bound = bound_capabilities(app, input, config);
+            if bound.is_empty() {
+                out.push(diag(
+                    LintKind::UnknownWriteTarget,
+                    path.to_string(),
+                    format!("sends `{command}` to `{input}`, but no device is bound to that input"),
+                ));
+            } else if !bound
+                .iter()
+                .any(|cap| registry().spec_or_switch(cap).command(command).is_some())
+            {
+                out.push(diag(
+                    LintKind::UnknownWriteTarget,
+                    path.to_string(),
+                    format!(
+                        "command `{command}` is not defined by the bound capabilities ({})",
+                        bound.iter().cloned().collect::<Vec<_>>().join(", ")
+                    ),
+                ));
+            }
+        }
+        IrStmt::SendEvent { attribute, .. } if !carried.contains(attribute.as_str()) => {
+            out.push(diag(
+                LintKind::UnknownWriteTarget,
+                path.to_string(),
+                format!("fakes an event for `{attribute}`, which no household device carries"),
+            ));
+        }
+        _ => {}
+    });
+}
+
+/// The capabilities of the devices actually bound to `input` for this app in
+/// `config` — empty when the input is unbound, unset or bound to nothing.
+fn bound_capabilities(app: &IrApp, input: &str, config: &SystemConfig) -> BTreeSet<String> {
+    let Some(app_cfg) = config.apps.iter().find(|a| a.app == app.name) else {
+        return BTreeSet::new();
+    };
+    let labels = match app_cfg.bindings.get(input) {
+        Some(Binding::Devices(labels)) => labels.clone(),
+        _ => return BTreeSet::new(),
+    };
+    config
+        .devices
+        .iter()
+        .filter(|d| labels.contains(&d.label))
+        .map(|d| d.capability.clone())
+        .collect()
+}
+
+/// Preorder statement walk threading an IR-path string (`body[0].then[1]`).
+fn walk_with_path(stmts: &[IrStmt], prefix: &str, f: &mut impl FnMut(&IrStmt, &str)) {
+    for (i, stmt) in stmts.iter().enumerate() {
+        let path = format!("{prefix}[{i}]");
+        f(stmt, &path);
+        match stmt {
+            IrStmt::If { then, els, .. } => {
+                walk_with_path(then, &format!("{path}.then"), f);
+                walk_with_path(els, &format!("{path}.else"), f);
+            }
+            IrStmt::While { body, .. } | IrStmt::ForEachDevice { body, .. } => {
+                walk_with_path(body, &format!("{path}.each"), f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Renders a diagnostic report, one line per finding, with a trailing
+/// summary count — the format the committed golden lint report pins down.
+pub fn render_report(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!("{} finding(s)\n", diagnostics.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotsan_config::{AppConfig, DeviceConfig};
+    use iotsan_ir::{AppInput, IrExpr};
+
+    fn app(handlers: Vec<IrHandler>) -> IrApp {
+        IrApp {
+            name: "A".into(),
+            description: String::new(),
+            inputs: vec![
+                AppInput::device("contact1", "contactSensor"),
+                AppInput::device("switches", "switch"),
+            ],
+            handlers,
+            state_vars: vec![],
+            dynamic_discovery: false,
+        }
+    }
+
+    fn configured(app: &IrApp) -> SystemConfig {
+        let mut config = SystemConfig::new();
+        config.devices = vec![
+            DeviceConfig {
+                label: "frontDoor".into(),
+                capability: "contactSensor".into(),
+                role: "door".into(),
+            },
+            DeviceConfig {
+                label: "lamp".into(),
+                capability: "switch".into(),
+                role: "light".into(),
+            },
+        ];
+        let mut app_cfg = AppConfig::new(app.name.clone());
+        app_cfg.bindings.insert("contact1".into(), Binding::Devices(vec!["frontDoor".into()]));
+        app_cfg.bindings.insert("switches".into(), Binding::Devices(vec!["lamp".into()]));
+        config.apps.push(app_cfg);
+        config
+    }
+
+    fn handler(trigger: Trigger, body: Vec<IrStmt>) -> IrHandler {
+        IrHandler { app: "A".into(), name: "h".into(), trigger, body }
+    }
+
+    fn contact_trigger(value: Option<&str>) -> Trigger {
+        Trigger::Device {
+            input: "contact1".into(),
+            attribute: "contact".into(),
+            value: value.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn clean_handler_produces_no_findings() {
+        let a = app(vec![handler(
+            contact_trigger(Some("open")),
+            vec![IrStmt::DeviceCommand {
+                input: "switches".into(),
+                command: "on".into(),
+                args: vec![],
+            }],
+        )]);
+        let config = configured(&a);
+        assert!(lint_system(&[a], &config).is_empty());
+    }
+
+    #[test]
+    fn dead_handler_on_impossible_subscription() {
+        // A contact sensor never emits `motion` events.
+        let a = app(vec![handler(
+            Trigger::Device {
+                input: "contact1".into(),
+                attribute: "motion".into(),
+                value: Some("active".into()),
+            },
+            vec![],
+        )]);
+        let config = configured(&a);
+        let found = lint_system(&[a], &config);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, LintKind::DeadHandler);
+        assert_eq!(found[0].location, "trigger");
+    }
+
+    #[test]
+    fn faked_events_resurrect_dead_handlers() {
+        // Another handler fakes `motion` events, so the subscription is live.
+        let a = app(vec![
+            handler(
+                Trigger::Device {
+                    input: "contact1".into(),
+                    attribute: "motion".into(),
+                    value: None,
+                },
+                vec![],
+            ),
+            IrHandler {
+                app: "A".into(),
+                name: "faker".into(),
+                trigger: Trigger::AppTouch,
+                body: vec![IrStmt::SendEvent {
+                    attribute: "motion".into(),
+                    value: IrExpr::str("active"),
+                }],
+            },
+        ]);
+        let config = configured(&a);
+        let found = lint_system(&[a], &config);
+        // The fake event itself is flagged (no household device carries
+        // `motion` here), but the subscription is not dead.
+        assert!(found.iter().all(|d| d.kind != LintKind::DeadHandler), "{found:?}");
+    }
+
+    #[test]
+    fn unreachable_branches_carry_ir_paths() {
+        let a = app(vec![handler(
+            contact_trigger(None),
+            vec![IrStmt::If {
+                cond: IrExpr::bool(true),
+                then: vec![IrStmt::If {
+                    cond: IrExpr::bool(false),
+                    then: vec![IrStmt::DeviceCommand {
+                        input: "switches".into(),
+                        command: "on".into(),
+                        args: vec![],
+                    }],
+                    els: vec![],
+                }],
+                els: vec![IrStmt::Return(None)],
+            }],
+        )]);
+        let config = configured(&a);
+        let found = lint_system(&[a], &config);
+        let locations: Vec<&str> = found.iter().map(|d| d.location.as_str()).collect();
+        assert!(locations.contains(&"body[0]"), "{found:?}");
+        assert!(locations.contains(&"body[0].then[0]"), "{found:?}");
+        assert!(found.iter().all(|d| d.kind == LintKind::UnreachableBranch));
+    }
+
+    #[test]
+    fn unknown_commands_and_unbound_inputs_are_flagged() {
+        let a = app(vec![handler(
+            contact_trigger(None),
+            vec![
+                IrStmt::DeviceCommand {
+                    input: "switches".into(),
+                    command: "explode".into(),
+                    args: vec![],
+                },
+                IrStmt::DeviceCommand { input: "ghost".into(), command: "on".into(), args: vec![] },
+            ],
+        )]);
+        let config = configured(&a);
+        let found = lint_system(&[a], &config);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|d| d.kind == LintKind::UnknownWriteTarget));
+    }
+
+    #[test]
+    fn self_loop_detected_through_the_registry() {
+        // Subscribed to `switch`, writes `switch` via the `on` command.
+        let a = app(vec![handler(
+            Trigger::Device { input: "switches".into(), attribute: "switch".into(), value: None },
+            vec![IrStmt::DeviceCommand {
+                input: "switches".into(),
+                command: "on".into(),
+                args: vec![],
+            }],
+        )]);
+        let config = configured(&a);
+        let found = lint_system(&[a], &config);
+        assert!(found.iter().any(|d| d.kind == LintKind::SelfLoop), "{found:?}");
+    }
+
+    #[test]
+    fn report_renders_one_line_per_finding() {
+        let d = Diagnostic {
+            app: "A".into(),
+            handler: "h".into(),
+            location: "body[0]".into(),
+            kind: LintKind::UnreachableBranch,
+            message: "m".into(),
+        };
+        let report = render_report(&[d]);
+        assert!(report.contains("warning[unreachable-branch] A::h @ body[0]: m"));
+        assert!(report.ends_with("1 finding(s)\n"));
+    }
+}

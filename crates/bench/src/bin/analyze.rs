@@ -1,0 +1,77 @@
+//! `analyze` — runs the static analyzer's lint pass over the market corpus
+//! and prints the diagnostic report.
+//!
+//! ```sh
+//! cargo run --release -p iotsan-bench --bin analyze                  # report only
+//! cargo run --release -p iotsan-bench --bin analyze -- --deny-dead-code
+//! cargo run --release -p iotsan-bench --bin analyze -- \
+//!     --deny-dead-code --baseline tests/golden/market_lints.txt
+//! ```
+//!
+//! With `--deny-dead-code` the process exits non-zero when any dead-code
+//! class finding (dead handlers, unreachable branches) is present.  With
+//! `--baseline <path>` findings whose rendered line already appears in the
+//! baseline file are accepted — CI uses this to gate *regressions* against
+//! the committed golden report while tolerating the corpus's known findings.
+
+use iotsan::analysis::{lint_system, render_report};
+use iotsan::config::{expert_configure, standard_household};
+use iotsan::translate_sources;
+use iotsan_apps::market;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_dead_code = if let Some(pos) = args.iter().position(|a| a == "--deny-dead-code") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let baseline = if let Some(pos) = args.iter().position(|a| a == "--baseline") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --baseline requires a file path");
+            std::process::exit(2);
+        }
+        let path = args.remove(pos + 1);
+        args.remove(pos);
+        Some(std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        }))
+    } else {
+        None
+    };
+    if let Some(unknown) = args.first() {
+        eprintln!("error: unknown argument `{unknown}`");
+        eprintln!("usage: analyze [--deny-dead-code] [--baseline <path>]");
+        std::process::exit(2);
+    }
+
+    let corpus = market::market_apps();
+    let sources: Vec<&str> = corpus.iter().map(|a| a.source.as_str()).collect();
+    let apps = translate_sources(&sources).expect("market corpus translates");
+    let config = expert_configure(&apps, &standard_household());
+    let diagnostics = lint_system(&apps, &config);
+    print!("{}", render_report(&diagnostics));
+
+    if deny_dead_code {
+        let known = |line: &str| baseline.as_deref().is_some_and(|b| b.lines().any(|l| l == line));
+        let denied: Vec<String> = diagnostics
+            .iter()
+            .filter(|d| d.kind.denied_as_dead_code())
+            .map(|d| d.to_string())
+            .filter(|line| !known(line))
+            .collect();
+        if !denied.is_empty() {
+            eprintln!(
+                "error: {} dead-code finding(s) not in the baseline (--deny-dead-code):",
+                denied.len()
+            );
+            for line in &denied {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        println!("--deny-dead-code: no dead-code findings beyond the baseline");
+    }
+}

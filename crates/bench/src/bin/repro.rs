@@ -11,16 +11,17 @@
 //!
 //! Available experiments: `table1 table2 table3 table4 table5 table6 table7a
 //! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet
-//! properties`.
+//! properties slice`.
 //!
 //! `--json <path>` additionally writes the machine-readable timings collected
 //! by the timing experiments (`parallel`: sequential baseline vs parallel
 //! checker at 2/4/8 workers; `fleet`: corpus-size × worker sweep of the
 //! group-wise planner with cold/warm/mutated cache phases; `properties`:
 //! built-ins vs built-ins+customs throughput plus the `property_eval`
-//! micro-benchmark of one compiled property pass) — CI's
-//! `bench-smoke` job uploads this as the `BENCH_pr.json` artifact so the perf
-//! trajectory accumulates.
+//! micro-benchmark of one compiled property pass; `slice`: sliced vs
+//! unsliced exploration per market bundle, the `slice_effectiveness` rows) —
+//! CI's `bench-smoke` job uploads this as the `BENCH_pr.json` artifact so
+//! the perf trajectory accumulates.
 //!
 //! Absolute numbers differ from the paper (different corpus snapshot, а
 //! simulator substrate instead of Spin on the authors' laptop); the *shape* of
@@ -60,6 +61,7 @@ const EXPERIMENTS: &[&str] = &[
     "parallel",
     "fleet",
     "properties",
+    "slice",
 ];
 
 fn main() {
@@ -140,6 +142,9 @@ fn main() {
     }
     if want("properties") {
         properties_experiment(&mut bench_json);
+    }
+    if want("slice") {
+        slice_experiment(&mut bench_json);
     }
     if let Some(path) = json_path {
         std::fs::write(&path, bench_json.render())
@@ -288,6 +293,125 @@ fn properties_experiment(json: &mut BenchJson) {
         ));
     }
     json.push_experiment("property_eval", "market8", events, &eval_rows);
+}
+
+/// The property-directed-slicing experiment: every market bundle verified
+/// sliced and unsliced, under the full 45-property catalog and under the
+/// focused state-only selection (the specs whose cone watches no command /
+/// notification stream — the case slicing is built for).  Asserts the
+/// violated-property sets are identical per related group on every run, and
+/// that at least one bundle explores strictly fewer states when sliced.
+fn slice_experiment(json: &mut BenchJson) {
+    use iotsan::analysis::{slice_plan, Cone};
+    use iotsan::properties::PropertyId;
+    use std::collections::BTreeSet;
+    use std::time::Instant;
+
+    heading("Property-directed slicing: sliced vs unsliced exploration");
+    let events = iotsan_bench::experiment_events(2, 3);
+    let full = PropertySet::all();
+
+    // The focused selection: built-ins whose standalone cone has no
+    // command/notification flag set — pure device/mode-state safety.
+    let state_ids: Vec<PropertyId> = full
+        .specs()
+        .iter()
+        .filter(|s| {
+            let cone = Cone::seed(&PropertySet::selection(&[s.property_id()]));
+            !cone.commands
+                && !cone.sms
+                && !cone.push
+                && !cone.network
+                && !cone.unsubscribe
+                && !cone.fake_events
+        })
+        .map(|s| s.property_id())
+        .collect();
+    assert!(!state_ids.is_empty(), "the catalog has state-only properties");
+
+    // The narrowest property: the state-only spec whose cone seeds the fewest
+    // channels — verifying just one such property is the sharpest slicing
+    // demonstration (a real workflow: re-checking a single safety rule).
+    let narrowest: PropertyId = *state_ids
+        .iter()
+        .min_by_key(|id| Cone::seed(&PropertySet::selection(&[**id])).channels.len())
+        .expect("state-only selection is non-empty");
+
+    let outcome = |result: &iotsan::VerificationResult| -> Vec<(Vec<String>, BTreeSet<u32>)> {
+        let mut out: Vec<_> = result
+            .groups
+            .iter()
+            .map(|g| (g.apps.clone(), g.report.violated_properties()))
+            .collect();
+        out.sort();
+        out
+    };
+
+    println!(
+        "{:<10} {:<12} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10}",
+        "Bundle",
+        "Properties",
+        "Handlers",
+        "Dropped",
+        "Analysis",
+        "States",
+        "Sliced st.",
+        "Verdicts"
+    );
+    let mut rows = Vec::new();
+    let mut reduced_bundles = 0usize;
+    for (i, group) in market::six_groups().iter().enumerate() {
+        let apps = translate_group(group);
+        let config = expert_config(&apps);
+        let handler_count: usize = apps.iter().map(|a| a.handlers.len()).sum();
+        for (set_label, set) in [
+            ("builtins45", full.clone()),
+            ("state-only", PropertySet::selection(&state_ids)),
+            ("single-prop", PropertySet::selection(&[narrowest])),
+        ] {
+            // Bundle-level analysis cost: one summary + cone fixpoint pass.
+            let t0 = Instant::now();
+            let plan = slice_plan(&apps, &set);
+            let analysis_seconds = t0.elapsed().as_secs_f64();
+
+            let (plain_time, plain) =
+                iotsan_bench::run_pipeline_verify(&apps, &config, events, set.clone(), false);
+            let (sliced_time, sliced) =
+                iotsan_bench::run_pipeline_verify(&apps, &config, events, set, true);
+            assert_eq!(
+                outcome(&plain),
+                outcome(&sliced),
+                "bundle {i} ({set_label}): slicing changed a verdict"
+            );
+            let plain_states: usize =
+                plain.groups.iter().map(|g| g.report.stats.states_stored).sum();
+            let sliced_states: usize =
+                sliced.groups.iter().map(|g| g.report.stats.states_stored).sum();
+            assert!(
+                sliced_states <= plain_states,
+                "bundle {i} ({set_label}): sliced exploration grew"
+            );
+            if sliced_states < plain_states {
+                reduced_bundles += 1;
+            }
+            println!(
+                "{i:<10} {set_label:<12} {handler_count:>9} {:>9} {analysis_seconds:>9.4} {plain_states:>11} {sliced_states:>11} {:>10}",
+                plan.dropped_count(),
+                "equal",
+            );
+            rows.push(format!(
+                "        {{\"bundle\": {i}, \"properties\": \"{set_label}\", \"handlers\": {handler_count}, \"dropped_handlers\": {}, \"analysis_seconds\": {analysis_seconds:.6}, \"unsliced_seconds\": {:.6}, \"sliced_seconds\": {:.6}, \"unsliced_states\": {plain_states}, \"sliced_states\": {sliced_states}, \"verdicts_identical\": true}}",
+                plan.dropped_count(),
+                plain_time.as_secs_f64(),
+                sliced_time.as_secs_f64(),
+            ));
+        }
+    }
+    assert!(reduced_bundles >= 1, "slicing reduced the explored state count on no bundle at all");
+    println!(
+        "slicing preserved every verdict; {reduced_bundles} bundle runs explored strictly fewer states"
+    );
+    json.push_experiment("slice_effectiveness", "market-six-groups", events, &rows);
 }
 
 /// Maximum tolerated drop of the sequential checker's states/sec relative to

@@ -14,7 +14,7 @@ use iotsan::model::{ConcurrentModel, ModelOptions, SequentialModel};
 use iotsan::planner::{FleetReport, VerificationCache};
 use iotsan::properties::PropertySet;
 use iotsan::system::InstalledSystem;
-use iotsan::{translate_sources, Pipeline};
+use iotsan::{translate_sources, Pipeline, VerificationResult};
 use iotsan_apps::market::MarketApp;
 use std::time::{Duration, Instant};
 
@@ -116,6 +116,28 @@ pub fn run_search_with_properties(
     // ParallelChecker delegates to the sequential engine for workers <= 1.
     let report = ParallelChecker::new(search).verify(&model);
     TimedRun { elapsed: start.elapsed(), truncated: report.stats.truncated, report }
+}
+
+/// Times one whole-pipeline verification — related-group partitioning plus
+/// the optional property-directed slice — under an explicit property
+/// registry.  Unlike [`run_search_with_properties`] (which builds one
+/// monolithic model), this exercises the production `Pipeline::verify` path,
+/// which is where `SearchConfig::slice` takes effect: each related group is
+/// pruned to the handlers its properties can observe before exploration.
+pub fn run_pipeline_verify(
+    apps: &[IrApp],
+    config: &SystemConfig,
+    events: usize,
+    properties: PropertySet,
+    slice: bool,
+) -> (Duration, VerificationResult) {
+    let mut pipeline = Pipeline::with_events(events).with_properties(properties);
+    if slice {
+        pipeline.search = pipeline.search.clone().sliced();
+    }
+    let start = Instant::now();
+    let result = pipeline.verify(apps, config);
+    (start.elapsed(), result)
 }
 
 /// The 45 built-ins plus [`sample_custom_properties`] — the extended

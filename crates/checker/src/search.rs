@@ -71,6 +71,11 @@ pub struct SearchConfig {
     /// a power of two).  `0` picks a default proportional to `workers`.
     /// Ignored by the sequential engine.
     pub shards: usize,
+    /// Property-directed slicing: when set, verification entry points that
+    /// know the registered properties (`iotsan::Pipeline`) drop handlers the
+    /// static analysis proves irrelevant to them before exploring.  Off by
+    /// default; verdicts are preserved exactly (see `iotsan-analysis`).
+    pub slice: bool,
 }
 
 impl Default for SearchConfig {
@@ -85,6 +90,7 @@ impl Default for SearchConfig {
             time_limit: None,
             workers: 1,
             shards: 0,
+            slice: false,
         }
     }
 }
@@ -104,6 +110,12 @@ impl SearchConfig {
     /// Requests a parallel search with the given number of workers.
     pub fn parallel(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables property-directed slicing (builder style).
+    pub fn sliced(mut self) -> Self {
+        self.slice = true;
         self
     }
 

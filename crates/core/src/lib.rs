@@ -71,6 +71,7 @@ pub use system::{InstalledSystem, InternalEvent, SystemState};
 
 // Re-export the sibling crates so downstream users (examples, benches, the
 // reproduction harness) need only depend on `iotsan`.
+pub use iotsan_analysis as analysis;
 pub use iotsan_attribution as attribution;
 pub use iotsan_checker as checker;
 pub use iotsan_config as config;

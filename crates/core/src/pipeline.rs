@@ -279,7 +279,16 @@ impl Pipeline {
         config: SystemConfig,
     ) -> GroupResult {
         let properties = self.properties_for(&config);
-        let system = InstalledSystem::new(apps.to_vec(), config);
+        // Property-directed slicing (opt-in): drop handlers the static
+        // analysis proves unobservable by the registered properties.  Apps,
+        // devices and bindings are untouched, so the state encoding and the
+        // external-action alphabet are identical to the unsliced model.
+        let group_apps = if self.search.slice {
+            iotsan_analysis::slice_plan(apps, &properties).apply(apps)
+        } else {
+            apps.to_vec()
+        };
+        let system = InstalledSystem::new(group_apps, config);
         let model = SequentialModel::new(system, properties, self.model_options.clone());
         // ParallelChecker delegates to the sequential engine when the
         // configured worker count is 0 or 1, so it is the single entry point.

@@ -151,12 +151,23 @@ pub fn fingerprint_group(
         stop_at_first,
         workers,
         shards,
+        slice,
         ..
     } = &pipeline.search;
     h.write_item(&format!(
         "{:?}",
         (max_depth, max_states, max_transitions, mode, store, stop_at_first)
     ));
+    // Sliced and unsliced runs explore the same verdicts but different state
+    // counts; fold the analysis version and the concrete slice partition so
+    // their cached reports never masquerade as each other, and so any change
+    // to the slicing semantics invalidates sliced entries wholesale.
+    if *slice {
+        let plan = iotsan_analysis::slice_plan(apps, &pipeline.properties_for(config));
+        h.write_item("slice");
+        h.write_bytes(&iotsan_analysis::ANALYSIS_VERSION.to_le_bytes());
+        h.write_bytes(&plan.content_hash().to_le_bytes());
+    }
     // BITSTATE admission depends on insertion order, and a stop-at-first
     // search is order-dependent in any engine: there the engine shape is
     // part of the task identity, so a replay can never masquerade as a
@@ -719,6 +730,31 @@ def motionActiveHandler(evt) { lights.on() }
         // ...while re-registering an identical spec reproduces identical
         // fingerprints, keeping warmed caches valid across runs.
         let again = Pipeline::with_events(1).with_properties(PropertySet::all().with(custom_spec));
+        let c = VerificationPlanner::new(&again).plan(&apps, &config);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slicing_is_part_of_task_identity() {
+        let (apps, config) = bundle();
+        let base = Pipeline::with_events(2);
+        let mut sliced = Pipeline::with_events(2);
+        sliced.search = sliced.search.clone().sliced();
+
+        // Slicing changes what the checker explores, so a sliced verdict must
+        // never replay as an unsliced one (or vice versa): every job's
+        // fingerprint moves when the knob flips.
+        let a = VerificationPlanner::new(&base).plan(&apps, &config);
+        let b = VerificationPlanner::new(&sliced).plan(&apps, &config);
+        for (plain, cut) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(plain.apps, cut.apps);
+            assert_ne!(plain.fingerprint, cut.fingerprint);
+        }
+
+        // The sliced fingerprint is deterministic — warmed caches stay valid
+        // across sliced runs of the same bundle and property set.
+        let mut again = Pipeline::with_events(2);
+        again.search = again.search.clone().sliced();
         let c = VerificationPlanner::new(&again).plan(&apps, &config);
         assert_eq!(b, c);
     }

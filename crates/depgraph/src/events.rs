@@ -152,9 +152,106 @@ pub fn output_events(app: &IrApp, handler: &IrHandler) -> BTreeSet<EventDesc> {
     outputs
 }
 
-/// Extracts the full event profile of a handler.
+/// Extracts the full event profile of a handler from its subscription and a
+/// direct statement walk.
+///
+/// This is the original (coarser) extraction; [`effect_profile`] supersedes
+/// it as the edge source of [`crate::analyze`] but it stays public as the
+/// reference point of the subgraph consistency guarantee: every event it
+/// extracts is also extracted by [`effect_profile`].
 pub fn event_profile(app: &IrApp, handler: &IrHandler) -> EventProfile {
     EventProfile { inputs: input_events(app, handler), outputs: output_events(app, handler) }
+}
+
+/// The event channel representing one app-state slot in effect profiles.
+fn state_desc(app: &IrApp, var: &str) -> EventDesc {
+    EventDesc::any(iotsan_analysis::state_channel(&app.name, var))
+}
+
+/// The event channel representing one app's scheduled handler.
+fn sched_desc(app: &IrApp, handler: &str) -> EventDesc {
+    EventDesc::any(format!("sched:{}:{}", app.name, handler))
+}
+
+/// Extracts a handler's event profile from its [`iotsan_analysis`] effect
+/// summary — the edge source of the dependency graph.
+///
+/// The profile is a superset of [`event_profile`]'s: the same trigger and
+/// device-attribute descriptions, plus flows the statement walk missed —
+/// location-mode *reads* (a mode-writing handler feeds every mode-guarded
+/// one), app-state slots (`state:{app}:{var}` channels connecting a
+/// handler that stores a slot to the handlers reading it), and schedule
+/// edges (`sched:{app}:{handler}` channels connecting `runIn`-style calls to
+/// the timer handler they arm).  State and schedule channels are
+/// app-qualified, so they never connect handlers across apps.
+pub fn effect_profile(app: &IrApp, handler: &IrHandler) -> EventProfile {
+    use iotsan_analysis::{ReadEffect, WriteEffect};
+    let summary = iotsan_analysis::summarize_handler(app, handler);
+    let mut profile = EventProfile::default();
+    match &summary.trigger {
+        Trigger::Device { attribute, value, .. } => {
+            profile.inputs.insert(EventDesc { attribute: attribute.clone(), value: value.clone() });
+        }
+        Trigger::LocationMode { value } => {
+            profile.inputs.insert(EventDesc { attribute: "mode".into(), value: value.clone() });
+        }
+        Trigger::LocationEvent { name } => {
+            profile.inputs.insert(EventDesc::any(name.clone()));
+        }
+        Trigger::AppTouch => {
+            profile.inputs.insert(EventDesc::any("touch"));
+        }
+        Trigger::Timer { .. } => {
+            profile.inputs.insert(EventDesc::any("time"));
+            profile.inputs.insert(sched_desc(app, &handler.name));
+        }
+    }
+    for read in &summary.reads {
+        match read {
+            ReadEffect::DeviceAttr { attribute, .. } => {
+                profile.inputs.insert(EventDesc::any(attribute.clone()));
+            }
+            ReadEffect::Mode => {
+                profile.inputs.insert(EventDesc::any("mode"));
+            }
+            ReadEffect::StateVar { name } => {
+                profile.inputs.insert(state_desc(app, name));
+            }
+            ReadEffect::EventField | ReadEffect::Time | ReadEffect::Setting { .. } => {}
+        }
+    }
+    for write in &summary.writes {
+        match write {
+            WriteEffect::DeviceAttr { attribute, value } => {
+                profile
+                    .outputs
+                    .insert(EventDesc { attribute: attribute.clone(), value: value.clone() });
+            }
+            WriteEffect::Mode { value } => {
+                profile
+                    .outputs
+                    .insert(EventDesc { attribute: "mode".into(), value: value.clone() });
+            }
+            WriteEffect::FakeEvent { attribute, value } => {
+                profile
+                    .outputs
+                    .insert(EventDesc { attribute: attribute.clone(), value: value.clone() });
+            }
+            WriteEffect::StateVar { name } => {
+                profile.outputs.insert(state_desc(app, name));
+            }
+            WriteEffect::Schedule { handler } => {
+                profile.outputs.insert(sched_desc(app, handler));
+            }
+            WriteEffect::Command { .. }
+            | WriteEffect::Sms
+            | WriteEffect::Push
+            | WriteEffect::Network
+            | WriteEffect::Unsubscribe
+            | WriteEffect::Unschedule => {}
+        }
+    }
+    profile
 }
 
 /// Returns true when `input` is a device-typed setting of `app`

@@ -7,7 +7,7 @@
 //! leaf vertices, merged across vertices with conflicting output events, with
 //! redundant subsets removed (Tables 2 and 3, Figure 4 of the paper).
 
-use crate::events::{event_profile, EventProfile};
+use crate::events::{effect_profile, EventProfile};
 use iotsan_ir::IrApp;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -72,7 +72,7 @@ impl DependencyGraph {
                 base.push(Vertex {
                     id: VertexId(base.len()),
                     members: vec![(app.name.clone(), handler.name.clone())],
-                    profile: event_profile(app, handler),
+                    profile: effect_profile(app, handler),
                 });
             }
         }

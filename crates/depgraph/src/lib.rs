@@ -37,7 +37,9 @@
 pub mod events;
 pub mod graph;
 
-pub use events::{event_profile, input_events, output_events, EventDesc, EventProfile};
+pub use events::{
+    effect_profile, event_profile, input_events, output_events, EventDesc, EventProfile,
+};
 pub use graph::{
     analyze, app_membership, render_summary, DependencyGraph, RelatedSets, Vertex, VertexId,
 };

@@ -40,7 +40,7 @@
 //! assert!(matches!(app.handlers[0].trigger, Trigger::Device { .. }));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod expr;
 pub mod handler;

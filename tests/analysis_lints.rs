@@ -1,0 +1,77 @@
+//! Golden lint-report test: the analyzer's diagnostics over the named market
+//! corpus under the standard expert configuration are pinned to a committed
+//! baseline.  Any change to the lint rules, the corpus, or the household
+//! configuration shows up as a reviewable diff in
+//! `tests/golden/market_lints.txt`.
+//!
+//! Regenerate the baseline with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p iotsan --test analysis_lints
+//! ```
+
+use iotsan::analysis::{lint_system, render_report, LintKind};
+use iotsan::config::{expert_configure, standard_household};
+use iotsan::translate_sources;
+use iotsan_apps::market;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; the goldens live at the repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/market_lints.txt")
+}
+
+fn market_report() -> String {
+    let apps_src = market::market_apps();
+    let sources: Vec<&str> = apps_src.iter().map(|a| a.source.as_str()).collect();
+    let apps = translate_sources(&sources).expect("market corpus translates");
+    let config = expert_configure(&apps, &standard_household());
+    render_report(&lint_system(&apps, &config))
+}
+
+#[test]
+fn market_lint_report_matches_golden() {
+    let actual = market_report();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .expect("tests/golden/market_lints.txt exists (run with UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        actual, expected,
+        "lint report drifted from the golden baseline; \
+         rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The report is deterministic: diagnostics arrive sorted by app, handler,
+/// location and kind, so repeated runs are byte-identical.
+#[test]
+fn market_lint_report_is_deterministic() {
+    assert_eq!(market_report(), market_report());
+}
+
+/// Every diagnostic carries full provenance — a non-empty app, handler and
+/// location — so findings are actionable without re-running the analyzer.
+#[test]
+fn diagnostics_carry_provenance() {
+    let apps_src = market::market_apps();
+    let sources: Vec<&str> = apps_src.iter().map(|a| a.source.as_str()).collect();
+    let apps = translate_sources(&sources).expect("market corpus translates");
+    let config = expert_configure(&apps, &standard_household());
+    for d in lint_system(&apps, &config) {
+        assert!(!d.app.is_empty(), "diagnostic without app: {d}");
+        assert!(!d.handler.is_empty(), "diagnostic without handler: {d}");
+        assert!(!d.location.is_empty(), "diagnostic without location: {d}");
+        assert!(!d.message.is_empty(), "diagnostic without message: {d}");
+        // The rendered line embeds the machine-readable slug CI greps for.
+        assert!(format!("{d}").contains(d.kind.slug()), "slug missing from rendering: {d}");
+    }
+    // Exercise the deny classification used by `analyze --deny-dead-code`.
+    assert!(LintKind::DeadHandler.denied_as_dead_code());
+    assert!(!LintKind::SelfLoop.denied_as_dead_code());
+}

@@ -82,6 +82,23 @@ fn architecture_mentions_every_vendored_stub() {
 }
 
 #[test]
+fn architecture_documents_the_static_analysis_subsystem() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md exists");
+    assert!(
+        text.contains("## Static analysis subsystem"),
+        "ARCHITECTURE.md must keep the static analysis subsystem section"
+    );
+    for topic in ["Effect summaries", "Lint diagnostics", "Property-directed slicing"] {
+        assert!(text.contains(topic), "static analysis section must cover: {topic}");
+    }
+    assert!(
+        text.contains("Why slicing preserves verdicts exactly"),
+        "ARCHITECTURE.md must keep the slicing soundness argument"
+    );
+}
+
+#[test]
 fn readme_links_the_architecture_handbook() {
     let root = repo_root();
     let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
