@@ -11,7 +11,7 @@
 //!
 //! Available experiments: `table1 table2 table3 table4 table5 table6 table7a
 //! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet
-//! properties slice`.
+//! properties slice daemon`.
 //!
 //! `--json <path>` additionally writes the machine-readable timings collected
 //! by the timing experiments (`parallel`: sequential baseline vs parallel
@@ -19,11 +19,13 @@
 //! group-wise planner with cold/warm/mutated cache phases; `properties`:
 //! built-ins vs built-ins+customs throughput plus the `property_eval`
 //! micro-benchmark of one compiled property pass; `slice`: sliced vs
-//! unsliced exploration per market bundle, the `slice_effectiveness` rows) —
-//! CI's `bench-smoke` job uploads this as the `BENCH_pr.json` artifact so
-//! the perf trajectory accumulates.
+//! unsliced exploration per market bundle, the `slice_effectiveness` rows;
+//! `daemon`: cold vs warm-restart fleet verification over the durable
+//! verdict store, including torn-tail crash recovery) — CI's `bench-smoke`
+//! and `daemon-smoke` jobs upload these as JSON artifacts so the perf
+//! trajectory accumulates.
 //!
-//! Absolute numbers differ from the paper (different corpus snapshot, а
+//! Absolute numbers differ from the paper (different corpus snapshot, a
 //! simulator substrate instead of Spin on the authors' laptop); the *shape* of
 //! each result is what is being reproduced — see EXPERIMENTS.md.
 
@@ -62,6 +64,7 @@ const EXPERIMENTS: &[&str] = &[
     "fleet",
     "properties",
     "slice",
+    "daemon",
 ];
 
 fn main() {
@@ -145,6 +148,9 @@ fn main() {
     }
     if want("slice") {
         slice_experiment(&mut bench_json);
+    }
+    if want("daemon") {
+        daemon_experiment(&mut bench_json);
     }
     if let Some(path) = json_path {
         std::fs::write(&path, bench_json.render())
@@ -671,6 +677,119 @@ fn fleet(json: &mut BenchJson) {
     }
     json.push_experiment("fleet", "market+failures", events, &rows);
     println!("(warm replays verified outcome-identical; mutation invalidated only its own groups)");
+}
+
+/// Warm-restart experiment over `iotsan-daemon`'s durable verdict store:
+/// verify the 8-app market fleet cold (writing every group verdict through
+/// to the append-only log), tear the log's tail the way a crash mid-append
+/// would, then verify again in a fresh "process" over the same file.  The
+/// restart must detect and skip the torn tail, replay every verdict from
+/// disk (`backing_hits`) byte-identically to the cold run, and come in at
+/// least 10x faster — all asserted here, so CI's `daemon-smoke` job fails
+/// loudly if durability ever regresses.
+fn daemon_experiment(json: &mut BenchJson) {
+    use iotsan::VerificationCache;
+    use iotsan_daemon::{Recovery, StoreBacking, VerdictStore};
+    use std::sync::{Arc, Mutex};
+
+    heading("Daemon: durable verdict store across a crashed restart (8 market apps, failures on)");
+    // A fixed 3-event bound in both profiles: deep enough that cold
+    // verification dwarfs the disk replay, cheap enough for the quick one.
+    let events = 3;
+    let budget = iotsan_bench::experiment_budget(60, 180);
+    let (apps, config) = iotsan_bench::fleet_workload(8);
+
+    let dir = std::env::temp_dir().join(format!("iotsan-repro-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create the store directory");
+    let path = dir.join("verdicts.log");
+
+    let open_cache = |path: &std::path::Path| {
+        let store = Arc::new(Mutex::new(VerdictStore::open(path).expect("open the verdict store")));
+        let recovery = store.lock().unwrap().recovery().clone();
+        let cache = VerificationCache::new().with_backing(Box::new(StoreBacking::new(store)));
+        (cache, recovery)
+    };
+
+    // Phase 1: cold run, writing every verdict through to the log.
+    let (mut cache, recovery) = open_cache(&path);
+    assert_eq!(recovery, Recovery::Fresh, "the experiment starts from a fresh store");
+    let cold = iotsan_bench::run_fleet(&apps, &config, events, 1, true, budget, &mut cache);
+    drop(cache); // "process exit": nothing in memory survives past here
+
+    // Kill the process mid-append: a torn half-record at the log's tail.
+    {
+        use std::io::Write as _;
+        let mut file =
+            std::fs::OpenOptions::new().append(true).open(&path).expect("reopen the log");
+        file.write_all(&[0x01, 0xde, 0xad, 0xbe]).expect("append a torn record");
+    }
+
+    // Phase 2: restart.  Replay a few times (fresh cache each time, so every
+    // lookup goes to disk) and keep the fastest, like any microbenchmark.
+    let (mut cache, recovery) = open_cache(&path);
+    let recovered = format!("{recovery:?}");
+    assert!(
+        matches!(recovery, Recovery::CorruptTail { .. }),
+        "the torn tail must be detected and skipped, got {recovery:?}"
+    );
+    let mut warm = iotsan_bench::run_fleet(&apps, &config, events, 1, true, budget, &mut cache);
+    let mut warm_backing_hits = cache.backing_hits();
+    for _ in 0..2 {
+        let (mut again, _) = open_cache(&path);
+        let run = iotsan_bench::run_fleet(&apps, &config, events, 1, true, budget, &mut again);
+        if run.elapsed < warm.elapsed {
+            warm = run;
+            warm_backing_hits = again.backing_hits();
+        }
+    }
+
+    let speedup = cold.elapsed.as_secs_f64() / warm.elapsed.as_secs_f64().max(1e-9);
+    if !cold.truncated() {
+        assert_eq!(warm.report.cache_misses, 0, "a warm restart must not re-verify any group");
+        assert_eq!(
+            warm_backing_hits,
+            warm.report.groups.len(),
+            "every warm verdict must be served from the on-disk store"
+        );
+        for (c, w) in cold.report.groups.iter().zip(&warm.report.groups) {
+            assert_eq!(c.report, w.report, "replayed verdict diverged from the cold run");
+        }
+        assert!(
+            speedup >= 10.0,
+            "warm restart must be at least 10x faster than the cold run, got {speedup:.1}x"
+        );
+    }
+
+    println!(
+        "{:<14} {:>12} {:>8} {:>6} {:>8} {:>13} {:>10}",
+        "Phase", "Time", "Groups", "Hits", "Misses", "BackingHits", "Speedup"
+    );
+    let mut rows = Vec::new();
+    for (phase, run, backing) in
+        [("cold", &cold, 0usize), ("warm-restart", &warm, warm_backing_hits)]
+    {
+        let vs_cold = cold.elapsed.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "{phase:<14} {:>12} {:>8} {:>6} {:>8} {backing:>13} {vs_cold:>9.1}x",
+            format_duration(run.elapsed, run.truncated()),
+            run.report.groups.len(),
+            run.report.cache_hits,
+            run.report.cache_misses,
+        );
+        rows.push(format!(
+            "        {{\"phase\": \"{phase}\", \"seconds\": {:.6}, \"groups\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"backing_hits\": {backing}, \"violated_properties\": {}, \"truncated\": {}, \"speedup_vs_cold\": {vs_cold:.3}}}",
+            run.elapsed.as_secs_f64(),
+            run.report.groups.len(),
+            run.report.cache_hits,
+            run.report.cache_misses,
+            run.report.violated_properties().len(),
+            run.truncated(),
+        ));
+    }
+    json.push_experiment("daemon", "market8+failures", events, &rows);
+    println!("(recovery: {recovered}; warm verdicts byte-identical and served from disk)");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn heading(title: &str) {

@@ -5,7 +5,7 @@
 //! a corresponding experiment here; see `EXPERIMENTS.md` at the repository
 //! root for the paper-vs-measured comparison.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use iotsan::checker::{Checker, ParallelChecker, SearchConfig, SearchReport};
 use iotsan::config::{expert_configure, misconfigure, standard_household, SystemConfig};

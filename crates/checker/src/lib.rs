@@ -33,7 +33,9 @@ pub mod trace;
 pub mod transition;
 
 pub use parallel::ParallelChecker;
-pub use search::{Checker, FoundViolation, SearchConfig, SearchMode, SearchReport, SearchStats};
+pub use search::{
+    CancelToken, Checker, FoundViolation, SearchConfig, SearchMode, SearchReport, SearchStats,
+};
 pub use store::{
     fnv1a, BitstateStore, ExactStore, HashCompactStore, ShardedStore, StateStore, StoreKind,
 };

@@ -149,11 +149,16 @@ impl<T: TransitionSystem> Shared<'_, T> {
         }
     }
 
-    /// Checks the wall-clock budget; called once per expansion, like the
-    /// sequential engine's per-expansion cap check.
+    /// Checks the wall-clock budget and the cancellation token; called once
+    /// per expansion, like the sequential engine's per-expansion cap check.
     fn check_deadline(&self) {
         if let Some(deadline) = self.deadline {
             if Instant::now() > deadline {
+                self.request_stop();
+            }
+        }
+        if let Some(token) = &self.config.cancel {
+            if token.is_cancelled() {
                 self.request_stop();
             }
         }
@@ -666,6 +671,20 @@ mod tests {
         let seq = Checker::new(config).verify(&model());
         assert_eq!(par.violated_properties(), seq.violated_properties());
         assert_eq!(par.stats.workers, 1);
+    }
+
+    #[test]
+    fn cancelled_token_truncates_parallel_search() {
+        use crate::search::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let config = SearchConfig::with_depth(12).parallel(4).cancellable(token);
+        let report = ParallelChecker::new(config).verify(&model());
+        // Cancelled before any worker expanded: the pool drains immediately
+        // and the report is flagged truncated without any count cap.
+        assert!(report.stats.truncated);
+        assert!(!report.stats.states_capped);
+        assert!(!report.stats.transitions_capped);
     }
 
     #[test]

@@ -29,7 +29,57 @@ use crate::store::StoreKind;
 use crate::trace::Trace;
 use crate::transition::{StepLog, TransitionSystem, Violation};
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cancellation handle for an in-flight search.
+///
+/// A long-running verification job (e.g. one queued in `iotsan-daemon`) can
+/// hand the engines a token via [`SearchConfig::cancel`]; calling
+/// [`CancelToken::cancel`] from any thread stops the search at its next
+/// per-expansion cap check, and the report comes back with
+/// [`SearchStats::truncated`] set (no count-cap flag — like a wall-clock
+/// budget firing).  Cloning the token clones the *handle*: all clones observe
+/// the same flag.
+///
+/// ```
+/// use iotsan_checker::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every search configured with (a clone of) this
+    /// token stops at its next cap check.  Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Tokens compare by *identity* (shared flag), not by current state: a config
+/// carrying a fresh token is not interchangeable with one carrying another.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
 
 /// Search order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +126,11 @@ pub struct SearchConfig {
     /// static analysis proves irrelevant to them before exploring.  Off by
     /// default; verdicts are preserved exactly (see `iotsan-analysis`).
     pub slice: bool,
+    /// Cooperative cancellation: when set, both engines poll the token at
+    /// their per-expansion cap check and stop (reporting
+    /// [`SearchStats::truncated`]) once it is cancelled.  `None` (the
+    /// default) disables the poll entirely.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SearchConfig {
@@ -91,6 +146,7 @@ impl Default for SearchConfig {
             workers: 1,
             shards: 0,
             slice: false,
+            cancel: None,
         }
     }
 }
@@ -116,6 +172,13 @@ impl SearchConfig {
     /// Enables property-directed slicing (builder style).
     pub fn sliced(mut self) -> Self {
         self.slice = true;
+        self
+    }
+
+    /// Attaches a cancellation token (builder style); see
+    /// [`SearchConfig::cancel`].
+    pub fn cancellable(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -171,6 +234,7 @@ enum CapHit {
     States,
     Transitions,
     Time,
+    Cancelled,
 }
 
 impl SearchStats {
@@ -180,7 +244,9 @@ impl SearchStats {
         match cap {
             CapHit::States => self.states_capped = true,
             CapHit::Transitions => self.transitions_capped = true,
-            CapHit::Time => {}
+            // Like a wall-clock budget, a cancellation truncates the search
+            // without implicating either count cap.
+            CapHit::Time | CapHit::Cancelled => {}
         }
     }
 }
@@ -450,6 +516,11 @@ impl Checker {
                 return Some(CapHit::Time);
             }
         }
+        if let Some(token) = &self.config.cancel {
+            if token.is_cancelled() {
+                return Some(CapHit::Cancelled);
+            }
+        }
         None
     }
 
@@ -640,6 +711,40 @@ mod tests {
         assert!(!report.stats.states_capped);
         assert!(!report.stats.transitions_capped);
         assert!(report.stats.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn cancelled_token_truncates_search() {
+        let token = CancelToken::new();
+        token.cancel();
+        let config = SearchConfig::with_depth(12).cancellable(token);
+        let report = Checker::new(config).verify(&model());
+        // The token was cancelled before the search started: it stops at the
+        // very first cap check, reporting truncation but no count cap.
+        assert!(report.stats.truncated);
+        assert!(!report.stats.states_capped);
+        assert!(!report.stats.transitions_capped);
+        assert_eq!(report.stats.transitions, 0);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let plain = Checker::new(SearchConfig::with_depth(5)).verify(&model());
+        let token = CancelToken::new();
+        let tokened =
+            Checker::new(SearchConfig::with_depth(5).cancellable(token.clone())).verify(&model());
+        assert!(!tokened.stats.truncated);
+        assert_eq!(plain.violated_properties(), tokened.violated_properties());
+        assert_eq!(plain.stats.states_stored, tokened.stats.states_stored);
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_tokens_compare_by_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::new());
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //! assert!(!result.has_violations());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod features;
 pub mod interp;
@@ -65,7 +65,7 @@ pub use model::{
 pub use pipeline::{translate_sources, GroupResult, Pipeline, TranslateError, VerificationResult};
 pub use planner::{
     Fingerprint, FleetGroupReport, FleetPlan, FleetReport, GroupJob, GroupOutcome,
-    VerificationCache, VerificationPlanner,
+    VerdictPersistence, VerificationCache, VerificationPlanner,
 };
 pub use system::{InstalledSystem, InternalEvent, SystemState};
 

@@ -57,7 +57,7 @@ pub fn translate_sources(sources: &[&str]) -> Result<Vec<IrApp>, TranslateError>
 }
 
 /// The verification result for one related group of apps.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupResult {
     /// The apps verified together.
     pub apps: Vec<String>,

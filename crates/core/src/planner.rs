@@ -223,12 +223,65 @@ impl FleetPlan {
     }
 }
 
+/// A pluggable durable backing for the [`VerificationCache`].
+///
+/// The in-memory cache dies with the process; a persistence layer (such as
+/// `iotsan-daemon`'s append-only `VerdictStore`) keeps complete group
+/// verdicts across restarts.  The cache consults the backing on every
+/// in-memory miss and writes through on every insert, so the backing sees
+/// exactly the complete (never truncated) results the cache itself admits.
+///
+/// Implementations own their error handling: a backing that fails to load
+/// must return `None` (the group is then re-verified — always sound), and a
+/// failed store must not corrupt previously persisted verdicts.
+///
+/// ```
+/// use iotsan::{Fingerprint, GroupResult, VerdictPersistence, VerificationCache};
+/// use std::collections::BTreeMap;
+/// use std::sync::{Arc, Mutex};
+///
+/// /// A toy persistence layer: a shared map standing in for a disk store.
+/// #[derive(Debug, Clone, Default)]
+/// struct Shared(Arc<Mutex<BTreeMap<Fingerprint, GroupResult>>>);
+///
+/// impl VerdictPersistence for Shared {
+///     fn load(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
+///         self.0.lock().unwrap().get(&fingerprint).cloned()
+///     }
+///     fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult) {
+///         self.0.lock().unwrap().insert(fingerprint, result.clone());
+///     }
+/// }
+///
+/// let durable = Shared::default();
+/// let mut first = VerificationCache::new().with_backing(Box::new(durable.clone()));
+/// // ... verify_fleet populates `first`, writing through to `durable` ...
+/// drop(first); // "process exit"
+///
+/// // A fresh cache over the same backing replays the persisted verdicts.
+/// let mut restarted = VerificationCache::new().with_backing(Box::new(durable));
+/// assert_eq!(restarted.backing_hits(), 0);
+/// ```
+pub trait VerdictPersistence: fmt::Debug + Send {
+    /// Fetches the persisted result for `fingerprint`, or `None` when absent
+    /// (or unreadable — re-verifying is always sound).
+    fn load(&mut self, fingerprint: Fingerprint) -> Option<GroupResult>;
+
+    /// Persists `result` under `fingerprint`, replacing any previous entry.
+    fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult);
+}
+
 /// A content-addressed store of group verification results.
 ///
 /// Keys are [`Fingerprint`]s; values are complete group reports.  Only
 /// *complete* searches are ever inserted — a report truncated by a resource
 /// cap or time budget depends on the budget that cut it off, so it is
 /// recomputed every time.
+///
+/// Optionally backed by a [`VerdictPersistence`] layer: in-memory misses fall
+/// through to the backing (counted by [`VerificationCache::backing_hits`]
+/// when they succeed) and inserts write through, which is how
+/// `iotsan-daemon` keeps verdicts warm across process restarts.
 ///
 /// ```
 /// use iotsan::{translate_sources, Pipeline, VerificationCache};
@@ -258,11 +311,13 @@ impl FleetPlan {
 /// cache.clear();
 /// assert!(cache.is_empty());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct VerificationCache {
     entries: BTreeMap<Fingerprint, GroupResult>,
     hits: usize,
     misses: usize,
+    backing: Option<Box<dyn VerdictPersistence>>,
+    backing_hits: usize,
 }
 
 impl VerificationCache {
@@ -281,7 +336,8 @@ impl VerificationCache {
         self.entries.is_empty()
     }
 
-    /// Drops every entry (the lifetime hit/miss counters are kept).
+    /// Drops every in-memory entry (the lifetime hit/miss counters and any
+    /// durable backing are kept — a backed cache repopulates from disk).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -306,22 +362,53 @@ impl VerificationCache {
         }
     }
 
-    /// Looks up a group result by fingerprint, counting a hit or a miss.
-    pub fn lookup(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
-        match self.entries.get(&fingerprint) {
-            Some(result) => {
-                self.hits += 1;
-                Some(result.clone())
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+    /// Attaches a durable backing (builder style); see
+    /// [`VerdictPersistence`].  Replaces any previous backing.
+    pub fn with_backing(mut self, backing: Box<dyn VerdictPersistence>) -> Self {
+        self.backing = Some(backing);
+        self
     }
 
-    /// Stores a group result under its fingerprint.
+    /// True when a durable backing is attached.
+    pub fn has_backing(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    /// Lifetime number of lookups served by the durable backing (a subset of
+    /// [`VerificationCache::hits`]): in-memory misses that the persistence
+    /// layer answered.
+    pub fn backing_hits(&self) -> usize {
+        self.backing_hits
+    }
+
+    /// Looks up a group result by fingerprint, counting a hit or a miss.
+    ///
+    /// An in-memory miss falls through to the durable backing (when one is
+    /// attached); a successful backing load is promoted into memory and
+    /// counted as both a hit and a backing hit.
+    pub fn lookup(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
+        if let Some(result) = self.entries.get(&fingerprint) {
+            self.hits += 1;
+            return Some(result.clone());
+        }
+        if let Some(backing) = self.backing.as_mut() {
+            if let Some(result) = backing.load(fingerprint) {
+                self.hits += 1;
+                self.backing_hits += 1;
+                self.entries.insert(fingerprint, result.clone());
+                return Some(result);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Stores a group result under its fingerprint, writing through to the
+    /// durable backing when one is attached.
     pub fn insert(&mut self, fingerprint: Fingerprint, result: GroupResult) {
+        if let Some(backing) = self.backing.as_mut() {
+            backing.store(fingerprint, &result);
+        }
         self.entries.insert(fingerprint, result);
     }
 }
@@ -530,6 +617,21 @@ impl<'a> VerificationPlanner<'a> {
         });
 
         FleetPlan { jobs, excluded_apps, original_handlers, reduced_handlers }
+    }
+
+    /// Verifies a single planned job, bypassing the cache: translates the
+    /// job's members and restricted configuration straight into one bounded
+    /// model-checking run.
+    ///
+    /// This is the building block external schedulers (such as
+    /// `iotsan-daemon`'s worker pool) use to run cache misses *outside* any
+    /// cache lock: look up the fingerprint, release the lock, `verify_job`,
+    /// re-acquire and [`VerificationCache::insert`] — keeping the model
+    /// checker itself lock-free across workers.  Follow the same cache
+    /// discipline as [`VerificationPlanner::execute`]: never insert a result
+    /// whose report is truncated.
+    pub fn verify_job(&self, job: &GroupJob) -> GroupResult {
+        self.pipeline.verify_group_restricted(&job.members, job.config.clone())
     }
 
     /// Runs every job of `plan`, reusing cached results where the

@@ -1,0 +1,322 @@
+//! `iotsand` — the IotSan verification daemon.
+//!
+//! Ingests newline-delimited JSON verification jobs (from a file, stdin or a
+//! unix socket), verifies them over a durable verdict store, and emits one
+//! NDJSON result line per job on stdout.  See `OPERATIONS.md` for the
+//! operator's handbook.
+
+use iotsan_daemon::{
+    parse_line, Daemon, DaemonConfig, JobLine, JobOutcome, JobStatus, Recovery, StoreOptions,
+    VerdictStore,
+};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+iotsand — IotSan verification daemon
+
+USAGE:
+    iotsand --store PATH (--jobs FILE | --listen SOCKET | --compact | --status) [OPTIONS]
+
+MODES (exactly one):
+    --jobs FILE          Batch mode: read NDJSON jobs from FILE ('-' = stdin),
+                         print one NDJSON result line per job to stdout, exit.
+    --listen SOCKET      Serve jobs over a unix domain socket, one NDJSON job
+                         per line, results echoed back on the same connection.
+                         A {\"op\":\"shutdown\"} line stops the daemon.
+    --compact            Rewrite the verdict store, dropping superseded and
+                         evicted records, then exit.
+    --status             Print the store's recovery verdict and record counts,
+                         then exit.
+
+OPTIONS:
+    --store PATH         Path of the append-only verdict log (required).
+    --workers N          Worker threads verifying jobs concurrently [default: 2].
+    --queue N            Bounded job-queue capacity [default: 64].
+    --max-entries N      Evict oldest verdicts beyond N live entries.
+    --compact-after N    Auto-compact once N dead records accumulate.
+    -h, --help           Print this help.
+
+JOB FORMAT (one JSON object per line):
+    {\"id\":\"batch-1\",\"market\":8,\"events\":3,\"failures\":true}
+    {\"id\":\"batch-2\",\"names\":[\"Unlock Door\"],\"timeout_ms\":60000}
+    {\"op\":\"shutdown\"}
+
+Exactly one of `market` (first n corpus apps), `names` (corpus apps by name)
+or `sources` (inline Groovy) selects the bundle.  Optional: `events` (event
+bound, default 2), `workers` (checker threads, default 1), `failures`
+(failure injection, default false), `timeout_ms` (wall-clock budget).
+";
+
+#[derive(Debug, Default)]
+struct Args {
+    store: Option<PathBuf>,
+    jobs: Option<String>,
+    listen: Option<PathBuf>,
+    compact: bool,
+    status: bool,
+    workers: usize,
+    queue: usize,
+    max_entries: Option<usize>,
+    compact_after: Option<usize>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args { workers: 2, queue: 64, ..Args::default() };
+    let mut iter = argv.iter();
+    let value = |iter: &mut std::slice::Iter<'_, String>, flag: &str| {
+        iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--store" => args.store = Some(PathBuf::from(value(&mut iter, "--store")?)),
+            "--jobs" => args.jobs = Some(value(&mut iter, "--jobs")?),
+            "--listen" => args.listen = Some(PathBuf::from(value(&mut iter, "--listen")?)),
+            "--compact" => args.compact = true,
+            "--status" => args.status = true,
+            "--workers" => {
+                args.workers = parse_count(&value(&mut iter, "--workers")?, "--workers")?
+            }
+            "--queue" => args.queue = parse_count(&value(&mut iter, "--queue")?, "--queue")?,
+            "--max-entries" => {
+                args.max_entries =
+                    Some(parse_count(&value(&mut iter, "--max-entries")?, "--max-entries")?)
+            }
+            "--compact-after" => {
+                args.compact_after =
+                    Some(parse_count(&value(&mut iter, "--compact-after")?, "--compact-after")?)
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let modes = [args.jobs.is_some(), args.listen.is_some(), args.compact, args.status];
+    match modes.iter().filter(|m| **m).count() {
+        0 => return Err("pick a mode: --jobs, --listen, --compact or --status".into()),
+        1 => {}
+        _ => return Err("--jobs, --listen, --compact and --status are mutually exclusive".into()),
+    }
+    if args.store.is_none() {
+        return Err("--store PATH is required".into());
+    }
+    Ok(Some(args))
+}
+
+fn parse_count(raw: &str, flag: &str) -> Result<usize, String> {
+    raw.parse::<usize>().map_err(|_| format!("{flag} needs a non-negative integer, got `{raw}`"))
+}
+
+fn store_options(args: &Args) -> StoreOptions {
+    StoreOptions { max_entries: args.max_entries, compact_after_dead: args.compact_after }
+}
+
+fn describe_recovery(recovery: &Recovery) -> String {
+    match recovery {
+        Recovery::Fresh => "fresh store (no previous log)".into(),
+        Recovery::Clean { records } => format!("clean recovery: {records} records replayed"),
+        Recovery::CorruptTail { records, dropped_bytes } => format!(
+            "corrupt tail: {records} records replayed, {dropped_bytes} trailing bytes dropped"
+        ),
+        Recovery::Discarded { reason } => format!("store discarded and restarted: {reason:?}"),
+    }
+}
+
+fn run_batch_mode(args: &Args) -> Result<(), String> {
+    let mut daemon = Daemon::start(DaemonConfig {
+        store_path: args.store.clone().expect("checked by parse_args"),
+        store_options: store_options(args),
+        workers: args.workers,
+        queue_capacity: args.queue,
+    })
+    .map_err(|e| format!("cannot open verdict store: {e}"))?;
+    eprintln!("iotsand: {}", describe_recovery(&daemon.recovery()));
+
+    let jobs_arg = args.jobs.as_deref().expect("batch mode");
+    let raw = if jobs_arg == "-" {
+        let mut buffer = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buffer)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(jobs_arg).map_err(|e| format!("cannot read {jobs_arg}: {e}"))?
+    };
+
+    let mut specs = Vec::new();
+    let mut invalid: Vec<JobOutcome> = Vec::new();
+    for (number, line) in raw.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line, number + 1) {
+            Ok(JobLine::Job(spec)) => specs.push(spec),
+            Ok(JobLine::Shutdown) => break, // stop ingesting; run what we have
+            Err(error) => invalid.push(JobOutcome {
+                index: usize::MAX,
+                id: format!("line-{}", number + 1),
+                status: JobStatus::Invalid(error),
+                report: None,
+                backing_hits: 0,
+                elapsed: std::time::Duration::ZERO,
+            }),
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for outcome in &invalid {
+        writeln!(out, "{}", outcome.render()).map_err(|e| e.to_string())?;
+    }
+    let outcomes = daemon.run_batch(specs);
+    for outcome in &outcomes {
+        writeln!(out, "{}", outcome.render()).map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+
+    let summary = daemon.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    eprintln!(
+        "iotsand: {} jobs done ({} rejected); cache {} hits / {} misses, {} from disk; \
+         store holds {} verdicts in {} records",
+        outcomes.len(),
+        invalid.len(),
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.backing_hits,
+        summary.store_entries,
+        summary.store_records,
+    );
+    Ok(())
+}
+
+#[cfg(unix)]
+fn run_listen_mode(args: &Args) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+
+    let socket = args.listen.clone().expect("listen mode");
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket)
+        .map_err(|e| format!("cannot bind {}: {e}", socket.display()))?;
+
+    let mut daemon = Daemon::start(DaemonConfig {
+        store_path: args.store.clone().expect("checked by parse_args"),
+        store_options: store_options(args),
+        workers: args.workers,
+        queue_capacity: args.queue,
+    })
+    .map_err(|e| format!("cannot open verdict store: {e}"))?;
+    eprintln!("iotsand: {}", describe_recovery(&daemon.recovery()));
+    eprintln!("iotsand: listening on {}", socket.display());
+
+    'serve: for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("iotsand: accept failed: {e}");
+                continue;
+            }
+        };
+        let reader = std::io::BufReader::new(
+            stream.try_clone().map_err(|e| format!("cannot clone socket stream: {e}"))?,
+        );
+        let mut writer = stream;
+        for (number, line) in reader.lines().enumerate() {
+            let line = match line {
+                Ok(line) => line,
+                Err(_) => break, // client hung up mid-line
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = match parse_line(&line, number + 1) {
+                Ok(JobLine::Shutdown) => {
+                    let _ = writeln!(writer, "{{\"status\":\"shutting-down\"}}");
+                    break 'serve;
+                }
+                Ok(JobLine::Job(spec)) => {
+                    let outcomes = daemon.run_batch(vec![spec]);
+                    outcomes.first().map(JobOutcome::render).unwrap_or_default()
+                }
+                Err(error) => format!(
+                    "{{\"status\":\"invalid\",\"error\":\"{}\"}}",
+                    error.replace('\\', "\\\\").replace('"', "\\\"")
+                ),
+            };
+            if writeln!(writer, "{response}").is_err() {
+                break; // client hung up; keep serving others
+            }
+        }
+    }
+
+    let summary = daemon.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    let _ = std::fs::remove_file(&socket);
+    eprintln!(
+        "iotsand: shut down after {} jobs; cache {} hits / {} misses, {} from disk",
+        summary.jobs, summary.cache_hits, summary.cache_misses, summary.backing_hits,
+    );
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn run_listen_mode(_args: &Args) -> Result<(), String> {
+    Err("--listen requires unix domain sockets; use --jobs on this platform".into())
+}
+
+fn run_compact_mode(args: &Args) -> Result<(), String> {
+    let path = args.store.as_ref().expect("checked by parse_args");
+    let mut store = VerdictStore::open_with(path, store_options(args))
+        .map_err(|e| format!("cannot open verdict store: {e}"))?;
+    eprintln!("iotsand: {}", describe_recovery(store.recovery()));
+    let stats = store.compact().map_err(|e| format!("compaction failed: {e}"))?;
+    println!(
+        "compacted {}: {} -> {} records, {} -> {} bytes",
+        path.display(),
+        stats.records_before,
+        stats.records_after,
+        stats.bytes_before,
+        stats.bytes_after,
+    );
+    Ok(())
+}
+
+fn run_status_mode(args: &Args) -> Result<(), String> {
+    let path = args.store.as_ref().expect("checked by parse_args");
+    let store = VerdictStore::open_with(path, store_options(args))
+        .map_err(|e| format!("cannot open verdict store: {e}"))?;
+    println!("store:        {}", path.display());
+    println!("recovery:     {}", describe_recovery(store.recovery()));
+    println!("live entries: {}", store.len());
+    println!("log records:  {} ({} dead)", store.records(), store.dead_records());
+    println!("log bytes:    {}", store.file_bytes().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Err(error) => {
+            eprintln!("iotsand: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.jobs.is_some() {
+        run_batch_mode(&args)
+    } else if args.listen.is_some() {
+        run_listen_mode(&args)
+    } else if args.compact {
+        run_compact_mode(&args)
+    } else {
+        run_status_mode(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("iotsand: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

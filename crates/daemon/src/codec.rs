@@ -1,0 +1,362 @@
+//! Exact binary serialization of group verdicts.
+//!
+//! The verdict store persists [`GroupResult`]s — the planner's cached unit of
+//! work — and the daemon's warm-restart guarantee is *byte identity*: a
+//! verdict replayed from disk must equal the cold run's in-memory result
+//! exactly, including the floating-point throughput and `Duration` fields of
+//! its [`iotsan::checker::SearchStats`].  JSON would round-trip floats
+//! through decimal; this codec instead writes fixed-width little-endian
+//! integers, length-prefixed UTF-8 strings, `f64::to_bits` for floats and
+//! `(secs, subsec_nanos)` for durations, so `decode(encode(r)) == r` holds
+//! structurally *and* `encode(decode(b)) == b` holds byte-for-byte — the
+//! property compaction idempotence rests on.
+//!
+//! Decoding is defensive: every length is bounds-checked against the
+//! remaining input before any allocation, and all failures are explicit
+//! [`CodecError`]s — a corrupt record can be *skipped* but never
+//! misinterpreted as a different verdict (the CRC layer in
+//! [`crate::store`] makes silent corruption astronomically unlikely;
+//! the bounds checks make even a CRC collision safe).
+
+use iotsan::checker::{FoundViolation, LogLine, SearchReport, SearchStats, Trace, TraceStep};
+use iotsan::GroupResult;
+use std::fmt;
+use std::time::Duration;
+
+/// A decoding failure: the input is not a well-formed encoded verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What was being decoded when the input ran out or made no sense.
+    pub context: &'static str,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed verdict record ({})", self.context)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(context: &'static str) -> CodecError {
+    CodecError { context }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes` — the per-record
+/// integrity guard of the verdict log.  Bitwise implementation: record sizes
+/// are small and the store is I/O-bound, so no table is warranted.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for byte in bytes {
+        crc ^= u32::from(*byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+/// Encodes a [`GroupResult`] into `out` (appended; `out` is not cleared).
+pub fn encode_group_result(result: &GroupResult, out: &mut Vec<u8>) {
+    put_u32(out, result.apps.len() as u32);
+    for app in &result.apps {
+        put_str(out, app);
+    }
+    let report = &result.report;
+    put_u32(out, report.violations.len() as u32);
+    for found in &report.violations {
+        put_u32(out, found.violation.property);
+        put_str(out, &found.violation.description);
+        put_u32(out, found.trace.steps.len() as u32);
+        for step in &found.trace.steps {
+            put_str(out, &step.action);
+            put_u32(out, step.log.len() as u32);
+            for line in &step.log {
+                put_opt_str(out, line.owner.as_deref());
+                put_str(out, &line.text);
+            }
+        }
+        put_usize(out, found.depth);
+    }
+    let stats = &report.stats;
+    put_usize(out, stats.states_stored);
+    put_usize(out, stats.transitions);
+    put_usize(out, stats.max_depth_reached);
+    put_u64(out, stats.elapsed.as_secs());
+    put_u32(out, stats.elapsed.subsec_nanos());
+    put_u64(out, stats.states_per_sec.to_bits());
+    put_usize(out, stats.store_memory_bytes);
+    put_usize(out, stats.peak_trace_bytes);
+    put_bool(out, stats.truncated);
+    put_bool(out, stats.states_capped);
+    put_bool(out, stats.transitions_capped);
+    put_usize(out, stats.workers);
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over encoded bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| err(context))?;
+        if end > self.bytes.len() {
+            return Err(err(context));
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().expect("8 bytes")))
+    }
+
+    fn usize(&mut self, context: &'static str) -> Result<usize, CodecError> {
+        self.u64(context)?.try_into().map_err(|_| err(context))
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err(context))
+    }
+
+    fn opt_string(&mut self, context: &'static str) -> Result<Option<String>, CodecError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string(context)?)),
+            _ => Err(err(context)),
+        }
+    }
+
+    fn boolean(&mut self, context: &'static str) -> Result<bool, CodecError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(err(context)),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Decodes a [`GroupResult`] from exactly `bytes` (trailing garbage is an
+/// error — a record's payload length is authoritative).
+pub fn decode_group_result(bytes: &[u8]) -> Result<GroupResult, CodecError> {
+    let mut r = Reader::new(bytes);
+    let app_count = r.u32("app count")? as usize;
+    let mut apps = Vec::with_capacity(app_count.min(1024));
+    for _ in 0..app_count {
+        apps.push(r.string("app name")?);
+    }
+    let violation_count = r.u32("violation count")? as usize;
+    let mut violations = Vec::with_capacity(violation_count.min(1024));
+    for _ in 0..violation_count {
+        let property = r.u32("property id")?;
+        let description = r.string("property description")?;
+        let step_count = r.u32("trace step count")? as usize;
+        let mut steps = Vec::with_capacity(step_count.min(1024));
+        for _ in 0..step_count {
+            let action = r.string("trace action")?;
+            let log_count = r.u32("log line count")? as usize;
+            let mut log = Vec::with_capacity(log_count.min(1024));
+            for _ in 0..log_count {
+                let owner = r.opt_string("log owner")?;
+                let text = r.string("log text")?;
+                log.push(LogLine { owner, text });
+            }
+            steps.push(TraceStep { action, log });
+        }
+        let depth = r.usize("violation depth")?;
+        violations.push(FoundViolation {
+            violation: iotsan::checker::Violation { property, description },
+            trace: Trace { steps },
+            depth,
+        });
+    }
+    let stats = SearchStats {
+        states_stored: r.usize("states stored")?,
+        transitions: r.usize("transitions")?,
+        max_depth_reached: r.usize("max depth")?,
+        elapsed: Duration::new(r.u64("elapsed secs")?, r.u32("elapsed nanos")?),
+        states_per_sec: f64::from_bits(r.u64("states/sec bits")?),
+        store_memory_bytes: r.usize("store memory")?,
+        peak_trace_bytes: r.usize("peak trace bytes")?,
+        truncated: r.boolean("truncated flag")?,
+        states_capped: r.boolean("states-capped flag")?,
+        transitions_capped: r.boolean("transitions-capped flag")?,
+        workers: r.usize("workers")?,
+    };
+    if !r.finished() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(GroupResult { apps, report: SearchReport { violations, stats } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_result() -> GroupResult {
+        let mut trace = Trace::new();
+        trace.push(
+            "alicePresence/presence=not present [ok]".into(),
+            vec![
+                LogLine::owned("Auto Mode Change", "setLocationMode(\"Away\")"),
+                LogLine::new("location.mode = Away"),
+            ],
+        );
+        GroupResult {
+            apps: vec!["Auto Mode Change".into(), "Unlock Door".into()],
+            report: SearchReport {
+                violations: vec![FoundViolation {
+                    violation: iotsan::checker::Violation {
+                        property: 6,
+                        description: "!anyone_home && main_door == unlocked".into(),
+                    },
+                    trace,
+                    depth: 2,
+                }],
+                stats: SearchStats {
+                    states_stored: 123,
+                    transitions: 456,
+                    max_depth_reached: 3,
+                    elapsed: Duration::new(1, 234_567_891),
+                    states_per_sec: 12345.6789,
+                    store_memory_bytes: 4096,
+                    peak_trace_bytes: 512,
+                    truncated: false,
+                    states_capped: false,
+                    transitions_capped: false,
+                    workers: 1,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_structurally_and_byte_for_byte() {
+        let original = sample_result();
+        let mut bytes = Vec::new();
+        encode_group_result(&original, &mut bytes);
+        let decoded = decode_group_result(&bytes).unwrap();
+        assert_eq!(decoded, original);
+        // Byte identity: re-encoding the decoded value reproduces the input
+        // exactly (this is what makes compaction idempotent).
+        let mut again = Vec::new();
+        encode_group_result(&decoded, &mut again);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn floats_and_durations_are_exact() {
+        let mut original = sample_result();
+        original.report.stats.states_per_sec = f64::from_bits(0x7ff8_0000_0000_0001); // a NaN payload
+        original.report.stats.elapsed = Duration::new(u64::MAX, 999_999_999);
+        let mut bytes = Vec::new();
+        encode_group_result(&original, &mut bytes);
+        let decoded = decode_group_result(&bytes).unwrap();
+        assert_eq!(
+            decoded.report.stats.states_per_sec.to_bits(),
+            original.report.stats.states_per_sec.to_bits()
+        );
+        assert_eq!(decoded.report.stats.elapsed, original.report.stats.elapsed);
+    }
+
+    #[test]
+    fn every_truncation_is_an_explicit_error() {
+        let original = sample_result();
+        let mut bytes = Vec::new();
+        encode_group_result(&original, &mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_group_result(&bytes[..cut]).is_err(),
+                "a {cut}-byte prefix of a {}-byte record must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Vec::new();
+        encode_group_result(&sample_result(), &mut bytes);
+        bytes.push(0);
+        assert_eq!(decode_group_result(&bytes).unwrap_err().context, "trailing bytes");
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_without_allocating() {
+        // A string length claiming 4 GiB against a 12-byte input must fail
+        // the bounds check, not attempt the allocation.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 1); // one app
+        put_u32(&mut bytes, u32::MAX); // ...whose name is "4 GiB" long
+        bytes.extend_from_slice(b"oops");
+        assert!(decode_group_result(&bytes).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

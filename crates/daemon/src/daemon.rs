@@ -1,0 +1,714 @@
+//! The verification daemon: a bounded job queue, a worker pool over
+//! [`VerificationPlanner`], and a shared [`VerificationCache`] backed by the
+//! durable [`VerdictStore`].
+//!
+//! ```text
+//!   NDJSON jobs ──▶ JobQueue (bounded) ──▶ worker pool
+//!                                            │ per group: lock cache,
+//!                                            │ lookup (memory → disk),
+//!                                            │ unlock, verify misses,
+//!                                            │ re-lock + write through
+//!                                            ▼
+//!                          VerificationCache ⇄ VerdictStore (append-only log)
+//! ```
+//!
+//! Workers share one cache under a mutex, but the model checker itself never
+//! runs under the lock: a miss releases the cache, verifies via
+//! [`VerificationPlanner::verify_job`], then re-acquires to insert — so two
+//! workers can verify different groups concurrently while still deduplicating
+//! through the same store.  Every job carries its own
+//! [`iotsan::checker::CancelToken`]; [`Daemon::cancel_all`]
+//! flips the in-flight tokens and drains the pending queue, turning both into
+//! explicit `cancelled` outcomes rather than silently dropped work.
+
+use crate::job::{json_escape, resolve_sources, JobSpec};
+use crate::store::{StoreOptions, VerdictStore};
+use iotsan::attribution::attribute_traces;
+use iotsan::checker::CancelToken;
+use iotsan::config::{expert_configure, standard_household};
+use iotsan::{
+    translate_sources, Fingerprint, FleetGroupReport, FleetPlan, FleetReport, GroupResult,
+    Pipeline, VerdictPersistence, VerificationCache, VerificationPlanner,
+};
+use std::collections::VecDeque;
+use std::io;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A [`VerdictPersistence`] adapter over a shared [`VerdictStore`].
+///
+/// Loads are served from the store's replayed in-memory index; stores append
+/// to the log.  An append failure is reported on stderr and otherwise
+/// swallowed — the entry is simply not durable, which is always sound (the
+/// group re-verifies after a restart), and the store's CRC-guarded records
+/// mean a partial append is detected and skipped on replay rather than
+/// trusted.
+#[derive(Debug, Clone)]
+pub struct StoreBacking(Arc<Mutex<VerdictStore>>);
+
+impl StoreBacking {
+    /// Wraps a shared store handle.
+    pub fn new(store: Arc<Mutex<VerdictStore>>) -> Self {
+        StoreBacking(store)
+    }
+}
+
+impl VerdictPersistence for StoreBacking {
+    fn load(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).get(fingerprint).cloned()
+    }
+
+    fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult) {
+        let mut store = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = store.append(fingerprint, result) {
+            eprintln!("iotsand: verdict store append failed ({}): {e}", store.path().display());
+        }
+    }
+}
+
+/// How a [`Daemon`] is shaped: where its store lives and how much work it
+/// accepts at once.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Path of the append-only verdict log.
+    pub store_path: PathBuf,
+    /// Eviction/compaction knobs for the store.
+    pub store_options: StoreOptions,
+    /// Worker threads verifying jobs concurrently (min 1).
+    pub workers: usize,
+    /// Bounded queue capacity; submission blocks when full (min 1).
+    pub queue_capacity: usize,
+}
+
+impl DaemonConfig {
+    /// A default-shaped daemon (2 workers, queue of 64) over `store_path`.
+    pub fn new(store_path: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            store_path: store_path.into(),
+            store_options: StoreOptions::default(),
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job ran to completion (individual searches may still have been
+    /// truncated by the job's own `timeout_ms` — see the rendered
+    /// `truncated` field).
+    Ok,
+    /// The job was cancelled (mid-run via its token, or while still queued).
+    Cancelled,
+    /// The job could not run at all (bad bundle, translation failure).
+    Invalid(String),
+}
+
+/// The result of one submitted job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Submission index (0-based, the order jobs were submitted in).
+    pub index: usize,
+    /// The job's correlation id.
+    pub id: String,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// The merged fleet report; `None` when the job never ran.
+    pub report: Option<FleetReport>,
+    /// How many of this job's cache hits were served from the durable store
+    /// (rather than daemon memory).
+    pub backing_hits: usize,
+    /// Wall-clock time from dequeue to verdict.
+    pub elapsed: Duration,
+}
+
+impl JobOutcome {
+    /// Renders the outcome as one NDJSON result line.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!("{{\"id\":\"{}\"", json_escape(&self.id)));
+        match &self.status {
+            JobStatus::Ok => out.push_str(",\"status\":\"ok\""),
+            JobStatus::Cancelled => out.push_str(",\"status\":\"cancelled\""),
+            JobStatus::Invalid(error) => {
+                out.push_str(&format!(
+                    ",\"status\":\"invalid\",\"error\":\"{}\"}}",
+                    json_escape(error)
+                ));
+                return out;
+            }
+        }
+        if let Some(report) = &self.report {
+            let violated: Vec<String> =
+                report.violated_properties().iter().map(|p| p.to_string()).collect();
+            let truncated = report.groups.iter().any(|g| g.report.stats.truncated);
+            out.push_str(&format!(
+                ",\"groups\":{},\"violated_properties\":[{}],\"violations\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{},\"backing_hits\":{},\"truncated\":{}",
+                report.groups.len(),
+                violated.join(","),
+                report.violation_count(),
+                report.cache_hits,
+                report.cache_misses,
+                self.backing_hits,
+                truncated,
+            ));
+        }
+        out.push_str(&format!(",\"elapsed_ms\":{:.3}}}", self.elapsed.as_secs_f64() * 1000.0));
+        out
+    }
+}
+
+/// Cumulative daemon statistics, reported at shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Jobs submitted over the daemon's lifetime.
+    pub jobs: usize,
+    /// Lifetime cache hits (memory or disk).
+    pub cache_hits: usize,
+    /// Lifetime cache misses (groups model-checked).
+    pub cache_misses: usize,
+    /// Lifetime hits served by the durable store.
+    pub backing_hits: usize,
+    /// Live entries in the verdict store at shutdown.
+    pub store_entries: usize,
+    /// Total records in the store's log at shutdown (live + superseded).
+    pub store_records: usize,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<(usize, JobSpec)>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue (mutex + condvars).
+#[derive(Debug)]
+struct JobQueue {
+    state: Mutex<QueueState>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while full; `Err` returns the job when the queue has closed.
+    fn push(&self, index: usize, spec: JobSpec) -> Result<(), JobSpec> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        if state.closed {
+            return Err(spec);
+        }
+        state.items.push_back((index, spec));
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks while empty; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<(usize, JobSpec)> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn drain(&self) -> Vec<(usize, JobSpec)> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let drained = state.items.drain(..).collect();
+        self.not_full.notify_all();
+        drained
+    }
+}
+
+/// The set of fingerprints some worker is currently verifying.  Claiming an
+/// already-claimed fingerprint blocks until the owner finishes, then reports
+/// "not claimed" so the caller re-consults the cache — two jobs sharing a
+/// group never verify it twice.
+#[derive(Debug, Default)]
+struct Inflight {
+    set: Mutex<std::collections::BTreeSet<Fingerprint>>,
+    done: Condvar,
+}
+
+impl Inflight {
+    /// `Some(guard)` when this caller now owns the verification of
+    /// `fingerprint`; `None` after waiting for another worker to finish it.
+    fn claim(&self, fingerprint: Fingerprint) -> Option<InflightGuard<'_>> {
+        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        if set.insert(fingerprint) {
+            return Some(InflightGuard { inflight: self, fingerprint });
+        }
+        while set.contains(&fingerprint) {
+            set = self.done.wait(set).unwrap_or_else(|e| e.into_inner());
+        }
+        None
+    }
+}
+
+/// Releases the claimed fingerprint on drop (panic-safe: a crashed worker
+/// never leaves a fingerprint claimed forever).
+#[derive(Debug)]
+struct InflightGuard<'a> {
+    inflight: &'a Inflight,
+    fingerprint: Fingerprint,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.set.lock().unwrap_or_else(|e| e.into_inner()).remove(&self.fingerprint);
+        self.inflight.done.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: JobQueue,
+    cache: Mutex<VerificationCache>,
+    store: Arc<Mutex<VerdictStore>>,
+    active: Mutex<Vec<(usize, CancelToken)>>,
+    inflight: Inflight,
+    results: Sender<JobOutcome>,
+}
+
+/// The verification daemon: owns the store, the shared cache and the worker
+/// pool.  See the [module docs](self) for the locking discipline.
+#[derive(Debug)]
+pub struct Daemon {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    receiver: Receiver<JobOutcome>,
+    submitted: usize,
+}
+
+impl Daemon {
+    /// Opens (or recovers) the verdict store at `config.store_path` and
+    /// starts the worker pool.
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        let store = Arc::new(Mutex::new(VerdictStore::open_with(
+            &config.store_path,
+            config.store_options,
+        )?));
+        let cache =
+            VerificationCache::new().with_backing(Box::new(StoreBacking::new(Arc::clone(&store))));
+        let (results, receiver) = channel();
+        let inner = Arc::new(Inner {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: Mutex::new(cache),
+            store,
+            active: Mutex::new(Vec::new()),
+            inflight: Inflight::default(),
+            results,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(Daemon { inner, workers, receiver, submitted: 0 })
+    }
+
+    /// The recovery verdict of this daemon's store (what `open_with` found).
+    pub fn recovery(&self) -> crate::store::Recovery {
+        self.inner.store.lock().unwrap_or_else(|e| e.into_inner()).recovery().clone()
+    }
+
+    /// A shared handle on the verdict store (for status and compaction).
+    pub fn store(&self) -> Arc<Mutex<VerdictStore>> {
+        Arc::clone(&self.inner.store)
+    }
+
+    /// Submits one job; blocks while the queue is full.  Returns the job's
+    /// submission index.
+    fn submit(&mut self, spec: JobSpec) -> usize {
+        let index = self.submitted;
+        self.submitted += 1;
+        if self.inner.queue.push(index, spec.clone()).is_err() {
+            // Queue already closed: report the job as cancelled.
+            let _ = self.inner.results.send(cancelled_outcome(index, spec));
+        }
+        index
+    }
+
+    /// Submits a batch and waits for every outcome, returned in submission
+    /// order.
+    pub fn run_batch(&mut self, specs: Vec<JobSpec>) -> Vec<JobOutcome> {
+        let expected = specs.len();
+        for spec in specs {
+            self.submit(spec);
+        }
+        let mut outcomes = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            match self.receiver.recv() {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(_) => break, // every worker died; return what we have
+            }
+        }
+        outcomes.sort_by_key(|o| o.index);
+        outcomes
+    }
+
+    /// Cancels every in-flight job (their searches stop at the next
+    /// transition and report `truncated`) and drains still-queued jobs into
+    /// explicit `cancelled` outcomes.
+    pub fn cancel_all(&self) {
+        for (_, token) in self.inner.active.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            token.cancel();
+        }
+        for (index, spec) in self.inner.queue.drain() {
+            let _ = self.inner.results.send(cancelled_outcome(index, spec));
+        }
+    }
+
+    /// Closes the queue, waits for the workers to drain it, syncs the store
+    /// and reports lifetime statistics.
+    pub fn shutdown(self) -> io::Result<DaemonSummary> {
+        self.inner.queue.close();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let (cache_hits, cache_misses, backing_hits) = {
+            let cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            (cache.hits(), cache.misses(), cache.backing_hits())
+        };
+        let mut store = self.inner.store.lock().unwrap_or_else(|e| e.into_inner());
+        store.sync()?;
+        Ok(DaemonSummary {
+            jobs: self.submitted,
+            cache_hits,
+            cache_misses,
+            backing_hits,
+            store_entries: store.len(),
+            store_records: store.records(),
+        })
+    }
+}
+
+fn cancelled_outcome(index: usize, spec: JobSpec) -> JobOutcome {
+    JobOutcome {
+        index,
+        id: spec.id,
+        status: JobStatus::Cancelled,
+        report: None,
+        backing_hits: 0,
+        elapsed: Duration::ZERO,
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some((index, spec)) = inner.queue.pop() {
+        let outcome = execute_job(inner, index, spec);
+        if inner.results.send(outcome).is_err() {
+            break; // the daemon handle is gone; no one is listening
+        }
+    }
+}
+
+fn invalid_outcome(index: usize, id: String, error: String, started: Instant) -> JobOutcome {
+    JobOutcome {
+        index,
+        id,
+        status: JobStatus::Invalid(error),
+        report: None,
+        backing_hits: 0,
+        elapsed: started.elapsed(),
+    }
+}
+
+fn execute_job(inner: &Inner, index: usize, spec: JobSpec) -> JobOutcome {
+    let started = Instant::now();
+    let sources = match resolve_sources(&spec.bundle) {
+        Ok(sources) => sources,
+        Err(error) => return invalid_outcome(index, spec.id, error, started),
+    };
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let apps = match translate_sources(&refs) {
+        Ok(apps) => apps,
+        Err(error) => return invalid_outcome(index, spec.id, error.to_string(), started),
+    };
+    let config = expert_configure(&apps, &standard_household());
+
+    let token = CancelToken::new();
+    inner.active.lock().unwrap_or_else(|e| e.into_inner()).push((index, token.clone()));
+
+    let mut pipeline = Pipeline::with_events(spec.events);
+    if spec.failures {
+        pipeline = pipeline.with_failures();
+    }
+    if spec.workers > 1 {
+        pipeline = pipeline.with_workers(spec.workers);
+    }
+    pipeline.search.time_limit = spec.timeout_ms.map(Duration::from_millis);
+    pipeline.search = pipeline.search.clone().cancellable(token.clone());
+
+    let planner = VerificationPlanner::new(&pipeline);
+    let plan = planner.plan(&apps, &config);
+    let (report, backing_hits) = execute_plan(&planner, &plan, inner);
+
+    inner.active.lock().unwrap_or_else(|e| e.into_inner()).retain(|(i, _)| *i != index);
+    let status = if token.is_cancelled() { JobStatus::Cancelled } else { JobStatus::Ok };
+    JobOutcome {
+        index,
+        id: spec.id,
+        status,
+        report: Some(report),
+        backing_hits,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// [`VerificationPlanner::execute`] with a shared cache: lookups and inserts
+/// hold the mutex, the model checker runs outside it, and the in-flight set
+/// guarantees no fingerprint is verified twice concurrently.  Returns the
+/// merged report plus how many of its hits came from the durable backing.
+fn execute_plan(
+    planner: &VerificationPlanner<'_>,
+    plan: &FleetPlan,
+    inner: &Inner,
+) -> (FleetReport, usize) {
+    let mut groups: Vec<FleetGroupReport> = Vec::with_capacity(plan.jobs.len());
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    let mut backing_hits = 0usize;
+    for job in &plan.jobs {
+        let (result, from_cache) = loop {
+            let cached = {
+                let mut cache = inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+                let disk_before = cache.backing_hits();
+                let hit = cache.lookup(job.fingerprint);
+                if hit.is_some() && cache.backing_hits() > disk_before {
+                    backing_hits += 1;
+                }
+                hit
+            };
+            if let Some(cached) = cached {
+                cache_hits += 1;
+                break (cached, true);
+            }
+            // Claim the fingerprint; when another worker already owns it,
+            // claim() blocks until that run finishes and we re-consult the
+            // cache (the owner's result may be there — or not, if it was
+            // truncated, in which case this job verifies under its own
+            // budget).
+            let Some(_guard) = inner.inflight.claim(job.fingerprint) else {
+                continue;
+            };
+            cache_misses += 1;
+            let fresh = planner.verify_job(job);
+            // Same discipline as VerificationPlanner::execute: a report
+            // truncated by a budget (or cancellation) is never cached.
+            if !fresh.report.stats.truncated {
+                inner
+                    .cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(job.fingerprint, fresh.clone());
+            }
+            break (fresh, false);
+        };
+        let attributions = attribute_traces(&result.apps, &result.report.violations);
+        groups.push(FleetGroupReport {
+            apps: result.apps,
+            fingerprint: job.fingerprint,
+            from_cache,
+            report: result.report,
+            attributions,
+        });
+    }
+    groups.sort_by(|a, b| a.apps.cmp(&b.apps));
+    let report = FleetReport {
+        groups,
+        excluded_apps: plan.excluded_apps.clone(),
+        original_handlers: plan.original_handlers,
+        reduced_handlers: plan.reduced_handlers,
+        cache_hits,
+        cache_misses,
+    };
+    (report, backing_hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::BundleSpec;
+    use crate::store::Recovery;
+    use std::path::Path;
+
+    fn temp_store(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iotsan-daemon-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("verdicts.log")
+    }
+
+    fn market_job(id: &str, n: usize) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            bundle: BundleSpec::Market(n),
+            events: 2,
+            workers: 1,
+            failures: false,
+            timeout_ms: None,
+        }
+    }
+
+    fn start(path: &Path) -> Daemon {
+        Daemon::start(DaemonConfig::new(path)).unwrap()
+    }
+
+    #[test]
+    fn identical_jobs_share_the_cache() {
+        let path = temp_store("share");
+        let mut daemon = start(&path);
+        let outcomes = daemon.run_batch(vec![market_job("a", 4), market_job("b", 4)]);
+        assert_eq!(outcomes.len(), 2);
+        let total_hits: usize =
+            outcomes.iter().map(|o| o.report.as_ref().unwrap().cache_hits).sum();
+        let total_misses: usize =
+            outcomes.iter().map(|o| o.report.as_ref().unwrap().cache_misses).sum();
+        // Two identical jobs over one shared cache: every group is verified
+        // at most once, the rest are hits (which job wins each race varies).
+        let groups = outcomes[0].report.as_ref().unwrap().groups.len();
+        assert_eq!(total_hits + total_misses, 2 * groups);
+        assert_eq!(total_misses, groups);
+        let a = outcomes[0].report.as_ref().unwrap().outcome();
+        let b = outcomes[1].report.as_ref().unwrap().outcome();
+        assert_eq!(a, b);
+        let summary = daemon.shutdown().unwrap();
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.store_entries, groups);
+    }
+
+    #[test]
+    fn restart_replays_verdicts_from_disk() {
+        let path = temp_store("restart");
+        let mut cold = start(&path);
+        let cold_outcomes = cold.run_batch(vec![market_job("cold", 4)]);
+        let cold_report = cold_outcomes[0].report.as_ref().unwrap().clone();
+        assert_eq!(cold_outcomes[0].backing_hits, 0);
+        cold.shutdown().unwrap();
+
+        let mut warm = start(&path);
+        assert!(matches!(warm.recovery(), Recovery::Clean { .. }));
+        let warm_outcomes = warm.run_batch(vec![market_job("warm", 4)]);
+        let warm_report = warm_outcomes[0].report.as_ref().unwrap();
+        assert_eq!(warm_report.cache_misses, 0);
+        assert_eq!(warm_outcomes[0].backing_hits, warm_report.groups.len());
+        // Replayed reports are byte-identical, timing included.
+        for (c, w) in cold_report.groups.iter().zip(&warm_report.groups) {
+            assert_eq!(c.report, w.report);
+        }
+        warm.shutdown().unwrap();
+    }
+
+    #[test]
+    fn invalid_jobs_report_errors() {
+        let path = temp_store("invalid");
+        let mut daemon = start(&path);
+        let outcomes = daemon.run_batch(vec![JobSpec {
+            id: "bad".into(),
+            bundle: BundleSpec::Named(vec!["No Such App".into()]),
+            events: 2,
+            workers: 1,
+            failures: false,
+            timeout_ms: None,
+        }]);
+        assert!(matches!(&outcomes[0].status, JobStatus::Invalid(e) if e.contains("No Such App")));
+        let line = outcomes[0].render();
+        assert!(line.contains("\"status\":\"invalid\""), "{line}");
+        daemon.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cancel_all_stops_inflight_and_queued_jobs() {
+        let path = temp_store("cancel");
+        let mut daemon = Daemon::start(DaemonConfig {
+            workers: 1, // serialize, so the second job is queued while the first runs
+            ..DaemonConfig::new(&path)
+        })
+        .unwrap();
+        // A search this deep runs for many seconds before any default cap
+        // fires; the timeout is only a backstop should cancellation break.
+        let slow = JobSpec {
+            id: "slow".into(),
+            bundle: BundleSpec::Market(8),
+            events: 8,
+            workers: 1,
+            failures: true,
+            timeout_ms: Some(120_000),
+        };
+        let queued = market_job("queued", 2);
+
+        let inner = Arc::clone(&daemon.inner);
+        let canceller = std::thread::spawn(move || {
+            // Wait until the slow job has registered its token (it is then
+            // mid-search), cancel it, and drain the still-queued job.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while inner.active.lock().unwrap().is_empty() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            for (_, token) in inner.active.lock().unwrap().iter() {
+                token.cancel();
+            }
+            for (index, spec) in inner.queue.drain() {
+                let _ = inner.results.send(cancelled_outcome(index, spec));
+            }
+        });
+        let started = Instant::now();
+        let outcomes = daemon.run_batch(vec![slow, queued]);
+        canceller.join().unwrap();
+        assert!(started.elapsed() < Duration::from_secs(30));
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].status, JobStatus::Cancelled);
+        assert!(outcomes[0]
+            .report
+            .as_ref()
+            .is_some_and(|r| r.groups.iter().any(|g| g.report.stats.truncated)));
+        assert_eq!(outcomes[1].status, JobStatus::Cancelled);
+        assert!(outcomes[1].report.is_none());
+        daemon.shutdown().unwrap();
+    }
+
+    #[test]
+    fn render_produces_one_json_line() {
+        let path = temp_store("render");
+        let mut daemon = start(&path);
+        let outcomes = daemon.run_batch(vec![market_job("r1", 2)]);
+        let line = outcomes[0].render();
+        assert!(line.starts_with("{\"id\":\"r1\",\"status\":\"ok\""), "{line}");
+        assert!(line.contains("\"cache_misses\""), "{line}");
+        assert!(!line.contains('\n'));
+        // The line is valid JSON by our own vendored parser.
+        assert!(serde_json::from_str::<serde_json::Value>(&line).is_ok());
+        daemon.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,306 @@
+//! The batch-ingest job format: newline-delimited JSON.
+//!
+//! An app store submits verification work as NDJSON — one self-contained
+//! JSON object per line, the shape every log shipper and queue speaks.  Each
+//! line names a *(bundle, household configuration)* job:
+//!
+//! ```text
+//! {"id":"batch-1","market":8,"events":3,"failures":true}
+//! {"id":"batch-2","names":["Auto Mode Change","Unlock Door"],"events":2}
+//! {"sources":["definition(name: \"My App\", ...) ..."],"timeout_ms":60000}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Exactly one of `market` (the first *n* corpus apps), `names` (corpus apps
+//! by name) or `sources` (inline Groovy) selects the bundle; the household
+//! device configuration is the standard expert configuration over the
+//! selected bundle, matching the paper's Table 5 setup.  Unknown keys are
+//! rejected, not ignored — a typo'd `event` must not silently verify with
+//! the default bound.  See `OPERATIONS.md` for the operator-facing
+//! reference of every field.
+
+use serde_json::Value;
+
+/// Which apps a job verifies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BundleSpec {
+    /// The first `n` apps of the built-in market corpus
+    /// ([`iotsan_apps::market::market_apps`]).
+    Market(usize),
+    /// Market-corpus apps selected by display name
+    /// ([`iotsan_apps::market::named_apps`]).
+    Named(Vec<String>),
+    /// Inline SmartThings Groovy sources.
+    Sources(Vec<String>),
+}
+
+/// One parsed verification job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Caller-chosen correlation id (defaults to `job-<line number>`).
+    pub id: String,
+    /// The apps to verify.
+    pub bundle: BundleSpec,
+    /// External-event bound (`SearchConfig::max_depth`); default 2.
+    pub events: usize,
+    /// Checker workers for this job's searches; default 1 (sequential).
+    pub workers: usize,
+    /// Exhaustive device/communication failure injection; default off.
+    pub failures: bool,
+    /// Per-job wall-clock budget in milliseconds; default none.
+    pub timeout_ms: Option<u64>,
+}
+
+/// One parsed NDJSON line: a job, or a control operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobLine {
+    /// A verification job.
+    Job(JobSpec),
+    /// `{"op":"shutdown"}` — stop accepting work and exit.
+    Shutdown,
+}
+
+const KNOWN_KEYS: &[&str] =
+    &["id", "market", "names", "sources", "events", "workers", "failures", "timeout_ms", "op"];
+
+fn non_negative_integer(value: &Value, key: &str) -> Result<usize, String> {
+    let n = value.as_f64().ok_or_else(|| format!("`{key}` must be a number"))?;
+    if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+        return Err(format!("`{key}` must be a non-negative integer, got {n}"));
+    }
+    Ok(n as usize)
+}
+
+fn string_array(value: &Value, key: &str) -> Result<Vec<String>, String> {
+    let items = value.as_array().ok_or_else(|| format!("`{key}` must be an array of strings"))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{key}` must contain only strings"))
+        })
+        .collect()
+}
+
+/// Parses one NDJSON line (1-based `line_number` is used for the default job
+/// id and error messages).  Blank lines are the caller's to skip.
+pub fn parse_line(line: &str, line_number: usize) -> Result<JobLine, String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("line {line_number}: {e}"))?;
+    let entries = value
+        .as_object()
+        .ok_or_else(|| format!("line {line_number}: a job must be a JSON object"))?;
+
+    for (key, _) in entries {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(format!(
+                "line {line_number}: unknown key `{key}` (known: {})",
+                KNOWN_KEYS.join(", ")
+            ));
+        }
+    }
+
+    if let Some(op) = value.get("op") {
+        let op = op.as_str().ok_or_else(|| format!("line {line_number}: `op` must be a string"))?;
+        return match op {
+            "shutdown" => Ok(JobLine::Shutdown),
+            other => Err(format!("line {line_number}: unknown op `{other}`")),
+        };
+    }
+
+    let id = match value.get("id") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| format!("line {line_number}: `id` must be a string"))?
+            .to_string(),
+        None => format!("job-{line_number}"),
+    };
+
+    let mut bundles = Vec::new();
+    if let Some(v) = value.get("market") {
+        let n =
+            non_negative_integer(v, "market").map_err(|e| format!("line {line_number}: {e}"))?;
+        if n == 0 {
+            return Err(format!("line {line_number}: `market` must select at least one app"));
+        }
+        bundles.push(BundleSpec::Market(n));
+    }
+    if let Some(v) = value.get("names") {
+        let names = string_array(v, "names").map_err(|e| format!("line {line_number}: {e}"))?;
+        if names.is_empty() {
+            return Err(format!("line {line_number}: `names` must not be empty"));
+        }
+        bundles.push(BundleSpec::Named(names));
+    }
+    if let Some(v) = value.get("sources") {
+        let sources = string_array(v, "sources").map_err(|e| format!("line {line_number}: {e}"))?;
+        if sources.is_empty() {
+            return Err(format!("line {line_number}: `sources` must not be empty"));
+        }
+        bundles.push(BundleSpec::Sources(sources));
+    }
+    let bundle = match bundles.len() {
+        1 => bundles.pop().expect("one bundle"),
+        0 => {
+            return Err(format!(
+                "line {line_number}: a job needs exactly one of `market`, `names` or `sources`"
+            ))
+        }
+        _ => {
+            return Err(format!(
+                "line {line_number}: `market`, `names` and `sources` are mutually exclusive"
+            ))
+        }
+    };
+
+    let events = match value.get("events") {
+        Some(v) => {
+            let n = non_negative_integer(v, "events")
+                .map_err(|e| format!("line {line_number}: {e}"))?;
+            if n == 0 {
+                return Err(format!("line {line_number}: `events` must be at least 1"));
+            }
+            n
+        }
+        None => 2,
+    };
+    let workers = match value.get("workers") {
+        Some(v) => non_negative_integer(v, "workers")
+            .map_err(|e| format!("line {line_number}: {e}"))?
+            .max(1),
+        None => 1,
+    };
+    let failures = match value.get("failures") {
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("line {line_number}: `failures` must be a boolean"))?,
+        None => false,
+    };
+    let timeout_ms = match value.get("timeout_ms") {
+        Some(v) => Some(
+            non_negative_integer(v, "timeout_ms").map_err(|e| format!("line {line_number}: {e}"))?
+                as u64,
+        ),
+        None => None,
+    };
+
+    Ok(JobLine::Job(JobSpec { id, bundle, events, workers, failures, timeout_ms }))
+}
+
+/// Resolves a bundle spec to concrete Groovy sources (market lookups may
+/// fail on out-of-range sizes or unknown names).
+pub fn resolve_sources(bundle: &BundleSpec) -> Result<Vec<String>, String> {
+    match bundle {
+        BundleSpec::Market(n) => {
+            let corpus = iotsan_apps::market::market_apps();
+            if *n > corpus.len() {
+                return Err(format!(
+                    "`market` selects {n} apps but the corpus has {}",
+                    corpus.len()
+                ));
+            }
+            Ok(corpus.into_iter().take(*n).map(|a| a.source).collect())
+        }
+        BundleSpec::Named(names) => {
+            let corpus = iotsan_apps::market::named_apps();
+            names
+                .iter()
+                .map(|name| {
+                    corpus
+                        .iter()
+                        .find(|a| a.name == *name)
+                        .map(|a| a.source.clone())
+                        .ok_or_else(|| format!("unknown market app `{name}`"))
+                })
+                .collect()
+        }
+        BundleSpec::Sources(sources) => Ok(sources.clone()),
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_market_job_with_defaults() {
+        let line = r#"{"market": 8}"#;
+        let JobLine::Job(spec) = parse_line(line, 3).unwrap() else { panic!("job expected") };
+        assert_eq!(spec.id, "job-3");
+        assert_eq!(spec.bundle, BundleSpec::Market(8));
+        assert_eq!(
+            (spec.events, spec.workers, spec.failures, spec.timeout_ms),
+            (2, 1, false, None)
+        );
+    }
+
+    #[test]
+    fn parses_every_field() {
+        let line = r#"{"id":"x","names":["Unlock Door"],"events":3,"workers":4,"failures":true,"timeout_ms":500}"#;
+        let JobLine::Job(spec) = parse_line(line, 1).unwrap() else { panic!("job expected") };
+        assert_eq!(spec.id, "x");
+        assert_eq!(spec.bundle, BundleSpec::Named(vec!["Unlock Door".into()]));
+        assert_eq!(
+            (spec.events, spec.workers, spec.failures, spec.timeout_ms),
+            (3, 4, true, Some(500))
+        );
+    }
+
+    #[test]
+    fn parses_shutdown() {
+        assert_eq!(parse_line(r#"{"op":"shutdown"}"#, 9).unwrap(), JobLine::Shutdown);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_malformed_lines() {
+        assert!(parse_line(r#"{"market":8,"event":3}"#, 1).unwrap_err().contains("unknown key"));
+        assert!(parse_line("not json", 2).is_err());
+        assert!(parse_line(r#"[1,2]"#, 3).unwrap_err().contains("JSON object"));
+        assert!(parse_line(r#"{"op":"reboot"}"#, 4).unwrap_err().contains("unknown op"));
+    }
+
+    #[test]
+    fn rejects_ambiguous_or_missing_bundles() {
+        assert!(parse_line(r#"{"events":2}"#, 1).unwrap_err().contains("exactly one"));
+        assert!(parse_line(r#"{"market":4,"names":["x"]}"#, 1)
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse_line(r#"{"market":0}"#, 1).unwrap_err().contains("at least one app"));
+        assert!(parse_line(r#"{"market":2.5}"#, 1).unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn resolves_market_and_named_bundles() {
+        let sources = resolve_sources(&BundleSpec::Market(4)).unwrap();
+        assert_eq!(sources.len(), 4);
+        assert!(resolve_sources(&BundleSpec::Market(10_000)).is_err());
+        assert!(resolve_sources(&BundleSpec::Named(vec!["Unlock Door".into()])).is_ok());
+        assert!(resolve_sources(&BundleSpec::Named(vec!["No Such App".into()]))
+            .unwrap_err()
+            .contains("No Such App"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

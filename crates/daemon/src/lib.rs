@@ -1,0 +1,33 @@
+//! Verification-as-a-service for IotSan: the `iotsand` daemon and its
+//! durable verdict store.
+//!
+//! The pipeline crates verify one bundle per process invocation; this crate
+//! turns them into a long-lived service an app store can feed continuously:
+//!
+//! - [`store::VerdictStore`] — an append-only, CRC-guarded log of group
+//!   verdicts keyed by the planner's content fingerprints
+//!   ([`iotsan::Fingerprint`]), with crash-safe replay, versioned headers
+//!   (stale analysis never replays) and deterministic compaction.
+//! - [`daemon::Daemon`] — a bounded job queue and worker pool over
+//!   [`iotsan::VerificationPlanner`], sharing one
+//!   [`iotsan::VerificationCache`] backed by the store through
+//!   [`daemon::StoreBacking`].
+//! - [`job`] — the NDJSON batch-ingest format (`iotsand --jobs jobs.ndjson`
+//!   or a unix socket), one JSON object per line.
+//!
+//! The operator-facing reference — disk layout, job fields, recovery
+//! semantics, troubleshooting — lives in the repository's `OPERATIONS.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod daemon;
+pub mod job;
+pub mod store;
+
+pub use daemon::{Daemon, DaemonConfig, DaemonSummary, JobOutcome, JobStatus, StoreBacking};
+pub use job::{parse_line, resolve_sources, BundleSpec, JobLine, JobSpec};
+pub use store::{
+    CompactStats, DiscardReason, Recovery, StoreOptions, VerdictStore, FORMAT_VERSION, MAGIC,
+};

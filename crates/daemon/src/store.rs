@@ -1,0 +1,479 @@
+//! The durable, fingerprint-keyed verdict store.
+//!
+//! An append-only log on disk holding complete group verdicts keyed by the
+//! planner's content [`Fingerprint`]s — the persistence layer behind
+//! `iotsand`'s warm restarts.  Layout:
+//!
+//! ```text
+//! ┌────────────────────────── header (16 bytes) ──────────────────────────┐
+//! │ magic "IOTSANVS" │ store format u32 LE │ ANALYSIS_VERSION u32 LE      │
+//! ├──────────────────────────── records ──────────────────────────────────┤
+//! │ tag u8 │ fingerprint u64 LE │ len u32 LE │ payload (len) │ CRC-32 LE  │
+//! │  1=put │                    │            │ encoded       │ over tag…  │
+//! │  2=evict (len = 0)          │            │ GroupResult   │ …payload   │
+//! └───────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Replay on [`VerdictStore::open`] applies records in order (last write
+//! wins, tombstones delete); a truncated or corrupted *tail* — the half
+//! record a crash mid-append leaves behind — fails its CRC or bounds check
+//! and is explicitly **skipped and truncated away** ([`Recovery::CorruptTail`]),
+//! never decoded into a verdict.  The header folds
+//! [`iotsan::analysis::ANALYSIS_VERSION`]: a log written under different
+//! slicing/analysis semantics is discarded wholesale on open
+//! ([`Recovery::Discarded`]), so stale analysis never replays.
+//! [`VerdictStore::compact`] rewrites the log without superseded or evicted
+//! records, atomically (write-temp + rename) and idempotently.
+
+use crate::codec::{crc32, decode_group_result, encode_group_result};
+use iotsan::{Fingerprint, GroupResult};
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic prefix of a verdict log.
+pub const MAGIC: [u8; 8] = *b"IOTSANVS";
+
+/// The on-disk format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 16;
+const RECORD_HEAD_LEN: usize = 1 + 8 + 4; // tag + fingerprint + payload length
+const TAG_PUT: u8 = 1;
+const TAG_EVICT: u8 = 2;
+
+/// What [`VerdictStore::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recovery {
+    /// No log existed (or it was empty); a fresh one was created.
+    Fresh,
+    /// Every record replayed cleanly.
+    Clean {
+        /// Number of records replayed.
+        records: usize,
+    },
+    /// The log's tail was truncated or corrupted — the surviving prefix
+    /// replayed cleanly and the broken tail was *skipped* (and truncated
+    /// off so future appends start from a sound offset), never decoded.
+    CorruptTail {
+        /// Number of records that replayed cleanly before the broken tail.
+        records: usize,
+        /// Bytes of broken tail dropped.
+        dropped_bytes: u64,
+    },
+    /// The whole log was discarded (and recreated fresh) because its header
+    /// did not match this build.
+    Discarded {
+        /// Why the log could not be trusted.
+        reason: DiscardReason,
+    },
+}
+
+/// Why an existing log was discarded on open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscardReason {
+    /// Too short, or the magic bytes did not match.
+    BadHeader,
+    /// Written by a different on-disk format version.
+    StoreFormat {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// Written under a different [`iotsan::analysis::ANALYSIS_VERSION`]:
+    /// sliced verdicts computed by older analysis semantics must never
+    /// replay as current ones.
+    AnalysisVersion {
+        /// The analysis version found in the header.
+        found: u32,
+    },
+}
+
+/// Tuning knobs for a [`VerdictStore`]; the defaults keep everything and
+/// never compact on their own.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Capacity cap: when set, appending beyond `max_entries` live verdicts
+    /// evicts the oldest (least recently written) entries with tombstones.
+    /// `None` (default) keeps everything.
+    pub max_entries: Option<usize>,
+    /// Auto-compaction threshold: when set, any append or evict that leaves
+    /// at least this many dead records (superseded puts + tombstones and
+    /// their targets) in the log triggers [`VerdictStore::compact`]
+    /// automatically.  `None` (default) compacts only on explicit request.
+    pub compact_after_dead: Option<usize>,
+}
+
+/// What a [`VerdictStore::compact`] pass accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records in the log before compaction.
+    pub records_before: usize,
+    /// Records after (one per live verdict).
+    pub records_after: usize,
+    /// Log size in bytes before compaction.
+    pub bytes_before: u64,
+    /// Log size in bytes after.
+    pub bytes_after: u64,
+}
+
+/// A durable, fingerprint-keyed store of group verdicts over an append-only
+/// CRC-guarded log (see the module docs for the record format).
+///
+/// The full contents are materialized in memory on open — the store is an
+/// *index plus journal*, not a paging database — so `get` is a map lookup
+/// and every mutation is one appended record.
+#[derive(Debug)]
+pub struct VerdictStore {
+    path: PathBuf,
+    file: File,
+    entries: BTreeMap<Fingerprint, GroupResult>,
+    /// Live keys in (re)insertion order — the FIFO eviction queue and the
+    /// deterministic record order compaction writes.
+    order: VecDeque<Fingerprint>,
+    /// Records currently in the log file (live + dead).
+    records: usize,
+    recovery: Recovery,
+    options: StoreOptions,
+}
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&iotsan::analysis::ANALYSIS_VERSION.to_le_bytes());
+    header
+}
+
+/// One successfully parsed record: bytes consumed plus its meaning.
+enum Record {
+    Put(Fingerprint, GroupResult),
+    Evict(Fingerprint),
+}
+
+/// Parses the record starting at `bytes[0]`; any shortfall, bad tag, CRC
+/// mismatch or undecodable payload is `None` (an untrusted tail).
+fn parse_record(bytes: &[u8]) -> Option<(usize, Record)> {
+    if bytes.len() < RECORD_HEAD_LEN {
+        return None;
+    }
+    let tag = bytes[0];
+    if tag != TAG_PUT && tag != TAG_EVICT {
+        return None;
+    }
+    let fingerprint = Fingerprint(u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")));
+    let len = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")) as usize;
+    if tag == TAG_EVICT && len != 0 {
+        return None;
+    }
+    let body_end = RECORD_HEAD_LEN.checked_add(len)?;
+    let total = body_end.checked_add(4)?;
+    if bytes.len() < total {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(bytes[body_end..total].try_into().expect("4 bytes"));
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return None;
+    }
+    let record = match tag {
+        TAG_PUT => {
+            let result = decode_group_result(&bytes[RECORD_HEAD_LEN..body_end]).ok()?;
+            Record::Put(fingerprint, result)
+        }
+        _ => Record::Evict(fingerprint),
+    };
+    Some((total, record))
+}
+
+fn record_bytes(tag: u8, fingerprint: Fingerprint, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEAD_LEN + payload.len() + 4);
+    out.push(tag);
+    out.extend_from_slice(&fingerprint.0.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+impl VerdictStore {
+    /// Opens (or creates) the verdict log at `path` with default
+    /// [`StoreOptions`], replaying every trustworthy record.
+    ///
+    /// ```
+    /// use iotsan_daemon::store::{Recovery, VerdictStore};
+    ///
+    /// let dir = std::env::temp_dir().join("iotsan-store-doc-open");
+    /// std::fs::create_dir_all(&dir).unwrap();
+    /// let path = dir.join("verdicts.log");
+    /// # let _ = std::fs::remove_file(&path);
+    ///
+    /// // First open creates a fresh log...
+    /// let store = VerdictStore::open(&path).unwrap();
+    /// assert_eq!(*store.recovery(), Recovery::Fresh);
+    /// assert!(store.is_empty());
+    /// drop(store);
+    ///
+    /// // ...and a reopen replays it (cleanly, when nothing was torn).
+    /// let reopened = VerdictStore::open(&path).unwrap();
+    /// assert_eq!(*reopened.recovery(), Recovery::Clean { records: 0 });
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with(path, StoreOptions::default())
+    }
+
+    /// [`VerdictStore::open`] with explicit capacity/compaction knobs.
+    pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+
+        let mut entries = BTreeMap::new();
+        let mut order = VecDeque::new();
+        let mut records = 0usize;
+
+        let recovery = if bytes.is_empty() {
+            fs::write(&path, header_bytes())?;
+            Recovery::Fresh
+        } else if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+            fs::write(&path, header_bytes())?;
+            Recovery::Discarded { reason: DiscardReason::BadHeader }
+        } else {
+            let format = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+            let analysis = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+            if format != FORMAT_VERSION {
+                fs::write(&path, header_bytes())?;
+                Recovery::Discarded { reason: DiscardReason::StoreFormat { found: format } }
+            } else if analysis != iotsan::analysis::ANALYSIS_VERSION {
+                fs::write(&path, header_bytes())?;
+                Recovery::Discarded { reason: DiscardReason::AnalysisVersion { found: analysis } }
+            } else {
+                // Replay until the log ends or a record stops being
+                // trustworthy; everything after the first broken byte is an
+                // untrusted tail.
+                let mut pos = HEADER_LEN;
+                loop {
+                    if pos == bytes.len() {
+                        break Recovery::Clean { records };
+                    }
+                    match parse_record(&bytes[pos..]) {
+                        Some((consumed, record)) => {
+                            match record {
+                                Record::Put(fingerprint, result) => {
+                                    if entries.insert(fingerprint, result).is_some() {
+                                        order.retain(|f| *f != fingerprint);
+                                    }
+                                    order.push_back(fingerprint);
+                                }
+                                Record::Evict(fingerprint) => {
+                                    entries.remove(&fingerprint);
+                                    order.retain(|f| *f != fingerprint);
+                                }
+                            }
+                            records += 1;
+                            pos += consumed;
+                        }
+                        None => {
+                            let dropped_bytes = (bytes.len() - pos) as u64;
+                            let keep = OpenOptions::new().write(true).open(&path)?;
+                            keep.set_len(pos as u64)?;
+                            keep.sync_all()?;
+                            break Recovery::CorruptTail { records, dropped_bytes };
+                        }
+                    }
+                }
+            }
+        };
+
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(VerdictStore { path, file, entries, order, records, recovery, options })
+    }
+
+    /// Appends (or replaces) the verdict for `fingerprint`, applying the
+    /// [`StoreOptions`] capacity and auto-compaction knobs afterwards.
+    ///
+    /// The record hits the OS immediately (`write_all`); call
+    /// [`VerdictStore::sync`] to force it to physical storage at batch
+    /// boundaries.
+    ///
+    /// ```
+    /// use iotsan::{Fingerprint, GroupResult};
+    /// use iotsan_daemon::store::VerdictStore;
+    ///
+    /// let dir = std::env::temp_dir().join("iotsan-store-doc-append");
+    /// std::fs::create_dir_all(&dir).unwrap();
+    /// let path = dir.join("verdicts.log");
+    /// # let _ = std::fs::remove_file(&path);
+    ///
+    /// let verdict = GroupResult { apps: vec!["Unlock Door".into()], report: Default::default() };
+    /// let mut store = VerdictStore::open(&path).unwrap();
+    /// store.append(Fingerprint(0xfeed), &verdict).unwrap();
+    /// drop(store);
+    ///
+    /// // The verdict survives a restart, byte-identically.
+    /// let reopened = VerdictStore::open(&path).unwrap();
+    /// assert_eq!(reopened.get(Fingerprint(0xfeed)), Some(&verdict));
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn append(&mut self, fingerprint: Fingerprint, result: &GroupResult) -> io::Result<()> {
+        let mut payload = Vec::new();
+        encode_group_result(result, &mut payload);
+        self.file.write_all(&record_bytes(TAG_PUT, fingerprint, &payload))?;
+        self.records += 1;
+        if self.entries.insert(fingerprint, result.clone()).is_some() {
+            self.order.retain(|f| *f != fingerprint);
+        }
+        self.order.push_back(fingerprint);
+
+        if let Some(max) = self.options.max_entries {
+            while self.entries.len() > max {
+                let oldest = *self.order.front().expect("entries is non-empty");
+                self.write_evict(oldest)?;
+            }
+        }
+        self.maybe_auto_compact()
+    }
+
+    /// Writes a tombstone for `fingerprint` (when live), dropping it from
+    /// the store; returns whether anything was evicted.
+    pub fn evict(&mut self, fingerprint: Fingerprint) -> io::Result<bool> {
+        if !self.entries.contains_key(&fingerprint) {
+            return Ok(false);
+        }
+        self.write_evict(fingerprint)?;
+        self.maybe_auto_compact()?;
+        Ok(true)
+    }
+
+    fn write_evict(&mut self, fingerprint: Fingerprint) -> io::Result<()> {
+        self.file.write_all(&record_bytes(TAG_EVICT, fingerprint, &[]))?;
+        self.records += 1;
+        self.entries.remove(&fingerprint);
+        self.order.retain(|f| *f != fingerprint);
+        Ok(())
+    }
+
+    fn maybe_auto_compact(&mut self) -> io::Result<()> {
+        if let Some(threshold) = self.options.compact_after_dead {
+            if self.dead_records() >= threshold.max(1) {
+                self.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log with exactly one record per live verdict (in
+    /// insertion order), dropping superseded puts and tombstones.  Atomic
+    /// (temp file + rename) and idempotent: compacting an already-compact
+    /// log rewrites the identical bytes.
+    ///
+    /// ```
+    /// use iotsan::{Fingerprint, GroupResult};
+    /// use iotsan_daemon::store::VerdictStore;
+    ///
+    /// let dir = std::env::temp_dir().join("iotsan-store-doc-compact");
+    /// std::fs::create_dir_all(&dir).unwrap();
+    /// let path = dir.join("verdicts.log");
+    /// # let _ = std::fs::remove_file(&path);
+    ///
+    /// let old = GroupResult { apps: vec!["v1".into()], report: Default::default() };
+    /// let new = GroupResult { apps: vec!["v2".into()], report: Default::default() };
+    /// let mut store = VerdictStore::open(&path).unwrap();
+    /// store.append(Fingerprint(7), &old).unwrap();
+    /// store.append(Fingerprint(7), &new).unwrap(); // supersedes: 1 dead record
+    /// assert_eq!((store.records(), store.dead_records()), (2, 1));
+    ///
+    /// let stats = store.compact().unwrap();
+    /// assert_eq!((stats.records_before, stats.records_after), (2, 1));
+    /// assert_eq!(store.get(Fingerprint(7)), Some(&new)); // last write won
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        let bytes_before = fs::metadata(&self.path)?.len();
+        let records_before = self.records;
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&header_bytes());
+        let mut payload = Vec::new();
+        for fingerprint in &self.order {
+            let result = &self.entries[fingerprint];
+            payload.clear();
+            encode_group_result(result, &mut payload);
+            out.extend_from_slice(&record_bytes(TAG_PUT, *fingerprint, &payload));
+        }
+
+        let tmp = self.path.with_extension("compact-tmp");
+        fs::write(&tmp, &out)?;
+        File::open(&tmp)?.sync_all()?;
+        fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.records = self.entries.len();
+
+        Ok(CompactStats {
+            records_before,
+            records_after: self.records,
+            bytes_before,
+            bytes_after: out.len() as u64,
+        })
+    }
+
+    /// Forces every appended record to physical storage (fsync).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// The verdict stored for `fingerprint`, if any.
+    pub fn get(&self, fingerprint: Fingerprint) -> Option<&GroupResult> {
+        self.entries.get(&fingerprint)
+    }
+
+    /// True when a verdict is stored for `fingerprint`.
+    pub fn contains(&self, fingerprint: Fingerprint) -> bool {
+        self.entries.contains_key(&fingerprint)
+    }
+
+    /// Number of live verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no verdicts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records currently in the log file, live and dead.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Dead records in the log (superseded puts plus tombstones and their
+    /// targets) — what [`VerdictStore::compact`] reclaims.
+    pub fn dead_records(&self) -> usize {
+        self.records - self.entries.len()
+    }
+
+    /// What [`VerdictStore::open`] found on disk.
+    pub fn recovery(&self) -> &Recovery {
+        &self.recovery
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current size of the log file in bytes.
+    pub fn file_bytes(&self) -> io::Result<u64> {
+        Ok(fs::metadata(&self.path)?.len())
+    }
+
+    /// The live fingerprints in insertion order (oldest first).
+    pub fn fingerprints(&self) -> impl Iterator<Item = Fingerprint> + '_ {
+        self.order.iter().copied()
+    }
+}

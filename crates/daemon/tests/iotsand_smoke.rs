@@ -1,0 +1,169 @@
+//! End-to-end smoke test of the `iotsand` binary: batch-ingest a job file
+//! twice across a process restart and check the second run is served from
+//! the durable verdict store with identical verdicts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iotsand-smoke-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn iotsand() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iotsand"))
+}
+
+/// Pulls the integer value of `"key":N` out of a rendered NDJSON line.
+fn field(line: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker).unwrap_or_else(|| panic!("no {key} in {line}")) + marker.len();
+    line[start..].chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().unwrap()
+}
+
+#[test]
+fn help_prints_usage_and_exits_cleanly() {
+    let output = iotsand().arg("--help").output().unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("USAGE"), "{text}");
+    assert!(text.contains("--store"), "{text}");
+    assert!(text.contains("JOB FORMAT"), "{text}");
+}
+
+#[test]
+fn rejects_unknown_flags_and_missing_modes() {
+    let output = iotsand().arg("--bogus").output().unwrap();
+    assert!(!output.status.success());
+    let output = iotsand().args(["--store", "/tmp/x"]).output().unwrap();
+    assert!(!output.status.success());
+}
+
+#[test]
+fn batch_restart_serves_warm_verdicts_from_disk() {
+    let dir = temp_dir("warm");
+    let store = dir.join("verdicts.log");
+    let jobs = dir.join("jobs.ndjson");
+    std::fs::write(
+        &jobs,
+        "{\"id\":\"market\",\"market\":4}\n\
+         \n\
+         {\"id\":\"named\",\"names\":[\"Unlock Door\"]}\n\
+         {\"id\":\"broken\",\"events\":2}\n",
+    )
+    .unwrap();
+
+    let run = |label: &str| {
+        let output = iotsand()
+            .args(["--store", store.to_str().unwrap(), "--jobs", jobs.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "{label} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).unwrap()
+    };
+
+    let cold = run("cold run");
+    let cold_lines: Vec<&str> = cold.lines().collect();
+    assert_eq!(cold_lines.len(), 3, "{cold}");
+    // The malformed line is rejected up front, the two jobs verify cold.
+    assert!(cold_lines[0].contains("\"status\":\"invalid\""), "{cold}");
+    assert!(cold_lines[0].contains("exactly one"), "{cold}");
+    for line in &cold_lines[1..] {
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert_eq!(field(line, "backing_hits"), 0, "{line}");
+        assert!(field(line, "cache_misses") > 0, "{line}");
+    }
+
+    // Same jobs, new process: every group replays from the on-disk store.
+    let warm = run("warm run");
+    let warm_lines: Vec<&str> = warm.lines().collect();
+    assert_eq!(warm_lines.len(), 3, "{warm}");
+    for (cold_line, warm_line) in cold_lines[1..].iter().zip(&warm_lines[1..]) {
+        assert!(warm_line.contains("\"status\":\"ok\""), "{warm_line}");
+        assert_eq!(field(warm_line, "cache_misses"), 0, "{warm_line}");
+        assert_eq!(field(warm_line, "backing_hits"), field(warm_line, "groups"), "{warm_line}");
+        // The verdicts themselves are identical to the cold run's.
+        for key in ["groups", "violations", "violated_properties"] {
+            let marker = format!("\"{key}\":");
+            let extract = |line: &str| {
+                let start = line.find(&marker).unwrap() + marker.len();
+                line[start..].split(',').next().unwrap().to_string()
+            };
+            assert_eq!(extract(cold_line), extract(warm_line), "{key} drifted");
+        }
+    }
+}
+
+#[test]
+fn status_and_compact_modes_report_the_store() {
+    let dir = temp_dir("status");
+    let store = dir.join("verdicts.log");
+    let jobs = dir.join("jobs.ndjson");
+    std::fs::write(&jobs, "{\"id\":\"a\",\"market\":2}\n{\"id\":\"b\",\"market\":2}\n").unwrap();
+    let output = iotsand()
+        .args(["--store", store.to_str().unwrap(), "--jobs", jobs.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+
+    let status = iotsand().args(["--store", store.to_str().unwrap(), "--status"]).output().unwrap();
+    assert!(status.status.success());
+    let text = String::from_utf8(status.stdout).unwrap();
+    assert!(text.contains("live entries:"), "{text}");
+    assert!(text.contains("clean recovery"), "{text}");
+
+    let compact =
+        iotsand().args(["--store", store.to_str().unwrap(), "--compact"]).output().unwrap();
+    assert!(compact.status.success());
+    let text = String::from_utf8(compact.stdout).unwrap();
+    assert!(text.contains("compacted"), "{text}");
+}
+
+#[cfg(unix)]
+#[test]
+fn listen_mode_serves_jobs_over_a_unix_socket() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    let dir = temp_dir("listen");
+    let store = dir.join("verdicts.log");
+    let socket = dir.join("iotsand.sock");
+
+    let mut daemon = iotsand()
+        .args(["--store", store.to_str().unwrap(), "--listen", socket.to_str().unwrap()])
+        .spawn()
+        .unwrap();
+
+    // Wait for the socket to appear.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stream = loop {
+        match UnixStream::connect(&socket) {
+            Ok(stream) => break stream,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("socket never came up: {e}"),
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    writeln!(writer, "{{\"id\":\"sock\",\"market\":2}}").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.contains("\"status\":\"ok\""), "{response}");
+
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+    let mut ack = String::new();
+    reader.read_line(&mut ack).unwrap();
+    assert!(ack.contains("shutting-down"), "{ack}");
+
+    let status = daemon.wait().unwrap();
+    assert!(status.success());
+    assert!(!socket.exists(), "socket file should be removed on shutdown");
+}

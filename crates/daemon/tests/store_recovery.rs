@@ -1,0 +1,195 @@
+//! Crash-safety properties of the verdict store (ISSUE PR 7): any byte-level
+//! truncation or tail corruption of the log yields either full recovery of a
+//! record prefix or an explicit `CorruptTail` skip — never a wrong verdict —
+//! and compaction is idempotent.
+
+use iotsan::checker::{SearchReport, SearchStats};
+use iotsan::{Fingerprint, GroupResult};
+use iotsan_daemon::store::{DiscardReason, Recovery, StoreOptions, VerdictStore};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const HEADER_LEN: usize = 16;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iotsan-recovery-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("verdicts.log")
+}
+
+/// A distinctive verdict per index, so a decoding mix-up can't masquerade as
+/// the right answer.
+fn sample(i: usize) -> GroupResult {
+    let stats = SearchStats {
+        states_stored: 3 * i + 1,
+        transitions: 7 * i + 2,
+        max_depth_reached: i,
+        elapsed: Duration::from_micros(i as u64 * 131 + 17),
+        states_per_sec: i as f64 * 0.75 + 0.125,
+        store_memory_bytes: 64 * i,
+        peak_trace_bytes: 8 * i + 3,
+        ..SearchStats::default()
+    };
+    GroupResult {
+        apps: vec![format!("App {i}"), format!("Companion {}", i * i)],
+        report: SearchReport { violations: Vec::new(), stats },
+    }
+}
+
+fn build_log(path: &PathBuf, entries: usize) -> Vec<(Fingerprint, GroupResult)> {
+    let _ = std::fs::remove_file(path);
+    let originals: Vec<(Fingerprint, GroupResult)> =
+        (0..entries).map(|i| (Fingerprint(0x1000 + i as u64), sample(i))).collect();
+    let mut store = VerdictStore::open(path).unwrap();
+    for (fingerprint, result) in &originals {
+        store.append(*fingerprint, result).unwrap();
+    }
+    originals
+}
+
+/// Whatever survived must be an exact prefix of what was written, value for
+/// value — a recovered verdict is always one that was actually stored.
+fn assert_prefix(store: &VerdictStore, originals: &[(Fingerprint, GroupResult)]) {
+    let survived: Vec<Fingerprint> = store.fingerprints().collect();
+    assert!(survived.len() <= originals.len());
+    for (i, fingerprint) in survived.iter().enumerate() {
+        assert_eq!(*fingerprint, originals[i].0, "survivors must be the written prefix");
+        assert_eq!(
+            store.get(*fingerprint),
+            Some(&originals[i].1),
+            "verdict must be byte-identical"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_truncation_recovers_a_prefix_or_skips(
+        entries in 1usize..6,
+        cut_frac in 0u32..10_000,
+    ) {
+        let path = temp_path("truncate");
+        let originals = build_log(&path, entries);
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (u64::from(cut_frac) * bytes.len() as u64 / 10_000) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let mut store = VerdictStore::open(&path).unwrap();
+        match store.recovery() {
+            Recovery::Fresh => prop_assert_eq!(cut, 0),
+            Recovery::Discarded { reason } => {
+                // Only a cut inside the 16-byte header discards the log.
+                prop_assert!(cut < HEADER_LEN);
+                prop_assert_eq!(reason, &DiscardReason::BadHeader);
+            }
+            Recovery::Clean { records } => {
+                // The cut landed exactly on a record boundary.
+                prop_assert!(*records <= entries);
+                prop_assert_eq!(*records, store.len());
+            }
+            Recovery::CorruptTail { records, dropped_bytes } => {
+                prop_assert!(*records < entries);
+                prop_assert!(*dropped_bytes > 0);
+            }
+        }
+        assert_prefix(&store, &originals);
+
+        // The broken tail was truncated off, so the log is append-sound
+        // again: a new verdict written now survives the next restart.
+        let extra = sample(99);
+        store.append(Fingerprint(0xeeee), &extra).unwrap();
+        drop(store);
+        let reopened = VerdictStore::open(&path).unwrap();
+        prop_assert!(matches!(reopened.recovery(), Recovery::Clean { .. }));
+        prop_assert_eq!(reopened.get(Fingerprint(0xeeee)), Some(&extra));
+    }
+
+    #[test]
+    fn any_tail_bitflip_is_skipped_never_trusted(
+        entries in 1usize..5,
+        pos_frac in 0u32..10_000,
+        bit in 0u32..8,
+    ) {
+        let path = temp_path("bitflip");
+        let originals = build_log(&path, entries);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let body = bytes.len() - HEADER_LEN;
+        let pos = HEADER_LEN + (u64::from(pos_frac) * body as u64 / 10_000) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = VerdictStore::open(&path).unwrap();
+        // CRC-32 detects every single-bit error, so replay must stop at the
+        // record containing the flip: an explicit skip, never a wrong verdict.
+        prop_assert!(
+            matches!(store.recovery(), Recovery::CorruptTail { records, .. } if *records < entries),
+            "unexpected recovery {:?}",
+            store.recovery()
+        );
+        assert_prefix(&store, &originals);
+    }
+}
+
+#[test]
+fn compaction_is_idempotent() {
+    let path = temp_path("idempotent");
+    let _ = std::fs::remove_file(&path);
+    let mut store = VerdictStore::open(&path).unwrap();
+    store.append(Fingerprint(1), &sample(0)).unwrap();
+    store.append(Fingerprint(2), &sample(1)).unwrap();
+    store.append(Fingerprint(1), &sample(2)).unwrap(); // supersedes
+    store.evict(Fingerprint(2)).unwrap(); // tombstone
+    store.append(Fingerprint(3), &sample(3)).unwrap();
+    assert_eq!((store.records(), store.len(), store.dead_records()), (5, 2, 3));
+
+    let first = store.compact().unwrap();
+    assert_eq!((first.records_before, first.records_after), (5, 2));
+    assert!(first.bytes_after < first.bytes_before);
+    let after_first = std::fs::read(&path).unwrap();
+
+    // Compacting an already-compact log rewrites the identical bytes.
+    let second = store.compact().unwrap();
+    assert_eq!((second.records_before, second.records_after), (2, 2));
+    assert_eq!((second.bytes_before, second.bytes_after), (first.bytes_after, first.bytes_after));
+    assert_eq!(std::fs::read(&path).unwrap(), after_first);
+
+    // Last write won, the tombstoned entry is gone, and a reopen is clean.
+    assert_eq!(store.get(Fingerprint(1)), Some(&sample(2)));
+    assert!(!store.contains(Fingerprint(2)));
+    drop(store);
+    let reopened = VerdictStore::open(&path).unwrap();
+    assert_eq!(*reopened.recovery(), Recovery::Clean { records: 2 });
+    assert_eq!(reopened.get(Fingerprint(1)), Some(&sample(2)));
+    assert_eq!(reopened.get(Fingerprint(3)), Some(&sample(3)));
+}
+
+#[test]
+fn capacity_and_auto_compaction_knobs() {
+    let path = temp_path("knobs");
+    let _ = std::fs::remove_file(&path);
+    let options = StoreOptions { max_entries: Some(2), compact_after_dead: None };
+    let mut store = VerdictStore::open_with(&path, options).unwrap();
+    for i in 0..4 {
+        store.append(Fingerprint(i), &sample(i as usize)).unwrap();
+    }
+    // FIFO eviction kept the two newest verdicts.
+    assert_eq!(store.len(), 2);
+    assert!(!store.contains(Fingerprint(0)) && !store.contains(Fingerprint(1)));
+    assert!(store.contains(Fingerprint(2)) && store.contains(Fingerprint(3)));
+    drop(store);
+
+    // Auto-compaction reclaims the dead records as soon as the threshold is
+    // crossed: the log never holds more than threshold-1 dead records after
+    // a mutation.
+    let auto = StoreOptions { max_entries: Some(2), compact_after_dead: Some(3) };
+    let mut store = VerdictStore::open_with(&path, auto).unwrap();
+    for i in 10..20 {
+        store.append(Fingerprint(i), &sample(i as usize)).unwrap();
+        assert!(store.dead_records() < 3, "dead records at {i}: {}", store.dead_records());
+    }
+    assert_eq!(store.len(), 2);
+}

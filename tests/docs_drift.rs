@@ -104,3 +104,48 @@ fn readme_links_the_architecture_handbook() {
     let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
     assert!(readme.contains("ARCHITECTURE.md"), "README.md must link the architecture handbook");
 }
+
+#[test]
+fn architecture_documents_the_daemon_subsystem() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md exists");
+    assert!(
+        text.contains("## Daemon & durable verdict store"),
+        "ARCHITECTURE.md must keep the daemon subsystem section"
+    );
+    for topic in ["Fingerprint-keyed records", "Crash safety", "Concurrency discipline"] {
+        assert!(text.contains(topic), "daemon section must cover: {topic}");
+    }
+}
+
+#[test]
+fn readme_links_the_operations_handbook() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
+    assert!(
+        readme.contains("OPERATIONS.md"),
+        "README.md must link the iotsand operator's handbook"
+    );
+}
+
+#[test]
+fn operations_handbook_covers_the_operator_surface() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("OPERATIONS.md"))
+        .expect("OPERATIONS.md exists at the repository root");
+    // The sections an operator actually reaches for; renaming one here must
+    // be a deliberate decision, not drift.
+    for section in [
+        "## Starting the daemon",
+        "## Job file format",
+        "## Verdict-store disk layout",
+        "## Compaction and eviction knobs",
+        "## Crash-recovery semantics",
+        "## Troubleshooting",
+    ] {
+        assert!(text.contains(section), "OPERATIONS.md must keep the section: {section}");
+    }
+    for flag in ["--store", "--jobs", "--listen", "--compact", "--status"] {
+        assert!(text.contains(flag), "OPERATIONS.md must document the {flag} flag");
+    }
+}
