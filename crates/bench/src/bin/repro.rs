@@ -11,7 +11,14 @@
 //!
 //! Available experiments: `table1 table2 table3 table4 table5 table6 table7a
 //! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet
-//! properties slice daemon`.
+//! properties slice daemon scenarios`.
+//!
+//! `scenarios` runs the scenario-factory differential fuzzer
+//! (`iotsan-scenarios`): `--size N` households (default 200) generated from
+//! `--seed S` (default 1) onward, each checked for sequential == parallel ==
+//! sliced == warm-cache agreement.  Any divergence shrinks the failing
+//! household to a minimal reproduction, writes it to `scenario_repro.json`
+//! and exits non-zero — CI's `fuzz-smoke` job uploads the artifact.
 //!
 //! `--json <path>` additionally writes the machine-readable timings collected
 //! by the timing experiments (`parallel`: sequential baseline vs parallel
@@ -65,7 +72,26 @@ const EXPERIMENTS: &[&str] = &[
     "properties",
     "slice",
     "daemon",
+    "scenarios",
 ];
+
+/// Parses `--flag <integer>` out of `args`, removing both tokens.
+fn take_numeric_flag(args: &mut Vec<String>, flag: &str) -> Option<u64> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("error: {flag} requires an integer value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    match value.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("error: {flag} wants an integer, got `{value}`");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let mut which: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +113,8 @@ fn main() {
         baseline_path = Some(which.remove(pos + 1));
         which.remove(pos);
     }
+    let fuzz_seed = take_numeric_flag(&mut which, "--seed").unwrap_or(1);
+    let fuzz_size = take_numeric_flag(&mut which, "--size").unwrap_or(200) as usize;
     if let Some(unknown) = which.iter().find(|a| *a != "all" && !EXPERIMENTS.contains(&a.as_str()))
     {
         eprintln!("error: unknown experiment `{unknown}`");
@@ -151,6 +179,9 @@ fn main() {
     }
     if want("daemon") {
         daemon_experiment(&mut bench_json);
+    }
+    if want("scenarios") {
+        scenarios_experiment(&mut bench_json, fuzz_seed, fuzz_size);
     }
     if let Some(path) = json_path {
         std::fs::write(&path, bench_json.render())
@@ -790,6 +821,88 @@ fn daemon_experiment(json: &mut BenchJson) {
     json.push_experiment("daemon", "market8+failures", events, &rows);
     println!("(recovery: {recovered}; warm verdicts byte-identical and served from disk)");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scenario-factory differential fuzzer: `size` generated households
+/// starting at `seed_start`, each verified sequential / parallel / sliced /
+/// warm-cache with all engine pairs required to agree (plus a Promela LTL
+/// spot-check on small instances).  Emits one `scenario_fuzz` summary row.
+/// On any divergence: shrinks the household to a minimal reproduction under
+/// the *same* divergence phase, writes it to `scenario_repro.json` and exits
+/// non-zero so CI fails loudly and uploads the artifact.
+fn scenarios_experiment(json: &mut BenchJson, seed_start: u64, size: usize) {
+    use iotsan_scenarios::{check_household, shrink, Household, HouseholdReport, SizeProfile};
+    use std::time::Instant;
+
+    heading(&format!(
+        "Scenario factory: differential fuzzing over {size} households (seeds {seed_start}..{})",
+        seed_start + size as u64
+    ));
+    let profile = SizeProfile::default();
+    let mut totals = HouseholdReport::default();
+    let mut households = 0usize;
+    let mut apps = 0usize;
+    let mut truncated = 0usize;
+    let mut promela_checked = 0usize;
+    let mut violating = 0usize;
+    let start = Instant::now();
+
+    for seed in seed_start..seed_start + size as u64 {
+        let household = Household::generate(seed, &profile);
+        match check_household(&household) {
+            Ok(report) => {
+                households += 1;
+                apps += household.sources.len();
+                totals.groups += report.groups;
+                totals.states += report.states;
+                totals.transitions += report.transitions;
+                truncated += report.truncated as usize;
+                promela_checked += report.promela_checked as usize;
+                violating += usize::from(!report.violated.is_empty());
+            }
+            Err(divergence) => {
+                eprintln!("DIVERGENCE: {divergence}");
+                let phase = divergence.phase;
+                let minimal = shrink(
+                    &household,
+                    |h| matches!(check_household(h), Err(d) if d.phase == phase),
+                );
+                let path = "scenario_repro.json";
+                std::fs::write(path, minimal.to_json() + "\n")
+                    .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+                eprintln!(
+                    "shrunk reproduction ({} apps, {} devices) written to {path}",
+                    minimal.sources.len(),
+                    minimal.config.devices.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let seconds = start.elapsed().as_secs_f64();
+    let states_per_sec = totals.states as f64 / seconds.max(1e-9);
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "Households", "Apps", "Groups", "States", "Transitions", "Violating", "Truncated"
+    );
+    println!(
+        "{households:<12} {apps:>8} {:>8} {:>10} {:>12} {violating:>10} {truncated:>10}",
+        totals.groups, totals.states, totals.transitions
+    );
+    println!(
+        "all four engines agreed on every household ({promela_checked} Promela spot-checks); \
+         {seconds:.2}s, {states_per_sec:.0} states/sec"
+    );
+    json.push_experiment(
+        "scenario_fuzz",
+        "generated-households",
+        0,
+        &[format!(
+            "        {{\"households\": {households}, \"seed_start\": {seed_start}, \"divergences\": 0, \"apps\": {apps}, \"groups\": {}, \"states\": {}, \"transitions\": {}, \"violating_households\": {violating}, \"truncated_households\": {truncated}, \"promela_checked\": {promela_checked}, \"seconds\": {seconds:.6}, \"states_per_sec\": {states_per_sec:.1}}}",
+            totals.groups, totals.states, totals.transitions,
+        )],
+    );
 }
 
 fn heading(title: &str) {

@@ -654,6 +654,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_shards_clamps_to_one_and_still_deduplicates() {
+        // Worker counts flow into the shard count; a zero (an empty
+        // household plan, or a caller passing `workers: 0`) must clamp to a
+        // single shard instead of building an un-indexable empty store.
+        let store = ShardedStore::new(StoreKind::Exact, 0);
+        assert_eq!(store.shard_count(), 1);
+        for s in states(64) {
+            assert!(store.insert(&s));
+            assert!(!store.insert(&s));
+        }
+        assert_eq!(store.len(), 64);
+    }
+
+    #[test]
     fn single_shard_store_works_without_shifting() {
         let store = ShardedStore::new(StoreKind::Exact, 1);
         assert_eq!(store.shard_count(), 1);

@@ -1,0 +1,130 @@
+//! Batch-ingests scenario-factory households through the `iotsand` binary:
+//! 50 generated jobs (10 distinct households × 5 identical copies each),
+//! asserting the daemon's fingerprint dedup — each distinct group is
+//! model-checked exactly once, every identical copy replays the same
+//! verdict from the cache.
+
+use iotsan_scenarios::{Household, SizeProfile};
+use std::path::PathBuf;
+use std::process::Command;
+
+const DISTINCT: usize = 10;
+const COPIES: usize = 5;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iotsand-gen-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn iotsand() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iotsand"))
+}
+
+/// Pulls the integer value of `"key":N` out of a rendered NDJSON line.
+fn field(line: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker).unwrap_or_else(|| panic!("no {key} in {line}")) + marker.len();
+    line[start..].chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().unwrap()
+}
+
+/// Pulls the `"violated_properties":[...]` array text out of a line.
+fn violated(line: &str) -> &str {
+    let marker = "\"violated_properties\":[";
+    let start = line.find(marker).unwrap_or_else(|| panic!("no violated_properties in {line}"));
+    let end = line[start..].find(']').expect("array closes") + start + 1;
+    &line[start..end]
+}
+
+#[test]
+fn fifty_generated_jobs_dedup_under_identical_fingerprints() {
+    // Scan seeds for the first DISTINCT households that install at least one
+    // app (zero-app households are legal generator output but make no jobs).
+    let profile = SizeProfile::default();
+    let households: Vec<Household> = (0..)
+        .map(|seed| Household::generate(seed, &profile))
+        .filter(|h| !h.sources.is_empty())
+        .take(DISTINCT)
+        .collect();
+    assert_eq!(households.len(), DISTINCT);
+
+    let mut jobs = String::new();
+    for (i, household) in households.iter().enumerate() {
+        let sources =
+            serde_json::to_string(&household.sources).expect("sources serialize to a JSON array");
+        for copy in 0..COPIES {
+            jobs.push_str(&format!(
+                "{{\"id\":\"h{i}c{copy}\",\"sources\":{sources},\"events\":1}}\n"
+            ));
+        }
+    }
+
+    let dir = temp_dir("dedup");
+    let store = dir.join("verdicts.log");
+    let jobs_path = dir.join("jobs.ndjson");
+    std::fs::write(&jobs_path, &jobs).unwrap();
+
+    let output = iotsand()
+        .args(["--store", store.to_str().unwrap(), "--jobs", jobs_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "iotsand failed: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), DISTINCT * COPIES, "{stdout}");
+
+    // The worker pool emits results in completion order and the in-flight
+    // fingerprint claim lets ANY copy be the one that verifies, so neither
+    // line order nor which copy pays the cache miss is deterministic.
+    // Bucket by household id and assert quintet totals instead.
+    let mut buckets: Vec<Vec<&str>> = vec![Vec::new(); DISTINCT];
+    for line in &lines {
+        buckets[household_index(line)].push(line);
+    }
+
+    let mut total_misses = 0;
+    let mut distinct_groups = 0;
+    for (i, copies) in buckets.iter().enumerate() {
+        assert_eq!(copies.len(), COPIES, "household {i} lost copies: {stdout}");
+        let first = copies[0];
+        let groups = field(first, "groups");
+        distinct_groups += groups;
+        let mut quintet_misses = 0;
+        for line in copies {
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+            // Every group is accounted for: checked fresh or replayed.
+            assert_eq!(field(line, "cache_hits") + field(line, "cache_misses"), groups, "{line}");
+            quintet_misses += field(line, "cache_misses");
+            // And all five copies report the exact same verdict.
+            assert_eq!(field(line, "groups"), groups, "group count drifted within a quintet");
+            assert_eq!(field(line, "violations"), field(first, "violations"), "{line}");
+            assert_eq!(violated(line), violated(first), "verdict drifted within a quintet");
+        }
+        // Dedup: across 5 identical copies each group is model-checked at
+        // most once (without the fingerprint claim this would be 5×groups).
+        assert!(
+            quintet_misses <= groups,
+            "household {i}: {quintet_misses} misses across {COPIES} copies of {groups} groups"
+        );
+        total_misses += quintet_misses;
+    }
+    // Globally every distinct group was checked exactly once: the generated
+    // households share no group fingerprints, so misses == distinct groups.
+    assert_eq!(
+        total_misses, distinct_groups,
+        "expected each of the {distinct_groups} distinct groups checked exactly once"
+    );
+}
+
+/// Parses the household index out of an `"id":"h{i}c{copy}"` field.
+fn household_index(line: &str) -> usize {
+    let marker = "\"id\":\"h";
+    let start = line.find(marker).unwrap_or_else(|| panic!("no id in {line}")) + marker.len();
+    line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("malformed id in {line}"))
+}

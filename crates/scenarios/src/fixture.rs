@@ -1,0 +1,90 @@
+//! Committable reproduction fixtures.
+//!
+//! A [`Fixture`] freezes one household together with the verdict the
+//! differential oracle observed for it — the union of violated property ids
+//! and the planner's group count.  Shrunk failing seeds are serialized in
+//! this shape under `tests/golden/scenario_*.json`; the loader test replays
+//! each committed fixture through [`check_household`] and asserts the
+//! verdict has not drifted.  The `repro scenarios` experiment writes the
+//! same shape (`scenario_repro.json`) when a divergence slips through CI.
+
+use crate::household::Household;
+use crate::oracle::{check_household, Divergence};
+use serde::{Deserialize, Serialize};
+
+/// A household plus the verdict it must keep reproducing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fixture {
+    /// The (usually shrunk) household.
+    pub household: Household,
+    /// Union of violated property ids across groups, sorted ascending.
+    pub expected_violated: Vec<u32>,
+    /// Number of related-set groups the planner must form.
+    pub expected_groups: usize,
+}
+
+impl Fixture {
+    /// Runs the differential oracle on `household` and freezes its verdict.
+    pub fn capture(household: Household) -> Result<Fixture, Divergence> {
+        let report = check_household(&household)?;
+        Ok(Fixture {
+            household,
+            expected_violated: report.violated.iter().copied().collect(),
+            expected_groups: report.groups,
+        })
+    }
+
+    /// Re-runs the oracle and checks the verdict still matches.  Returns a
+    /// human-readable mismatch description on drift.
+    pub fn replay(&self) -> Result<(), String> {
+        let report = check_household(&self.household).map_err(|d| d.to_string())?;
+        let violated: Vec<u32> = report.violated.iter().copied().collect();
+        if violated != self.expected_violated {
+            return Err(format!(
+                "violated set drifted: expected {:?}, got {violated:?}",
+                self.expected_violated
+            ));
+        }
+        if report.groups != self.expected_groups {
+            return Err(format!(
+                "group count drifted: expected {}, got {}",
+                self.expected_groups, report.groups
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes the fixture to pretty JSON (the committed on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fixture serializes")
+    }
+
+    /// Parses a fixture from [`Fixture::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::household::SizeProfile;
+
+    #[test]
+    fn capture_replay_round_trips() {
+        let household = Household::generate(5, &SizeProfile::default());
+        let fixture = Fixture::capture(household).expect("seed 5 agrees across engines");
+        let parsed = Fixture::from_json(&fixture.to_json()).expect("fixture parses");
+        assert_eq!(parsed, fixture);
+        parsed.replay().expect("fresh fixture replays to its own verdict");
+    }
+
+    #[test]
+    fn replay_flags_a_drifted_verdict() {
+        let household = Household::generate(5, &SizeProfile::default());
+        let mut fixture = Fixture::capture(household).expect("seed 5 agrees");
+        fixture.expected_groups += 1;
+        let err = fixture.replay().expect_err("must notice the drift");
+        assert!(err.contains("group count drifted"), "{err}");
+    }
+}

@@ -1,0 +1,290 @@
+//! The differential oracle: four engine configurations, one verdict.
+//!
+//! For each generated [`Household`] the oracle runs the full pipeline four
+//! ways — sequential, parallel workers, property-directed slicing, and a
+//! warm-cache rerun — and asserts they agree.  The equivalence each engine
+//! advertises is checked exactly:
+//!
+//! * **parallel == sequential**: identical [`GroupOutcome`]s (violated sets,
+//!   state and transition counts) — the sharded parallel checker's
+//!   deterministic-merge guarantee.
+//! * **sliced == sequential**: identical violated sets per group; state and
+//!   transition counts may only shrink (slicing prunes, never adds).
+//! * **warm == sequential**: identical outcomes with every group served from
+//!   the cache ([`FleetReport::cache_hits`] equals the group count).
+//!
+//! Count comparisons are skipped when any run truncated (depth or state cap
+//! fired): the deterministic-merge guarantee only covers complete searches.
+//! Small households additionally spot-check the Promela emitter's LTL
+//! derivation: every property the native checker evaluated must appear as an
+//! `ltl pN { ... }` block rendered from the same spec.
+
+use crate::household::Household;
+use iotsan::{FleetReport, GroupOutcome, Pipeline, VerificationCache};
+use iotsan_config::SystemConfig;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The oracle phase in which two engines disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The generated Groovy failed to translate (a generator/frontend bug).
+    Translate,
+    /// Parallel outcome differed from sequential.
+    Parallel,
+    /// Sliced violated sets differed from sequential (or grew the search).
+    Sliced,
+    /// Warm-cache rerun differed, or some group missed the cache.
+    WarmCache,
+    /// The Promela emission lost or mangled a property's LTL block.
+    Promela,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Translate => "translate",
+            Phase::Parallel => "parallel",
+            Phase::Sliced => "sliced",
+            Phase::WarmCache => "warm-cache",
+            Phase::Promela => "promela",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A reproducible disagreement between two engine configurations.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The seed of the household that exposed it.
+    pub seed: u64,
+    /// Which comparison failed.
+    pub phase: Phase,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed {} diverged in phase {}: {}", self.seed, self.phase, self.detail)
+    }
+}
+
+/// Aggregate statistics of one agreeing household check (for bench rows).
+#[derive(Debug, Clone, Default)]
+pub struct HouseholdReport {
+    /// Number of related-set groups the planner formed.
+    pub groups: usize,
+    /// Union of violated property ids across groups (sequential run).
+    pub violated: BTreeSet<u32>,
+    /// States stored by the sequential run.
+    pub states: usize,
+    /// Transitions applied by the sequential run.
+    pub transitions: usize,
+    /// True when any of the four runs truncated (counts not compared).
+    pub truncated: bool,
+    /// True when the Promela LTL spot-check ran for this household.
+    pub promela_checked: bool,
+}
+
+/// Worker count used for the parallel leg of the differential check — small
+/// enough for CI runners, large enough that the sharded store actually
+/// shards.
+pub const PARALLEL_WORKERS: usize = 3;
+
+/// Households at or below these sizes also get the Promela LTL spot-check.
+const PROMELA_MAX_APPS: usize = 2;
+const PROMELA_MAX_DEVICES: usize = 4;
+
+fn pipeline_for(household: &Household, workers: usize, sliced: bool) -> Pipeline {
+    let mut pipeline = Pipeline::with_events(household.events).with_workers(workers);
+    if household.failures {
+        pipeline = pipeline.with_failures();
+    }
+    if sliced {
+        pipeline.search = pipeline.search.clone().sliced();
+    }
+    pipeline
+}
+
+fn fleet_truncated(report: &FleetReport) -> bool {
+    report.groups.iter().any(|g| g.report.stats.truncated || g.report.stats.states_capped)
+}
+
+fn outcome_detail(label: &str, a: &[GroupOutcome], b: &[GroupOutcome]) -> String {
+    format!("{label}: sequential {a:?} vs {b:?}")
+}
+
+/// Runs the four-way differential check on one household.
+///
+/// Returns the aggregate report when every engine agreed, or the first
+/// [`Divergence`] found.  Deterministic: same household, same result.
+pub fn check_household(household: &Household) -> Result<HouseholdReport, Divergence> {
+    let seed = household.seed;
+    let diverge = |phase: Phase, detail: String| Divergence { seed, phase, detail };
+
+    let refs: Vec<&str> = household.sources.iter().map(String::as_str).collect();
+    let apps =
+        iotsan::translate_sources(&refs).map_err(|e| diverge(Phase::Translate, e.to_string()))?;
+    let config = &household.config;
+
+    // --- Sequential reference run -----------------------------------------
+    let seq_pipeline = pipeline_for(household, 1, false);
+    let mut seq_cache = VerificationCache::new();
+    let seq = seq_pipeline.verify_fleet(&apps, config, &mut seq_cache);
+    let seq_outcome = seq.outcome();
+    let mut truncated = fleet_truncated(&seq);
+
+    // --- Parallel workers must reproduce it exactly ------------------------
+    let par_pipeline = pipeline_for(household, PARALLEL_WORKERS, false);
+    let par = par_pipeline.verify_fleet(&apps, config, &mut VerificationCache::new());
+    truncated |= fleet_truncated(&par);
+    if !truncated && par.outcome() != seq_outcome {
+        return Err(diverge(
+            Phase::Parallel,
+            outcome_detail("parallel outcome mismatch", &seq_outcome, &par.outcome()),
+        ));
+    }
+    if truncated && violated_of(&par.outcome()) != violated_of(&seq_outcome) {
+        // Even truncated runs explore in a deterministic order, but depth
+        // caps make count equality too strong — hold the verdict sets only.
+        return Err(diverge(
+            Phase::Parallel,
+            outcome_detail("parallel verdicts mismatch", &seq_outcome, &par.outcome()),
+        ));
+    }
+
+    // --- Slicing must preserve verdicts and never grow the search ----------
+    let sliced_pipeline = pipeline_for(household, 1, true);
+    let sliced = sliced_pipeline.verify_fleet(&apps, config, &mut VerificationCache::new());
+    let sliced_outcome = sliced.outcome();
+    if sliced_outcome.len() != seq_outcome.len() {
+        return Err(diverge(
+            Phase::Sliced,
+            format!("group count {} vs sliced {}", seq_outcome.len(), sliced_outcome.len()),
+        ));
+    }
+    for (s, g) in seq_outcome.iter().zip(sliced_outcome.iter()) {
+        if s.apps != g.apps || s.violated_properties != g.violated_properties {
+            return Err(diverge(
+                Phase::Sliced,
+                outcome_detail("sliced verdicts mismatch", &seq_outcome, &sliced_outcome),
+            ));
+        }
+    }
+    let (seq_states, sliced_states) = (states_of(&seq_outcome), states_of(&sliced_outcome));
+    if !truncated && !fleet_truncated(&sliced) && sliced_states > seq_states {
+        return Err(diverge(
+            Phase::Sliced,
+            format!("slicing grew the search: {sliced_states} states vs {seq_states}"),
+        ));
+    }
+    truncated |= fleet_truncated(&sliced);
+
+    // --- Warm cache: byte-identical verdicts, zero re-checking -------------
+    let warm = seq_pipeline.verify_fleet(&apps, config, &mut seq_cache);
+    if warm.outcome() != seq_outcome {
+        return Err(diverge(
+            Phase::WarmCache,
+            outcome_detail("warm outcome mismatch", &seq_outcome, &warm.outcome()),
+        ));
+    }
+    if warm.cache_hits != warm.groups.len() || warm.cache_misses != 0 {
+        return Err(diverge(
+            Phase::WarmCache,
+            format!(
+                "expected {} cache hits, got {} hits / {} misses",
+                warm.groups.len(),
+                warm.cache_hits,
+                warm.cache_misses
+            ),
+        ));
+    }
+
+    // --- Promela spot-check on small instances ------------------------------
+    let promela_checked =
+        apps.len() <= PROMELA_MAX_APPS && config.devices.len() <= PROMELA_MAX_DEVICES;
+    if promela_checked {
+        check_promela(&seq_pipeline, &apps, config, &seq.violated_properties())
+            .map_err(|detail| diverge(Phase::Promela, detail))?;
+    }
+
+    Ok(HouseholdReport {
+        groups: seq.groups.len(),
+        violated: seq.violated_properties(),
+        states: states_of(&seq_outcome),
+        transitions: seq_outcome.iter().map(|g| g.transitions).sum(),
+        truncated,
+        promela_checked,
+    })
+}
+
+fn violated_of(outcome: &[GroupOutcome]) -> Vec<BTreeSet<u32>> {
+    outcome.iter().map(|g| g.violated_properties.clone()).collect()
+}
+
+fn states_of(outcome: &[GroupOutcome]) -> usize {
+    outcome.iter().map(|g| g.states_stored).sum()
+}
+
+/// Asserts the Promela emission carries every property the native checker
+/// evaluated — same id, same spec-derived LTL body — and in particular every
+/// natively-violated property.
+fn check_promela(
+    pipeline: &Pipeline,
+    apps: &[iotsan::ir::IrApp],
+    config: &SystemConfig,
+    violated: &BTreeSet<u32>,
+) -> Result<(), String> {
+    let text = pipeline.emit_promela(apps, config);
+    let properties = pipeline.properties_for(config);
+    for spec in properties.specs() {
+        let block = format!("ltl p{} {{ {} }}", spec.id, spec.to_ltl());
+        if !text.contains(&block) {
+            return Err(format!("property {} missing or mangled: wanted `{block}`", spec.id));
+        }
+    }
+    for id in violated {
+        if !text.contains(&format!("ltl p{id} ")) {
+            return Err(format!("natively-violated property {id} absent from Promela emission"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::household::SizeProfile;
+
+    #[test]
+    fn a_sweep_of_seeds_agrees_across_engines() {
+        for seed in 0..15 {
+            let household = Household::generate(seed, &SizeProfile::default());
+            check_household(&household).unwrap_or_else(|d| panic!("{d}"));
+        }
+    }
+
+    #[test]
+    fn the_empty_household_checks_cleanly() {
+        let household = Household {
+            seed: 0,
+            events: 1,
+            failures: false,
+            sources: Vec::new(),
+            config: SystemConfig::new(),
+        };
+        let report = check_household(&household).unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(report.groups, 0);
+        assert!(report.violated.is_empty());
+    }
+
+    #[test]
+    fn a_mangled_source_reports_a_translate_divergence() {
+        let mut household = Household::generate(3, &SizeProfile::default());
+        household.sources.push("definition( ".to_string());
+        let err = check_household(&household).expect_err("must fail to translate");
+        assert_eq!(err.phase, Phase::Translate);
+        assert_eq!(err.seed, 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! The generator's random-number source: splitmix64.
+//!
+//! Every choice the scenario factory makes flows through one [`SplitMix64`]
+//! stream seeded from the household seed, in a fixed call order — that is the
+//! whole determinism contract.  Same seed, same generator version, same
+//! household, byte for byte.  The algorithm is Steele/Lea/Flood's splitmix64
+//! (the same finalizer the checker's state hasher uses), chosen because it is
+//! tiny, fast, dependency-free and trivially portable across platforms.
+
+/// A splitmix64 pseudo-random stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (`n` must be positive).  The modulo bias is
+    /// irrelevant at the tiny ranges the generator draws from.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A value in `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `percent`/100.
+    pub fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+
+    /// A uniformly chosen element of `items` (must be non-empty).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_yield_identical_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_vector_is_stable() {
+        // Reference value of splitmix64 at seed 0 — pins the algorithm so a
+        // refactor cannot silently re-seed every committed fixture.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn helpers_stay_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..200 {
+            assert!(rng.below(3) < 3);
+            let v = rng.range(2, 5);
+            assert!((2..=5).contains(&v));
+            let picked = *rng.pick(&[10, 20, 30]);
+            assert!([10, 20, 30].contains(&picked));
+        }
+    }
+}

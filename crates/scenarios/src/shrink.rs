@@ -1,0 +1,126 @@
+//! Greedy deterministic shrinking of failing households.
+//!
+//! When the differential oracle (or any predicate) rejects a household, the
+//! shrinker reduces it to a local minimum that still fails: it repeatedly
+//! tries removing one app, pruning unreferenced devices, dropping one custom
+//! property, lowering the event bound to 1 and disabling failure injection —
+//! keeping each surgery only if the predicate still holds — until a full
+//! pass changes nothing.  The order of attempts is fixed, so the same
+//! failing household always shrinks to the same minimal reproduction (which
+//! is what makes committed `tests/golden/` fixtures stable).
+
+use crate::household::Household;
+
+/// Shrinks `household` to a local minimum that still satisfies
+/// `still_fails`.
+///
+/// `still_fails` must hold for the input household; the returned household
+/// satisfies it too and no single shrinking step can reduce it further.
+/// Deterministic: no randomness, fixed attempt order, fixpoint termination
+/// (every accepted step strictly shrinks apps, devices, properties, the
+/// event bound or the failure flag).
+pub fn shrink(household: &Household, still_fails: impl Fn(&Household) -> bool) -> Household {
+    debug_assert!(still_fails(household), "shrink requires a failing input");
+    let mut current = household.clone();
+    loop {
+        let mut progressed = false;
+
+        // Remove apps, highest index first so earlier indices stay valid.
+        let mut i = current.sources.len();
+        while i > 0 {
+            i -= 1;
+            let candidate = current.without_app(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        // Drop devices no surviving binding references (and with them any
+        // property that would dangle).
+        let pruned = current.without_unused_devices();
+        if pruned != current && still_fails(&pruned) {
+            current = pruned;
+            progressed = true;
+        }
+
+        // Remove custom properties, highest index first.
+        let mut k = current.config.custom_properties.len();
+        while k > 0 {
+            k -= 1;
+            let candidate = current.without_property(k);
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        // Cheapen the search itself.
+        if current.events > 1 {
+            let candidate = current.with_events(1);
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        if current.failures {
+            let candidate = current.without_failures();
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::household::SizeProfile;
+
+    #[test]
+    fn shrinks_to_a_single_app_for_an_app_count_predicate() {
+        let profile = SizeProfile::default();
+        let fat = (0..200)
+            .map(|s| Household::generate(s, &profile))
+            .find(|h| h.sources.len() >= 3)
+            .expect("a 3-app household in the first 200 seeds");
+        // "Fails" whenever at least one app is installed: the minimal
+        // reproduction is exactly one app and only its devices.
+        let minimal = shrink(&fat, |h| !h.sources.is_empty());
+        assert_eq!(minimal.sources.len(), 1);
+        assert_eq!(minimal.config.apps.len(), 1);
+        assert!(minimal.config.custom_properties.is_empty());
+        assert_eq!(minimal.events, 1);
+        assert!(!minimal.failures);
+        // Every surviving device is referenced by the surviving app.
+        assert_eq!(minimal.without_unused_devices(), minimal);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let profile = SizeProfile::default();
+        let fat = (0..200)
+            .map(|s| Household::generate(s, &profile))
+            .find(|h| h.sources.len() >= 2)
+            .expect("a 2-app household");
+        let predicate = |h: &Household| !h.sources.is_empty();
+        assert_eq!(shrink(&fat, predicate), shrink(&fat, predicate));
+    }
+
+    #[test]
+    fn an_already_minimal_household_is_a_fixpoint() {
+        let profile = SizeProfile::default();
+        let fat = (0..200)
+            .map(|s| Household::generate(s, &profile))
+            .find(|h| !h.sources.is_empty())
+            .expect("an app-bearing household");
+        let predicate = |h: &Household| !h.sources.is_empty();
+        let minimal = shrink(&fat, predicate);
+        assert_eq!(shrink(&minimal, predicate), minimal);
+    }
+}

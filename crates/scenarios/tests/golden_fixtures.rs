@@ -1,0 +1,90 @@
+//! Golden reproduction fixtures: committed under `tests/golden/` at the
+//! workspace root, replayed here on every test run.
+//!
+//! Two kinds of pin:
+//! * every `scenario_*.json` fixture must replay through the differential
+//!   oracle to the verdict frozen in the file;
+//! * `scenario_seed42.json` is additionally a *determinism* pin — its
+//!   household must be byte-identical to `Household::generate(42, default)`,
+//!   so any generator change that re-rolls existing seeds fails loudly
+//!   instead of silently invalidating every committed fixture.
+//!
+//! To regenerate after a deliberate generator change:
+//! `cargo test -p iotsan-scenarios --test golden_fixtures -- --ignored`.
+
+use iotsan_scenarios::{check_household, shrink, Fixture, Household, SizeProfile};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn scenario_fixtures() -> Vec<(PathBuf, Fixture)> {
+    let mut fixtures = Vec::new();
+    for entry in fs::read_dir(golden_dir()).expect("tests/golden exists") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("scenario_") && name.ends_with(".json") {
+            let json = fs::read_to_string(&path).expect("fixture readable");
+            let fixture = Fixture::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: malformed fixture: {e}", path.display()));
+            fixtures.push((path, fixture));
+        }
+    }
+    fixtures
+}
+
+#[test]
+fn every_committed_fixture_replays_to_its_frozen_verdict() {
+    let fixtures = scenario_fixtures();
+    assert!(!fixtures.is_empty(), "no scenario_*.json fixtures committed under tests/golden");
+    for (path, fixture) in fixtures {
+        fixture.replay().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn seed42_fixture_pins_generator_determinism() {
+    let path = golden_dir().join("scenario_seed42.json");
+    let json = fs::read_to_string(&path).expect("scenario_seed42.json committed");
+    let fixture = Fixture::from_json(&json).expect("fixture parses");
+    let regenerated = Household::generate(42, &SizeProfile::default());
+    assert_eq!(
+        fixture.household.to_json(),
+        regenerated.to_json(),
+        "Household::generate(42) no longer matches the committed fixture — the generator \
+         changed; regenerate fixtures with `--ignored` if the change was deliberate"
+    );
+}
+
+/// Writes the committed fixtures.  `#[ignore]`d: run explicitly after a
+/// deliberate generator change, then commit the diff.
+#[test]
+#[ignore = "regenerates committed golden fixtures; run with -- --ignored"]
+fn regenerate_golden_fixtures() {
+    let profile = SizeProfile::default();
+
+    // Full household at seed 42: the determinism pin.
+    let seed42 = Fixture::capture(Household::generate(42, &profile))
+        .unwrap_or_else(|d| panic!("seed 42 diverged: {d}"));
+    fs::write(golden_dir().join("scenario_seed42.json"), seed42.to_json() + "\n")
+        .expect("fixture written");
+
+    // A shrunk violating household: the minimal-reproduction exemplar.
+    let (household, target) = (0..400)
+        .map(|s| Household::generate(s, &profile))
+        .find_map(|h| {
+            let report = check_household(&h).ok()?;
+            let target = report.violated.iter().next().copied()?;
+            (h.sources.len() >= 2).then_some((h, target))
+        })
+        .expect("a multi-app violating household in the first 400 seeds");
+    let minimal = shrink(&household, |h| {
+        check_household(h).map(|r| r.violated.contains(&target)).unwrap_or(false)
+    });
+    let shrunk =
+        Fixture::capture(minimal).unwrap_or_else(|d| panic!("shrunk household diverged: {d}"));
+    fs::write(golden_dir().join("scenario_shrunk_violation.json"), shrunk.to_json() + "\n")
+        .expect("fixture written");
+}

@@ -119,6 +119,37 @@ fn architecture_documents_the_daemon_subsystem() {
 }
 
 #[test]
+fn architecture_documents_the_scenario_factory() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md exists");
+    assert!(
+        text.contains("## Scenario factory"),
+        "ARCHITECTURE.md must keep the scenario factory section"
+    );
+    for topic in ["Determinism contract", "Differential oracle", "Shrinking contract"] {
+        assert!(text.contains(topic), "scenario factory section must cover: {topic}");
+    }
+    assert!(
+        text.contains("scenario_repro.json"),
+        "scenario factory section must name the CI failure artifact"
+    );
+}
+
+#[test]
+fn readme_quickstarts_the_differential_fuzzer() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
+    assert!(
+        readme.contains("repro scenarios"),
+        "README.md must keep the `repro scenarios` quickstart"
+    );
+    assert!(
+        readme.contains("--seed 1 --size 200 scenarios"),
+        "README.md must show the CI fuzz-smoke invocation"
+    );
+}
+
+#[test]
 fn readme_links_the_operations_handbook() {
     let root = repo_root();
     let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
