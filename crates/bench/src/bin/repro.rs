@@ -11,7 +11,7 @@
 //!
 //! Available experiments: `table1 table2 table3 table4 table5 table6 table7a
 //! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet
-//! properties slice daemon scenarios`.
+//! properties slice daemon scenarios chaos`.
 //!
 //! `scenarios` runs the scenario-factory differential fuzzer
 //! (`iotsan-scenarios`): `--size N` households (default 200) generated from
@@ -19,6 +19,16 @@
 //! sliced == warm-cache agreement.  Any divergence shrinks the failing
 //! household to a minimal reproduction, writes it to `scenario_repro.json`
 //! and exits non-zero — CI's `fuzz-smoke` job uploads the artifact.
+//!
+//! `chaos` sweeps `--faults N` (default 50) seeded I/O-fault schedules
+//! (`ChaosPlan::generate(seed)` for seeds `--seed S` onward) through the
+//! daemon's fault seam: each schedule runs a cold daemon under injected
+//! store faults (and optionally a panicking job), restarts on the surviving
+//! log, and checks three invariants — no acknowledged verdict is lost, no
+//! wrong verdict is ever served, every job reaches a definite outcome.  A
+//! violating schedule shrinks to a minimal plan written to
+//! `chaos_repro.json` before exiting non-zero — CI's `chaos-smoke` job
+//! uploads the artifact.
 //!
 //! `--json <path>` additionally writes the machine-readable timings collected
 //! by the timing experiments (`parallel`: sequential baseline vs parallel
@@ -73,6 +83,7 @@ const EXPERIMENTS: &[&str] = &[
     "slice",
     "daemon",
     "scenarios",
+    "chaos",
 ];
 
 /// Parses `--flag <integer>` out of `args`, removing both tokens.
@@ -115,6 +126,7 @@ fn main() {
     }
     let fuzz_seed = take_numeric_flag(&mut which, "--seed").unwrap_or(1);
     let fuzz_size = take_numeric_flag(&mut which, "--size").unwrap_or(200) as usize;
+    let chaos_schedules = take_numeric_flag(&mut which, "--faults").unwrap_or(50) as usize;
     if let Some(unknown) = which.iter().find(|a| *a != "all" && !EXPERIMENTS.contains(&a.as_str()))
     {
         eprintln!("error: unknown experiment `{unknown}`");
@@ -182,6 +194,9 @@ fn main() {
     }
     if want("scenarios") {
         scenarios_experiment(&mut bench_json, fuzz_seed, fuzz_size);
+    }
+    if want("chaos") {
+        chaos_experiment(&mut bench_json, fuzz_seed, chaos_schedules);
     }
     if let Some(path) = json_path {
         std::fs::write(&path, bench_json.render())
@@ -901,6 +916,321 @@ fn scenarios_experiment(json: &mut BenchJson, seed_start: u64, size: usize) {
         &[format!(
             "        {{\"households\": {households}, \"seed_start\": {seed_start}, \"divergences\": 0, \"apps\": {apps}, \"groups\": {}, \"states\": {}, \"transitions\": {}, \"violating_households\": {violating}, \"truncated_households\": {truncated}, \"promela_checked\": {promela_checked}, \"seconds\": {seconds:.6}, \"states_per_sec\": {states_per_sec:.1}}}",
             totals.groups, totals.states, totals.transitions,
+        )],
+    );
+}
+
+/// The timing-free digest of one verified group, used to detect a wrong
+/// verdict: the apps and how many properties they violate are deterministic
+/// for this workload, the timing statistics are not.
+type ChaosReference = BTreeMap<u64, (Vec<String>, usize)>;
+
+/// What one surviving chaos schedule contributes to the sweep summary.
+#[derive(Default)]
+struct ChaosScheduleStats {
+    degraded: bool,
+    lost_persists: usize,
+    quarantined: usize,
+}
+
+fn chaos_retry() -> iotsan_daemon::RetryPolicy {
+    // Tight backoff: the sweep cares about ordering, not wall-clock realism.
+    iotsan_daemon::RetryPolicy { max_attempts: 2, base_delay_ms: 1 }
+}
+
+fn chaos_config(
+    store_path: &std::path::Path,
+    plan: Option<&iotsan_scenarios::ChaosPlan>,
+) -> iotsan_daemon::DaemonConfig {
+    use iotsan_daemon::{DaemonConfig, Fault, FaultKind, FaultPlan};
+    use iotsan_scenarios::ChaosFaultKind;
+    // The one-line mapping from the scenario crate's plain plan vocabulary
+    // onto the daemon's fault seam (the crates deliberately do not depend
+    // on each other in this direction).
+    let fault_plan = plan.map(|p| FaultPlan {
+        faults: p
+            .faults
+            .iter()
+            .map(|f| Fault {
+                at: f.at,
+                kind: match f.kind {
+                    ChaosFaultKind::ShortWrite => FaultKind::ShortWrite,
+                    ChaosFaultKind::NoSpace => FaultKind::NoSpace,
+                    ChaosFaultKind::FsyncFail => FaultKind::FsyncFail,
+                    ChaosFaultKind::RenameFail => FaultKind::RenameFail,
+                },
+            })
+            .collect(),
+    });
+    DaemonConfig {
+        store_path: store_path.to_path_buf(),
+        store_options: iotsan_daemon::StoreOptions::default(),
+        workers: 1,
+        queue_capacity: 16,
+        retry: chaos_retry(),
+        fault_injection: fault_plan.is_some(),
+        fault_plan,
+    }
+}
+
+/// The fixed chaos workload: two distinct market jobs, a duplicate of the
+/// first (exercising the shared in-flight/cache path), and — when the plan
+/// says so — a panicking job plus its duplicate (exercising supervision,
+/// the shared attempt budget and the quarantine fail-fast).
+fn chaos_jobs(plan: &iotsan_scenarios::ChaosPlan) -> Vec<iotsan_daemon::JobSpec> {
+    use iotsan_daemon::{BundleSpec, JobSpec};
+    let job = |id: &str, n: usize, inject_panic: bool| JobSpec {
+        id: id.into(),
+        bundle: BundleSpec::Market(n),
+        events: 2,
+        workers: 1,
+        failures: false,
+        timeout_ms: None,
+        inject_panic,
+    };
+    // The panic jobs go first: the injected panic fires on a cache miss,
+    // so they must reach their groups before a healthy job verifies them.
+    // The healthy duplicate of the same bundle then proves a quarantined
+    // class does not poison its fingerprints for later jobs.
+    let mut jobs = Vec::new();
+    if plan.panic_job {
+        jobs.push(job("chaos-panic", 2, true));
+        jobs.push(job("chaos-panic-dup", 2, true));
+    }
+    jobs.extend([job("chaos-a", 2, false), job("chaos-b", 3, false), job("chaos-a-dup", 2, false)]);
+    jobs
+}
+
+/// Runs the fault-free workload once and digests every group verdict — the
+/// ground truth all fault-injected runs are compared against.
+fn chaos_reference(dir: &std::path::Path) -> ChaosReference {
+    use iotsan_daemon::{Daemon, JobStatus};
+    let store_path = dir.join("reference").join("verdicts.log");
+    let mut daemon = Daemon::start(chaos_config(&store_path, None)).expect("reference daemon");
+    let plan = iotsan_scenarios::ChaosPlan { seed: 0, faults: Vec::new(), panic_job: false };
+    let outcomes = daemon.run_batch(chaos_jobs(&plan));
+    let mut reference = ChaosReference::new();
+    for outcome in &outcomes {
+        assert!(matches!(outcome.status, JobStatus::Ok), "reference run must be clean");
+        for group in &outcome.report.as_ref().expect("reference report").groups {
+            reference
+                .insert(group.fingerprint.0, (group.apps.clone(), group.report.violations.len()));
+        }
+    }
+    daemon.shutdown().expect("reference shutdown");
+    reference
+}
+
+/// Drives one chaos schedule through cold run → restart → warm run and
+/// checks the three invariants.  `Err` carries a human-readable violation.
+fn run_chaos_schedule(
+    plan: &iotsan_scenarios::ChaosPlan,
+    reference: &ChaosReference,
+    dir: &std::path::Path,
+    run_id: usize,
+) -> Result<ChaosScheduleStats, String> {
+    use iotsan_daemon::{Daemon, JobStatus, VerdictStore};
+
+    let run_dir = dir.join(format!("run-{run_id}"));
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let store_path = run_dir.join("verdicts.log");
+    let mut stats = ChaosScheduleStats::default();
+
+    // Cold run under the injected faults.
+    let mut daemon = Daemon::start(chaos_config(&store_path, Some(plan)))
+        .map_err(|e| format!("cold daemon failed to start: {e}"))?;
+    let jobs = chaos_jobs(plan);
+    let outcomes = daemon.run_batch(jobs.clone());
+    // Invariant 3: every submitted job reaches a definite outcome (the
+    // batch returning at all also proves no worker died or hung).
+    if outcomes.len() != jobs.len() {
+        return Err(format!("{} jobs submitted, {} outcomes returned", jobs.len(), outcomes.len()));
+    }
+    let mut acked = 0usize;
+    for outcome in &outcomes {
+        let spec = jobs.iter().find(|j| j.id == outcome.id).expect("outcome matches a job");
+        match &outcome.status {
+            JobStatus::Ok => {
+                let report = outcome
+                    .report
+                    .as_ref()
+                    .ok_or_else(|| format!("job {} is Ok without a report", outcome.id))?;
+                // Invariant 2 (cold): every served verdict matches the
+                // fault-free reference.
+                for group in &report.groups {
+                    match reference.get(&group.fingerprint.0) {
+                        Some((apps, violations))
+                            if *apps == group.apps
+                                && *violations == group.report.violations.len() => {}
+                        Some(_) => {
+                            return Err(format!(
+                                "job {} served a wrong verdict for {:?}",
+                                outcome.id, group.apps
+                            ))
+                        }
+                        None => {
+                            return Err(format!(
+                                "job {} served a verdict for an unknown group {:?}",
+                                outcome.id, group.apps
+                            ))
+                        }
+                    }
+                }
+                // Verdicts acknowledged as durable: fresh verifications
+                // whose append the store accepted.
+                acked += report.cache_misses - report.persist_failures;
+                stats.lost_persists += report.persist_failures;
+                stats.degraded |= outcome.degraded;
+            }
+            JobStatus::Failed { .. } if spec.inject_panic => {} // supervised as designed
+            other => {
+                return Err(format!("job {} ended {:?} instead of completing", outcome.id, other))
+            }
+        }
+    }
+    let summary = daemon.shutdown().map_err(|e| format!("cold daemon shutdown failed: {e}"))?;
+    stats.quarantined = summary.quarantined;
+
+    // Restart on whatever survived, with real I/O.  Invariant 1: the disk
+    // holds exactly the acknowledged verdicts, and (invariant 2) each one
+    // replays to the reference verdict.
+    let store =
+        VerdictStore::open(&store_path).map_err(|e| format!("post-fault reopen failed: {e}"))?;
+    let disk: Vec<u64> = store.fingerprints().map(|f| f.0).collect();
+    if disk.len() != acked {
+        return Err(format!(
+            "store lost or invented verdicts: {} acknowledged, {} on disk",
+            acked,
+            disk.len()
+        ));
+    }
+    for fingerprint in &disk {
+        let result = store.get(iotsan::Fingerprint(*fingerprint)).expect("listed fingerprint");
+        match reference.get(fingerprint) {
+            Some((apps, violations))
+                if *apps == result.apps && *violations == result.report.violations.len() => {}
+            _ => return Err(format!("recovered verdict for {:?} is wrong", result.apps)),
+        }
+    }
+    drop(store);
+
+    // Warm run, no faults: every durable verdict must be served from the
+    // store (not re-verified), and every outcome must match the reference.
+    let mut daemon = Daemon::start(chaos_config(&store_path, None))
+        .map_err(|e| format!("warm daemon failed to start: {e}"))?;
+    let no_panic = iotsan_scenarios::ChaosPlan { seed: 0, faults: Vec::new(), panic_job: false };
+    let outcomes = daemon.run_batch(chaos_jobs(&no_panic));
+    let mut backing_hits = 0usize;
+    for outcome in &outcomes {
+        if !matches!(outcome.status, JobStatus::Ok) {
+            return Err(format!("warm job {} ended {:?}", outcome.id, outcome.status));
+        }
+        let report = outcome.report.as_ref().expect("warm report");
+        for group in &report.groups {
+            match reference.get(&group.fingerprint.0) {
+                Some((apps, violations))
+                    if *apps == group.apps && *violations == group.report.violations.len() => {}
+                _ => {
+                    return Err(format!(
+                        "warm job {} served a wrong verdict for {:?}",
+                        outcome.id, group.apps
+                    ))
+                }
+            }
+        }
+        backing_hits += outcome.backing_hits;
+    }
+    if backing_hits != disk.len() {
+        return Err(format!(
+            "warm restart re-verified durable verdicts: {} on disk, {} served from it",
+            disk.len(),
+            backing_hits
+        ));
+    }
+    daemon.shutdown().map_err(|e| format!("warm daemon shutdown failed: {e}"))?;
+
+    let _ = std::fs::remove_dir_all(&run_dir);
+    Ok(stats)
+}
+
+/// The seeded chaos sweep over the daemon's self-healing machinery.
+fn chaos_experiment(json: &mut BenchJson, seed_start: u64, schedules: usize) {
+    use iotsan_scenarios::ChaosPlan;
+    use std::time::Instant;
+
+    heading(&format!(
+        "Chaos: {schedules} seeded fault schedules through the daemon (seeds {seed_start}..{})",
+        seed_start + schedules as u64
+    ));
+    let dir = std::env::temp_dir().join(format!("iotsan-repro-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Injected panics are expected; their backtraces would swamp the output.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let start = Instant::now();
+    let reference = chaos_reference(&dir);
+    let mut run_id = 0usize;
+    let mut faults_scheduled = 0usize;
+    let mut panic_schedules = 0usize;
+    let mut degraded_runs = 0usize;
+    let mut lost_persists = 0usize;
+    let mut quarantined_jobs = 0usize;
+
+    for seed in seed_start..seed_start + schedules as u64 {
+        let plan = ChaosPlan::generate(seed);
+        faults_scheduled += plan.faults.len();
+        panic_schedules += usize::from(plan.panic_job);
+        run_id += 1;
+        match run_chaos_schedule(&plan, &reference, &dir, run_id) {
+            Ok(stats) => {
+                degraded_runs += usize::from(stats.degraded);
+                lost_persists += stats.lost_persists;
+                quarantined_jobs += stats.quarantined;
+            }
+            Err(violation) => {
+                std::panic::set_hook(hook);
+                eprintln!("CHAOS VIOLATION at seed {seed}: {violation}");
+                let shrink_id = std::cell::Cell::new(run_id);
+                let minimal = plan.shrink(|p| {
+                    shrink_id.set(shrink_id.get() + 1);
+                    run_chaos_schedule(p, &reference, &dir, shrink_id.get()).is_err()
+                });
+                let path = "chaos_repro.json";
+                std::fs::write(path, minimal.to_json())
+                    .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+                eprintln!(
+                    "shrunk reproduction ({} faults, panic_job={}) written to {path}",
+                    minimal.faults.len(),
+                    minimal.panic_job
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    std::panic::set_hook(hook);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let seconds = start.elapsed().as_secs_f64();
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>14} {:>12}",
+        "Schedules", "Faults", "Panics", "Degraded", "LostPersists", "Quarantined"
+    );
+    println!(
+        "{schedules:<12} {faults_scheduled:>8} {panic_schedules:>10} {degraded_runs:>10} \
+         {lost_persists:>14} {quarantined_jobs:>12}"
+    );
+    println!(
+        "all {schedules} schedules upheld the invariants (no lost acknowledged verdict, \
+         no wrong verdict, every job definite); {seconds:.2}s"
+    );
+    json.push_experiment(
+        "chaos",
+        "daemon-fault-schedules",
+        2,
+        &[format!(
+            "        {{\"schedules\": {schedules}, \"seed_start\": {seed_start}, \"violations\": 0, \"faults_scheduled\": {faults_scheduled}, \"panic_schedules\": {panic_schedules}, \"degraded_runs\": {degraded_runs}, \"lost_persists\": {lost_persists}, \"quarantined_jobs\": {quarantined_jobs}, \"seconds\": {seconds:.6}}}"
         )],
     );
 }

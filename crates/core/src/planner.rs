@@ -248,8 +248,9 @@ impl FleetPlan {
 ///     fn load(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
 ///         self.0.lock().unwrap().get(&fingerprint).cloned()
 ///     }
-///     fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult) {
+///     fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult) -> bool {
 ///         self.0.lock().unwrap().insert(fingerprint, result.clone());
+///         true
 ///     }
 /// }
 ///
@@ -268,7 +269,13 @@ pub trait VerdictPersistence: fmt::Debug + Send {
     fn load(&mut self, fingerprint: Fingerprint) -> Option<GroupResult>;
 
     /// Persists `result` under `fingerprint`, replacing any previous entry.
-    fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult);
+    ///
+    /// Returns whether the entry was made durable.  `false` means the
+    /// verdict lives only in memory — still sound (the group re-verifies
+    /// after a restart), but the caller counts it
+    /// ([`VerificationCache::persist_failures`]) so a degraded persistence
+    /// layer is visible instead of silent.
+    fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult) -> bool;
 }
 
 /// A content-addressed store of group verification results.
@@ -318,6 +325,7 @@ pub struct VerificationCache {
     misses: usize,
     backing: Option<Box<dyn VerdictPersistence>>,
     backing_hits: usize,
+    persist_failures: usize,
 }
 
 impl VerificationCache {
@@ -381,6 +389,14 @@ impl VerificationCache {
         self.backing_hits
     }
 
+    /// Lifetime number of inserts the durable backing failed to persist
+    /// (the verdicts stayed correct in memory but will re-verify after a
+    /// restart) — the counter behind `iotsan-daemon`'s degraded-mode
+    /// reporting.
+    pub fn persist_failures(&self) -> usize {
+        self.persist_failures
+    }
+
     /// Looks up a group result by fingerprint, counting a hit or a miss.
     ///
     /// An in-memory miss falls through to the durable backing (when one is
@@ -404,10 +420,14 @@ impl VerificationCache {
     }
 
     /// Stores a group result under its fingerprint, writing through to the
-    /// durable backing when one is attached.
+    /// durable backing when one is attached.  A backing that fails to
+    /// persist is counted ([`VerificationCache::persist_failures`]); the
+    /// in-memory entry is kept either way, so lookups stay correct.
     pub fn insert(&mut self, fingerprint: Fingerprint, result: GroupResult) {
         if let Some(backing) = self.backing.as_mut() {
-            backing.store(fingerprint, &result);
+            if !backing.store(fingerprint, &result) {
+                self.persist_failures += 1;
+            }
         }
         self.entries.insert(fingerprint, result);
     }
@@ -481,6 +501,10 @@ pub struct FleetReport {
     pub cache_hits: usize,
     /// Groups that had to be model-checked in this run.
     pub cache_misses: usize,
+    /// Groups verified in this run whose verdict the durable backing
+    /// failed to persist (they re-verify after a restart): non-zero means
+    /// the persistence layer ran degraded while this fleet was verified.
+    pub persist_failures: usize,
 }
 
 impl FleetReport {
@@ -645,6 +669,7 @@ impl<'a> VerificationPlanner<'a> {
         let mut groups: Vec<FleetGroupReport> = Vec::with_capacity(plan.jobs.len());
         let mut cache_hits = 0usize;
         let mut cache_misses = 0usize;
+        let persist_failures_before = cache.persist_failures();
         for job in &plan.jobs {
             let (result, from_cache) = match cache.lookup(job.fingerprint) {
                 Some(cached) => (cached, true),
@@ -679,6 +704,7 @@ impl<'a> VerificationPlanner<'a> {
             reduced_handlers: plan.reduced_handlers,
             cache_hits,
             cache_misses,
+            persist_failures: cache.persist_failures() - persist_failures_before,
         }
     }
 }

@@ -4,10 +4,14 @@
 //! unix socket), verifies them over a durable verdict store, and emits one
 //! NDJSON result line per job on stdout.  See `OPERATIONS.md` for the
 //! operator's handbook.
+//!
+//! Exit codes distinguish the failure surface for supervisors:
+//! `0` success, `1` runtime failure (I/O mid-run, compaction error),
+//! `2` usage error (bad flags), `3` the verdict store could not be opened.
 
 use iotsan_daemon::{
-    parse_line, Daemon, DaemonConfig, JobLine, JobOutcome, JobStatus, Recovery, StoreOptions,
-    VerdictStore,
+    load_quarantine, parse_line, quarantine_sidecar_path, Daemon, DaemonConfig, JobLine,
+    JobOutcome, JobStatus, Recovery, RetryPolicy, StoreOptions, VerdictStore,
 };
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -27,8 +31,8 @@ MODES (exactly one):
                          A {\"op\":\"shutdown\"} line stops the daemon.
     --compact            Rewrite the verdict store, dropping superseded and
                          evicted records, then exit.
-    --status             Print the store's recovery verdict and record counts,
-                         then exit.
+    --status             Print the store's recovery verdict, record counts and
+                         quarantined job classes, then exit.
 
 OPTIONS:
     --store PATH         Path of the append-only verdict log (required).
@@ -36,7 +40,20 @@ OPTIONS:
     --queue N            Bounded job-queue capacity [default: 64].
     --max-entries N      Evict oldest verdicts beyond N live entries.
     --compact-after N    Auto-compact once N dead records accumulate.
+    --retry-attempts N   Attempts before a panicking job class is quarantined
+                         [default: 3].
+    --retry-base-ms N    Base delay for retry backoff, doubling per failure
+                         [default: 25].
+    --enable-fault-injection
+                         Honor the `inject_panic` job field (testing only;
+                         otherwise such jobs are rejected as invalid).
     -h, --help           Print this help.
+
+EXIT CODES:
+    0  success
+    1  runtime failure (I/O error mid-run, failed compaction, ...)
+    2  usage error (unknown or malformed arguments)
+    3  the verdict store could not be opened
 
 JOB FORMAT (one JSON object per line):
     {\"id\":\"batch-1\",\"market\":8,\"events\":3,\"failures\":true}
@@ -46,8 +63,39 @@ JOB FORMAT (one JSON object per line):
 Exactly one of `market` (first n corpus apps), `names` (corpus apps by name)
 or `sources` (inline Groovy) selects the bundle.  Optional: `events` (event
 bound, default 2), `workers` (checker threads, default 1), `failures`
-(failure injection, default false), `timeout_ms` (wall-clock budget).
+(failure injection, default false), `timeout_ms` (wall-clock budget),
+`inject_panic` (panic mid-verification; needs --enable-fault-injection).
 ";
+
+/// A failure with the exit code it maps to.
+enum Failure {
+    /// Bad command line (exit 2).
+    Usage(String),
+    /// The verdict store could not be opened (exit 3).
+    Store(String),
+    /// Anything that went wrong after startup (exit 1).
+    Runtime(String),
+}
+
+impl Failure {
+    fn code(&self) -> ExitCode {
+        match self {
+            Failure::Runtime(_) => ExitCode::from(1),
+            Failure::Usage(_) => ExitCode::from(2),
+            Failure::Store(_) => ExitCode::from(3),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Failure::Usage(m) | Failure::Store(m) | Failure::Runtime(m) => m,
+        }
+    }
+}
+
+fn runtime(e: impl std::fmt::Display) -> Failure {
+    Failure::Runtime(e.to_string())
+}
 
 #[derive(Debug, Default)]
 struct Args {
@@ -60,10 +108,20 @@ struct Args {
     queue: usize,
     max_entries: Option<usize>,
     compact_after: Option<usize>,
+    retry_attempts: u32,
+    retry_base_ms: u64,
+    fault_injection: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
-    let mut args = Args { workers: 2, queue: 64, ..Args::default() };
+    let defaults = RetryPolicy::default();
+    let mut args = Args {
+        workers: 2,
+        queue: 64,
+        retry_attempts: defaults.max_attempts,
+        retry_base_ms: defaults.base_delay_ms,
+        ..Args::default()
+    };
     let mut iter = argv.iter();
     let value = |iter: &mut std::slice::Iter<'_, String>, flag: &str| {
         iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
@@ -88,6 +146,15 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 args.compact_after =
                     Some(parse_count(&value(&mut iter, "--compact-after")?, "--compact-after")?)
             }
+            "--retry-attempts" => {
+                args.retry_attempts =
+                    parse_count(&value(&mut iter, "--retry-attempts")?, "--retry-attempts")? as u32
+            }
+            "--retry-base-ms" => {
+                args.retry_base_ms =
+                    parse_count(&value(&mut iter, "--retry-base-ms")?, "--retry-base-ms")? as u64
+            }
+            "--enable-fault-injection" => args.fault_injection = true,
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
@@ -111,6 +178,18 @@ fn store_options(args: &Args) -> StoreOptions {
     StoreOptions { max_entries: args.max_entries, compact_after_dead: args.compact_after }
 }
 
+fn daemon_config(args: &Args) -> DaemonConfig {
+    DaemonConfig {
+        store_path: args.store.clone().expect("checked by parse_args"),
+        store_options: store_options(args),
+        workers: args.workers,
+        queue_capacity: args.queue,
+        retry: RetryPolicy { max_attempts: args.retry_attempts, base_delay_ms: args.retry_base_ms },
+        fault_plan: None,
+        fault_injection: args.fault_injection,
+    }
+}
+
 fn describe_recovery(recovery: &Recovery) -> String {
     match recovery {
         Recovery::Fresh => "fresh store (no previous log)".into(),
@@ -122,24 +201,20 @@ fn describe_recovery(recovery: &Recovery) -> String {
     }
 }
 
-fn run_batch_mode(args: &Args) -> Result<(), String> {
-    let mut daemon = Daemon::start(DaemonConfig {
-        store_path: args.store.clone().expect("checked by parse_args"),
-        store_options: store_options(args),
-        workers: args.workers,
-        queue_capacity: args.queue,
-    })
-    .map_err(|e| format!("cannot open verdict store: {e}"))?;
+fn run_batch_mode(args: &Args) -> Result<(), Failure> {
+    let mut daemon = Daemon::start(daemon_config(args))
+        .map_err(|e| Failure::Store(format!("cannot open verdict store: {e}")))?;
     eprintln!("iotsand: {}", describe_recovery(&daemon.recovery()));
 
     let jobs_arg = args.jobs.as_deref().expect("batch mode");
     let raw = if jobs_arg == "-" {
         let mut buffer = String::new();
         std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buffer)
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
+            .map_err(|e| runtime(format!("cannot read stdin: {e}")))?;
         buffer
     } else {
-        std::fs::read_to_string(jobs_arg).map_err(|e| format!("cannot read {jobs_arg}: {e}"))?
+        std::fs::read_to_string(jobs_arg)
+            .map_err(|e| runtime(format!("cannot read {jobs_arg}: {e}")))?
     };
 
     let mut specs = Vec::new();
@@ -157,6 +232,7 @@ fn run_batch_mode(args: &Args) -> Result<(), String> {
                 status: JobStatus::Invalid(error),
                 report: None,
                 backing_hits: 0,
+                degraded: false,
                 elapsed: std::time::Duration::ZERO,
             }),
         }
@@ -165,20 +241,22 @@ fn run_batch_mode(args: &Args) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for outcome in &invalid {
-        writeln!(out, "{}", outcome.render()).map_err(|e| e.to_string())?;
+        writeln!(out, "{}", outcome.render()).map_err(runtime)?;
     }
     let outcomes = daemon.run_batch(specs);
     for outcome in &outcomes {
-        writeln!(out, "{}", outcome.render()).map_err(|e| e.to_string())?;
+        writeln!(out, "{}", outcome.render()).map_err(runtime)?;
     }
-    out.flush().map_err(|e| e.to_string())?;
+    out.flush().map_err(runtime)?;
 
-    let summary = daemon.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    let summary = daemon.shutdown().map_err(|e| runtime(format!("shutdown failed: {e}")))?;
     eprintln!(
-        "iotsand: {} jobs done ({} rejected); cache {} hits / {} misses, {} from disk; \
-         store holds {} verdicts in {} records",
+        "iotsand: {} jobs done ({} rejected, {} quarantined{}); cache {} hits / {} misses, \
+         {} from disk; store holds {} verdicts in {} records",
         outcomes.len(),
         invalid.len(),
+        summary.quarantined,
+        if summary.degraded { ", store DEGRADED" } else { "" },
         summary.cache_hits,
         summary.cache_misses,
         summary.backing_hits,
@@ -189,21 +267,16 @@ fn run_batch_mode(args: &Args) -> Result<(), String> {
 }
 
 #[cfg(unix)]
-fn run_listen_mode(args: &Args) -> Result<(), String> {
+fn run_listen_mode(args: &Args) -> Result<(), Failure> {
     use std::os::unix::net::UnixListener;
 
     let socket = args.listen.clone().expect("listen mode");
     let _ = std::fs::remove_file(&socket);
     let listener = UnixListener::bind(&socket)
-        .map_err(|e| format!("cannot bind {}: {e}", socket.display()))?;
+        .map_err(|e| runtime(format!("cannot bind {}: {e}", socket.display())))?;
 
-    let mut daemon = Daemon::start(DaemonConfig {
-        store_path: args.store.clone().expect("checked by parse_args"),
-        store_options: store_options(args),
-        workers: args.workers,
-        queue_capacity: args.queue,
-    })
-    .map_err(|e| format!("cannot open verdict store: {e}"))?;
+    let mut daemon = Daemon::start(daemon_config(args))
+        .map_err(|e| Failure::Store(format!("cannot open verdict store: {e}")))?;
     eprintln!("iotsand: {}", describe_recovery(&daemon.recovery()));
     eprintln!("iotsand: listening on {}", socket.display());
 
@@ -216,7 +289,7 @@ fn run_listen_mode(args: &Args) -> Result<(), String> {
             }
         };
         let reader = std::io::BufReader::new(
-            stream.try_clone().map_err(|e| format!("cannot clone socket stream: {e}"))?,
+            stream.try_clone().map_err(|e| runtime(format!("cannot clone socket stream: {e}")))?,
         );
         let mut writer = stream;
         for (number, line) in reader.lines().enumerate() {
@@ -247,26 +320,32 @@ fn run_listen_mode(args: &Args) -> Result<(), String> {
         }
     }
 
-    let summary = daemon.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    let summary = daemon.shutdown().map_err(|e| runtime(format!("shutdown failed: {e}")))?;
     let _ = std::fs::remove_file(&socket);
     eprintln!(
-        "iotsand: shut down after {} jobs; cache {} hits / {} misses, {} from disk",
-        summary.jobs, summary.cache_hits, summary.cache_misses, summary.backing_hits,
+        "iotsand: shut down after {} jobs ({} quarantined{}); cache {} hits / {} misses, \
+         {} from disk",
+        summary.jobs,
+        summary.quarantined,
+        if summary.degraded { ", store DEGRADED" } else { "" },
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.backing_hits,
     );
     Ok(())
 }
 
 #[cfg(not(unix))]
-fn run_listen_mode(_args: &Args) -> Result<(), String> {
-    Err("--listen requires unix domain sockets; use --jobs on this platform".into())
+fn run_listen_mode(_args: &Args) -> Result<(), Failure> {
+    Err(Failure::Usage("--listen requires unix domain sockets; use --jobs on this platform".into()))
 }
 
-fn run_compact_mode(args: &Args) -> Result<(), String> {
+fn run_compact_mode(args: &Args) -> Result<(), Failure> {
     let path = args.store.as_ref().expect("checked by parse_args");
     let mut store = VerdictStore::open_with(path, store_options(args))
-        .map_err(|e| format!("cannot open verdict store: {e}"))?;
+        .map_err(|e| Failure::Store(format!("cannot open verdict store: {e}")))?;
     eprintln!("iotsand: {}", describe_recovery(store.recovery()));
-    let stats = store.compact().map_err(|e| format!("compaction failed: {e}"))?;
+    let stats = store.compact().map_err(|e| runtime(format!("compaction failed: {e}")))?;
     println!(
         "compacted {}: {} -> {} records, {} -> {} bytes",
         path.display(),
@@ -278,15 +357,23 @@ fn run_compact_mode(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run_status_mode(args: &Args) -> Result<(), String> {
+fn run_status_mode(args: &Args) -> Result<(), Failure> {
     let path = args.store.as_ref().expect("checked by parse_args");
     let store = VerdictStore::open_with(path, store_options(args))
-        .map_err(|e| format!("cannot open verdict store: {e}"))?;
+        .map_err(|e| Failure::Store(format!("cannot open verdict store: {e}")))?;
     println!("store:        {}", path.display());
     println!("recovery:     {}", describe_recovery(store.recovery()));
     println!("live entries: {}", store.len());
     println!("log records:  {} ({} dead)", store.records(), store.dead_records());
-    println!("log bytes:    {}", store.file_bytes().map_err(|e| e.to_string())?);
+    println!("log bytes:    {}", store.file_bytes().map_err(runtime)?);
+    let quarantined = load_quarantine(&quarantine_sidecar_path(path));
+    println!("quarantined:  {} job class(es)", quarantined.len());
+    for (fingerprint, entry) in &quarantined {
+        println!(
+            "  {fingerprint:016x}: {} attempt(s), last panic: {}",
+            entry.attempts, entry.last_message
+        );
+    }
     Ok(())
 }
 
@@ -300,7 +387,7 @@ fn main() -> ExitCode {
         }
         Err(error) => {
             eprintln!("iotsand: {error}");
-            return ExitCode::FAILURE;
+            return Failure::Usage(error).code();
         }
     };
     let result = if args.jobs.is_some() {
@@ -314,9 +401,9 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(error) => {
-            eprintln!("iotsand: {error}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("iotsand: {}", failure.message());
+            failure.code()
         }
     }
 }

@@ -20,7 +20,27 @@
 //! [`iotsan::checker::CancelToken`]; [`Daemon::cancel_all`]
 //! flips the in-flight tokens and drains the pending queue, turning both into
 //! explicit `cancelled` outcomes rather than silently dropped work.
+//!
+//! # Self-healing
+//!
+//! The daemon survives its two production failure classes instead of dying:
+//!
+//! - **Persistence failures** (full disk, fsync error, torn write): the
+//!   daemon enters a *degraded* mode — verdicts keep being computed and
+//!   served from the in-memory cache, writes are suspended, and a bounded
+//!   re-probe with exponential backoff re-runs store recovery
+//!   ([`VerdictStore::reopen`]) until the disk heals.  An acknowledged
+//!   durable verdict is never lost and a wrong verdict is never served;
+//!   verdicts computed while degraded simply re-verify after a restart.
+//! - **Panicking jobs**: every job runs under `catch_unwind`, so a panic
+//!   becomes a structured [`JobStatus::Failed`] outcome instead of a dead
+//!   worker thread.  Failed jobs retry with capped exponential backoff
+//!   ([`RetryPolicy`]); a job class that keeps failing is moved to a
+//!   fingerprint-keyed poison quarantine (persisted best-effort in a
+//!   sidecar file, surfaced by `--status`), and duplicates of a
+//!   quarantined job fail fast instead of re-running the doomed work.
 
+use crate::fault::{FaultPlan, FaultyIo};
 use crate::job::{json_escape, resolve_sources, JobSpec};
 use crate::store::{StoreOptions, VerdictStore};
 use iotsan::attribution::attribute_traces;
@@ -30,41 +50,184 @@ use iotsan::{
     translate_sources, Fingerprint, FleetGroupReport, FleetPlan, FleetReport, GroupResult,
     Pipeline, VerdictPersistence, VerificationCache, VerificationPlanner,
 };
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// How many repair probes a degraded [`StoreBacking`] attempts before the
+/// store is considered permanently lost for this process (verdicts keep
+/// being served from memory; only durability is gone until a restart).
+pub const REPROBE_LIMIT: u32 = 8;
+
+/// Capped-exponential-backoff knobs, used for both panicking-job retries
+/// and degraded-store repair probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts before a failing job class is quarantined (min 1).
+    pub max_attempts: u32,
+    /// Backoff base: attempt *n* waits `base * 2^(n-1)` ms, capped at 1 s.
+    pub base_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_delay_ms: 25 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before the next attempt, after `failures` failures so
+    /// far: `base * 2^(failures-1)` milliseconds, capped at one second.
+    pub fn delay(&self, failures: u32) -> Duration {
+        let factor = 1u64 << failures.saturating_sub(1).min(10);
+        Duration::from_millis(self.base_delay_ms.saturating_mul(factor).min(1_000))
+    }
+}
+
+/// The persistence layer's shared health: `None` reason means healthy,
+/// `Some` means degraded (writes suspended, verdicts served from memory)
+/// with the probe schedule tracking the next repair attempt.
+#[derive(Debug, Default)]
+pub struct StoreHealth {
+    state: Mutex<HealthState>,
+}
+
+#[derive(Debug, Default)]
+struct HealthState {
+    reason: Option<String>,
+    probes: u32,
+    next_probe_at: Option<Instant>,
+}
+
+impl StoreHealth {
+    fn lock(&self) -> MutexGuard<'_, HealthState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// True while persistence is suspended.
+    pub fn is_degraded(&self) -> bool {
+        self.lock().reason.is_some()
+    }
+
+    /// Why persistence is suspended, when it is.
+    pub fn reason(&self) -> Option<String> {
+        self.lock().reason.clone()
+    }
+
+    /// Repair probes attempted since entering the current degraded spell.
+    pub fn probes(&self) -> u32 {
+        self.lock().probes
+    }
+}
+
 /// A [`VerdictPersistence`] adapter over a shared [`VerdictStore`].
 ///
-/// Loads are served from the store's replayed in-memory index; stores append
-/// to the log.  An append failure is reported on stderr and otherwise
-/// swallowed — the entry is simply not durable, which is always sound (the
-/// group re-verifies after a restart), and the store's CRC-guarded records
-/// mean a partial append is detected and skipped on replay rather than
-/// trusted.
+/// Loads are served from the store's replayed in-memory index; stores
+/// append to the log.  An append failure flips the shared [`StoreHealth`]
+/// to degraded: the verdict stays correct in memory (re-verifying after a
+/// restart is always sound, and the store's CRC-guarded records mean a
+/// partial append is detected and skipped on replay rather than trusted),
+/// further writes are suspended, and subsequent store traffic drives a
+/// bounded, exponentially backed-off repair probe that re-runs recovery
+/// ([`VerdictStore::reopen`]) until the disk heals.
 #[derive(Debug, Clone)]
-pub struct StoreBacking(Arc<Mutex<VerdictStore>>);
+pub struct StoreBacking {
+    store: Arc<Mutex<VerdictStore>>,
+    health: Arc<StoreHealth>,
+    retry: RetryPolicy,
+}
 
 impl StoreBacking {
-    /// Wraps a shared store handle.
+    /// Wraps a shared store handle with fresh health and default retry
+    /// knobs.
     pub fn new(store: Arc<Mutex<VerdictStore>>) -> Self {
-        StoreBacking(store)
+        Self::with_health(store, Arc::new(StoreHealth::default()), RetryPolicy::default())
+    }
+
+    /// Wraps a shared store handle, sharing `health` with whoever needs to
+    /// observe degraded mode (the daemon's status surface).
+    pub fn with_health(
+        store: Arc<Mutex<VerdictStore>>,
+        health: Arc<StoreHealth>,
+        retry: RetryPolicy,
+    ) -> Self {
+        StoreBacking { store, health, retry }
+    }
+
+    /// The shared health handle.
+    pub fn health(&self) -> Arc<StoreHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// While degraded: when a probe is due, re-run store recovery.
+    /// Returns whether the backing is healthy afterwards.  Lock order is
+    /// health → store, here and in `store()`.
+    fn ensure_healthy(&self, state: &mut HealthState) -> bool {
+        if state.reason.is_none() {
+            return true;
+        }
+        let now = Instant::now();
+        let due = state.next_probe_at.is_some_and(|at| now >= at);
+        if !due || state.probes >= REPROBE_LIMIT {
+            return false;
+        }
+        state.probes += 1;
+        let probed = self.store.lock().unwrap_or_else(|e| e.into_inner()).reopen().cloned();
+        match probed {
+            Ok(recovery) => {
+                eprintln!(
+                    "iotsand: verdict store repaired after {} probe(s) ({recovery:?}); \
+                     persistence resumed",
+                    state.probes
+                );
+                *state = HealthState::default();
+                true
+            }
+            Err(e) => {
+                if state.probes >= REPROBE_LIMIT {
+                    eprintln!(
+                        "iotsand: verdict store still failing after {REPROBE_LIMIT} repair \
+                         probes ({e}); persistence disabled until restart"
+                    );
+                    state.next_probe_at = None;
+                } else {
+                    state.next_probe_at = Some(now + self.retry.delay(state.probes));
+                }
+                false
+            }
+        }
     }
 }
 
 impl VerdictPersistence for StoreBacking {
     fn load(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner()).get(fingerprint).cloned()
+        self.store.lock().unwrap_or_else(|e| e.into_inner()).get(fingerprint).cloned()
     }
 
-    fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult) {
-        let mut store = self.0.lock().unwrap_or_else(|e| e.into_inner());
-        if let Err(e) = store.append(fingerprint, result) {
-            eprintln!("iotsand: verdict store append failed ({}): {e}", store.path().display());
+    fn store(&mut self, fingerprint: Fingerprint, result: &GroupResult) -> bool {
+        let mut state = self.health.lock();
+        if !self.ensure_healthy(&mut state) {
+            return false;
+        }
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        match store.append(fingerprint, result) {
+            Ok(()) => true,
+            Err(e) => {
+                let reason =
+                    format!("verdict store append failed ({}): {e}", store.path().display());
+                eprintln!(
+                    "iotsand: {reason}; entering degraded mode (verdicts served from memory, \
+                     writes suspended, repair probes backing off)"
+                );
+                state.reason = Some(reason);
+                state.probes = 0;
+                state.next_probe_at = Some(Instant::now() + self.retry.delay(1));
+                false
+            }
         }
     }
 }
@@ -81,16 +244,28 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Bounded queue capacity; submission blocks when full (min 1).
     pub queue_capacity: usize,
+    /// Retry/backoff knobs for panicking jobs and store repair probes.
+    pub retry: RetryPolicy,
+    /// Injected I/O fault schedule for the store (chaos testing); `None`
+    /// uses the real disk.
+    pub fault_plan: Option<FaultPlan>,
+    /// Honor jobs' `inject_panic` testing hook; off by default, so a
+    /// production daemon cannot be panicked from the job stream.
+    pub fault_injection: bool,
 }
 
 impl DaemonConfig {
-    /// A default-shaped daemon (2 workers, queue of 64) over `store_path`.
+    /// A default-shaped daemon (2 workers, queue of 64, default retry
+    /// policy, real disk) over `store_path`.
     pub fn new(store_path: impl Into<PathBuf>) -> Self {
         DaemonConfig {
             store_path: store_path.into(),
             store_options: StoreOptions::default(),
             workers: 2,
             queue_capacity: 64,
+            retry: RetryPolicy::default(),
+            fault_plan: None,
+            fault_injection: false,
         }
     }
 }
@@ -106,6 +281,14 @@ pub enum JobStatus {
     Cancelled,
     /// The job could not run at all (bad bundle, translation failure).
     Invalid(String),
+    /// The job's worker panicked on every attempt (see [`RetryPolicy`]),
+    /// or the job class was already quarantined; the daemon itself keeps
+    /// running.
+    Failed {
+        /// The panic payload of the last attempt (or the quarantine
+        /// notice, for a duplicate failing fast).
+        panic_message: String,
+    },
 }
 
 /// The result of one submitted job.
@@ -122,6 +305,10 @@ pub struct JobOutcome {
     /// How many of this job's cache hits were served from the durable store
     /// (rather than daemon memory).
     pub backing_hits: usize,
+    /// True when the persistence layer was degraded while this job ran:
+    /// its verdicts are correct but some may not be durable (they
+    /// re-verify after a restart).
+    pub degraded: bool,
     /// Wall-clock time from dequeue to verdict.
     pub elapsed: Duration,
 }
@@ -141,6 +328,12 @@ impl JobOutcome {
                 ));
                 return out;
             }
+            JobStatus::Failed { panic_message } => {
+                out.push_str(&format!(
+                    ",\"status\":\"failed\",\"panic\":\"{}\"",
+                    json_escape(panic_message)
+                ));
+            }
         }
         if let Some(report) = &self.report {
             let violated: Vec<String> =
@@ -157,6 +350,9 @@ impl JobOutcome {
                 self.backing_hits,
                 truncated,
             ));
+        }
+        if self.degraded {
+            out.push_str(",\"degraded\":true");
         }
         out.push_str(&format!(",\"elapsed_ms\":{:.3}}}", self.elapsed.as_secs_f64() * 1000.0));
         out
@@ -178,6 +374,11 @@ pub struct DaemonSummary {
     pub store_entries: usize,
     /// Total records in the store's log at shutdown (live + superseded).
     pub store_records: usize,
+    /// Job classes sitting in the poison quarantine at shutdown.
+    pub quarantined: usize,
+    /// True when persistence was degraded at shutdown (or the final sync
+    /// failed): some verdicts may not be durable and will re-verify.
+    pub degraded: bool,
 }
 
 #[derive(Debug, Default)]
@@ -288,6 +489,124 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// One quarantinable job class's failure history, keyed by
+/// [`JobSpec::fingerprint`] so duplicates of a failing job — whatever
+/// their correlation ids — share one attempt budget instead of each
+/// re-running the doomed work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonEntry {
+    /// Panicking attempts recorded for this job class.
+    pub attempts: u32,
+    /// The panic payload of the most recent attempt.
+    pub last_message: String,
+    /// True once the attempt budget is exhausted: further duplicates fail
+    /// fast.
+    pub quarantined: bool,
+}
+
+/// The fingerprint-keyed poison set shared by all workers.
+#[derive(Debug, Default)]
+struct PoisonRegistry {
+    entries: Mutex<BTreeMap<u64, PoisonEntry>>,
+}
+
+impl PoisonRegistry {
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<u64, PoisonEntry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The quarantine entry for `key`, when `key` is quarantined.
+    fn quarantined(&self, key: u64) -> Option<PoisonEntry> {
+        self.lock().get(&key).filter(|e| e.quarantined).cloned()
+    }
+
+    /// Records one panicking attempt, quarantining the class once
+    /// `max_attempts` is reached; returns the updated entry.
+    fn record_failure(&self, key: u64, message: &str, max_attempts: u32) -> PoisonEntry {
+        let mut entries = self.lock();
+        let entry = entries.entry(key).or_insert(PoisonEntry {
+            attempts: 0,
+            last_message: String::new(),
+            quarantined: false,
+        });
+        entry.attempts += 1;
+        entry.last_message = message.to_string();
+        entry.quarantined = entry.attempts >= max_attempts.max(1);
+        entry.clone()
+    }
+
+    /// Forgets `key`'s failures after a completed (non-panicking) run.
+    fn clear(&self, key: u64) {
+        self.lock().remove(&key);
+    }
+
+    fn snapshot(&self) -> Vec<(u64, PoisonEntry)> {
+        self.lock().iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+
+    fn quarantined_count(&self) -> usize {
+        self.lock().values().filter(|e| e.quarantined).count()
+    }
+}
+
+/// Where a store's quarantine sidecar lives: next to the log, with a
+/// `.quarantine` extension (`verdicts.log` → `verdicts.quarantine`).
+pub fn quarantine_sidecar_path(store_path: &Path) -> PathBuf {
+    store_path.with_extension("quarantine")
+}
+
+/// Loads a quarantine sidecar (one JSON object per line:
+/// `{"fingerprint":"<hex>","attempts":N,"message":"..."}`).  Best-effort by
+/// design — an unreadable or malformed sidecar yields an empty set, never
+/// an error, because quarantine is an optimization (a lost entry only
+/// means the job class gets a fresh attempt budget).
+pub fn load_quarantine(path: &Path) -> Vec<(u64, PoisonEntry)> {
+    let Ok(raw) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in raw.lines() {
+        let Ok(value) = serde_json::from_str::<serde_json::Value>(line) else { continue };
+        // The fingerprint travels as a hex string: FNV values use all 64
+        // bits, which a JSON number (a double) cannot represent exactly.
+        let Some(fingerprint) = value
+            .get("fingerprint")
+            .and_then(|v| v.as_str())
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+        else {
+            continue;
+        };
+        let attempts = value.get("attempts").and_then(|v| v.as_f64()).unwrap_or(1.0) as u32;
+        let message = value
+            .get("message")
+            .and_then(|v| v.as_str())
+            .unwrap_or("quarantined in a previous run")
+            .to_string();
+        entries.push((
+            fingerprint,
+            PoisonEntry { attempts, last_message: message, quarantined: true },
+        ));
+    }
+    entries
+}
+
+/// Writes the quarantined subset of `entries` to the sidecar.  Best
+/// effort: a failure is reported on stderr but never stops the daemon —
+/// the quarantine still protects the current process from memory.
+fn save_quarantine(path: &Path, entries: &[(u64, PoisonEntry)]) {
+    let mut out = String::new();
+    for (fingerprint, entry) in entries.iter().filter(|(_, e)| e.quarantined) {
+        out.push_str(&format!(
+            "{{\"fingerprint\":\"{fingerprint:016x}\",\"attempts\":{},\"message\":\"{}\"}}\n",
+            entry.attempts,
+            json_escape(&entry.last_message)
+        ));
+    }
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("iotsand: cannot persist quarantine sidecar {}: {e}", path.display());
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     queue: JobQueue,
@@ -296,6 +615,11 @@ struct Inner {
     active: Mutex<Vec<(usize, CancelToken)>>,
     inflight: Inflight,
     results: Sender<JobOutcome>,
+    health: Arc<StoreHealth>,
+    poison: PoisonRegistry,
+    retry: RetryPolicy,
+    fault_injection: bool,
+    quarantine_path: PathBuf,
 }
 
 /// The verification daemon: owns the store, the shared cache and the worker
@@ -309,15 +633,33 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// Opens (or recovers) the verdict store at `config.store_path` and
-    /// starts the worker pool.
+    /// Opens (or recovers) the verdict store at `config.store_path`
+    /// (creating its parent directory when missing) and starts the worker
+    /// pool.  Every filesystem failure propagates as an error — the
+    /// caller decides the exit code, nothing panics.
     pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
-        let store = Arc::new(Mutex::new(VerdictStore::open_with(
-            &config.store_path,
-            config.store_options,
-        )?));
-        let cache =
-            VerificationCache::new().with_backing(Box::new(StoreBacking::new(Arc::clone(&store))));
+        if let Some(parent) = config.store_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let store = Arc::new(Mutex::new(match config.fault_plan {
+            Some(plan) => VerdictStore::open_with_io(
+                &config.store_path,
+                config.store_options,
+                Box::new(FaultyIo::new(plan)),
+            )?,
+            None => VerdictStore::open_with(&config.store_path, config.store_options)?,
+        }));
+        let health = Arc::new(StoreHealth::default());
+        let backing =
+            StoreBacking::with_health(Arc::clone(&store), Arc::clone(&health), config.retry);
+        let cache = VerificationCache::new().with_backing(Box::new(backing));
+        let quarantine_path = quarantine_sidecar_path(&config.store_path);
+        let poison = PoisonRegistry::default();
+        for (key, entry) in load_quarantine(&quarantine_path) {
+            poison.lock().insert(key, entry);
+        }
         let (results, receiver) = channel();
         let inner = Arc::new(Inner {
             queue: JobQueue::new(config.queue_capacity),
@@ -326,6 +668,11 @@ impl Daemon {
             active: Mutex::new(Vec::new()),
             inflight: Inflight::default(),
             results,
+            health,
+            poison,
+            retry: config.retry,
+            fault_injection: config.fault_injection,
+            quarantine_path,
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -344,6 +691,18 @@ impl Daemon {
     /// A shared handle on the verdict store (for status and compaction).
     pub fn store(&self) -> Arc<Mutex<VerdictStore>> {
         Arc::clone(&self.inner.store)
+    }
+
+    /// Why persistence is currently suspended — `None` while healthy.
+    pub fn degraded(&self) -> Option<String> {
+        self.inner.health.reason()
+    }
+
+    /// The poison set: every job class with recorded failures, keyed by
+    /// [`JobSpec::fingerprint`] (quarantined or still within its attempt
+    /// budget).
+    pub fn poisoned(&self) -> Vec<(u64, PoisonEntry)> {
+        self.inner.poison.snapshot()
     }
 
     /// Submits one job; blocks while the queue is full.  Returns the job's
@@ -388,8 +747,11 @@ impl Daemon {
         }
     }
 
-    /// Closes the queue, waits for the workers to drain it, syncs the store
-    /// and reports lifetime statistics.
+    /// Closes the queue, waits for the workers to drain it, syncs the
+    /// store (best effort — a failing disk at shutdown is reported as
+    /// [`DaemonSummary::degraded`], not an error, so an injected fault can
+    /// never make the daemon die on the way out) and reports lifetime
+    /// statistics.
     pub fn shutdown(self) -> io::Result<DaemonSummary> {
         self.inner.queue.close();
         for worker in self.workers {
@@ -400,7 +762,13 @@ impl Daemon {
             (cache.hits(), cache.misses(), cache.backing_hits())
         };
         let mut store = self.inner.store.lock().unwrap_or_else(|e| e.into_inner());
-        store.sync()?;
+        let mut degraded = self.inner.health.is_degraded();
+        if !degraded {
+            if let Err(e) = store.sync() {
+                eprintln!("iotsand: final sync failed ({e}); recent verdicts may re-verify");
+                degraded = true;
+            }
+        }
         Ok(DaemonSummary {
             jobs: self.submitted,
             cache_hits,
@@ -408,6 +776,8 @@ impl Daemon {
             backing_hits,
             store_entries: store.len(),
             store_records: store.records(),
+            quarantined: self.inner.poison.quarantined_count(),
+            degraded,
         })
     }
 }
@@ -419,15 +789,90 @@ fn cancelled_outcome(index: usize, spec: JobSpec) -> JobOutcome {
         status: JobStatus::Cancelled,
         report: None,
         backing_hits: 0,
+        degraded: false,
         elapsed: Duration::ZERO,
     }
 }
 
 fn worker_loop(inner: &Inner) {
     while let Some((index, spec)) = inner.queue.pop() {
-        let outcome = execute_job(inner, index, spec);
+        let outcome = run_supervised(inner, index, spec);
         if inner.results.send(outcome).is_err() {
             break; // the daemon handle is gone; no one is listening
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload (the two shapes `panic!` produces,
+/// plus a fallback for exotic payloads).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked with a non-string payload".to_string()
+    }
+}
+
+/// The supervision wrapper around [`execute_job`]: a panic becomes a
+/// [`JobStatus::Failed`] outcome instead of a dead worker; panicking job
+/// classes retry with capped exponential backoff and are quarantined once
+/// the per-fingerprint attempt budget — shared by duplicates, so a doomed
+/// job never re-runs once per copy — is exhausted.
+fn run_supervised(inner: &Inner, index: usize, spec: JobSpec) -> JobOutcome {
+    let started = Instant::now();
+    let key = spec.fingerprint();
+    loop {
+        // A duplicate of an already-failed class observes the quarantine
+        // instead of silently re-running the doomed job.
+        if let Some(entry) = inner.poison.quarantined(key) {
+            return JobOutcome {
+                index,
+                id: spec.id,
+                status: JobStatus::Failed {
+                    panic_message: format!(
+                        "quarantined after {} failed attempt(s): {}",
+                        entry.attempts, entry.last_message
+                    ),
+                },
+                report: None,
+                backing_hits: 0,
+                degraded: inner.health.is_degraded(),
+                elapsed: started.elapsed(),
+            };
+        }
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(inner, index, spec.clone(), started)
+        }));
+        match attempt {
+            Ok(outcome) => {
+                // Any definite completion (ok/cancelled/invalid) clears the
+                // class's failure history: it proved able to terminate.
+                inner.poison.clear(key);
+                return outcome;
+            }
+            Err(payload) => {
+                let message = panic_message(payload);
+                let entry = inner.poison.record_failure(key, &message, inner.retry.max_attempts);
+                eprintln!(
+                    "iotsand: job `{}` panicked (attempt {}/{}): {message}",
+                    spec.id, entry.attempts, inner.retry.max_attempts
+                );
+                if entry.quarantined {
+                    save_quarantine(&inner.quarantine_path, &inner.poison.snapshot());
+                    return JobOutcome {
+                        index,
+                        id: spec.id,
+                        status: JobStatus::Failed { panic_message: message },
+                        report: None,
+                        backing_hits: 0,
+                        degraded: inner.health.is_degraded(),
+                        elapsed: started.elapsed(),
+                    };
+                }
+                std::thread::sleep(inner.retry.delay(entry.attempts));
+            }
         }
     }
 }
@@ -439,12 +884,37 @@ fn invalid_outcome(index: usize, id: String, error: String, started: Instant) ->
         status: JobStatus::Invalid(error),
         report: None,
         backing_hits: 0,
+        degraded: false,
         elapsed: started.elapsed(),
     }
 }
 
-fn execute_job(inner: &Inner, index: usize, spec: JobSpec) -> JobOutcome {
-    let started = Instant::now();
+/// Unregisters a job's cancel token on drop, so a panicking job cannot
+/// leave a stale token in the active list.
+struct ActiveGuard<'a> {
+    inner: &'a Inner,
+    index: usize,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.inner
+            .active
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|(i, _)| *i != self.index);
+    }
+}
+
+fn execute_job(inner: &Inner, index: usize, spec: JobSpec, started: Instant) -> JobOutcome {
+    if spec.inject_panic && !inner.fault_injection {
+        return invalid_outcome(
+            index,
+            spec.id,
+            "`inject_panic` requires the daemon to enable fault injection".to_string(),
+            started,
+        );
+    }
     let sources = match resolve_sources(&spec.bundle) {
         Ok(sources) => sources,
         Err(error) => return invalid_outcome(index, spec.id, error, started),
@@ -458,6 +928,7 @@ fn execute_job(inner: &Inner, index: usize, spec: JobSpec) -> JobOutcome {
 
     let token = CancelToken::new();
     inner.active.lock().unwrap_or_else(|e| e.into_inner()).push((index, token.clone()));
+    let _active = ActiveGuard { inner, index };
 
     let mut pipeline = Pipeline::with_events(spec.events);
     if spec.failures {
@@ -471,16 +942,17 @@ fn execute_job(inner: &Inner, index: usize, spec: JobSpec) -> JobOutcome {
 
     let planner = VerificationPlanner::new(&pipeline);
     let plan = planner.plan(&apps, &config);
-    let (report, backing_hits) = execute_plan(&planner, &plan, inner);
+    let (report, backing_hits) = execute_plan(&planner, &plan, inner, spec.inject_panic);
 
-    inner.active.lock().unwrap_or_else(|e| e.into_inner()).retain(|(i, _)| *i != index);
     let status = if token.is_cancelled() { JobStatus::Cancelled } else { JobStatus::Ok };
+    let degraded = report.persist_failures > 0 || inner.health.is_degraded();
     JobOutcome {
         index,
         id: spec.id,
         status,
         report: Some(report),
         backing_hits,
+        degraded,
         elapsed: started.elapsed(),
     }
 }
@@ -493,11 +965,13 @@ fn execute_plan(
     planner: &VerificationPlanner<'_>,
     plan: &FleetPlan,
     inner: &Inner,
+    inject_panic: bool,
 ) -> (FleetReport, usize) {
     let mut groups: Vec<FleetGroupReport> = Vec::with_capacity(plan.jobs.len());
     let mut cache_hits = 0usize;
     let mut cache_misses = 0usize;
     let mut backing_hits = 0usize;
+    let mut persist_failures = 0usize;
     for job in &plan.jobs {
         let (result, from_cache) = loop {
             let cached = {
@@ -521,16 +995,21 @@ fn execute_plan(
             let Some(_guard) = inner.inflight.claim(job.fingerprint) else {
                 continue;
             };
+            if inject_panic {
+                // The gated testing hook fires exactly where a real model
+                // bug would: mid-search, while this worker holds the
+                // in-flight claim for the group.
+                panic!("injected panic while verifying group [{}]", job.apps.join(", "));
+            }
             cache_misses += 1;
             let fresh = planner.verify_job(job);
             // Same discipline as VerificationPlanner::execute: a report
             // truncated by a budget (or cancellation) is never cached.
             if !fresh.report.stats.truncated {
-                inner
-                    .cache
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(job.fingerprint, fresh.clone());
+                let mut cache = inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+                let failures_before = cache.persist_failures();
+                cache.insert(job.fingerprint, fresh.clone());
+                persist_failures += cache.persist_failures() - failures_before;
             }
             break (fresh, false);
         };
@@ -551,6 +1030,7 @@ fn execute_plan(
         reduced_handlers: plan.reduced_handlers,
         cache_hits,
         cache_misses,
+        persist_failures,
     };
     (report, backing_hits)
 }
@@ -577,6 +1057,7 @@ mod tests {
             workers: 1,
             failures: false,
             timeout_ms: None,
+            inject_panic: false,
         }
     }
 
@@ -640,6 +1121,7 @@ mod tests {
             workers: 1,
             failures: false,
             timeout_ms: None,
+            inject_panic: false,
         }]);
         assert!(matches!(&outcomes[0].status, JobStatus::Invalid(e) if e.contains("No Such App")));
         let line = outcomes[0].render();
@@ -664,6 +1146,7 @@ mod tests {
             workers: 1,
             failures: true,
             timeout_ms: Some(120_000),
+            inject_panic: false,
         };
         let queued = market_job("queued", 2);
 

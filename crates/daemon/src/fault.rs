@@ -1,0 +1,254 @@
+//! The store's I/O seam: a tiny trait the [`crate::store::VerdictStore`]
+//! routes its disk operations through, with a real implementation and a
+//! deterministic fault-injecting one.
+//!
+//! Opening and recovery are deliberately *not* faultable: a store that
+//! cannot be opened is the ordinary startup error path, already exercised
+//! directly.  The seam covers the steady-state mutations a long-lived
+//! daemon performs — record appends, compaction's temp-file write, fsync
+//! and the atomic rename — because those are the operations a full disk,
+//! a flaky controller or a power cut interrupt *after* the service is up.
+//!
+//! [`FaultyIo`] counts those mutating operations and fails the ones a
+//! seeded [`FaultPlan`] names, with the same splitmix64 discipline
+//! `iotsan-scenarios` uses: the plan is plain data, so a failing chaos
+//! schedule shrinks to a committable reproduction.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The disk operations a [`crate::store::VerdictStore`] performs after it
+/// is open, factored out so tests and the chaos harness can fail them
+/// deterministically.
+///
+/// `read` is part of the seam so reopen-time recovery flows through the
+/// same object, but implementations must keep it infallible-as-possible:
+/// only the four mutating operations (`append`, `write`, `fsync`,
+/// `rename`) are the faultable surface.
+pub trait StoreIo: fmt::Debug + Send {
+    /// Reads the whole file at `path` (used by reopen-time recovery).
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Appends `bytes` to an open log handle.
+    fn append(&mut self, file: &mut File, bytes: &[u8]) -> io::Result<()>;
+
+    /// Writes a whole file (compaction's temp file).
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces `file`'s data to physical storage.
+    fn fsync(&mut self, file: &File) -> io::Result<()>;
+
+    /// Atomically renames `from` over `to`.
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+}
+
+/// The production [`StoreIo`]: plain `std::fs` calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn append(&mut self, file: &mut File, bytes: &[u8]) -> io::Result<()> {
+        file.write_all(bytes)
+    }
+
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn fsync(&mut self, file: &File) -> io::Result<()> {
+        file.sync_data()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+}
+
+/// How an injected operation fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An append or write persists only a prefix of its bytes before
+    /// failing — the torn record a power cut leaves behind.
+    ShortWrite,
+    /// An append or write fails outright without persisting anything, the
+    /// way a full disk rejects new data (ENOSPC).
+    NoSpace,
+    /// An fsync reports failure (data may or may not have reached media).
+    FsyncFail,
+    /// The atomic rename at the end of compaction fails.
+    RenameFail,
+}
+
+/// One scheduled fault: the 0-based index of the mutating operation to
+/// fail, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Which mutating operation (append/write/fsync/rename, counted in
+    /// order of execution since the store was opened) fails.
+    pub at: u64,
+    /// How it fails.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected I/O faults — plain, cloneable data
+/// so a [`crate::daemon::DaemonConfig`] can carry one and a failing chaos
+/// schedule can shrink.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults; order is irrelevant, indices need not be
+    /// unique (the first match wins).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (equivalent to [`RealIo`]).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The fault scheduled at operation index `at`, if any.
+    fn fault_at(&self, at: u64) -> Option<FaultKind> {
+        self.faults.iter().find(|f| f.at == at).map(|f| f.kind)
+    }
+}
+
+fn injected(kind: FaultKind) -> io::Error {
+    let (errkind, message) = match kind {
+        FaultKind::ShortWrite => (io::ErrorKind::WriteZero, "injected short write"),
+        // MSRV 1.75 has no `ErrorKind::StorageFull`; `Other` is portable
+        // and nothing in the store dispatches on the kind.
+        FaultKind::NoSpace => (io::ErrorKind::Other, "injected disk full (ENOSPC)"),
+        FaultKind::FsyncFail => (io::ErrorKind::Other, "injected fsync failure"),
+        FaultKind::RenameFail => (io::ErrorKind::Other, "injected rename failure"),
+    };
+    io::Error::new(errkind, message)
+}
+
+/// A [`StoreIo`] that executes a [`FaultPlan`]: every mutating operation
+/// increments a counter, and an operation whose index the plan names fails
+/// with the scheduled [`FaultKind`].  A `ShortWrite` really does persist
+/// half the bytes before failing, so recovery sees the same torn tail a
+/// crash would leave; every other kind fails without side effects.  A
+/// fault whose kind does not match the operation it lands on (say
+/// `RenameFail` on an append) still fails that operation cleanly —
+/// schedules stay meaningful without knowing the store's exact op
+/// sequence.  Reads always pass through.
+#[derive(Debug)]
+pub struct FaultyIo {
+    plan: FaultPlan,
+    ops: u64,
+}
+
+impl FaultyIo {
+    /// Wraps `plan` with the operation counter at zero.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyIo { plan, ops: 0 }
+    }
+
+    /// Mutating operations executed (or failed) so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Consumes the next operation index and returns the fault scheduled
+    /// for it, if any.
+    fn next_op(&mut self) -> Option<FaultKind> {
+        let at = self.ops;
+        self.ops += 1;
+        self.plan.fault_at(at)
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn append(&mut self, file: &mut File, bytes: &[u8]) -> io::Result<()> {
+        match self.next_op() {
+            None => file.write_all(bytes),
+            Some(FaultKind::ShortWrite) => {
+                file.write_all(&bytes[..bytes.len() / 2])?;
+                Err(injected(FaultKind::ShortWrite))
+            }
+            Some(kind) => Err(injected(kind)),
+        }
+    }
+
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_op() {
+            None => fs::write(path, bytes),
+            Some(FaultKind::ShortWrite) => {
+                fs::write(path, &bytes[..bytes.len() / 2])?;
+                Err(injected(FaultKind::ShortWrite))
+            }
+            Some(kind) => Err(injected(kind)),
+        }
+    }
+
+    fn fsync(&mut self, file: &File) -> io::Result<()> {
+        match self.next_op() {
+            None => file.sync_data(),
+            Some(kind) => Err(injected(kind)),
+        }
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.next_op() {
+            None => fs::rename(from, to),
+            Some(kind) => Err(injected(kind)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_matches_by_op_index() {
+        let plan = FaultPlan {
+            faults: vec![
+                Fault { at: 2, kind: FaultKind::NoSpace },
+                Fault { at: 0, kind: FaultKind::FsyncFail },
+            ],
+        };
+        assert_eq!(plan.fault_at(0), Some(FaultKind::FsyncFail));
+        assert_eq!(plan.fault_at(1), None);
+        assert_eq!(plan.fault_at(2), Some(FaultKind::NoSpace));
+        assert_eq!(FaultPlan::none().fault_at(0), None);
+    }
+
+    #[test]
+    fn faulty_io_counts_only_mutating_ops() {
+        let dir = std::env::temp_dir().join(format!("iotsan-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        let mut io =
+            FaultyIo::new(FaultPlan { faults: vec![Fault { at: 1, kind: FaultKind::NoSpace }] });
+        io.write(&path, b"hello").unwrap(); // op 0: passes
+        io.read(&path).unwrap(); // reads do not consume indices
+        assert!(io.write(&path, b"world").is_err()); // op 1: injected
+        assert_eq!(io.ops(), 2);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello"); // NoSpace has no side effects
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_persists_half_the_bytes() {
+        let dir = std::env::temp_dir().join(format!("iotsan-fault-sw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        let mut io =
+            FaultyIo::new(FaultPlan { faults: vec![Fault { at: 0, kind: FaultKind::ShortWrite }] });
+        assert!(io.write(&path, b"abcdefgh").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcd");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -49,6 +49,52 @@ pub struct JobSpec {
     pub failures: bool,
     /// Per-job wall-clock budget in milliseconds; default none.
     pub timeout_ms: Option<u64>,
+    /// Testing hook: panic mid-verification (only honored when the daemon
+    /// was started with fault injection enabled); default off.
+    pub inject_panic: bool,
+}
+
+impl JobSpec {
+    /// A stable content fingerprint of *what* the job verifies — every
+    /// field except the caller-chosen `id` — used to key retry counts and
+    /// the poison quarantine so duplicates of a failing job are recognized
+    /// across submissions (and across restarts, via the quarantine
+    /// sidecar).  FNV-1a over a canonical rendering: deterministic across
+    /// processes, unlike `std`'s randomized hashers.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            hash ^= 0xff; // field separator, so ["ab","c"] != ["a","bc"]
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        match &self.bundle {
+            BundleSpec::Market(n) => {
+                eat(b"market");
+                eat(&(*n as u64).to_le_bytes());
+            }
+            BundleSpec::Named(names) => {
+                eat(b"named");
+                for name in names {
+                    eat(name.as_bytes());
+                }
+            }
+            BundleSpec::Sources(sources) => {
+                eat(b"sources");
+                for source in sources {
+                    eat(source.as_bytes());
+                }
+            }
+        }
+        eat(&(self.events as u64).to_le_bytes());
+        eat(&(self.workers as u64).to_le_bytes());
+        eat(&[u8::from(self.failures), u8::from(self.inject_panic)]);
+        eat(&self.timeout_ms.unwrap_or(u64::MAX).to_le_bytes());
+        hash
+    }
 }
 
 /// One parsed NDJSON line: a job, or a control operation.
@@ -60,8 +106,18 @@ pub enum JobLine {
     Shutdown,
 }
 
-const KNOWN_KEYS: &[&str] =
-    &["id", "market", "names", "sources", "events", "workers", "failures", "timeout_ms", "op"];
+const KNOWN_KEYS: &[&str] = &[
+    "id",
+    "market",
+    "names",
+    "sources",
+    "events",
+    "workers",
+    "failures",
+    "timeout_ms",
+    "inject_panic",
+    "op",
+];
 
 fn non_negative_integer(value: &Value, key: &str) -> Result<usize, String> {
     let n = value.as_f64().ok_or_else(|| format!("`{key}` must be a number"))?;
@@ -184,8 +240,14 @@ pub fn parse_line(line: &str, line_number: usize) -> Result<JobLine, String> {
         ),
         None => None,
     };
+    let inject_panic = match value.get("inject_panic") {
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("line {line_number}: `inject_panic` must be a boolean"))?,
+        None => false,
+    };
 
-    Ok(JobLine::Job(JobSpec { id, bundle, events, workers, failures, timeout_ms }))
+    Ok(JobLine::Job(JobSpec { id, bundle, events, workers, failures, timeout_ms, inject_panic }))
 }
 
 /// Resolves a bundle spec to concrete Groovy sources (market lookups may
@@ -296,6 +358,43 @@ mod tests {
         assert!(resolve_sources(&BundleSpec::Named(vec!["No Such App".into()]))
             .unwrap_err()
             .contains("No Such App"));
+    }
+
+    #[test]
+    fn parses_and_defaults_inject_panic() {
+        let JobLine::Job(spec) = parse_line(r#"{"market":2}"#, 1).unwrap() else { panic!("job") };
+        assert!(!spec.inject_panic);
+        let JobLine::Job(spec) = parse_line(r#"{"market":2,"inject_panic":true}"#, 1).unwrap()
+        else {
+            panic!("job")
+        };
+        assert!(spec.inject_panic);
+        assert!(parse_line(r#"{"market":2,"inject_panic":1}"#, 1).unwrap_err().contains("boolean"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_id_but_nothing_else() {
+        let base = |line: &str| match parse_line(line, 1).unwrap() {
+            JobLine::Job(spec) => spec.fingerprint(),
+            JobLine::Shutdown => panic!("job expected"),
+        };
+        // Same work, different correlation ids: same fingerprint.
+        assert_eq!(base(r#"{"id":"a","market":4}"#), base(r#"{"id":"b","market":4}"#));
+        // Any change to what is verified changes the fingerprint.
+        let reference = base(r#"{"market":4}"#);
+        for other in [
+            r#"{"market":5}"#,
+            r#"{"market":4,"events":3}"#,
+            r#"{"market":4,"workers":2}"#,
+            r#"{"market":4,"failures":true}"#,
+            r#"{"market":4,"timeout_ms":10}"#,
+            r#"{"market":4,"inject_panic":true}"#,
+            r#"{"names":["x"]}"#,
+        ] {
+            assert_ne!(reference, base(other), "{other}");
+        }
+        // Field boundaries matter: two names vs one concatenated name.
+        assert_ne!(base(r#"{"names":["ab","c"]}"#), base(r#"{"names":["a","bc"]}"#));
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   [`daemon::StoreBacking`].
 //! - [`job`] — the NDJSON batch-ingest format (`iotsand --jobs jobs.ndjson`
 //!   or a unix socket), one JSON object per line.
+//! - [`fault`] — the store's I/O seam ([`fault::StoreIo`]) with a
+//!   deterministic fault injector, feeding the daemon's self-healing paths
+//!   (degraded mode, retry/backoff, poison quarantine) and the seeded
+//!   chaos harness in `iotsan-bench`.
 //!
 //! The operator-facing reference — disk layout, job fields, recovery
 //! semantics, troubleshooting — lives in the repository's `OPERATIONS.md`.
@@ -23,10 +27,15 @@
 
 pub mod codec;
 pub mod daemon;
+pub mod fault;
 pub mod job;
 pub mod store;
 
-pub use daemon::{Daemon, DaemonConfig, DaemonSummary, JobOutcome, JobStatus, StoreBacking};
+pub use daemon::{
+    load_quarantine, quarantine_sidecar_path, Daemon, DaemonConfig, DaemonSummary, JobOutcome,
+    JobStatus, PoisonEntry, RetryPolicy, StoreBacking, StoreHealth, REPROBE_LIMIT,
+};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultyIo, RealIo, StoreIo};
 pub use job::{parse_line, resolve_sources, BundleSpec, JobLine, JobSpec};
 pub use store::{
     CompactStats, DiscardReason, Recovery, StoreOptions, VerdictStore, FORMAT_VERSION, MAGIC,

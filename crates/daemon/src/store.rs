@@ -26,10 +26,11 @@
 //! records, atomically (write-temp + rename) and idempotently.
 
 use crate::codec::{crc32, decode_group_result, encode_group_result};
+use crate::fault::{RealIo, StoreIo};
 use iotsan::{Fingerprint, GroupResult};
 use std::collections::{BTreeMap, VecDeque};
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// The 8-byte magic prefix of a verdict log.
@@ -135,6 +136,29 @@ pub struct VerdictStore {
     records: usize,
     recovery: Recovery,
     options: StoreOptions,
+    /// The disk seam every steady-state mutation goes through (see
+    /// [`StoreIo`]); [`RealIo`] in production, a fault injector in tests
+    /// and the chaos harness.
+    io: Box<dyn StoreIo>,
+    /// Byte offset of the last fully acknowledged record: everything below
+    /// it replays.  A failed append truncates back to it so torn bytes
+    /// never sit between acknowledged records.
+    sound_len: u64,
+    /// Set when a failed append could not be truncated away: the log's
+    /// tail is untrusted, so further appends fail fast rather than land
+    /// after a tear.  [`VerdictStore::reopen`] or a successful
+    /// [`VerdictStore::compact`] clears it.
+    broken: bool,
+}
+
+/// What recovery loads from disk — shared by open and [`VerdictStore::reopen`].
+struct Loaded {
+    file: File,
+    entries: BTreeMap<Fingerprint, GroupResult>,
+    order: VecDeque<Fingerprint>,
+    records: usize,
+    recovery: Recovery,
+    sound_len: u64,
 }
 
 fn header_bytes() -> [u8; HEADER_LEN] {
@@ -225,8 +249,39 @@ impl VerdictStore {
 
     /// [`VerdictStore::open`] with explicit capacity/compaction knobs.
     pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> io::Result<Self> {
+        Self::open_with_io(path, options, Box::new(RealIo))
+    }
+
+    /// [`VerdictStore::open_with`] over an explicit [`StoreIo`] seam —
+    /// how tests and the chaos harness substitute a
+    /// [`crate::fault::FaultyIo`] for the real disk.
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+        io: Box<dyn StoreIo>,
+    ) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let bytes = match fs::read(&path) {
+        let mut io = io;
+        let loaded = Self::load(&path, io.as_mut())?;
+        Ok(VerdictStore {
+            path,
+            file: loaded.file,
+            entries: loaded.entries,
+            order: loaded.order,
+            records: loaded.records,
+            recovery: loaded.recovery,
+            options,
+            io,
+            sound_len: loaded.sound_len,
+            broken: false,
+        })
+    }
+
+    /// Replays the log at `path`.  Recovery's own repairs (header rewrite,
+    /// tail truncation) go straight to the filesystem — the faultable
+    /// surface is steady-state mutation, not crash repair (see [`StoreIo`]).
+    fn load(path: &Path, io: &mut dyn StoreIo) -> io::Result<Loaded> {
+        let bytes = match io.read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
@@ -235,21 +290,22 @@ impl VerdictStore {
         let mut entries = BTreeMap::new();
         let mut order = VecDeque::new();
         let mut records = 0usize;
+        let mut sound_len = HEADER_LEN as u64;
 
         let recovery = if bytes.is_empty() {
-            fs::write(&path, header_bytes())?;
+            fs::write(path, header_bytes())?;
             Recovery::Fresh
         } else if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
-            fs::write(&path, header_bytes())?;
+            fs::write(path, header_bytes())?;
             Recovery::Discarded { reason: DiscardReason::BadHeader }
         } else {
             let format = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
             let analysis = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
             if format != FORMAT_VERSION {
-                fs::write(&path, header_bytes())?;
+                fs::write(path, header_bytes())?;
                 Recovery::Discarded { reason: DiscardReason::StoreFormat { found: format } }
             } else if analysis != iotsan::analysis::ANALYSIS_VERSION {
-                fs::write(&path, header_bytes())?;
+                fs::write(path, header_bytes())?;
                 Recovery::Discarded { reason: DiscardReason::AnalysisVersion { found: analysis } }
             } else {
                 // Replay until the log ends or a record stops being
@@ -258,6 +314,7 @@ impl VerdictStore {
                 let mut pos = HEADER_LEN;
                 loop {
                     if pos == bytes.len() {
+                        sound_len = pos as u64;
                         break Recovery::Clean { records };
                     }
                     match parse_record(&bytes[pos..]) {
@@ -279,9 +336,10 @@ impl VerdictStore {
                         }
                         None => {
                             let dropped_bytes = (bytes.len() - pos) as u64;
-                            let keep = OpenOptions::new().write(true).open(&path)?;
+                            let keep = OpenOptions::new().write(true).open(path)?;
                             keep.set_len(pos as u64)?;
                             keep.sync_all()?;
+                            sound_len = pos as u64;
                             break Recovery::CorruptTail { records, dropped_bytes };
                         }
                     }
@@ -289,8 +347,25 @@ impl VerdictStore {
             }
         };
 
-        let file = OpenOptions::new().append(true).open(&path)?;
-        Ok(VerdictStore { path, file, entries, order, records, recovery, options })
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Loaded { file, entries, order, records, recovery, sound_len })
+    }
+
+    /// Re-runs recovery over the same path, options and [`StoreIo`] —
+    /// the degraded daemon's repair probe.  On success the in-memory index
+    /// is rebuilt from what actually survived on disk (so the store and
+    /// the log can never disagree after a failed append) and the broken
+    /// flag clears; on failure the store is left exactly as it was.
+    pub fn reopen(&mut self) -> io::Result<&Recovery> {
+        let loaded = Self::load(&self.path, self.io.as_mut())?;
+        self.file = loaded.file;
+        self.entries = loaded.entries;
+        self.order = loaded.order;
+        self.records = loaded.records;
+        self.recovery = loaded.recovery;
+        self.sound_len = loaded.sound_len;
+        self.broken = false;
+        Ok(&self.recovery)
     }
 
     /// Appends (or replaces) the verdict for `fingerprint`, applying the
@@ -322,8 +397,7 @@ impl VerdictStore {
     pub fn append(&mut self, fingerprint: Fingerprint, result: &GroupResult) -> io::Result<()> {
         let mut payload = Vec::new();
         encode_group_result(result, &mut payload);
-        self.file.write_all(&record_bytes(TAG_PUT, fingerprint, &payload))?;
-        self.records += 1;
+        self.write_record(&record_bytes(TAG_PUT, fingerprint, &payload))?;
         if self.entries.insert(fingerprint, result.clone()).is_some() {
             self.order.retain(|f| *f != fingerprint);
         }
@@ -338,6 +412,32 @@ impl VerdictStore {
         self.maybe_auto_compact()
     }
 
+    /// Appends one encoded record, keeping the log sound whatever happens:
+    /// on success the acknowledged offset advances; on failure any torn
+    /// bytes are truncated back off, and if even that repair fails the
+    /// store marks itself [`VerdictStore::is_broken`] so no later append
+    /// can land after an untrusted tail.
+    fn write_record(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.broken {
+            return Err(io::Error::other(
+                "verdict log has an unrepaired torn tail; reopen or compact to recover",
+            ));
+        }
+        match self.io.append(&mut self.file, bytes) {
+            Ok(()) => {
+                self.sound_len += bytes.len() as u64;
+                self.records += 1;
+                Ok(())
+            }
+            Err(e) => {
+                if self.file.set_len(self.sound_len).is_err() {
+                    self.broken = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Writes a tombstone for `fingerprint` (when live), dropping it from
     /// the store; returns whether anything was evicted.
     pub fn evict(&mut self, fingerprint: Fingerprint) -> io::Result<bool> {
@@ -350,8 +450,7 @@ impl VerdictStore {
     }
 
     fn write_evict(&mut self, fingerprint: Fingerprint) -> io::Result<()> {
-        self.file.write_all(&record_bytes(TAG_EVICT, fingerprint, &[]))?;
-        self.records += 1;
+        self.write_record(&record_bytes(TAG_EVICT, fingerprint, &[]))?;
         self.entries.remove(&fingerprint);
         self.order.retain(|f| *f != fingerprint);
         Ok(())
@@ -406,12 +505,25 @@ impl VerdictStore {
             out.extend_from_slice(&record_bytes(TAG_PUT, *fingerprint, &payload));
         }
 
+        // All-or-nothing: a failure at any step leaves the live log
+        // untouched (the temp file is removed, never half-renamed), so a
+        // failed compaction degrades nothing.
         let tmp = self.path.with_extension("compact-tmp");
-        fs::write(&tmp, &out)?;
-        File::open(&tmp)?.sync_all()?;
-        fs::rename(&tmp, &self.path)?;
+        let staged = self
+            .io
+            .write(&tmp, &out)
+            .and_then(|()| self.io.fsync(&File::open(&tmp)?))
+            .and_then(|()| self.io.rename(&tmp, &self.path));
+        if let Err(e) = staged {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
         self.file = OpenOptions::new().append(true).open(&self.path)?;
         self.records = self.entries.len();
+        self.sound_len = out.len() as u64;
+        // The rewrite came entirely from the in-memory index, so any
+        // previously unrepaired tail is gone with the old file.
+        self.broken = false;
 
         Ok(CompactStats {
             records_before,
@@ -423,7 +535,14 @@ impl VerdictStore {
 
     /// Forces every appended record to physical storage (fsync).
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        self.io.fsync(&self.file)
+    }
+
+    /// True when a failed append could not be repaired in place: appends
+    /// fail fast until [`VerdictStore::reopen`] or
+    /// [`VerdictStore::compact`] restores a sound tail.
+    pub fn is_broken(&self) -> bool {
+        self.broken
     }
 
     /// The verdict stored for `fingerprint`, if any.

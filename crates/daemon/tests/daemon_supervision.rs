@@ -1,0 +1,178 @@
+//! Self-healing properties of the daemon (worker supervision, poison
+//! quarantine, degraded persistence): a panicking job becomes a structured
+//! `Failed` outcome instead of a dead worker, duplicates of a doomed job
+//! share one attempt budget, and an injected store fault degrades — never
+//! kills — the service.
+
+use iotsan_daemon::{
+    load_quarantine, quarantine_sidecar_path, BundleSpec, Daemon, DaemonConfig, Fault, FaultKind,
+    FaultPlan, JobSpec, JobStatus, RetryPolicy, StoreOptions, VerdictStore,
+};
+use std::path::{Path, PathBuf};
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("iotsan-supervision-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("verdicts.log")
+}
+
+fn config(store: &Path) -> DaemonConfig {
+    DaemonConfig {
+        store_path: store.to_path_buf(),
+        store_options: StoreOptions::default(),
+        workers: 1,
+        queue_capacity: 16,
+        retry: RetryPolicy { max_attempts: 2, base_delay_ms: 1 },
+        fault_plan: None,
+        fault_injection: true,
+    }
+}
+
+fn market_job(id: &str, n: usize, inject_panic: bool) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        bundle: BundleSpec::Market(n),
+        events: 2,
+        workers: 1,
+        failures: false,
+        timeout_ms: None,
+        inject_panic,
+    }
+}
+
+/// Quiets the default panic hook for the duration of a test — injected
+/// panics are expected, their backtraces are noise.
+fn hushed<T>(body: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = body();
+    std::panic::set_hook(hook);
+    result
+}
+
+#[test]
+fn panicking_job_fails_structurally_and_daemon_keeps_serving() {
+    let store = temp_store("survives-panic");
+    let mut daemon = Daemon::start(config(&store)).unwrap();
+
+    let outcomes = hushed(|| {
+        daemon.run_batch(vec![market_job("doomed", 2, true), market_job("healthy", 2, false)])
+    });
+    assert_eq!(outcomes.len(), 2);
+    let doomed = outcomes.iter().find(|o| o.id == "doomed").unwrap();
+    match &doomed.status {
+        JobStatus::Failed { panic_message } => {
+            assert!(
+                panic_message.contains("injected panic"),
+                "panic message must survive into the outcome: {panic_message}"
+            );
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert!(doomed.report.is_none());
+    let healthy = outcomes.iter().find(|o| o.id == "healthy").unwrap();
+    assert!(matches!(healthy.status, JobStatus::Ok));
+    assert!(healthy.report.is_some());
+
+    // The same daemon — same worker pool — verifies further jobs normally.
+    let again = daemon.run_batch(vec![market_job("after", 3, false)]);
+    assert!(matches!(again[0].status, JobStatus::Ok));
+
+    let summary = daemon.shutdown().unwrap();
+    assert_eq!(summary.quarantined, 1);
+    assert!(!summary.degraded);
+}
+
+#[test]
+fn duplicates_share_one_attempt_budget_and_fail_fast() {
+    let store = temp_store("quarantine");
+    let mut daemon = Daemon::start(config(&store)).unwrap();
+
+    // Two submissions of the same doomed job class (ids differ; the
+    // fingerprint ignores ids).  The first exhausts the budget; the second
+    // must observe the quarantine instead of re-running the doomed work.
+    let outcomes = hushed(|| {
+        daemon.run_batch(vec![market_job("doomed-a", 2, true), market_job("doomed-b", 2, true)])
+    });
+    for outcome in &outcomes {
+        assert!(matches!(outcome.status, JobStatus::Failed { .. }), "{:?}", outcome.status);
+    }
+    let b = outcomes.iter().find(|o| o.id == "doomed-b").unwrap();
+    match &b.status {
+        JobStatus::Failed { panic_message } => {
+            assert!(
+                panic_message.contains("quarantined"),
+                "duplicate must fail fast: {panic_message}"
+            );
+        }
+        _ => unreachable!(),
+    }
+
+    // The shared budget: exactly max_attempts runs happened in total, not
+    // max_attempts per duplicate.
+    let poisoned = daemon.poisoned();
+    assert_eq!(poisoned.len(), 1);
+    assert_eq!(poisoned[0].1.attempts, 2);
+    assert!(poisoned[0].1.quarantined);
+
+    // The quarantine survives to disk and a restarted daemon honors it
+    // without burning a single new attempt.
+    let sidecar = quarantine_sidecar_path(&store);
+    assert_eq!(load_quarantine(&sidecar).len(), 1);
+    daemon.shutdown().unwrap();
+
+    let mut daemon = Daemon::start(config(&store)).unwrap();
+    let outcomes = daemon.run_batch(vec![market_job("doomed-c", 2, true)]);
+    match &outcomes[0].status {
+        JobStatus::Failed { panic_message } => {
+            assert!(panic_message.contains("quarantined"), "{panic_message}");
+        }
+        other => panic!("expected quarantined Failed, got {other:?}"),
+    }
+    daemon.shutdown().unwrap();
+}
+
+#[test]
+fn inject_panic_needs_fault_injection_enabled() {
+    let store = temp_store("gating");
+    let mut cfg = config(&store);
+    cfg.fault_injection = false;
+    let mut daemon = Daemon::start(cfg).unwrap();
+    let outcomes = daemon.run_batch(vec![market_job("sneaky", 2, true)]);
+    assert!(
+        matches!(&outcomes[0].status, JobStatus::Invalid(e) if e.contains("fault injection")),
+        "{:?}",
+        outcomes[0].status
+    );
+    daemon.shutdown().unwrap();
+}
+
+#[test]
+fn store_fault_degrades_then_repairs_without_losing_service() {
+    let store = temp_store("degraded");
+    let mut cfg = config(&store);
+    // The very first verdict append fails like a full disk.
+    cfg.fault_plan = Some(FaultPlan { faults: vec![Fault { at: 0, kind: FaultKind::NoSpace }] });
+    let mut daemon = Daemon::start(cfg).unwrap();
+
+    let outcomes = daemon.run_batch(vec![market_job("first", 2, false)]);
+    assert!(
+        matches!(outcomes[0].status, JobStatus::Ok),
+        "verdicts still served: {:?}",
+        outcomes[0].status
+    );
+    assert!(outcomes[0].degraded, "a lost persist must be visible on the outcome");
+
+    // The backoff probe reopens the store; later verdicts persist again.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let outcomes = daemon.run_batch(vec![market_job("second", 3, false)]);
+    assert!(matches!(outcomes[0].status, JobStatus::Ok));
+    assert_eq!(daemon.degraded(), None, "probe must have repaired the store");
+    let summary = daemon.shutdown().unwrap();
+    assert!(!summary.degraded);
+
+    // What the repaired store persisted is sound: a fresh open replays it.
+    let reopened = VerdictStore::open(&store).unwrap();
+    assert!(!reopened.is_empty(), "post-repair verdicts must be durable");
+}

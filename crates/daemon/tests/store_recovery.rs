@@ -5,6 +5,7 @@
 
 use iotsan::checker::{SearchReport, SearchStats};
 use iotsan::{Fingerprint, GroupResult};
+use iotsan_daemon::fault::{Fault, FaultKind, FaultPlan, FaultyIo};
 use iotsan_daemon::store::{DiscardReason, Recovery, StoreOptions, VerdictStore};
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -131,6 +132,111 @@ proptest! {
             store.recovery()
         );
         assert_prefix(&store, &originals);
+    }
+}
+
+fn fault_kind(which: u8) -> FaultKind {
+    match which % 4 {
+        0 => FaultKind::ShortWrite,
+        1 => FaultKind::NoSpace,
+        2 => FaultKind::FsyncFail,
+        _ => FaultKind::RenameFail,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any injected append faults, what a fresh process recovers is
+    /// exactly the appends the store *acknowledged* (returned `Ok`), in
+    /// order — a failed append never half-lands, and the repair after a
+    /// torn write keeps later acknowledged appends sound.
+    #[test]
+    fn fault_injected_appends_recover_exact_acknowledged_prefix(
+        entries in 1usize..8,
+        fault_codes in proptest::collection::vec(0u64..40, 0..4),
+    ) {
+        let path = temp_path("fault-append");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan {
+            // Each code packs an op index (0..10) and a kind (0..4).
+            faults: fault_codes
+                .iter()
+                .map(|code| Fault { at: code / 4, kind: fault_kind((code % 4) as u8) })
+                .collect(),
+        };
+        let mut store =
+            VerdictStore::open_with_io(&path, StoreOptions::default(), Box::new(FaultyIo::new(plan)))
+                .unwrap();
+
+        let mut acknowledged: Vec<(Fingerprint, GroupResult)> = Vec::new();
+        for i in 0..entries {
+            let fingerprint = Fingerprint(0x2000 + i as u64);
+            let result = sample(i);
+            if store.append(fingerprint, &result).is_ok() {
+                acknowledged.push((fingerprint, result));
+            }
+        }
+        drop(store);
+
+        // A fresh process (real I/O) must see exactly the acknowledged set.
+        let reopened = VerdictStore::open(&path).unwrap();
+        prop_assert!(
+            matches!(reopened.recovery(), Recovery::Fresh | Recovery::Clean { .. }),
+            "acknowledged-only log must recover cleanly, got {:?}",
+            reopened.recovery()
+        );
+        let survived: Vec<Fingerprint> = reopened.fingerprints().collect();
+        let expected: Vec<Fingerprint> = acknowledged.iter().map(|(f, _)| *f).collect();
+        prop_assert!(survived == expected, "recovered {survived:?} != acknowledged {expected:?}");
+        for (fingerprint, result) in &acknowledged {
+            prop_assert_eq!(reopened.get(*fingerprint), Some(result));
+        }
+    }
+
+    /// Compaction under any injected fault is all-or-nothing: on failure the
+    /// live log's bytes are untouched, the temp file is cleaned up, and the
+    /// store still serves every verdict; a later fault-free compaction then
+    /// succeeds normally.
+    #[test]
+    fn fault_injected_compaction_fully_applies_or_fully_rolls_back(
+        fault_offset in 0u64..4,
+        which in 0u8..4,
+    ) {
+        let path = temp_path("fault-compact");
+        let _ = std::fs::remove_file(&path);
+        // 4 appends (ops 0..4), two of them superseding, then a compaction
+        // whose three ops (write temp, fsync, rename) start at op 4.
+        let plan = FaultPlan {
+            faults: vec![Fault { at: 4 + fault_offset, kind: fault_kind(which) }],
+        };
+        let mut store =
+            VerdictStore::open_with_io(&path, StoreOptions::default(), Box::new(FaultyIo::new(plan)))
+                .unwrap();
+        for (i, fp) in [1u64, 2, 1, 2].iter().enumerate() {
+            store.append(Fingerprint(*fp), &sample(i)).unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+
+        let outcome = store.compact();
+        let tmp = path.with_extension("compact");
+        if outcome.is_err() {
+            prop_assert!(std::fs::read(&path).unwrap() == before, "failed compaction must not touch the log");
+            prop_assert!(!tmp.exists(), "failed compaction must remove its temp file");
+        }
+        // Either way the store still serves the latest verdicts...
+        prop_assert_eq!(store.get(Fingerprint(1)), Some(&sample(2)));
+        prop_assert_eq!(store.get(Fingerprint(2)), Some(&sample(3)));
+        // ...and a later fault-free compaction (indices exhausted) succeeds.
+        if outcome.is_err() {
+            let stats = store.compact().unwrap();
+            prop_assert_eq!(stats.records_after, 2);
+        }
+        drop(store);
+        let reopened = VerdictStore::open(&path).unwrap();
+        prop_assert_eq!(reopened.recovery(), &Recovery::Clean { records: 2 });
+        prop_assert_eq!(reopened.get(Fingerprint(1)), Some(&sample(2)));
+        prop_assert_eq!(reopened.get(Fingerprint(2)), Some(&sample(3)));
     }
 }
 

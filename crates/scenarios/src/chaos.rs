@@ -1,0 +1,198 @@
+//! Seeded chaos schedules for the daemon's self-healing harness.
+//!
+//! A [`ChaosPlan`] is plain data — which store I/O operations fail, how,
+//! and whether a panicking job rides along — generated from a seed with
+//! the same splitmix64 discipline as [`crate::Household`]: identical seed,
+//! identical schedule, byte for byte.  The `repro chaos` experiment
+//! (crate `iotsan-bench`) maps the plan onto the daemon's fault seam,
+//! drives a cold-run/restart/warm-run cycle under it, and when an
+//! invariant breaks, shrinks the schedule with the same greedy fixpoint
+//! idiom as [`fn@crate::shrink`] before emitting a committable JSON
+//! reproduction.
+//!
+//! This crate deliberately does not depend on `iotsan-daemon` (which
+//! dev-depends on this crate); the plan's vocabulary mirrors the daemon's
+//! fault seam structurally, and the bench harness does the one-line
+//! mapping.
+
+use crate::rng::SplitMix64;
+
+/// How an injected store operation fails (mirrors the daemon's fault
+/// vocabulary: torn write, full disk, failed fsync, failed rename).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFaultKind {
+    /// Half the bytes land, then the write errors (a torn record).
+    ShortWrite,
+    /// The operation fails outright, like ENOSPC.
+    NoSpace,
+    /// Fsync reports failure.
+    FsyncFail,
+    /// Compaction's atomic rename fails.
+    RenameFail,
+}
+
+impl ChaosFaultKind {
+    const ALL: [ChaosFaultKind; 4] = [
+        ChaosFaultKind::ShortWrite,
+        ChaosFaultKind::NoSpace,
+        ChaosFaultKind::FsyncFail,
+        ChaosFaultKind::RenameFail,
+    ];
+
+    /// The kind's name as it appears in JSON reproductions.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosFaultKind::ShortWrite => "short-write",
+            ChaosFaultKind::NoSpace => "no-space",
+            ChaosFaultKind::FsyncFail => "fsync-fail",
+            ChaosFaultKind::RenameFail => "rename-fail",
+        }
+    }
+}
+
+/// One scheduled fault: the 0-based index of the store's mutating I/O
+/// operation to fail, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosFault {
+    /// Which mutating operation (counted from daemon start) fails.
+    pub at: u64,
+    /// How it fails.
+    pub kind: ChaosFaultKind,
+}
+
+/// A complete seeded chaos schedule for one daemon run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed this plan was generated from (0 for shrunk/hand-built
+    /// plans that no longer correspond to a seed).
+    pub seed: u64,
+    /// The injected I/O faults.
+    pub faults: Vec<ChaosFault>,
+    /// Whether a deliberately panicking job is mixed into the workload,
+    /// exercising worker supervision and the poison quarantine alongside
+    /// the I/O faults.
+    pub panic_job: bool,
+}
+
+impl ChaosPlan {
+    /// Generates the schedule for `seed`: 1–4 faults at operation indices
+    /// in `0..24` (small enough that most land on operations the workload
+    /// actually performs), each with a uniformly chosen kind, plus a 25%
+    /// chance of a panicking job.  Fully deterministic.
+    pub fn generate(seed: u64) -> ChaosPlan {
+        let mut rng = SplitMix64::new(seed);
+        let count = rng.range(1, 4);
+        let faults = (0..count)
+            .map(|_| ChaosFault { at: rng.below(24) as u64, kind: *rng.pick(&ChaosFaultKind::ALL) })
+            .collect();
+        let panic_job = rng.chance(25);
+        ChaosPlan { seed, faults, panic_job }
+    }
+
+    /// Greedy deterministic shrinking: repeatedly tries dropping one fault
+    /// (highest index first) and disabling the panic job, keeping each
+    /// surgery only while `still_fails` holds, until a full pass changes
+    /// nothing.  Same failing plan, same minimal reproduction.
+    pub fn shrink(&self, still_fails: impl Fn(&ChaosPlan) -> bool) -> ChaosPlan {
+        debug_assert!(still_fails(self), "shrink requires a failing input");
+        let mut current = self.clone();
+        loop {
+            let mut progressed = false;
+            let mut i = current.faults.len();
+            while i > 0 {
+                i -= 1;
+                let mut candidate = current.clone();
+                candidate.faults.remove(i);
+                if still_fails(&candidate) {
+                    current = candidate;
+                    progressed = true;
+                }
+            }
+            if current.panic_job {
+                let mut candidate = current.clone();
+                candidate.panic_job = false;
+                if still_fails(&candidate) {
+                    current = candidate;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return current;
+            }
+        }
+    }
+
+    /// Renders the plan as the JSON object committed in chaos
+    /// reproductions.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"seed\": {},\n  \"panic_job\": {},\n  \"faults\": [",
+            self.seed, self.panic_job
+        );
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"at\": {}, \"kind\": \"{}\"}}",
+                fault.at,
+                fault.kind.name()
+            ));
+        }
+        if !self.faults.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        for seed in 0..200 {
+            let a = ChaosPlan::generate(seed);
+            let b = ChaosPlan::generate(seed);
+            assert_eq!(a, b);
+            assert!((1..=4).contains(&a.faults.len()));
+            assert!(a.faults.iter().all(|f| f.at < 24));
+        }
+        // Sanity: the sweep exercises every kind and both panic states.
+        let plans: Vec<ChaosPlan> = (0..200).map(ChaosPlan::generate).collect();
+        for kind in ChaosFaultKind::ALL {
+            assert!(
+                plans.iter().any(|p| p.faults.iter().any(|f| f.kind == kind)),
+                "{kind:?} never generated"
+            );
+        }
+        assert!(plans.iter().any(|p| p.panic_job));
+        assert!(plans.iter().any(|p| !p.panic_job));
+    }
+
+    #[test]
+    fn shrinking_reaches_a_fixpoint() {
+        let plan = ChaosPlan::generate(3);
+        // "Fails" whenever any fault remains: minimal plan is one fault.
+        let minimal = plan.shrink(|p| !p.faults.is_empty());
+        assert_eq!(minimal.faults.len(), 1);
+        assert!(!minimal.panic_job);
+        assert_eq!(minimal.shrink(|p| !p.faults.is_empty()), minimal);
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let plan = ChaosPlan {
+            seed: 7,
+            faults: vec![ChaosFault { at: 2, kind: ChaosFaultKind::NoSpace }],
+            panic_job: true,
+        };
+        let json = plan.to_json();
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"kind\": \"no-space\""));
+        assert!(json.contains("\"panic_job\": true"));
+    }
+}

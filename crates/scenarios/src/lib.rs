@@ -18,11 +18,17 @@
 //! 3. **Shrinking** ([`fn@shrink`]): failing seeds reduce deterministically to
 //!    minimal reproductions, serializable as committable JSON fixtures.
 //!
+//! The same seeded-generate/shrink discipline extends to the daemon's
+//! self-healing harness: [`chaos::ChaosPlan`] generates deterministic I/O
+//! fault schedules the `repro chaos` experiment maps onto the daemon's
+//! fault seam.
+//!
 //! The `repro scenarios` experiment (crate `iotsan-bench`) drives all three
 //! from the command line and in CI.
 //!
 //! [`PropertySpec`]: iotsan_properties::PropertySpec
 
+pub mod chaos;
 pub mod fixture;
 pub mod household;
 pub mod oracle;
@@ -30,6 +36,7 @@ pub mod rng;
 pub mod shrink;
 pub mod template;
 
+pub use chaos::{ChaosFault, ChaosFaultKind, ChaosPlan};
 pub use fixture::Fixture;
 pub use household::{Household, SizeProfile, GENERATED_PROPERTY_BASE};
 pub use oracle::{check_household, Divergence, HouseholdReport, Phase, PARALLEL_WORKERS};

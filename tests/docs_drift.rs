@@ -113,7 +113,9 @@ fn architecture_documents_the_daemon_subsystem() {
         text.contains("## Daemon & durable verdict store"),
         "ARCHITECTURE.md must keep the daemon subsystem section"
     );
-    for topic in ["Fingerprint-keyed records", "Crash safety", "Concurrency discipline"] {
+    for topic in
+        ["Fingerprint-keyed records", "Crash safety", "Concurrency discipline", "I/O fault seam"]
+    {
         assert!(text.contains(topic), "daemon section must cover: {topic}");
     }
 }
@@ -172,11 +174,25 @@ fn operations_handbook_covers_the_operator_surface() {
         "## Verdict-store disk layout",
         "## Compaction and eviction knobs",
         "## Crash-recovery semantics",
+        "## Failure modes & degraded operation",
         "## Troubleshooting",
     ] {
         assert!(text.contains(section), "OPERATIONS.md must keep the section: {section}");
     }
-    for flag in ["--store", "--jobs", "--listen", "--compact", "--status"] {
+    for flag in [
+        "--store",
+        "--jobs",
+        "--listen",
+        "--compact",
+        "--status",
+        "--retry-attempts",
+        "--retry-base-ms",
+        "--enable-fault-injection",
+    ] {
         assert!(text.contains(flag), "OPERATIONS.md must document the {flag} flag");
+    }
+    // The self-healing invariants and their artifacts must stay named.
+    for anchor in ["chaos_repro.json", ".quarantine", "repro -- --seed 1 --faults 200 chaos"] {
+        assert!(text.contains(anchor), "OPERATIONS.md must keep the reference to {anchor}");
     }
 }
