@@ -11,7 +11,14 @@
 //!
 //! Available experiments: `table1 table2 table3 table4 table5 table6 table7a
 //! table7b table8 table9 attribution fig4 fig7 fig8a fig8b parallel fleet
-//! properties slice daemon scenarios chaos`.
+//! properties slice daemon telemetry scenarios chaos`.
+//!
+//! `telemetry` is the observability subsystem's overhead guard: the same
+//! sequential workload verified with metric recording switched off and on
+//! (the `iotsan-telemetry` runtime kill-switch) inside one process, the
+//! enabled arm required to keep ≥95% of the disabled arm's throughput.
+//! The final registry snapshot rides along in the JSON document so the
+//! BENCH artifact records exactly which counters the workload moved.
 //!
 //! `scenarios` runs the scenario-factory differential fuzzer
 //! (`iotsan-scenarios`): `--size N` households (default 200) generated from
@@ -58,6 +65,7 @@ use iotsan_bench::{
     expert_config, format_duration, format_runtime, run_concurrent, run_sequential,
     translate_group, volunteer_config, TimedRun,
 };
+use iotsan_telemetry::rows::JsonRow;
 use std::collections::BTreeMap;
 
 /// Every experiment name `main` dispatches on, in presentation order.
@@ -82,6 +90,7 @@ const EXPERIMENTS: &[&str] = &[
     "properties",
     "slice",
     "daemon",
+    "telemetry",
     "scenarios",
     "chaos",
 ];
@@ -192,6 +201,9 @@ fn main() {
     if want("daemon") {
         daemon_experiment(&mut bench_json);
     }
+    if want("telemetry") {
+        telemetry_experiment(&mut bench_json);
+    }
     if want("scenarios") {
         scenarios_experiment(&mut bench_json, fuzz_seed, fuzz_size);
     }
@@ -281,26 +293,22 @@ fn properties_experiment(json: &mut BenchJson) {
         "throughput cliff: custom specs dropped states/sec to {ratio:.3}x of built-ins"
     );
 
+    let property_row = |phase: &str, properties: usize, run: &TimedRun, ratio: f64| {
+        JsonRow::with_capacity(256)
+            .str("phase", phase)
+            .num_u("properties", properties as u64)
+            .fixed("seconds", run.elapsed.as_secs_f64(), 6)
+            .num_u("states", run.report.stats.states_stored as u64)
+            .num_u("transitions", run.report.stats.transitions as u64)
+            .fixed("states_per_sec", run.report.stats.states_per_sec, 1)
+            .num_u("violated_properties", run.report.violated_properties().len() as u64)
+            .flag("truncated", run.truncated)
+            .fixed("throughput_ratio", ratio, 3)
+            .finish()
+    };
     let rows = vec![
-        format!(
-            "        {{\"phase\": \"builtins\", \"properties\": 45, \"seconds\": {:.6}, \"states\": {}, \"transitions\": {}, \"states_per_sec\": {:.1}, \"violated_properties\": {}, \"truncated\": {}, \"throughput_ratio\": 1.000}}",
-            builtin_run.elapsed.as_secs_f64(),
-            builtin_run.report.stats.states_stored,
-            builtin_run.report.stats.transitions,
-            builtin_run.report.stats.states_per_sec,
-            builtin_run.report.violated_properties().len(),
-            builtin_run.truncated,
-        ),
-        format!(
-            "        {{\"phase\": \"customs\", \"properties\": {}, \"seconds\": {:.6}, \"states\": {}, \"transitions\": {}, \"states_per_sec\": {:.1}, \"violated_properties\": {}, \"truncated\": {}, \"throughput_ratio\": {ratio:.3}}}",
-            45 + custom_count,
-            custom_run.elapsed.as_secs_f64(),
-            custom_run.report.stats.states_stored,
-            custom_run.report.stats.transitions,
-            custom_run.report.stats.states_per_sec,
-            custom_run.report.violated_properties().len(),
-            custom_run.truncated,
-        ),
+        property_row("builtins", 45, &builtin_run, 1.0),
+        property_row("customs", 45 + custom_count, &custom_run, ratio),
     ];
     json.push_experiment("properties", "market8+failures", events, &rows);
 
@@ -338,11 +346,14 @@ fn properties_experiment(json: &mut BenchJson) {
             set.len(),
             compiled.atom_count()
         );
-        eval_rows.push(format!(
-            "        {{\"set\": \"{label}\", \"properties\": {}, \"atoms\": {}, \"ns_per_eval\": {ns:.1}}}",
-            set.len(),
-            compiled.atom_count(),
-        ));
+        eval_rows.push(
+            JsonRow::new()
+                .str("set", label)
+                .num_u("properties", set.len() as u64)
+                .num_u("atoms", compiled.atom_count() as u64)
+                .fixed("ns_per_eval", ns, 1)
+                .finish(),
+        );
     }
     json.push_experiment("property_eval", "market8", events, &eval_rows);
 }
@@ -451,12 +462,20 @@ fn slice_experiment(json: &mut BenchJson) {
                 plan.dropped_count(),
                 "equal",
             );
-            rows.push(format!(
-                "        {{\"bundle\": {i}, \"properties\": \"{set_label}\", \"handlers\": {handler_count}, \"dropped_handlers\": {}, \"analysis_seconds\": {analysis_seconds:.6}, \"unsliced_seconds\": {:.6}, \"sliced_seconds\": {:.6}, \"unsliced_states\": {plain_states}, \"sliced_states\": {sliced_states}, \"verdicts_identical\": true}}",
-                plan.dropped_count(),
-                plain_time.as_secs_f64(),
-                sliced_time.as_secs_f64(),
-            ));
+            rows.push(
+                JsonRow::with_capacity(256)
+                    .num_u("bundle", i as u64)
+                    .str("properties", set_label)
+                    .num_u("handlers", handler_count as u64)
+                    .num_u("dropped_handlers", plan.dropped_count() as u64)
+                    .fixed("analysis_seconds", analysis_seconds, 6)
+                    .fixed("unsliced_seconds", plain_time.as_secs_f64(), 6)
+                    .fixed("sliced_seconds", sliced_time.as_secs_f64(), 6)
+                    .num_u("unsliced_states", plain_states as u64)
+                    .num_u("sliced_states", sliced_states as u64)
+                    .flag("verdicts_identical", true)
+                    .finish(),
+            );
         }
     }
     assert!(reduced_bundles >= 1, "slicing reduced the explored state count on no bundle at all");
@@ -472,11 +491,12 @@ const THROUGHPUT_REGRESSION_TOLERANCE: f64 = 0.20;
 
 /// Extracts the sequential-engine `states_per_sec` value from a
 /// machine-readable timings document (the committed `BENCH_baseline.json`).
-/// Hand-rolled scan, matching the hand-rendered writer.
+/// Hand-rolled scan, tolerating optional whitespace after the colon so both
+/// the legacy spaced baseline and rows rendered by `JsonRow` parse.
 fn baseline_states_per_sec(text: &str) -> Option<f64> {
-    let row = text.lines().find(|l| l.contains("\"engine\": \"sequential\""))?;
-    let start = row.find("\"states_per_sec\": ")? + "\"states_per_sec\": ".len();
-    let rest = &row[start..];
+    let row = text.lines().find(|l| l.contains("\"engine\":") && l.contains("\"sequential\""))?;
+    let start = row.find("\"states_per_sec\":")? + "\"states_per_sec\":".len();
+    let rest = row[start..].trim_start();
     let end = rest.find([',', '}'])?;
     rest[..end].trim().parse().ok()
 }
@@ -507,9 +527,12 @@ fn check_throughput_baseline(path: &str, measured: f64) {
     }
 }
 
-/// Collector for the machine-readable timing document written by `--json`
-/// (hand-rendered JSON: the vendored serde stubs stay out of the hot path and
-/// the schema is trivial).
+/// Collector for the machine-readable timing document written by `--json`.
+/// The document frame (experiment list, pretty-printed nesting) is rendered
+/// here; the rows themselves are [`JsonRow`] objects from
+/// `iotsan-telemetry`, the same serializer behind the daemon's NDJSON
+/// outcomes and the metrics snapshot, so the surfaces cannot drift in
+/// escaping or number formatting.
 struct BenchJson {
     experiments: Vec<String>,
 }
@@ -520,9 +543,10 @@ impl BenchJson {
     }
 
     fn push_experiment(&mut self, name: &str, group: &str, events: usize, rows: &[String]) {
+        let body: Vec<String> = rows.iter().map(|row| format!("        {row}")).collect();
         self.experiments.push(format!(
             "    {{\n      \"name\": \"{name}\",\n      \"group\": \"{group}\",\n      \"events\": {events},\n      \"rows\": [\n{}\n      ]\n    }}",
-            rows.join(",\n")
+            body.join(",\n")
         ));
     }
 
@@ -544,18 +568,18 @@ fn speedup_vs(baseline: &TimedRun, run: &TimedRun) -> f64 {
 }
 
 fn timing_row(workers: usize, run: &TimedRun, baseline: &TimedRun) -> String {
-    let speedup = speedup_vs(baseline, run);
-    format!(
-        "        {{\"workers\": {workers}, \"engine\": \"{}\", \"seconds\": {:.6}, \"states\": {}, \"transitions\": {}, \"states_per_sec\": {:.1}, \"peak_trace_bytes\": {}, \"violated_properties\": {}, \"truncated\": {}, \"speedup\": {speedup:.3}}}",
-        if workers <= 1 { "sequential" } else { "parallel" },
-        run.elapsed.as_secs_f64(),
-        run.report.stats.states_stored,
-        run.report.stats.transitions,
-        run.report.stats.states_per_sec,
-        run.report.stats.peak_trace_bytes,
-        run.report.violated_properties().len(),
-        run.truncated,
-    )
+    JsonRow::with_capacity(256)
+        .num_u("workers", workers as u64)
+        .str("engine", if workers <= 1 { "sequential" } else { "parallel" })
+        .fixed("seconds", run.elapsed.as_secs_f64(), 6)
+        .num_u("states", run.report.stats.states_stored as u64)
+        .num_u("transitions", run.report.stats.transitions as u64)
+        .fixed("states_per_sec", run.report.stats.states_per_sec, 1)
+        .num_u("peak_trace_bytes", run.report.stats.peak_trace_bytes as u64)
+        .num_u("violated_properties", run.report.violated_properties().len() as u64)
+        .flag("truncated", run.truncated)
+        .fixed("speedup", speedup_vs(baseline, run), 3)
+        .finish()
 }
 
 /// Worker-count sweep: the sequential checker vs the parallel checker at
@@ -635,19 +659,25 @@ fn fleet_row(
     run: &iotsan_bench::FleetRun,
     cold: &iotsan_bench::FleetRun,
 ) -> String {
-    format!(
-        "        {{\"corpus\": {corpus}, \"workers\": {workers}, \"phase\": \"{phase}\", \"seconds\": {:.6}, \"groups\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.3}, \"violated_properties\": {}, \"states\": {}, \"transitions\": {}, \"truncated\": {}, \"speedup_vs_cold\": {:.3}}}",
-        run.elapsed.as_secs_f64(),
-        run.report.groups.len(),
-        run.report.cache_hits,
-        run.report.cache_misses,
-        run.report.cache_hit_rate(),
-        run.report.violated_properties().len(),
-        run.states(),
-        run.transitions(),
-        run.truncated(),
-        cold.elapsed.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9),
-    )
+    JsonRow::with_capacity(256)
+        .num_u("corpus", corpus as u64)
+        .num_u("workers", workers as u64)
+        .str("phase", phase)
+        .fixed("seconds", run.elapsed.as_secs_f64(), 6)
+        .num_u("groups", run.report.groups.len() as u64)
+        .num_u("cache_hits", run.report.cache_hits as u64)
+        .num_u("cache_misses", run.report.cache_misses as u64)
+        .fixed("hit_rate", run.report.cache_hit_rate(), 3)
+        .num_u("violated_properties", run.report.violated_properties().len() as u64)
+        .num_u("states", run.states() as u64)
+        .num_u("transitions", run.transitions() as u64)
+        .flag("truncated", run.truncated())
+        .fixed(
+            "speedup_vs_cold",
+            cold.elapsed.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9),
+            3,
+        )
+        .finish()
 }
 
 /// Fleet planner sweep: group counts (via corpus size) × worker counts ×
@@ -823,19 +853,130 @@ fn daemon_experiment(json: &mut BenchJson) {
             run.report.cache_hits,
             run.report.cache_misses,
         );
-        rows.push(format!(
-            "        {{\"phase\": \"{phase}\", \"seconds\": {:.6}, \"groups\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"backing_hits\": {backing}, \"violated_properties\": {}, \"truncated\": {}, \"speedup_vs_cold\": {vs_cold:.3}}}",
-            run.elapsed.as_secs_f64(),
-            run.report.groups.len(),
-            run.report.cache_hits,
-            run.report.cache_misses,
-            run.report.violated_properties().len(),
-            run.truncated(),
-        ));
+        rows.push(
+            JsonRow::with_capacity(256)
+                .str("phase", phase)
+                .fixed("seconds", run.elapsed.as_secs_f64(), 6)
+                .num_u("groups", run.report.groups.len() as u64)
+                .num_u("cache_hits", run.report.cache_hits as u64)
+                .num_u("cache_misses", run.report.cache_misses as u64)
+                .num_u("backing_hits", backing as u64)
+                .num_u("violated_properties", run.report.violated_properties().len() as u64)
+                .flag("truncated", run.truncated())
+                .fixed("speedup_vs_cold", vs_cold, 3)
+                .finish(),
+        );
     }
     json.push_experiment("daemon", "market8+failures", events, &rows);
     println!("(recovery: {recovered}; warm verdicts byte-identical and served from disk)");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Minimum fraction of the recording-disabled throughput the
+/// recording-enabled run must retain: the telemetry subsystem's "<5%
+/// overhead" budget, enforced by CI's bench-smoke job.
+const TELEMETRY_OVERHEAD_FLOOR: f64 = 0.95;
+
+/// The telemetry overhead guard: the same sequential scaling workload
+/// verified with metric recording switched off (the runtime kill-switch)
+/// and on, interleaved best-of-3 inside one process so machine noise and
+/// thermal drift hit both arms equally.  Asserts the instrumented run keeps
+/// at least [`TELEMETRY_OVERHEAD_FLOOR`] of the uninstrumented throughput
+/// and that recording changes no verification result, then emits the final
+/// registry snapshot so the BENCH artifact records which counters moved.
+fn telemetry_experiment(json: &mut BenchJson) {
+    heading("Telemetry: recording overhead A/B (metrics off vs on, one process)");
+    let (apps, config) = iotsan_bench::scaling_workload();
+    let events = iotsan_bench::experiment_events(2, 3);
+    let budget = iotsan_bench::experiment_budget(30, 120);
+
+    // Warm-up run: fault in code paths and allocator state before timing.
+    let warmup = iotsan_bench::run_search(&apps, &config, events, 1, true, budget);
+
+    // Interleaved best-of-3 per arm: alternating off/on inside each round
+    // keeps slow drift from systematically favouring either arm.
+    let mut best: [Option<TimedRun>; 2] = [None, None];
+    for _round in 0..3 {
+        for (arm, recording) in [(0usize, false), (1usize, true)] {
+            iotsan_telemetry::metrics::set_enabled(recording);
+            let run = iotsan_bench::run_search(&apps, &config, events, 1, true, budget);
+            iotsan_telemetry::metrics::set_enabled(true);
+            let faster = match &best[arm] {
+                None => true,
+                Some(b) => run.report.stats.states_per_sec > b.report.stats.states_per_sec,
+            };
+            if faster {
+                best[arm] = Some(run);
+            }
+        }
+    }
+    let [disabled, enabled] = best;
+    let (disabled, enabled) =
+        (disabled.expect("disabled arm ran"), enabled.expect("enabled arm ran"));
+
+    // Recording is observation only: both arms (and the warm-up) must agree
+    // on every verification result.
+    for (label, run) in [("disabled", &disabled), ("enabled", &enabled)] {
+        assert_eq!(
+            run.report.violated_properties(),
+            warmup.report.violated_properties(),
+            "telemetry {label} arm changed the violated-property set"
+        );
+        assert_eq!(
+            run.report.stats.states_stored, warmup.report.stats.states_stored,
+            "telemetry {label} arm changed the explored state count"
+        );
+    }
+
+    let ratio =
+        enabled.report.stats.states_per_sec / disabled.report.stats.states_per_sec.max(1e-9);
+    println!(
+        "{:<22} {:>14} {:>10} {:>12} {:>12}",
+        "Recording", "Time", "States", "States/sec", "Violations"
+    );
+    for (label, run) in [("off (kill-switch)", &disabled), ("on (default)", &enabled)] {
+        println!(
+            "{label:<22} {:>14} {:>10} {:>12.0} {:>12}",
+            format_runtime(run),
+            run.report.stats.states_stored,
+            run.report.stats.states_per_sec,
+            run.report.violated_properties().len()
+        );
+    }
+    println!("enabled/disabled throughput ratio: {ratio:.3} (floor {TELEMETRY_OVERHEAD_FLOOR})");
+    assert!(
+        ratio >= TELEMETRY_OVERHEAD_FLOOR,
+        "telemetry recording costs more than its overhead budget: \
+         enabled run at {ratio:.3}x of the disabled run (floor {TELEMETRY_OVERHEAD_FLOOR})"
+    );
+
+    // The wiring check: a workload this size must have moved the checker
+    // counters through the registry's global flush path.
+    let snap = iotsan_telemetry::snapshot();
+    assert!(
+        snap.counter("iotsan_checker_searches_total") > 0
+            && snap.counter("iotsan_checker_states_total") > 0,
+        "the checker flushed no telemetry despite recording being enabled"
+    );
+
+    let overhead_row = |phase: &str, run: &TimedRun, ratio: f64| {
+        JsonRow::with_capacity(256)
+            .str("phase", phase)
+            .fixed("seconds", run.elapsed.as_secs_f64(), 6)
+            .num_u("states", run.report.stats.states_stored as u64)
+            .num_u("transitions", run.report.stats.transitions as u64)
+            .fixed("states_per_sec", run.report.stats.states_per_sec, 1)
+            .flag("truncated", run.truncated)
+            .fixed("throughput_ratio", ratio, 3)
+            .finish()
+    };
+    json.push_experiment(
+        "telemetry_overhead",
+        "market8+failures",
+        events,
+        &[overhead_row("disabled", &disabled, 1.0), overhead_row("enabled", &enabled, ratio)],
+    );
+    json.push_experiment("telemetry_snapshot", "registry", events, &[snap.render_json()]);
 }
 
 /// The scenario-factory differential fuzzer: `size` generated households
@@ -913,10 +1054,20 @@ fn scenarios_experiment(json: &mut BenchJson, seed_start: u64, size: usize) {
         "scenario_fuzz",
         "generated-households",
         0,
-        &[format!(
-            "        {{\"households\": {households}, \"seed_start\": {seed_start}, \"divergences\": 0, \"apps\": {apps}, \"groups\": {}, \"states\": {}, \"transitions\": {}, \"violating_households\": {violating}, \"truncated_households\": {truncated}, \"promela_checked\": {promela_checked}, \"seconds\": {seconds:.6}, \"states_per_sec\": {states_per_sec:.1}}}",
-            totals.groups, totals.states, totals.transitions,
-        )],
+        &[JsonRow::with_capacity(256)
+            .num_u("households", households as u64)
+            .num_u("seed_start", seed_start)
+            .num_u("divergences", 0)
+            .num_u("apps", apps as u64)
+            .num_u("groups", totals.groups as u64)
+            .num_u("states", totals.states as u64)
+            .num_u("transitions", totals.transitions as u64)
+            .num_u("violating_households", violating as u64)
+            .num_u("truncated_households", truncated as u64)
+            .num_u("promela_checked", promela_checked as u64)
+            .fixed("seconds", seconds, 6)
+            .fixed("states_per_sec", states_per_sec, 1)
+            .finish()],
     );
 }
 
@@ -1229,9 +1380,17 @@ fn chaos_experiment(json: &mut BenchJson, seed_start: u64, schedules: usize) {
         "chaos",
         "daemon-fault-schedules",
         2,
-        &[format!(
-            "        {{\"schedules\": {schedules}, \"seed_start\": {seed_start}, \"violations\": 0, \"faults_scheduled\": {faults_scheduled}, \"panic_schedules\": {panic_schedules}, \"degraded_runs\": {degraded_runs}, \"lost_persists\": {lost_persists}, \"quarantined_jobs\": {quarantined_jobs}, \"seconds\": {seconds:.6}}}"
-        )],
+        &[JsonRow::with_capacity(256)
+            .num_u("schedules", schedules as u64)
+            .num_u("seed_start", seed_start)
+            .num_u("violations", 0)
+            .num_u("faults_scheduled", faults_scheduled as u64)
+            .num_u("panic_schedules", panic_schedules as u64)
+            .num_u("degraded_runs", degraded_runs as u64)
+            .num_u("lost_persists", lost_persists as u64)
+            .num_u("quarantined_jobs", quarantined_jobs as u64)
+            .fixed("seconds", seconds, 6)
+            .finish()],
     );
 }
 

@@ -54,11 +54,12 @@
 //! mode trades determinism for memory.)
 
 use crate::search::{
-    depth_tag, materialize_trace, states_per_sec, Checker, FoundViolation, SearchConfig,
-    SearchReport, SearchStats, TraceArena,
+    depth_tag, flush_search_telemetry, materialize_trace, states_per_sec, Checker, FoundViolation,
+    SearchConfig, SearchReport, SearchStats, TraceArena,
 };
 use crate::store::ShardedStore;
 use crate::transition::{StepLog, TransitionSystem, Violation};
+use iotsan_telemetry::flight::{self, EventCode, Level};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -123,6 +124,11 @@ struct Shared<'m, T: TransitionSystem> {
     available: Condvar,
     transitions: AtomicUsize,
     stored: AtomicUsize,
+    /// Store insertions rejected as already-visited (telemetry tally).
+    dedup_hits: AtomicUsize,
+    /// Peak length of the shared work queue (telemetry tally; worker-local
+    /// stacks are not counted).
+    frontier_peak: AtomicUsize,
     max_depth_reached: AtomicUsize,
     /// Total arena bookkeeping bytes, accumulated as workers retire.
     arena_bytes: AtomicUsize,
@@ -222,6 +228,11 @@ impl ParallelChecker {
         }
 
         let start = Instant::now();
+        flight::record(
+            Level::Debug,
+            EventCode::SearchStart,
+            &format!("parallel depth={} workers={}", self.config.max_depth, workers),
+        );
         let store = ShardedStore::new(self.config.store, self.shard_count());
         let initial = model.initial_state();
         let mut encode_buf = Vec::new();
@@ -240,6 +251,8 @@ impl ParallelChecker {
             available: Condvar::new(),
             transitions: AtomicUsize::new(0),
             stored: AtomicUsize::new(1),
+            dedup_hits: AtomicUsize::new(0),
+            frontier_peak: AtomicUsize::new(1),
             max_depth_reached: AtomicUsize::new(0),
             arena_bytes: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
@@ -282,6 +295,12 @@ impl ParallelChecker {
             transitions_capped,
             workers,
         };
+        flush_search_telemetry(
+            &stats,
+            shared.dedup_hits.load(Ordering::Relaxed),
+            shared.frontier_peak.load(Ordering::Relaxed),
+            self.config.cancel.as_ref().is_some_and(|t| t.is_cancelled()),
+        );
         SearchReport { violations, stats }
     }
 }
@@ -479,6 +498,7 @@ fn share_surplus<T>(
     let mut frontier = shared.lock_frontier();
     frontier.items.extend(local.drain(..donate));
     shared.frontier_len.store(frontier.items.len(), Ordering::Relaxed);
+    shared.frontier_peak.fetch_max(frontier.items.len(), Ordering::Relaxed);
     shared.available.notify_all();
 }
 
@@ -555,6 +575,8 @@ fn expand<T>(
                 depth: next_depth,
                 lineage: Lineage::Local(node),
             });
+        } else {
+            shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

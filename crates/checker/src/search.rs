@@ -28,6 +28,8 @@
 use crate::store::StoreKind;
 use crate::trace::Trace;
 use crate::transition::{StepLog, TransitionSystem, Violation};
+use iotsan_telemetry::flight::{self, EventCode, Level};
+use iotsan_telemetry::METRICS;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -428,6 +430,15 @@ impl Checker {
         let mut store = self.config.store.build();
         let mut report = SearchReport::default();
         let mut seen_properties: BTreeSet<u32> = BTreeSet::new();
+        // Per-search telemetry tallies, flushed once in `finish` — the hot
+        // loop never touches the global registry.
+        let mut dedup_hits: usize = 0;
+        let mut frontier_peak: usize = 1;
+        flight::record(
+            Level::Debug,
+            EventCode::SearchStart,
+            &format!("sequential depth={} store={:?}", self.config.max_depth, self.config.store),
+        );
 
         // Reused hot-loop buffers: encoded state bytes, enabled actions,
         // model scratch, the (disabled) effect log and the path scratch for
@@ -496,11 +507,20 @@ impl Checker {
                 if store.insert(&encode_buf) {
                     let next_node = arena.push(node, action);
                     frontier.push_back((outcome.state, next_depth, next_node));
+                    frontier_peak = frontier_peak.max(frontier.len());
+                } else {
+                    dedup_hits += 1;
                 }
             }
         }
 
         self.finish(&mut report, store.as_ref(), start, arena.memory_bytes());
+        flush_search_telemetry(
+            &report.stats,
+            dedup_hits,
+            frontier_peak,
+            self.config.cancel.as_ref().is_some_and(|t| t.is_cancelled()),
+        );
         report
     }
 
@@ -579,8 +599,46 @@ fn record_violations<T: TransitionSystem>(
 }
 
 /// Distinct-states-per-second throughput, guarded against zero elapsed time.
+///
+/// The guard keeps the result finite for every input a search can produce
+/// (a zero-duration run divides by `1e-9`, not `0`), so no `inf`/NaN ever
+/// reaches [`SearchStats::states_per_sec`], the daemon codec or a rendered
+/// BENCH row — see `states_per_sec_is_always_finite`.
 pub(crate) fn states_per_sec(states: usize, elapsed: Duration) -> f64 {
     states as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// Flushes one finished search's tallies into the global telemetry
+/// registry and flight ring — the engines' single per-search telemetry
+/// touch point (sequential `run` and the parallel merge both end here).
+pub(crate) fn flush_search_telemetry(
+    stats: &SearchStats,
+    dedup_hits: usize,
+    frontier_peak: usize,
+    cancelled: bool,
+) {
+    METRICS.checker_searches.inc();
+    METRICS.checker_states.add(stats.states_stored as u64);
+    METRICS.checker_transitions.add(stats.transitions as u64);
+    METRICS.checker_dedup_hits.add(dedup_hits as u64);
+    METRICS.checker_last_states_per_sec.set(stats.states_per_sec);
+    METRICS.checker_frontier_peak.set(frontier_peak as i64);
+    METRICS.checker_arena_peak_bytes.set(stats.peak_trace_bytes as i64);
+    if stats.truncated {
+        METRICS.checker_truncated.inc();
+        let code = if cancelled { EventCode::SearchCancel } else { EventCode::SearchCap };
+        flight::record(
+            Level::Info,
+            code,
+            &format!(
+                "states={} transitions={} states_capped={} transitions_capped={}",
+                stats.states_stored,
+                stats.transitions,
+                stats.states_capped,
+                stats.transitions_capped
+            ),
+        );
+    }
 }
 
 /// The depth byte appended to encoded states (saturating: the checker's event
@@ -745,6 +803,29 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_ne!(a, CancelToken::new());
+    }
+
+    #[test]
+    fn states_per_sec_is_always_finite() {
+        // The raw guard: no input a search can produce divides by zero.
+        assert!(states_per_sec(0, Duration::ZERO).is_finite());
+        assert!(states_per_sec(usize::MAX, Duration::ZERO).is_finite());
+        assert!(states_per_sec(1_000_000, Duration::from_nanos(1)).is_finite());
+        assert!(states_per_sec(0, Duration::MAX).is_finite());
+        assert_eq!(states_per_sec(5, Duration::from_secs(2)), 2.5);
+        assert!(!states_per_sec(1, Duration::ZERO).is_nan());
+    }
+
+    #[test]
+    fn zero_elapsed_search_reports_finite_throughput() {
+        // A search that stops at its very first cap check measures ~zero
+        // elapsed time; the reported rate must still be finite (it flows
+        // into the daemon codec and rendered BENCH rows unchecked).
+        let mut config = SearchConfig::with_depth(12);
+        config.time_limit = Some(Duration::ZERO);
+        let report = Checker::new(config).verify(&model());
+        assert!(report.stats.states_per_sec.is_finite());
+        assert!(!report.stats.states_per_sec.is_nan());
     }
 
     #[test]

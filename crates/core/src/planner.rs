@@ -61,6 +61,7 @@ use iotsan_checker::{SearchConfig, SearchReport};
 use iotsan_config::SystemConfig;
 use iotsan_depgraph::analyze;
 use iotsan_ir::IrApp;
+use iotsan_telemetry::METRICS;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -405,17 +406,21 @@ impl VerificationCache {
     pub fn lookup(&mut self, fingerprint: Fingerprint) -> Option<GroupResult> {
         if let Some(result) = self.entries.get(&fingerprint) {
             self.hits += 1;
+            METRICS.cache_hits.inc();
             return Some(result.clone());
         }
         if let Some(backing) = self.backing.as_mut() {
             if let Some(result) = backing.load(fingerprint) {
                 self.hits += 1;
                 self.backing_hits += 1;
+                METRICS.cache_hits.inc();
+                METRICS.cache_backing_hits.inc();
                 self.entries.insert(fingerprint, result.clone());
                 return Some(result);
             }
         }
         self.misses += 1;
+        METRICS.cache_misses.inc();
         None
     }
 
@@ -427,6 +432,7 @@ impl VerificationCache {
         if let Some(backing) = self.backing.as_mut() {
             if !backing.store(fingerprint, &result) {
                 self.persist_failures += 1;
+                METRICS.cache_persist_failures.inc();
             }
         }
         self.entries.insert(fingerprint, result);
@@ -626,6 +632,7 @@ impl<'a> VerificationPlanner<'a> {
             members.sort_by(|a, b| a.name.cmp(&b.name));
             let restricted = self.pipeline.restrict_config(&members, config);
             let fingerprint = fingerprint_group(self.pipeline, &members, &restricted);
+            METRICS.planner_group_size.observe(members.len() as u64);
             jobs.push(GroupJob {
                 apps: members.iter().map(|a| a.name.clone()).collect(),
                 handler_count: members.iter().map(|a| a.handlers.len()).sum(),

@@ -13,6 +13,9 @@ use iotsan_daemon::{
     load_quarantine, parse_line, quarantine_sidecar_path, Daemon, DaemonConfig, JobLine,
     JobOutcome, JobStatus, Recovery, RetryPolicy, StoreOptions, VerdictStore,
 };
+use iotsan_telemetry::flight::{self, EventCode, Level};
+use iotsan_telemetry::rows::JsonRow;
+use iotsan_telemetry::DESCRIPTORS;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,6 +47,11 @@ OPTIONS:
                          [default: 3].
     --retry-base-ms N    Base delay for retry backoff, doubling per failure
                          [default: 25].
+    --log-level LEVEL    Minimum severity rendered to stderr: debug, info,
+                         warn or error [default: warn].
+    --metrics-snapshot PATH
+                         On exit, write the final telemetry snapshot (one
+                         JSON row of every metric) to PATH.
     --enable-fault-injection
                          Honor the `inject_panic` job field (testing only;
                          otherwise such jobs are rejected as invalid).
@@ -65,6 +73,12 @@ or `sources` (inline Groovy) selects the bundle.  Optional: `events` (event
 bound, default 2), `workers` (checker threads, default 1), `failures`
 (failure injection, default false), `timeout_ms` (wall-clock budget),
 `inject_panic` (panic mid-verification; needs --enable-fault-injection).
+
+CONTROL OPS (one JSON object per line):
+    {\"op\":\"shutdown\"}   Stop accepting work and exit.
+    {\"op\":\"metrics\"}    Answer with one JSON row of every telemetry metric
+                        (in --jobs mode: after the batch completes).
+    {\"op\":\"flight\"}     Answer with the flight recorder's retained events.
 ";
 
 /// A failure with the exit code it maps to.
@@ -110,6 +124,8 @@ struct Args {
     compact_after: Option<usize>,
     retry_attempts: u32,
     retry_base_ms: u64,
+    log_level: Option<Level>,
+    metrics_snapshot: Option<PathBuf>,
     fault_injection: bool,
 }
 
@@ -153,6 +169,15 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--retry-base-ms" => {
                 args.retry_base_ms =
                     parse_count(&value(&mut iter, "--retry-base-ms")?, "--retry-base-ms")? as u64
+            }
+            "--log-level" => {
+                let raw = value(&mut iter, "--log-level")?;
+                args.log_level = Some(Level::parse(&raw).ok_or_else(|| {
+                    format!("--log-level must be debug, info, warn or error, got `{raw}`")
+                })?);
+            }
+            "--metrics-snapshot" => {
+                args.metrics_snapshot = Some(PathBuf::from(value(&mut iter, "--metrics-snapshot")?))
             }
             "--enable-fault-injection" => args.fault_injection = true,
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -201,10 +226,33 @@ fn describe_recovery(recovery: &Recovery) -> String {
     }
 }
 
+/// The one-line JSON response to `{"op":"metrics"}`: the current snapshot
+/// of every registered metric.
+fn metrics_line() -> String {
+    iotsan_telemetry::snapshot().render_json()
+}
+
+/// The one-line JSON response to `{"op":"flight"}`: the flight recorder's
+/// retained events, oldest first.
+fn flight_line() -> String {
+    let rendered: Vec<String> = flight::events().iter().map(|e| e.render()).collect();
+    JsonRow::new()
+        .num_u("recorded", flight::recorded())
+        .num_u("retained", rendered.len() as u64)
+        .strs("events", &rendered)
+        .finish()
+}
+
+/// Records a binary-level diagnostic (startup, shutdown summary) through
+/// the flight recorder; `--log-level info` makes them visible on stderr.
+fn diagnostic(level: Level, detail: &str) {
+    flight::record(level, EventCode::Diagnostic, detail);
+}
+
 fn run_batch_mode(args: &Args) -> Result<(), Failure> {
     let mut daemon = Daemon::start(daemon_config(args))
         .map_err(|e| Failure::Store(format!("cannot open verdict store: {e}")))?;
-    eprintln!("iotsand: {}", describe_recovery(&daemon.recovery()));
+    diagnostic(Level::Info, &describe_recovery(&daemon.recovery()));
 
     let jobs_arg = args.jobs.as_deref().expect("batch mode");
     let raw = if jobs_arg == "-" {
@@ -219,6 +267,8 @@ fn run_batch_mode(args: &Args) -> Result<(), Failure> {
 
     let mut specs = Vec::new();
     let mut invalid: Vec<JobOutcome> = Vec::new();
+    let mut want_metrics = false;
+    let mut want_flight = false;
     for (number, line) in raw.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -226,6 +276,10 @@ fn run_batch_mode(args: &Args) -> Result<(), Failure> {
         match parse_line(line, number + 1) {
             Ok(JobLine::Job(spec)) => specs.push(spec),
             Ok(JobLine::Shutdown) => break, // stop ingesting; run what we have
+            // In batch mode the telemetry ops answer after the batch, when
+            // the counters actually reflect the submitted work.
+            Ok(JobLine::Metrics) => want_metrics = true,
+            Ok(JobLine::Flight) => want_flight = true,
             Err(error) => invalid.push(JobOutcome {
                 index: usize::MAX,
                 id: format!("line-{}", number + 1),
@@ -247,21 +301,30 @@ fn run_batch_mode(args: &Args) -> Result<(), Failure> {
     for outcome in &outcomes {
         writeln!(out, "{}", outcome.render()).map_err(runtime)?;
     }
+    if want_metrics {
+        writeln!(out, "{}", metrics_line()).map_err(runtime)?;
+    }
+    if want_flight {
+        writeln!(out, "{}", flight_line()).map_err(runtime)?;
+    }
     out.flush().map_err(runtime)?;
 
     let summary = daemon.shutdown().map_err(|e| runtime(format!("shutdown failed: {e}")))?;
-    eprintln!(
-        "iotsand: {} jobs done ({} rejected, {} quarantined{}); cache {} hits / {} misses, \
-         {} from disk; store holds {} verdicts in {} records",
-        outcomes.len(),
-        invalid.len(),
-        summary.quarantined,
-        if summary.degraded { ", store DEGRADED" } else { "" },
-        summary.cache_hits,
-        summary.cache_misses,
-        summary.backing_hits,
-        summary.store_entries,
-        summary.store_records,
+    diagnostic(
+        Level::Info,
+        &format!(
+            "{} jobs done ({} rejected, {} quarantined{}); cache {} hits / {} misses, \
+             {} from disk; store holds {} verdicts in {} records",
+            outcomes.len(),
+            invalid.len(),
+            summary.quarantined,
+            if summary.degraded { ", store DEGRADED" } else { "" },
+            summary.cache_hits,
+            summary.cache_misses,
+            summary.backing_hits,
+            summary.store_entries,
+            summary.store_records,
+        ),
     );
     Ok(())
 }
@@ -277,14 +340,14 @@ fn run_listen_mode(args: &Args) -> Result<(), Failure> {
 
     let mut daemon = Daemon::start(daemon_config(args))
         .map_err(|e| Failure::Store(format!("cannot open verdict store: {e}")))?;
-    eprintln!("iotsand: {}", describe_recovery(&daemon.recovery()));
-    eprintln!("iotsand: listening on {}", socket.display());
+    diagnostic(Level::Info, &describe_recovery(&daemon.recovery()));
+    diagnostic(Level::Info, &format!("listening on {}", socket.display()));
 
     'serve: for stream in listener.incoming() {
         let stream = match stream {
             Ok(stream) => stream,
             Err(e) => {
-                eprintln!("iotsand: accept failed: {e}");
+                diagnostic(Level::Warn, &format!("accept failed: {e}"));
                 continue;
             }
         };
@@ -305,6 +368,8 @@ fn run_listen_mode(args: &Args) -> Result<(), Failure> {
                     let _ = writeln!(writer, "{{\"status\":\"shutting-down\"}}");
                     break 'serve;
                 }
+                Ok(JobLine::Metrics) => metrics_line(),
+                Ok(JobLine::Flight) => flight_line(),
                 Ok(JobLine::Job(spec)) => {
                     let outcomes = daemon.run_batch(vec![spec]);
                     outcomes.first().map(JobOutcome::render).unwrap_or_default()
@@ -322,15 +387,18 @@ fn run_listen_mode(args: &Args) -> Result<(), Failure> {
 
     let summary = daemon.shutdown().map_err(|e| runtime(format!("shutdown failed: {e}")))?;
     let _ = std::fs::remove_file(&socket);
-    eprintln!(
-        "iotsand: shut down after {} jobs ({} quarantined{}); cache {} hits / {} misses, \
-         {} from disk",
-        summary.jobs,
-        summary.quarantined,
-        if summary.degraded { ", store DEGRADED" } else { "" },
-        summary.cache_hits,
-        summary.cache_misses,
-        summary.backing_hits,
+    diagnostic(
+        Level::Info,
+        &format!(
+            "shut down after {} jobs ({} quarantined{}); cache {} hits / {} misses, \
+             {} from disk",
+            summary.jobs,
+            summary.quarantined,
+            if summary.degraded { ", store DEGRADED" } else { "" },
+            summary.cache_hits,
+            summary.cache_misses,
+            summary.backing_hits,
+        ),
     );
     Ok(())
 }
@@ -344,7 +412,7 @@ fn run_compact_mode(args: &Args) -> Result<(), Failure> {
     let path = args.store.as_ref().expect("checked by parse_args");
     let mut store = VerdictStore::open_with(path, store_options(args))
         .map_err(|e| Failure::Store(format!("cannot open verdict store: {e}")))?;
-    eprintln!("iotsand: {}", describe_recovery(store.recovery()));
+    diagnostic(Level::Info, &describe_recovery(store.recovery()));
     let stats = store.compact().map_err(|e| runtime(format!("compaction failed: {e}")))?;
     println!(
         "compacted {}: {} -> {} records, {} -> {} bytes",
@@ -374,6 +442,19 @@ fn run_status_mode(args: &Args) -> Result<(), Failure> {
             entry.attempts, entry.last_message
         );
     }
+    // The telemetry surface: what this process's registry recorded while
+    // opening the store (recoveries, corrupt tails), plus its shape.
+    let snap = iotsan_telemetry::snapshot();
+    println!(
+        "telemetry:    {} metric(s) registered, {} flight event(s) retained",
+        DESCRIPTORS.len(),
+        flight::events().len()
+    );
+    println!(
+        "  store opens replayed: {}, corrupt/discarded logs: {}",
+        snap.counter("iotsan_store_recoveries_total"),
+        snap.counter("iotsan_store_corrupt_tails_total"),
+    );
     Ok(())
 }
 
@@ -390,6 +471,9 @@ fn main() -> ExitCode {
             return Failure::Usage(error).code();
         }
     };
+    if let Some(level) = args.log_level {
+        flight::set_stderr_level(level);
+    }
     let result = if args.jobs.is_some() {
         run_batch_mode(&args)
     } else if args.listen.is_some() {
@@ -399,6 +483,12 @@ fn main() -> ExitCode {
     } else {
         run_status_mode(&args)
     };
+    // The dump-on-shutdown snapshot, whatever mode ran and however it went.
+    if let Some(path) = &args.metrics_snapshot {
+        if let Err(e) = std::fs::write(path, metrics_line() + "\n") {
+            eprintln!("iotsand: cannot write metrics snapshot {}: {e}", path.display());
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(failure) => {

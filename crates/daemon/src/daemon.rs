@@ -50,6 +50,9 @@ use iotsan::{
     translate_sources, Fingerprint, FleetGroupReport, FleetPlan, FleetReport, GroupResult,
     Pipeline, VerdictPersistence, VerificationCache, VerificationPlanner,
 };
+use iotsan_telemetry::flight::{self, EventCode, Level};
+use iotsan_telemetry::rows::JsonRow;
+use iotsan_telemetry::METRICS;
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -101,6 +104,9 @@ struct HealthState {
     reason: Option<String>,
     probes: u32,
     next_probe_at: Option<Instant>,
+    /// When the current degraded spell began — drives the
+    /// `iotsan_daemon_degraded_ms_total` accounting on repair/shutdown.
+    degraded_since: Option<Instant>,
 }
 
 impl StoreHealth {
@@ -176,22 +182,40 @@ impl StoreBacking {
             return false;
         }
         state.probes += 1;
+        METRICS.daemon_reprobes.inc();
+        flight::record(
+            Level::Info,
+            EventCode::StoreReprobe,
+            &format!("repair probe {}/{REPROBE_LIMIT}", state.probes),
+        );
         let probed = self.store.lock().unwrap_or_else(|e| e.into_inner()).reopen().cloned();
         match probed {
             Ok(recovery) => {
-                eprintln!(
-                    "iotsand: verdict store repaired after {} probe(s) ({recovery:?}); \
-                     persistence resumed",
-                    state.probes
+                flight::record(
+                    Level::Warn,
+                    EventCode::StoreRepair,
+                    &format!(
+                        "verdict store repaired after {} probe(s) ({recovery:?}); \
+                         persistence resumed",
+                        state.probes
+                    ),
                 );
+                if let Some(since) = state.degraded_since.take() {
+                    METRICS.daemon_degraded_ms.add(since.elapsed().as_millis() as u64);
+                }
+                METRICS.daemon_degraded.set(0);
                 *state = HealthState::default();
                 true
             }
             Err(e) => {
                 if state.probes >= REPROBE_LIMIT {
-                    eprintln!(
-                        "iotsand: verdict store still failing after {REPROBE_LIMIT} repair \
-                         probes ({e}); persistence disabled until restart"
+                    flight::record(
+                        Level::Error,
+                        EventCode::StoreDegrade,
+                        &format!(
+                            "verdict store still failing after {REPROBE_LIMIT} repair \
+                             probes ({e}); persistence disabled until restart"
+                        ),
                     );
                     state.next_probe_at = None;
                 } else {
@@ -219,13 +243,23 @@ impl VerdictPersistence for StoreBacking {
             Err(e) => {
                 let reason =
                     format!("verdict store append failed ({}): {e}", store.path().display());
-                eprintln!(
-                    "iotsand: {reason}; entering degraded mode (verdicts served from memory, \
-                     writes suspended, repair probes backing off)"
+                flight::record(
+                    Level::Error,
+                    EventCode::StoreDegrade,
+                    &format!(
+                        "{reason}; entering degraded mode (verdicts served from memory, \
+                         writes suspended, repair probes backing off)"
+                    ),
                 );
+                METRICS.daemon_degraded.set(1);
+                // The automatic black-box dump: the ring's recent events
+                // (including the fault the I/O seam injected, when one did)
+                // land on stderr the moment persistence degrades.
+                flight::dump_to_stderr(&format!("store degraded: {e}"));
                 state.reason = Some(reason);
                 state.probes = 0;
                 state.next_probe_at = Some(Instant::now() + self.retry.delay(1));
+                state.degraded_since = Some(Instant::now());
                 false
             }
         }
@@ -314,48 +348,38 @@ pub struct JobOutcome {
 }
 
 impl JobOutcome {
-    /// Renders the outcome as one NDJSON result line.
+    /// Renders the outcome as one NDJSON result line, through the shared
+    /// [`JsonRow`] serializer (the same writer the `repro`/BENCH rows and
+    /// metrics snapshots use, so escaping and number formats cannot drift).
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(128);
-        out.push_str(&format!("{{\"id\":\"{}\"", json_escape(&self.id)));
+        let mut row = JsonRow::with_capacity(128).str("id", &self.id);
         match &self.status {
-            JobStatus::Ok => out.push_str(",\"status\":\"ok\""),
-            JobStatus::Cancelled => out.push_str(",\"status\":\"cancelled\""),
+            JobStatus::Ok => row = row.str("status", "ok"),
+            JobStatus::Cancelled => row = row.str("status", "cancelled"),
             JobStatus::Invalid(error) => {
-                out.push_str(&format!(
-                    ",\"status\":\"invalid\",\"error\":\"{}\"}}",
-                    json_escape(error)
-                ));
-                return out;
+                return row.str("status", "invalid").str("error", error).finish();
             }
             JobStatus::Failed { panic_message } => {
-                out.push_str(&format!(
-                    ",\"status\":\"failed\",\"panic\":\"{}\"",
-                    json_escape(panic_message)
-                ));
+                row = row.str("status", "failed").str("panic", panic_message);
             }
         }
         if let Some(report) = &self.report {
             let violated: Vec<String> =
                 report.violated_properties().iter().map(|p| p.to_string()).collect();
             let truncated = report.groups.iter().any(|g| g.report.stats.truncated);
-            out.push_str(&format!(
-                ",\"groups\":{},\"violated_properties\":[{}],\"violations\":{},\
-                 \"cache_hits\":{},\"cache_misses\":{},\"backing_hits\":{},\"truncated\":{}",
-                report.groups.len(),
-                violated.join(","),
-                report.violation_count(),
-                report.cache_hits,
-                report.cache_misses,
-                self.backing_hits,
-                truncated,
-            ));
+            row = row
+                .num_u("groups", report.groups.len() as u64)
+                .raw("violated_properties", &format!("[{}]", violated.join(",")))
+                .num_u("violations", report.violation_count() as u64)
+                .num_u("cache_hits", report.cache_hits as u64)
+                .num_u("cache_misses", report.cache_misses as u64)
+                .num_u("backing_hits", self.backing_hits as u64)
+                .flag("truncated", truncated);
         }
         if self.degraded {
-            out.push_str(",\"degraded\":true");
+            row = row.flag("degraded", true);
         }
-        out.push_str(&format!(",\"elapsed_ms\":{:.3}}}", self.elapsed.as_secs_f64() * 1000.0));
-        out
+        row.fixed("elapsed_ms", self.elapsed.as_secs_f64() * 1000.0, 3).finish()
     }
 }
 
@@ -415,7 +439,14 @@ impl JobQueue {
         if state.closed {
             return Err(spec);
         }
+        METRICS.daemon_jobs_accepted.inc();
+        flight::record(
+            Level::Debug,
+            EventCode::JobAccepted,
+            &format!("job `{}` (index {index})", spec.id),
+        );
         state.items.push_back((index, spec));
+        METRICS.daemon_queue_depth.set(state.items.len() as i64);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -425,6 +456,7 @@ impl JobQueue {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(item) = state.items.pop_front() {
+                METRICS.daemon_queue_depth.set(state.items.len() as i64);
                 self.not_full.notify_one();
                 return Some(item);
             }
@@ -444,6 +476,7 @@ impl JobQueue {
     fn drain(&self) -> Vec<(usize, JobSpec)> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let drained = state.items.drain(..).collect();
+        METRICS.daemon_queue_depth.set(0);
         self.not_full.notify_all();
         drained
     }
@@ -603,7 +636,11 @@ fn save_quarantine(path: &Path, entries: &[(u64, PoisonEntry)]) {
         ));
     }
     if let Err(e) = std::fs::write(path, out) {
-        eprintln!("iotsand: cannot persist quarantine sidecar {}: {e}", path.display());
+        flight::record(
+            Level::Error,
+            EventCode::Diagnostic,
+            &format!("cannot persist quarantine sidecar {}: {e}", path.display()),
+        );
     }
 }
 
@@ -765,9 +802,18 @@ impl Daemon {
         let mut degraded = self.inner.health.is_degraded();
         if !degraded {
             if let Err(e) = store.sync() {
-                eprintln!("iotsand: final sync failed ({e}); recent verdicts may re-verify");
+                flight::record(
+                    Level::Error,
+                    EventCode::StoreDegrade,
+                    &format!("final sync failed ({e}); recent verdicts may re-verify"),
+                );
                 degraded = true;
             }
+        }
+        // Close out a still-open degraded spell so the time-in-degraded
+        // counter covers it (repair normally does this accounting).
+        if let Some(since) = self.inner.health.lock().degraded_since.take() {
+            METRICS.daemon_degraded_ms.add(since.elapsed().as_millis() as u64);
         }
         Ok(DaemonSummary {
             jobs: self.submitted,
@@ -783,6 +829,7 @@ impl Daemon {
 }
 
 fn cancelled_outcome(index: usize, spec: JobSpec) -> JobOutcome {
+    record_terminal_status(&spec.id, &JobStatus::Cancelled);
     JobOutcome {
         index,
         id: spec.id,
@@ -794,9 +841,37 @@ fn cancelled_outcome(index: usize, spec: JobSpec) -> JobOutcome {
     }
 }
 
+/// Flushes one terminal job status to the telemetry registry and flight
+/// recorder — the single point every outcome path funnels through.
+fn record_terminal_status(id: &str, status: &JobStatus) {
+    let label = match status {
+        JobStatus::Ok => {
+            METRICS.daemon_jobs_completed.inc();
+            "ok"
+        }
+        JobStatus::Cancelled => {
+            METRICS.daemon_jobs_cancelled.inc();
+            "cancelled"
+        }
+        JobStatus::Invalid(_) => {
+            METRICS.daemon_jobs_invalid.inc();
+            "invalid"
+        }
+        JobStatus::Failed { .. } => {
+            METRICS.daemon_jobs_failed.inc();
+            "failed"
+        }
+    };
+    flight::record(Level::Debug, EventCode::JobCompleted, &format!("job `{id}` {label}"));
+}
+
 fn worker_loop(inner: &Inner) {
     while let Some((index, spec)) = inner.queue.pop() {
+        METRICS.daemon_inflight.add(1);
+        flight::record(Level::Debug, EventCode::JobClaimed, &format!("job `{}`", spec.id));
         let outcome = run_supervised(inner, index, spec);
+        METRICS.daemon_inflight.sub(1);
+        record_terminal_status(&outcome.id, &outcome.status);
         if inner.results.send(outcome).is_err() {
             break; // the daemon handle is gone; no one is listening
         }
@@ -855,11 +930,28 @@ fn run_supervised(inner: &Inner, index: usize, spec: JobSpec) -> JobOutcome {
             Err(payload) => {
                 let message = panic_message(payload);
                 let entry = inner.poison.record_failure(key, &message, inner.retry.max_attempts);
-                eprintln!(
-                    "iotsand: job `{}` panicked (attempt {}/{}): {message}",
-                    spec.id, entry.attempts, inner.retry.max_attempts
+                METRICS.daemon_retries.inc();
+                flight::record(
+                    Level::Warn,
+                    EventCode::JobRetried,
+                    &format!(
+                        "job `{}` panicked (attempt {}/{}): {message}",
+                        spec.id, entry.attempts, inner.retry.max_attempts
+                    ),
                 );
                 if entry.quarantined {
+                    METRICS.daemon_quarantines.inc();
+                    flight::record(
+                        Level::Error,
+                        EventCode::JobQuarantined,
+                        &format!(
+                            "job `{}` quarantined after {} attempt(s): {message}",
+                            spec.id, entry.attempts
+                        ),
+                    );
+                    // The automatic black-box dump on a job that panicked
+                    // its whole retry budget away.
+                    flight::dump_to_stderr(&format!("job `{}` quarantined", spec.id));
                     save_quarantine(&inner.quarantine_path, &inner.poison.snapshot());
                     return JobOutcome {
                         index,

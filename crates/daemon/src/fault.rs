@@ -161,7 +161,16 @@ impl FaultyIo {
     fn next_op(&mut self) -> Option<FaultKind> {
         let at = self.ops;
         self.ops += 1;
-        self.plan.fault_at(at)
+        let fault = self.plan.fault_at(at);
+        if let Some(kind) = fault {
+            iotsan_telemetry::METRICS.store_io_faults.inc();
+            iotsan_telemetry::flight::record(
+                iotsan_telemetry::flight::Level::Warn,
+                iotsan_telemetry::flight::EventCode::Diagnostic,
+                &format!("injecting {kind:?} at store op {at}"),
+            );
+        }
+        fault
     }
 }
 

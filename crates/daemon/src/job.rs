@@ -16,8 +16,10 @@
 //! device configuration is the standard expert configuration over the
 //! selected bundle, matching the paper's Table 5 setup.  Unknown keys are
 //! rejected, not ignored — a typo'd `event` must not silently verify with
-//! the default bound.  See `OPERATIONS.md` for the operator-facing
-//! reference of every field.
+//! the default bound.  Control lines carry an `op` instead of a bundle:
+//! `shutdown` stops the daemon, `metrics` answers with a telemetry
+//! snapshot row, `flight` with the flight recorder's retained events.
+//! See `OPERATIONS.md` for the operator-facing reference of every field.
 
 use serde_json::Value;
 
@@ -104,6 +106,12 @@ pub enum JobLine {
     Job(JobSpec),
     /// `{"op":"shutdown"}` — stop accepting work and exit.
     Shutdown,
+    /// `{"op":"metrics"}` — respond with a metrics snapshot (one JSON row
+    /// of every registered counter, gauge and histogram).
+    Metrics,
+    /// `{"op":"flight"}` — respond with the flight recorder's retained
+    /// events.
+    Flight,
 }
 
 const KNOWN_KEYS: &[&str] = &[
@@ -161,6 +169,8 @@ pub fn parse_line(line: &str, line_number: usize) -> Result<JobLine, String> {
         let op = op.as_str().ok_or_else(|| format!("line {line_number}: `op` must be a string"))?;
         return match op {
             "shutdown" => Ok(JobLine::Shutdown),
+            "metrics" => Ok(JobLine::Metrics),
+            "flight" => Ok(JobLine::Flight),
             other => Err(format!("line {line_number}: unknown op `{other}`")),
         };
     }
@@ -327,8 +337,10 @@ mod tests {
     }
 
     #[test]
-    fn parses_shutdown() {
+    fn parses_control_ops() {
         assert_eq!(parse_line(r#"{"op":"shutdown"}"#, 9).unwrap(), JobLine::Shutdown);
+        assert_eq!(parse_line(r#"{"op":"metrics"}"#, 1).unwrap(), JobLine::Metrics);
+        assert_eq!(parse_line(r#"{"op":"flight"}"#, 2).unwrap(), JobLine::Flight);
     }
 
     #[test]
@@ -376,7 +388,7 @@ mod tests {
     fn fingerprint_ignores_id_but_nothing_else() {
         let base = |line: &str| match parse_line(line, 1).unwrap() {
             JobLine::Job(spec) => spec.fingerprint(),
-            JobLine::Shutdown => panic!("job expected"),
+            other => panic!("job expected, got {other:?}"),
         };
         // Same work, different correlation ids: same fingerprint.
         assert_eq!(base(r#"{"id":"a","market":4}"#), base(r#"{"id":"b","market":4}"#));

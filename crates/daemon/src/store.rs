@@ -28,6 +28,8 @@
 use crate::codec::{crc32, decode_group_result, encode_group_result};
 use crate::fault::{RealIo, StoreIo};
 use iotsan::{Fingerprint, GroupResult};
+use iotsan_telemetry::flight::{self, EventCode, Level};
+use iotsan_telemetry::METRICS;
 use std::collections::{BTreeMap, VecDeque};
 use std::fs::{self, File, OpenOptions};
 use std::io;
@@ -169,6 +171,44 @@ fn header_bytes() -> [u8; HEADER_LEN] {
     header
 }
 
+/// Flushes one recovery outcome to the telemetry registry and flight
+/// recorder (shared by open and [`VerdictStore::reopen`]).  A fresh store
+/// replayed nothing, so it records nothing.
+fn record_recovery(recovery: &Recovery) {
+    match recovery {
+        Recovery::Fresh => {}
+        Recovery::Clean { records } => {
+            METRICS.store_recoveries.inc();
+            flight::record(
+                Level::Info,
+                EventCode::StoreRecover,
+                &format!("clean replay of {records} record(s)"),
+            );
+        }
+        Recovery::CorruptTail { records, dropped_bytes } => {
+            METRICS.store_recoveries.inc();
+            METRICS.store_corrupt_tails.inc();
+            flight::record(
+                Level::Warn,
+                EventCode::StoreRecover,
+                &format!(
+                    "corrupt tail: {records} record(s) replayed, {dropped_bytes} trailing \
+                     byte(s) truncated"
+                ),
+            );
+        }
+        Recovery::Discarded { reason } => {
+            METRICS.store_recoveries.inc();
+            METRICS.store_corrupt_tails.inc();
+            flight::record(
+                Level::Warn,
+                EventCode::StoreRecover,
+                &format!("log discarded and restarted: {reason:?}"),
+            );
+        }
+    }
+}
+
 /// One successfully parsed record: bytes consumed plus its meaning.
 enum Record {
     Put(Fingerprint, GroupResult),
@@ -263,6 +303,7 @@ impl VerdictStore {
         let path = path.as_ref().to_path_buf();
         let mut io = io;
         let loaded = Self::load(&path, io.as_mut())?;
+        record_recovery(&loaded.recovery);
         Ok(VerdictStore {
             path,
             file: loaded.file,
@@ -358,6 +399,7 @@ impl VerdictStore {
     /// flag clears; on failure the store is left exactly as it was.
     pub fn reopen(&mut self) -> io::Result<&Recovery> {
         let loaded = Self::load(&self.path, self.io.as_mut())?;
+        record_recovery(&loaded.recovery);
         self.file = loaded.file;
         self.entries = loaded.entries;
         self.order = loaded.order;
@@ -427,6 +469,12 @@ impl VerdictStore {
             Ok(()) => {
                 self.sound_len += bytes.len() as u64;
                 self.records += 1;
+                METRICS.store_appends.inc();
+                flight::record(
+                    Level::Debug,
+                    EventCode::StoreAppend,
+                    &format!("{} byte(s), log now {} record(s)", bytes.len(), self.records),
+                );
                 Ok(())
             }
             Err(e) => {
@@ -524,6 +572,19 @@ impl VerdictStore {
         // The rewrite came entirely from the in-memory index, so any
         // previously unrepaired tail is gone with the old file.
         self.broken = false;
+
+        METRICS.store_compactions.inc();
+        flight::record(
+            Level::Info,
+            EventCode::StoreCompact,
+            &format!(
+                "{} -> {} record(s), {} -> {} byte(s)",
+                records_before,
+                self.records,
+                bytes_before,
+                out.len()
+            ),
+        );
 
         Ok(CompactStats {
             records_before,

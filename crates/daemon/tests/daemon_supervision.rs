@@ -164,6 +164,12 @@ fn store_fault_degrades_then_repairs_without_losing_service() {
     );
     assert!(outcomes[0].degraded, "a lost persist must be visible on the outcome");
 
+    // The flight recorder caught the incident: the ring names both the
+    // injected fault and the degrade, so a dump reconstructs the cause.
+    let dump = iotsan_telemetry::flight::dump("degrade probe");
+    assert!(dump.contains("injected disk full (ENOSPC)"), "{dump}");
+    assert!(dump.contains("store_degrade"), "{dump}");
+
     // The backoff probe reopens the store; later verdicts persist again.
     std::thread::sleep(std::time::Duration::from_millis(10));
     let outcomes = daemon.run_batch(vec![market_job("second", 3, false)]);

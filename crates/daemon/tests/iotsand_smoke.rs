@@ -101,6 +101,95 @@ fn batch_restart_serves_warm_verdicts_from_disk() {
 }
 
 #[test]
+fn batch_mode_answers_metrics_and_flight_after_the_batch() {
+    let dir = temp_dir("metrics");
+    let store = dir.join("verdicts.log");
+    let jobs = dir.join("jobs.ndjson");
+    std::fs::write(
+        &jobs,
+        "{\"id\":\"m\",\"market\":2}\n{\"op\":\"metrics\"}\n{\"op\":\"flight\"}\n",
+    )
+    .unwrap();
+    let snapshot_path = dir.join("final.json");
+    let output = iotsand()
+        .args([
+            "--store",
+            store.to_str().unwrap(),
+            "--jobs",
+            jobs.to_str().unwrap(),
+            "--metrics-snapshot",
+            snapshot_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let text = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(lines[0].contains("\"status\":\"ok\""), "{text}");
+
+    // The metrics row answers after the batch, so the job's work is visible
+    // across every instrumented family.
+    let metrics = lines[1];
+    assert_eq!(field(metrics, "iotsan_daemon_jobs_accepted_total"), 1, "{metrics}");
+    assert_eq!(field(metrics, "iotsan_daemon_jobs_completed_total"), 1, "{metrics}");
+    assert!(field(metrics, "iotsan_checker_searches_total") >= 1, "{metrics}");
+    assert!(field(metrics, "iotsan_cache_misses_total") >= 1, "{metrics}");
+    assert!(field(metrics, "iotsan_store_appends_total") >= 1, "{metrics}");
+
+    // The flight row reports ring occupancy alongside the rendered events.
+    assert!(field(lines[2], "recorded") >= 1, "{}", lines[2]);
+    assert!(lines[2].contains("\"events\":"), "{}", lines[2]);
+
+    // --metrics-snapshot dumped the same schema on shutdown.
+    let snap = std::fs::read_to_string(&snapshot_path).unwrap();
+    assert_eq!(field(&snap, "iotsan_daemon_jobs_completed_total"), 1, "{snap}");
+}
+
+#[test]
+fn log_level_gates_lifecycle_diagnostics_on_stderr() {
+    let dir = temp_dir("loglevel");
+    let jobs = dir.join("jobs.ndjson");
+    std::fs::write(&jobs, "{\"id\":\"quiet\",\"market\":2}\n").unwrap();
+
+    let run = |store: &str, extra: &[&str]| {
+        let store = dir.join(store);
+        let mut cmd = iotsand();
+        cmd.args(["--store", store.to_str().unwrap(), "--jobs", jobs.to_str().unwrap()]);
+        cmd.args(extra);
+        let output = cmd.output().unwrap();
+        assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+        String::from_utf8(output.stderr).unwrap()
+    };
+
+    // Default (warn): lifecycle chatter stays off stderr.
+    let quiet = run("quiet.log", &[]);
+    assert!(!quiet.contains("iotsan: debug"), "{quiet}");
+    assert!(!quiet.contains("iotsan: info"), "{quiet}");
+
+    // Debug: job and store lifecycle events render as structured lines.
+    let verbose = run("verbose.log", &["--log-level", "debug"]);
+    assert!(verbose.contains("iotsan: debug job_accepted"), "{verbose}");
+    assert!(verbose.contains("iotsan: debug store_append"), "{verbose}");
+    assert!(verbose.contains("iotsan: info"), "{verbose}");
+
+    // An unknown level is a usage error.
+    let store = dir.join("bad.log");
+    let bad = iotsand()
+        .args([
+            "--store",
+            store.to_str().unwrap(),
+            "--jobs",
+            jobs.to_str().unwrap(),
+            "--log-level",
+            "loud",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}
+
+#[test]
 fn status_and_compact_modes_report_the_store() {
     let dir = temp_dir("status");
     let store = dir.join("verdicts.log");
@@ -157,6 +246,18 @@ fn listen_mode_serves_jobs_over_a_unix_socket() {
     let mut response = String::new();
     reader.read_line(&mut response).unwrap();
     assert!(response.contains("\"status\":\"ok\""), "{response}");
+
+    // The live observability surface: one snapshot row, one flight row.
+    writeln!(writer, "{{\"op\":\"metrics\"}}").unwrap();
+    let mut metrics = String::new();
+    reader.read_line(&mut metrics).unwrap();
+    assert_eq!(field(&metrics, "iotsan_daemon_jobs_completed_total"), 1, "{metrics}");
+    assert!(field(&metrics, "iotsan_checker_searches_total") >= 1, "{metrics}");
+
+    writeln!(writer, "{{\"op\":\"flight\"}}").unwrap();
+    let mut flight = String::new();
+    reader.read_line(&mut flight).unwrap();
+    assert!(flight.contains("\"events\":"), "{flight}");
 
     writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
     let mut ack = String::new();

@@ -16,6 +16,7 @@
 //! mapping.
 
 use crate::rng::SplitMix64;
+use iotsan_telemetry::rows::JsonRow;
 
 /// How an injected store operation fails (mirrors the daemon's fault
 /// vocabulary: torn write, full disk, failed fsync, failed rename).
@@ -133,11 +134,10 @@ impl ChaosPlan {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "\n    {{\"at\": {}, \"kind\": \"{}\"}}",
-                fault.at,
-                fault.kind.name()
-            ));
+            out.push_str("\n    ");
+            out.push_str(
+                &JsonRow::new().num_u("at", fault.at).str("kind", fault.kind.name()).finish(),
+            );
         }
         if !self.faults.is_empty() {
             out.push('\n');
@@ -192,7 +192,7 @@ mod tests {
         };
         let json = plan.to_json();
         assert!(json.contains("\"seed\": 7"));
-        assert!(json.contains("\"kind\": \"no-space\""));
+        assert!(json.contains("{\"at\":2,\"kind\":\"no-space\"}"));
         assert!(json.contains("\"panic_job\": true"));
     }
 }

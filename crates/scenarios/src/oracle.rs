@@ -22,6 +22,7 @@
 use crate::household::Household;
 use iotsan::{FleetReport, GroupOutcome, Pipeline, VerificationCache};
 use iotsan_config::SystemConfig;
+use iotsan_telemetry::flight::{self, EventCode, Level};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -121,7 +122,17 @@ fn outcome_detail(label: &str, a: &[GroupOutcome], b: &[GroupOutcome]) -> String
 /// [`Divergence`] found.  Deterministic: same household, same result.
 pub fn check_household(household: &Household) -> Result<HouseholdReport, Divergence> {
     let seed = household.seed;
-    let diverge = |phase: Phase, detail: String| Divergence { seed, phase, detail };
+    let diverge = |phase: Phase, detail: String| {
+        // A divergence is the harness's most valuable event: land it in the
+        // flight recorder so a later dump (e.g. a daemon degrade in the same
+        // process) carries the differential context too.
+        flight::record(
+            Level::Error,
+            EventCode::Diagnostic,
+            &format!("differential divergence at seed {seed} ({phase}): {detail}"),
+        );
+        Divergence { seed, phase, detail }
+    };
 
     let refs: Vec<&str> = household.sources.iter().map(String::as_str).collect();
     let apps =

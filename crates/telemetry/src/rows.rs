@@ -1,0 +1,243 @@
+//! The shared JSON row serializer: one ordered-object writer used by the
+//! daemon's NDJSON job outcomes, the `repro` harness's `BENCH_*.json` rows
+//! and the metrics snapshot renderer, so the three surfaces can never
+//! drift in escaping or number formatting.
+//!
+//! The writer is deliberately tiny: it renders exactly one JSON object,
+//! field by field, in insertion order, with no intermediate value tree.
+//! Callers that need nested structure render the inner value first (with
+//! another [`JsonRow`] or [`JsonRow::raw`]) and embed it.
+
+use std::fmt::Write as _;
+
+/// An ordered JSON object under construction.
+///
+/// ```
+/// use iotsan_telemetry::rows::JsonRow;
+/// let row = JsonRow::new()
+///     .str("id", "job-1")
+///     .num_u("groups", 3)
+///     .flag("truncated", false)
+///     .fixed("elapsed_ms", 12.3456, 3)
+///     .finish();
+/// assert_eq!(row, r#"{"id":"job-1","groups":3,"truncated":false,"elapsed_ms":12.346}"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonRow {
+    buf: String,
+}
+
+impl Default for JsonRow {
+    fn default() -> Self {
+        JsonRow::new()
+    }
+}
+
+impl JsonRow {
+    /// Starts an empty object (`{`).
+    pub fn new() -> Self {
+        JsonRow { buf: String::from("{") }
+    }
+
+    /// Starts an object with preallocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut buf = String::with_capacity(capacity.max(2));
+        buf.push('{');
+        JsonRow { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn num_u(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a signed integer field.
+    pub fn num_i(mut self, key: &str, value: i64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a floating-point field rendered with `Display` precision.
+    ///
+    /// Non-finite values (which JSON cannot represent) render as `0` — see
+    /// [`finite`].
+    pub fn num_f(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{}", finite(value));
+        self
+    }
+
+    /// Appends a floating-point field rendered with a fixed number of
+    /// decimals (`{:.decimals$}`), guarding non-finite values like
+    /// [`JsonRow::num_f`].
+    pub fn fixed(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{:.*}", decimals, finite(value));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn flag(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a pre-rendered JSON value verbatim (the caller guarantees it
+    /// is valid JSON — typically another [`JsonRow::finish`] result or a
+    /// rendered array).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Appends an array-of-strings field (each element escaped).
+    pub fn strs<I, S>(mut self, key: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(&mut self.buf, v.as_ref());
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the rendered row.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Maps non-finite floats (which JSON cannot carry) to `0.0`, leaving every
+/// finite value untouched.  The checker already guards its `states_per_sec`
+/// computation; this is the belt-and-braces layer that keeps `inf`/NaN out
+/// of every rendered row regardless of the caller.
+pub fn finite(value: f64) -> f64 {
+    if value.is_finite() {
+        value
+    } else {
+        0.0
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping (`"`, `\`, the common
+/// whitespace escapes, and `\u00XX` for remaining control characters).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` with JSON string escaping applied (no surrounding quotes).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_row_is_an_empty_object() {
+        assert_eq!(JsonRow::new().finish(), "{}");
+    }
+
+    #[test]
+    fn fields_render_in_insertion_order() {
+        let row = JsonRow::new().num_u("b", 2).num_u("a", 1).finish();
+        assert_eq!(row, r#"{"b":2,"a":1}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let row = JsonRow::new().str("msg", "a\"b\\c\nd\te\u{1}").finish();
+        assert_eq!(row, "{\"msg\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_zero() {
+        let row = JsonRow::new()
+            .num_f("inf", f64::INFINITY)
+            .num_f("ninf", f64::NEG_INFINITY)
+            .num_f("nan", f64::NAN)
+            .fixed("fnan", f64::NAN, 2)
+            .finish();
+        assert_eq!(row, r#"{"inf":0,"ninf":0,"nan":0,"fnan":0.00}"#);
+    }
+
+    #[test]
+    fn fixed_controls_decimals() {
+        let row = JsonRow::new().fixed("v", 1.0 / 3.0, 3).finish();
+        assert_eq!(row, r#"{"v":0.333}"#);
+    }
+
+    #[test]
+    fn raw_and_arrays_embed_verbatim() {
+        let inner = JsonRow::new().num_u("n", 1).finish();
+        let row = JsonRow::new()
+            .raw("inner", &inner)
+            .strs("tags", ["x", "y\"z"])
+            .flag("ok", true)
+            .finish();
+        assert_eq!(row, r#"{"inner":{"n":1},"tags":["x","y\"z"],"ok":true}"#);
+    }
+
+    #[test]
+    fn rendered_rows_parse_as_json() {
+        // Smoke-parse with a tiny recursive descent: balanced braces and
+        // quote pairing are the failure modes hand-rendering invites.
+        let row = JsonRow::new()
+            .str("s", "line\nbreak \"quoted\" back\\slash")
+            .num_i("neg", -42)
+            .num_f("f", 2.5)
+            .strs("a", ["p", "q"])
+            .finish();
+        assert!(row.starts_with('{') && row.ends_with('}'));
+        let quotes = row.chars().filter(|&c| c == '"').count();
+        assert_eq!(quotes % 2, 0);
+    }
+}

@@ -162,6 +162,56 @@ fn readme_links_the_operations_handbook() {
 }
 
 #[test]
+fn architecture_documents_the_telemetry_subsystem() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md exists");
+    assert!(
+        text.contains("## Telemetry subsystem"),
+        "ARCHITECTURE.md must keep the telemetry subsystem section"
+    );
+    for topic in [
+        "Metrics registry",
+        "Flight recorder",
+        "Shared row serializer",
+        "Instrumentation discipline",
+    ] {
+        assert!(text.contains(topic), "telemetry section must cover: {topic}");
+    }
+    assert!(
+        text.contains("--no-default-features"),
+        "telemetry section must explain the no-op build"
+    );
+}
+
+/// The metric names documented in OPERATIONS.md's reference table (the
+/// backticked first cell of every `| `iotsan_...` | ... |` row).
+fn operations_metric_table(text: &str) -> BTreeSet<String> {
+    architecture_crate_map(text).into_iter().filter(|n| n.starts_with("iotsan_")).collect()
+}
+
+#[test]
+fn operations_metrics_reference_matches_the_registry() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("OPERATIONS.md")).expect("OPERATIONS.md exists");
+    assert!(
+        text.contains("## Metrics reference"),
+        "OPERATIONS.md must keep the metrics reference section"
+    );
+    let documented = operations_metric_table(&text);
+    let actual: BTreeSet<String> =
+        iotsan_telemetry::DESCRIPTORS.iter().map(|d| d.name.to_string()).collect();
+    assert!(!actual.is_empty(), "the telemetry registry declares no metrics");
+    assert_eq!(
+        documented,
+        actual,
+        "OPERATIONS.md's metrics reference is out of sync with the registry: \
+         documented-but-unregistered {:?}, registered-but-undocumented {:?}",
+        documented.difference(&actual).collect::<Vec<_>>(),
+        actual.difference(&documented).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
 fn operations_handbook_covers_the_operator_surface() {
     let root = repo_root();
     let text = fs::read_to_string(root.join("OPERATIONS.md"))
@@ -188,6 +238,8 @@ fn operations_handbook_covers_the_operator_surface() {
         "--retry-attempts",
         "--retry-base-ms",
         "--enable-fault-injection",
+        "--log-level",
+        "--metrics-snapshot",
     ] {
         assert!(text.contains(flag), "OPERATIONS.md must document the {flag} flag");
     }
